@@ -1,0 +1,296 @@
+//! The Baswana–Sen `(2k−1)`-spanner \[BS07\] (paper §4.2, Theorem 5).
+//!
+//! A randomized clustering construction producing a spanner with
+//! `O(k·n^{1+1/k})` edges and multiplicative stretch `2k−1` on weighted
+//! graphs:
+//!
+//! * **Phase 1** (`k−1` iterations): clusters start as singletons; each
+//!   iteration samples clusters with probability `n^{-1/k}`. A clustered
+//!   vertex whose cluster was not sampled either (a) joins the nearest
+//!   sampled neighboring cluster — adding the connecting edge and the
+//!   lightest edge to every *strictly closer* cluster — or (b) if no
+//!   sampled cluster is adjacent, adds the lightest edge to **every**
+//!   neighboring cluster and retires.
+//! * **Phase 2**: every vertex with surviving edges adds the lightest edge
+//!   to each adjacent final cluster.
+//!
+//! The paper runs this in `O(k²)` CONGEST rounds \[BS07\] and then
+//! broadcasts the spanner; we implement the construction from scratch
+//! (centralized, identical output distribution) and charge the `O(k²)`
+//! rounds, while the broadcast of the spanner runs through the *real*
+//! Theorem 1 machinery (see [`crate::weighted`]).
+
+use congest_graph::{Edge, Node, WeightedGraph};
+use congest_sim::rng::mix64;
+use std::collections::HashMap;
+
+/// A constructed spanner.
+#[derive(Debug, Clone)]
+pub struct SpannerResult {
+    /// Edge ids (into the source graph) forming the spanner.
+    pub edges: Vec<Edge>,
+    /// The stretch parameter `k` (stretch = 2k−1).
+    pub k: usize,
+    /// Charged CONGEST round cost `O(k²)` per \[BS07\].
+    pub charged_rounds: u64,
+}
+
+impl SpannerResult {
+    /// The spanner as a weighted subgraph (same node set).
+    pub fn as_graph(&self, g: &WeightedGraph) -> WeightedGraph {
+        let keep: std::collections::HashSet<Edge> = self.edges.iter().copied().collect();
+        g.filter_map_edges(|e| keep.contains(&e), |_, w| w)
+    }
+
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// Build a `(2k−1)`-spanner of `g`.
+pub fn baswana_sen_spanner(g: &WeightedGraph, k: usize, seed: u64) -> SpannerResult {
+    assert!(k >= 1);
+    let n = g.n();
+    if n == 0 {
+        return SpannerResult {
+            edges: Vec::new(),
+            k,
+            charged_rounds: 0,
+        };
+    }
+    let sample_p = (n as f64).powf(-1.0 / k as f64);
+    // cluster[v]: Some(center) while v is clustered, None once retired.
+    let mut cluster: Vec<Option<Node>> = (0..n as Node).map(Some).collect();
+    let mut removed = vec![false; g.m()];
+    let mut spanner: Vec<Edge> = Vec::new();
+    // (weight, edge) ordering with edge-id tie-break for determinism.
+    let lighter = |a: (f64, Edge), b: (f64, Edge)| -> bool {
+        a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+    };
+
+    for phase in 1..k {
+        // Sample clusters of the previous level by their center id.
+        let sampled = |center: Node| -> bool {
+            let h = mix64(seed ^ mix64(((phase as u64) << 32) | center as u64));
+            (h as f64 / u64::MAX as f64) < sample_p
+        };
+        let prev_cluster = cluster.clone();
+        for v in 0..n as Node {
+            let Some(my_c) = prev_cluster[v as usize] else {
+                continue; // retired
+            };
+            if sampled(my_c) {
+                continue; // stays in its (sampled) cluster
+            }
+            // Lightest edge per adjacent (previous-level) cluster.
+            let mut best: HashMap<Node, (f64, Edge)> = HashMap::new();
+            for (u, e, w) in g.edges_of(v) {
+                if removed[e as usize] {
+                    continue;
+                }
+                let Some(cu) = prev_cluster[u as usize] else {
+                    continue;
+                };
+                if cu == my_c {
+                    continue;
+                }
+                let cand = (w, e);
+                best.entry(cu)
+                    .and_modify(|cur| {
+                        if lighter(cand, *cur) {
+                            *cur = cand;
+                        }
+                    })
+                    .or_insert(cand);
+            }
+            // Nearest sampled adjacent cluster, if any.
+            let nearest_sampled = best
+                .iter()
+                .filter(|(&c, _)| sampled(c))
+                .map(|(&c, &we)| (c, we))
+                .min_by(|a, b| {
+                    if lighter(a.1, b.1) {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                });
+            match nearest_sampled {
+                None => {
+                    // Retire: connect to every adjacent cluster, drop all
+                    // of v's surviving edges.
+                    for (&c, &(_, e)) in best.iter() {
+                        spanner.push(e);
+                        let _ = c;
+                    }
+                    for (_, e, _) in g.edges_of(v) {
+                        removed[e as usize] = true;
+                    }
+                    cluster[v as usize] = None;
+                }
+                Some((c_star, e_star)) => {
+                    spanner.push(e_star.1);
+                    cluster[v as usize] = Some(c_star);
+                    // Lightest edge to every strictly closer cluster, and
+                    // remove the resolved groups.
+                    for (&c, &(w, e)) in best.iter() {
+                        if c == c_star {
+                            continue;
+                        }
+                        if lighter((w, e), e_star) {
+                            spanner.push(e);
+                            // Resolved: drop edges from v into cluster c.
+                            for (u2, e2, _) in g.edges_of(v) {
+                                if prev_cluster[u2 as usize] == Some(c) {
+                                    removed[e2 as usize] = true;
+                                }
+                            }
+                        }
+                    }
+                    // Drop edges into the joined cluster too (covered by
+                    // the cluster tree through e_star).
+                    for (u2, e2, _) in g.edges_of(v) {
+                        if prev_cluster[u2 as usize] == Some(c_star) && e2 != e_star.1 {
+                            removed[e2 as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2: lightest edge to each adjacent final cluster.
+    for v in 0..n as Node {
+        let my_c = cluster[v as usize];
+        let mut best: HashMap<Node, (f64, Edge)> = HashMap::new();
+        for (u, e, w) in g.edges_of(v) {
+            if removed[e as usize] {
+                continue;
+            }
+            let Some(cu) = cluster[u as usize] else {
+                continue;
+            };
+            if Some(cu) == my_c {
+                continue;
+            }
+            let cand = (w, e);
+            best.entry(cu)
+                .and_modify(|cur| {
+                    if lighter(cand, *cur) {
+                        *cur = cand;
+                    }
+                })
+                .or_insert(cand);
+        }
+        for (_, &(_, e)) in best.iter() {
+            spanner.push(e);
+        }
+    }
+
+    spanner.sort_unstable();
+    spanner.dedup();
+    SpannerResult {
+        edges: spanner,
+        k,
+        charged_rounds: (k * k) as u64,
+    }
+}
+
+/// Corollary 1's parameter: `k = ⌈log n / log log n⌉` turns the size into
+/// `Õ(n)` and the stretch into `O(log n / log log n)`.
+pub fn corollary1_k(n: usize) -> usize {
+    let ln_n = (n.max(3) as f64).ln();
+    let ln_ln_n = ln_n.ln().max(1.0);
+    (ln_n / ln_ln_n).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::algo::apsp::{apsp_weighted, measure_stretch_weighted};
+    use congest_graph::generators::{complete, gnp_connected, harary};
+    use congest_graph::WeightedGraph;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_weights(g: congest_graph::Graph, seed: u64) -> WeightedGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let w: Vec<f64> = (0..g.m()).map(|_| rng.gen_range(1..100) as f64).collect();
+        WeightedGraph::new(g, w)
+    }
+
+    fn check_stretch(g: &WeightedGraph, k: usize, seed: u64) -> (usize, f64) {
+        let spanner = baswana_sen_spanner(g, k, seed);
+        let h = spanner.as_graph(g);
+        let dg = apsp_weighted(g);
+        let dh = apsp_weighted(&h);
+        let stretch = measure_stretch_weighted(&dg, &dh).expect("spanner must dominate distances");
+        assert!(
+            stretch <= (2 * k - 1) as f64 + 1e-9,
+            "stretch {stretch} exceeds 2k-1 = {}",
+            2 * k - 1
+        );
+        (spanner.size(), stretch)
+    }
+
+    #[test]
+    fn k1_returns_whole_graph() {
+        let g = random_weights(complete(10), 1);
+        let (size, stretch) = check_stretch(&g, 1, 2);
+        assert_eq!(size, g.m());
+        assert!((stretch - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k2_spanner_on_complete_graph() {
+        let g = random_weights(complete(30), 3);
+        let (size, _) = check_stretch(&g, 2, 4);
+        // O(k n^{1.5}) = 2·164 ≈ 330 ≫ size; must beat the full 435 edges.
+        assert!(size < g.m(), "spanner must drop edges on K_30");
+    }
+
+    #[test]
+    fn k3_spanner_on_random_graph() {
+        let g = random_weights(gnp_connected(60, 0.3, 5), 6);
+        let (size, _) = check_stretch(&g, 3, 7);
+        let bound = 6.0 * 3.0 * (60f64).powf(1.0 + 1.0 / 3.0);
+        assert!(
+            (size as f64) < bound,
+            "size {size} exceeds O(k·n^(1+1/k)) slack bound {bound:.0}"
+        );
+    }
+
+    #[test]
+    fn stretch_on_harary_unit_weights() {
+        let g = WeightedGraph::unit(harary(6, 36));
+        check_stretch(&g, 2, 9);
+        check_stretch(&g, 3, 10);
+    }
+
+    #[test]
+    fn spanner_is_deterministic_in_seed() {
+        let g = random_weights(gnp_connected(40, 0.3, 2), 3);
+        let a = baswana_sen_spanner(&g, 3, 42);
+        let b = baswana_sen_spanner(&g, 3, 42);
+        let c = baswana_sen_spanner(&g, 3, 43);
+        assert_eq!(a.edges, b.edges);
+        // Different seeds will (almost surely) differ on a 40-node graph.
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn corollary1_parameter() {
+        // ln 3 ≈ 1.1, ln ln clamped to 1 ⇒ k = ⌈1.1⌉ = 2.
+        assert_eq!(corollary1_k(3), 2);
+        let k = corollary1_k(1_000_000);
+        // ln(1e6) ≈ 13.8, ln ln ≈ 2.63 ⇒ k = ⌈5.25⌉ = 6.
+        assert_eq!(k, 6);
+    }
+
+    #[test]
+    fn charged_rounds_are_k_squared() {
+        let g = WeightedGraph::unit(complete(12));
+        let s = baswana_sen_spanner(&g, 4, 1);
+        assert_eq!(s.charged_rounds, 16);
+    }
+}

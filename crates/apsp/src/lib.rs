@@ -1,0 +1,30 @@
+//! # congest-apsp — approximate APSP in `Õ(n/λ)` rounds (paper §4.1–4.2)
+//!
+//! Two applications of the fast broadcast:
+//!
+//! * **Unweighted (3,2)-approximate APSP** (Theorem 4, module
+//!   [`unweighted`]): decompose the graph into `Õ(n/δ)` constant-diameter
+//!   clusters ([`clustering`]), run the Peleg–Roditty–Tal APSP on the
+//!   cluster graph ([`prt12`]), and broadcast the cluster assignment with
+//!   Theorem 1 so every node can evaluate
+//!   `d̃(u,v) = 3·d_Gc(s(u), s(v)) + 2` locally.
+//! * **Weighted (2k−1)-approximate APSP** (Theorem 5 / Corollary 1,
+//!   module [`weighted`]): build a Baswana–Sen spanner
+//!   ([`baswana_sen`]) with `O(k·n^{1+1/k})` edges and broadcast it whole;
+//!   every node then solves APSP on the spanner locally.
+//!
+//! Round accounting is split between *measured* phases (the clustering
+//! protocol and every broadcast run as real message passing) and *charged*
+//! phases (the PRT12 simulation at 3 G-rounds per cluster-graph round per
+//! Lemma 6's proof, and Baswana–Sen's `O(k²)` rounds per \[BS07\]) — each
+//! entry in the returned [`congest_sim::PhaseLog`] is labelled accordingly.
+
+pub mod baswana_sen;
+pub mod clustering;
+pub mod prt12;
+pub mod unweighted;
+pub mod weighted;
+
+pub use baswana_sen::baswana_sen_spanner;
+pub use unweighted::{unweighted_apsp_approx, UnweightedApspOutcome};
+pub use weighted::{weighted_apsp_approx, WeightedApspOutcome};

@@ -1,0 +1,53 @@
+//! Criterion bench comparing the three tree-packing constructions
+//! (Theorem 2 partition, greedy Kruskal, exact matroid union) and the
+//! scheduled multi-tree broadcast.
+
+use congest_core::broadcast::BroadcastInput;
+use congest_graph::generators::harary;
+use congest_packing::greedy::random_disjoint_spanning_trees;
+use congest_packing::matroid::{exact_tree_packing, matroid_forest_packing};
+use congest_packing::random_partition::partition_packing_retrying;
+use congest_packing::scheduled_broadcast::scheduled_packing_broadcast;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_packing_algos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_packing_algorithms");
+    group.sample_size(10);
+    let g = harary(16, 96);
+    group.bench_function("partition_3_trees", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            partition_packing_retrying(&g, 3, 0, seed, 30).unwrap()
+        })
+    });
+    group.bench_function("greedy_random_3_trees", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            random_disjoint_spanning_trees(&g, 3, seed)
+        })
+    });
+    group.bench_function("matroid_exact_8_trees", |b| {
+        b.iter(|| exact_tree_packing(&g, 8, 0).expect("⌊16/2⌋ trees"))
+    });
+    group.bench_function("matroid_forests_max", |b| {
+        b.iter(|| matroid_forest_packing(&g, 8))
+    });
+
+    let packing = exact_tree_packing(&g, 4, 0).unwrap();
+    let input = BroadcastInput::random_spread(&g, 192, 1);
+    group.bench_function("scheduled_broadcast_4_trees_k192", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let out = scheduled_packing_broadcast(&g, &packing, &input, 4, seed).unwrap();
+            assert!(out.all_delivered());
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing_algos);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for E1 (Lemma 5): cost of sampling + spanning check on
+//! the workhorse family.
+
+use congest_core::partition::sample_edges;
+use congest_graph::algo::components::is_spanning_connected;
+use congest_graph::generators::harary;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_lemma5_sampling");
+    group.sample_size(10);
+    for (lambda, n) in [(16usize, 128usize), (32, 256)] {
+        let g = harary(lambda, n);
+        let p = 2.0 * (n as f64).ln() / lambda as f64;
+        group.bench_with_input(
+            BenchmarkId::new("sample+span_check", format!("lam{lambda}_n{n}")),
+            &g,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mask = sample_edges(g, p, seed);
+                    is_spanning_connected(g, |e| mask[e as usize])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for E2 (Theorem 2): centralized packing construction
+//! versus the full distributed protocol run.
+
+use congest_graph::generators::harary;
+use congest_packing::random_partition::{
+    partition_packing_distributed, partition_packing_retrying,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_theorem2_partition");
+    group.sample_size(10);
+    for (lambda, n, trees) in [(16usize, 128usize, 2usize), (32, 256, 4)] {
+        let g = harary(lambda, n);
+        group.bench_with_input(
+            BenchmarkId::new("centralized", format!("lam{lambda}_n{n}")),
+            &g,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    partition_packing_retrying(g, trees, 0, seed, 30).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("distributed", format!("lam{lambda}_n{n}")),
+            &g,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    for attempt in 0..30u64 {
+                        if let Ok(ok) =
+                            partition_packing_distributed(g, trees, 0, seed + attempt * 0x9E37)
+                        {
+                            return ok;
+                        }
+                    }
+                    panic!("no spanning partition in 30 attempts");
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for E3 (Theorem 1 vs textbook): wall-clock of the full
+//! simulated pipelines.
+
+use congest_core::broadcast::{
+    partition_broadcast_retrying, BroadcastConfig, BroadcastInput, DEFAULT_PARTITION_C,
+};
+use congest_core::partition::PartitionParams;
+use congest_core::textbook::textbook_broadcast;
+use congest_graph::generators::harary;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_broadcast");
+    group.sample_size(10);
+    let lambda = 16usize;
+    let n = 96usize;
+    let g = harary(lambda, n);
+    for k_mult in [1usize, 4] {
+        let k = n * k_mult;
+        let input = BroadcastInput::random_spread(&g, k, 3);
+        let params = PartitionParams::from_lambda(n, lambda, DEFAULT_PARTITION_C);
+        group.bench_with_input(BenchmarkId::new("theorem1", k), &input, |b, input| {
+            b.iter(|| {
+                partition_broadcast_retrying(&g, input, params, &BroadcastConfig::with_seed(7), 20)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("textbook", k), &input, |b, input| {
+            b.iter(|| textbook_broadcast(&g, input, 7).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for E6: packing construction + stats on standard and
+//! lower-bound families.
+
+use congest_graph::generators::{gk13_lower_bound, harary};
+use congest_packing::matroid::exact_tree_packing;
+use congest_packing::random_partition::partition_packing_retrying;
+use congest_packing::sampled::{lemma5_probability, sampled_packing};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_packing");
+    group.sample_size(10);
+    let g = harary(16, 128);
+    group.bench_function("theorem2_packing_harary16_128", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (p, _, _) = partition_packing_retrying(&g, 3, 0, seed, 30).unwrap();
+            p.stats(&g)
+        })
+    });
+    group.bench_function("sampled_packing_harary16_128", |b| {
+        let p = lemma5_probability(128, 16, 2.0);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sampled_packing(&g, 16, p, 0, seed).unwrap().packing.stats(&g)
+        })
+    });
+    // GK13's λ is deliberately below the random partition's log n regime;
+    // packings there come from the exact matroid-union algorithm.
+    let (lb, _) = gk13_lower_bound(32, 6);
+    group.bench_function("matroid_packing_gk13_32x6", |b| {
+        b.iter(|| {
+            let p = exact_tree_packing(&lb, 2, 0).expect("2 trees exist");
+            p.stats(&lb)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for E7 (Theorem 4): the full (3,2)-APSP pipeline.
+
+use congest_apsp::unweighted_apsp_approx;
+use congest_graph::generators::harary;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_apsp_unweighted");
+    group.sample_size(10);
+    for (lambda, n) in [(8usize, 64usize), (16, 96)] {
+        let g = harary(lambda, n);
+        group.bench_with_input(
+            BenchmarkId::new("theorem4", format!("lam{lambda}_n{n}")),
+            &g,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    unweighted_apsp_approx(g, lambda, seed).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apsp);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for E8 (Theorem 5): Baswana–Sen construction and the
+//! full spanner-broadcast APSP pipeline.
+
+use congest_apsp::baswana_sen::baswana_sen_spanner;
+use congest_apsp::weighted_apsp_approx;
+use congest_graph::generators::harary;
+use congest_graph::WeightedGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn weighted(lambda: usize, n: usize, seed: u64) -> WeightedGraph {
+    let g = harary(lambda, n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let w: Vec<f64> = (0..g.m()).map(|_| rng.gen_range(1..100) as f64).collect();
+    WeightedGraph::new(g, w)
+}
+
+fn bench_spanner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_apsp_weighted");
+    group.sample_size(10);
+    let g = weighted(16, 96, 1);
+    for k in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("baswana_sen", k), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                baswana_sen_spanner(g, k, seed)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_pipeline", k), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                weighted_apsp_approx(g, k, 16, seed).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spanner);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for E9 (Theorems 6–7): sparsifier construction and cut
+//! evaluation.
+
+use congest_graph::generators::complete;
+use congest_graph::WeightedGraph;
+use congest_sparsify::cuts::evaluate_cuts;
+use congest_sparsify::koutis_xu::koutis_xu_unit;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_sparsify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_sparsify");
+    group.sample_size(10);
+    let g = complete(96);
+    for eps in [0.5f64, 0.3] {
+        group.bench_with_input(
+            BenchmarkId::new("koutis_xu_K96", format!("{eps}")),
+            &g,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    koutis_xu_unit(g, eps, seed)
+                })
+            },
+        );
+    }
+    let sp = koutis_xu_unit(&g, 0.5, 3);
+    let wg = WeightedGraph::unit(g.clone());
+    group.bench_function("evaluate_cuts_K96", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            evaluate_cuts(&wg, &sp, 32, seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparsify);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Engine-throughput bench (not a paper claim): rounds/second of the
+//! CONGEST engine under a chatty protocol, serial vs parallel stepping —
+//! the hpc-parallel "did rayon help" check.
+
+use congest_graph::generators::{harary, torus2d};
+use congest_graph::Graph;
+use congest_sim::{run_protocol, EngineConfig, NodeCtx, Protocol};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Every node sends a counter to all neighbors for `rounds` rounds.
+struct Chatter {
+    rounds: u64,
+}
+
+impl Protocol for Chatter {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        let mut acc = 0u64;
+        for (_, &m) in ctx.inbox() {
+            acc = acc.wrapping_add(m);
+        }
+        if ctx.round < self.rounds {
+            ctx.send_all(acc.wrapping_add(ctx.round));
+        } else {
+            ctx.set_done(true);
+        }
+    }
+    fn finish(self) -> u64 {
+        self.rounds
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("torus32x32", torus2d(32, 32)),
+        ("harary16_1024", harary(16, 1024)),
+    ];
+    for (name, g) in &graphs {
+        for parallel in [false, true] {
+            let label = if parallel { "parallel" } else { "serial" };
+            group.bench_with_input(BenchmarkId::new(*name, label), g, |b, g| {
+                b.iter(|| {
+                    let cfg = if parallel {
+                        EngineConfig::default()
+                    } else {
+                        EngineConfig::serial()
+                    };
+                    run_protocol(g, |_, _| Chatter { rounds: 50 }, cfg).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E1 — Lemma 5: random edge sampling at `p = C·ln n/λ` yields a spanning
+//! subgraph of diameter `O(C·n·ln n/δ)` w.h.p.
+//!
+//! Series: for each (family, C), over many seeds — fraction of samples
+//! that span, their max diameter, and the diameter normalized by the
+//! lemma's bound `C·n·ln n/δ` (should be a small constant, flat across n).
+
+use congest_bench::{f, Table};
+use congest_core::partition::sample_edges;
+use congest_graph::algo::components::is_spanning_connected;
+use congest_graph::algo::diameter::diameter_exact_restricted;
+use congest_graph::generators::{clique_chain, harary, thick_path};
+use congest_graph::Graph;
+
+fn main() {
+    println!("# E1 — Lemma 5: sampled-subgraph diameter");
+    println!("paper claim: p = C·ln n/λ ⇒ spanning, diameter O(C·n·ln n/δ), failure n^-Ω(C)");
+
+    let seeds: Vec<u64> = (0..10).collect();
+    let cases: Vec<(&str, Graph, usize)> = vec![
+        ("harary λ=8, n=128", harary(8, 128), 8),
+        ("harary λ=16, n=128", harary(16, 128), 16),
+        ("harary λ=16, n=256", harary(16, 256), 16),
+        ("harary λ=32, n=256", harary(32, 256), 32),
+        ("thick_path L=16 λ=12", thick_path(16, 12), 12),
+        ("clique_chain 6×24 b=8", clique_chain(6, 24, 8), 8),
+    ];
+
+    let mut t = Table::new(
+        "Lemma 5 sampling (10 seeds per row)",
+        &["family", "C", "p", "span%", "maxD", "meanD", "D·δ/(C·n·lnn)"],
+    );
+    for (name, g, lambda) in &cases {
+        let n = g.n() as f64;
+        let delta = g.min_degree() as f64;
+        for c in [1.0, 2.0, 4.0] {
+            let p = (c * n.ln() / *lambda as f64).min(1.0);
+            let mut spanned = 0usize;
+            let mut diams = Vec::new();
+            for &s in &seeds {
+                let mask = sample_edges(g, p, 0xE1 ^ s);
+                if is_spanning_connected(g, |e| mask[e as usize]) {
+                    spanned += 1;
+                    if let Some(d) = diameter_exact_restricted(g, &mask) {
+                        diams.push(d as f64);
+                    }
+                }
+            }
+            let max_d = diams.iter().cloned().fold(0.0, f64::max);
+            let mean_d = if diams.is_empty() {
+                0.0
+            } else {
+                diams.iter().sum::<f64>() / diams.len() as f64
+            };
+            let bound = c * n * n.ln() / delta;
+            t.row(vec![
+                name.to_string(),
+                f(c),
+                f(p),
+                format!("{}", spanned * 100 / seeds.len()),
+                f(max_d),
+                f(mean_d),
+                f(max_d / bound),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nshape check: span% → 100 as C grows; normalized diameter stays O(1) and flat in n.");
+}

@@ -1,0 +1,69 @@
+//! E2 — Theorem 2: the communication-free random partition into
+//! `λ′ = λ/(C·ln n)` classes makes every class a spanning subgraph of
+//! diameter `O(C·n·ln n/δ)` w.h.p.
+//!
+//! Series: per (family, λ′) — fraction of seeds where *all* classes span,
+//! worst class diameter, and its ratio to the Theorem 2 bound. Also the
+//! distributed round cost (partition = 1 round + parallel BFS rounds).
+
+use congest_bench::{f, Table};
+use congest_core::partition::{EdgePartition, PartitionParams};
+use congest_graph::generators::{clique_chain, complete, harary, thick_path};
+use congest_graph::Graph;
+use congest_packing::random_partition::partition_packing_distributed;
+
+fn main() {
+    println!("# E2 — Theorem 2: random edge partition");
+    println!("paper claim: all λ' classes span with diameter O(C·n·ln n/δ); distributed cost = 1 round + parallel BFS");
+
+    let seeds: Vec<u64> = (0..10).collect();
+    let cases: Vec<(&str, Graph, usize)> = vec![
+        ("harary λ=16, n=128", harary(16, 128), 16),
+        ("harary λ=32, n=128", harary(32, 128), 32),
+        ("harary λ=32, n=256", harary(32, 256), 32),
+        ("K_128 (λ=127)", complete(128), 127),
+        ("thick_path L=12 λ=16", thick_path(12, 16), 16),
+        ("clique_chain 5×32 b=12", clique_chain(5, 32, 12), 12),
+    ];
+
+    let mut t = Table::new(
+        "Theorem 2 partition (10 seeds per row)",
+        &["family", "λ'", "all-span%", "worstD", "D·δ/(n·lnn)", "bfs rounds"],
+    );
+    for (name, g, lambda) in &cases {
+        let n = g.n() as f64;
+        let delta = g.min_degree() as f64;
+        for c in [2.0, 4.0] {
+            let lp = PartitionParams::from_lambda(g.n(), *lambda, c).num_subgraphs;
+            if lp < 2 {
+                continue;
+            }
+            let mut all_span = 0usize;
+            let mut worst_d = 0u32;
+            let mut bfs_rounds = 0u64;
+            for &s in &seeds {
+                let part = EdgePartition::compute(g, PartitionParams::explicit(lp), 0xE2 ^ s);
+                let diams = part.subgraph_diameters(g);
+                if diams.iter().all(|d| d.is_some()) {
+                    all_span += 1;
+                    worst_d = worst_d.max(diams.iter().map(|d| d.unwrap()).max().unwrap());
+                }
+                if s == 0 {
+                    if let Ok((_, phases)) = partition_packing_distributed(g, lp, 0, 0xE2 ^ s) {
+                        bfs_rounds = phases.rounds_of("subgraph-bfs").unwrap_or(0);
+                    }
+                }
+            }
+            t.row(vec![
+                name.to_string(),
+                format!("{lp}"),
+                format!("{}", all_span * 100 / seeds.len()),
+                format!("{worst_d}"),
+                f(worst_d as f64 * delta / (n * n.ln())),
+                format!("{bfs_rounds}"),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nshape check: all-span% ≈ 100; normalized worst diameter O(1); BFS rounds track worst diameter.");
+}

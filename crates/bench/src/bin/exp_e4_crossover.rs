@@ -1,0 +1,70 @@
+//! E4 — §3.2: the combined bound `min{O(D+k), Õ((n+k)/λ)}` and the
+//! empirical crossover k*(λ) where the partition broadcast overtakes the
+//! textbook algorithm.
+//!
+//! Series: for each λ, scan k and report the first k where Theorem 1's
+//! measured rounds drop below the textbook's. Higher λ ⇒ earlier
+//! crossover (more parallel trees amortize the log-factor overhead).
+
+use congest_bench::{f, Table};
+use congest_core::broadcast::{
+    partition_broadcast_retrying, BroadcastConfig, BroadcastInput, DEFAULT_PARTITION_C,
+};
+use congest_core::partition::PartitionParams;
+use congest_core::textbook::textbook_broadcast;
+use congest_graph::generators::harary;
+
+fn main() {
+    println!("# E4 — crossover between textbook and Theorem 1");
+    println!("paper claim: broadcast solvable in min{{O(D+k), Õ((n+k)/λ)}}; crossover k* shrinks as λ grows");
+
+    let n = 144usize;
+    let mut t = Table::new(
+        "crossover scan (n = 144, k doubling)",
+        &["λ", "λ'", "k", "thm1", "textbook", "winner"],
+    );
+    for lambda in [8usize, 16, 32, 48] {
+        let g = harary(lambda, n);
+        let params = PartitionParams::from_lambda(n, lambda, DEFAULT_PARTITION_C);
+        let mut crossover: Option<usize> = None;
+        let mut k = n / 4;
+        while k <= 16 * n {
+            let input = BroadcastInput::random_spread(&g, k, 0xE4);
+            let (out, _) = partition_broadcast_retrying(
+                &g,
+                &input,
+                params,
+                &BroadcastConfig::with_seed(0xE4),
+                20,
+            )
+            .expect("broadcast");
+            let tb = textbook_broadcast(&g, &input, 0xE4).expect("textbook");
+            let winner = if out.total_rounds < tb.total_rounds {
+                "thm1"
+            } else {
+                "textbook"
+            };
+            if winner == "thm1" && crossover.is_none() {
+                crossover = Some(k);
+            }
+            t.row(vec![
+                format!("{lambda}"),
+                format!("{}", out.num_subgraphs),
+                format!("{k}"),
+                format!("{}", out.total_rounds),
+                format!("{}", tb.total_rounds),
+                winner.to_string(),
+            ]);
+            k *= 2;
+        }
+        println!(
+            "λ = {lambda:>2}: crossover k* = {}",
+            crossover.map_or("none in range".into(), |k| format!(
+                "{k} (k/n = {})",
+                f(k as f64 / n as f64)
+            ))
+        );
+    }
+    t.print();
+    println!("\nshape check: for fixed n, k* decreases (or winner flips earlier) as λ increases.");
+}

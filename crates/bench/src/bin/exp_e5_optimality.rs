@@ -1,0 +1,60 @@
+//! E5 — Theorem 3 + §3.2: universal optimality in the `k = Ω(n)` regime.
+//!
+//! Any algorithm needs `Ω(k/λ)` rounds (Theorem 3, information-theoretic,
+//! holds for every graph). Theorem 1's measured rounds divided by that
+//! bound must therefore stay `O(log n)` — the universal-optimality ratio.
+//!
+//! Series: across families and sizes at `k = 2n`, report measured rounds,
+//! the Theorem 3 bound, their ratio, and the ratio normalized by ln n
+//! (should be a flat constant).
+
+use congest_bench::{f, Table};
+use congest_core::broadcast::{
+    partition_broadcast_retrying, BroadcastConfig, BroadcastInput, DEFAULT_PARTITION_C,
+};
+use congest_core::lower_bounds::theorem3_broadcast_lb;
+use congest_core::partition::PartitionParams;
+use congest_graph::generators::{clique_chain, complete, harary};
+use congest_graph::Graph;
+
+fn main() {
+    println!("# E5 — universal optimality ratio (k = 2n)");
+    println!("paper claim: rounds / Ω(k/λ) = O(log n) for every graph");
+
+    let cases: Vec<(&str, Graph, usize)> = vec![
+        ("harary λ=16 n=96", harary(16, 96), 16),
+        ("harary λ=16 n=192", harary(16, 192), 16),
+        ("harary λ=32 n=192", harary(32, 192), 32),
+        ("harary λ=48 n=288", harary(48, 288), 48),
+        ("K_96", complete(96), 95),
+        ("clique_chain 4×32 b=16", clique_chain(4, 32, 16), 16),
+    ];
+
+    let mut t = Table::new(
+        "optimality ratios",
+        &["family", "n", "k", "rounds", "LB k/(2λ)", "ratio", "ratio/ln n"],
+    );
+    for (name, g, lambda) in &cases {
+        let n = g.n();
+        let k = 2 * n;
+        let input = BroadcastInput::random_spread(g, k, 0xE5);
+        let params = PartitionParams::from_lambda(n, *lambda, DEFAULT_PARTITION_C);
+        let (out, _) =
+            partition_broadcast_retrying(g, &input, params, &BroadcastConfig::with_seed(0xE5), 20)
+                .expect("broadcast");
+        assert!(out.all_delivered());
+        let lb = theorem3_broadcast_lb(k as u64, *lambda as u64);
+        let ratio = out.total_rounds as f64 / lb;
+        t.row(vec![
+            name.to_string(),
+            format!("{n}"),
+            format!("{k}"),
+            format!("{}", out.total_rounds),
+            f(lb),
+            f(ratio),
+            f(ratio / (n as f64).ln()),
+        ]);
+    }
+    t.print();
+    println!("\nshape check: 'ratio/ln n' is flat across rows — the O(log n) universal-optimality factor.");
+}

@@ -1,0 +1,54 @@
+//! E8 — Theorem 5 / Corollary 1: (2k−1)-approximate weighted APSP in
+//! `Õ(n^{1+1/k}/λ)` rounds via spanner broadcast.
+//!
+//! Series: sweep the stretch parameter k — verified stretch vs the 2k−1
+//! budget, spanner size vs the `k·n^{1+1/k}` law, and measured broadcast
+//! rounds shrinking as the spanner shrinks.
+
+use congest_apsp::baswana_sen::corollary1_k;
+use congest_apsp::weighted_apsp_approx;
+use congest_bench::{f, Table};
+use congest_graph::algo::apsp::{apsp_weighted, measure_stretch_weighted};
+use congest_graph::generators::harary;
+use congest_graph::WeightedGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("# E8 — (2k-1)-approximate weighted APSP via spanner broadcast");
+    println!("paper claim: stretch ≤ 2k-1 with m̃ = O(k·n^(1+1/k)) spanner edges broadcast in Õ(m̃/λ) rounds");
+
+    let lambda = 16usize;
+    let n = 96usize;
+    let base = harary(lambda, n);
+    let mut rng = SmallRng::seed_from_u64(0xE8);
+    let weights: Vec<f64> = (0..base.m()).map(|_| rng.gen_range(1..100) as f64).collect();
+    let g = WeightedGraph::new(base, weights);
+    let exact = apsp_weighted(&g);
+
+    let mut t = Table::new(
+        format!("k sweep on weighted harary λ={lambda} n={n} (m = {})", g.m()),
+        &["k", "2k-1", "measured stretch", "spanner edges", "k·n^(1+1/k)", "rounds"],
+    );
+    let c1k = corollary1_k(n);
+    for k in [1usize, 2, 3, 4, c1k] {
+        let out = weighted_apsp_approx(&g, k, lambda, 0xE8).expect("apsp");
+        let stretch = measure_stretch_weighted(&exact, &out.estimate)
+            .expect("spanner distances must dominate");
+        assert!(
+            stretch <= (2 * k - 1) as f64 + 1e-9,
+            "stretch bound violated at k = {k}"
+        );
+        let law = k as f64 * (n as f64).powf(1.0 + 1.0 / k as f64);
+        t.row(vec![
+            format!("{k}{}", if k == c1k { " (Cor.1)" } else { "" }),
+            format!("{}", 2 * k - 1),
+            f(stretch),
+            format!("{}", out.spanner_edges),
+            f(law),
+            format!("{}", out.total_rounds),
+        ]);
+    }
+    t.print();
+    println!("\nshape check: measured stretch ≤ 2k-1 always; spanner size and rounds fall as k grows.");
+}

@@ -1,0 +1,568 @@
+//! The paper's main result (Theorem 1): `k`-broadcast in
+//! `O((n log n)/δ + (k log n)/λ)` rounds.
+//!
+//! The algorithm is a sequential composition, exactly as in the proof:
+//!
+//! 1. **Leader election** (flood-max) — Lemma 1's prerequisite;
+//! 2. **BFS** on `G` from the leader (Lemma 2) — `O(D)` rounds;
+//! 3. **Numbering** of the `k` messages over the BFS tree (Lemma 3) —
+//!    `O(D)` rounds;
+//! 4. **Edge partition** into `λ′ = λ/(C log n)` classes (Theorem 2) —
+//!    one round;
+//! 5. **Parallel BFS** inside every class simultaneously
+//!    ([`crate::bfs::SubgraphBfs`]) — `O((n log n)/δ)` rounds, no
+//!    congestion conflicts because classes are edge-disjoint;
+//! 6. **Parallel pipelined routing**: message `j` is assigned to class
+//!    `⌊j/K⌋`, `K = ⌈k/λ′⌉`, and each class runs Lemma 1 on its own tree
+//!    concurrently ([`ParallelPipeline`]) —
+//!    `O(max_i (depth_i + k_i)) = O((n log n)/δ + (k log n)/λ)` rounds.
+//!
+//! Every phase is executed as real message passing and its round count
+//! recorded in a [`PhaseLog`]; the total is the number Theorem 1 bounds.
+
+use crate::bfs::{BfsProtocol, SubgraphBfs};
+use crate::convergecast::{Numbering, TreeView};
+use crate::leader::FloodMax;
+use crate::partition::{EdgePartitionProtocol, PartitionParams};
+use crate::pipeline::{expected_checksums, PipeCore, PipeMsg, PipeResult};
+use congest_graph::{Graph, Node, Port};
+use congest_sim::{run_protocol, EngineConfig, EngineError, MsgBits, NodeCtx, PhaseLog, Protocol, RunStats};
+
+/// The broadcast problem instance: `k` messages, message `i` initially at
+/// node `messages[i].0` with payload `messages[i].1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastInput {
+    pub messages: Vec<(Node, u64)>,
+}
+
+impl BroadcastInput {
+    /// All `k` messages at one node (the classic "source broadcast").
+    pub fn at_single_node(g: &Graph, node: Node, k: usize) -> Self {
+        assert!((node as usize) < g.n());
+        BroadcastInput {
+            messages: (0..k)
+                .map(|i| (node, congest_sim::rng::mix64(0x0B0E ^ i as u64)))
+                .collect(),
+        }
+    }
+
+    /// `k` messages at independently uniform nodes.
+    pub fn random_spread(g: &Graph, k: usize, seed: u64) -> Self {
+        let n = g.n() as u64;
+        assert!(n > 0);
+        BroadcastInput {
+            messages: (0..k)
+                .map(|i| {
+                    let h = congest_sim::rng::mix64(seed ^ congest_sim::rng::mix64(i as u64));
+                    ((h % n) as Node, congest_sim::rng::mix64(h))
+                })
+                .collect(),
+        }
+    }
+
+    /// One message per node ("everyone broadcasts"), k = n — the regime
+    /// where the algorithm is universally optimal (§3.2) and which powers
+    /// the broadcast-congested-clique simulation (§1.2).
+    pub fn one_per_node(g: &Graph) -> Self {
+        BroadcastInput {
+            messages: (0..g.n() as Node)
+                .map(|v| (v, congest_sim::rng::mix64(0xA11 ^ v as u64)))
+                .collect(),
+        }
+    }
+
+    pub fn k(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Payloads grouped by holder, preserving input order within a node.
+    pub fn payloads_by_node(&self, n: usize) -> Vec<Vec<u64>> {
+        let mut per = vec![Vec::new(); n];
+        for &(v, payload) in &self.messages {
+            per[v as usize].push(payload);
+        }
+        per
+    }
+}
+
+/// Tunables for the full pipeline.
+#[derive(Debug, Clone)]
+pub struct BroadcastConfig {
+    pub seed: u64,
+    /// Record full payload lists at every node (tests; memory-heavy).
+    pub record_payloads: bool,
+    /// Engine round limit per phase.
+    pub max_rounds: u64,
+}
+
+impl Default for BroadcastConfig {
+    fn default() -> Self {
+        BroadcastConfig {
+            seed: 0xB10C,
+            record_payloads: false,
+            max_rounds: 4_000_000,
+        }
+    }
+}
+
+impl BroadcastConfig {
+    pub fn with_seed(seed: u64) -> Self {
+        BroadcastConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn engine(&self, phase: u64) -> EngineConfig {
+        EngineConfig::with_seed(congest_sim::rng::phase_seed(self.seed, phase))
+            .max_rounds(self.max_rounds)
+    }
+}
+
+/// Why a broadcast failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BroadcastError {
+    /// A partition class failed to span (Theorem 2's low-probability
+    /// failure event — retry with a fresh seed or a smaller λ′).
+    NotSpanning { subgraph: u32, unreached: usize },
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for BroadcastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BroadcastError::NotSpanning { subgraph, unreached } => write!(
+                f,
+                "partition class {subgraph} left {unreached} nodes unreached (Theorem 2 failure event)"
+            ),
+            BroadcastError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BroadcastError {}
+
+impl From<EngineError> for BroadcastError {
+    fn from(e: EngineError) -> Self {
+        BroadcastError::Engine(e)
+    }
+}
+
+/// A completed broadcast with its full cost breakdown.
+#[derive(Debug, Clone)]
+pub struct BroadcastOutcome {
+    /// Per-phase round/message/congestion log.
+    pub phases: PhaseLog,
+    /// Headline number: total rounds across all phases.
+    pub total_rounds: u64,
+    /// Composed stats (congestion summed pessimistically across phases).
+    pub stats: RunStats,
+    /// λ′ actually used.
+    pub num_subgraphs: usize,
+    /// BFS-tree height of every partition class.
+    pub subgraph_heights: Vec<u32>,
+    /// Per-node delivery results.
+    pub per_node: Vec<PipeResult>,
+    /// Expected (xor, sum) checksums over all k messages.
+    pub expected: (u64, u64),
+    /// k.
+    pub k: u64,
+}
+
+impl BroadcastOutcome {
+    /// Did every node receive every message? (Count + two independent
+    /// order-invariant checksums.)
+    pub fn all_delivered(&self) -> bool {
+        self.per_node.iter().all(|r| {
+            r.delivered == self.k && (r.xor_check, r.sum_check) == self.expected
+        })
+    }
+}
+
+/// The paper's constant `C` in `λ′ = λ/(C ln n)`. Each partition class has
+/// expected degree `C·ln n`; `C = 1` sits exactly at the connectivity
+/// threshold, so the default uses `C = 2` — still within Theorem 2's
+/// `C = Ω(1)` regime, with failure probability decaying as `n^{-Ω(C)}`.
+pub const DEFAULT_PARTITION_C: f64 = 2.0;
+
+/// Theorem 1 with the paper's parameter choice `λ′ = max(1, ⌊λ/(C·ln n)⌋)`
+/// at the default `C` ([`DEFAULT_PARTITION_C`]).
+pub fn partition_broadcast(
+    g: &Graph,
+    input: &BroadcastInput,
+    lambda: usize,
+    seed: u64,
+) -> Result<BroadcastOutcome, BroadcastError> {
+    let params = PartitionParams::from_lambda(g.n(), lambda, DEFAULT_PARTITION_C);
+    partition_broadcast_with(g, input, params, &BroadcastConfig::with_seed(seed))
+}
+
+/// Theorem 1 with explicit parameters. See the module docs for the phase
+/// structure.
+pub fn partition_broadcast_with(
+    g: &Graph,
+    input: &BroadcastInput,
+    params: PartitionParams,
+    cfg: &BroadcastConfig,
+) -> Result<BroadcastOutcome, BroadcastError> {
+    let n = g.n();
+    let k = input.k() as u64;
+    let lp = params.num_subgraphs;
+    let mut phases = PhaseLog::new();
+
+    // Phase 1: leader election.
+    let leaders = run_protocol(g, |v, _| FloodMax::new(v), cfg.engine(1))?;
+    phases.record("leader-election", leaders.stats);
+    let root = leaders.outputs[0].leader;
+
+    // Phase 2: BFS on G from the leader.
+    let bfs = run_protocol(g, |v, _| BfsProtocol::new(root, v), cfg.engine(2))?;
+    phases.record("bfs", bfs.stats);
+    let views: Vec<TreeView> = bfs.outputs.iter().map(TreeView::from_bfs).collect();
+
+    // Phase 3: Lemma 3 numbering of the k messages.
+    let payloads = input.payloads_by_node(n);
+    let numbering = run_protocol(
+        g,
+        |v, _| Numbering::new(views[v as usize].clone(), payloads[v as usize].len() as u64),
+        cfg.engine(3),
+    )?;
+    phases.record("numbering", numbering.stats);
+    debug_assert!(numbering.outputs.iter().all(|&(_, total)| total == k));
+
+    // Locally at each node: message j (input order) gets id start_v + j.
+    let ids_by_node: Vec<Vec<u32>> = (0..n)
+        .map(|v| {
+            let (start, _) = numbering.outputs[v];
+            (0..payloads[v].len() as u64)
+                .map(|j| (start + j) as u32)
+                .collect()
+        })
+        .collect();
+
+    // Phase 4: edge partition (one round).
+    let part_protocol = run_protocol(
+        g,
+        |v, gr| EdgePartitionProtocol::new(v, cfg.seed, lp, gr.degree(v)),
+        cfg.engine(4),
+    )?;
+    phases.record("edge-partition", part_protocol.stats);
+    let port_colors: Vec<Vec<u32>> = part_protocol.outputs;
+
+    // Phase 5: parallel BFS in every class.
+    let sub_bfs = run_protocol(
+        g,
+        |v, _| SubgraphBfs::new(root, v, port_colors[v as usize].clone(), lp),
+        cfg.engine(5),
+    )?;
+    phases.record("subgraph-bfs", sub_bfs.stats);
+    // Verify Theorem 2's event: every class spans.
+    for c in 0..lp {
+        let unreached = (0..n).filter(|&v| !sub_bfs.outputs[v][c].reached).count();
+        if unreached > 0 {
+            return Err(BroadcastError::NotSpanning {
+                subgraph: c as u32,
+                unreached,
+            });
+        }
+    }
+    let subgraph_heights: Vec<u32> = (0..lp)
+        .map(|c| (0..n).map(|v| sub_bfs.outputs[v][c].depth).max().unwrap_or(0))
+        .collect();
+
+    // Phase 6: parallel pipelined routing. Message id j → class ⌊j/K⌋.
+    let cap = ceil_div(k.max(1), lp as u64);
+    let color_of_id = |id: u32| ((id as u64 / cap).min(lp as u64 - 1)) as usize;
+    let mut k_per_class = vec![0u64; lp];
+    for v in 0..n {
+        for &id in &ids_by_node[v] {
+            k_per_class[color_of_id(id)] += 1;
+        }
+    }
+    let routing = run_protocol(
+        g,
+        |v, _| {
+            let vi = v as usize;
+            let cores = (0..lp)
+                .map(|c| {
+                    let own: Vec<PipeMsg> = ids_by_node[vi]
+                        .iter()
+                        .zip(payloads[vi].iter())
+                        .filter(|(&id, _)| color_of_id(id) == c)
+                        .map(|(&id, &payload)| PipeMsg { id, payload })
+                        .collect();
+                    PipeCore::new(
+                        TreeView::from_bfs(&sub_bfs.outputs[vi][c]),
+                        k_per_class[c],
+                        own,
+                        cfg.record_payloads,
+                    )
+                })
+                .collect();
+            ParallelPipeline::new(cores)
+        },
+        cfg.engine(6),
+    )?;
+    phases.record("parallel-routing", routing.stats);
+
+    // Expected checksums from the id assignment.
+    let all_msgs: Vec<(u32, u64)> = (0..n)
+        .flat_map(|v| {
+            ids_by_node[v]
+                .iter()
+                .zip(payloads[v].iter())
+                .map(|(&id, &p)| (id, p))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let expected = expected_checksums(all_msgs.iter());
+
+    let stats = phases.total();
+    Ok(BroadcastOutcome {
+        total_rounds: phases.total_rounds(),
+        phases,
+        stats,
+        num_subgraphs: lp,
+        subgraph_heights,
+        per_node: routing.outputs,
+        expected,
+        k,
+    })
+}
+
+/// Retry wrapper: Theorem 2 succeeds w.h.p., so on the rare `NotSpanning`
+/// event re-randomize (fresh seed) up to `attempts` times.
+pub fn partition_broadcast_retrying(
+    g: &Graph,
+    input: &BroadcastInput,
+    params: PartitionParams,
+    cfg: &BroadcastConfig,
+    attempts: usize,
+) -> Result<(BroadcastOutcome, usize), BroadcastError> {
+    let mut last_err = None;
+    for attempt in 0..attempts.max(1) {
+        let mut c = cfg.clone();
+        c.seed = cfg.seed.wrapping_add(attempt as u64 * 0x9E37_79B9);
+        match partition_broadcast_with(g, input, params, &c) {
+            Ok(outcome) => return Ok((outcome, attempt + 1)),
+            Err(e @ BroadcastError::NotSpanning { .. }) => last_err = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
+}
+
+#[inline]
+fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+/// One message on the wire during parallel routing: the class tag plus the
+/// usual pipeline payload. Classes are edge-disjoint, so each port only
+/// ever carries its own class's messages — the tag is for safety checking
+/// and for the scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct ColoredPipeMsg {
+    pub color: u16,
+    pub inner: PipeMsg,
+}
+
+impl MsgBits for ColoredPipeMsg {
+    fn bits(&self) -> usize {
+        16 + self.inner.bits()
+    }
+}
+
+/// λ′ pipelined broadcasts running concurrently, one per partition class,
+/// each confined to its own class's tree edges.
+pub struct ParallelPipeline {
+    cores: Vec<PipeCore>,
+}
+
+impl ParallelPipeline {
+    pub fn new(cores: Vec<PipeCore>) -> Self {
+        ParallelPipeline { cores }
+    }
+}
+
+impl Protocol for ParallelPipeline {
+    type Msg = ColoredPipeMsg;
+    type Output = PipeResult;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, ColoredPipeMsg>) {
+        let arrivals: Vec<(Port, ColoredPipeMsg)> = ctx.inbox().map(|(p, m)| (p, *m)).collect();
+        for (p, m) in arrivals {
+            self.cores[m.color as usize].on_receive(p, m.inner);
+        }
+        for c in 0..self.cores.len() {
+            let (up, down) = self.cores[c].emit();
+            if let Some(m) = up {
+                let pp = self.cores[c].tree().parent_port.expect("non-root sends up");
+                ctx.send(
+                    pp,
+                    ColoredPipeMsg {
+                        color: c as u16,
+                        inner: m,
+                    },
+                );
+            }
+            if let Some(m) = down {
+                for &child in &self.cores[c].tree().children_ports.clone() {
+                    ctx.send(
+                        child,
+                        ColoredPipeMsg {
+                            color: c as u16,
+                            inner: m,
+                        },
+                    );
+                }
+            }
+        }
+        ctx.set_done(self.cores.iter().all(|c| c.complete()));
+    }
+
+    fn finish(self) -> PipeResult {
+        // Fold per-class results into one node-level result.
+        let mut delivered = 0;
+        let mut xor_check = 0u64;
+        let mut sum_check = 0u64;
+        let mut recorded: Option<Vec<(u32, u64)>> = None;
+        for core in self.cores {
+            let r = core.into_result();
+            delivered += r.delivered;
+            xor_check ^= r.xor_check;
+            sum_check = sum_check.wrapping_add(r.sum_check);
+            if let Some(mut rec) = r.recorded {
+                recorded.get_or_insert_with(Vec::new).append(&mut rec);
+            }
+        }
+        PipeResult {
+            delivered,
+            xor_check,
+            sum_check,
+            recorded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{clique_chain, complete, harary, hypercube};
+
+    #[test]
+    fn broadcast_on_harary_all_delivered() {
+        let g = harary(16, 48);
+        let input = BroadcastInput::random_spread(&g, 96, 5);
+        let out = partition_broadcast(&g, &input, 16, 17).unwrap();
+        assert!(out.all_delivered());
+        assert_eq!(out.k, 96);
+        assert!(out.num_subgraphs >= 2, "λ = 16 must yield parallelism");
+        assert_eq!(out.phases.len(), 6);
+    }
+
+    #[test]
+    fn broadcast_single_source() {
+        let g = complete(32);
+        let input = BroadcastInput::at_single_node(&g, 7, 50);
+        let out = partition_broadcast(&g, &input, 31, 3).unwrap();
+        assert!(out.all_delivered());
+        // λ' = ⌊31/(2·ln 32)⌋ = 4 classes on K_32.
+        assert_eq!(out.num_subgraphs, 4);
+    }
+
+    #[test]
+    fn one_per_node_regime() {
+        let g = hypercube(5); // n = 32, λ = 5
+        let input = BroadcastInput::one_per_node(&g);
+        // λ = 5, ln 32 ≈ 3.47 ⇒ λ' = 1 (degenerate single tree), still valid.
+        let out = partition_broadcast(&g, &input, 5, 9).unwrap();
+        assert!(out.all_delivered());
+        assert_eq!(out.num_subgraphs, 1);
+    }
+
+    #[test]
+    fn explicit_subgraph_count() {
+        // λ = 16 split 3 ways: class degree ≈ 5.3 > ln 48 — spans w.h.p.;
+        // retry wrapper absorbs the residual failure probability.
+        let g = harary(16, 48);
+        let input = BroadcastInput::random_spread(&g, 80, 1);
+        let (out, _) = partition_broadcast_retrying(
+            &g,
+            &input,
+            PartitionParams::explicit(3),
+            &BroadcastConfig::with_seed(2),
+            10,
+        )
+        .unwrap();
+        assert!(out.all_delivered());
+        assert_eq!(out.num_subgraphs, 3);
+        assert_eq!(out.subgraph_heights.len(), 3);
+    }
+
+    #[test]
+    fn failure_detected_when_too_many_classes() {
+        // λ = 2 but demand 16 classes on a sparse graph: classes can't all
+        // span; must report NotSpanning (never silently mis-deliver).
+        let g = congest_graph::generators::cycle(16);
+        let input = BroadcastInput::random_spread(&g, 8, 0);
+        let err = partition_broadcast_with(
+            &g,
+            &input,
+            PartitionParams::explicit(16),
+            &BroadcastConfig::with_seed(0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BroadcastError::NotSpanning { .. }));
+    }
+
+    #[test]
+    fn retrying_succeeds_on_borderline_partition() {
+        let g = clique_chain(3, 12, 6);
+        let input = BroadcastInput::random_spread(&g, 40, 4);
+        // λ = 6; two classes is borderline but should succeed within a few
+        // seeds.
+        let (out, attempts) = partition_broadcast_retrying(
+            &g,
+            &input,
+            PartitionParams::explicit(2),
+            &BroadcastConfig::with_seed(77),
+            20,
+        )
+        .unwrap();
+        assert!(out.all_delivered());
+        assert!(attempts >= 1);
+    }
+
+    #[test]
+    fn record_payloads_collects_everything() {
+        let g = complete(16);
+        let input = BroadcastInput::random_spread(&g, 20, 6);
+        let mut cfg = BroadcastConfig::with_seed(8);
+        cfg.record_payloads = true;
+        let out =
+            partition_broadcast_with(&g, &input, PartitionParams::explicit(2), &cfg).unwrap();
+        assert!(out.all_delivered());
+        for r in &out.per_node {
+            let rec = r.recorded.as_ref().unwrap();
+            assert_eq!(rec.len(), 20);
+            // Payload multiset must equal the input's.
+            let mut got: Vec<u64> = rec.iter().map(|&(_, p)| p).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = input.messages.iter().map(|&(_, p)| p).collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn zero_messages() {
+        let g = complete(16);
+        let input = BroadcastInput {
+            messages: Vec::new(),
+        };
+        let out = partition_broadcast(&g, &input, 15, 1).unwrap();
+        assert!(out.all_delivered());
+        assert_eq!(out.k, 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Tree convergecast: aggregates and distributed item numbering (Lemma 3).
+//!
+//! Both protocols run on a rooted spanning tree described per node by
+//! `(parent_port, children_ports)` — exactly what [`crate::bfs`] outputs.
+//!
+//! * [`Aggregate`] folds an associative operation up the tree in
+//!   `O(depth)` rounds and broadcasts the result back down, giving every
+//!   node the global value (used for Lemma 4's "learn δ" and for the
+//!   validity checks in the exponential-search broadcast).
+//! * [`Numbering`] implements Lemma 3: with node `v` initially holding
+//!   `x_v` items, it assigns the items globally consecutive ids in
+//!   `[0, Σx_v)` in `O(depth)` rounds — each node learns the start of its
+//!   own range. The broadcast algorithm uses this to number the `k`
+//!   messages before splitting them across subgraphs.
+
+use congest_graph::Port;
+use congest_sim::{MsgBits, NodeCtx, Protocol};
+
+/// The rooted-tree view a node needs for convergecast protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeView {
+    /// Port to the parent (`None` at the root).
+    pub parent_port: Option<Port>,
+    /// Ports to the children.
+    pub children_ports: Vec<Port>,
+}
+
+impl TreeView {
+    /// Extract the tree view from a BFS result.
+    pub fn from_bfs(info: &crate::bfs::BfsNodeInfo) -> Self {
+        TreeView {
+            parent_port: info.parent_port,
+            children_ports: info.children_ports.clone(),
+        }
+    }
+}
+
+/// Associative operations for [`Aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl AggOp {
+    #[inline]
+    fn fold(self, a: u64, b: u64) -> u64 {
+        match self {
+            AggOp::Sum => a + b,
+            AggOp::Min => a.min(b),
+            AggOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Up/down message for tree protocols.
+#[derive(Debug, Clone, Copy)]
+pub enum UpDown {
+    Up(u64),
+    Down(u64),
+}
+
+impl MsgBits for UpDown {
+    fn bits(&self) -> usize {
+        1 + 64
+    }
+}
+
+/// Convergecast an aggregate to the root, then broadcast it back down.
+/// Every node outputs the global aggregate. `O(depth)` rounds each way.
+pub struct Aggregate {
+    tree: TreeView,
+    op: AggOp,
+    acc: u64,
+    pending_children: usize,
+    sent_up: bool,
+    result: Option<u64>,
+    forwarded_down: bool,
+}
+
+impl Aggregate {
+    pub fn new(tree: TreeView, op: AggOp, local_value: u64) -> Self {
+        let pending = tree.children_ports.len();
+        Aggregate {
+            tree,
+            op,
+            acc: local_value,
+            pending_children: pending,
+            sent_up: false,
+            result: None,
+            forwarded_down: false,
+        }
+    }
+}
+
+impl Protocol for Aggregate {
+    type Msg = UpDown;
+    type Output = u64;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, UpDown>) {
+        for (_, msg) in ctx.inbox() {
+            match *msg {
+                UpDown::Up(v) => {
+                    self.acc = self.op.fold(self.acc, v);
+                    self.pending_children -= 1;
+                }
+                UpDown::Down(v) => self.result = Some(v),
+            }
+        }
+        if self.pending_children == 0 && !self.sent_up {
+            self.sent_up = true;
+            match self.tree.parent_port {
+                Some(p) => ctx.send(p, UpDown::Up(self.acc)),
+                None => self.result = Some(self.acc), // root
+            }
+        }
+        if let (Some(r), false) = (self.result, self.forwarded_down) {
+            self.forwarded_down = true;
+            for &c in &self.tree.children_ports.clone() {
+                ctx.send(c, UpDown::Down(r));
+            }
+        }
+        ctx.set_done(true);
+    }
+
+    fn finish(self) -> u64 {
+        self.result.expect("aggregate completed")
+    }
+}
+
+/// Lemma 3 distributed numbering. Output per node: `(start, total)` — the
+/// node's items get ids `start..start + x_v`, and `total = Σ x_v` (learned
+/// for free, since the root's subtree count is the total and the down
+/// phase can carry it alongside).
+pub struct Numbering {
+    tree: TreeView,
+    x: u64,
+    /// Subtree counts reported by children, aligned with `children_ports`.
+    child_counts: Vec<Option<u64>>,
+    sent_up: bool,
+    assigned: Option<(u64, u64)>,
+    forwarded_down: bool,
+}
+
+/// Numbering needs two u64s downstream (range start + global total); the
+/// up direction carries one. One message per edge per direction overall.
+#[derive(Debug, Clone, Copy)]
+pub enum NumberingMsg {
+    /// Subtree item count.
+    Up(u64),
+    /// `(range_start, global_total)` for the receiving child's subtree.
+    Down(u64, u64),
+}
+
+impl MsgBits for NumberingMsg {
+    fn bits(&self) -> usize {
+        match self {
+            NumberingMsg::Up(_) => 1 + 64,
+            NumberingMsg::Down(..) => 1 + 128,
+        }
+    }
+}
+
+impl Numbering {
+    pub fn new(tree: TreeView, items: u64) -> Self {
+        let k = tree.children_ports.len();
+        Numbering {
+            tree,
+            x: items,
+            child_counts: vec![None; k],
+            sent_up: false,
+            assigned: None,
+            forwarded_down: false,
+        }
+    }
+
+    fn subtree_total(&self) -> u64 {
+        self.x + self
+            .child_counts
+            .iter()
+            .map(|c| c.unwrap_or(0))
+            .sum::<u64>()
+    }
+}
+
+impl Protocol for Numbering {
+    type Msg = NumberingMsg;
+    type Output = (u64, u64);
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, NumberingMsg>) {
+        for (port, msg) in ctx.inbox() {
+            match *msg {
+                NumberingMsg::Up(count) => {
+                    let idx = self
+                        .tree
+                        .children_ports
+                        .iter()
+                        .position(|&c| c == port)
+                        .expect("Up message must come from a child");
+                    self.child_counts[idx] = Some(count);
+                }
+                NumberingMsg::Down(start, total) => {
+                    self.assigned = Some((start, total));
+                }
+            }
+        }
+        let all_children_in = self.child_counts.iter().all(|c| c.is_some());
+        if all_children_in && !self.sent_up {
+            self.sent_up = true;
+            let total = self.subtree_total();
+            match self.tree.parent_port {
+                Some(p) => ctx.send(p, NumberingMsg::Up(total)),
+                None => self.assigned = Some((0, total)), // root starts at 0
+            }
+        }
+        if let (Some((start, total)), false) = (self.assigned, self.forwarded_down) {
+            self.forwarded_down = true;
+            // Own items take [start, start + x); children follow in port
+            // order, each child's subtree occupying a contiguous block.
+            let mut cursor = start + self.x;
+            for (i, &c) in self.tree.children_ports.clone().iter().enumerate() {
+                let cnt = self.child_counts[i].expect("counts complete");
+                ctx.send(c, NumberingMsg::Down(cursor, total));
+                cursor += cnt;
+            }
+        }
+        ctx.set_done(true);
+    }
+
+    fn finish(self) -> (u64, u64) {
+        self.assigned.expect("numbering completed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::BfsProtocol;
+    use congest_graph::generators::{complete, cycle, path, torus2d};
+    use congest_graph::Graph;
+    use congest_sim::{run_protocol, EngineConfig};
+
+    fn tree_views(g: &Graph, root: u32) -> Vec<TreeView> {
+        run_protocol(g, |v, _| BfsProtocol::new(root, v), EngineConfig::default())
+            .unwrap()
+            .outputs
+            .iter()
+            .map(TreeView::from_bfs)
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_sum_min_max() {
+        let g = torus2d(4, 4);
+        let views = tree_views(&g, 0);
+        for (op, expect) in [
+            (AggOp::Sum, (0..16u64).sum::<u64>()),
+            (AggOp::Min, 0),
+            (AggOp::Max, 15),
+        ] {
+            let out = run_protocol(
+                &g,
+                |v, _| Aggregate::new(views[v as usize].clone(), op, v as u64),
+                EngineConfig::default(),
+            )
+            .unwrap();
+            for v in 0..16 {
+                assert_eq!(out.outputs[v], expect, "op {op:?} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_rounds_linear_in_depth() {
+        let g = path(10);
+        let views = tree_views(&g, 0);
+        let out = run_protocol(
+            &g,
+            |v, _| Aggregate::new(views[v as usize].clone(), AggOp::Sum, 1),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(out.outputs.iter().all(|&x| x == 10));
+        // Depth 9 up + 9 down, small constant slack.
+        assert!(out.stats.rounds <= 2 * 9 + 2, "rounds = {}", out.stats.rounds);
+    }
+
+    #[test]
+    fn numbering_assigns_disjoint_covering_ranges() {
+        for g in [path(7), cycle(8), torus2d(3, 5), complete(6)] {
+            let views = tree_views(&g, 0);
+            // Node v holds v % 3 items.
+            let items = |v: usize| (v % 3) as u64;
+            let out = run_protocol(
+                &g,
+                |v, _| Numbering::new(views[v as usize].clone(), items(v as usize)),
+                EngineConfig::default(),
+            )
+            .unwrap();
+            let total: u64 = (0..g.n()).map(items).sum();
+            let mut covered = vec![false; total as usize];
+            for v in 0..g.n() {
+                let (start, t) = out.outputs[v];
+                assert_eq!(t, total, "global total at node {v}");
+                for id in start..start + items(v) {
+                    assert!(!covered[id as usize], "id {id} double-assigned");
+                    covered[id as usize] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "ids must cover [0, total)");
+        }
+    }
+
+    #[test]
+    fn numbering_with_all_items_at_one_node() {
+        let g = cycle(6);
+        let views = tree_views(&g, 0);
+        let out = run_protocol(
+            &g,
+            |v, _| Numbering::new(views[v as usize].clone(), if v == 3 { 42 } else { 0 }),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.outputs[3].0, 0);
+        assert_eq!(out.outputs[3].1, 42);
+    }
+
+    #[test]
+    fn leaf_only_tree_on_two_nodes() {
+        let g = congest_graph::GraphBuilder::new(2).edge(0, 1).build().unwrap();
+        let views = tree_views(&g, 0);
+        let out = run_protocol(
+            &g,
+            |v, _| Numbering::new(views[v as usize].clone(), 5),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.outputs[0], (0, 10));
+        assert_eq!(out.outputs[1], (5, 10));
+    }
+}

@@ -1,0 +1,43 @@
+//! # congest-core — the paper's primary contribution
+//!
+//! Distributed algorithms from *"Fast Broadcast in Highly Connected
+//! Networks"* (SPAA 2024), implemented as real message-passing programs on
+//! the [`congest_sim`] engine:
+//!
+//! | paper | module | what it does |
+//! |---|---|---|
+//! | Lemma 2 | [`bfs`] | distributed BFS tree construction, plus the **parallel per-subgraph BFS** that explores all Theorem 2 subgraphs simultaneously |
+//! | — | [`leader`] | flood-max leader election (prerequisite of Lemma 1) |
+//! | Lemma 3 | [`convergecast`] | tree aggregates and distributed item numbering |
+//! | Lemma 1 | [`pipeline`] | pipelined `O(depth + k)` tree gather + broadcast with `O(k)` congestion |
+//! | textbook | [`textbook`] | the `O(D + k)` baseline: BFS tree + pipelined broadcast |
+//! | Theorem 2 | [`partition`] | the communication-free random edge partition into `λ′` edge-disjoint spanning subgraphs |
+//! | Theorem 1 | [`broadcast`] | the `O((n log n)/δ + (k log n)/λ)` k-broadcast |
+//! | Remark §1.1 | [`exp_search`] | broadcast **without knowing λ** via exponential search |
+//! | Lemma 4 | [`knowledge`] | learning δ in `O(D)` rounds (λ-learning substituted per DESIGN.md §2) |
+//! | Theorems 3 & 8 | [`lower_bounds`] | information-theoretic universal lower-bound calculators |
+//! | §1.2 | [`congested_clique`] | simulating rounds of the broadcast congested clique \[DKO14\] |
+//! | §1.2 / \[FP23\] | [`resilient`] | replicated broadcast surviving a mobile edge adversary |
+//!
+//! All protocols are *message-driven* (progress on arrival rather than on
+//! round counting), which makes them tolerant of the random-delay
+//! scheduler ([`congest_sim::sched`]) and keeps round counts honest: a run
+//! ends when the network is quiescent, and the engine reports the last
+//! round that carried a message.
+
+pub mod bfs;
+pub mod broadcast;
+pub mod congested_clique;
+pub mod convergecast;
+pub mod exp_search;
+pub mod knowledge;
+pub mod leader;
+pub mod lower_bounds;
+pub mod partition;
+pub mod pipeline;
+pub mod resilient;
+pub mod textbook;
+
+pub use broadcast::{partition_broadcast, BroadcastInput, BroadcastOutcome};
+pub use partition::{EdgePartition, PartitionParams};
+pub use textbook::textbook_broadcast;

@@ -1,0 +1,291 @@
+//! The communication-free random edge partition (paper Theorem 2) and the
+//! single-subgraph sampling lemma behind it (Lemma 5).
+//!
+//! Theorem 2: putting each edge of a simple graph with edge connectivity λ
+//! and min degree δ into one of `λ′ = λ/(C log n)` classes uniformly and
+//! independently yields, w.h.p., `λ′` **edge-disjoint spanning subgraphs
+//! of diameter O((C n log n)/δ)** — the low-diameter decomposition
+//! everything else in the paper rides on.
+//!
+//! The decision is local: for edge `{u, v}` with `ID(u) > ID(v)`, node `u`
+//! draws the class. We implement it exactly that way — the owner derives
+//! the color by hashing the (canonical) endpoint pair with the run seed
+//! and tells the other endpoint in **one round**
+//! ([`EdgePartitionProtocol`]). Because the color is a pure function of
+//! `(seed, u, v)`, the centralized mirror [`EdgePartition::compute`]
+//! reproduces the distributed outcome bit-for-bit, which the tests assert.
+
+use congest_graph::{Edge, Graph, Node, Port};
+use congest_sim::rng::mix64;
+use congest_sim::{NodeCtx, Protocol};
+
+/// How many subgraphs to partition into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionParams {
+    pub num_subgraphs: usize,
+}
+
+impl PartitionParams {
+    /// Exactly `λ′` classes.
+    pub fn explicit(num_subgraphs: usize) -> Self {
+        assert!(num_subgraphs >= 1);
+        PartitionParams { num_subgraphs }
+    }
+
+    /// The paper's choice `λ′ = max(1, ⌊λ/(c·ln n)⌋)`.
+    ///
+    /// With `λ < c·ln n` this degrades to a single subgraph = the whole
+    /// graph, and the broadcast gracefully degenerates to the textbook
+    /// algorithm on one tree.
+    pub fn from_lambda(n: usize, lambda: usize, c: f64) -> Self {
+        assert!(c > 0.0);
+        let ln_n = (n.max(2) as f64).ln();
+        let lp = (lambda as f64 / (c * ln_n)).floor() as usize;
+        PartitionParams {
+            num_subgraphs: lp.max(1),
+        }
+    }
+}
+
+/// The color (class index) of edge `{u, v}` under `seed`. Pure function,
+/// so any party knowing the endpoint ids can evaluate it.
+#[inline]
+pub fn edge_color(seed: u64, u: Node, v: Node, num_subgraphs: usize) -> u32 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    let key = ((a as u64) << 32) | b as u64;
+    (mix64(seed ^ mix64(key)) % num_subgraphs as u64) as u32
+}
+
+/// A materialized partition: edge-id-indexed colors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgePartition {
+    pub num_subgraphs: usize,
+    /// `colors[e] ∈ [0, num_subgraphs)`.
+    pub colors: Vec<u32>,
+}
+
+impl EdgePartition {
+    /// Centralized mirror of the distributed partition — identical output
+    /// to running [`EdgePartitionProtocol`] with the same seed.
+    pub fn compute(g: &Graph, params: PartitionParams, seed: u64) -> Self {
+        let colors = g
+            .edge_list()
+            .map(|(_, u, v)| edge_color(seed, u, v, params.num_subgraphs))
+            .collect();
+        EdgePartition {
+            num_subgraphs: params.num_subgraphs,
+            colors,
+        }
+    }
+
+    #[inline]
+    pub fn color(&self, e: Edge) -> u32 {
+        self.colors[e as usize]
+    }
+
+    /// Port-indexed colors for one node (what a node program holds).
+    pub fn port_colors(&self, g: &Graph, v: Node) -> Vec<u32> {
+        g.incident_edges(v)
+            .iter()
+            .map(|&e| self.colors[e as usize])
+            .collect()
+    }
+
+    /// Edge count of each class.
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_subgraphs];
+        for &c in &self.colors {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Exact diameter of each subgraph (`None` where not spanning-connected).
+    /// Centralized measurement for experiments E1/E2.
+    pub fn subgraph_diameters(&self, g: &Graph) -> Vec<Option<u32>> {
+        (0..self.num_subgraphs)
+            .map(|i| {
+                let allow: Vec<bool> = self.colors.iter().map(|&c| c as usize == i).collect();
+                congest_graph::algo::diameter::diameter_exact_restricted(g, &allow)
+            })
+            .collect()
+    }
+
+    /// Whether every class is a connected spanning subgraph.
+    pub fn all_spanning(&self, g: &Graph) -> bool {
+        (0..self.num_subgraphs as u32).all(|i| {
+            congest_graph::algo::components::is_spanning_connected(g, |e| {
+                self.colors[e as usize] == i
+            })
+        })
+    }
+}
+
+/// Lemma 5's single-subgraph sampling: keep each edge independently with
+/// probability `p`; returns the keep-mask. (The lemma: for
+/// `p = C log n / λ` the kept subgraph spans with diameter
+/// `O(C n log n / δ)` w.h.p.)
+pub fn sample_edges(g: &Graph, p: f64, seed: u64) -> Vec<bool> {
+    assert!((0.0..=1.0).contains(&p));
+    g.edge_list()
+        .map(|(_, u, v)| {
+            let key = ((u as u64) << 32) | v as u64;
+            let r = mix64(seed ^ mix64(key ^ 0xABCD_EF01)) as f64 / u64::MAX as f64;
+            r < p
+        })
+        .collect()
+}
+
+/// The one-round distributed partition: the higher-id endpoint of each
+/// edge announces the color to the other endpoint. Output: port-indexed
+/// colors.
+pub struct EdgePartitionProtocol {
+    me: Node,
+    seed: u64,
+    num_subgraphs: usize,
+    port_colors: Vec<u32>,
+}
+
+impl EdgePartitionProtocol {
+    pub fn new(me: Node, seed: u64, num_subgraphs: usize, degree: usize) -> Self {
+        EdgePartitionProtocol {
+            me,
+            seed,
+            num_subgraphs,
+            port_colors: vec![u32::MAX; degree],
+        }
+    }
+}
+
+impl Protocol for EdgePartitionProtocol {
+    type Msg = u32;
+    type Output = Vec<u32>;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u32>) {
+        if ctx.round == 0 {
+            // Decide for the edges I own (my id is the larger endpoint)
+            // and announce.
+            for p in 0..ctx.degree() as Port {
+                let nb = ctx.neighbor(p);
+                if self.me > nb {
+                    let c = edge_color(self.seed, self.me, nb, self.num_subgraphs);
+                    self.port_colors[p as usize] = c;
+                    ctx.send(p, c);
+                }
+            }
+            return;
+        }
+        for (p, &c) in ctx.inbox() {
+            debug_assert!(self.port_colors[p as usize] == u32::MAX);
+            self.port_colors[p as usize] = c;
+        }
+        ctx.set_done(true);
+    }
+
+    fn finish(self) -> Vec<u32> {
+        self.port_colors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{complete, harary, torus2d};
+    use congest_sim::{run_protocol, EngineConfig};
+
+    #[test]
+    fn params_from_lambda() {
+        // λ = 64, n = 1024, c = 1: λ' = ⌊64 / ln 1024⌋ = ⌊64/6.93⌋ = 9.
+        let p = PartitionParams::from_lambda(1024, 64, 1.0);
+        assert_eq!(p.num_subgraphs, 9);
+        // Degenerate: tiny λ clamps to 1.
+        assert_eq!(PartitionParams::from_lambda(1024, 2, 1.0).num_subgraphs, 1);
+    }
+
+    #[test]
+    fn colors_cover_all_edges_exactly_once() {
+        let g = harary(6, 30);
+        let part = EdgePartition::compute(&g, PartitionParams::explicit(3), 7);
+        assert_eq!(part.colors.len(), g.m());
+        assert!(part.colors.iter().all(|&c| c < 3));
+        let sizes = part.class_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), g.m());
+        // Random partition: every class should be non-trivial here.
+        assert!(sizes.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn distributed_matches_centralized() {
+        let g = torus2d(5, 6);
+        let seed = 0xFEED;
+        let k = 4;
+        let central = EdgePartition::compute(&g, PartitionParams::explicit(k), seed);
+        let out = run_protocol(
+            &g,
+            |v, gr| EdgePartitionProtocol::new(v, seed, k, gr.degree(v)),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.stats.rounds, 1, "partition costs exactly one round");
+        for v in 0..g.n() as Node {
+            assert_eq!(
+                out.outputs[v as usize],
+                central.port_colors(&g, v),
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_endpoints_agree() {
+        let g = harary(4, 20);
+        let out = run_protocol(
+            &g,
+            |v, gr| EdgePartitionProtocol::new(v, 99, 5, gr.degree(v)),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        for (e, u, v) in g.edge_list() {
+            let pu = g.port_to(u, v).unwrap();
+            let pv = g.port_to(v, u).unwrap();
+            assert_eq!(
+                out.outputs[u as usize][pu as usize],
+                out.outputs[v as usize][pv as usize],
+                "edge {e} endpoints disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem2_spanning_on_well_connected_graph() {
+        // K_48: λ = 47. λ' = 4 classes ⇒ each class ≈ G(48, 1/4·...) dense
+        // enough to span with small diameter w.h.p.
+        let g = complete(48);
+        let part = EdgePartition::compute(&g, PartitionParams::explicit(4), 3);
+        assert!(part.all_spanning(&g));
+        for d in part.subgraph_diameters(&g) {
+            let d = d.expect("spanning");
+            assert!(d <= 4, "complete-graph class diameter {d} should be tiny");
+        }
+    }
+
+    #[test]
+    fn sampling_probability_is_respected() {
+        let g = complete(64); // m = 2016
+        let mask = sample_edges(&g, 0.25, 11);
+        let kept = mask.iter().filter(|&&b| b).count();
+        let expected = 0.25 * g.m() as f64;
+        assert!(
+            (kept as f64 - expected).abs() < 0.2 * expected,
+            "kept {kept}, expected ≈ {expected}"
+        );
+        // Deterministic in seed.
+        assert_eq!(mask, sample_edges(&g, 0.25, 11));
+        assert_ne!(mask, sample_edges(&g, 0.25, 12));
+    }
+
+    #[test]
+    fn edge_color_is_orientation_invariant() {
+        assert_eq!(edge_color(5, 3, 9, 7), edge_color(5, 9, 3, 7));
+    }
+}

@@ -1,0 +1,378 @@
+//! Pipelined tree broadcast (paper Lemma 1).
+//!
+//! Given a rooted spanning tree and `k` messages initially scattered over
+//! the nodes, deliver all messages to all nodes in `O(depth + k)` rounds
+//! with `O(k)` congestion per tree edge:
+//!
+//! 1. **Gather (up)**: every node streams its own and its subtree's
+//!    messages to its parent, one per round per tree edge;
+//! 2. **Broadcast (down)**: the root streams every message down the tree;
+//!    internal nodes forward, one per round per child edge.
+//!
+//! The two directions overlap freely (full-duplex edges), which is what
+//! makes the complexity `O(depth + k)` rather than `O(depth · k)`.
+//!
+//! The state machine is factored out as [`PipeCore`] so that
+//! [`TreePipeline`] (one tree — the textbook baseline) and the
+//! per-subgraph parallel version in [`crate::broadcast`] (λ′ trees at
+//! once, Theorem 1) share identical logic.
+//!
+//! Delivery accounting uses order-independent checksums (xor + sum) rather
+//! than storing every payload at every node, so large sweeps stay in
+//! memory; tests on small graphs enable full recording.
+
+use crate::convergecast::TreeView;
+use congest_graph::Port;
+use congest_sim::{MsgBits, NodeCtx, Protocol};
+use std::collections::VecDeque;
+
+/// One broadcast message on the wire: a global id and its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipeMsg {
+    pub id: u32,
+    pub payload: u64,
+}
+
+impl MsgBits for PipeMsg {
+    fn bits(&self) -> usize {
+        32 + 64
+    }
+}
+
+/// What a node accumulated by the end of a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipeResult {
+    /// Number of distinct messages delivered locally.
+    pub delivered: u64,
+    /// XOR of `payload ^ mix(id)` over delivered messages.
+    pub xor_check: u64,
+    /// Wrapping sum of `payload + mix(id)` over delivered messages.
+    pub sum_check: u64,
+    /// Full `(id, payload)` record, if recording was enabled.
+    pub recorded: Option<Vec<(u32, u64)>>,
+}
+
+/// Order-independent fingerprint contribution of one message.
+#[inline]
+fn fingerprint(id: u32, payload: u64) -> u64 {
+    congest_sim::rng::mix64(payload ^ congest_sim::rng::mix64(id as u64))
+}
+
+/// Expected checksums for a message set — compare against every node's
+/// [`PipeResult`] to verify complete delivery.
+pub fn expected_checksums<'a, I: IntoIterator<Item = &'a (u32, u64)>>(msgs: I) -> (u64, u64) {
+    let mut x = 0u64;
+    let mut s = 0u64;
+    for &(id, payload) in msgs {
+        let f = fingerprint(id, payload);
+        x ^= f;
+        s = s.wrapping_add(f);
+    }
+    (x, s)
+}
+
+/// The per-tree pipelined gather+broadcast state machine.
+#[derive(Debug)]
+pub struct PipeCore {
+    tree: TreeView,
+    /// Total messages this tree must deliver.
+    k: u64,
+    delivered: u64,
+    xor_check: u64,
+    sum_check: u64,
+    recorded: Option<Vec<(u32, u64)>>,
+    up_queue: VecDeque<PipeMsg>,
+    down_queue: VecDeque<PipeMsg>,
+}
+
+impl PipeCore {
+    /// `own` are the messages initially held at this node that belong to
+    /// this tree. `record` retains full payload lists (tests only).
+    pub fn new(tree: TreeView, k: u64, own: Vec<PipeMsg>, record: bool) -> Self {
+        let mut core = PipeCore {
+            tree,
+            k,
+            delivered: 0,
+            xor_check: 0,
+            sum_check: 0,
+            recorded: record.then(Vec::new),
+            up_queue: VecDeque::new(),
+            down_queue: VecDeque::new(),
+        };
+        let is_root = core.tree.parent_port.is_none();
+        for m in own {
+            if is_root {
+                // Root delivers its own messages immediately and seeds the
+                // down stream with them.
+                core.deliver(m);
+                core.enqueue_down(m);
+            } else {
+                core.up_queue.push_back(m);
+            }
+        }
+        core
+    }
+
+    #[inline]
+    fn is_root(&self) -> bool {
+        self.tree.parent_port.is_none()
+    }
+
+    fn deliver(&mut self, m: PipeMsg) {
+        self.delivered += 1;
+        let f = fingerprint(m.id, m.payload);
+        self.xor_check ^= f;
+        self.sum_check = self.sum_check.wrapping_add(f);
+        if let Some(rec) = &mut self.recorded {
+            rec.push((m.id, m.payload));
+        }
+    }
+
+    fn enqueue_down(&mut self, m: PipeMsg) {
+        if !self.tree.children_ports.is_empty() {
+            self.down_queue.push_back(m);
+        }
+    }
+
+    /// Process one arrived message. `port` must be a tree port of this
+    /// core's tree.
+    pub fn on_receive(&mut self, port: Port, m: PipeMsg) {
+        if self.tree.parent_port == Some(port) {
+            // Down stream: deliver locally, forward to children.
+            self.deliver(m);
+            self.enqueue_down(m);
+        } else {
+            debug_assert!(
+                self.tree.children_ports.contains(&port),
+                "pipeline message on non-tree port {port}"
+            );
+            if self.is_root() {
+                self.deliver(m);
+                self.enqueue_down(m);
+            } else {
+                self.up_queue.push_back(m);
+            }
+        }
+    }
+
+    /// What to transmit this round: at most one message up (to the parent)
+    /// and one message down (replicated to every child port).
+    pub fn emit(&mut self) -> (Option<PipeMsg>, Option<PipeMsg>) {
+        let up = if self.is_root() {
+            None
+        } else {
+            self.up_queue.pop_front()
+        };
+        let down = self.down_queue.pop_front();
+        (up, down)
+    }
+
+    /// Nothing queued for transmission.
+    pub fn quiescent(&self) -> bool {
+        self.up_queue.is_empty() && self.down_queue.is_empty()
+    }
+
+    /// All `k` messages delivered and nothing left to send.
+    pub fn complete(&self) -> bool {
+        self.delivered >= self.k && self.quiescent()
+    }
+
+    pub fn tree(&self) -> &TreeView {
+        &self.tree
+    }
+
+    pub fn into_result(self) -> PipeResult {
+        PipeResult {
+            delivered: self.delivered,
+            xor_check: self.xor_check,
+            sum_check: self.sum_check,
+            recorded: self.recorded,
+        }
+    }
+}
+
+/// Lemma 1 as a standalone protocol on a single tree.
+pub struct TreePipeline {
+    core: PipeCore,
+}
+
+impl TreePipeline {
+    pub fn new(tree: TreeView, k: u64, own: Vec<PipeMsg>, record: bool) -> Self {
+        TreePipeline {
+            core: PipeCore::new(tree, k, own, record),
+        }
+    }
+}
+
+impl Protocol for TreePipeline {
+    type Msg = PipeMsg;
+    type Output = PipeResult;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, PipeMsg>) {
+        let arrivals: Vec<(Port, PipeMsg)> = ctx.inbox().map(|(p, m)| (p, *m)).collect();
+        for (p, m) in arrivals {
+            self.core.on_receive(p, m);
+        }
+        let (up, down) = self.core.emit();
+        if let Some(m) = up {
+            ctx.send(self.core.tree.parent_port.unwrap(), m);
+        }
+        if let Some(m) = down {
+            for &c in &self.core.tree.children_ports.clone() {
+                ctx.send(c, m);
+            }
+        }
+        ctx.set_done(self.core.complete());
+    }
+
+    fn finish(self) -> PipeResult {
+        self.core.into_result()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::BfsProtocol;
+    use congest_graph::generators::{complete, cycle, path, torus2d};
+    use congest_graph::{Graph, Node};
+    use congest_sim::{run_protocol, EngineConfig, RunStats};
+
+    fn bfs_views(g: &Graph, root: Node) -> Vec<TreeView> {
+        run_protocol(g, |v, _| BfsProtocol::new(root, v), EngineConfig::default())
+            .unwrap()
+            .outputs
+            .iter()
+            .map(TreeView::from_bfs)
+            .collect()
+    }
+
+    /// Place message id i at node (i*7+3) mod n with payload mix(i).
+    fn placements(n: usize, k: usize) -> Vec<Vec<PipeMsg>> {
+        let mut per_node: Vec<Vec<PipeMsg>> = vec![Vec::new(); n];
+        for i in 0..k {
+            let v = (i * 7 + 3) % n;
+            per_node[v].push(PipeMsg {
+                id: i as u32,
+                payload: congest_sim::rng::mix64(i as u64),
+            });
+        }
+        per_node
+    }
+
+    fn run_pipeline(g: &Graph, k: usize) -> (Vec<PipeResult>, RunStats) {
+        let views = bfs_views(g, 0);
+        let own = placements(g.n(), k);
+        let out = run_protocol(
+            g,
+            |v, _| {
+                TreePipeline::new(
+                    views[v as usize].clone(),
+                    k as u64,
+                    own[v as usize].clone(),
+                    true,
+                )
+            },
+            EngineConfig::default(),
+        )
+        .unwrap();
+        (out.outputs, out.stats)
+    }
+
+    #[test]
+    fn all_nodes_get_all_messages() {
+        for g in [path(8), cycle(9), torus2d(4, 4), complete(7)] {
+            let k = 13;
+            let (results, _) = run_pipeline(&g, k);
+            let all: Vec<(u32, u64)> = placements(g.n(), k)
+                .into_iter()
+                .flatten()
+                .map(|m| (m.id, m.payload))
+                .collect();
+            let (ex, es) = expected_checksums(all.iter());
+            for (v, r) in results.iter().enumerate() {
+                assert_eq!(r.delivered, k as u64, "node {v}");
+                assert_eq!((r.xor_check, r.sum_check), (ex, es), "node {v}");
+                let mut rec = r.recorded.clone().unwrap();
+                rec.sort_unstable();
+                let mut want = all.clone();
+                want.sort_unstable();
+                assert_eq!(rec, want, "node {v} full record");
+            }
+        }
+    }
+
+    #[test]
+    fn round_complexity_is_depth_plus_k() {
+        // Path of length D with k messages: rounds must be O(D + k), not
+        // O(D · k).
+        let d = 20usize;
+        let k = 30usize;
+        let g = path(d + 1);
+        let (_, stats) = run_pipeline(&g, k);
+        let bound = 2 * (d as u64 + k as u64) + 4;
+        assert!(
+            stats.rounds <= bound,
+            "rounds {} exceeds O(D+k) bound {bound}",
+            stats.rounds
+        );
+        assert!(stats.rounds >= (d + k) as u64 / 2);
+    }
+
+    #[test]
+    fn congestion_is_order_k() {
+        let g = torus2d(4, 4);
+        let k = 25;
+        let (_, stats) = run_pipeline(&g, k);
+        // Each tree edge carries ≤ k up + k down.
+        assert!(
+            stats.max_edge_congestion <= 2 * k as u64,
+            "congestion {} > 2k",
+            stats.max_edge_congestion
+        );
+    }
+
+    #[test]
+    fn zero_messages_terminate_immediately() {
+        let g = cycle(5);
+        let (results, stats) = run_pipeline(&g, 0);
+        assert!(results.iter().all(|r| r.delivered == 0));
+        assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    fn single_node_holds_everything() {
+        // All k messages at one non-root node.
+        let g = path(6);
+        let views = bfs_views(&g, 0);
+        let k = 9u64;
+        let msgs: Vec<PipeMsg> = (0..k as u32)
+            .map(|i| PipeMsg {
+                id: i,
+                payload: 1000 + i as u64,
+            })
+            .collect();
+        let out = run_protocol(
+            &g,
+            |v, _| {
+                let own = if v == 5 { msgs.clone() } else { Vec::new() };
+                TreePipeline::new(views[v as usize].clone(), k, own, false)
+            },
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let pairs: Vec<(u32, u64)> = msgs.iter().map(|m| (m.id, m.payload)).collect();
+        let (ex, es) = expected_checksums(pairs.iter());
+        for r in &out.outputs {
+            assert_eq!(r.delivered, k);
+            assert_eq!((r.xor_check, r.sum_check), (ex, es));
+        }
+    }
+
+    #[test]
+    fn checksums_detect_missing_message() {
+        let all = [(0u32, 5u64), (1, 6)];
+        let partial = [(0u32, 5u64)];
+        assert_ne!(expected_checksums(all.iter()), expected_checksums(partial.iter()));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the core protocols: BFS, numbering, pipeline,
+//! and partition invariants on arbitrary connected graphs.
+
+use congest_core::bfs::BfsProtocol;
+use congest_core::convergecast::{AggOp, Aggregate, Numbering, TreeView};
+use congest_core::partition::{EdgePartition, EdgePartitionProtocol, PartitionParams};
+use congest_core::pipeline::{expected_checksums, PipeMsg, TreePipeline};
+use congest_graph::{Graph, GraphBuilder, Node};
+use congest_sim::{run_protocol, EngineConfig};
+use proptest::prelude::*;
+
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mix = |mut z: u64| {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        };
+        let mut b = GraphBuilder::new(n);
+        let mut edges = std::collections::BTreeSet::new();
+        for v in 1..n as u32 {
+            let u = (mix(seed ^ v as u64) % v as u64) as u32;
+            edges.insert((u, v));
+        }
+        for i in 0..(3 * n) as u64 {
+            let u = (mix(seed ^ (i << 17)) % n as u64) as u32;
+            let v = (mix(seed ^ (i << 18) ^ 99) % n as u64) as u32;
+            if u != v {
+                edges.insert((u.min(v), u.max(v)));
+            }
+        }
+        for (u, v) in edges {
+            b.push_edge(u, v);
+        }
+        b.build().unwrap()
+    })
+}
+
+fn bfs_views(g: &Graph, root: Node) -> Vec<TreeView> {
+    run_protocol(g, |v, _| BfsProtocol::new(root, v), EngineConfig::default())
+        .unwrap()
+        .outputs
+        .iter()
+        .map(TreeView::from_bfs)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Distributed numbering assigns disjoint covering ranges whatever the
+    /// item distribution.
+    #[test]
+    fn numbering_is_a_bijection(
+        g in arb_connected_graph(20),
+        items_seed in any::<u64>(),
+    ) {
+        let views = bfs_views(&g, 0);
+        let items = |v: usize| ((items_seed >> (v % 32)) & 3) as u64;
+        let out = run_protocol(
+            &g,
+            |v, _| Numbering::new(views[v as usize].clone(), items(v as usize)),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let total: u64 = (0..g.n()).map(items).sum();
+        let mut covered = vec![false; total as usize];
+        for v in 0..g.n() {
+            let (start, t) = out.outputs[v];
+            prop_assert_eq!(t, total);
+            for id in start..start + items(v) {
+                prop_assert!(!covered[id as usize]);
+                covered[id as usize] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    /// The pipelined broadcast delivers every message to every node on
+    /// arbitrary trees (built by BFS from arbitrary roots).
+    #[test]
+    fn pipeline_delivers_everywhere(
+        g in arb_connected_graph(16),
+        root_pick in any::<u32>(),
+        k in 1usize..30,
+    ) {
+        let root = root_pick % g.n() as u32;
+        let views = bfs_views(&g, root);
+        let msgs: Vec<(u32, u64)> = (0..k as u32).map(|i| (i, 0xD00 + i as u64)).collect();
+        let holder = |i: usize| ((i * 13 + 5) % g.n()) as usize;
+        let out = run_protocol(
+            &g,
+            |v, _| {
+                let own: Vec<PipeMsg> = msgs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| holder(*i) == v as usize)
+                    .map(|(_, &(id, payload))| PipeMsg { id, payload })
+                    .collect();
+                TreePipeline::new(views[v as usize].clone(), k as u64, own, false)
+            },
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let (ex, es) = expected_checksums(msgs.iter());
+        for r in &out.outputs {
+            prop_assert_eq!(r.delivered, k as u64);
+            prop_assert_eq!((r.xor_check, r.sum_check), (ex, es));
+        }
+        // Lemma 1's congestion claim.
+        prop_assert!(out.stats.max_edge_congestion <= 2 * k as u64);
+    }
+
+    /// Aggregates over distributed BFS trees compute exactly the global
+    /// fold for arbitrary values.
+    #[test]
+    fn aggregate_exactness(g in arb_connected_graph(18), vals_seed in any::<u64>()) {
+        let views = bfs_views(&g, 0);
+        let val = |v: usize| (vals_seed.rotate_left(v as u32 % 64)) & 0xFFFF;
+        for (op, fold) in [
+            (AggOp::Sum, (0..g.n()).map(val).sum::<u64>()),
+            (AggOp::Min, (0..g.n()).map(val).min().unwrap()),
+            (AggOp::Max, (0..g.n()).map(val).max().unwrap()),
+        ] {
+            let out = run_protocol(
+                &g,
+                |v, _| Aggregate::new(views[v as usize].clone(), op, val(v as usize)),
+                EngineConfig::default(),
+            )
+            .unwrap();
+            for &x in &out.outputs {
+                prop_assert_eq!(x, fold);
+            }
+        }
+    }
+
+    /// The distributed one-round partition protocol matches the
+    /// centralized mirror on every port of every node.
+    #[test]
+    fn partition_protocol_matches_mirror(
+        g in arb_connected_graph(16),
+        seed in any::<u64>(),
+        lp in 1usize..5,
+    ) {
+        let central = EdgePartition::compute(&g, PartitionParams::explicit(lp), seed);
+        let out = run_protocol(
+            &g,
+            |v, gr| EdgePartitionProtocol::new(v, seed, lp, gr.degree(v)),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        prop_assert!(out.stats.rounds <= 1);
+        for v in 0..g.n() as Node {
+            prop_assert_eq!(&out.outputs[v as usize], &central.port_colors(&g, v));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Centralized ground-truth algorithms.
+//!
+//! Everything the experiments use to *verify* distributed results lives
+//! here: BFS/DFS, exact diameters, components, max-flow and exact edge
+//! connectivity, Stoer–Wagner global min cut, exact APSP (unweighted and
+//! weighted), and greedy bounded-length edge-disjoint path certificates.
+//!
+//! These are classical algorithms implemented with flat, allocation-light
+//! data structures; the all-pairs computations parallelize over sources
+//! with rayon (deterministic: each source writes only its own row).
+
+pub mod apsp;
+pub mod bfs;
+pub mod bridges;
+pub mod components;
+pub mod connectivity;
+pub mod dfs;
+pub mod diameter;
+pub mod karger;
+pub mod maxflow;
+pub mod paths;
+pub mod stoer_wagner;
+
+pub use apsp::{apsp_unweighted, apsp_weighted};
+pub use bfs::{bfs_distances, bfs_tree, BfsTree, UNREACHABLE};
+pub use bridges::{bridges, has_bridge};
+pub use components::{connected_components, is_connected, UnionFind};
+pub use connectivity::edge_connectivity;
+pub use dfs::{dfs_order, dfs_walk_first_visit};
+pub use diameter::{diameter_exact, eccentricity, two_sweep_lower_bound};
+pub use karger::{karger_min_cut, karger_whp_repetitions};
+pub use maxflow::Dinic;
+pub use paths::greedy_disjoint_paths;
+pub use stoer_wagner::stoer_wagner_min_cut;

@@ -1,0 +1,185 @@
+//! Stoer–Wagner global minimum cut on weighted graphs.
+//!
+//! Ground truth for the sparsifier experiments (§4.3 / Theorem 7): the
+//! min cut of the sparsifier must be within (1±ε) of the min cut of the
+//! original graph. `O(n³)` with the simple adjacency-matrix phase scan —
+//! ample for verification sizes.
+
+use crate::weighted::WeightedGraph;
+
+/// Weight of a global minimum cut and one side of it.
+/// Returns `None` for graphs with fewer than 2 nodes.
+pub fn stoer_wagner_min_cut(g: &WeightedGraph) -> Option<(f64, Vec<bool>)> {
+    let n = g.n();
+    if n < 2 {
+        return None;
+    }
+    // Dense weight matrix; merged nodes accumulate weights.
+    let mut w = vec![vec![0.0f64; n]; n];
+    for (e, u, v) in g.graph().edge_list() {
+        let wt = g.weight(e);
+        w[u as usize][v as usize] += wt;
+        w[v as usize][u as usize] += wt;
+    }
+    // merged[v] = the set of original nodes contracted into v.
+    let mut members: Vec<Vec<u32>> = (0..n as u32).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best: Option<(f64, Vec<bool>)> = None;
+
+    while active.len() > 1 {
+        // Minimum cut phase: maximum-adjacency ordering.
+        let mut in_a = vec![false; n];
+        let mut weights_to_a = vec![0.0f64; n];
+        let first = active[0];
+        in_a[first] = true;
+        for &v in &active {
+            if v != first {
+                weights_to_a[v] = w[first][v];
+            }
+        }
+        let mut prev = first;
+        let mut last = first;
+        for _ in 1..active.len() {
+            // Most tightly connected inactive node.
+            let mut sel = usize::MAX;
+            let mut sel_w = f64::NEG_INFINITY;
+            for &v in &active {
+                if !in_a[v] && weights_to_a[v] > sel_w {
+                    sel_w = weights_to_a[v];
+                    sel = v;
+                }
+            }
+            in_a[sel] = true;
+            prev = last;
+            last = sel;
+            for &v in &active {
+                if !in_a[v] {
+                    weights_to_a[v] += w[sel][v];
+                }
+            }
+        }
+        // Cut-of-the-phase: `last` alone (with its merged members) vs rest.
+        let cut_weight = weights_to_a[last];
+        let mut side = vec![false; n];
+        for &orig in &members[last] {
+            side[orig as usize] = true;
+        }
+        match &best {
+            Some((bw, _)) if *bw <= cut_weight => {}
+            _ => best = Some((cut_weight, side)),
+        }
+        // Merge `last` into `prev`.
+        let last_members = std::mem::take(&mut members[last]);
+        members[prev].extend(last_members);
+        for &v in &active {
+            if v != prev && v != last {
+                w[prev][v] += w[last][v];
+                w[v][prev] = w[prev][v];
+            }
+        }
+        active.retain(|&v| v != last);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{clique_chain, complete, cycle};
+    use crate::weighted::WeightedGraph;
+
+    fn brute_force_min_cut(g: &WeightedGraph) -> f64 {
+        let n = g.n();
+        assert!(n <= 20);
+        let mut best = f64::INFINITY;
+        for mask in 1..(1u32 << n) - 1 {
+            let side: Vec<bool> = (0..n).map(|v| mask >> v & 1 == 1).collect();
+            best = best.min(g.cut_weight(&side));
+        }
+        best
+    }
+
+    #[test]
+    fn unit_cycle() {
+        let g = WeightedGraph::unit(cycle(6));
+        let (w, side) = stoer_wagner_min_cut(&g).unwrap();
+        assert_eq!(w, 2.0);
+        assert_eq!(g.cut_weight(&side), 2.0);
+    }
+
+    #[test]
+    fn unit_complete() {
+        let g = WeightedGraph::unit(complete(6));
+        let (w, _) = stoer_wagner_min_cut(&g).unwrap();
+        assert_eq!(w, 5.0);
+    }
+
+    #[test]
+    fn weighted_bottleneck() {
+        // Two triangles joined by a light edge.
+        let base = GraphBuilder::new(6)
+            .edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .build()
+            .unwrap();
+        let mut weights = vec![10.0; base.m()];
+        let bridge = base
+            .edge_list()
+            .find(|&(_, u, v)| (u, v) == (2, 3))
+            .unwrap()
+            .0;
+        weights[bridge as usize] = 0.5;
+        let g = WeightedGraph::new(base, weights);
+        let (w, side) = stoer_wagner_min_cut(&g).unwrap();
+        assert_eq!(w, 0.5);
+        assert_eq!(g.cut_weight(&side), 0.5);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = 8;
+            let mut b = GraphBuilder::new(n);
+            let mut any = false;
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.5) {
+                        b.push_edge(u, v);
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                continue;
+            }
+            let base = b.build().unwrap();
+            let weights: Vec<f64> = (0..base.m()).map(|_| rng.gen_range(1..10) as f64).collect();
+            let g = WeightedGraph::new(base, weights);
+            let (w, side) = stoer_wagner_min_cut(&g).unwrap();
+            let bf = brute_force_min_cut(&g);
+            assert!((w - bf).abs() < 1e-9, "SW {w} != brute {bf}");
+            assert!((g.cut_weight(&side) - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unweighted_matches_dinic_lambda() {
+        let base = clique_chain(3, 5, 2);
+        let lam = crate::algo::connectivity::edge_connectivity(&base);
+        let g = WeightedGraph::unit(base);
+        let (w, _) = stoer_wagner_min_cut(&g).unwrap();
+        assert_eq!(w as usize, lam);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let single = WeightedGraph::unit(GraphBuilder::new(1).build().unwrap());
+        assert!(stoer_wagner_min_cut(&single).is_none());
+        let pair = WeightedGraph::unit(GraphBuilder::new(2).edge(0, 1).build().unwrap());
+        let (w, _) = stoer_wagner_min_cut(&pair).unwrap();
+        assert_eq!(w, 1.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Deterministic graph families with known δ, λ, and diameter.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, Node};
+
+/// Complete graph `K_n`: δ = λ = n−1, D = 1.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as Node {
+        for v in (u + 1)..n as Node {
+            b.push_edge(u, v);
+        }
+    }
+    b.build().expect("complete graph is simple")
+}
+
+/// Path `P_n`: δ = λ = 1 (for n ≥ 2), D = n−1.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as Node {
+        b.push_edge(v - 1, v);
+    }
+    b.build().expect("path is simple")
+}
+
+/// Cycle `C_n` (n ≥ 3): δ = λ = 2, D = ⌊n/2⌋.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n >= 3");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as Node {
+        b.push_edge(v, ((v as usize + 1) % n) as Node);
+    }
+    b.build().expect("cycle is simple")
+}
+
+/// Circulant graph: node `v` is adjacent to `v ± o (mod n)` for each offset
+/// `o` in `offsets`. Offsets must be distinct, in `1..=n/2`.
+pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::new(n);
+    for &o in offsets {
+        assert!(o >= 1 && o <= n / 2, "offset {o} out of range 1..={}", n / 2);
+        // For o == n/2 with even n each chord would be generated twice; the
+        // loop below generates each undirected edge exactly once.
+        let reach = if 2 * o == n { n / 2 } else { n };
+        for v in 0..reach {
+            b.push_edge(v as Node, ((v + o) % n) as Node);
+        }
+    }
+    b.build().expect("circulant with distinct offsets is simple")
+}
+
+/// Harary graph `H_{k,n}`: the minimal k-edge-connected graph on n nodes
+/// (δ = λ = k exactly). We build the circulant variant with offsets
+/// `1..=⌈k/2⌉`, which is k-edge-connected for even k; for odd k the extra
+/// `n/2` offset (n must be even) adds the diameter chords.
+///
+/// This is the workhorse family for λ sweeps: λ is exactly `k` and the
+/// diameter is ≈ `n / k`.
+pub fn harary(k: usize, n: usize) -> Graph {
+    assert!(k >= 2, "harary needs k >= 2");
+    assert!(n > k, "harary needs n > k");
+    if k % 2 == 0 {
+        let offsets: Vec<usize> = (1..=k / 2).collect();
+        circulant(n, &offsets)
+    } else {
+        assert!(
+            n % 2 == 0,
+            "odd-k Harary graph requires even n (got k={k}, n={n})"
+        );
+        let mut offsets: Vec<usize> = (1..=(k - 1) / 2).collect();
+        offsets.push(n / 2);
+        circulant(n, &offsets)
+    }
+}
+
+/// 2-D torus `rows × cols` (both ≥ 3): δ = λ = 4, D = ⌊rows/2⌋ + ⌊cols/2⌋.
+pub fn torus2d(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dims >= 3");
+    let id = |r: usize, c: usize| (r * cols + c) as Node;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.push_edge(id(r, c), id(r, (c + 1) % cols));
+            b.push_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    b.build().expect("torus with dims >= 3 is simple")
+}
+
+/// Hypercube `Q_d`: n = 2^d, δ = λ = d, D = d.
+pub fn hypercube(d: usize) -> Graph {
+    assert!(d >= 1 && d <= 30);
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.push_edge(v as Node, u as Node);
+            }
+        }
+    }
+    b.build().expect("hypercube is simple")
+}
+
+/// Chain of `cliques` cliques of size `clique_size`, consecutive cliques
+/// joined by a `bridge_width`-edge matching: λ = `bridge_width`,
+/// δ ≥ `clique_size − 1`, D ≈ 3·`cliques`.
+///
+/// This family has δ ≫ λ, separating the two terms of Theorem 1's
+/// `O((n log n)/δ + (k log n)/λ)` bound.
+pub fn clique_chain(cliques: usize, clique_size: usize, bridge_width: usize) -> Graph {
+    assert!(cliques >= 1);
+    assert!(clique_size >= 2);
+    assert!(
+        bridge_width >= 1 && bridge_width <= clique_size,
+        "bridge width must be in 1..=clique_size"
+    );
+    let n = cliques * clique_size;
+    let id = |c: usize, i: usize| (c * clique_size + i) as Node;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..cliques {
+        for i in 0..clique_size {
+            for j in (i + 1)..clique_size {
+                b.push_edge(id(c, i), id(c, j));
+            }
+        }
+        if c + 1 < cliques {
+            for i in 0..bridge_width {
+                b.push_edge(id(c, i), id(c + 1, i));
+            }
+        }
+    }
+    b.build().expect("clique chain is simple")
+}
+
+/// Ring of cliques: like [`clique_chain`] but the last clique also bridges
+/// to the first, so every inter-clique cut must cross two bridges:
+/// λ = min(2·bridge_width, clique_size − 1 + ...) — for
+/// `2·bridge_width ≤ clique_size` the ring cut of `2·bridge_width` is the
+/// minimum.
+pub fn clique_ring(cliques: usize, clique_size: usize, bridge_width: usize) -> Graph {
+    assert!(cliques >= 3, "ring needs >= 3 cliques");
+    assert!(bridge_width >= 1 && bridge_width <= clique_size / 2);
+    let n = cliques * clique_size;
+    let id = |c: usize, i: usize| (c * clique_size + i) as Node;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..cliques {
+        for i in 0..clique_size {
+            for j in (i + 1)..clique_size {
+                b.push_edge(id(c, i), id(c, j));
+            }
+        }
+        let next = (c + 1) % cliques;
+        // Attach forward bridges to the *second half* of the clique so the
+        // backward bridges (ports 0..bridge_width) never collide.
+        for i in 0..bridge_width {
+            b.push_edge(id(c, clique_size - 1 - i), id(next, i));
+        }
+    }
+    b.build().expect("clique ring is simple")
+}
+
+/// Complete bipartite graph `K_{a,b}` (`a ≤ b`): δ = λ = a, D = 2.
+/// A useful extreme: maximal λ for its edge count, diameter 2.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    assert!(a >= 1 && b >= 1);
+    let mut bld = GraphBuilder::new(a + b);
+    for i in 0..a as Node {
+        for j in 0..b as Node {
+            bld.push_edge(i, a as Node + j);
+        }
+    }
+    bld.build().expect("complete bipartite is simple")
+}
+
+/// Two cliques of size `clique_size` joined by a path of `path_len` edges:
+/// λ = 1, the motivating worst case where broadcast needs Ω(k) rounds.
+pub fn barbell(clique_size: usize, path_len: usize) -> Graph {
+    assert!(clique_size >= 2 && path_len >= 1);
+    let n = 2 * clique_size + path_len.saturating_sub(1);
+    let mut b = GraphBuilder::new(n);
+    let left = |i: usize| i as Node;
+    let right = |i: usize| (clique_size + i) as Node;
+    for i in 0..clique_size {
+        for j in (i + 1)..clique_size {
+            b.push_edge(left(i), left(j));
+            b.push_edge(right(i), right(j));
+        }
+    }
+    // Path from node 0 of left clique to node 0 of right clique through
+    // path_len - 1 fresh internal nodes.
+    let mut prev = left(0);
+    for p in 0..path_len.saturating_sub(1) {
+        let mid = (2 * clique_size + p) as Node;
+        b.push_edge(prev, mid);
+        prev = mid;
+    }
+    b.push_edge(prev, right(0));
+    b.build().expect("barbell is simple")
+}
+
+/// "Thick path": `columns` columns, each a clique of `lambda` nodes,
+/// consecutive columns joined by a perfect matching of `lambda` edges.
+/// δ = λ = `lambda` (endpoints columns realize δ; column boundaries realize
+/// λ), D = Θ(columns) = Θ(n/λ).
+///
+/// This is the extremal family for Theorem 2's diameter bound: the diameter
+/// of the *whole graph* is already Θ(n/λ), so the partition's subgraph
+/// diameter O((n log n)/δ) is tight up to the log factor.
+pub fn thick_path(columns: usize, lambda: usize) -> Graph {
+    assert!(columns >= 2 && lambda >= 2);
+    let id = |c: usize, i: usize| (c * lambda + i) as Node;
+    let mut b = GraphBuilder::new(columns * lambda);
+    for c in 0..columns {
+        for i in 0..lambda {
+            for j in (i + 1)..lambda {
+                b.push_edge(id(c, i), id(c, j));
+            }
+        }
+        if c + 1 < columns {
+            for i in 0..lambda {
+                b.push_edge(id(c, i), id(c + 1, i));
+            }
+        }
+    }
+    b.build().expect("thick path is simple")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::components::is_connected;
+    use crate::algo::connectivity::edge_connectivity;
+    use crate::algo::diameter::diameter_exact;
+
+    #[test]
+    fn complete_params() {
+        let g = complete(6);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.min_degree(), 5);
+        assert_eq!(diameter_exact(&g), Some(1));
+    }
+
+    #[test]
+    fn harary_even_k_has_lambda_k() {
+        let g = harary(4, 20);
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(edge_connectivity(&g), 4);
+    }
+
+    #[test]
+    fn harary_odd_k_has_lambda_k() {
+        let g = harary(5, 20);
+        assert_eq!(g.min_degree(), 5);
+        assert_eq!(edge_connectivity(&g), 5);
+    }
+
+    #[test]
+    fn torus_params() {
+        let g = torus2d(4, 5);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.min_degree(), 4);
+        assert!(is_connected(&g));
+        assert_eq!(edge_connectivity(&g), 4);
+        assert_eq!(diameter_exact(&g), Some(2 + 2));
+    }
+
+    #[test]
+    fn hypercube_params() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(diameter_exact(&g), Some(4));
+        assert_eq!(edge_connectivity(&g), 4);
+    }
+
+    #[test]
+    fn clique_chain_lambda_is_bridge_width() {
+        let g = clique_chain(4, 6, 3);
+        assert_eq!(g.n(), 24);
+        assert!(g.min_degree() >= 5);
+        assert_eq!(edge_connectivity(&g), 3);
+    }
+
+    #[test]
+    fn clique_ring_lambda_is_twice_bridge() {
+        let g = clique_ring(4, 6, 2);
+        assert_eq!(edge_connectivity(&g), 4);
+    }
+
+    #[test]
+    fn complete_bipartite_params() {
+        let g = complete_bipartite(3, 5);
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.min_degree(), 3);
+        assert_eq!(edge_connectivity(&g), 3);
+        assert_eq!(diameter_exact(&g), Some(2));
+    }
+
+    #[test]
+    fn barbell_lambda_one() {
+        let g = barbell(5, 3);
+        assert!(is_connected(&g));
+        assert_eq!(edge_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn thick_path_params() {
+        let g = thick_path(6, 4);
+        assert_eq!(g.n(), 24);
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(edge_connectivity(&g), 4);
+        let d = diameter_exact(&g).unwrap();
+        assert!(d >= 5 && d <= 2 * 6, "thick path diameter ~ columns, got {d}");
+    }
+
+    #[test]
+    fn cycle_and_path() {
+        assert_eq!(edge_connectivity(&cycle(8)), 2);
+        assert_eq!(edge_connectivity(&path(8)), 1);
+        assert_eq!(diameter_exact(&cycle(8)), Some(4));
+        assert_eq!(diameter_exact(&path(8)), Some(7));
+    }
+
+    #[test]
+    fn circulant_even_half_offset_no_dup() {
+        // n even, offset exactly n/2 must not duplicate chords.
+        let g = circulant(8, &[1, 4]);
+        assert_eq!(g.m(), 8 + 4);
+    }
+}

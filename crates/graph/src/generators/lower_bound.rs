@@ -1,0 +1,177 @@
+//! The GK13-style lower-bound family (paper Appendix B / Theorem 13).
+//!
+//! Ghaffari–Kuhn [GK13, Theorem D.1] exhibit λ-edge-connected graphs with
+//! diameter `O(log n)` on which **every** low-congestion tree packing
+//! contains trees of diameter `Ω(n/λ)` (except `O(log n)` lucky trees). The
+//! paper uses this family to show the `O((n log n)/δ)` diameter of its
+//! packings (Theorem 2) is optimal up to the log factor.
+//!
+//! Our realization (a faithful synthetic stand-in — the original
+//! construction is only sketched in GK13; documented as a substitution in
+//! DESIGN.md §2):
+//!
+//! * a *thick path* of `L` columns, each column a λ-clique, consecutive
+//!   columns joined by perfect λ-matchings — this is the "long bulk" whose
+//!   every column boundary is a λ-cut;
+//! * a *thin* balanced binary tree over the columns: `2^⌈log L⌉ − 1` extra
+//!   single nodes wired as a complete binary tree with **single** edges,
+//!   leaf `j` attached to every node of column `j·L/#leaves`; every internal
+//!   tree node is additionally attached to all λ nodes of its in-order
+//!   column so its degree is ≥ λ (keeping the graph's edge connectivity at
+//!   Θ(λ): ≥ λ since isolating any single node costs ≥ λ and every column
+//!   boundary carries at least the λ matching edges; ≤ min degree = λ+O(1)).
+//!
+//! The overlay makes the *graph* diameter `O(log L)`, but contributes only
+//! `O(L)` single edges of total capacity, so in any packing with more than
+//! `O(log n)` trees, most trees must traverse the bulk and have diameter
+//! `Ω(L) = Ω(n/λ)` — exactly the tension Theorem 13 formalizes. Experiment
+//! E6 measures this.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, Node};
+
+/// Structural metadata of a generated GK13-style graph, for experiment
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gk13Layout {
+    /// Number of thick-path columns `L`.
+    pub columns: usize,
+    /// Column width = target edge connectivity λ.
+    pub lambda: usize,
+    /// Number of binary-tree overlay nodes.
+    pub tree_nodes: usize,
+    /// Total nodes `n = L·λ + tree_nodes`.
+    pub n: usize,
+}
+
+/// Build the GK13-style lower-bound graph. `columns ≥ 4`, `lambda ≥ 3`.
+///
+/// Node numbering: column nodes first (`c·λ + i` for column `c`, slot `i`),
+/// then tree nodes in heap order (`root = Lλ`, children of heap index `h`
+/// at `2h+1`, `2h+2`).
+pub fn gk13_lower_bound(columns: usize, lambda: usize) -> (Graph, Gk13Layout) {
+    assert!(columns >= 4, "need >= 4 columns");
+    assert!(lambda >= 3, "need lambda >= 3");
+    let leaves = columns.next_power_of_two();
+    let tree_nodes = 2 * leaves - 1;
+    let bulk = columns * lambda;
+    let n = bulk + tree_nodes;
+    let col = |c: usize, i: usize| (c * lambda + i) as Node;
+    let tree = |h: usize| (bulk + h) as Node;
+
+    let mut b = GraphBuilder::new(n);
+    // Thick path bulk.
+    for c in 0..columns {
+        for i in 0..lambda {
+            for j in (i + 1)..lambda {
+                b.push_edge(col(c, i), col(c, j));
+            }
+        }
+        if c + 1 < columns {
+            for i in 0..lambda {
+                b.push_edge(col(c, i), col(c + 1, i));
+            }
+        }
+    }
+    // Thin binary tree internal edges (heap-shaped, single edges).
+    for h in 0..tree_nodes {
+        for child in [2 * h + 1, 2 * h + 2] {
+            if child < tree_nodes {
+                b.push_edge(tree(h), tree(child));
+            }
+        }
+    }
+    // Attach every tree node to all λ nodes of a column: leaf `j` (heap
+    // index `leaves-1+j`) to column `min(j·columns/leaves …)`, internal
+    // nodes to the column of their in-order position, spreading attachments
+    // so every tree node has degree ≥ λ.
+    for h in 0..tree_nodes {
+        let c = attachment_column(h, leaves, columns);
+        for i in 0..lambda {
+            b.push_edge(tree(h), col(c, i));
+        }
+    }
+    let g = b.build().expect("gk13 family is simple");
+    (
+        g,
+        Gk13Layout {
+            columns,
+            lambda,
+            tree_nodes,
+            n,
+        },
+    )
+}
+
+/// Column to which tree node `h` attaches: leaves map proportionally onto
+/// columns; internal nodes attach to the column of their leftmost leaf
+/// descendant (keeps attachments local to the subtree's span).
+fn attachment_column(h: usize, leaves: usize, columns: usize) -> usize {
+    // Find leftmost leaf of subtree rooted at h.
+    let mut x = h;
+    while 2 * x + 1 < 2 * leaves - 1 {
+        x = 2 * x + 1;
+    }
+    let leaf_idx = x - (leaves - 1);
+    (leaf_idx * columns) / leaves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::components::is_connected;
+    use crate::algo::connectivity::edge_connectivity;
+    use crate::algo::diameter::diameter_exact;
+
+    #[test]
+    fn layout_counts() {
+        let (g, lay) = gk13_lower_bound(8, 4);
+        assert_eq!(lay.n, g.n());
+        assert_eq!(lay.tree_nodes, 15);
+        assert_eq!(g.n(), 8 * 4 + 15);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn edge_connectivity_is_at_least_lambda() {
+        // The overlay attachments can only raise connectivity above the
+        // column width λ; it stays Θ(λ) (capped by the min degree).
+        let (g, lay) = gk13_lower_bound(8, 4);
+        let lam = edge_connectivity(&g);
+        assert!(lam >= lay.lambda, "λ = {lam} < column width {}", lay.lambda);
+        assert!(lam <= g.min_degree());
+        assert!(lam <= lay.lambda + 3, "λ = {lam} should stay Θ(column width)");
+    }
+
+    #[test]
+    fn min_degree_at_least_lambda() {
+        let (g, lay) = gk13_lower_bound(16, 5);
+        assert!(
+            g.min_degree() >= lay.lambda,
+            "min degree {} < λ {}",
+            g.min_degree(),
+            lay.lambda
+        );
+    }
+
+    #[test]
+    fn diameter_is_logarithmic_not_linear() {
+        // 64 columns: bulk-only diameter would be ≥ 63; the overlay must
+        // collapse it to O(log).
+        let (g, _) = gk13_lower_bound(64, 4);
+        let d = diameter_exact(&g).unwrap();
+        assert!(d <= 20, "overlay should give small diameter, got {d}");
+    }
+
+    #[test]
+    fn every_tree_node_attached() {
+        let (g, lay) = gk13_lower_bound(8, 4);
+        let bulk = lay.columns * lay.lambda;
+        for h in 0..lay.tree_nodes {
+            let v = (bulk + h) as Node;
+            // λ attachment edges + up to 3 tree edges.
+            assert!(g.degree(v) >= lay.lambda);
+            assert!(g.degree(v) <= lay.lambda + 3);
+        }
+    }
+}

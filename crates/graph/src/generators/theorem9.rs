@@ -1,0 +1,179 @@
+//! The Theorem 9 weighted lower-bound instance (paper §4.4).
+//!
+//! Theorem 9: for any λ and n there is a λ-edge-connected weighted graph
+//! on which α-approximate weighted APSP needs `Ω(n/(λ·log α))` rounds,
+//! because node `v₁` must learn `k_max = Θ(log n/log α)` hidden bits per
+//! node through only λ incident edges. Construction (weights integers in
+//! `[n^c]`):
+//!
+//! * `v₁ — v₂` with weight 1;
+//! * `v₁ — {v₃,…,v_{λ+1}}` with weight `W = n^c` (λ−1 edges, making
+//!   `deg(v₁) = λ`, which realizes the edge connectivity);
+//! * a clique on `{v₃,…,v_n}` with weight `W`;
+//! * `v₂ — v_i` with weight `B^{k_i}` for hidden uniform
+//!   `k_i ∈ {1,…,k_max}`, where `B = ⌈2α⌉`.
+//!
+//! The shortest `v₁ → v_i` path is `v₁ v₂ v_i` of length `1 + B^{k_i}`,
+//! so **any** `(α,0)`-approximate distance estimate at `v₁` pins `k_i`
+//! exactly: `d̃ − 1 ∈ [B^k, αB^k + α − 1] ⊂ [B^k, B^{k+1})`, hence
+//! `k̂ = ⌊log_B(d̃ − 1)⌋` ([`decode_theorem9`]). The experiment harness
+//! uses this to *demonstrate* the information-theoretic content: solving
+//! approximate APSP forces Ω(k_max) bits per node across the λ-cut.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Node;
+use crate::weighted::WeightedGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated Theorem 9 instance with its hidden payload.
+#[derive(Debug, Clone)]
+pub struct Theorem9Instance {
+    pub graph: WeightedGraph,
+    /// The approximation ratio the instance defeats.
+    pub alpha: f64,
+    /// Weight base `B = ⌈2α⌉`.
+    pub base: u64,
+    /// Largest exponent hidden (`B^{k_max} ≤ n^c − 2`).
+    pub k_max: u32,
+    /// The hidden exponents `k_i`, indexed by node (0 for v₁, v₂).
+    pub hidden_k: Vec<u32>,
+    /// The big weight `W = n^c`.
+    pub big_weight: f64,
+}
+
+/// Build a Theorem 9 instance. `n ≥ λ + 2`, `λ ≥ 2`, `alpha ≥ 1`,
+/// `c > 0` sizes the weight cap `W = n^c` (kept ≤ 2^52 for exact f64).
+pub fn theorem9_instance(
+    n: usize,
+    lambda: usize,
+    alpha: f64,
+    c: f64,
+    seed: u64,
+) -> Theorem9Instance {
+    assert!(lambda >= 2 && n >= lambda + 2);
+    assert!(alpha >= 1.0 && c > 0.0);
+    let big = (n as f64).powf(c).floor();
+    assert!(big >= 8.0 && big < 2f64.powi(52), "weight cap out of range");
+    let base = (2.0 * alpha).ceil() as u64;
+    let mut k_max = 0u32;
+    while (base as f64).powi(k_max as i32 + 1) <= big - 2.0 {
+        k_max += 1;
+    }
+    assert!(k_max >= 1, "n^c too small to hide even one digit (raise c)");
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut hidden_k = vec![0u32; n];
+    let mut b = GraphBuilder::new(n);
+    let mut weights: Vec<((Node, Node), f64)> = Vec::new();
+    let push = |b: &mut GraphBuilder, w: &mut Vec<((Node, Node), f64)>, u: Node, v: Node, wt: f64| {
+        b.push_edge(u, v);
+        let key = (u.min(v), u.max(v));
+        w.push((key, wt));
+    };
+    // v1 = 0, v2 = 1, clique nodes 2..n.
+    push(&mut b, &mut weights, 0, 1, 1.0);
+    for i in 2..(lambda + 1) as Node {
+        push(&mut b, &mut weights, 0, i, big);
+    }
+    for i in 2..n as Node {
+        for j in (i + 1)..n as Node {
+            push(&mut b, &mut weights, i, j, big);
+        }
+    }
+    for i in 2..n as Node {
+        let k = rng.gen_range(1..=k_max);
+        hidden_k[i as usize] = k;
+        push(&mut b, &mut weights, 1, i, (base as f64).powi(k as i32));
+    }
+    let graph = b.build().expect("theorem 9 instance is simple");
+    // Align weights with the builder's canonical edge ids.
+    weights.sort_unstable_by_key(|&(key, _)| key);
+    let w: Vec<f64> = weights.into_iter().map(|(_, wt)| wt).collect();
+    Theorem9Instance {
+        graph: WeightedGraph::new(graph, w),
+        alpha,
+        base,
+        k_max,
+        hidden_k,
+        big_weight: big,
+    }
+}
+
+/// Recover the hidden exponents from any `(α,0)`-approximate estimates of
+/// `d(v₁, ·)` (row of v₁, indexed by node). Entries for v₁/v₂ are 0.
+pub fn decode_theorem9(instance: &Theorem9Instance, estimates_from_v1: &[f64]) -> Vec<u32> {
+    let n = instance.graph.n();
+    assert_eq!(estimates_from_v1.len(), n);
+    let logb = (instance.base as f64).ln();
+    (0..n)
+        .map(|i| {
+            if i < 2 {
+                return 0;
+            }
+            let d = estimates_from_v1[i];
+            assert!(d > 1.0, "estimate at node {i} too small: {d}");
+            ((d - 1.0).ln() / logb + 1e-9).floor() as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::apsp::dijkstra;
+    use crate::algo::connectivity::edge_connectivity;
+
+    #[test]
+    fn structure_and_connectivity() {
+        let inst = theorem9_instance(20, 4, 3.0, 2.0, 7);
+        let g = inst.graph.graph();
+        assert_eq!(g.n(), 20);
+        // deg(v1) = λ.
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(edge_connectivity(g), 4);
+        // Hidden exponents populated for clique nodes only.
+        assert_eq!(inst.hidden_k[0], 0);
+        assert_eq!(inst.hidden_k[1], 0);
+        assert!(inst.hidden_k[2..].iter().all(|&k| k >= 1 && k <= inst.k_max));
+    }
+
+    #[test]
+    fn exact_distances_decode_perfectly() {
+        let inst = theorem9_instance(24, 5, 2.0, 2.0, 3);
+        let d = dijkstra(&inst.graph, 0);
+        // Shortest v1→vi is via v2.
+        for i in 2..24usize {
+            let expect = 1.0 + (inst.base as f64).powi(inst.hidden_k[i] as i32);
+            assert_eq!(d[i], expect, "node {i}");
+        }
+        let decoded = decode_theorem9(&inst, &d);
+        assert_eq!(decoded[2..], inst.hidden_k[2..]);
+    }
+
+    #[test]
+    fn alpha_stretched_estimates_still_decode() {
+        // Adversarially stretch every distance by exactly α — decoding
+        // must still pin each k_i.
+        let alpha = 3.0;
+        let inst = theorem9_instance(30, 6, alpha, 2.0, 11);
+        let d = dijkstra(&inst.graph, 0);
+        let stretched: Vec<f64> = d.iter().map(|&x| x * alpha).collect();
+        // Note: d̃(v1,vi) = α(1 + B^k); d̃ − 1 = αB^k + (α−1) < B^{k+1}. ✓
+        let decoded = decode_theorem9(&inst, &stretched);
+        assert_eq!(decoded[2..], inst.hidden_k[2..]);
+    }
+
+    #[test]
+    fn information_content_matches_theorem() {
+        // k_max = Θ(log n / log α): each node hides log2(k_max) bits; the
+        // Ω(n·k_max/(λ·log n)) bound is the paper's Ω(n/(λ·log α)).
+        let inst = theorem9_instance(64, 4, 2.0, 2.0, 1);
+        assert!(inst.k_max >= 4, "k_max = {} too small", inst.k_max);
+        let tighter = theorem9_instance(64, 4, 16.0, 2.0, 1);
+        assert!(
+            tighter.k_max < inst.k_max,
+            "larger α must hide fewer digits"
+        );
+    }
+}

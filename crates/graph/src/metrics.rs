@@ -1,0 +1,113 @@
+//! Graph-level metrics used across experiments: cut sizes, conductance,
+//! and the paper's headline parameter summary (n, m, δ, λ, D).
+
+use crate::algo::connectivity::edge_connectivity;
+use crate::algo::diameter::diameter_exact;
+use crate::graph::{Graph, Node};
+
+/// Number of edges crossing the cut `(S, V∖S)` given a membership mask.
+pub fn cut_size(g: &Graph, in_s: &[bool]) -> usize {
+    assert_eq!(in_s.len(), g.n());
+    g.edge_list()
+        .filter(|&(_, u, v)| in_s[u as usize] != in_s[v as usize])
+        .count()
+}
+
+/// Volume of `S`: sum of degrees of nodes in `S`.
+pub fn volume(g: &Graph, in_s: &[bool]) -> usize {
+    (0..g.n() as Node)
+        .filter(|&v| in_s[v as usize])
+        .map(|v| g.degree(v))
+        .sum()
+}
+
+/// Conductance of the cut: `cut / min(vol(S), vol(V∖S))`.
+/// Returns `None` if either side has zero volume.
+pub fn conductance(g: &Graph, in_s: &[bool]) -> Option<f64> {
+    let cut = cut_size(g, in_s);
+    let vol_s = volume(g, in_s);
+    let vol_rest = 2 * g.m() - vol_s;
+    let denom = vol_s.min(vol_rest);
+    if denom == 0 {
+        None
+    } else {
+        Some(cut as f64 / denom as f64)
+    }
+}
+
+/// The paper's parameter tuple for a graph, computed exactly.
+/// Intended for experiment headers; costs `O(n·m)` (diameter) +
+/// `O(n)` max-flows (λ), so use on verification-sized graphs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphParams {
+    pub n: usize,
+    pub m: usize,
+    /// Minimum degree δ.
+    pub delta: usize,
+    /// Edge connectivity λ.
+    pub lambda: usize,
+    /// Diameter D (`None` when disconnected).
+    pub diameter: Option<u32>,
+}
+
+impl GraphParams {
+    pub fn measure(g: &Graph) -> Self {
+        GraphParams {
+            n: g.n(),
+            m: g.m(),
+            delta: g.min_degree(),
+            lambda: edge_connectivity(g),
+            diameter: diameter_exact(g),
+        }
+    }
+
+    /// The paper's Observation 1 bound: `D = O(n/δ)`; returns the measured
+    /// ratio `D · δ / n` (should be O(1) — in fact ≤ 3 by the proof).
+    pub fn observation1_ratio(&self) -> Option<f64> {
+        let d = self.diameter? as f64;
+        if self.n == 0 {
+            return None;
+        }
+        Some(d * self.delta as f64 / self.n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{clique_chain, complete, cycle, harary};
+
+    #[test]
+    fn cut_and_volume_on_cycle() {
+        let g = cycle(6);
+        let in_s = vec![true, true, true, false, false, false];
+        assert_eq!(cut_size(&g, &in_s), 2);
+        assert_eq!(volume(&g, &in_s), 6);
+        let phi = conductance(&g, &in_s).unwrap();
+        assert!((phi - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_side_conductance_none() {
+        let g = cycle(4);
+        assert_eq!(conductance(&g, &[false; 4]), None);
+    }
+
+    #[test]
+    fn params_of_harary() {
+        let p = GraphParams::measure(&harary(4, 16));
+        assert_eq!(p.n, 16);
+        assert_eq!(p.delta, 4);
+        assert_eq!(p.lambda, 4);
+        assert!(p.diameter.unwrap() >= 2);
+    }
+
+    #[test]
+    fn observation1_holds() {
+        for g in [complete(10), cycle(12), harary(4, 24), clique_chain(3, 6, 2)] {
+            let p = GraphParams::measure(&g);
+            let r = p.observation1_ratio().unwrap();
+            assert!(r <= 3.0 + 1e-9, "Observation 1 ratio {r} > 3");
+        }
+    }
+}

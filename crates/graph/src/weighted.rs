@@ -1,0 +1,174 @@
+//! Weighted graphs: a [`Graph`] plus a parallel edge-weight vector.
+//!
+//! Used by the weighted-APSP application (§4.2: Baswana–Sen spanners) and
+//! the cut sparsifier (§4.3: Koutis–Xu style, where resampling multiplies
+//! weights). Weights are `f64` because sparsifier iterations scale them by
+//! powers of 4; the paper's integer-weight lower bound (Theorem 9) only
+//! needs exact representation of integers up to `n^c`, which `f64` holds
+//! exactly for every size we simulate.
+
+use crate::graph::{Edge, Graph, Node};
+
+/// An undirected graph with positive edge weights, sharing [`Graph`]'s CSR
+/// structure; `weights[e]` is the weight of edge `e`.
+#[derive(Clone, Debug)]
+pub struct WeightedGraph {
+    graph: Graph,
+    weights: Vec<f64>,
+}
+
+impl WeightedGraph {
+    /// Wrap a graph with explicit weights (must be positive and match `m`).
+    pub fn new(graph: Graph, weights: Vec<f64>) -> Self {
+        assert_eq!(
+            weights.len(),
+            graph.m(),
+            "weight vector length must equal edge count"
+        );
+        assert!(
+            weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+            "edge weights must be positive and finite"
+        );
+        WeightedGraph { graph, weights }
+    }
+
+    /// All weights = 1 (the unweighted case viewed as weighted).
+    pub fn unit(graph: Graph) -> Self {
+        let m = graph.m();
+        WeightedGraph {
+            graph,
+            weights: vec![1.0; m],
+        }
+    }
+
+    /// The underlying unweighted structure.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Weight of edge `e`.
+    #[inline]
+    pub fn weight(&self, e: Edge) -> f64 {
+        self.weights[e as usize]
+    }
+
+    /// The full weight vector, edge-id indexed.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.graph.m()
+    }
+
+    /// Iterate `(neighbor, edge, weight)` triples of `v`.
+    pub fn edges_of(&self, v: Node) -> impl Iterator<Item = (Node, Edge, f64)> + '_ {
+        self.graph
+            .edges_of(v)
+            .map(move |(u, e)| (u, e, self.weights[e as usize]))
+    }
+
+    /// Total edge weight.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Weight of the cut `(S, V∖S)` where `in_s[v]` marks membership of `S`.
+    pub fn cut_weight(&self, in_s: &[bool]) -> f64 {
+        assert_eq!(in_s.len(), self.n());
+        self.graph
+            .edge_list()
+            .filter(|&(_, u, v)| in_s[u as usize] != in_s[v as usize])
+            .map(|(e, _, _)| self.weights[e as usize])
+            .sum()
+    }
+
+    /// A new weighted graph with the same nodes containing only edges
+    /// selected by `keep`, with weights transformed by `map_w`.
+    pub fn filter_map_edges<K, W>(&self, mut keep: K, mut map_w: W) -> WeightedGraph
+    where
+        K: FnMut(Edge) -> bool,
+        W: FnMut(Edge, f64) -> f64,
+    {
+        let mut edges = Vec::new();
+        let mut weights = Vec::new();
+        // Collect in canonical (sorted) edge order so that rebuilt edge ids
+        // line up with the collected weight order.
+        for (e, u, v) in self.graph.edge_list() {
+            if keep(e) {
+                edges.push((u, v));
+                weights.push(map_w(e, self.weights[e as usize]));
+            }
+        }
+        let g = crate::builder::GraphBuilder::new(self.n())
+            .edges(edges.iter().copied())
+            .build()
+            .expect("filtered subgraph of a valid graph is valid");
+        // `edge_list()` yields edges in canonical sorted order and the
+        // builder assigns ids in that same order, so weights align.
+        WeightedGraph::new(g, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn square() -> Graph {
+        GraphBuilder::new(4)
+            .edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unit_weights() {
+        let wg = WeightedGraph::unit(square());
+        assert_eq!(wg.total_weight(), 4.0);
+        for e in 0..wg.m() as u32 {
+            assert_eq!(wg.weight(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn cut_weight_of_half_square() {
+        let wg = WeightedGraph::unit(square());
+        let in_s = vec![true, true, false, false];
+        // Edges crossing {0,1}|{2,3}: (1,2) and (0,3).
+        assert_eq!(wg.cut_weight(&in_s), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_weight() {
+        WeightedGraph::new(square(), vec![1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn filter_map_preserves_alignment() {
+        let g = square();
+        let weights: Vec<f64> = (0..g.m()).map(|e| (e + 1) as f64).collect();
+        let wg = WeightedGraph::new(g, weights);
+        let doubled = wg.filter_map_edges(|e| e != 0, |_, w| 2.0 * w);
+        assert_eq!(doubled.m(), 3);
+        // Each surviving edge's weight must be exactly twice its original.
+        for (e_new, u, v) in doubled.graph().edge_list() {
+            let orig = wg
+                .graph()
+                .edge_list()
+                .find(|&(_, a, b)| (a, b) == (u, v))
+                .unwrap()
+                .0;
+            assert_eq!(doubled.weight(e_new), 2.0 * wg.weight(orig));
+        }
+    }
+}

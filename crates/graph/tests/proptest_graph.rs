@@ -1,0 +1,122 @@
+//! Property-based tests for the graph substrate: the CSR structure, flows
+//! and cuts, diameters, and components must agree with independent
+//! reference computations on arbitrary graphs.
+
+use congest_graph::algo::components::{connected_components, is_connected, UnionFind};
+use congest_graph::algo::connectivity::{edge_connectivity, min_edge_cut};
+use congest_graph::algo::diameter::{diameter_exact, two_sweep_lower_bound};
+use congest_graph::algo::stoer_wagner::stoer_wagner_min_cut;
+use congest_graph::{Graph, GraphBuilder, WeightedGraph};
+use proptest::prelude::*;
+
+/// Arbitrary simple graph from a random edge mask.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n, any::<u64>(), 10u32..80).prop_map(|(n, seed, density)| {
+        use congest_sim_free_mix::mix64;
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                let h = mix64(seed ^ mix64(((u as u64) << 32) | v as u64));
+                if (h % 100) < density as u64 {
+                    b.push_edge(u, v);
+                }
+            }
+        }
+        b.build().unwrap()
+    })
+}
+
+/// Local SplitMix64 copy so this test crate needs no sim dependency.
+mod congest_sim_free_mix {
+    pub fn mix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// CSR invariants: degree sums, sorted adjacency, reverse-arc
+    /// involution, endpoint consistency.
+    #[test]
+    fn csr_invariants(g in arb_graph(24)) {
+        prop_assert_eq!(g.degree_sum(), 2 * g.m());
+        for v in 0..g.n() as u32 {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            for (u, e) in g.edges_of(v) {
+                let (a, b) = g.endpoints(e);
+                prop_assert_eq!((a, b), (v.min(u), v.max(u)));
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+        for arc in 0..g.num_arcs() {
+            prop_assert_eq!(g.reverse_arc(g.reverse_arc(arc)), arc);
+        }
+    }
+
+    /// Union-find agrees with BFS-based components.
+    #[test]
+    fn union_find_matches_components(g in arb_graph(24)) {
+        let (labels, count) = connected_components(&g);
+        let mut uf = UnionFind::new(g.n());
+        for (_, u, v) in g.edge_list() {
+            uf.union(u, v);
+        }
+        prop_assert_eq!(uf.num_components(), count);
+        for u in 0..g.n() as u32 {
+            for v in 0..g.n() as u32 {
+                prop_assert_eq!(
+                    uf.same(u, v),
+                    labels[u as usize] == labels[v as usize]
+                );
+            }
+        }
+    }
+
+    /// Dinic-based edge connectivity equals Stoer–Wagner's min cut on
+    /// unit weights (two independent algorithms).
+    #[test]
+    fn dinic_equals_stoer_wagner(g in arb_graph(14)) {
+        prop_assume!(is_connected(&g) && g.n() >= 2);
+        let lam = edge_connectivity(&g);
+        let (sw, _) = stoer_wagner_min_cut(&WeightedGraph::unit(g.clone())).unwrap();
+        prop_assert_eq!(lam as f64, sw);
+    }
+
+    /// The cut returned with λ really has λ crossing edges.
+    #[test]
+    fn min_cut_side_is_consistent(g in arb_graph(14)) {
+        prop_assume!(is_connected(&g) && g.n() >= 2);
+        let (lam, side) = min_edge_cut(&g);
+        let crossing = g
+            .edge_list()
+            .filter(|&(_, u, v)| side[u as usize] != side[v as usize])
+            .count();
+        prop_assert_eq!(crossing, lam);
+        prop_assert!(side.iter().any(|&x| x));
+        prop_assert!(side.iter().any(|&x| !x));
+    }
+
+    /// Two-sweep is a genuine lower bound within factor 2.
+    #[test]
+    fn two_sweep_bounds_diameter(g in arb_graph(20)) {
+        prop_assume!(is_connected(&g) && g.n() >= 2);
+        let d = diameter_exact(&g).unwrap();
+        let lb = two_sweep_lower_bound(&g, 0).unwrap();
+        prop_assert!(lb <= d);
+        prop_assert!(2 * lb >= d);
+    }
+
+    /// λ ≤ δ ≤ 2m/n ordering (paper §2).
+    #[test]
+    fn parameter_ordering(g in arb_graph(16)) {
+        prop_assume!(g.n() >= 2);
+        let lam = edge_connectivity(&g);
+        prop_assert!(lam <= g.min_degree());
+        prop_assert!(g.min_degree() as f64 <= g.avg_degree() + 1e-9);
+    }
+}

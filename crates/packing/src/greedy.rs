@@ -1,0 +1,177 @@
+//! Greedy edge-disjoint spanning-tree extraction.
+//!
+//! Tutte/Nash-Williams guarantee ⌊λ/2⌋ edge-disjoint spanning trees exist
+//! in any λ-edge-connected graph. Two greedy constructions:
+//!
+//! * [`greedy_disjoint_spanning_trees`] — repeated **BFS** trees on the
+//!   residual edges. Trees are shallow, but a BFS tree drains its root's
+//!   edges (on `K_n` the first tree is a star that isolates the root in
+//!   the residual), so repeated-BFS stalls early on dense graphs.
+//! * [`random_disjoint_spanning_trees`] — repeated **Kruskal over a
+//!   seeded random edge order**. Usage spreads evenly, so the residual
+//!   stays connected for many more rounds; tree diameters are whatever
+//!   random spanning trees give.
+//!
+//! Greedy extraction is a cheap constructive *lower bound* on the packing
+//! number: it can fall short of ⌊λ/2⌋ (the tests pin concrete shortfalls).
+//! When the exact number matters, use the matroid-union algorithm in
+//! [`crate::matroid`], which is optimal by Edmonds' theorem.
+
+use crate::packing::TreePacking;
+use congest_graph::algo::bfs::{bfs_tree_restricted, BfsTree, UNREACHABLE};
+use congest_graph::algo::components::UnionFind;
+use congest_graph::{Graph, Node, INVALID_NODE};
+use congest_sim::rng::mix64;
+
+/// Extract up to `want` edge-disjoint spanning trees by repeated BFS on
+/// the residual edges, all rooted at `root`. Stops early when the
+/// residual disconnects; always returns ≥ 1 tree on a connected graph.
+pub fn greedy_disjoint_spanning_trees(g: &Graph, want: usize, root: Node) -> TreePacking {
+    let mut used = vec![false; g.m()];
+    let mut trees = Vec::new();
+    for _ in 0..want {
+        let t = bfs_tree_restricted(g, root, |e| !used[e as usize]);
+        if !t.is_spanning() {
+            break;
+        }
+        mark_used(g, &t, &mut used);
+        trees.push(t);
+    }
+    TreePacking::new(trees)
+}
+
+/// Extract up to `want` edge-disjoint spanning trees via Kruskal over
+/// independently seeded random edge orders. Spreads edge usage, so dense
+/// graphs yield many more trees than repeated BFS.
+pub fn random_disjoint_spanning_trees(g: &Graph, want: usize, seed: u64) -> TreePacking {
+    let mut used = vec![false; g.m()];
+    let mut trees = Vec::new();
+    for t in 0..want {
+        match random_kruskal_tree(g, &used, seed ^ mix64(t as u64)) {
+            Some(tree) => {
+                mark_used(g, &tree, &mut used);
+                trees.push(tree);
+            }
+            None => break,
+        }
+    }
+    TreePacking::new(trees)
+}
+
+fn mark_used(g: &Graph, t: &BfsTree, used: &mut [bool]) {
+    for v in 0..g.n() {
+        if t.parent[v] != INVALID_NODE {
+            used[t.parent_edge[v] as usize] = true;
+        }
+    }
+}
+
+/// Kruskal over a random permutation of the unused edges; returns a
+/// spanning tree in [`BfsTree`] form (rooted at the minimum node), or
+/// `None` if the residual is disconnected.
+fn random_kruskal_tree(g: &Graph, used: &[bool], seed: u64) -> Option<BfsTree> {
+    let n = g.n();
+    let mut order: Vec<u32> = (0..g.m() as u32).filter(|&e| !used[e as usize]).collect();
+    // Fisher–Yates with the crate's mixer for determinism.
+    for i in (1..order.len()).rev() {
+        let j = (mix64(seed ^ mix64(i as u64)) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut uf = UnionFind::new(n);
+    let mut chosen: Vec<u32> = Vec::with_capacity(n.saturating_sub(1));
+    for &e in &order {
+        let (u, v) = g.endpoints(e);
+        if uf.union(u, v) {
+            chosen.push(e);
+            if chosen.len() + 1 == n {
+                break;
+            }
+        }
+    }
+    if chosen.len() + 1 != n {
+        return None;
+    }
+    // Root the edge set at node 0 and orient parents by BFS within it.
+    let mut in_tree = vec![false; g.m()];
+    for &e in &chosen {
+        in_tree[e as usize] = true;
+    }
+    let t = bfs_tree_restricted(g, 0, |e| in_tree[e as usize]);
+    debug_assert!(t.is_spanning());
+    debug_assert!(t.depth.iter().all(|&d| d != UNREACHABLE));
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{complete, cycle, harary, hypercube};
+
+    #[test]
+    fn bfs_greedy_extracts_at_least_one() {
+        let g = cycle(10); // λ = 2: exactly one spanning tree extractable
+        let packing = greedy_disjoint_spanning_trees(&g, 5, 0);
+        assert_eq!(packing.num_trees(), 1);
+        packing.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn random_extraction_gets_most_trees_on_harary() {
+        // λ = 8 admits ⌊λ/2⌋ = 4 trees (m = 160 leaves just 4 spare
+        // edges) — greedy cannot certify that tight a packing; it must
+        // still find ≥ 3 valid disjoint trees. The exact count is the
+        // matroid algorithm's job (see `matroid::tests`).
+        let g = harary(8, 40);
+        let packing = random_disjoint_spanning_trees(&g, 4, 7);
+        assert!(packing.num_trees() >= 3, "got {}", packing.num_trees());
+        packing.validate(&g).unwrap();
+        assert!(packing.stats(&g).edge_disjoint);
+    }
+
+    #[test]
+    fn random_extraction_beats_bfs_on_complete_graphs() {
+        // Repeated BFS stalls after one star on K_n; random Kruskal keeps
+        // the residual alive for ⌊λ/2⌋-ish rounds.
+        let g = complete(16);
+        let via_bfs = greedy_disjoint_spanning_trees(&g, 7, 0);
+        let via_random = random_disjoint_spanning_trees(&g, 7, 3);
+        assert_eq!(via_bfs.num_trees(), 1, "the star pathology");
+        assert!(
+            via_random.num_trees() >= 5,
+            "random got only {}",
+            via_random.num_trees()
+        );
+        via_random.validate(&g).unwrap();
+        assert!(via_random.stats(&g).edge_disjoint);
+    }
+
+    #[test]
+    fn hypercube_two_trees() {
+        let g = hypercube(5); // λ = 5
+        let packing = random_disjoint_spanning_trees(&g, 2, 1);
+        assert_eq!(packing.num_trees(), 2);
+        packing.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn bfs_root_star_pathology_documented() {
+        // BFS tree 1 from the root of a circulant parents all the root's
+        // neighbors, exhausting every root edge: the residual isolates
+        // the root, so repeated BFS stalls at one tree. This is the
+        // documented limitation motivating the random and matroid
+        // variants.
+        let g = harary(10, 60);
+        let packing = greedy_disjoint_spanning_trees(&g, 3, 0);
+        assert_eq!(packing.num_trees(), 1);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = harary(8, 32);
+        let a = random_disjoint_spanning_trees(&g, 3, 42);
+        let b = random_disjoint_spanning_trees(&g, 3, 42);
+        for (ta, tb) in a.trees.iter().zip(b.trees.iter()) {
+            assert_eq!(ta.parent, tb.parent);
+        }
+    }
+}

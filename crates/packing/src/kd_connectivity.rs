@@ -1,0 +1,141 @@
+//! Empirical (k,d)-connectivity certificates (paper Lemma 9, Appendix A).
+//!
+//! Lemma 9: every simple graph with edge connectivity λ and min degree δ
+//! is `(λ/5, 16n/δ)`-connected — any two nodes are joined by ≥ λ/5
+//! edge-disjoint paths of length ≤ 16n/δ.
+//!
+//! Exact length-bounded disjoint-path packing is NP-hard, so this module
+//! gathers **greedy lower-bound certificates**
+//! ([`congest_graph::algo::paths::greedy_disjoint_paths`]) across many
+//! node pairs — a witness that at least the claimed number of short
+//! disjoint paths exists, which is the direction Lemma 9 asserts
+//! (substitution documented in DESIGN.md §2).
+
+use congest_graph::algo::paths::greedy_disjoint_paths;
+use congest_graph::{Graph, Node};
+use congest_sim::rng::mix64;
+
+/// Lemma 9's claimed parameters for a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lemma9Claim {
+    /// `k = λ/5` (at least 1).
+    pub k: usize,
+    /// `d = 16n/δ`.
+    pub d: u32,
+}
+
+impl Lemma9Claim {
+    pub fn for_graph(n: usize, lambda: usize, delta: usize) -> Self {
+        assert!(delta > 0);
+        Lemma9Claim {
+            k: (lambda / 5).max(1),
+            d: ((16 * n) as f64 / delta as f64).ceil() as u32,
+        }
+    }
+}
+
+/// Result of testing Lemma 9 on a set of node pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KdReport {
+    pub claim: Lemma9Claim,
+    /// Pairs tested.
+    pub pairs: usize,
+    /// Pairs for which the greedy certificate met the claim.
+    pub certified: usize,
+    /// Worst observed "(number of paths within d)" over the tested pairs.
+    pub min_paths_within_d: usize,
+    /// The largest d' that would still certify `k` paths for every pair
+    /// (i.e. max over pairs of the k-th shortest greedy path length).
+    pub max_needed_length: u32,
+}
+
+impl KdReport {
+    /// Did every tested pair meet the Lemma 9 claim?
+    pub fn all_certified(&self) -> bool {
+        self.certified == self.pairs
+    }
+}
+
+/// Test Lemma 9's claim on `num_pairs` pseudo-random node pairs.
+pub fn kd_certificates(
+    g: &Graph,
+    lambda: usize,
+    num_pairs: usize,
+    seed: u64,
+) -> KdReport {
+    let n = g.n();
+    assert!(n >= 2);
+    let claim = Lemma9Claim::for_graph(n, lambda, g.min_degree());
+    let mut certified = 0usize;
+    let mut min_paths = usize::MAX;
+    let mut max_needed = 0u32;
+    for i in 0..num_pairs {
+        let h = mix64(seed ^ mix64(i as u64));
+        let s = (h % n as u64) as Node;
+        let mut t = ((h >> 32) % n as u64) as Node;
+        if s == t {
+            t = (t + 1) % n as Node;
+        }
+        // Greedy needs a few extra paths of slack beyond k since greedy
+        // choices are not optimal.
+        let cert = greedy_disjoint_paths(g, s, t, claim.k + lambda);
+        let within = cert.count_within(claim.d);
+        min_paths = min_paths.min(within);
+        if within >= claim.k {
+            certified += 1;
+        }
+        if let Some(len) = cert.max_length_of_first(claim.k) {
+            max_needed = max_needed.max(len);
+        } else {
+            // Fewer than k paths at any length: record "infinite" need.
+            max_needed = u32::MAX;
+        }
+    }
+    KdReport {
+        claim,
+        pairs: num_pairs,
+        certified,
+        min_paths_within_d: if min_paths == usize::MAX { 0 } else { min_paths },
+        max_needed_length: max_needed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{clique_chain, complete, harary, thick_path, torus2d};
+
+    #[test]
+    fn claim_values() {
+        let c = Lemma9Claim::for_graph(100, 10, 20);
+        assert_eq!(c.k, 2);
+        assert_eq!(c.d, 80);
+        // λ < 5 clamps k to 1.
+        assert_eq!(Lemma9Claim::for_graph(100, 3, 20).k, 1);
+    }
+
+    #[test]
+    fn lemma9_certified_on_families() {
+        for (g, lambda) in [
+            (harary(10, 40), 10),
+            (complete(20), 19),
+            (torus2d(5, 6), 4),
+            (thick_path(6, 10), 10),
+            (clique_chain(3, 8, 5), 5),
+        ] {
+            let report = kd_certificates(&g, lambda, 12, 99);
+            assert!(
+                report.all_certified(),
+                "Lemma 9 claim failed on a family: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn needed_length_is_finite_and_within_claim() {
+        let g = harary(10, 50);
+        let report = kd_certificates(&g, 10, 10, 3);
+        assert!(report.max_needed_length <= report.claim.d);
+        assert!(report.min_paths_within_d >= report.claim.k);
+    }
+}

@@ -1,0 +1,173 @@
+//! The tree-packing container and its validators.
+
+use congest_graph::algo::bfs::BfsTree;
+use congest_graph::{Graph, Node, INVALID_NODE};
+
+/// A collection of rooted spanning trees of one graph.
+///
+/// Trees are stored as parent/parent-edge arrays ([`BfsTree`]), which is
+/// what both the centralized and the distributed constructions naturally
+/// produce.
+#[derive(Debug, Clone)]
+pub struct TreePacking {
+    pub trees: Vec<BfsTree>,
+}
+
+/// Summary statistics of a packing — the quantities Theorems 2/10/13 talk
+/// about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackingStats {
+    pub num_trees: usize,
+    /// Exact diameter of each tree (as a subgraph, not just 2×height).
+    pub tree_diameters: Vec<u32>,
+    pub max_diameter: u32,
+    pub mean_diameter: f64,
+    /// Max number of trees any single edge participates in.
+    pub congestion: usize,
+    /// True iff no edge is used by two trees.
+    pub edge_disjoint: bool,
+}
+
+impl TreePacking {
+    pub fn new(trees: Vec<BfsTree>) -> Self {
+        TreePacking { trees }
+    }
+
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Check structural validity against `g`: every tree must span all of
+    /// `g`'s nodes and use only edges of `g` (parent edges are edge ids of
+    /// `g` by construction; we verify endpoints match).
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        for (i, t) in self.trees.iter().enumerate() {
+            if !t.is_spanning() {
+                return Err(format!("tree {i} is not spanning ({} reached)", t.reached()));
+            }
+            for v in 0..g.n() as Node {
+                let p = t.parent[v as usize];
+                if p == INVALID_NODE {
+                    if v != t.root {
+                        return Err(format!("tree {i}: non-root node {v} has no parent"));
+                    }
+                    continue;
+                }
+                let e = t.parent_edge[v as usize];
+                let (a, b) = g.endpoints(e);
+                if (a, b) != (v.min(p), v.max(p)) {
+                    return Err(format!(
+                        "tree {i}: node {v}'s parent edge {e} does not connect {v}-{p}"
+                    ));
+                }
+                if t.depth[v as usize] != t.depth[p as usize] + 1 {
+                    return Err(format!("tree {i}: depth inconsistency at node {v}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-edge usage counts across trees.
+    pub fn edge_usage(&self, g: &Graph) -> Vec<usize> {
+        let mut usage = vec![0usize; g.m()];
+        for t in &self.trees {
+            for v in 0..g.n() {
+                if t.parent[v] != INVALID_NODE {
+                    usage[t.parent_edge[v] as usize] += 1;
+                }
+            }
+        }
+        usage
+    }
+
+    /// Exact diameter of tree `i` measured inside the tree's edge set
+    /// (double-BFS on a tree is exact).
+    pub fn tree_diameter(&self, g: &Graph, i: usize) -> u32 {
+        let t = &self.trees[i];
+        let mut allowed = vec![false; g.m()];
+        for v in 0..g.n() {
+            if t.parent[v] != INVALID_NODE {
+                allowed[t.parent_edge[v] as usize] = true;
+            }
+        }
+        congest_graph::algo::diameter::two_sweep_lower_bound_restricted(g, t.root, &allowed)
+            .expect("spanning tree is connected")
+    }
+
+    /// Full statistics.
+    pub fn stats(&self, g: &Graph) -> PackingStats {
+        let usage = self.edge_usage(g);
+        let congestion = usage.iter().copied().max().unwrap_or(0);
+        let tree_diameters: Vec<u32> = (0..self.trees.len())
+            .map(|i| self.tree_diameter(g, i))
+            .collect();
+        let max_diameter = tree_diameters.iter().copied().max().unwrap_or(0);
+        let mean_diameter = if tree_diameters.is_empty() {
+            0.0
+        } else {
+            tree_diameters.iter().map(|&d| d as f64).sum::<f64>() / tree_diameters.len() as f64
+        };
+        PackingStats {
+            num_trees: self.trees.len(),
+            tree_diameters,
+            max_diameter,
+            mean_diameter,
+            congestion,
+            edge_disjoint: congestion <= 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::algo::bfs::bfs_tree;
+    use congest_graph::generators::{complete, cycle};
+
+    #[test]
+    fn single_bfs_tree_is_valid_packing() {
+        let g = complete(8);
+        let packing = TreePacking::new(vec![bfs_tree(&g, 0)]);
+        packing.validate(&g).unwrap();
+        let stats = packing.stats(&g);
+        assert_eq!(stats.num_trees, 1);
+        assert!(stats.edge_disjoint);
+        assert_eq!(stats.max_diameter, 2); // BFS star on K_8
+        assert_eq!(stats.congestion, 1);
+    }
+
+    #[test]
+    fn duplicate_trees_have_congestion_two() {
+        let g = cycle(6);
+        let t = bfs_tree(&g, 0);
+        let packing = TreePacking::new(vec![t.clone(), t]);
+        packing.validate(&g).unwrap();
+        let stats = packing.stats(&g);
+        assert_eq!(stats.congestion, 2);
+        assert!(!stats.edge_disjoint);
+    }
+
+    #[test]
+    fn non_spanning_tree_rejected() {
+        let g = congest_graph::GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .build()
+            .unwrap();
+        let t = congest_graph::algo::bfs::bfs_tree_restricted(&g, 0, |e| e == 0);
+        let packing = TreePacking::new(vec![t]);
+        assert!(packing.validate(&g).is_err());
+    }
+
+    #[test]
+    fn tree_diameter_exact_on_path_tree() {
+        // BFS tree of a cycle from node 0 is a path-ish tree: diameter n-1
+        // ... actually two branches of length n/2 ⇒ diameter = n - 1 for
+        // even splits? For cycle(6): branches 0-1-2-3 and 0-5-4 share root;
+        // diameter = depth(3) + depth(4) = 3 + 2 = 5.
+        let g = cycle(6);
+        let packing = TreePacking::new(vec![bfs_tree(&g, 0)]);
+        assert_eq!(packing.stats(&g).max_diameter, 5);
+    }
+}

@@ -1,0 +1,143 @@
+//! The congestion-`O(log n)` packing with **λ trees** (paper §3.1 last
+//! paragraph + Appendix A / Theorem 10 parameter point).
+//!
+//! §3.1: *"The decomposition of Theorem 2 also yields a tree packing of at
+//! least λ spanning trees with diameter O((n log n)/δ) where each edge
+//! belongs to O(log n) trees."* Construction: draw λ **independent**
+//! Lemma 5 samples, each keeping every edge with probability
+//! `p = C log n/λ`; each sample spans with diameter `Õ(n/δ)` w.h.p.
+//! (Lemma 5), and each edge lands in `Binomial(λ, p) ≈ C log n` trees.
+//!
+//! This is our constructive stand-in for the Chuzhoy–Parter–Tan algorithm
+//! of Lemma 8 (see DESIGN.md §2): identical output guarantees, and the
+//! route the paper itself notes Theorem 2 subsumes.
+
+use crate::packing::TreePacking;
+use congest_core::partition::sample_edges;
+use congest_graph::algo::bfs::bfs_tree_restricted;
+use congest_graph::{Graph, Node};
+
+/// Result of a sampled-packing construction.
+#[derive(Debug, Clone)]
+pub struct SampledPackingReport {
+    pub packing: TreePacking,
+    /// Trees that failed to span and were re-drawn (count per tree index).
+    pub redraws: usize,
+    /// The sampling probability used.
+    pub p: f64,
+}
+
+/// Build `num_trees` spanning trees by independent `p`-sampling + BFS,
+/// re-drawing any sample that fails to span (bounded retries).
+///
+/// With `p = C·ln n/λ` and `num_trees = λ` this realizes the Theorem 10
+/// parameter point: λ trees, diameter `O((n log n)/δ)`, congestion
+/// `O(log n)` w.h.p.
+pub fn sampled_packing(
+    g: &Graph,
+    num_trees: usize,
+    p: f64,
+    root: Node,
+    seed: u64,
+) -> Result<SampledPackingReport, String> {
+    let mut trees = Vec::with_capacity(num_trees);
+    let mut redraws = 0usize;
+    for i in 0..num_trees {
+        let mut found = false;
+        for attempt in 0..64u64 {
+            let s = seed
+                .wrapping_add((i as u64) << 32)
+                .wrapping_add(attempt * 0x9E37_79B9);
+            let mask = sample_edges(g, p, s);
+            let t = bfs_tree_restricted(g, root, |e| mask[e as usize]);
+            if t.is_spanning() {
+                trees.push(t);
+                found = true;
+                redraws += attempt as usize;
+                break;
+            }
+        }
+        if !found {
+            return Err(format!(
+                "tree {i}: no spanning sample in 64 draws (p = {p} too small for λ of this graph)"
+            ));
+        }
+    }
+    Ok(SampledPackingReport {
+        packing: TreePacking::new(trees),
+        redraws,
+        p,
+    })
+}
+
+/// The paper's sampling probability `p = C·ln n / λ` (Lemma 5).
+pub fn lemma5_probability(n: usize, lambda: usize, c: f64) -> f64 {
+    assert!(lambda > 0 && c > 0.0);
+    (c * (n.max(2) as f64).ln() / lambda as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{complete, harary};
+
+    #[test]
+    fn lambda_trees_with_log_congestion() {
+        let lambda = 16;
+        let n = 64;
+        let g = harary(lambda, n);
+        let p = lemma5_probability(n, lambda, 2.0);
+        let report = sampled_packing(&g, lambda, p, 0, 11).unwrap();
+        report.packing.validate(&g).unwrap();
+        let stats = report.packing.stats(&g);
+        assert_eq!(stats.num_trees, lambda);
+        // Congestion O(log n): expected C·ln n ≈ 8.3; allow concentration
+        // slack. Must be well below λ (the trivial bound).
+        assert!(
+            stats.congestion <= 3 * (2.0 * (n as f64).ln()) as usize,
+            "congestion {} should be O(log n)",
+            stats.congestion
+        );
+        assert!(!stats.edge_disjoint, "sampled trees share edges by design");
+    }
+
+    #[test]
+    fn diameter_bound_holds() {
+        let lambda = 16;
+        let n = 64;
+        let g = harary(lambda, n);
+        let p = lemma5_probability(n, lambda, 2.0);
+        let report = sampled_packing(&g, 8, p, 0, 3).unwrap();
+        let stats = report.packing.stats(&g);
+        let delta = g.min_degree() as f64;
+        let bound = 6.0 * (n as f64) * (n as f64).ln() / delta;
+        assert!(
+            (stats.max_diameter as f64) <= bound,
+            "diameter {} > Lemma 5 bound {bound:.1}",
+            stats.max_diameter
+        );
+    }
+
+    #[test]
+    fn p_one_gives_full_graph_bfs() {
+        let g = complete(10);
+        let report = sampled_packing(&g, 2, 1.0, 0, 1).unwrap();
+        let stats = report.packing.stats(&g);
+        assert_eq!(stats.max_diameter, 2);
+        assert_eq!(report.redraws, 0);
+    }
+
+    #[test]
+    fn too_small_p_errors() {
+        let g = harary(4, 32);
+        let err = sampled_packing(&g, 1, 0.01, 0, 1).unwrap_err();
+        assert!(err.contains("no spanning sample"));
+    }
+
+    #[test]
+    fn probability_formula() {
+        let p = lemma5_probability(1024, 64, 1.0);
+        assert!((p - (1024f64).ln() / 64.0).abs() < 1e-12);
+        assert_eq!(lemma5_probability(10, 1, 100.0), 1.0); // clamped
+    }
+}

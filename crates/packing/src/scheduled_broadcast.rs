@@ -1,0 +1,217 @@
+//! Broadcasting over a tree packing **with shared edges**, via the
+//! random-delay scheduler (paper Theorem 12 + Appendix B's use of it).
+//!
+//! Theorem 1 routes over *edge-disjoint* trees, needing no scheduling.
+//! The congestion-`O(log n)` packings of Theorem 10, however, share edges
+//! between trees — running one Lemma 1 pipeline per tree naively could
+//! collide on the shared edges. The paper's own proof of Theorem 13 runs
+//! exactly this composition through the scheduler of \[Gha15b\]:
+//! per-edge FIFO queues plus random start delays execute all pipelines in
+//! `O(congestion + dilation·log² n)` rounds.
+//!
+//! [`scheduled_packing_broadcast`] realizes that composition: one
+//! message-driven [`TreePipeline`] per tree, multiplexed by
+//! [`congest_sim::sched::Multiplexed`].
+
+use crate::packing::TreePacking;
+use congest_core::broadcast::BroadcastInput;
+use congest_core::convergecast::TreeView;
+use congest_core::pipeline::{expected_checksums, PipeMsg, PipeResult, TreePipeline};
+use congest_graph::{Graph, Node, INVALID_NODE};
+use congest_sim::sched::{random_delays, Multiplexed};
+use congest_sim::{run_protocol, EngineConfig, EngineError, RunStats};
+
+/// Outcome of a scheduled multi-tree broadcast.
+#[derive(Debug, Clone)]
+pub struct ScheduledBroadcastOutcome {
+    pub stats: RunStats,
+    /// Per node: per-tree pipeline results plus the node's peak queue
+    /// length (a scheduling-quality signal).
+    pub per_node: Vec<(Vec<PipeResult>, usize)>,
+    /// Messages assigned to each tree.
+    pub k_per_tree: Vec<u64>,
+    /// Expected checksums per tree.
+    pub expected_per_tree: Vec<(u64, u64)>,
+    /// The start delays used.
+    pub delays: Vec<u64>,
+}
+
+impl ScheduledBroadcastOutcome {
+    /// Every node received every message of every tree.
+    pub fn all_delivered(&self) -> bool {
+        self.per_node.iter().all(|(results, _)| {
+            results.iter().enumerate().all(|(t, r)| {
+                r.delivered == self.k_per_tree[t]
+                    && (r.xor_check, r.sum_check) == self.expected_per_tree[t]
+            })
+        })
+    }
+
+    /// Max queue length observed anywhere (≈ scheduling slack used).
+    pub fn peak_queue(&self) -> usize {
+        self.per_node.iter().map(|&(_, q)| q).max().unwrap_or(0)
+    }
+}
+
+/// Convert a packing tree into per-node [`TreeView`]s (port form).
+fn tree_views(g: &Graph, tree: &congest_graph::algo::bfs::BfsTree) -> Vec<TreeView> {
+    let n = g.n();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n {
+        let p = tree.parent[v];
+        if p != INVALID_NODE {
+            let port = g
+                .port_to(p, v as Node)
+                .expect("tree edge must exist in graph");
+            children[p as usize].push(port);
+        }
+    }
+    (0..n)
+        .map(|v| {
+            let parent_port = if tree.parent[v] == INVALID_NODE {
+                None
+            } else {
+                g.port_to(v as Node, tree.parent[v])
+            };
+            let mut ch = std::mem::take(&mut children[v]);
+            ch.sort_unstable();
+            TreeView {
+                parent_port,
+                children_ports: ch,
+            }
+        })
+        .collect()
+}
+
+/// Run one Lemma 1 pipeline per packing tree, multiplexed with random
+/// delays in `[0, max_delay]`. Message `j` is assigned to tree
+/// `j mod #trees`.
+pub fn scheduled_packing_broadcast(
+    g: &Graph,
+    packing: &TreePacking,
+    input: &BroadcastInput,
+    max_delay: u64,
+    seed: u64,
+) -> Result<ScheduledBroadcastOutcome, EngineError> {
+    let n = g.n();
+    let t_count = packing.num_trees();
+    assert!(t_count >= 1);
+    let views: Vec<Vec<TreeView>> = packing
+        .trees
+        .iter()
+        .map(|t| tree_views(g, t))
+        .collect();
+
+    // Assign messages round-robin to trees.
+    let mut k_per_tree = vec![0u64; t_count];
+    let mut own: Vec<Vec<Vec<PipeMsg>>> = vec![vec![Vec::new(); t_count]; n];
+    let mut msgs_per_tree: Vec<Vec<(u32, u64)>> = vec![Vec::new(); t_count];
+    for (j, &(holder, payload)) in input.messages.iter().enumerate() {
+        let t = j % t_count;
+        k_per_tree[t] += 1;
+        own[holder as usize][t].push(PipeMsg {
+            id: j as u32,
+            payload,
+        });
+        msgs_per_tree[t].push((j as u32, payload));
+    }
+    let expected_per_tree: Vec<(u64, u64)> = msgs_per_tree
+        .iter()
+        .map(|m| expected_checksums(m.iter()))
+        .collect();
+
+    let delays = random_delays(t_count, max_delay, seed ^ 0xD31A);
+    let run = run_protocol(
+        g,
+        |v, gr: &Graph| {
+            let vi = v as usize;
+            let pipes: Vec<TreePipeline> = (0..t_count)
+                .map(|t| {
+                    TreePipeline::new(
+                        views[t][vi].clone(),
+                        k_per_tree[t],
+                        own[vi][t].clone(),
+                        false,
+                    )
+                })
+                .collect();
+            Multiplexed::new(pipes, &delays, gr.degree(v))
+        },
+        EngineConfig::with_seed(seed),
+    )?;
+
+    Ok(ScheduledBroadcastOutcome {
+        stats: run.stats,
+        per_node: run.outputs,
+        k_per_tree,
+        expected_per_tree,
+        delays,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_partition::partition_packing_retrying;
+    use crate::sampled::{lemma5_probability, sampled_packing};
+    use congest_graph::generators::harary;
+
+    #[test]
+    fn edge_disjoint_packing_schedules_cleanly() {
+        let g = harary(16, 64);
+        let (packing, _, _) = partition_packing_retrying(&g, 3, 0, 5, 20).unwrap();
+        let input = BroadcastInput::random_spread(&g, 90, 1);
+        let out = scheduled_packing_broadcast(&g, &packing, &input, 4, 9).unwrap();
+        assert!(out.all_delivered());
+        // Disjoint trees never contend: queues stay tiny.
+        assert!(out.peak_queue() <= 4, "peak queue {}", out.peak_queue());
+    }
+
+    #[test]
+    fn congested_sampled_packing_still_delivers() {
+        let lambda = 12;
+        let g = harary(lambda, 48);
+        let p = lemma5_probability(48, lambda, 2.0);
+        let report = sampled_packing(&g, 6, p, 0, 3).unwrap();
+        let stats = report.packing.stats(&g);
+        assert!(stats.congestion > 1, "want a genuinely shared packing");
+        let input = BroadcastInput::random_spread(&g, 60, 2);
+        let out = scheduled_packing_broadcast(&g, &report.packing, &input, 8, 4).unwrap();
+        assert!(out.all_delivered());
+        assert!(out.peak_queue() >= 1, "shared edges must queue sometimes");
+    }
+
+    #[test]
+    fn scheduling_beats_sequential_execution() {
+        // Theorem 12's point: running the q pipelines together costs far
+        // less than q solo runs back to back.
+        let g = harary(16, 64);
+        let (packing, _, _) = partition_packing_retrying(&g, 3, 0, 7, 20).unwrap();
+        let input = BroadcastInput::random_spread(&g, 120, 5);
+        let together = scheduled_packing_broadcast(&g, &packing, &input, 4, 11).unwrap();
+        assert!(together.all_delivered());
+        // Sequential baseline: run each tree's share alone and sum rounds.
+        let mut sequential = 0u64;
+        for t in 0..packing.num_trees() {
+            let sub_input = BroadcastInput {
+                messages: input
+                    .messages
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| j % packing.num_trees() == t)
+                    .map(|(_, &m)| m)
+                    .collect(),
+            };
+            let single = TreePacking::new(vec![packing.trees[t].clone()]);
+            let solo = scheduled_packing_broadcast(&g, &single, &sub_input, 0, 13).unwrap();
+            assert!(solo.all_delivered());
+            sequential += solo.stats.rounds;
+        }
+        assert!(
+            together.stats.rounds < sequential,
+            "scheduled {} must beat sequential {}",
+            together.stats.rounds,
+            sequential
+        );
+    }
+}

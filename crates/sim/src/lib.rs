@@ -1,0 +1,53 @@
+//! # congest-sim — a deterministic synchronous CONGEST-model simulator
+//!
+//! The paper's model (§2): an undirected network `G = (V, E)` where nodes
+//! compute in **synchronous rounds**, and per round each node may send one
+//! `O(log n)`-bit message to each of its neighbors. This crate executes
+//! node programs ([`Protocol`]s) under exactly that discipline and meters
+//! what the theorems bound:
+//!
+//! * **rounds** — the quantity every theorem in the paper is about;
+//! * **per-edge congestion** — the maximum number of messages that crossed
+//!   any single edge (Lemma 1's O(k) congestion, Theorem 10's O(log n)
+//!   tree-packing congestion);
+//! * **message size in bits** — so the O(log n)-bit discipline is checked,
+//!   not assumed (see [`message::MsgBits`]).
+//!
+//! ## Execution model
+//!
+//! One engine iteration = one CONGEST round: every node reads the messages
+//! delivered to it, mutates its state, and writes at most one message per
+//! incident port; then all messages are delivered simultaneously. Nodes
+//! step **in parallel** (rayon) — each node touches only its own state and
+//! its own inbox/outbox slices, so results are bit-identical for any
+//! thread count.
+//!
+//! Per-node randomness comes from a counter-based RNG seeded by
+//! `mix(run_seed, node_id)` ([`rng::node_rng`]), making whole runs
+//! reproducible from a single `u64`.
+//!
+//! ## Composition
+//!
+//! Paper algorithms are sequential compositions of phases (elect a leader,
+//! build a BFS tree, number the messages, partition the edges, …, route).
+//! [`phase::PhaseLog`] chains runs and accumulates the round counts the
+//! same way the proofs sum complexities.
+//!
+//! The random-delay scheduler of Ghaffari \[Gha15b\] (paper Theorem 12) is
+//! provided by [`sched`]: it multiplexes many *delay-tolerant* protocols
+//! over one network with per-port FIFO queues, realizing
+//! `O(congestion + dilation·log² n)` composition.
+
+pub mod engine;
+pub mod fault;
+pub mod message;
+pub mod phase;
+pub mod protocol;
+pub mod rng;
+pub mod sched;
+
+pub use engine::{run_protocol, EngineConfig, EngineError, RunOutcome, RunStats};
+pub use fault::FaultPlan;
+pub use message::MsgBits;
+pub use phase::PhaseLog;
+pub use protocol::{NodeCtx, Protocol};

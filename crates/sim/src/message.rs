@@ -1,0 +1,63 @@
+//! Message-size accounting.
+//!
+//! CONGEST allows `O(log n)` bits per message. Rather than trusting each
+//! algorithm, the engine asks every delivered message for its size via
+//! [`MsgBits`] and reports the maximum in [`crate::RunStats`]; tests then
+//! assert the discipline (e.g. ≤ c·⌈log₂ n⌉ for a small constant c — a
+//! constant number of node ids / counters per message).
+
+/// Estimated wire size of a message in bits.
+///
+/// Implementations should count the *semantic* payload (ids, counters,
+/// flags), not Rust's in-memory layout: a `u32` node id in an `n`-node
+/// network costs `⌈log₂ n⌉` bits on the wire, but we account the full
+/// declared width for simplicity and conservatism — every bound in the
+/// paper tolerates constant factors.
+pub trait MsgBits {
+    fn bits(&self) -> usize;
+}
+
+impl MsgBits for () {
+    fn bits(&self) -> usize {
+        0
+    }
+}
+
+impl MsgBits for u32 {
+    fn bits(&self) -> usize {
+        32
+    }
+}
+
+impl MsgBits for u64 {
+    fn bits(&self) -> usize {
+        64
+    }
+}
+
+impl<A: MsgBits, B: MsgBits> MsgBits for (A, B) {
+    fn bits(&self) -> usize {
+        self.0.bits() + self.1.bits()
+    }
+}
+
+impl<T: MsgBits> MsgBits for Option<T> {
+    fn bits(&self) -> usize {
+        1 + self.as_ref().map_or(0, MsgBits::bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(().bits(), 0);
+        assert_eq!(7u32.bits(), 32);
+        assert_eq!(7u64.bits(), 64);
+        assert_eq!((1u32, 2u32).bits(), 64);
+        assert_eq!(Some(3u32).bits(), 33);
+        assert_eq!(None::<u32>.bits(), 1);
+    }
+}

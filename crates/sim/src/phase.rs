@@ -1,0 +1,126 @@
+//! Sequential phase composition.
+//!
+//! The paper's algorithms are sums of phases (Theorem 1's proof literally
+//! adds `O(D)` numbering + partition + per-subgraph BFS + pipelined
+//! routing). [`PhaseLog`] records each phase's [`RunStats`] under a name
+//! and exposes the composed totals, so experiment tables can show both the
+//! total and the per-phase breakdown.
+
+use crate::engine::RunStats;
+
+/// An ordered log of named phases and their costs.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseLog {
+    entries: Vec<(String, RunStats)>,
+}
+
+impl PhaseLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed phase.
+    pub fn record(&mut self, name: impl Into<String>, stats: RunStats) {
+        self.entries.push((name.into(), stats));
+    }
+
+    /// Iterate `(name, stats)` in execution order.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, &RunStats)> {
+        self.entries.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
+    /// Number of recorded phases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total cost of the sequential composition.
+    pub fn total(&self) -> RunStats {
+        self.entries
+            .iter()
+            .fold(RunStats::default(), |acc, (_, s)| acc.then(*s))
+    }
+
+    /// Total rounds across phases — the headline number.
+    pub fn total_rounds(&self) -> u64 {
+        self.entries.iter().map(|(_, s)| s.rounds).sum()
+    }
+
+    /// Rounds of a specific named phase (first match).
+    pub fn rounds_of(&self, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.rounds)
+    }
+
+    /// Human-readable multi-line breakdown.
+    pub fn breakdown(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (name, st) in &self.entries {
+            let _ = writeln!(
+                s,
+                "  {name:<28} {:>8} rounds  {:>10} msgs  congestion {:>6}",
+                st.rounds, st.total_messages, st.max_edge_congestion
+            );
+        }
+        let t = self.total();
+        let _ = writeln!(
+            s,
+            "  {:<28} {:>8} rounds  {:>10} msgs  congestion {:>6}",
+            "TOTAL", t.rounds, t.total_messages, t.max_edge_congestion
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(rounds: u64, msgs: u64) -> RunStats {
+        RunStats {
+            rounds,
+            iterations: rounds,
+            total_messages: msgs,
+            max_edge_congestion: msgs.min(5),
+            max_message_bits: 32,
+            dropped_messages: 0,
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut log = PhaseLog::new();
+        log.record("bfs", stats(7, 100));
+        log.record("broadcast", stats(20, 400));
+        assert_eq!(log.total_rounds(), 27);
+        assert_eq!(log.total().total_messages, 500);
+        assert_eq!(log.rounds_of("bfs"), Some(7));
+        assert_eq!(log.rounds_of("nope"), None);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn breakdown_mentions_each_phase() {
+        let mut log = PhaseLog::new();
+        log.record("alpha", stats(1, 2));
+        log.record("beta", stats(3, 4));
+        let text = log.breakdown();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+        assert!(text.contains("TOTAL"));
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = PhaseLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.total_rounds(), 0);
+    }
+}

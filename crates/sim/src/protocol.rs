@@ -1,0 +1,208 @@
+//! The node-program abstraction.
+//!
+//! A [`Protocol`] is the state of **one node**; the engine owns one
+//! instance per node and calls [`Protocol::round`] every round. Inside a
+//! round the node sees only its own state, the messages delivered to it
+//! this round, and local randomness — the CONGEST locality discipline is
+//! enforced by construction, not convention.
+
+use crate::message::MsgBits;
+use congest_graph::{Graph, Node, Port};
+use rand::rngs::SmallRng;
+
+/// One node's program. The engine drives every node's `round` once per
+/// CONGEST round; messages written via [`NodeCtx::send`] are delivered at
+/// the start of the next round.
+pub trait Protocol: Send {
+    /// Wire message type: one such message fits one edge-direction-round.
+    type Msg: Clone + Send + Sync + MsgBits + 'static;
+    /// Per-node output collected when the run ends.
+    type Output: Send;
+
+    /// Execute one round. On round 0 the inbox is empty (initialization).
+    fn round(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>);
+
+    /// Consume the node state into its output after the run terminates.
+    fn finish(self) -> Self::Output;
+}
+
+/// Everything one node may legitimately touch during one round.
+pub struct NodeCtx<'a, M> {
+    /// This node's id.
+    pub node: Node,
+    /// Current round number (0-based).
+    pub round: u64,
+    pub(crate) graph: &'a Graph,
+    pub(crate) inbox: &'a [Option<M>],
+    pub(crate) outbox: &'a mut [Option<M>],
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) done: &'a mut bool,
+}
+
+impl<'a, M: Clone> NodeCtx<'a, M> {
+    /// Degree of this node = number of ports.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Neighbor reached through `port`.
+    #[inline]
+    pub fn neighbor(&self, port: Port) -> Node {
+        self.graph.neighbor_at(self.node, port)
+    }
+
+    /// Undirected edge id behind `port` — stable across the run, usable as
+    /// an index into edge-colored structures (e.g. the Theorem 2 partition).
+    #[inline]
+    pub fn edge(&self, port: Port) -> congest_graph::Edge {
+        self.graph.edge_at(self.node, port)
+    }
+
+    /// All neighbor ids (sorted ascending; index = port).
+    #[inline]
+    pub fn neighbors(&self) -> &'a [Node] {
+        self.graph.neighbors(self.node)
+    }
+
+    /// Total number of nodes in the network. CONGEST algorithms may assume
+    /// knowledge of `n` (or a polynomial upper bound) — the paper does, for
+    /// its `C log n` thresholds.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// The message delivered on `port` this round, if any.
+    #[inline]
+    pub fn recv(&self, port: Port) -> Option<&M> {
+        self.inbox[port as usize].as_ref()
+    }
+
+    /// Iterate `(port, message)` over all messages delivered this round.
+    pub fn inbox(&self) -> impl Iterator<Item = (Port, &M)> {
+        self.inbox
+            .iter()
+            .enumerate()
+            .filter_map(|(p, m)| m.as_ref().map(|m| (p as Port, m)))
+    }
+
+    /// Number of messages delivered this round.
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Send `msg` through `port`. Panics if a message was already written
+    /// to this port this round — that would violate the CONGEST bandwidth
+    /// of one message per edge-direction per round.
+    #[inline]
+    pub fn send(&mut self, port: Port, msg: M) {
+        let slot = &mut self.outbox[port as usize];
+        assert!(
+            slot.is_none(),
+            "CONGEST violation: node {} sent twice on port {} in round {}",
+            self.node,
+            port,
+            self.round
+        );
+        *slot = Some(msg);
+    }
+
+    /// Send a copy of `msg` to every neighbor.
+    pub fn send_all(&mut self, msg: M) {
+        for p in 0..self.outbox.len() {
+            self.send(p as Port, msg.clone());
+        }
+    }
+
+    /// Whether this node already wrote to `port` this round.
+    #[inline]
+    pub fn port_used(&self, port: Port) -> bool {
+        self.outbox[port as usize].is_some()
+    }
+
+    /// This node's private RNG (deterministic per `(run_seed, node)`).
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Declare local completion. The run ends when *all* nodes are done and
+    /// no message is in flight. A node may clear its flag again later
+    /// (e.g. when reactivated by an unexpected message).
+    #[inline]
+    pub fn set_done(&mut self, done: bool) {
+        *self.done = done;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_protocol, EngineConfig};
+    use congest_graph::generators::cycle;
+
+    /// Every node sends its id once and records what it hears.
+    struct HelloNode {
+        heard: Vec<Node>,
+    }
+
+    impl Protocol for HelloNode {
+        type Msg = u32;
+        type Output = Vec<Node>;
+
+        fn round(&mut self, ctx: &mut NodeCtx<'_, u32>) {
+            if ctx.round == 0 {
+                ctx.send_all(ctx.node);
+                return;
+            }
+            let msgs: Vec<u32> = ctx.inbox().map(|(_, &m)| m).collect();
+            self.heard.extend(msgs);
+            ctx.set_done(true);
+        }
+
+        fn finish(self) -> Vec<Node> {
+            self.heard
+        }
+    }
+
+    #[test]
+    fn hello_exchange_on_cycle() {
+        let g = cycle(5);
+        let out = run_protocol(
+            &g,
+            |_, _| HelloNode { heard: Vec::new() },
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.stats.rounds, 1);
+        for v in 0..5u32 {
+            let mut heard = out.outputs[v as usize].clone();
+            heard.sort_unstable();
+            let mut expect = vec![(v + 4) % 5, (v + 1) % 5];
+            expect.sort_unstable();
+            assert_eq!(heard, expect);
+        }
+    }
+
+    /// A node that (incorrectly) double-sends must panic.
+    struct DoubleSender;
+    impl Protocol for DoubleSender {
+        type Msg = u32;
+        type Output = ();
+        fn round(&mut self, ctx: &mut NodeCtx<'_, u32>) {
+            if ctx.round == 0 {
+                ctx.send(0, 1);
+                ctx.send(0, 2); // violation
+            }
+        }
+        fn finish(self) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "CONGEST violation")]
+    fn double_send_panics() {
+        let g = cycle(3);
+        let _ = run_protocol(&g, |_, _| DoubleSender, EngineConfig::serial());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the CONGEST engine: message conservation,
+//! determinism across execution modes, and metering consistency for
+//! arbitrary (randomized) chatter protocols.
+
+use congest_graph::{Graph, GraphBuilder};
+use congest_sim::{run_protocol, EngineConfig, NodeCtx, Protocol};
+use proptest::prelude::*;
+use rand::Rng;
+
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mix = |mut z: u64| {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        };
+        let mut b = GraphBuilder::new(n);
+        let mut edges = std::collections::BTreeSet::new();
+        for v in 1..n as u32 {
+            let u = (mix(seed ^ v as u64) % v as u64) as u32;
+            edges.insert((u, v));
+        }
+        for i in 0..2 * n as u64 {
+            let u = (mix(seed ^ (i << 20)) % n as u64) as u32;
+            let v = (mix(seed ^ (i << 21) ^ 7) % n as u64) as u32;
+            if u != v {
+                edges.insert((u.min(v), u.max(v)));
+            }
+        }
+        for (u, v) in edges {
+            b.push_edge(u, v);
+        }
+        b.build().unwrap()
+    })
+}
+
+/// A protocol that sends random subsets of ports random payloads for a
+/// fixed number of rounds, counting everything it receives.
+struct RandomChatter {
+    rounds: u64,
+    sent: u64,
+    received: u64,
+}
+
+impl Protocol for RandomChatter {
+    type Msg = u64;
+    type Output = (u64, u64); // (sent, received)
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        self.received += ctx.inbox_len() as u64;
+        if ctx.round < self.rounds {
+            for p in 0..ctx.degree() as u32 {
+                if ctx.rng().gen_bool(0.5) {
+                    let payload: u64 = ctx.rng().gen();
+                    ctx.send(p, payload);
+                    self.sent += 1;
+                }
+            }
+        } else {
+            ctx.set_done(true);
+        }
+    }
+
+    fn finish(self) -> (u64, u64) {
+        (self.sent, self.received)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conservation: every sent message is delivered exactly once (no
+    /// faults configured), and the engine's totals agree with the nodes'
+    /// own counts.
+    #[test]
+    fn message_conservation(g in arb_connected_graph(20), seed in any::<u64>()) {
+        let out = run_protocol(
+            &g,
+            |_, _| RandomChatter { rounds: 6, sent: 0, received: 0 },
+            EngineConfig::with_seed(seed),
+        )
+        .unwrap();
+        let sent: u64 = out.outputs.iter().map(|&(s, _)| s).sum();
+        let received: u64 = out.outputs.iter().map(|&(_, r)| r).sum();
+        prop_assert_eq!(sent, received);
+        prop_assert_eq!(out.stats.total_messages, sent);
+        prop_assert_eq!(out.stats.dropped_messages, 0);
+    }
+
+    /// Bit-identical results across parallel and serial stepping, for
+    /// protocols that use per-node randomness.
+    #[test]
+    fn parallel_serial_identical(g in arb_connected_graph(16), seed in any::<u64>()) {
+        let par = run_protocol(
+            &g,
+            |_, _| RandomChatter { rounds: 5, sent: 0, received: 0 },
+            EngineConfig::with_seed(seed),
+        )
+        .unwrap();
+        let mut cfg = EngineConfig::serial();
+        cfg.seed = seed;
+        let ser = run_protocol(
+            &g,
+            |_, _| RandomChatter { rounds: 5, sent: 0, received: 0 },
+            cfg,
+        )
+        .unwrap();
+        prop_assert_eq!(par.outputs, ser.outputs);
+        prop_assert_eq!(par.stats, ser.stats);
+    }
+
+    /// Congestion metering: the max per-edge count can never exceed
+    /// 2 × rounds, and total messages bound congestion from above.
+    #[test]
+    fn congestion_bounds(g in arb_connected_graph(16), seed in any::<u64>()) {
+        let rounds = 5u64;
+        let out = run_protocol(
+            &g,
+            |_, _| RandomChatter { rounds, sent: 0, received: 0 },
+            EngineConfig::with_seed(seed),
+        )
+        .unwrap();
+        prop_assert!(out.stats.max_edge_congestion <= 2 * rounds);
+        prop_assert!(out.stats.max_edge_congestion <= out.stats.total_messages);
+    }
+
+    /// Trace sums to the total and never exceeds the arc capacity.
+    #[test]
+    fn trace_consistency(g in arb_connected_graph(16), seed in any::<u64>()) {
+        let out = run_protocol(
+            &g,
+            |_, _| RandomChatter { rounds: 4, sent: 0, received: 0 },
+            EngineConfig::with_seed(seed).trace(),
+        )
+        .unwrap();
+        let trace = out.trace.unwrap();
+        prop_assert_eq!(trace.iter().sum::<u64>(), out.stats.total_messages);
+        let cap = g.num_arcs() as u64;
+        prop_assert!(trace.iter().all(|&t| t <= cap));
+    }
+}

@@ -1,0 +1,123 @@
+//! t-bundle spanners: the union of `t` iteratively peeled spanners.
+//!
+//! A *t-bundle* of `G` is `B = S₁ ∪ … ∪ S_t` where `Sⱼ` is a spanner of
+//! `G ∖ (S₁ ∪ … ∪ S_{j−1})`. Koutis–Xu's key property: every off-bundle
+//! edge closes `t` short cycles through distinct spanner layers, so it is
+//! "well connected" and survives aggressive sampling. We peel with
+//! Baswana–Sen at `k = ⌈log₂ n⌉` (stretch `O(log n)`, size `Õ(n)` per
+//! layer).
+
+use crate::koutis_xu::SparseEdge;
+use congest_apsp::baswana_sen::baswana_sen_spanner;
+use congest_graph::{GraphBuilder, WeightedGraph};
+
+/// Split `edges` into `(bundle, rest)` where `bundle` is a t-bundle of the
+/// multiset of edges (all on node set `0..n`).
+///
+/// `edges` must be canonically sorted by `(u, v)` and duplicate-free — the
+/// invariant every caller in this crate maintains — so that rebuilt edge
+/// ids index `edges` directly.
+pub fn t_bundle(
+    n: usize,
+    edges: &[SparseEdge],
+    t: usize,
+    k: usize,
+    seed: u64,
+) -> (Vec<SparseEdge>, Vec<SparseEdge>) {
+    debug_assert!(edges.windows(2).all(|w| (w[0].u, w[0].v) < (w[1].u, w[1].v)));
+    let mut active: Vec<SparseEdge> = edges.to_vec();
+    let mut bundle: Vec<SparseEdge> = Vec::new();
+    for layer in 0..t {
+        if active.is_empty() {
+            break;
+        }
+        // Build the weighted view; sorted+unique input ⇒ id i = index i.
+        let g = GraphBuilder::new(n)
+            .edges(active.iter().map(|e| (e.u, e.v)))
+            .build()
+            .expect("unique sorted pairs");
+        let w: Vec<f64> = active.iter().map(|e| e.weight()).collect();
+        let wg = WeightedGraph::new(g, w);
+        let spanner = baswana_sen_spanner(&wg, k, seed ^ ((layer as u64) << 40));
+        let mut in_spanner = vec![false; active.len()];
+        for &e in &spanner.edges {
+            in_spanner[e as usize] = true;
+        }
+        let mut next_active = Vec::with_capacity(active.len() - spanner.edges.len());
+        for (i, e) in active.into_iter().enumerate() {
+            if in_spanner[i] {
+                bundle.push(e);
+            } else {
+                next_active.push(e);
+            }
+        }
+        active = next_active;
+    }
+    bundle.sort_unstable_by_key(|e| (e.u, e.v));
+    (bundle, active)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::koutis_xu::SparseEdge;
+    use congest_graph::generators::complete;
+
+    fn unit_edges(g: &congest_graph::Graph) -> Vec<SparseEdge> {
+        g.edge_list()
+            .map(|(_, u, v)| SparseEdge {
+                u,
+                v,
+                base_w: 1.0,
+                scale_pow4: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bundle_plus_rest_is_a_partition() {
+        let g = complete(20);
+        let edges = unit_edges(&g);
+        let (bundle, rest) = t_bundle(20, &edges, 3, 2, 7);
+        assert_eq!(bundle.len() + rest.len(), edges.len());
+        let mut all: Vec<(u32, u32)> = bundle
+            .iter()
+            .chain(rest.iter())
+            .map(|e| (e.u, e.v))
+            .collect();
+        all.sort_unstable();
+        let orig: Vec<(u32, u32)> = edges.iter().map(|e| (e.u, e.v)).collect();
+        assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn more_layers_bundle_more_edges() {
+        let g = complete(24);
+        let edges = unit_edges(&g);
+        let (b1, _) = t_bundle(24, &edges, 1, 2, 3);
+        let (b3, _) = t_bundle(24, &edges, 3, 2, 3);
+        assert!(b3.len() > b1.len());
+    }
+
+    #[test]
+    fn bundle_layers_keep_graph_connected() {
+        // Even one spanner layer must keep the node set connected.
+        let g = complete(16);
+        let edges = unit_edges(&g);
+        let (bundle, _) = t_bundle(16, &edges, 1, 3, 5);
+        let bg = GraphBuilder::new(16)
+            .edges(bundle.iter().map(|e| (e.u, e.v)))
+            .build()
+            .unwrap();
+        assert!(congest_graph::algo::components::is_connected(&bg));
+    }
+
+    #[test]
+    fn exhausting_the_graph_leaves_empty_rest() {
+        let g = complete(8); // 28 edges; many layers exhaust it
+        let edges = unit_edges(&g);
+        let (bundle, rest) = t_bundle(8, &edges, 30, 2, 1);
+        assert!(rest.is_empty());
+        assert_eq!(bundle.len(), 28);
+    }
+}

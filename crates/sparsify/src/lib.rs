@@ -1,0 +1,24 @@
+//! # congest-sparsify — (1+ε) all-cuts approximation (paper §4.3)
+//!
+//! Theorem 7: build a Koutis–Xu \[KX16\] sparsifier `H` with `Õ(n/ε²)`
+//! edges, broadcast it with Theorem 1 in `Õ(n/(λε²))` rounds, and every
+//! node can then estimate **every** cut of `G` within `(1±ε)` locally —
+//! the first sublinear-round algorithm to approximate *all* cuts at once.
+//!
+//! * [`bundle`] — t-bundle spanners: `t` iterated Baswana–Sen spanner
+//!   peels, the structural core of the Koutis–Xu construction.
+//! * [`koutis_xu`] — the iterated scheme: keep the bundle, sample the
+//!   off-bundle edges at 1/4 with weight ×4, recurse. Expectation-exact on
+//!   every cut by construction; concentration measured empirically (we
+//!   build the cut-sparsifier instantiation; KX16 prove the stronger
+//!   spectral property — substitution documented in DESIGN.md §2).
+//! * [`cuts`] — the evaluation harness (random / singleton / ball cuts,
+//!   Stoer–Wagner min-cut comparison) and the full Theorem 7 driver with
+//!   the real broadcast.
+
+pub mod bundle;
+pub mod cuts;
+pub mod koutis_xu;
+
+pub use cuts::{evaluate_cuts, theorem7_all_cuts, CutQualityReport};
+pub use koutis_xu::{koutis_xu_sparsifier, SparsifierResult};

@@ -1,0 +1,67 @@
+//! Sensor-mesh routing tables: build (3,2)-approximate all-pairs distance
+//! estimates (Theorem 4) and O(log n/log log n)-approximate weighted
+//! routes (Corollary 1) on a redundant mesh, then audit the quality
+//! against exact APSP.
+//!
+//! ```text
+//! cargo run --release --example apsp_routing
+//! ```
+
+use fast_broadcast::apsp::baswana_sen::corollary1_k;
+use fast_broadcast::apsp::weighted::corollary1_apsp;
+use fast_broadcast::apsp::unweighted_apsp_approx;
+use fast_broadcast::graph::algo::apsp::{
+    apsp_unweighted, apsp_weighted, measure_stretch_unweighted, measure_stretch_weighted,
+};
+use fast_broadcast::graph::generators::harary;
+use fast_broadcast::graph::WeightedGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let lambda = 12;
+    let n = 96;
+    let g = harary(lambda, n);
+    println!("sensor mesh: n = {n}, λ = {lambda}, m = {}\n", g.m());
+
+    // --- Unweighted hop-count tables (Theorem 4).
+    println!("== hop-count routing tables: (3,2)-approximate APSP (Theorem 4)");
+    let out = unweighted_apsp_approx(&g, lambda, 42).expect("theorem 4");
+    let exact = apsp_unweighted(&g);
+    let alpha = measure_stretch_unweighted(&exact, &out.estimate, 2).expect("estimates dominate");
+    println!(
+        "  {} clusters, {} total rounds, verified worst stretch α = {alpha:.3} (bound: 3)",
+        out.cluster_graph.centers.len(),
+        out.total_rounds
+    );
+    // Show a few sample routes.
+    for (u, v) in [(0usize, n / 2), (3, n - 5), (n / 4, 3 * n / 4)] {
+        println!(
+            "  route {u:>3} → {v:>3}: true = {:>2} hops, estimate = {:>2}",
+            exact[u][v], out.estimate[u][v]
+        );
+    }
+
+    // --- Weighted latency tables (Corollary 1).
+    println!("\n== latency routing tables: O(log n/log log n)-approx weighted APSP (Corollary 1)");
+    let mut rng = SmallRng::seed_from_u64(5);
+    let weights: Vec<f64> = (0..g.m()).map(|_| rng.gen_range(1..50) as f64).collect();
+    let wg = WeightedGraph::new(g, weights);
+    let k = corollary1_k(n);
+    let wout = corollary1_apsp(&wg, lambda, 42).expect("corollary 1");
+    let wexact = apsp_weighted(&wg);
+    let stretch = measure_stretch_weighted(&wexact, &wout.estimate).expect("dominating");
+    println!(
+        "  k = {k} (stretch budget {}), spanner = {} of {} edges, {} rounds, verified stretch = {stretch:.3}",
+        2 * k - 1,
+        wout.spanner_edges,
+        wg.m(),
+        wout.total_rounds
+    );
+    for (u, v) in [(0usize, n / 2), (7, n - 9)] {
+        println!(
+            "  route {u:>3} → {v:>3}: true latency = {:>5.0}, estimate = {:>5.0}",
+            wexact[u][v], wout.estimate[u][v]
+        );
+    }
+}

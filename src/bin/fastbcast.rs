@@ -1,0 +1,303 @@
+//! `fastbcast` — command-line driver for the fast-broadcast library.
+//!
+//! ```text
+//! fastbcast params    <family>                         measure n/m/δ/λ/D (+ bridge diagnosis)
+//! fastbcast broadcast <family> [--k K] [--seed S]      Theorem 1 vs textbook, with phase breakdown
+//! fastbcast packing   <family> [--trees T] [--exact]   tree packings (partition / matroid union)
+//! fastbcast apsp      <family> [--seed S]              (3,2)-approximate APSP quality report
+//! fastbcast cuts      <family> [--eps E] [--seed S]    sparsifier all-cuts report
+//!
+//! <family> grammar:
+//!   harary:L,N | complete:N | torus:RxC | hypercube:D | clique-chain:C,S,B
+//!   thick-path:L,W | gnp:N,P | regular:N,D | gk13:COLS,L | barbell:S,P | bipartite:A,B
+//! ```
+//!
+//! Examples:
+//! ```text
+//! fastbcast params harary:16,128
+//! fastbcast broadcast harary:32,192 --k 768
+//! fastbcast packing complete:64 --trees 8 --exact
+//! ```
+
+use fast_broadcast::apsp::unweighted_apsp_approx;
+use fast_broadcast::core::broadcast::{
+    partition_broadcast_retrying, BroadcastConfig, BroadcastInput, DEFAULT_PARTITION_C,
+};
+use fast_broadcast::core::lower_bounds::{optimality_ratio, theorem3_broadcast_lb};
+use fast_broadcast::core::partition::PartitionParams;
+use fast_broadcast::core::textbook::textbook_broadcast;
+use fast_broadcast::graph::algo::apsp::{apsp_unweighted, measure_stretch_unweighted};
+use fast_broadcast::graph::algo::bridges::bridges;
+use fast_broadcast::graph::algo::karger::{karger_min_cut, karger_whp_repetitions};
+use fast_broadcast::graph::generators as gen;
+use fast_broadcast::graph::metrics::GraphParams;
+use fast_broadcast::graph::{Graph, WeightedGraph};
+use fast_broadcast::packing::matroid::exact_tree_packing;
+use fast_broadcast::packing::random_partition::partition_packing_retrying;
+use fast_broadcast::sparsify::cuts::theorem7_all_cuts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `fastbcast help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE);
+            Ok(())
+        }
+        "params" => cmd_params(args.get(1).ok_or("params needs a <family>")?),
+        "broadcast" => cmd_broadcast(&args[1..]),
+        "packing" => cmd_packing(&args[1..]),
+        "apsp" => cmd_apsp(&args[1..]),
+        "cuts" => cmd_cuts(&args[1..]),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+const USAGE: &str = "\
+fastbcast — fast broadcast in highly connected networks (SPAA 2024 reproduction)
+
+  fastbcast params    <family>
+  fastbcast broadcast <family> [--k K] [--seed S]
+  fastbcast packing   <family> [--trees T] [--exact] [--seed S]
+  fastbcast apsp      <family> [--seed S]
+  fastbcast cuts      <family> [--eps E] [--seed S]
+
+families:
+  harary:L,N         circulant with λ = L on N nodes
+  complete:N         K_N
+  torus:RxC          2-D torus
+  hypercube:D        Q_D
+  clique-chain:C,S,B C cliques of size S, B-wide bridges
+  thick-path:L,W     L columns of width W
+  gnp:N,P            Erdős–Rényi (connected resample)
+  regular:N,D        random D-regular
+  gk13:COLS,L        the Appendix B lower-bound family
+  barbell:S,P        two S-cliques + P-edge path (λ = 1)
+  bipartite:A,B      K_{A,B}";
+
+/// Parse `--flag value` style options from the tail of an argument list.
+fn opt<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or(format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|_| format!("bad value for {flag}")),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Parse a family spec like `harary:16,96`.
+fn parse_family(spec: &str) -> Result<Graph, String> {
+    let (kind, rest) = spec.split_once(':').ok_or("family must be kind:params")?;
+    let nums = |s: &str| -> Result<Vec<usize>, String> {
+        s.split([',', 'x'])
+            .map(|x| x.parse().map_err(|_| format!("bad number `{x}` in `{spec}`")))
+            .collect()
+    };
+    match kind {
+        "harary" => {
+            let v = nums(rest)?;
+            if v.len() != 2 {
+                return Err("harary:L,N".into());
+            }
+            Ok(gen::harary(v[0], v[1]))
+        }
+        "complete" => Ok(gen::complete(nums(rest)?[0])),
+        "torus" => {
+            let v = nums(rest)?;
+            Ok(gen::torus2d(v[0], v[1]))
+        }
+        "hypercube" => Ok(gen::hypercube(nums(rest)?[0])),
+        "clique-chain" => {
+            let v = nums(rest)?;
+            Ok(gen::clique_chain(v[0], v[1], v[2]))
+        }
+        "thick-path" => {
+            let v = nums(rest)?;
+            Ok(gen::thick_path(v[0], v[1]))
+        }
+        "gnp" => {
+            let (n, p) = rest.split_once(',').ok_or("gnp:N,P")?;
+            let n: usize = n.parse().map_err(|_| "bad N")?;
+            let p: f64 = p.parse().map_err(|_| "bad P")?;
+            Ok(gen::gnp_connected(n, p, 0xC11))
+        }
+        "regular" => {
+            let v = nums(rest)?;
+            Ok(gen::random_regular(v[0], v[1], 0xC11))
+        }
+        "gk13" => {
+            let v = nums(rest)?;
+            Ok(gen::gk13_lower_bound(v[0], v[1]).0)
+        }
+        "barbell" => {
+            let v = nums(rest)?;
+            Ok(gen::barbell(v[0], v[1]))
+        }
+        "bipartite" => {
+            let v = nums(rest)?;
+            Ok(gen::complete_bipartite(v[0], v[1]))
+        }
+        other => Err(format!("unknown family kind `{other}`")),
+    }
+}
+
+fn cmd_params(spec: &str) -> Result<(), String> {
+    let g = parse_family(spec)?;
+    let p = GraphParams::measure(&g);
+    println!("family      : {spec}");
+    println!("n           : {}", p.n);
+    println!("m           : {}", p.m);
+    println!("min degree δ: {}", p.delta);
+    println!("edge conn λ : {} (exact, Dinic)", p.lambda);
+    if g.n() <= 64 {
+        let (mc, _) = karger_min_cut(&g, karger_whp_repetitions(g.n()).min(20_000), 7);
+        println!("  karger λ̂  : {mc} (Monte-Carlo cross-check)");
+    }
+    match p.diameter {
+        Some(d) => println!("diameter D  : {d}"),
+        None => println!("diameter D  : ∞ (disconnected)"),
+    }
+    if let Some(r) = p.observation1_ratio() {
+        println!("D·δ/n       : {r:.3} (Observation 1: ≤ 3)");
+    }
+    let br = bridges(&g);
+    if br.is_empty() {
+        println!("bridges     : none (2-edge-connected)");
+    } else {
+        println!(
+            "bridges     : {} — λ = 1 regime; broadcast is Ω(k) here (paper §1)",
+            br.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_broadcast(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("broadcast needs a <family>")?;
+    let g = parse_family(spec)?;
+    let k = opt(args, "--k", 2 * g.n())?;
+    let seed: u64 = opt(args, "--seed", 42u64)?;
+    let lambda = fast_broadcast::graph::algo::edge_connectivity(&g);
+    if lambda == 0 {
+        return Err("graph is disconnected".into());
+    }
+    let input = BroadcastInput::random_spread(&g, k, seed);
+    let params = PartitionParams::from_lambda(g.n(), lambda, DEFAULT_PARTITION_C);
+    println!("family {spec}: n = {}, λ = {lambda}, k = {k}, λ' = {}", g.n(), params.num_subgraphs);
+
+    let (out, attempts) =
+        partition_broadcast_retrying(&g, &input, params, &BroadcastConfig::with_seed(seed), 30)
+            .map_err(|e| e.to_string())?;
+    assert!(out.all_delivered());
+    println!("\n== Theorem 1 broadcast: {} rounds (partition attempts: {attempts})", out.total_rounds);
+    print!("{}", out.phases.breakdown());
+
+    let tb = textbook_broadcast(&g, &input, seed).map_err(|e| e.to_string())?;
+    assert!(tb.all_delivered());
+    println!("\n== textbook baseline: {} rounds", tb.total_rounds);
+    print!("{}", tb.phases.breakdown());
+
+    let lb = theorem3_broadcast_lb(k as u64, lambda as u64);
+    println!("\nuniversal LB (Thm 3) ≈ {lb:.0} rounds; optimality ratios: thm1 {:.1}×, textbook {:.1}×; speedup {:.2}×",
+        optimality_ratio(out.total_rounds, k as u64, lambda as u64),
+        optimality_ratio(tb.total_rounds, k as u64, lambda as u64),
+        tb.total_rounds as f64 / out.total_rounds as f64);
+    Ok(())
+}
+
+fn cmd_packing(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("packing needs a <family>")?;
+    let g = parse_family(spec)?;
+    let lambda = fast_broadcast::graph::algo::edge_connectivity(&g);
+    let trees = opt(args, "--trees", (lambda / 2).max(1))?;
+    let seed: u64 = opt(args, "--seed", 7u64)?;
+    println!("family {spec}: n = {}, m = {}, λ = {lambda}, requesting {trees} trees", g.n(), g.m());
+    let packing = if flag(args, "--exact") {
+        println!("construction: exact matroid union (Nash-Williams optimal)");
+        exact_tree_packing(&g, trees, 0)
+            .ok_or(format!("no edge-disjoint packing of {trees} spanning trees exists"))?
+    } else {
+        println!("construction: Theorem 2 random partition + per-class BFS");
+        let (p, _, attempts) = partition_packing_retrying(&g, trees, 0, seed, 30)
+            .map_err(|e| format!("{e}; try --exact or fewer --trees"))?;
+        println!("(spanning after {attempts} seed attempt(s))");
+        p
+    };
+    packing.validate(&g).map_err(|e| e.to_string())?;
+    let stats = packing.stats(&g);
+    println!("\ntrees         : {}", stats.num_trees);
+    println!("edge-disjoint : {}", stats.edge_disjoint);
+    println!("congestion    : {}", stats.congestion);
+    println!("max diameter  : {}", stats.max_diameter);
+    println!("mean diameter : {:.1}", stats.mean_diameter);
+    println!("per-tree      : {:?}", stats.tree_diameters);
+    let n = g.n() as f64;
+    println!(
+        "Theorem 2 envelope D·δ/(n·ln n) : {:.3}",
+        stats.max_diameter as f64 * g.min_degree() as f64 / (n * n.ln())
+    );
+    Ok(())
+}
+
+fn cmd_apsp(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("apsp needs a <family>")?;
+    let g = parse_family(spec)?;
+    let seed: u64 = opt(args, "--seed", 3u64)?;
+    let lambda = fast_broadcast::graph::algo::edge_connectivity(&g);
+    if lambda == 0 {
+        return Err("graph is disconnected".into());
+    }
+    println!("family {spec}: n = {}, λ = {lambda}", g.n());
+    let out = unweighted_apsp_approx(&g, lambda, seed).map_err(|e| e.to_string())?;
+    let exact = apsp_unweighted(&g);
+    let alpha = measure_stretch_unweighted(&exact, &out.estimate, 2).map_err(|e| e.to_string())?;
+    println!("\nclusters      : {}", out.cluster_graph.centers.len());
+    println!("total rounds  : {}", out.total_rounds);
+    println!("verified α    : {alpha:.3} (Theorem 4 bound: 3, plus additive 2)");
+    print!("{}", out.phases.breakdown());
+    Ok(())
+}
+
+fn cmd_cuts(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("cuts needs a <family>")?;
+    let g = parse_family(spec)?;
+    let eps: f64 = opt(args, "--eps", 0.5f64)?;
+    let seed: u64 = opt(args, "--seed", 9u64)?;
+    let lambda = fast_broadcast::graph::algo::edge_connectivity(&g);
+    if lambda == 0 {
+        return Err("graph is disconnected".into());
+    }
+    println!("family {spec}: n = {}, m = {}, λ = {lambda}, ε = {eps}", g.n(), g.m());
+    let out = theorem7_all_cuts(&WeightedGraph::unit(g.clone()), eps, lambda, seed)
+        .map_err(|e| e.to_string())?;
+    println!("\nsparsifier    : {} / {} edges", out.sparsifier_edges, g.m());
+    println!("total rounds  : {}", out.total_rounds);
+    println!("cuts audited  : {}", out.quality.num_cuts);
+    println!("worst error   : {:.4}", out.quality.max_rel_error);
+    println!("mean error    : {:.5}", out.quality.mean_rel_error);
+    println!(
+        "min cut       : {} → {} (G → sparsifier)",
+        out.quality.min_cut_g, out.quality.min_cut_h
+    );
+    Ok(())
+}

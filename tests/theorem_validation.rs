@@ -1,0 +1,139 @@
+//! Quantitative validation of the paper's theorem statements at
+//! integration scale: Observation 1, Lemma 5, Theorem 2 (diameter bound +
+//! failure decay), Theorem 1's round formula, and Theorem 3's lower bound.
+
+use fast_broadcast::core::broadcast::{
+    partition_broadcast_retrying, BroadcastConfig, BroadcastInput,
+};
+use fast_broadcast::core::lower_bounds::theorem3_broadcast_lb;
+use fast_broadcast::core::partition::{sample_edges, EdgePartition, PartitionParams};
+use fast_broadcast::graph::algo::components::is_spanning_connected;
+use fast_broadcast::graph::generators::{clique_chain, harary, thick_path};
+use fast_broadcast::graph::metrics::GraphParams;
+
+#[test]
+fn observation1_diameter_bound() {
+    // D = O(n/δ), constant ≤ 3 by the proof.
+    for g in [
+        harary(8, 96),
+        harary(24, 96),
+        thick_path(10, 10),
+        clique_chain(5, 16, 4),
+    ] {
+        let p = GraphParams::measure(&g);
+        let ratio = p.observation1_ratio().expect("connected");
+        assert!(ratio <= 3.0, "Observation 1 violated: ratio = {ratio}");
+    }
+}
+
+#[test]
+fn lemma5_spanning_probability_grows_with_c() {
+    // Sampling at C·ln n/λ: failures must vanish as C grows.
+    let lambda = 12;
+    let g = harary(lambda, 144);
+    let n = g.n() as f64;
+    let trials = 30;
+    let mut failures_by_c = Vec::new();
+    for c in [0.5, 1.0, 3.0] {
+        let p = (c * n.ln() / lambda as f64).min(1.0);
+        let failures = (0..trials)
+            .filter(|&s| {
+                let mask = sample_edges(&g, p, 1000 + s);
+                !is_spanning_connected(&g, |e| mask[e as usize])
+            })
+            .count();
+        failures_by_c.push(failures);
+    }
+    assert!(
+        failures_by_c[2] <= failures_by_c[0],
+        "failures must not increase with C: {failures_by_c:?}"
+    );
+    assert_eq!(
+        failures_by_c[2], 0,
+        "C = 3 must always span at this scale: {failures_by_c:?}"
+    );
+}
+
+#[test]
+fn theorem2_diameter_bound_at_scale() {
+    // λ' classes on a 256-node, λ=32 circulant: every class spanning with
+    // diameter within the O(C·n·ln n/δ) envelope.
+    let lambda = 32;
+    let g = harary(lambda, 256);
+    let params = PartitionParams::from_lambda(256, lambda, 2.0);
+    assert!(params.num_subgraphs >= 2);
+    let mut worst_ratio = 0.0f64;
+    let mut spanned = 0;
+    let trials = 5;
+    for seed in 0..trials {
+        let part = EdgePartition::compute(&g, params, 500 + seed);
+        let diams = part.subgraph_diameters(&g);
+        if diams.iter().all(Option::is_some) {
+            spanned += 1;
+            let n = g.n() as f64;
+            let delta = g.min_degree() as f64;
+            let bound = 2.0 * n * n.ln() / delta;
+            for d in diams.iter().flatten() {
+                worst_ratio = worst_ratio.max(*d as f64 / bound);
+            }
+        }
+    }
+    assert_eq!(spanned, trials, "all trials must span at C = 2, n = 256");
+    assert!(
+        worst_ratio <= 1.0,
+        "class diameter exceeded the Theorem 2 envelope: ratio {worst_ratio}"
+    );
+}
+
+#[test]
+fn theorem1_round_formula_envelope() {
+    // Measured rounds within a constant multiple of the formula
+    // (n·ln n)/δ + (k·ln n)/λ across the (k, λ) grid.
+    for lambda in [16usize, 32] {
+        let n = 128;
+        let g = harary(lambda, n);
+        for k_mult in [1usize, 4] {
+            let k = n * k_mult;
+            let input = BroadcastInput::random_spread(&g, k, 2);
+            let params = PartitionParams::from_lambda(n, lambda, 2.0);
+            let (out, _) = partition_broadcast_retrying(
+                &g,
+                &input,
+                params,
+                &BroadcastConfig::with_seed(3),
+                30,
+            )
+            .unwrap();
+            assert!(out.all_delivered());
+            let ln_n = (n as f64).ln();
+            let formula = (n as f64 * ln_n) / g.min_degree() as f64
+                + (k as f64 * ln_n) / lambda as f64;
+            let ratio = out.total_rounds as f64 / formula;
+            assert!(
+                ratio <= 8.0,
+                "λ={lambda} k={k}: measured {} vs formula {formula:.0} (ratio {ratio:.1})",
+                out.total_rounds
+            );
+        }
+    }
+}
+
+#[test]
+fn no_algorithm_beats_theorem3_bound() {
+    // Our own measured rounds must respect the universal lower bound —
+    // a consistency check wiring the calculator to real runs.
+    let lambda = 16;
+    let g = harary(lambda, 96);
+    let k = 4 * g.n();
+    let input = BroadcastInput::random_spread(&g, k, 8);
+    let params = PartitionParams::from_lambda(g.n(), lambda, 2.0);
+    let (out, _) =
+        partition_broadcast_retrying(&g, &input, params, &BroadcastConfig::with_seed(9), 30)
+            .unwrap();
+    let lb = theorem3_broadcast_lb(k as u64, lambda as u64);
+    assert!(
+        (out.total_rounds as f64) >= lb,
+        "measured {} rounds below the information-theoretic bound {lb:.0}?!",
+        out.total_rounds
+    );
+}
