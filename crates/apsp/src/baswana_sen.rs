@@ -64,9 +64,8 @@ pub fn baswana_sen_spanner(g: &WeightedGraph, k: usize, seed: u64) -> SpannerRes
     let mut removed = vec![false; g.m()];
     let mut spanner: Vec<Edge> = Vec::new();
     // (weight, edge) ordering with edge-id tie-break for determinism.
-    let lighter = |a: (f64, Edge), b: (f64, Edge)| -> bool {
-        a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
-    };
+    let lighter =
+        |a: (f64, Edge), b: (f64, Edge)| -> bool { a.0 < b.0 || (a.0 == b.0 && a.1 < b.1) };
 
     for phase in 1..k {
         // Sample clusters of the previous level by their center id.

@@ -15,7 +15,9 @@
 //! `Gc`-neighborhoods in `O(#clusters)` rounds).
 
 use congest_graph::{Graph, Node};
-use congest_sim::{run_protocol, EngineConfig, EngineError, MsgBits, NodeCtx, Protocol, RunStats};
+use congest_sim::{
+    run_protocol, EngineConfig, EngineError, MsgBits, NodeCtx, PackedMsg, Protocol, RunStats,
+};
 use rand::Rng;
 
 /// Per-node clustering output.
@@ -31,7 +33,7 @@ pub struct ClusterInfo {
 }
 
 /// Clustering wire message.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClusterMsg {
     /// "I am a center."
     Announce,
@@ -44,6 +46,27 @@ impl MsgBits for ClusterMsg {
         match self {
             ClusterMsg::Announce => 1,
             ClusterMsg::MyCluster(_) => 1 + 32,
+        }
+    }
+}
+
+/// Bit budget: `tag(1) | center(32)`.
+impl PackedMsg for ClusterMsg {
+    type Word = u64;
+    const WIDTH: u32 = 33;
+    #[inline]
+    fn pack(self) -> u64 {
+        match self {
+            ClusterMsg::Announce => 0,
+            ClusterMsg::MyCluster(s) => 1 | (s as u64) << 1,
+        }
+    }
+    #[inline]
+    fn unpack(word: u64) -> Self {
+        if word & 1 == 0 {
+            ClusterMsg::Announce
+        } else {
+            ClusterMsg::MyCluster((word >> 1) as Node)
         }
     }
 }
@@ -86,11 +109,12 @@ impl Protocol for ClusterProtocol {
                 }
             }
             1 => {
-                for (port, msg) in ctx.inbox() {
-                    if matches!(msg, ClusterMsg::Announce) {
-                        self.center_neighbors.push(ctx.graph_neighbor(port));
-                    }
-                }
+                let centers: Vec<Node> = ctx
+                    .inbox()
+                    .filter(|(_, msg)| matches!(msg, ClusterMsg::Announce))
+                    .map(|(port, _)| ctx.graph_neighbor(port))
+                    .collect();
+                self.center_neighbors.extend(centers);
                 // Join the lowest-id neighboring center (deterministic);
                 // centers keep themselves.
                 if !self.info.is_center {
@@ -103,7 +127,7 @@ impl Protocol for ClusterProtocol {
             2 => {
                 let my_s = self.info.s;
                 for (_, msg) in ctx.inbox() {
-                    if let ClusterMsg::MyCluster(su) = *msg {
+                    if let ClusterMsg::MyCluster(su) = msg {
                         if let Some(sv) = my_s {
                             self.info.witnessed.push((sv, su));
                         }
@@ -126,7 +150,7 @@ trait CtxExt {
     fn graph_neighbor(&self, port: u32) -> Node;
 }
 
-impl<M: Clone> CtxExt for NodeCtx<'_, M> {
+impl<M: PackedMsg> CtxExt for NodeCtx<'_, M> {
     fn graph_neighbor(&self, port: u32) -> Node {
         self.neighbor(port)
     }
@@ -188,9 +212,8 @@ pub fn build_clustering(
         .map(|(v, _)| v as Node)
         .collect();
     centers.sort_unstable();
-    let center_index = |c: Node| -> u32 {
-        centers.binary_search(&c).expect("s(v) must be a center") as u32
-    };
+    let center_index =
+        |c: Node| -> u32 { centers.binary_search(&c).expect("s(v) must be a center") as u32 };
     let cluster_of: Vec<u32> = run
         .outputs
         .iter()
@@ -292,6 +315,7 @@ mod tests {
         let (cg, _) = build_clustering_retrying(&g, 2.0, 9, 10).unwrap();
         let dg = apsp_unweighted(&g);
         let dc = apsp_unweighted(&cg.graph);
+        #[allow(clippy::needless_range_loop)]
         for u in 0..g.n() {
             for v in 0..g.n() {
                 let (cu, cv) = (cg.cluster_of[u] as usize, cg.cluster_of[v] as usize);

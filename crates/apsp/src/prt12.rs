@@ -56,11 +56,11 @@ pub fn prt12_apsp(g: &Graph) -> Prt12Outcome {
     let mut seen: Vec<u64> = Vec::new();
     for v in 0..k {
         seen.clear();
-        for u in 0..k {
+        for (u, dist_u) in dist.iter().enumerate() {
             if u == v {
                 continue;
             }
-            let d = dist[u][v];
+            let d = dist_u[v];
             assert_ne!(d, u32::MAX, "connected");
             let t = 2 * pi[u] as u64 + d as u64;
             virtual_rounds = virtual_rounds.max(t);

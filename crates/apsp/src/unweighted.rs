@@ -73,16 +73,10 @@ pub fn unweighted_apsp_approx(
 
     // 2. PRT12 on the cluster graph (charged per Lemma 6).
     let prt = prt12_apsp(&cg.graph);
-    phases.record(
-        "prt12-on-Gc (charged)",
-        charged(prt.charged_g_rounds),
-    );
+    phases.record("prt12-on-Gc (charged)", charged(prt.charged_g_rounds));
 
     // 3. Centers → members distance vectors (charged: one hop, pipelined).
-    phases.record(
-        "center-vectors (charged)",
-        charged(cg.centers.len() as u64),
-    );
+    phases.record("center-vectors (charged)", charged(cg.centers.len() as u64));
 
     // 4. Broadcast s(v) for all v with the real Theorem 1 broadcast.
     //    Payload packs (v, cluster_of(v)).
@@ -91,7 +85,8 @@ pub fn unweighted_apsp_approx(
             .map(|v| (v, ((v as u64) << 32) | cg.cluster_of[v as usize] as u64))
             .collect(),
     };
-    let params = PartitionParams::from_lambda(n, lambda, congest_core::broadcast::DEFAULT_PARTITION_C);
+    let params =
+        PartitionParams::from_lambda(n, lambda, congest_core::broadcast::DEFAULT_PARTITION_C);
     let (bc, _) = partition_broadcast_retrying(
         g,
         &input,
@@ -107,13 +102,14 @@ pub fn unweighted_apsp_approx(
 
     // 5. Local evaluation of the (3,2) estimates.
     let mut estimate = vec![vec![0u32; n]; n];
-    for u in 0..n {
-        for v in 0..n {
+    for (u, row) in estimate.iter_mut().enumerate() {
+        let cu = cg.cluster_of[u] as usize;
+        for (v, slot) in row.iter_mut().enumerate() {
             if u == v {
                 continue;
             }
-            let (cu, cv) = (cg.cluster_of[u] as usize, cg.cluster_of[v] as usize);
-            estimate[u][v] = 3 * prt.dist[cu][cv] + 2;
+            let cv = cg.cluster_of[v] as usize;
+            *slot = 3 * prt.dist[cu][cv] + 2;
         }
     }
 

@@ -24,7 +24,10 @@ fn bench_packing(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            sampled_packing(&g, 16, p, 0, seed).unwrap().packing.stats(&g)
+            sampled_packing(&g, 16, p, 0, seed)
+                .unwrap()
+                .packing
+                .stats(&g)
         })
     });
     // GK13's λ is deliberately below the random partition's log n regime;

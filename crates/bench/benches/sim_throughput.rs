@@ -1,59 +1,405 @@
-//! Engine-throughput bench (not a paper claim): rounds/second of the
-//! CONGEST engine under a chatty protocol, serial vs parallel stepping —
-//! the hpc-parallel "did rayon help" check.
+//! Engine-throughput bench: the packed message plane vs. the seed-style
+//! `Vec<Option<Msg>>` slabs (kept as [`congest_sim::baseline`]), plus the
+//! parallel-vs-serial check on the packed engine.
+//!
+//! Each workload implements both engine traits with identical logic, so
+//! the measured difference is purely the message plane: packed words +
+//! occupancy bitset + swap delivery vs. `Option` slabs + clear-then-clone.
+//! Results are printed as criterion-style lines and exported to
+//! `BENCH_sim.json` at the workspace root so later changes have a perf
+//! trajectory to compare against.
 
-use congest_graph::generators::{harary, torus2d};
+use congest_graph::generators::{complete, harary};
 use congest_graph::Graph;
+use congest_sim::baseline::{run_baseline, BaselineCtx, BaselineProtocol};
 use congest_sim::{run_protocol, EngineConfig, NodeCtx, Protocol};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::fmt::Write as _;
+use std::time::Instant;
 
-/// Every node sends a counter to all neighbors for `rounds` rounds.
-struct Chatter {
-    rounds: u64,
+const ROUNDS: u64 = 200;
+
+/// Dense traffic: every node sends a 64-bit counter on every port, every
+/// round — the worst case for both planes (all arcs occupied).
+#[derive(Clone)]
+struct DenseChatter {
+    acc: u64,
 }
 
-impl Protocol for Chatter {
+impl DenseChatter {
+    fn step(&mut self, round: u64, inbox_sum: u64) -> Option<u64> {
+        self.acc = self.acc.wrapping_add(inbox_sum);
+        (round < ROUNDS).then_some(self.acc.wrapping_add(round))
+    }
+}
+
+impl Protocol for DenseChatter {
     type Msg = u64;
     type Output = u64;
     fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
-        let mut acc = 0u64;
-        for (_, &m) in ctx.inbox() {
-            acc = acc.wrapping_add(m);
+        let sum = ctx.inbox().map(|(_, m)| m).fold(0u64, u64::wrapping_add);
+        match self.step(ctx.round, sum) {
+            Some(m) => ctx.send_all(m),
+            None => ctx.set_done(true),
         }
-        if ctx.round < self.rounds {
-            ctx.send_all(acc.wrapping_add(ctx.round));
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+impl BaselineProtocol for DenseChatter {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut BaselineCtx<'_, u64>) {
+        let sum = ctx.inbox().map(|(_, &m)| m).fold(0u64, u64::wrapping_add);
+        match self.step(ctx.round, sum) {
+            Some(m) => ctx.send_all(m),
+            None => ctx.set_done(true),
+        }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// Sparse traffic: ~1/16 of the nodes speak each round — the regime the
+/// occupancy bitset is built for (quiescent arcs cost one bit, not an
+/// `Option` clear + scan).
+#[derive(Clone)]
+struct SparseChatter {
+    node: u32,
+    acc: u64,
+}
+
+impl SparseChatter {
+    fn speaks(&self, round: u64) -> bool {
+        (self.node as u64).wrapping_add(round).is_multiple_of(16)
+    }
+}
+
+impl Protocol for SparseChatter {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        self.acc = self
+            .acc
+            .wrapping_add(ctx.inbox().map(|(_, m)| m).fold(0u64, u64::wrapping_add));
+        if ctx.round < ROUNDS {
+            if self.speaks(ctx.round) {
+                ctx.send_all(self.acc | 1);
+            }
         } else {
             ctx.set_done(true);
         }
     }
     fn finish(self) -> u64 {
-        self.rounds
+        self.acc
     }
+}
+
+impl BaselineProtocol for SparseChatter {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut BaselineCtx<'_, u64>) {
+        self.acc = self
+            .acc
+            .wrapping_add(ctx.inbox().map(|(_, &m)| m).fold(0u64, u64::wrapping_add));
+        if ctx.round < ROUNDS {
+            if self.speaks(ctx.round) {
+                ctx.send_all(self.acc | 1);
+            }
+        } else {
+            ctx.set_done(true);
+        }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// Wide 96-bit messages (the broadcast pipeline's `(id, payload)` shape),
+/// dense — exercises the `u128` slab.
+#[derive(Clone)]
+struct WideChatter {
+    acc: u64,
+}
+
+impl Protocol for WideChatter {
+    type Msg = (u32, u64);
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, (u32, u64)>) {
+        for (_, (id, payload)) in ctx.inbox() {
+            self.acc = self.acc.wrapping_add(id as u64 ^ payload);
+        }
+        if ctx.round < ROUNDS {
+            ctx.send_all((ctx.node, self.acc));
+        } else {
+            ctx.set_done(true);
+        }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+impl BaselineProtocol for WideChatter {
+    type Msg = (u32, u64);
+    type Output = u64;
+    fn round(&mut self, ctx: &mut BaselineCtx<'_, (u32, u64)>) {
+        let node = ctx.node;
+        for (_, &(id, payload)) in ctx.inbox() {
+            self.acc = self.acc.wrapping_add(id as u64 ^ payload);
+        }
+        if ctx.round < ROUNDS {
+            ctx.send_all((node, self.acc));
+        } else {
+            ctx.set_done(true);
+        }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// The broadcast algorithm's own traffic shape: wide `(id, payload)`
+/// messages on a rotating ~1/8 of each node's ports — what pipelined
+/// routing over λ′ edge-disjoint trees looks like on the wire.
+#[derive(Clone)]
+struct PipelineLike {
+    node: u32,
+    acc: u64,
+}
+
+impl PipelineLike {
+    fn active(&self, port: u32, round: u64) -> bool {
+        (self.node as u64 + port as u64 + round).is_multiple_of(8)
+    }
+}
+
+impl Protocol for PipelineLike {
+    type Msg = (u32, u64);
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, (u32, u64)>) {
+        for (_, (id, payload)) in ctx.inbox() {
+            self.acc = self.acc.wrapping_add(id as u64 ^ payload);
+        }
+        if ctx.round < ROUNDS {
+            for p in 0..ctx.degree() as u32 {
+                if self.active(p, ctx.round) {
+                    ctx.send(p, (p, self.acc));
+                }
+            }
+        } else {
+            ctx.set_done(true);
+        }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+impl BaselineProtocol for PipelineLike {
+    type Msg = (u32, u64);
+    type Output = u64;
+    fn round(&mut self, ctx: &mut BaselineCtx<'_, (u32, u64)>) {
+        for (_, &(id, payload)) in ctx.inbox() {
+            self.acc = self.acc.wrapping_add(id as u64 ^ payload);
+        }
+        if ctx.round < ROUNDS {
+            for p in 0..ctx.degree() as u32 {
+                if self.active(p, ctx.round) {
+                    ctx.send(p, (p, self.acc));
+                }
+            }
+        } else {
+            ctx.set_done(true);
+        }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+struct Measurement {
+    workload: &'static str,
+    graph: &'static str,
+    arcs: usize,
+    packed_serial_ns: u128,
+    packed_parallel_ns: u128,
+    baseline_ns: u128,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / self.packed_serial_ns as f64
+    }
+}
+
+fn best_of<F: FnMut() -> u64>(samples: usize, mut f: F) -> u128 {
+    let mut best = u128::MAX;
+    let mut sink = 0u64;
+    for _ in 0..samples {
+        let t = Instant::now();
+        sink = sink.wrapping_add(f());
+        best = best.min(t.elapsed().as_nanos());
+    }
+    criterion::black_box(sink);
+    best
+}
+
+fn measure<P>(
+    name: &'static str,
+    gname: &'static str,
+    g: &Graph,
+    make: impl Fn(u32) -> P + Copy,
+) -> Measurement
+where
+    P: Protocol<Output = u64> + BaselineProtocol<Output = u64> + Clone,
+{
+    // Correctness cross-check before timing: both engines must agree.
+    let packed = run_protocol(g, |v, _| make(v), EngineConfig::serial()).unwrap();
+    let base = run_baseline::<P, _>(g, |v, _| make(v), 10 * ROUNDS);
+    assert_eq!(
+        packed.outputs, base.outputs,
+        "{name}/{gname} outputs differ"
+    );
+    assert_eq!(packed.stats.rounds, base.rounds);
+    assert_eq!(packed.stats.total_messages, base.total_messages);
+
+    let samples = 7;
+    let packed_serial_ns = best_of(samples, || {
+        run_protocol(g, |v, _| make(v), EngineConfig::serial())
+            .unwrap()
+            .stats
+            .total_messages
+    });
+    let packed_parallel_ns = best_of(samples, || {
+        run_protocol(g, |v, _| make(v), EngineConfig::default())
+            .unwrap()
+            .stats
+            .total_messages
+    });
+    let baseline_ns = best_of(samples, || {
+        run_baseline::<P, _>(g, |v, _| make(v), 10 * ROUNDS).total_messages
+    });
+    Measurement {
+        workload: name,
+        graph: gname,
+        arcs: g.num_arcs(),
+        packed_serial_ns,
+        packed_parallel_ns,
+        baseline_ns,
+    }
+}
+
+fn write_json(measurements: &[Measurement], path: &std::path::Path) {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"sim_throughput\",");
+    let _ = writeln!(s, "  \"rounds_per_run\": {ROUNDS},");
+    let _ = writeln!(
+        s,
+        "  \"note\": \"packed slab engine vs seed-style Vec<Option<Msg>> baseline on one core; ns = best of 7 whole-run samples; headline metric is geomean_speedup across workloads\","
+    );
+    let _ = writeln!(s, "  \"workloads\": [");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"workload\": \"{}\",", m.workload);
+        let _ = writeln!(s, "      \"graph\": \"{}\",", m.graph);
+        let _ = writeln!(s, "      \"arcs\": {},", m.arcs);
+        let _ = writeln!(s, "      \"packed_serial_ns\": {},", m.packed_serial_ns);
+        let _ = writeln!(s, "      \"packed_parallel_ns\": {},", m.packed_parallel_ns);
+        let _ = writeln!(s, "      \"baseline_ns\": {},", m.baseline_ns);
+        let _ = writeln!(
+            s,
+            "      \"speedup_packed_vs_baseline\": {:.3}",
+            m.speedup()
+        );
+        let _ = writeln!(
+            s,
+            "    }}{}",
+            if i + 1 < measurements.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let min = measurements
+        .iter()
+        .map(Measurement::speedup)
+        .fold(f64::INFINITY, f64::min);
+    let geomean = (measurements.iter().map(|m| m.speedup().ln()).sum::<f64>()
+        / measurements.len() as f64)
+        .exp();
+    let _ = writeln!(s, "  \"min_speedup\": {min:.3},");
+    let _ = writeln!(s, "  \"geomean_speedup\": {geomean:.3}");
+    let _ = writeln!(s, "}}");
+    std::fs::write(path, s).expect("write BENCH_sim.json");
 }
 
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_throughput");
-    group.sample_size(10);
-    let graphs: Vec<(&str, Graph)> = vec![
-        ("torus32x32", torus2d(32, 32)),
-        ("harary16_1024", harary(16, 1024)),
-    ];
-    for (name, g) in &graphs {
+    group.sample_size(5);
+    // The paper's regime is *highly connected* networks: high-degree
+    // graphs, where per-arc message-plane costs dominate per-node
+    // bookkeeping.
+    let clique = complete(256);
+    let hara = harary(16, 1024);
+
+    let mut measurements = Vec::new();
+    for (gname, g) in [("complete256", &clique), ("harary16_1024", &hara)] {
+        measurements.push(measure("dense_u64", gname, g, |_| DenseChatter { acc: 1 }));
+        measurements.push(measure("sparse_u64", gname, g, |v| SparseChatter {
+            node: v,
+            acc: 1,
+        }));
+        measurements.push(measure("wide_u128", gname, g, |_| WideChatter { acc: 1 }));
+        measurements.push(measure("pipeline_u128", gname, g, |v| PipelineLike {
+            node: v,
+            acc: 1,
+        }));
+    }
+
+    // Also surface the packed engine through the criterion harness for the
+    // usual per-benchmark lines.
+    for (gname, g) in [("complete256", &clique), ("harary16_1024", &hara)] {
         for parallel in [false, true] {
             let label = if parallel { "parallel" } else { "serial" };
-            group.bench_with_input(BenchmarkId::new(*name, label), g, |b, g| {
+            group.bench_with_input(BenchmarkId::new(gname, label), g, |b, g| {
                 b.iter(|| {
                     let cfg = if parallel {
                         EngineConfig::default()
                     } else {
                         EngineConfig::serial()
                     };
-                    run_protocol(g, |_, _| Chatter { rounds: 50 }, cfg).unwrap()
+                    run_protocol(g, |_, _| DenseChatter { acc: 1 }, cfg).unwrap()
                 })
             });
         }
     }
     group.finish();
+
+    println!(
+        "\n| workload | graph | arcs | packed serial | packed parallel | baseline | speedup |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    for m in &measurements {
+        println!(
+            "| {} | {} | {} | {:.2} ms | {:.2} ms | {:.2} ms | {:.2}x |",
+            m.workload,
+            m.graph,
+            m.arcs,
+            m.packed_serial_ns as f64 / 1e6,
+            m.packed_parallel_ns as f64 / 1e6,
+            m.baseline_ns as f64 / 1e6,
+            m.speedup()
+        );
+    }
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sim.json");
+    write_json(&measurements, &root);
+    println!("\nwrote {}", root.display());
 }
 
 criterion_group!(benches, bench_engine);

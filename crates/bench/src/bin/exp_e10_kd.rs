@@ -30,7 +30,14 @@ fn main() {
     ];
     let mut t1 = Table::new(
         "Lemma 9 greedy certificates (24 pairs each)",
-        &["family", "claim k", "claim d", "certified%", "min paths ≤ d", "max needed len"],
+        &[
+            "family",
+            "claim k",
+            "claim d",
+            "certified%",
+            "min paths ≤ d",
+            "max needed len",
+        ],
     );
     for (name, g, lambda) in &cases {
         let report = kd_certificates(g, *lambda, 24, 0xE10);
@@ -54,7 +61,13 @@ fn main() {
         .rounds;
     let mut t2 = Table::new(
         format!("multiplexed floods on harary λ=8 n=96 (solo dilation = {solo})"),
-        &["q floods", "delay range", "total rounds", "q × dilation", "ratio"],
+        &[
+            "q floods",
+            "delay range",
+            "total rounds",
+            "q × dilation",
+            "ratio",
+        ],
     );
     for q in [4usize, 8, 16, 32] {
         let max_delay = (q as u64) / 2;

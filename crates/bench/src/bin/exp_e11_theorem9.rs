@@ -24,7 +24,14 @@ fn main() {
 
     let mut t = Table::new(
         format!("α sweep on the crafted instance (n = {n}, λ = {lambda})"),
-        &["α", "base B", "k_max", "decode@exact", "decode@α-stretch", "LB rounds"],
+        &[
+            "α",
+            "base B",
+            "k_max",
+            "decode@exact",
+            "decode@α-stretch",
+            "LB rounds",
+        ],
     );
     for alpha in [1.5, 2.0, 3.0, 5.0, 9.0] {
         let inst = theorem9_instance(n, lambda, alpha, 2.0, 0xE11);

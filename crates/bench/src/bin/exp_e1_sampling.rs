@@ -28,7 +28,15 @@ fn main() {
 
     let mut t = Table::new(
         "Lemma 5 sampling (10 seeds per row)",
-        &["family", "C", "p", "span%", "maxD", "meanD", "D·δ/(C·n·lnn)"],
+        &[
+            "family",
+            "C",
+            "p",
+            "span%",
+            "maxD",
+            "meanD",
+            "D·δ/(C·n·lnn)",
+        ],
     );
     for (name, g, lambda) in &cases {
         let n = g.n() as f64;
@@ -65,5 +73,7 @@ fn main() {
         }
     }
     t.print();
-    println!("\nshape check: span% → 100 as C grows; normalized diameter stays O(1) and flat in n.");
+    println!(
+        "\nshape check: span% → 100 as C grows; normalized diameter stays O(1) and flat in n."
+    );
 }

@@ -28,7 +28,14 @@ fn main() {
 
     let mut t = Table::new(
         "Theorem 2 partition (10 seeds per row)",
-        &["family", "λ'", "all-span%", "worstD", "D·δ/(n·lnn)", "bfs rounds"],
+        &[
+            "family",
+            "λ'",
+            "all-span%",
+            "worstD",
+            "D·δ/(n·lnn)",
+            "bfs rounds",
+        ],
     );
     for (name, g, lambda) in &cases {
         let n = g.n() as f64;

@@ -26,7 +26,15 @@ fn main() {
 
     let mut t = Table::new(
         "k-broadcast rounds (messages spread uniformly)",
-        &["family", "k", "λ'", "thm1 rounds", "textbook rounds", "speedup", "thm1/formula"],
+        &[
+            "family",
+            "k",
+            "λ'",
+            "thm1 rounds",
+            "textbook rounds",
+            "speedup",
+            "thm1/formula",
+        ],
     );
     for (name, g, lambda) in &cases {
         let n = g.n();
@@ -60,5 +68,7 @@ fn main() {
         }
     }
     t.print();
-    println!("\nshape check: speedup grows with k and with λ; thm1/formula stays a flat O(1) constant.");
+    println!(
+        "\nshape check: speedup grows with k and with λ; thm1/formula stays a flat O(1) constant."
+    );
 }

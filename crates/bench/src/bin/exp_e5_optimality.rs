@@ -32,7 +32,15 @@ fn main() {
 
     let mut t = Table::new(
         "optimality ratios",
-        &["family", "n", "k", "rounds", "LB k/(2λ)", "ratio", "ratio/ln n"],
+        &[
+            "family",
+            "n",
+            "k",
+            "rounds",
+            "LB k/(2λ)",
+            "ratio",
+            "ratio/ln n",
+        ],
     );
     for (name, g, lambda) in &cases {
         let n = g.n();

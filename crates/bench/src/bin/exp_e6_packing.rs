@@ -29,11 +29,18 @@ fn main() {
     ];
     let mut t1 = Table::new(
         "Theorem 2 packings",
-        &["family", "trees", "disjoint", "maxD", "D·δ/(n·lnn)", "ghaffari wr", "ghaffari dr"],
+        &[
+            "family",
+            "trees",
+            "disjoint",
+            "maxD",
+            "D·δ/(n·lnn)",
+            "ghaffari wr",
+            "ghaffari dr",
+        ],
     );
     for (name, g, lambda, trees) in &cases {
-        let (packing, _, _) =
-            partition_packing_retrying(g, *trees, 0, 0xE6, 30).expect("packing");
+        let (packing, _, _) = partition_packing_retrying(g, *trees, 0, 0xE6, 30).expect("packing");
         packing.validate(g).unwrap();
         let stats = packing.stats(g);
         let n = g.n() as f64;
@@ -55,7 +62,14 @@ fn main() {
     println!("\npaper claim (Thm 10): λ spanning trees, diameter O(n·ln n/δ), congestion O(log n)");
     let mut t2 = Table::new(
         "sampled packings (λ trees)",
-        &["family", "trees", "congestion", "ln n", "maxD", "D·δ/(n·lnn)"],
+        &[
+            "family",
+            "trees",
+            "congestion",
+            "ln n",
+            "maxD",
+            "D·δ/(n·lnn)",
+        ],
     );
     for (name, g, lambda, _) in &cases {
         let p = lemma5_probability(g.n(), *lambda, 2.0);
@@ -80,7 +94,16 @@ fn main() {
     println!("\npaper claim (Thm 13/GK13): graph diameter O(log n) but packing diameter Ω(n/λ), with ≤ O(log n) short trees");
     let mut t3 = Table::new(
         "GK13-style lower-bound family (2 greedy edge-disjoint trees)",
-        &["columns", "λ", "n", "graph D", "packing maxD", "short trees", "n/λ", "blowup"],
+        &[
+            "columns",
+            "λ",
+            "n",
+            "graph D",
+            "packing maxD",
+            "short trees",
+            "n/λ",
+            "blowup",
+        ],
     );
     for columns in [16usize, 32, 64, 96] {
         let lambda = 6;
@@ -98,5 +121,7 @@ fn main() {
     }
     t3.print();
     println!("\nshape check: graph D grows ~log, packing maxD grows ~linearly with columns — the Θ̃(n/λ) wall;");
-    println!("at most ~1 tree stays short (the thin overlay serves one extraction, as GK13 predict).");
+    println!(
+        "at most ~1 tree stays short (the thin overlay serves one extraction, as GK13 predict)."
+    );
 }

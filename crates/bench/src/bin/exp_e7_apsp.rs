@@ -26,7 +26,13 @@ fn main() {
 
     let mut t = Table::new(
         "Theorem 4 quality and cost",
-        &["family", "clusters", "worst α (≤3)", "rounds", "rounds/(n·lnn/λ)"],
+        &[
+            "family",
+            "clusters",
+            "worst α (≤3)",
+            "rounds",
+            "rounds/(n·lnn/λ)",
+        ],
     );
     for (name, g, lambda) in &cases {
         let out = unweighted_apsp_approx(g, *lambda, 0xE7).expect("apsp");
@@ -45,5 +51,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\nshape check: α never exceeds 3; normalized rounds stay O(1)·polylog across families.");
+    println!(
+        "\nshape check: α never exceeds 3; normalized rounds stay O(1)·polylog across families."
+    );
 }

@@ -22,13 +22,25 @@ fn main() {
     let n = 96usize;
     let base = harary(lambda, n);
     let mut rng = SmallRng::seed_from_u64(0xE8);
-    let weights: Vec<f64> = (0..base.m()).map(|_| rng.gen_range(1..100) as f64).collect();
+    let weights: Vec<f64> = (0..base.m())
+        .map(|_| rng.gen_range(1..100) as f64)
+        .collect();
     let g = WeightedGraph::new(base, weights);
     let exact = apsp_weighted(&g);
 
     let mut t = Table::new(
-        format!("k sweep on weighted harary λ={lambda} n={n} (m = {})", g.m()),
-        &["k", "2k-1", "measured stretch", "spanner edges", "k·n^(1+1/k)", "rounds"],
+        format!(
+            "k sweep on weighted harary λ={lambda} n={n} (m = {})",
+            g.m()
+        ),
+        &[
+            "k",
+            "2k-1",
+            "measured stretch",
+            "spanner edges",
+            "k·n^(1+1/k)",
+            "rounds",
+        ],
     );
     let c1k = corollary1_k(n);
     for k in [1usize, 2, 3, 4, c1k] {
@@ -50,5 +62,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\nshape check: measured stretch ≤ 2k-1 always; spanner size and rounds fall as k grows.");
+    println!(
+        "\nshape check: measured stretch ≤ 2k-1 always; spanner size and rounds fall as k grows."
+    );
 }

@@ -15,18 +15,23 @@ fn main() {
     println!("paper claim: Õ(n/ε²) edges, every cut within (1±ε), Õ(n/(λε²)) rounds");
 
     let cases: Vec<(&str, WeightedGraph, usize)> = vec![
-        (
-            "harary λ=24 n=96",
-            WeightedGraph::unit(harary(24, 96)),
-            24,
-        ),
+        ("harary λ=24 n=96", WeightedGraph::unit(harary(24, 96)), 24),
         ("K_96", WeightedGraph::unit(complete(96)), 95),
         ("K_160", WeightedGraph::unit(complete(160)), 159),
     ];
 
     let mut t = Table::new(
         "ε sweep",
-        &["family", "m", "ε", "sparsifier m̃", "measured ε̂", "mincut G", "mincut H", "rounds"],
+        &[
+            "family",
+            "m",
+            "ε",
+            "sparsifier m̃",
+            "measured ε̂",
+            "mincut G",
+            "mincut H",
+            "rounds",
+        ],
     );
     for (name, g, lambda) in &cases {
         for eps in [0.8, 0.5, 0.3] {

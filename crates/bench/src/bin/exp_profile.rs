@@ -25,7 +25,12 @@ fn main() {
     let input = BroadcastInput::random_spread(&g, k, 0xE12);
 
     // Textbook routing phase with trace.
-    let bfs = run_protocol(&g, |v, _| BfsProtocol::new(0, v), EngineConfig::with_seed(1)).unwrap();
+    let bfs = run_protocol(
+        &g,
+        |v, _| BfsProtocol::new(0, v),
+        EngineConfig::with_seed(1),
+    )
+    .unwrap();
     let views: Vec<TreeView> = bfs.outputs.iter().map(TreeView::from_bfs).collect();
     let mut own: Vec<Vec<PipeMsg>> = vec![Vec::new(); n];
     for (j, &(v, payload)) in input.messages.iter().enumerate() {
@@ -36,7 +41,14 @@ fn main() {
     }
     let textbook = run_protocol(
         &g,
-        |v, _| TreePipeline::new(views[v as usize].clone(), k as u64, own[v as usize].clone(), false),
+        |v, _| {
+            TreePipeline::new(
+                views[v as usize].clone(),
+                k as u64,
+                own[v as usize].clone(),
+                false,
+            )
+        },
         EngineConfig::with_seed(2).trace(),
     )
     .unwrap();
@@ -48,9 +60,7 @@ fn main() {
     let lp = part.num_subgraphs;
     let sub = run_protocol(
         &g,
-        |v, gr: &Graph| {
-            congest_core::bfs::SubgraphBfs::new(0, v, part.port_colors(gr, v), lp)
-        },
+        |v, gr: &Graph| congest_core::bfs::SubgraphBfs::new(0, v, part.port_colors(gr, v), lp),
         EngineConfig::with_seed(3),
     )
     .unwrap();
@@ -96,7 +106,12 @@ fn main() {
     let bucket = 16usize;
     let mut t = Table::new(
         format!("messages per round, bucketed ×{bucket}"),
-        &["round bucket", "textbook msg/round", "partition msg/round", "profile"],
+        &[
+            "round bucket",
+            "textbook msg/round",
+            "partition msg/round",
+            "profile",
+        ],
     );
     let buckets = tb_trace.len().max(pt_trace.len()).div_ceil(bucket);
     let avg = |tr: &[u64], b: usize| -> f64 {

@@ -1,0 +1,189 @@
+//! Vendored offline shim for the subset of `criterion` this workspace
+//! uses: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Measurement model: after one warm-up call, every benchmark takes
+//! `sample_size` wall-clock samples (default 10) of single invocations and
+//! reports min/median/mean. No plots, no statistics beyond that — just
+//! honest numbers on stdout, which is what the experiment harness needs
+//! offline. The last measurement of every benchmark is retrievable via
+//! [`Criterion::reports`] so harness code can export machine-readable
+//! summaries (e.g. `BENCH_sim.json`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub id: String,
+    pub samples: usize,
+    pub min: Duration,
+    pub median: Duration,
+    pub mean: Duration,
+}
+
+/// Entry point object handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+    reports: Vec<Report>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            parent: self,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let samples = if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        };
+        let report = run_bench(&id, samples, |b| f(b));
+        self.reports.push(report);
+    }
+
+    /// All measurements taken so far, in execution order.
+    pub fn reports(&self) -> &[Report] {
+        &self.reports
+    }
+}
+
+/// A named group; `sample_size` overrides the parent default.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(10);
+        let report = run_bench(&full, samples, |b| f(b));
+        self.parent.reports.push(report);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.0);
+        let samples = self.sample_size.unwrap_or(10);
+        let report = run_bench(&full, samples, |b| f(b, input));
+        self.parent.reports.push(report);
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier: `BenchmarkId::new(function, parameter)`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed = Some(start.elapsed());
+    }
+}
+
+fn run_bench(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) -> Report {
+    // Warm-up.
+    let mut b = Bencher { elapsed: None };
+    f(&mut b);
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { elapsed: None };
+        f(&mut b);
+        times.push(b.elapsed.expect("benchmark closure must call iter()"));
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!(
+        "bench {id:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({samples} samples)",
+        min, median, mean
+    );
+    Report {
+        id: id.to_string(),
+        samples,
+        min,
+        median,
+        mean,
+    }
+}
+
+/// Mirrors criterion's macro: defines a function running all listed
+/// benchmark functions against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors criterion's macro: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_produce_reports() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+                b.iter(|| x * x)
+            });
+            g.finish();
+        }
+        c.bench_function("lone", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.reports().len(), 2);
+        assert!(c.reports()[0].id.contains("demo/square/7"));
+    }
+}

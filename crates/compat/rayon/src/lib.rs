@@ -1,0 +1,211 @@
+//! Vendored offline shim for the subset of `rayon` this workspace uses,
+//! backed by the [`congest_par`] persistent pool.
+//!
+//! Supported surface: `(range).into_par_iter().map(f)` followed by
+//! `.collect()`, `.min()`, `.min_by_key()`, or `.try_reduce()` (for
+//! `Option` items), plus `ThreadPoolBuilder::num_threads(..).build()` and
+//! `ThreadPool::install(..)` (which installs a scoped [`congest_par`]
+//! pool, so the engine and these iterators both honor it).
+
+/// An indexed parallel pipeline: `len` items produced by `f(0..len)`.
+pub struct ParIter<F> {
+    len: usize,
+    offset: u64,
+    f: F,
+}
+
+/// Sources convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<fn(u64) -> $t>;
+            fn into_par_iter(self) -> Self::Iter {
+                ParIter {
+                    len: (self.end.saturating_sub(self.start)) as usize,
+                    offset: self.start as u64,
+                    f: |i| i as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_range_source!(u32, u64, usize);
+
+impl<F, T> ParIter<F>
+where
+    F: Fn(u64) -> T + Sync,
+    T: Send,
+{
+    #[inline]
+    fn item(&self, i: usize) -> T {
+        (self.f)(self.offset + i as u64)
+    }
+
+    fn collect_vec(&self) -> Vec<T> {
+        congest_par::par_map_collect(self.len, |i| self.item(i))
+    }
+
+    pub fn map<G, U>(self, g: G) -> ParIter<impl Fn(u64) -> U + Sync>
+    where
+        G: Fn(T) -> U + Sync,
+        U: Send,
+    {
+        let ParIter { len, offset, f } = self;
+        ParIter {
+            len,
+            offset,
+            f: move |i| g(f(i)),
+        }
+    }
+
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.collect_vec())
+    }
+
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.collect_vec().into_iter().min()
+    }
+
+    pub fn min_by_key<K: Ord, G: FnMut(&T) -> K>(self, key: G) -> Option<T> {
+        self.collect_vec().into_iter().min_by_key(key)
+    }
+
+    pub fn for_each<G: Fn(T) + Sync>(self, g: G) {
+        congest_par::run(self.len, |i| g(self.item(i)));
+    }
+}
+
+impl<F, U> ParIter<F>
+where
+    F: Fn(u64) -> Option<U> + Sync,
+    U: Send,
+{
+    /// rayon-compatible `try_reduce` for `Option` items: short-circuits on
+    /// `None`, otherwise folds with `op` from `identity()`.
+    pub fn try_reduce<ID, OP>(self, identity: ID, op: OP) -> Option<U>
+    where
+        ID: Fn() -> U,
+        OP: Fn(U, U) -> Option<U>,
+    {
+        let mut acc = identity();
+        for item in self.collect_vec() {
+            acc = op(acc, item?)?;
+        }
+        Some(acc)
+    }
+}
+
+/// Builder for an explicitly-sized pool.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads.unwrap_or(0),
+        })
+    }
+}
+
+/// A handle whose `install` scopes all shim + engine parallelism to a pool
+/// of the requested width.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t = if self.threads == 0 {
+            congest_par::num_threads()
+        } else {
+            self.threads
+        };
+        congest_par::with_threads(t, f)
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParIter, ThreadPoolBuilder};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_serial() {
+        let v: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * 3).collect();
+        let s: Vec<u64> = (0u64..100).map(|x| x * 3).collect();
+        assert_eq!(v, s);
+    }
+
+    #[test]
+    fn min_and_min_by_key() {
+        let m = (5u32..50).into_par_iter().map(|x| (x * 7) % 13).min();
+        let s = (5u32..50).map(|x| (x * 7) % 13).min();
+        assert_eq!(m, s);
+        let k = (0usize..40)
+            .into_par_iter()
+            .map(|x| (x, 100 - x))
+            .min_by_key(|&(_, y)| y);
+        assert_eq!(k, Some((39, 61)));
+    }
+
+    #[test]
+    fn try_reduce_short_circuits_on_none() {
+        let all: Option<u32> = (0u32..10)
+            .into_par_iter()
+            .map(Some)
+            .try_reduce(|| 0, |a, b| Some(a.max(b)));
+        assert_eq!(all, Some(9));
+        let bad: Option<u32> = (0u32..10)
+            .into_par_iter()
+            .map(|x| if x == 5 { None } else { Some(x) })
+            .try_reduce(|| 0, |a, b| Some(a.max(b)));
+        assert_eq!(bad, None);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert_eq!(congest_par::num_threads(), 2);
+        });
+    }
+}

@@ -15,10 +15,10 @@
 //! structure the pipelined broadcast (Lemma 1) needs.
 
 use congest_graph::{Node, Port};
-use congest_sim::{MsgBits, NodeCtx, Protocol};
+use congest_sim::{MsgBits, NodeCtx, PackedMsg, Protocol};
 
 /// Wire message for BFS.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BfsMsg {
     /// The exploration wave, carrying the sender's depth + 1.
     Wave { depth: u32 },
@@ -33,6 +33,29 @@ impl MsgBits for BfsMsg {
         match self {
             BfsMsg::Wave { .. } => 1 + 32,
             BfsMsg::Child => 1,
+        }
+    }
+}
+
+/// Bit budget: `tag(1) | depth(32)`.
+impl PackedMsg for BfsMsg {
+    type Word = u64;
+    const WIDTH: u32 = 33;
+    #[inline]
+    fn pack(self) -> u64 {
+        match self {
+            BfsMsg::Child => 0,
+            BfsMsg::Wave { depth } => 1 | (depth as u64) << 1,
+        }
+    }
+    #[inline]
+    fn unpack(word: u64) -> Self {
+        if word & 1 == 0 {
+            BfsMsg::Child
+        } else {
+            BfsMsg::Wave {
+                depth: (word >> 1) as u32,
+            }
         }
     }
 }
@@ -93,7 +116,7 @@ impl Protocol for BfsProtocol {
         // Process arrivals.
         let mut first_wave: Option<(Port, u32)> = None;
         for (port, msg) in ctx.inbox() {
-            match *msg {
+            match msg {
                 BfsMsg::Wave { depth } => {
                     if !self.info.reached && first_wave.is_none() {
                         first_wave = Some((port, depth));
@@ -133,7 +156,7 @@ impl Protocol for BfsProtocol {
 /// Wire message for the parallel per-subgraph BFS: the wave is tagged with
 /// its subgraph index. Each edge belongs to exactly one subgraph, so no
 /// edge ever needs to carry two waves in one round.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubBfsMsg {
     Wave { subgraph: u32, depth: u32 },
     Child { subgraph: u32 },
@@ -142,8 +165,41 @@ pub enum SubBfsMsg {
 impl MsgBits for SubBfsMsg {
     fn bits(&self) -> usize {
         match self {
-            SubBfsMsg::Wave { .. } => 1 + 32 + 32,
-            SubBfsMsg::Child { .. } => 1 + 32,
+            SubBfsMsg::Wave { .. } => 1 + 16 + 32,
+            SubBfsMsg::Child { .. } => 1 + 16,
+        }
+    }
+}
+
+/// Bit budget: `tag(1) | subgraph(16) | depth(32)`. λ′ (the subgraph
+/// count) is at most λ/(C log n) ≤ n, and 16 bits cover every experiment
+/// scale; `pack` asserts the bound in debug builds.
+impl PackedMsg for SubBfsMsg {
+    type Word = u64;
+    const WIDTH: u32 = 49;
+    #[inline]
+    fn pack(self) -> u64 {
+        match self {
+            SubBfsMsg::Child { subgraph } => {
+                debug_assert!(subgraph < 1 << 16);
+                (subgraph as u64) << 1
+            }
+            SubBfsMsg::Wave { subgraph, depth } => {
+                debug_assert!(subgraph < 1 << 16);
+                1 | (subgraph as u64) << 1 | (depth as u64) << 17
+            }
+        }
+    }
+    #[inline]
+    fn unpack(word: u64) -> Self {
+        let subgraph = (word >> 1) as u32 & 0xFFFF;
+        if word & 1 == 0 {
+            SubBfsMsg::Child { subgraph }
+        } else {
+            SubBfsMsg::Wave {
+                subgraph,
+                depth: (word >> 17) as u32,
+            }
         }
     }
 }
@@ -174,7 +230,9 @@ impl SubgraphBfs {
             me,
             port_colors,
             num_subgraphs,
-            info: (0..num_subgraphs).map(|_| BfsNodeInfo::unreached()).collect(),
+            info: (0..num_subgraphs)
+                .map(|_| BfsNodeInfo::unreached())
+                .collect(),
             relayed: vec![false; num_subgraphs],
         }
     }
@@ -194,7 +252,7 @@ impl Protocol for SubgraphBfs {
         // Arrivals. At most one wave per subgraph can arrive on distinct
         // ports; lowest port wins (inbox iterates ports ascending).
         for (port, msg) in ctx.inbox() {
-            match *msg {
+            match msg {
                 SubBfsMsg::Wave { subgraph, depth } => {
                     debug_assert_eq!(
                         self.port_colors[port as usize], subgraph,

@@ -26,7 +26,10 @@ use crate::leader::FloodMax;
 use crate::partition::{EdgePartitionProtocol, PartitionParams};
 use crate::pipeline::{expected_checksums, PipeCore, PipeMsg, PipeResult};
 use congest_graph::{Graph, Node, Port};
-use congest_sim::{run_protocol, EngineConfig, EngineError, MsgBits, NodeCtx, PhaseLog, Protocol, RunStats};
+use congest_sim::{
+    run_protocol, EngineConfig, EngineError, MsgBits, NodeCtx, PackedMsg, PhaseLog, Protocol,
+    RunStats,
+};
 
 /// The broadcast problem instance: `k` messages, message `i` initially at
 /// node `messages[i].0` with payload `messages[i].1`.
@@ -124,7 +127,10 @@ impl BroadcastConfig {
 pub enum BroadcastError {
     /// A partition class failed to span (Theorem 2's low-probability
     /// failure event — retry with a fresh seed or a smaller λ′).
-    NotSpanning { subgraph: u32, unreached: usize },
+    NotSpanning {
+        subgraph: u32,
+        unreached: usize,
+    },
     Engine(EngineError),
 }
 
@@ -173,9 +179,9 @@ impl BroadcastOutcome {
     /// Did every node receive every message? (Count + two independent
     /// order-invariant checksums.)
     pub fn all_delivered(&self) -> bool {
-        self.per_node.iter().all(|r| {
-            r.delivered == self.k && (r.xor_check, r.sum_check) == self.expected
-        })
+        self.per_node
+            .iter()
+            .all(|r| r.delivered == self.k && (r.xor_check, r.sum_check) == self.expected)
     }
 }
 
@@ -267,15 +273,20 @@ pub fn partition_broadcast_with(
         }
     }
     let subgraph_heights: Vec<u32> = (0..lp)
-        .map(|c| (0..n).map(|v| sub_bfs.outputs[v][c].depth).max().unwrap_or(0))
+        .map(|c| {
+            (0..n)
+                .map(|v| sub_bfs.outputs[v][c].depth)
+                .max()
+                .unwrap_or(0)
+        })
         .collect();
 
     // Phase 6: parallel pipelined routing. Message id j → class ⌊j/K⌋.
     let cap = ceil_div(k.max(1), lp as u64);
     let color_of_id = |id: u32| ((id as u64 / cap).min(lp as u64 - 1)) as usize;
     let mut k_per_class = vec![0u64; lp];
-    for v in 0..n {
-        for &id in &ids_by_node[v] {
+    for ids in &ids_by_node {
+        for &id in ids {
             k_per_class[color_of_id(id)] += 1;
         }
     }
@@ -361,7 +372,7 @@ fn ceil_div(a: u64, b: u64) -> u64 {
 /// usual pipeline payload. Classes are edge-disjoint, so each port only
 /// ever carries its own class's messages — the tag is for safety checking
 /// and for the scheduler.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ColoredPipeMsg {
     pub color: u16,
     pub inner: PipeMsg,
@@ -370,6 +381,23 @@ pub struct ColoredPipeMsg {
 impl MsgBits for ColoredPipeMsg {
     fn bits(&self) -> usize {
         16 + self.inner.bits()
+    }
+}
+
+/// Bit budget: `pipe(96) | color(16)`.
+impl PackedMsg for ColoredPipeMsg {
+    type Word = u128;
+    const WIDTH: u32 = PipeMsg::WIDTH + 16;
+    #[inline]
+    fn pack(self) -> u128 {
+        self.inner.pack() | (self.color as u128) << PipeMsg::WIDTH
+    }
+    #[inline]
+    fn unpack(word: u128) -> Self {
+        ColoredPipeMsg {
+            color: (word >> PipeMsg::WIDTH) as u16,
+            inner: PipeMsg::unpack(word & congest_sim::message::low_mask(PipeMsg::WIDTH)),
+        }
     }
 }
 
@@ -390,7 +418,7 @@ impl Protocol for ParallelPipeline {
     type Output = PipeResult;
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, ColoredPipeMsg>) {
-        let arrivals: Vec<(Port, ColoredPipeMsg)> = ctx.inbox().map(|(p, m)| (p, *m)).collect();
+        let arrivals: Vec<(Port, ColoredPipeMsg)> = ctx.inbox().collect();
         for (p, m) in arrivals {
             self.cores[m.color as usize].on_receive(p, m.inner);
         }
@@ -540,8 +568,7 @@ mod tests {
         let input = BroadcastInput::random_spread(&g, 20, 6);
         let mut cfg = BroadcastConfig::with_seed(8);
         cfg.record_payloads = true;
-        let out =
-            partition_broadcast_with(&g, &input, PartitionParams::explicit(2), &cfg).unwrap();
+        let out = partition_broadcast_with(&g, &input, PartitionParams::explicit(2), &cfg).unwrap();
         assert!(out.all_delivered());
         for r in &out.per_node {
             let rec = r.recorded.as_ref().unwrap();

@@ -55,15 +55,9 @@ pub fn simulate_bcc_round(
             .map(|v| (v, ((v as u64) << 32) | values[v as usize] as u64))
             .collect(),
     };
-    let params =
-        PartitionParams::from_lambda(n, lambda, crate::broadcast::DEFAULT_PARTITION_C);
-    let (out, _) = partition_broadcast_retrying(
-        g,
-        &input,
-        params,
-        &BroadcastConfig::with_seed(seed),
-        20,
-    )?;
+    let params = PartitionParams::from_lambda(n, lambda, crate::broadcast::DEFAULT_PARTITION_C);
+    let (out, _) =
+        partition_broadcast_retrying(g, &input, params, &BroadcastConfig::with_seed(seed), 20)?;
     debug_assert!(out.all_delivered());
     // Reconstruct the view every node now holds (identical everywhere by
     // the delivery guarantee, so computed once from the input).

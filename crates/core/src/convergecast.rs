@@ -14,7 +14,7 @@
 //!   messages before splitting them across subgraphs.
 
 use congest_graph::Port;
-use congest_sim::{MsgBits, NodeCtx, Protocol};
+use congest_sim::{MsgBits, NodeCtx, PackedMsg, Protocol};
 
 /// The rooted-tree view a node needs for convergecast protocols.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,7 +55,7 @@ impl AggOp {
 }
 
 /// Up/down message for tree protocols.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpDown {
     Up(u64),
     Down(u64),
@@ -64,6 +64,29 @@ pub enum UpDown {
 impl MsgBits for UpDown {
     fn bits(&self) -> usize {
         1 + 64
+    }
+}
+
+/// Bit budget: `tag(1) | value(64)` — the full-width aggregate value
+/// pushes this to a `u128` word.
+impl PackedMsg for UpDown {
+    type Word = u128;
+    const WIDTH: u32 = 65;
+    #[inline]
+    fn pack(self) -> u128 {
+        match self {
+            UpDown::Up(v) => (v as u128) << 1,
+            UpDown::Down(v) => 1 | (v as u128) << 1,
+        }
+    }
+    #[inline]
+    fn unpack(word: u128) -> Self {
+        let v = (word >> 1) as u64;
+        if word & 1 == 0 {
+            UpDown::Up(v)
+        } else {
+            UpDown::Down(v)
+        }
     }
 }
 
@@ -100,7 +123,7 @@ impl Protocol for Aggregate {
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, UpDown>) {
         for (_, msg) in ctx.inbox() {
-            match *msg {
+            match msg {
                 UpDown::Up(v) => {
                     self.acc = self.op.fold(self.acc, v);
                     self.pending_children -= 1;
@@ -143,9 +166,12 @@ pub struct Numbering {
     forwarded_down: bool,
 }
 
-/// Numbering needs two u64s downstream (range start + global total); the
-/// up direction carries one. One message per edge per direction overall.
-#[derive(Debug, Clone, Copy)]
+/// Numbering needs two counters downstream (range start + global total);
+/// the up direction carries one. One message per edge per direction
+/// overall. Counters are item counts, so 63 bits each is vastly more than
+/// any instance can hold — which is what lets the whole message pack into
+/// one `u128` wire word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NumberingMsg {
     /// Subtree item count.
     Up(u64),
@@ -156,8 +182,39 @@ pub enum NumberingMsg {
 impl MsgBits for NumberingMsg {
     fn bits(&self) -> usize {
         match self {
-            NumberingMsg::Up(_) => 1 + 64,
-            NumberingMsg::Down(..) => 1 + 128,
+            NumberingMsg::Up(_) => 1 + 63,
+            NumberingMsg::Down(..) => 1 + 126,
+        }
+    }
+}
+
+/// Bit budget: `tag(1) | start(63) | total(63)` (`Up` leaves the high
+/// field zero). Counts ≥ 2^63 cannot arise — they would require 2^63
+/// messages in flight — and `pack` asserts that in debug builds.
+impl PackedMsg for NumberingMsg {
+    type Word = u128;
+    const WIDTH: u32 = 127;
+    #[inline]
+    fn pack(self) -> u128 {
+        const LIMIT: u64 = 1 << 63;
+        match self {
+            NumberingMsg::Up(count) => {
+                debug_assert!(count < LIMIT);
+                (count as u128) << 1
+            }
+            NumberingMsg::Down(start, total) => {
+                debug_assert!(start < LIMIT && total < LIMIT);
+                1 | (start as u128) << 1 | (total as u128) << 64
+            }
+        }
+    }
+    #[inline]
+    fn unpack(word: u128) -> Self {
+        const MASK63: u128 = (1 << 63) - 1;
+        if word & 1 == 0 {
+            NumberingMsg::Up((word >> 1 & MASK63) as u64)
+        } else {
+            NumberingMsg::Down((word >> 1 & MASK63) as u64, (word >> 64 & MASK63) as u64)
         }
     }
 }
@@ -176,11 +233,12 @@ impl Numbering {
     }
 
     fn subtree_total(&self) -> u64 {
-        self.x + self
-            .child_counts
-            .iter()
-            .map(|c| c.unwrap_or(0))
-            .sum::<u64>()
+        self.x
+            + self
+                .child_counts
+                .iter()
+                .map(|c| c.unwrap_or(0))
+                .sum::<u64>()
     }
 }
 
@@ -190,7 +248,7 @@ impl Protocol for Numbering {
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, NumberingMsg>) {
         for (port, msg) in ctx.inbox() {
-            match *msg {
+            match msg {
                 NumberingMsg::Up(count) => {
                     let idx = self
                         .tree
@@ -283,7 +341,11 @@ mod tests {
         .unwrap();
         assert!(out.outputs.iter().all(|&x| x == 10));
         // Depth 9 up + 9 down, small constant slack.
-        assert!(out.stats.rounds <= 2 * 9 + 2, "rounds = {}", out.stats.rounds);
+        assert!(
+            out.stats.rounds <= 2 * 9 + 2,
+            "rounds = {}",
+            out.stats.rounds
+        );
     }
 
     #[test]
@@ -328,7 +390,10 @@ mod tests {
 
     #[test]
     fn leaf_only_tree_on_two_nodes() {
-        let g = congest_graph::GraphBuilder::new(2).edge(0, 1).build().unwrap();
+        let g = congest_graph::GraphBuilder::new(2)
+            .edge(0, 1)
+            .build()
+            .unwrap();
         let views = tree_views(&g, 0);
         let out = run_protocol(
             &g,

@@ -131,8 +131,8 @@ pub fn exp_search_broadcast(
             let cap = k.max(1).div_ceil(lp as u64);
             let color_of_id = |id: u32| ((id as u64 / cap).min(lp as u64 - 1)) as usize;
             let mut k_per_class = vec![0u64; lp];
-            for v in 0..n {
-                for &id in &ids_by_node[v] {
+            for ids in &ids_by_node {
+                for &id in ids {
                     k_per_class[color_of_id(id)] += 1;
                 }
             }
@@ -163,7 +163,12 @@ pub fn exp_search_broadcast(
             phases.record("parallel-routing", routing.stats);
 
             let subgraph_heights: Vec<u32> = (0..lp)
-                .map(|c| (0..n).map(|v| sub_bfs.outputs[v][c].depth).max().unwrap_or(0))
+                .map(|c| {
+                    (0..n)
+                        .map(|v| sub_bfs.outputs[v][c].depth)
+                        .max()
+                        .unwrap_or(0)
+                })
                 .collect();
             let all_msgs: Vec<(u32, u64)> = (0..n)
                 .flat_map(|v| {
@@ -212,7 +217,8 @@ mod tests {
     fn finds_valid_partition_without_lambda() {
         let g = harary(8, 40);
         let input = BroadcastInput::random_spread(&g, 60, 3);
-        let (out, report) = exp_search_broadcast(&g, &input, &BroadcastConfig::with_seed(5)).unwrap();
+        let (out, report) =
+            exp_search_broadcast(&g, &input, &BroadcastConfig::with_seed(5)).unwrap();
         assert!(out.all_delivered());
         assert_eq!(report.delta, 8);
         assert_eq!(report.tried[0], 8, "search starts at δ");

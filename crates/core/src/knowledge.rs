@@ -57,7 +57,12 @@ mod tests {
 
     #[test]
     fn delta_matches_centralized() {
-        for g in [harary(5, 20), torus2d(4, 5), clique_chain(3, 6, 2), hypercube(4)] {
+        for g in [
+            harary(5, 20),
+            torus2d(4, 5),
+            clique_chain(3, 6, 2),
+            hypercube(4),
+        ] {
             let (delta, _) = learn_min_degree(&g, 1).unwrap();
             assert_eq!(delta, g.min_degree());
         }

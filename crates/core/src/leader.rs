@@ -43,7 +43,7 @@ impl Protocol for FloodMax {
     type Output = LeaderInfo;
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, u32>) {
-        for (_, &id) in ctx.inbox() {
+        for (_, id) in ctx.inbox() {
             if id > self.best {
                 self.best = id;
                 self.dirty = true;

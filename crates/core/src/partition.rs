@@ -175,7 +175,7 @@ impl Protocol for EdgePartitionProtocol {
             }
             return;
         }
-        for (p, &c) in ctx.inbox() {
+        for (p, c) in ctx.inbox() {
             debug_assert!(self.port_colors[p as usize] == u32::MAX);
             self.port_colors[p as usize] = c;
         }
@@ -249,8 +249,7 @@ mod tests {
             let pu = g.port_to(u, v).unwrap();
             let pv = g.port_to(v, u).unwrap();
             assert_eq!(
-                out.outputs[u as usize][pu as usize],
-                out.outputs[v as usize][pv as usize],
+                out.outputs[u as usize][pu as usize], out.outputs[v as usize][pv as usize],
                 "edge {e} endpoints disagree"
             );
         }

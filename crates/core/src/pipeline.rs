@@ -23,7 +23,7 @@
 
 use crate::convergecast::TreeView;
 use congest_graph::Port;
-use congest_sim::{MsgBits, NodeCtx, Protocol};
+use congest_sim::{MsgBits, NodeCtx, PackedMsg, Protocol};
 use std::collections::VecDeque;
 
 /// One broadcast message on the wire: a global id and its payload.
@@ -36,6 +36,23 @@ pub struct PipeMsg {
 impl MsgBits for PipeMsg {
     fn bits(&self) -> usize {
         32 + 64
+    }
+}
+
+/// Bit budget: `id(32) | payload(64)`.
+impl PackedMsg for PipeMsg {
+    type Word = u128;
+    const WIDTH: u32 = 96;
+    #[inline]
+    fn pack(self) -> u128 {
+        self.id as u128 | (self.payload as u128) << 32
+    }
+    #[inline]
+    fn unpack(word: u128) -> Self {
+        PipeMsg {
+            id: word as u32,
+            payload: (word >> 32) as u64,
+        }
     }
 }
 
@@ -209,7 +226,7 @@ impl Protocol for TreePipeline {
     type Output = PipeResult;
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, PipeMsg>) {
-        let arrivals: Vec<(Port, PipeMsg)> = ctx.inbox().map(|(p, m)| (p, *m)).collect();
+        let arrivals: Vec<(Port, PipeMsg)> = ctx.inbox().collect();
         for (p, m) in arrivals {
             self.core.on_receive(p, m);
         }
@@ -373,6 +390,9 @@ mod tests {
     fn checksums_detect_missing_message() {
         let all = [(0u32, 5u64), (1, 6)];
         let partial = [(0u32, 5u64)];
-        assert_ne!(expected_checksums(all.iter()), expected_checksums(partial.iter()));
+        assert_ne!(
+            expected_checksums(all.iter()),
+            expected_checksums(partial.iter())
+        );
     }
 }

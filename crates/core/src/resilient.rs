@@ -73,7 +73,7 @@ impl Protocol for ReplicatedPipeline {
     type Output = DedupResult;
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, ColoredPipeMsg>) {
-        let arrivals: Vec<(Port, ColoredPipeMsg)> = ctx.inbox().map(|(p, m)| (p, *m)).collect();
+        let arrivals: Vec<(Port, ColoredPipeMsg)> = ctx.inbox().collect();
         for (p, m) in arrivals {
             self.record(m.inner.id, m.inner.payload);
             self.cores[m.color as usize].on_receive(p, m.inner);
@@ -82,11 +82,23 @@ impl Protocol for ReplicatedPipeline {
             let (up, down) = self.cores[c].emit();
             if let Some(m) = up {
                 let pp = self.cores[c].tree().parent_port.expect("non-root sends up");
-                ctx.send(pp, ColoredPipeMsg { color: c as u16, inner: m });
+                ctx.send(
+                    pp,
+                    ColoredPipeMsg {
+                        color: c as u16,
+                        inner: m,
+                    },
+                );
             }
             if let Some(m) = down {
                 for &child in &self.cores[c].tree().children_ports.clone() {
-                    ctx.send(child, ColoredPipeMsg { color: c as u16, inner: m });
+                    ctx.send(
+                        child,
+                        ColoredPipeMsg {
+                            color: c as u16,
+                            inner: m,
+                        },
+                    );
                 }
             }
         }
@@ -215,12 +227,11 @@ pub fn resilient_broadcast(
     // Routing with replication, under attack.
     let cap = k.max(1).div_ceil(lp as u64);
     let base_color = |id: u32| ((id as u64 / cap).min(lp as u64 - 1)) as usize;
-    let copy_colors = |id: u32| -> Vec<usize> {
-        (0..r).map(|i| (base_color(id) + i) % lp).collect()
-    };
+    let copy_colors =
+        |id: u32| -> Vec<usize> { (0..r).map(|i| (base_color(id) + i) % lp).collect() };
     let mut k_per_class = vec![0u64; lp];
-    for v in 0..n {
-        for &id in &ids_by_node[v] {
+    for ids in &ids_by_node {
+        for &id in ids {
             for c in copy_colors(id) {
                 k_per_class[c] += 1;
             }
@@ -277,8 +288,7 @@ pub fn resilient_broadcast(
         per_node: routing.outputs,
         expected,
         k,
-        dropped: routing.stats.dropped_messages
-            + 0, // routing is the only attacked phase
+        dropped: routing.stats.dropped_messages, // routing is the only attacked phase
     })
 }
 

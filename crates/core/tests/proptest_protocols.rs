@@ -87,7 +87,7 @@ proptest! {
         let root = root_pick % g.n() as u32;
         let views = bfs_views(&g, root);
         let msgs: Vec<(u32, u64)> = (0..k as u32).map(|i| (i, 0xD00 + i as u64)).collect();
-        let holder = |i: usize| ((i * 13 + 5) % g.n()) as usize;
+        let holder = |i: usize| (i * 13 + 5) % g.n();
         let out = run_protocol(
             &g,
             |v, _| {

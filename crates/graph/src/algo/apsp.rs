@@ -75,9 +75,7 @@ pub fn measure_stretch_unweighted(
                 continue;
             }
             if e < d {
-                return Err(format!(
-                    "estimate {e} below true distance {d} at ({u},{v})"
-                ));
+                return Err(format!("estimate {e} below true distance {d} at ({u},{v})"));
             }
             if d > 0 {
                 worst = worst.max((e.saturating_sub(beta)) as f64 / d as f64);
@@ -104,9 +102,7 @@ pub fn measure_stretch_weighted(exact: &[Vec<f64>], estimate: &[Vec<f64>]) -> Re
                 continue;
             }
             if e < d - 1e-9 {
-                return Err(format!(
-                    "estimate {e} below true distance {d} at ({u},{v})"
-                ));
+                return Err(format!("estimate {e} below true distance {d} at ({u},{v})"));
             }
             if d > 0.0 {
                 worst = worst.max(e / d);

@@ -160,11 +160,7 @@ mod tests {
     fn restricted_bfs_respects_filter() {
         let g = cycle(6);
         // Forbid the edge {0,5}: distances become path-like.
-        let forbidden = g
-            .edge_list()
-            .find(|&(_, u, v)| (u, v) == (0, 5))
-            .unwrap()
-            .0;
+        let forbidden = g.edge_list().find(|&(_, u, v)| (u, v) == (0, 5)).unwrap().0;
         let t = bfs_tree_restricted(&g, 0, |e| e != forbidden);
         assert!(t.is_spanning());
         assert_eq!(t.depth[5], 5);

@@ -99,7 +99,7 @@ mod tests {
         let g = complete(7);
         let (order, time) = dfs_order(&g, 3);
         assert_eq!(order.len(), 7);
-        let mut seen = vec![false; 7];
+        let mut seen = [false; 7];
         for &v in &order {
             assert!(!seen[v as usize]);
             seen[v as usize] = true;

@@ -46,7 +46,12 @@ impl DisjointPathsCertificate {
 /// or `max_paths` have been extracted. Paths are found by BFS on the
 /// residual edge set, so each extracted path is shortest *at its time of
 /// extraction* — the sequence of lengths is non-decreasing.
-pub fn greedy_disjoint_paths(g: &Graph, s: Node, t: Node, max_paths: usize) -> DisjointPathsCertificate {
+pub fn greedy_disjoint_paths(
+    g: &Graph,
+    s: Node,
+    t: Node,
+    max_paths: usize,
+) -> DisjointPathsCertificate {
     assert_ne!(s, t);
     let mut removed = vec![false; g.m()];
     let mut path_lengths = Vec::new();
@@ -124,10 +129,7 @@ mod tests {
     fn lengths_non_decreasing() {
         let g = harary(6, 24);
         let cert = greedy_disjoint_paths(&g, 0, 12, 12);
-        assert!(cert
-            .path_lengths
-            .windows(2)
-            .all(|w| w[0] <= w[1]));
+        assert!(cert.path_lengths.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
     assert!(n >= 2);
     let mut b = GraphBuilder::new(n);
     for &o in offsets {
-        assert!(o >= 1 && o <= n / 2, "offset {o} out of range 1..={}", n / 2);
+        assert!(
+            o >= 1 && o <= n / 2,
+            "offset {o} out of range 1..={}",
+            n / 2
+        );
         // For o == n/2 with even n each chord would be generated twice; the
         // loop below generates each undirected edge exactly once.
         let reach = if 2 * o == n { n / 2 } else { n };
@@ -47,7 +51,8 @@ pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
             b.push_edge(v as Node, ((v + o) % n) as Node);
         }
     }
-    b.build().expect("circulant with distinct offsets is simple")
+    b.build()
+        .expect("circulant with distinct offsets is simple")
 }
 
 /// Harary graph `H_{k,n}`: the minimal k-edge-connected graph on n nodes
@@ -60,12 +65,12 @@ pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
 pub fn harary(k: usize, n: usize) -> Graph {
     assert!(k >= 2, "harary needs k >= 2");
     assert!(n > k, "harary needs n > k");
-    if k % 2 == 0 {
+    if k.is_multiple_of(2) {
         let offsets: Vec<usize> = (1..=k / 2).collect();
         circulant(n, &offsets)
     } else {
         assert!(
-            n % 2 == 0,
+            n.is_multiple_of(2),
             "odd-k Harary graph requires even n (got k={k}, n={n})"
         );
         let mut offsets: Vec<usize> = (1..=(k - 1) / 2).collect();
@@ -90,7 +95,7 @@ pub fn torus2d(rows: usize, cols: usize) -> Graph {
 
 /// Hypercube `Q_d`: n = 2^d, δ = λ = d, D = d.
 pub fn hypercube(d: usize) -> Graph {
-    assert!(d >= 1 && d <= 30);
+    assert!((1..=30).contains(&d));
     let n = 1usize << d;
     let mut b = GraphBuilder::new(n);
     for v in 0..n {
@@ -315,7 +320,10 @@ mod tests {
         assert_eq!(g.min_degree(), 4);
         assert_eq!(edge_connectivity(&g), 4);
         let d = diameter_exact(&g).unwrap();
-        assert!(d >= 5 && d <= 2 * 6, "thick path diameter ~ columns, got {d}");
+        assert!(
+            (5..=2 * 6).contains(&d),
+            "thick path diameter ~ columns, got {d}"
+        );
     }
 
     #[test]

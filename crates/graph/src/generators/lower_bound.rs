@@ -140,7 +140,10 @@ mod tests {
         let lam = edge_connectivity(&g);
         assert!(lam >= lay.lambda, "λ = {lam} < column width {}", lay.lambda);
         assert!(lam <= g.min_degree());
-        assert!(lam <= lay.lambda + 3, "λ = {lam} should stay Θ(column width)");
+        assert!(
+            lam <= lay.lambda + 3,
+            "λ = {lam} should stay Θ(column width)"
+        );
     }
 
     #[test]

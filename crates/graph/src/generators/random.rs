@@ -55,7 +55,7 @@ fn pair_from_index(n: usize, idx: usize) -> (Node, Node) {
     let mut lo = 0usize;
     let mut hi = n - 1;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         let off = mid * (2 * n - mid - 1) / 2;
         if off <= idx {
             lo = mid;
@@ -92,13 +92,13 @@ pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
 /// verified by the Dinic ground truth in tests.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     assert!(d < n, "d must be < n");
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     let mut rng = SmallRng::seed_from_u64(seed);
     let m = n * d / 2;
     'attempt: for _ in 0..32 {
         // Random perfect matching of stubs: shuffle, pair consecutive.
         let mut stubs: Vec<Node> = (0..n as Node)
-            .flat_map(|v| std::iter::repeat(v).take(d))
+            .flat_map(|v| std::iter::repeat_n(v, d))
             .collect();
         for i in (1..stubs.len()).rev() {
             let j = rng.gen_range(0..=i);

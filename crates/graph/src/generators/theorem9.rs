@@ -66,11 +66,12 @@ pub fn theorem9_instance(
     let mut hidden_k = vec![0u32; n];
     let mut b = GraphBuilder::new(n);
     let mut weights: Vec<((Node, Node), f64)> = Vec::new();
-    let push = |b: &mut GraphBuilder, w: &mut Vec<((Node, Node), f64)>, u: Node, v: Node, wt: f64| {
-        b.push_edge(u, v);
-        let key = (u.min(v), u.max(v));
-        w.push((key, wt));
-    };
+    let push =
+        |b: &mut GraphBuilder, w: &mut Vec<((Node, Node), f64)>, u: Node, v: Node, wt: f64| {
+            b.push_edge(u, v);
+            let key = (u.min(v), u.max(v));
+            w.push((key, wt));
+        };
     // v1 = 0, v2 = 1, clique nodes 2..n.
     push(&mut b, &mut weights, 0, 1, 1.0);
     for i in 2..(lambda + 1) as Node {
@@ -135,7 +136,9 @@ mod tests {
         // Hidden exponents populated for clique nodes only.
         assert_eq!(inst.hidden_k[0], 0);
         assert_eq!(inst.hidden_k[1], 0);
-        assert!(inst.hidden_k[2..].iter().all(|&k| k >= 1 && k <= inst.k_max));
+        assert!(inst.hidden_k[2..]
+            .iter()
+            .all(|&k| k >= 1 && k <= inst.k_max));
     }
 
     #[test]
@@ -143,9 +146,9 @@ mod tests {
         let inst = theorem9_instance(24, 5, 2.0, 2.0, 3);
         let d = dijkstra(&inst.graph, 0);
         // Shortest v1→vi is via v2.
-        for i in 2..24usize {
+        for (i, &di) in d.iter().enumerate().take(24).skip(2) {
             let expect = 1.0 + (inst.base as f64).powi(inst.hidden_k[i] as i32);
-            assert_eq!(d[i], expect, "node {i}");
+            assert_eq!(di, expect, "node {i}");
         }
         let decoded = decode_theorem9(&inst, &d);
         assert_eq!(decoded[2..], inst.hidden_k[2..]);

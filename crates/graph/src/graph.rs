@@ -120,6 +120,14 @@ impl Graph {
         self.reverse_arc[arc] as usize
     }
 
+    /// The whole reverse-arc permutation (an involution without fixed
+    /// points on simple graphs). The simulator scatters each send through
+    /// this table straight into the receiver's inbox slot.
+    #[inline]
+    pub fn reverse_arcs(&self) -> &[u32] {
+        &self.reverse_arc
+    }
+
     /// Canonical endpoints `(u, v)` with `u < v` of edge `e`.
     #[inline]
     pub fn endpoints(&self, e: Edge) -> (Node, Node) {

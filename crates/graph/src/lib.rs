@@ -35,5 +35,5 @@ pub mod metrics;
 mod weighted;
 
 pub use builder::GraphBuilder;
-pub use graph::{Graph, Node, Edge, Port, INVALID_NODE};
+pub use graph::{Edge, Graph, Node, Port, INVALID_NODE};
 pub use weighted::WeightedGraph;

@@ -104,7 +104,12 @@ mod tests {
 
     #[test]
     fn observation1_holds() {
-        for g in [complete(10), cycle(12), harary(4, 24), clique_chain(3, 6, 2)] {
+        for g in [
+            complete(10),
+            cycle(12),
+            harary(4, 24),
+            clique_chain(3, 6, 2),
+        ] {
             let p = GraphParams::measure(&g);
             let r = p.observation1_ratio().unwrap();
             assert!(r <= 3.0 + 1e-9, "Observation 1 ratio {r} > 3");

@@ -57,12 +57,7 @@ impl KdReport {
 }
 
 /// Test Lemma 9's claim on `num_pairs` pseudo-random node pairs.
-pub fn kd_certificates(
-    g: &Graph,
-    lambda: usize,
-    num_pairs: usize,
-    seed: u64,
-) -> KdReport {
+pub fn kd_certificates(g: &Graph, lambda: usize, num_pairs: usize, seed: u64) -> KdReport {
     let n = g.n();
     assert!(n >= 2);
     let claim = Lemma9Claim::for_graph(n, lambda, g.min_degree());
@@ -95,7 +90,11 @@ pub fn kd_certificates(
         claim,
         pairs: num_pairs,
         certified,
-        min_paths_within_d: if min_paths == usize::MAX { 0 } else { min_paths },
+        min_paths_within_d: if min_paths == usize::MAX {
+            0
+        } else {
+            min_paths
+        },
         max_needed_length: max_needed,
     }
 }

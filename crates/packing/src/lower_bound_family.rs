@@ -54,9 +54,8 @@ pub fn measure_gk13(
 ) -> Result<LowerBoundReport, String> {
     let (g, layout) = gk13_lower_bound(columns, lambda);
     let graph_diameter = diameter_exact(&g).ok_or("family must be connected")?;
-    let packing = exact_tree_packing(&g, num_trees, 0).ok_or_else(|| {
-        format!("no edge-disjoint packing of {num_trees} spanning trees exists")
-    })?;
+    let packing = exact_tree_packing(&g, num_trees, 0)
+        .ok_or_else(|| format!("no edge-disjoint packing of {num_trees} spanning trees exists"))?;
     packing.validate(&g)?;
     let stats = packing.stats(&g);
     let n_over_lambda = layout.n as f64 / lambda as f64;

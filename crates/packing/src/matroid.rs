@@ -83,7 +83,13 @@ impl Forests {
 
     /// The tree path between `u` and `v` in forest `i`, or `None` if they
     /// are in different components (⇒ inserting `{u,v}` keeps it a forest).
-    fn tree_path(&self, i: usize, u: Node, v: Node, scratch: &mut PathScratch) -> Option<Vec<Edge>> {
+    fn tree_path(
+        &self,
+        i: usize,
+        u: Node,
+        v: Node,
+        scratch: &mut PathScratch,
+    ) -> Option<Vec<Edge>> {
         scratch.reset(self.n);
         let mut queue = VecDeque::new();
         scratch.visit(u, INVALID_NODE, u32::MAX);
@@ -249,9 +255,7 @@ pub fn exact_tree_packing(g: &Graph, k: usize, root: Node) -> Option<TreePacking
             for &e in edges {
                 in_tree[e as usize] = true;
             }
-            let t = congest_graph::algo::bfs::bfs_tree_restricted(g, root, |e| {
-                in_tree[e as usize]
-            });
+            let t = congest_graph::algo::bfs::bfs_tree_restricted(g, root, |e| in_tree[e as usize]);
             debug_assert!(t.is_spanning());
             t
         })

@@ -43,7 +43,10 @@ impl TreePacking {
     pub fn validate(&self, g: &Graph) -> Result<(), String> {
         for (i, t) in self.trees.iter().enumerate() {
             if !t.is_spanning() {
-                return Err(format!("tree {i} is not spanning ({} reached)", t.reached()));
+                return Err(format!(
+                    "tree {i} is not spanning ({} reached)",
+                    t.reached()
+                ));
             }
             for v in 0..g.n() as Node {
                 let p = t.parent[v as usize];

@@ -96,11 +96,7 @@ pub fn scheduled_packing_broadcast(
     let n = g.n();
     let t_count = packing.num_trees();
     assert!(t_count >= 1);
-    let views: Vec<Vec<TreeView>> = packing
-        .trees
-        .iter()
-        .map(|t| tree_views(g, t))
-        .collect();
+    let views: Vec<Vec<TreeView>> = packing.trees.iter().map(|t| tree_views(g, t)).collect();
 
     // Assign messages round-robin to trees.
     let mut k_per_tree = vec![0u64; t_count];

@@ -1,0 +1,218 @@
+//! The seed-style engine, kept as a measurement arm.
+//!
+//! This is (a compact copy of) the engine this workspace shipped with
+//! before the packed message plane: inboxes and outboxes are
+//! `Vec<Option<M>>` slabs, every round pays an O(arcs) `Option` clear,
+//! and delivery is a clear-then-clone pass through the reverse-arc table.
+//! `benches/sim_throughput.rs` races it against the packed engine and
+//! records the ratio in `BENCH_sim.json`; nothing else should use it.
+//!
+//! It drives [`BaselineProtocol`] rather than [`crate::Protocol`] because
+//! the two engines expose different context types; benchmark workloads
+//! implement both traits with identical logic so the comparison measures
+//! the message plane, not the workload.
+
+use crate::message::MsgBits;
+use congest_graph::{Graph, Node, Port};
+
+/// Node program for the baseline engine (bench workloads only).
+pub trait BaselineProtocol: Send {
+    type Msg: Clone + Send + Sync + MsgBits;
+    type Output: Send;
+
+    fn round(&mut self, ctx: &mut BaselineCtx<'_, Self::Msg>);
+    fn finish(self) -> Self::Output;
+}
+
+/// Seed-style per-round node view: `Option` slices.
+pub struct BaselineCtx<'a, M> {
+    pub node: Node,
+    pub round: u64,
+    inbox: &'a [Option<M>],
+    outbox: &'a mut [Option<M>],
+    done: &'a mut bool,
+}
+
+impl<M: Clone> BaselineCtx<'_, M> {
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.inbox.len()
+    }
+
+    pub fn inbox(&self) -> impl Iterator<Item = (Port, &M)> {
+        self.inbox
+            .iter()
+            .enumerate()
+            .filter_map(|(p, m)| m.as_ref().map(|m| (p as Port, m)))
+    }
+
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.iter().filter(|m| m.is_some()).count()
+    }
+
+    #[inline]
+    pub fn send(&mut self, port: Port, msg: M) {
+        let slot = &mut self.outbox[port as usize];
+        assert!(slot.is_none(), "baseline CONGEST violation on port {port}");
+        *slot = Some(msg);
+    }
+
+    pub fn send_all(&mut self, msg: M) {
+        for p in 0..self.outbox.len() {
+            self.send(p as Port, msg.clone());
+        }
+    }
+
+    #[inline]
+    pub fn set_done(&mut self, done: bool) {
+        *self.done = done;
+    }
+}
+
+/// Outcome mirror of [`crate::RunOutcome`], reduced to what the bench
+/// compares.
+pub struct BaselineOutcome<O> {
+    pub outputs: Vec<O>,
+    pub rounds: u64,
+    pub total_messages: u64,
+    pub max_message_bits: usize,
+}
+
+/// Run the seed-style engine (serial — the seed's parallel path brought
+/// the same O(arcs) clears and clones, so the serial arm is the honest
+/// per-core comparison).
+pub fn run_baseline<P, F>(
+    graph: &Graph,
+    mut factory: F,
+    max_rounds: u64,
+) -> BaselineOutcome<P::Output>
+where
+    P: BaselineProtocol,
+    F: FnMut(Node, &Graph) -> P,
+{
+    let n = graph.n();
+    let arcs = graph.num_arcs();
+    let mut states: Vec<P> = (0..n as Node).map(|v| factory(v, graph)).collect();
+    let mut done = vec![false; n];
+    let mut inbox: Vec<Option<P::Msg>> = (0..arcs).map(|_| None).collect();
+    let mut outbox: Vec<Option<P::Msg>> = (0..arcs).map(|_| None).collect();
+    // Per-arc congestion counters, exactly as the seed engine kept them.
+    let mut arc_traffic: Vec<u64> = vec![0; arcs];
+
+    let mut rounds = 0u64;
+    let mut total_messages = 0u64;
+    let mut max_message_bits = 0usize;
+    let mut round = 0u64;
+    loop {
+        assert!(round < max_rounds, "baseline round limit exceeded");
+        // Step: split the outbox into per-node slices (seed bookkeeping,
+        // including its per-round allocation).
+        let mut out_slices: Vec<&mut [Option<P::Msg>]> = Vec::with_capacity(n);
+        {
+            let mut rest = &mut outbox[..];
+            for v in 0..n as Node {
+                let (head, tail) = rest.split_at_mut(graph.degree(v));
+                out_slices.push(head);
+                rest = tail;
+            }
+        }
+        for (v, (state, out)) in states.iter_mut().zip(out_slices).enumerate() {
+            let lo = graph.arc_offset(v as Node);
+            let deg = graph.degree(v as Node);
+            let mut ctx = BaselineCtx {
+                node: v as Node,
+                round,
+                inbox: &inbox[lo..lo + deg],
+                outbox: out,
+                done: &mut done[v],
+            };
+            state.round(&mut ctx);
+        }
+        // Deliver: clear-then-clone through the reverse-arc table.
+        let mut delivered = 0u64;
+        for arc in 0..arcs {
+            match &outbox[graph.reverse_arc(arc)] {
+                Some(msg) => {
+                    max_message_bits = max_message_bits.max(msg.bits());
+                    inbox[arc] = Some(msg.clone());
+                    arc_traffic[arc] += 1;
+                    delivered += 1;
+                }
+                None => inbox[arc] = None,
+            }
+        }
+        outbox.iter_mut().for_each(|s| *s = None);
+        total_messages += delivered;
+        round += 1;
+        if delivered > 0 {
+            rounds = round;
+        }
+        if delivered == 0 && done.iter().all(|&d| d) {
+            break;
+        }
+    }
+    // Matches the seed's post-run congestion fold (consumed here so the
+    // baseline pays for maintaining the counters, like the seed did).
+    let _max_arc_traffic = arc_traffic.iter().copied().max().unwrap_or(0);
+    BaselineOutcome {
+        outputs: states.into_iter().map(|s| s.finish()).collect(),
+        rounds,
+        total_messages,
+        max_message_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_protocol, EngineConfig};
+    use crate::protocol::{NodeCtx, Protocol};
+    use congest_graph::generators::torus2d;
+
+    /// One workload, both engines: flood-and-count.
+    struct Flood {
+        heard_at: Option<u64>,
+    }
+
+    impl Protocol for Flood {
+        type Msg = u32;
+        type Output = Option<u64>;
+        fn round(&mut self, ctx: &mut NodeCtx<'_, u32>) {
+            if (ctx.round == 0 && ctx.node == 0 || ctx.inbox_len() > 0) && self.heard_at.is_none() {
+                self.heard_at = Some(ctx.round);
+                ctx.send_all(7);
+            }
+            ctx.set_done(self.heard_at.is_some());
+        }
+        fn finish(self) -> Option<u64> {
+            self.heard_at
+        }
+    }
+
+    impl BaselineProtocol for Flood {
+        type Msg = u32;
+        type Output = Option<u64>;
+        fn round(&mut self, ctx: &mut BaselineCtx<'_, u32>) {
+            if (ctx.round == 0 && ctx.node == 0 || ctx.inbox_len() > 0) && self.heard_at.is_none() {
+                self.heard_at = Some(ctx.round);
+                ctx.send_all(7);
+            }
+            ctx.set_done(self.heard_at.is_some());
+        }
+        fn finish(self) -> Option<u64> {
+            self.heard_at
+        }
+    }
+
+    #[test]
+    fn baseline_and_packed_engines_agree() {
+        let g = torus2d(6, 7);
+        let packed =
+            run_protocol(&g, |_, _| Flood { heard_at: None }, EngineConfig::serial()).unwrap();
+        let base = run_baseline::<Flood, _>(&g, |_, _| Flood { heard_at: None }, 10_000);
+        assert_eq!(packed.outputs, base.outputs);
+        assert_eq!(packed.stats.rounds, base.rounds);
+        assert_eq!(packed.stats.total_messages, base.total_messages);
+        assert_eq!(packed.stats.max_message_bits, base.max_message_bits);
+    }
+}

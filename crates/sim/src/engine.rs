@@ -1,22 +1,49 @@
 //! The synchronous round engine.
 //!
-//! Data layout (perf-guide idioms): inboxes and outboxes are **flat,
-//! arc-indexed slabs** — arc `i` is position `i` in the graph's flattened
-//! adjacency, so node `v`'s ports occupy the contiguous range
-//! `arc_offset(v)..arc_offset(v)+deg(v)`. Delivery is a parallel permute
-//! through the precomputed reverse-arc table: `inbox[arc] =
-//! outbox[reverse(arc)]`. No allocation happens inside the round loop.
+//! ## Data layout
 //!
-//! Determinism: node stepping writes only node-owned slices; delivery
-//! writes each inbox slot from exactly one outbox slot; metrics are
-//! associative reductions. Any rayon thread count produces identical
-//! results.
+//! Messages live in **dense arc-indexed slabs** of packed words
+//! ([`crate::message::PackedMsg`]): arc `i` is position `i` in the graph's
+//! flattened adjacency, so node `v`'s ports occupy the contiguous range
+//! `arc_offset(v)..arc_offset(v)+deg(v)`. Presence is a **word-packed
+//! occupancy bitset** (one bit per arc) instead of per-slot `Option`
+//! discriminants.
+//!
+//! ## Double-buffered delivery
+//!
+//! Two slabs alternate roles every round. While stepping, a node's sends
+//! are scattered straight into the *destination* arc slot of the staging
+//! slab through the precomputed `reverse_arc` permutation (a bijection, so
+//! every slot has exactly one writer). Delivery is then a **buffer swap**:
+//! the staging slab becomes the inbox slab wholesale, the consumed inbox's
+//! occupancy words are zeroed (a 64×-denser memset than the seed layout's
+//! `Option` clear), and per-round statistics are read off the occupancy
+//! words. No message is ever cloned, matched, or moved again after the
+//! sender packed it — and the round loop performs **zero heap allocation**
+//! after setup (enforced by `tests/zero_alloc.rs`; enabling
+//! `collect_trace` appends one `u64` per round and may reallocate that
+//! vector).
+//!
+//! ## Determinism
+//!
+//! Node stepping writes only slots owned by the stepped node (its state,
+//! its RNG, its destination arcs — disjoint across nodes because the
+//! reverse-arc permutation is a bijection); statistics are associative,
+//! commutative reductions over task-owned ranges. Any pool width —
+//! including serial mode — produces bit-identical results
+//! (`tests/proptest_engine.rs` proves it property-wise).
 
-use crate::protocol::{NodeCtx, Protocol};
+use crate::message::{MsgWord, PackedMsg};
+use crate::protocol::{InSlot, NodeCtx, OutSlot, Protocol};
 use crate::rng::node_rng;
+use crate::slab;
 use congest_graph::{Graph, Node};
+use congest_par::RacyCells;
 use rand::rngs::SmallRng;
-use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The staging byte-mask value for "this arc carries a message".
+const STAGED: u8 = 1;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -25,9 +52,11 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Hard stop: error out if the protocol has not terminated by then.
     pub max_rounds: u64,
-    /// Step nodes in parallel with rayon (results are identical either
-    /// way; serial mode exists for debugging and for tests that must
-    /// observe panics deterministically).
+    /// Step nodes in parallel on the `congest_par` pool (results are
+    /// identical either way; serial mode exists for debugging and for
+    /// tests that must observe panics deterministically). Small networks
+    /// are stepped serially even when this is set — the cutoff only
+    /// affects wall-clock, never results.
     pub parallel: bool,
     /// Record per-round traffic (messages delivered per round) — the
     /// "traffic profile" figures of the experiment harness.
@@ -149,6 +178,20 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Per-node hot state, kept together so one cache line serves one node's
+/// step and the pool chunks nodes without any per-round bookkeeping.
+struct NodeCell<P> {
+    state: P,
+    rng: SmallRng,
+    done: bool,
+    /// Largest message (in bits) this node sent over the whole run.
+    max_bits: usize,
+}
+
+/// Below this many nodes the pool handoff costs more than the round; step
+/// serially regardless of [`EngineConfig::parallel`] (results identical).
+const PARALLEL_MIN_NODES: usize = 256;
+
 /// Run one protocol instance per node until global termination (all nodes
 /// done and no message in flight) or the round limit.
 pub fn run_protocol<P, F>(
@@ -160,16 +203,43 @@ where
     P: Protocol,
     F: FnMut(Node, &Graph) -> P,
 {
+    debug_assert!(
+        P::Msg::WIDTH <= <<P::Msg as PackedMsg>::Word as MsgWord>::BITS,
+        "message WIDTH exceeds its storage word"
+    );
     let n = graph.n();
     let arcs = graph.num_arcs();
-    let mut states: Vec<P> = (0..n as Node).map(|v| factory(v, graph)).collect();
-    let mut rngs: Vec<SmallRng> = (0..n as Node).map(|v| node_rng(config.seed, v)).collect();
-    let mut done: Vec<bool> = vec![false; n];
+    let mut cells: Vec<NodeCell<P>> = (0..n as Node)
+        .map(|v| NodeCell {
+            state: factory(v, graph),
+            rng: node_rng(config.seed, v),
+            done: false,
+            max_bits: 0,
+        })
+        .collect();
 
-    let mut inbox: Vec<Option<P::Msg>> = (0..arcs).map(|_| None).collect();
-    let mut outbox: Vec<Option<P::Msg>> = (0..arcs).map(|_| None).collect();
-    // Per-arc delivery counters for congestion accounting.
-    let mut arc_traffic: Vec<u64> = vec![0; arcs];
+    // The double buffer: `in_words` is what nodes read this round,
+    // `out_words` is the staging slab sends scatter into. Swapped every
+    // round. Staged presence is one byte per arc (single writer per slot
+    // — plain stores); the delivery sweep folds it into the word-packed
+    // `in_occ` bitset receivers read, zeroing it for reuse.
+    let mut in_words: Vec<<P::Msg as PackedMsg>::Word> = vec![Default::default(); arcs];
+    let mut out_words: Vec<<P::Msg as PackedMsg>::Word> = vec![Default::default(); arcs];
+    let mut in_occ: Vec<u64> = vec![0; slab::words_for(arcs)];
+    let mut out_mask: Vec<u8> = vec![0; arcs];
+    // Per-arc delivery counters for congestion accounting. `u32` halves
+    // the sweep's memory traffic; congestion per arc is bounded by the
+    // round count, which the saturating add keeps honest far beyond any
+    // realistic run.
+    let mut arc_traffic: Vec<u32> = vec![0; arcs];
+    // Reusable fault scratch (kept empty without an adversary).
+    let mut blocked: Vec<congest_graph::Edge> = Vec::new();
+    if let Some(plan) = &config.faults {
+        blocked.reserve(plan.edges_per_round);
+    }
+
+    let parallel = config.parallel && n >= PARALLEL_MIN_NODES && congest_par::num_threads() > 1;
+    let step_chunk = n.div_ceil((congest_par::num_threads() * 4).max(1)).max(1);
 
     let mut stats = RunStats::default();
     let mut trace: Option<Vec<u64>> = config.collect_trace.then(Vec::new);
@@ -180,44 +250,85 @@ where
                 limit: config.max_rounds,
             });
         }
-        // --- Step phase: every node reads its inbox, writes its outbox.
-        step_all(
-            graph,
-            &mut states,
-            &mut rngs,
-            &mut done,
-            &inbox,
-            &mut outbox,
-            round,
-            config.parallel,
-        );
-        // --- Adversary phase: destroy messages on blocked edges.
-        let dropped = match &config.faults {
-            Some(plan) if plan.edges_per_round > 0 => {
-                let mask = plan.blocked_mask(round, graph.m());
-                apply_faults(graph, &mut outbox, &mask)
+        // --- Step phase: every node reads its inbox and scatters its
+        // sends into the staging slab's destination slots.
+        {
+            let racy_out = RacyCells::new(&mut out_words);
+            let racy_mask = RacyCells::new(&mut out_mask);
+            let in_words = &in_words[..];
+            let in_occ = &in_occ[..];
+            let step_node = |base: usize, i: usize, cell: &mut NodeCell<P>| {
+                let v = (base + i) as Node;
+                let lo = graph.arc_offset(v);
+                let deg = graph.degree(v);
+                let mut ctx = NodeCtx {
+                    node: v,
+                    round,
+                    graph,
+                    inbox: InSlot {
+                        words: &in_words[lo..lo + deg],
+                        occ: in_occ,
+                        bit0: lo,
+                    },
+                    outbox: OutSlot::Scatter {
+                        words: &racy_out,
+                        mask: &racy_mask,
+                        rev: graph.reverse_arcs(),
+                        lo,
+                        deg,
+                    },
+                    rng: &mut cell.rng,
+                    done: &mut cell.done,
+                    max_bits: &mut cell.max_bits,
+                };
+                cell.state.round(&mut ctx);
+            };
+            if parallel {
+                congest_par::par_chunks_mut(&mut cells, step_chunk, |ci, chunk| {
+                    let base = ci * step_chunk;
+                    for (i, cell) in chunk.iter_mut().enumerate() {
+                        step_node(base, i, cell);
+                    }
+                });
+            } else {
+                for (v, cell) in cells.iter_mut().enumerate() {
+                    step_node(v, 0, cell);
+                }
             }
-            _ => 0,
-        };
-        stats.dropped_messages += dropped;
-        // --- Delivery phase: permute outboxes into inboxes via reverse arcs.
-        let (delivered, max_bits) = deliver(graph, &outbox, &mut inbox, &mut arc_traffic, config.parallel);
+        }
+        // --- Adversary phase: destroy staged messages on blocked edges.
+        if let Some(plan) = &config.faults {
+            if plan.edges_per_round > 0 {
+                plan.blocked_edges_into(round, graph.m(), &mut blocked);
+                for &e in &blocked {
+                    let (u, v) = graph.endpoints(e);
+                    for (from, to) in [(u, v), (v, u)] {
+                        let port = graph
+                            .port_to(to, from)
+                            .expect("edge endpoints are adjacent");
+                        let dest = graph.arc_offset(to) + port as usize;
+                        if out_mask[dest] == STAGED {
+                            out_mask[dest] = 0;
+                            stats.dropped_messages += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // --- Delivery phase: the staging slab *becomes* the inbox slab,
+        // and one sweep folds the staging byte-mask into the word-packed
+        // inbox bitset, meters the round, and re-zeroes the mask.
+        std::mem::swap(&mut in_words, &mut out_words);
+        let delivered = deliver_and_account(&mut out_mask, &mut in_occ, &mut arc_traffic, parallel);
         stats.total_messages += delivered;
-        stats.max_message_bits = stats.max_message_bits.max(max_bits);
         if let Some(t) = &mut trace {
             t.push(delivered);
-        }
-        // Clear outboxes for the next round.
-        if config.parallel {
-            outbox.par_iter_mut().for_each(|s| *s = None);
-        } else {
-            outbox.iter_mut().for_each(|s| *s = None);
         }
         round += 1;
         if delivered > 0 {
             stats.rounds = round;
         }
-        if delivered == 0 && done.iter().all(|&d| d) {
+        if delivered == 0 && cells.iter().all(|c| c.done) {
             stats.iterations = round;
             break;
         }
@@ -225,23 +336,22 @@ where
     if let Some(t) = &mut trace {
         t.truncate(stats.rounds as usize);
     }
+    stats.max_message_bits = cells.iter().map(|c| c.max_bits).max().unwrap_or(0);
 
     // Fold per-arc traffic into per-edge congestion.
     let mut per_edge: Vec<u64> = vec![0; graph.m()];
     for v in 0..n as Node {
         let lo = graph.arc_offset(v);
         for (i, &e) in graph.incident_edges(v).iter().enumerate() {
-            per_edge[e as usize] += arc_traffic[lo + i];
+            per_edge[e as usize] += arc_traffic[lo + i] as u64;
         }
     }
-    // Each undirected edge's two arcs each counted deliveries *into* one
-    // endpoint, so per_edge already sums both directions... but the loop
-    // above visits every arc once via its owner node, adding that arc's
-    // inbound count; both arcs of an edge map to the same edge id, so the
-    // sum is total messages over the edge.
+    // Both arcs of an edge map to the same edge id and each counts the
+    // deliveries *into* one endpoint, so the sum is the total number of
+    // messages that crossed the edge in either direction.
     stats.max_edge_congestion = per_edge.iter().copied().max().unwrap_or(0);
 
-    let outputs: Vec<P::Output> = states.into_iter().map(|s| s.finish()).collect();
+    let outputs: Vec<P::Output> = cells.into_iter().map(|c| c.state.finish()).collect();
     Ok(RunOutcome {
         outputs,
         stats,
@@ -249,122 +359,74 @@ where
     })
 }
 
-/// Remove every outbox message crossing a blocked edge (both directions).
-/// Returns the number of destroyed messages.
-fn apply_faults<M>(graph: &Graph, outbox: &mut [Option<M>], blocked: &[bool]) -> u64 {
-    let mut dropped = 0u64;
-    let mut arc = 0usize;
-    for v in 0..graph.n() as Node {
-        for &e in graph.incident_edges(v) {
-            if blocked[e as usize] && outbox[arc].take().is_some() {
-                dropped += 1;
-            }
-            arc += 1;
-        }
-    }
-    dropped
-}
-
-/// Step every node once. Splits the flat outbox into per-node mutable
-/// slices, then walks nodes (in parallel when asked).
-#[allow(clippy::too_many_arguments)]
-fn step_all<P: Protocol>(
-    graph: &Graph,
-    states: &mut [P],
-    rngs: &mut [SmallRng],
-    done: &mut [bool],
-    inbox: &[Option<P::Msg>],
-    outbox: &mut [Option<P::Msg>],
-    round: u64,
+/// The delivery sweep: fold the staging byte-mask into the word-packed
+/// inbox occupancy bitset (byte `a` → bit `a`), zero the mask for reuse,
+/// count delivered messages, and bump per-arc traffic counters.
+///
+/// Occupancy word `w` owns arcs `64w..64w+64`, so parallel tasks chunked
+/// on word boundaries write disjoint ranges of every output.
+fn deliver_and_account(
+    staged: &mut [u8],
+    in_occ: &mut [u64],
+    arc_traffic: &mut [u32],
     parallel: bool,
-) {
-    let n = graph.n();
-    // Split outbox into per-node slices (sequential O(n) bookkeeping).
-    let mut out_slices: Vec<&mut [Option<P::Msg>]> = Vec::with_capacity(n);
-    {
-        let mut rest = outbox;
-        for v in 0..n as Node {
-            let deg = graph.degree(v);
-            let (head, tail) = rest.split_at_mut(deg);
-            out_slices.push(head);
-            rest = tail;
-        }
-    }
-    let run_node = |v: usize, state: &mut P, out: &mut [Option<P::Msg>], rng: &mut SmallRng, dn: &mut bool| {
-        let lo = graph.arc_offset(v as Node);
-        let deg = graph.degree(v as Node);
-        let mut ctx = NodeCtx {
-            node: v as Node,
-            round,
-            graph,
-            inbox: &inbox[lo..lo + deg],
-            outbox: out,
-            rng,
-            done: dn,
-        };
-        state.round(&mut ctx);
-    };
-    if parallel {
-        states
-            .par_iter_mut()
-            .zip(out_slices.into_par_iter())
-            .zip(rngs.par_iter_mut())
-            .zip(done.par_iter_mut())
-            .enumerate()
-            .for_each(|(v, (((state, out), rng), dn))| run_node(v, state, out, rng, dn));
-    } else {
-        for (v, (((state, out), rng), dn)) in states
-            .iter_mut()
-            .zip(out_slices)
-            .zip(rngs.iter_mut())
-            .zip(done.iter_mut())
-            .enumerate()
-        {
-            run_node(v, state, out, rng, dn);
-        }
-    }
-}
-
-/// Deliver all outbox messages: `inbox[arc] = outbox[reverse(arc)]`.
-/// Returns `(messages delivered, max message bits seen)`.
-fn deliver<M: Clone + Send + Sync + crate::message::MsgBits>(
-    graph: &Graph,
-    outbox: &[Option<M>],
-    inbox: &mut [Option<M>],
-    arc_traffic: &mut [u64],
-    parallel: bool,
-) -> (u64, usize) {
-    let body = |arc: usize, slot: &mut Option<M>, traffic: &mut u64| -> (u64, usize) {
-        let src = graph.reverse_arc(arc);
-        match &outbox[src] {
-            Some(msg) => {
-                let bits = msg.bits();
-                *slot = Some(msg.clone());
-                *traffic += 1;
-                (1, bits)
-            }
-            None => {
-                *slot = None;
-                (0, 0)
+) -> u64 {
+    let arcs = staged.len();
+    // One word's worth of work: pack, meter, zero.
+    let sweep_word = |mask_bytes: &mut [u8], traffic: &mut [u32]| -> (u64, u64) {
+        let bits = slab::pack_bytes(mask_bytes);
+        if bits != 0 {
+            mask_bytes.fill(0);
+            if bits == u64::MAX {
+                for t in traffic.iter_mut() {
+                    *t = t.saturating_add(1);
+                }
+            } else {
+                let mut b = bits;
+                while b != 0 {
+                    let t = &mut traffic[b.trailing_zeros() as usize];
+                    *t = t.saturating_add(1);
+                    b &= b - 1;
+                }
             }
         }
+        (bits, bits.count_ones() as u64)
     };
-    if parallel {
-        inbox
-            .par_iter_mut()
-            .zip(arc_traffic.par_iter_mut())
-            .enumerate()
-            .map(|(arc, (slot, traffic))| body(arc, slot, traffic))
-            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1.max(b.1)))
+    if parallel && in_occ.len() >= 64 {
+        let words_per_task = in_occ
+            .len()
+            .div_ceil((congest_par::num_threads() * 4).max(1))
+            .max(1);
+        let delivered = AtomicU64::new(0);
+        let racy_mask = RacyCells::new(staged);
+        let racy_traffic = RacyCells::new(arc_traffic);
+        congest_par::par_chunks_mut(in_occ, words_per_task, |ci, occ_chunk| {
+            let first_arc = ci * words_per_task * 64;
+            let mut local = 0u64;
+            for (i, occ_word) in occ_chunk.iter_mut().enumerate() {
+                let lo = first_arc + i * 64;
+                let hi = (lo + 64).min(arcs);
+                // Sound: word-aligned chunks make `lo..hi` exclusive to
+                // this task for both the mask and the traffic counters.
+                let (mask_bytes, traffic) =
+                    unsafe { (racy_mask.slice_mut(lo, hi), racy_traffic.slice_mut(lo, hi)) };
+                let (bits, count) = sweep_word(mask_bytes, traffic);
+                *occ_word = bits;
+                local += count;
+            }
+            delivered.fetch_add(local, Ordering::Relaxed);
+        });
+        delivered.load(Ordering::Relaxed)
     } else {
-        let mut total = 0;
-        let mut max_bits = 0;
-        for (arc, (slot, traffic)) in inbox.iter_mut().zip(arc_traffic.iter_mut()).enumerate() {
-            let (t, b) = body(arc, slot, traffic);
-            total += t;
-            max_bits = max_bits.max(b);
+        let mut delivered = 0u64;
+        for (w, occ_word) in in_occ.iter_mut().enumerate() {
+            let lo = w * 64;
+            let hi = (lo + 64).min(arcs);
+            let (bits, count) = sweep_word(&mut staged[lo..hi], &mut arc_traffic[lo..hi]);
+            *occ_word = bits;
+            delivered += count;
         }
-        (total, max_bits)
+        delivered
     }
 }
 
@@ -398,7 +460,8 @@ mod tests {
     #[test]
     fn flood_takes_eccentricity_rounds() {
         let g = path(6);
-        let out = run_protocol(&g, |_, _| Flood { heard_at: None }, EngineConfig::default()).unwrap();
+        let out =
+            run_protocol(&g, |_, _| Flood { heard_at: None }, EngineConfig::default()).unwrap();
         for v in 0..6 {
             assert_eq!(out.outputs[v], Some(v as u64));
         }
@@ -410,9 +473,14 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_agree() {
-        let g = complete(40);
-        let par = run_protocol(&g, |_, _| Flood { heard_at: None }, EngineConfig::default()).unwrap();
-        let ser = run_protocol(&g, |_, _| Flood { heard_at: None }, EngineConfig::serial()).unwrap();
+        // Above PARALLEL_MIN_NODES and under a forced multi-lane pool, so
+        // the parallel path genuinely executes even on a 1-core machine.
+        let g = complete(PARALLEL_MIN_NODES + 44);
+        let par = congest_par::with_threads(4, || {
+            run_protocol(&g, |_, _| Flood { heard_at: None }, EngineConfig::default()).unwrap()
+        });
+        let ser =
+            run_protocol(&g, |_, _| Flood { heard_at: None }, EngineConfig::serial()).unwrap();
         assert_eq!(par.outputs, ser.outputs);
         assert_eq!(par.stats, ser.stats);
     }
@@ -430,7 +498,8 @@ mod tests {
             fn finish(self) {}
         }
         let g = cycle(4);
-        let err = run_protocol(&g, |_, _| Chatter, EngineConfig::default().max_rounds(10)).unwrap_err();
+        let err =
+            run_protocol(&g, |_, _| Chatter, EngineConfig::default().max_rounds(10)).unwrap_err();
         assert_eq!(err, EngineError::RoundLimitExceeded { limit: 10 });
     }
 
@@ -489,18 +558,18 @@ mod tests {
         let trace = out.trace.unwrap();
         assert_eq!(trace.len() as u64, out.stats.rounds);
         assert_eq!(trace.iter().sum::<u64>(), out.stats.total_messages);
-        assert!(trace.iter().all(|&t| t > 0), "trace trimmed to last traffic");
+        assert!(
+            trace.iter().all(|&t| t > 0),
+            "trace trimmed to last traffic"
+        );
     }
 
     #[test]
     fn faults_drop_messages_and_are_counted() {
         use crate::fault::FaultPlan;
-        // Flood on a path with the single middle edge blocked every round:
-        // the far side must never hear it.
-        let g = path(4); // edges: (0,1)=0, (1,2)=1, (2,3)=2
-        // Block edge 1 every round: plan with m=3; brute-force a seed whose
-        // stream always covers edge 1 is fragile — instead block ALL edges
-        // via a large budget and verify nothing is ever delivered.
+        // Flood on a path with every edge blocked each round: the far side
+        // must never hear it, so the run can only end by round limit.
+        let g = path(4);
         let out = run_protocol(
             &g,
             |_, _| Flood { heard_at: None },
@@ -508,10 +577,6 @@ mod tests {
                 .max_rounds(50)
                 .with_faults(FaultPlan::new(64, 3)),
         );
-        // With every edge blocked the flood never leaves node 0; node 0
-        // is done (it heard at round 0) but others never hear → engine
-        // reaches quiescence only because no message is ever in flight
-        // and... nodes 1..3 never set done. Expect the round limit.
         assert!(out.is_err());
 
         // A *retransmitting* flood survives a light adversary: blocking one
@@ -547,7 +612,10 @@ mod tests {
                 .with_faults(FaultPlan::new(1, 5)),
         )
         .unwrap();
-        assert!(out.outputs.iter().all(|&o| o), "stubborn flood must survive");
+        assert!(
+            out.outputs.iter().all(|&o| o),
+            "stubborn flood must survive"
+        );
         assert!(out.stats.dropped_messages > 0, "adversary must have acted");
     }
 
@@ -573,5 +641,47 @@ mod tests {
         assert_eq!(c.rounds, 8);
         assert_eq!(c.max_edge_congestion, 3);
         assert_eq!(c.max_message_bits, 32);
+    }
+
+    #[test]
+    fn wide_u128_messages_roundtrip_through_the_slab() {
+        /// Every node sends a 96-bit (id, payload) pair to all neighbors
+        /// once; receivers verify exact field recovery.
+        struct Collect {
+            got: Vec<(u32, u64)>,
+        }
+        impl Protocol for Collect {
+            type Msg = (u32, u64);
+            type Output = Vec<(u32, u64)>;
+            fn round(&mut self, ctx: &mut NodeCtx<'_, (u32, u64)>) {
+                if ctx.round == 0 {
+                    let m = (ctx.node ^ 0xABCD, 0xDEAD_BEEF_0000_0000 | ctx.node as u64);
+                    ctx.send_all(m);
+                    return;
+                }
+                self.got.extend(ctx.inbox().map(|(_, m)| m));
+                ctx.set_done(true);
+            }
+            fn finish(self) -> Vec<(u32, u64)> {
+                self.got
+            }
+        }
+        let g = cycle(6);
+        let out = run_protocol(
+            &g,
+            |_, _| Collect { got: Vec::new() },
+            EngineConfig::default(),
+        )
+        .unwrap();
+        for (v, got) in out.outputs.iter().enumerate() {
+            let v = v as u32;
+            let expect_from = |u: u32| (u ^ 0xABCD, 0xDEAD_BEEF_0000_0000 | u as u64);
+            let mut want = vec![expect_from((v + 5) % 6), expect_from((v + 1) % 6)];
+            want.sort_unstable();
+            let mut got = got.clone();
+            got.sort_unstable();
+            assert_eq!(got, want, "node {v}");
+        }
+        assert_eq!(out.stats.max_message_bits, 96);
     }
 }

@@ -42,15 +42,25 @@ impl FaultPlan {
     /// `edges_per_round` distinct ids if the stream collides; the
     /// adversary wastes that budget, which only weakens it).
     pub fn blocked_edges(&self, round: u64, m: usize) -> Vec<Edge> {
-        if round < self.start_round || self.edges_per_round == 0 || m == 0 {
-            return Vec::new();
-        }
-        let mut blocked: Vec<Edge> = (0..self.edges_per_round as u64)
-            .map(|i| (mix64(self.seed ^ mix64(round) ^ mix64(0xFA17 + i)) % m as u64) as Edge)
-            .collect();
-        blocked.sort_unstable();
-        blocked.dedup();
+        let mut blocked = Vec::new();
+        self.blocked_edges_into(round, m, &mut blocked);
         blocked
+    }
+
+    /// [`FaultPlan::blocked_edges`] into a caller-owned buffer, so the
+    /// engine's round loop stays allocation-free (the buffer's capacity is
+    /// reused across rounds).
+    pub fn blocked_edges_into(&self, round: u64, m: usize, out: &mut Vec<Edge>) {
+        out.clear();
+        if round < self.start_round || self.edges_per_round == 0 || m == 0 {
+            return;
+        }
+        out.extend(
+            (0..self.edges_per_round as u64)
+                .map(|i| (mix64(self.seed ^ mix64(round) ^ mix64(0xFA17 + i)) % m as u64) as Edge),
+        );
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Membership mask over edge ids for one round.

@@ -18,9 +18,20 @@
 //! One engine iteration = one CONGEST round: every node reads the messages
 //! delivered to it, mutates its state, and writes at most one message per
 //! incident port; then all messages are delivered simultaneously. Nodes
-//! step **in parallel** (rayon) — each node touches only its own state and
-//! its own inbox/outbox slices, so results are bit-identical for any
-//! thread count.
+//! step **in parallel** (on the `congest_par` pool) — each node touches
+//! only its own state and its own slots of the packed message slabs, so
+//! results are bit-identical for any thread count.
+//!
+//! ## Packed message plane
+//!
+//! Wire messages implement [`message::PackedMsg`]: every message encodes
+//! into a fixed-width `u64`/`u128` word (the model's O(log n) bits made
+//! literal). The slabs are flat word vectors with a word-packed occupancy
+//! bitset; sends scatter through the precomputed reverse-arc permutation
+//! straight into the receiver's slot, so delivery is a buffer *swap* and
+//! the round loop allocates nothing (see [`engine`]). The pre-packing
+//! `Vec<Option<Msg>>` engine survives in [`baseline`] purely as the
+//! comparison arm of `benches/sim_throughput.rs`.
 //!
 //! Per-node randomness comes from a counter-based RNG seeded by
 //! `mix(run_seed, node_id)` ([`rng::node_rng`]), making whole runs
@@ -38,6 +49,7 @@
 //! over one network with per-port FIFO queues, realizing
 //! `O(congestion + dilation·log² n)` composition.
 
+pub mod baseline;
 pub mod engine;
 pub mod fault;
 pub mod message;
@@ -45,9 +57,10 @@ pub mod phase;
 pub mod protocol;
 pub mod rng;
 pub mod sched;
+mod slab;
 
 pub use engine::{run_protocol, EngineConfig, EngineError, RunOutcome, RunStats};
 pub use fault::FaultPlan;
-pub use message::MsgBits;
+pub use message::{MsgBits, MsgWord, PackedMsg};
 pub use phase::PhaseLog;
 pub use protocol::{NodeCtx, Protocol};

@@ -1,10 +1,28 @@
-//! Message-size accounting.
+//! Message-size accounting and the packed wire encoding.
 //!
 //! CONGEST allows `O(log n)` bits per message. Rather than trusting each
-//! algorithm, the engine asks every delivered message for its size via
+//! algorithm, the engine asks every sent message for its size via
 //! [`MsgBits`] and reports the maximum in [`crate::RunStats`]; tests then
 //! assert the discipline (e.g. ≤ c·⌈log₂ n⌉ for a small constant c — a
 //! constant number of node ids / counters per message).
+//!
+//! ## Packed encoding ([`PackedMsg`])
+//!
+//! The model's O(log n)-bit budget means every wire message fits a machine
+//! word. The engine exploits that: message slabs are flat `Vec<Word>`
+//! (`Word` = `u64` or `u128`), with a word-packed occupancy bitset instead
+//! of per-slot `Option` discriminants. Every protocol message type
+//! therefore implements [`PackedMsg`]: a fixed-width, branch-free
+//! `pack`/`unpack` pair into the low [`PackedMsg::WIDTH`] bits of its
+//! word. Benefits in the round loop:
+//!
+//! * delivery moves raw words — no `Option` matching, no `Clone` calls,
+//!   no per-message heap data;
+//! * occupancy is one bit per arc, so clearing an outbox is a 64×-denser
+//!   memset and quiescent ports cost nothing;
+//! * the encoding *is* the bit budget: a type whose fields don't fit its
+//!   word fails at `pack` time (debug assertions), keeping the O(log n)
+//!   discipline honest at the representation level.
 
 /// Estimated wire size of a message in bits.
 ///
@@ -17,15 +35,91 @@ pub trait MsgBits {
     fn bits(&self) -> usize;
 }
 
+/// Storage word for packed messages: `u64` or `u128`.
+pub trait MsgWord: Copy + Default + Send + Sync + PartialEq + 'static {
+    /// Width of the word in bits.
+    const BITS: u32;
+    /// Widen to `u128` (for compositional encodings such as tagging).
+    fn to_u128(self) -> u128;
+    /// Truncating narrow from `u128`.
+    fn from_u128(x: u128) -> Self;
+}
+
+impl MsgWord for u64 {
+    const BITS: u32 = 64;
+    #[inline]
+    fn to_u128(self) -> u128 {
+        self as u128
+    }
+    #[inline]
+    fn from_u128(x: u128) -> Self {
+        x as u64
+    }
+}
+
+impl MsgWord for u128 {
+    const BITS: u32 = 128;
+    #[inline]
+    fn to_u128(self) -> u128 {
+        self
+    }
+    #[inline]
+    fn from_u128(x: u128) -> Self {
+        x
+    }
+}
+
+/// A message with a fixed-width packed wire encoding.
+///
+/// Contract: `unpack(pack(m)) == m` for every value the protocol sends,
+/// and `pack` only sets the low [`PackedMsg::WIDTH`] bits of the word.
+/// The engine stores exactly one word per arc; the `Copy` bound is what
+/// makes delivery a raw word move.
+pub trait PackedMsg: MsgBits + Copy + Send + Sync + 'static {
+    /// Slab storage type — smallest of `u64`/`u128` that fits `WIDTH`.
+    type Word: MsgWord;
+    /// Fixed encoding width in bits (`≤ Word::BITS`). This is the wire
+    /// budget the type claims; [`MsgBits::bits`] of any value must not
+    /// exceed it.
+    const WIDTH: u32;
+
+    fn pack(self) -> Self::Word;
+    fn unpack(word: Self::Word) -> Self;
+}
+
 impl MsgBits for () {
     fn bits(&self) -> usize {
         0
     }
 }
 
+impl PackedMsg for () {
+    type Word = u64;
+    const WIDTH: u32 = 0;
+    #[inline]
+    fn pack(self) -> u64 {
+        0
+    }
+    #[inline]
+    fn unpack(_: u64) {}
+}
+
 impl MsgBits for u32 {
     fn bits(&self) -> usize {
         32
+    }
+}
+
+impl PackedMsg for u32 {
+    type Word = u64;
+    const WIDTH: u32 = 32;
+    #[inline]
+    fn pack(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn unpack(word: u64) -> u32 {
+        word as u32
     }
 }
 
@@ -35,15 +129,101 @@ impl MsgBits for u64 {
     }
 }
 
+impl PackedMsg for u64 {
+    type Word = u64;
+    const WIDTH: u32 = 64;
+    #[inline]
+    fn pack(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn unpack(word: u64) -> u64 {
+        word
+    }
+}
+
 impl<A: MsgBits, B: MsgBits> MsgBits for (A, B) {
     fn bits(&self) -> usize {
         self.0.bits() + self.1.bits()
     }
 }
 
+/// Pairs pack by concatenation into a `u128` (first element in the low
+/// bits). Both components must fit `u64` words, so the pair fits 128 bits.
+impl<A, B> PackedMsg for (A, B)
+where
+    A: PackedMsg<Word = u64>,
+    B: PackedMsg<Word = u64>,
+{
+    type Word = u128;
+    // Post-monomorphization error if the encoding can't fit the word;
+    // `pack` forces the evaluation.
+    const WIDTH: u32 = {
+        assert!(A::WIDTH + B::WIDTH <= 128, "pair exceeds 128 bits");
+        A::WIDTH + B::WIDTH
+    };
+    #[inline]
+    fn pack(self) -> u128 {
+        let _guard = Self::WIDTH;
+        (self.0.pack() as u128) | ((self.1.pack() as u128) << A::WIDTH)
+    }
+    #[inline]
+    fn unpack(word: u128) -> Self {
+        let mask = low_mask(A::WIDTH);
+        (
+            A::unpack((word & mask) as u64),
+            B::unpack((word >> A::WIDTH) as u64),
+        )
+    }
+}
+
 impl<T: MsgBits> MsgBits for Option<T> {
     fn bits(&self) -> usize {
         1 + self.as_ref().map_or(0, MsgBits::bits)
+    }
+}
+
+/// `Option<T>` packs as a presence bit above `T`'s encoding. It always
+/// occupies a `u128` word (the presence bit may not fit `T`'s own word),
+/// so `T` itself must leave room: `T::WIDTH < 128`, enforced at compile
+/// time (a 128-bit `T` would make the presence-bit shift overflow).
+impl<T> PackedMsg for Option<T>
+where
+    T: PackedMsg,
+{
+    type Word = u128;
+    // Post-monomorphization error if there is no room for the presence
+    // bit; `pack`/`unpack` force the evaluation.
+    const WIDTH: u32 = {
+        assert!(T::WIDTH < 128, "Option<T> needs a presence bit above T");
+        1 + T::WIDTH
+    };
+    #[inline]
+    fn pack(self) -> u128 {
+        let _guard = Self::WIDTH;
+        match self {
+            None => 0,
+            Some(v) => (1u128 << T::WIDTH) | v.pack().to_u128(),
+        }
+    }
+    #[inline]
+    fn unpack(word: u128) -> Self {
+        let _guard = Self::WIDTH;
+        if word >> T::WIDTH & 1 == 0 {
+            None
+        } else {
+            Some(T::unpack(MsgWord::from_u128(word & low_mask(T::WIDTH))))
+        }
+    }
+}
+
+/// Mask of the `width` low bits of a `u128` (`width ≤ 128`).
+#[inline]
+pub const fn low_mask(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
     }
 }
 
@@ -59,5 +239,39 @@ mod tests {
         assert_eq!((1u32, 2u32).bits(), 64);
         assert_eq!(Some(3u32).bits(), 33);
         assert_eq!(None::<u32>.bits(), 1);
+    }
+
+    fn roundtrip<M: PackedMsg + PartialEq + std::fmt::Debug>(m: M) {
+        assert_eq!(M::unpack(m.pack()), m);
+        assert!(M::WIDTH <= <M::Word as MsgWord>::BITS);
+        assert!(m.bits() as u32 <= M::WIDTH, "bits() exceeds claimed WIDTH");
+    }
+
+    #[test]
+    fn packing_roundtrips() {
+        roundtrip(());
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip((u32::MAX, 7u32));
+        roundtrip((u64::MAX, u32::MAX));
+        roundtrip(Some(u32::MAX));
+        roundtrip(None::<u32>);
+        roundtrip(Some(u64::MAX));
+    }
+
+    #[test]
+    fn pair_packs_first_component_low() {
+        let w = (0xAAAAu32, 0xBBBBu32).pack();
+        assert_eq!(w & 0xFFFF_FFFF, 0xAAAA);
+        assert_eq!(w >> 32, 0xBBBB);
+    }
+
+    #[test]
+    fn low_mask_edges() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(64), u64::MAX as u128);
+        assert_eq!(low_mask(128), u128::MAX);
     }
 }

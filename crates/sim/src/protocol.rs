@@ -5,9 +5,15 @@
 //! round the node sees only its own state, the messages delivered to it
 //! this round, and local randomness — the CONGEST locality discipline is
 //! enforced by construction, not convention.
+//!
+//! Messages travel packed ([`PackedMsg`]): the context unpacks on read and
+//! packs on send, so protocols handle ordinary typed values while the
+//! engine moves raw words.
 
-use crate::message::MsgBits;
+use crate::message::PackedMsg;
+use crate::slab;
 use congest_graph::{Graph, Node, Port};
+use congest_par::RacyCells;
 use rand::rngs::SmallRng;
 
 /// One node's program. The engine drives every node's `round` once per
@@ -15,7 +21,7 @@ use rand::rngs::SmallRng;
 /// the start of the next round.
 pub trait Protocol: Send {
     /// Wire message type: one such message fits one edge-direction-round.
-    type Msg: Clone + Send + Sync + MsgBits + 'static;
+    type Msg: PackedMsg;
     /// Per-node output collected when the run ends.
     type Output: Send;
 
@@ -26,24 +32,59 @@ pub trait Protocol: Send {
     fn finish(self) -> Self::Output;
 }
 
+/// This node's received messages: a port-indexed word slice plus the
+/// word-packed occupancy bits starting at `bit0`.
+pub(crate) struct InSlot<'a, M: PackedMsg> {
+    pub(crate) words: &'a [M::Word],
+    pub(crate) occ: &'a [u64],
+    pub(crate) bit0: usize,
+}
+
+/// Where this node's sends land.
+pub(crate) enum OutSlot<'a, M: PackedMsg> {
+    /// Engine mode: scatter straight into the *destination* arc slot of
+    /// the staging slab through the reverse-arc permutation, so delivery
+    /// is a buffer swap. Disjointness: `rev` is a bijection on arcs, and
+    /// `rev[lo..lo+deg]` are exactly this node's destinations — which is
+    /// why the staging mask is one *byte* per arc written with a plain
+    /// store (no atomic read-modify-write on the send path).
+    Scatter {
+        words: &'a RacyCells<'a, M::Word>,
+        mask: &'a RacyCells<'a, u8>,
+        rev: &'a [u32],
+        lo: usize,
+        deg: usize,
+    },
+    /// Host mode: a plain port-indexed buffer, used by protocol
+    /// combinators (e.g. [`crate::sched::Multiplexed`]) that run
+    /// sub-protocols against node-local buffers.
+    Local {
+        words: &'a mut [M::Word],
+        occ: &'a mut [u64],
+    },
+}
+
 /// Everything one node may legitimately touch during one round.
-pub struct NodeCtx<'a, M> {
+pub struct NodeCtx<'a, M: PackedMsg> {
     /// This node's id.
     pub node: Node,
     /// Current round number (0-based).
     pub round: u64,
     pub(crate) graph: &'a Graph,
-    pub(crate) inbox: &'a [Option<M>],
-    pub(crate) outbox: &'a mut [Option<M>],
+    pub(crate) inbox: InSlot<'a, M>,
+    pub(crate) outbox: OutSlot<'a, M>,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) done: &'a mut bool,
+    /// Largest `MsgBits::bits()` this node has sent over the whole run
+    /// (folded into [`crate::RunStats::max_message_bits`]).
+    pub(crate) max_bits: &'a mut usize,
 }
 
-impl<'a, M: Clone> NodeCtx<'a, M> {
+impl<'a, M: PackedMsg> NodeCtx<'a, M> {
     /// Degree of this node = number of ports.
     #[inline]
     pub fn degree(&self) -> usize {
-        self.inbox.len()
+        self.inbox.words.len()
     }
 
     /// Neighbor reached through `port`.
@@ -73,23 +114,69 @@ impl<'a, M: Clone> NodeCtx<'a, M> {
         self.graph.n()
     }
 
-    /// The message delivered on `port` this round, if any.
+    /// The message delivered on `port` this round, if any. Unpacks by
+    /// value — wire messages are `Copy` words, never references.
     #[inline]
-    pub fn recv(&self, port: Port) -> Option<&M> {
-        self.inbox[port as usize].as_ref()
+    pub fn recv(&self, port: Port) -> Option<M> {
+        if slab::test(self.inbox.occ, self.inbox.bit0 + port as usize) {
+            Some(M::unpack(self.inbox.words[port as usize]))
+        } else {
+            None
+        }
     }
 
-    /// Iterate `(port, message)` over all messages delivered this round.
-    pub fn inbox(&self) -> impl Iterator<Item = (Port, &M)> {
-        self.inbox
-            .iter()
-            .enumerate()
-            .filter_map(|(p, m)| m.as_ref().map(|m| (p as Port, m)))
+    /// Iterate `(port, message)` over all messages delivered this round,
+    /// in ascending port order. Walks the occupancy *words*, so quiescent
+    /// ports cost nothing — an empty inbox is a couple of word loads
+    /// regardless of degree.
+    pub fn inbox(&self) -> impl Iterator<Item = (Port, M)> + '_ {
+        let deg = self.degree();
+        let bit0 = self.inbox.bit0;
+        let words = self.inbox.words;
+        let occ = self.inbox.occ;
+        let first_w = bit0 >> 6;
+        let last_w = if deg == 0 {
+            first_w
+        } else {
+            (bit0 + deg - 1) >> 6
+        };
+        let mut w = first_w;
+        let mut current: u64 = 0;
+        if deg > 0 {
+            // Mask off bits outside this node's range.
+            current = occ[w] & (!0u64 << (bit0 & 63));
+            if w == last_w {
+                let top = (bit0 + deg - 1) & 63;
+                current &= !0u64 >> (63 - top);
+            }
+        }
+        std::iter::from_fn(move || {
+            if deg == 0 {
+                return None;
+            }
+            loop {
+                if current != 0 {
+                    let bit = (w << 6) + current.trailing_zeros() as usize;
+                    current &= current - 1;
+                    let port = (bit - bit0) as Port;
+                    return Some((port, M::unpack(words[port as usize])));
+                }
+                if w >= last_w {
+                    return None;
+                }
+                w += 1;
+                current = occ[w];
+                if w == last_w {
+                    let top = (bit0 + deg - 1) & 63;
+                    current &= !0u64 >> (63 - top);
+                }
+            }
+        })
     }
 
-    /// Number of messages delivered this round.
+    /// Number of messages delivered this round (word-packed popcount).
     pub fn inbox_len(&self) -> usize {
-        self.inbox.iter().filter(|m| m.is_some()).count()
+        slab::popcount_range(self.inbox.occ, self.inbox.bit0, self.degree())
     }
 
     /// Send `msg` through `port`. Panics if a message was already written
@@ -97,28 +184,97 @@ impl<'a, M: Clone> NodeCtx<'a, M> {
     /// of one message per edge-direction per round.
     #[inline]
     pub fn send(&mut self, port: Port, msg: M) {
-        let slot = &mut self.outbox[port as usize];
+        let bits = msg.bits();
+        if bits > *self.max_bits {
+            *self.max_bits = bits;
+        }
+        let word = msg.pack();
+        let already = match &mut self.outbox {
+            OutSlot::Scatter {
+                words,
+                mask,
+                rev,
+                lo,
+                deg,
+            } => {
+                assert!((port as usize) < *deg, "send on nonexistent port {port}");
+                let dest = rev[*lo + port as usize] as usize;
+                // Sound: `rev` is a bijection, so slot `dest` belongs to
+                // this (node, port) alone this round.
+                let already = unsafe { mask.read(dest) } != 0;
+                if !already {
+                    unsafe {
+                        mask.write(dest, 1);
+                        words.write(dest, word);
+                    }
+                }
+                already
+            }
+            OutSlot::Local { words, occ } => {
+                let already = slab::set(occ, port as usize);
+                if !already {
+                    words[port as usize] = word;
+                }
+                already
+            }
+        };
         assert!(
-            slot.is_none(),
+            !already,
             "CONGEST violation: node {} sent twice on port {} in round {}",
-            self.node,
-            port,
-            self.round
+            self.node, port, self.round
         );
-        *slot = Some(msg);
     }
 
-    /// Send a copy of `msg` to every neighbor.
+    /// Send a copy of `msg` to every neighbor. In engine mode this walks
+    /// the node's reverse-arc slice directly — one packed word, `deg`
+    /// plain stores.
     pub fn send_all(&mut self, msg: M) {
-        for p in 0..self.outbox.len() {
-            self.send(p as Port, msg.clone());
+        match &mut self.outbox {
+            OutSlot::Scatter {
+                words,
+                mask,
+                rev,
+                lo,
+                deg,
+            } => {
+                let bits = msg.bits();
+                if bits > *self.max_bits {
+                    *self.max_bits = bits;
+                }
+                let word = msg.pack();
+                for &dest in &rev[*lo..*lo + *deg] {
+                    let dest = dest as usize;
+                    // Sound: own destination slots (see `send`).
+                    unsafe {
+                        assert!(
+                            mask.read(dest) == 0,
+                            "CONGEST violation: node {} double-sent in round {}",
+                            self.node,
+                            self.round
+                        );
+                        mask.write(dest, 1);
+                        words.write(dest, word);
+                    }
+                }
+            }
+            OutSlot::Local { .. } => {
+                for p in 0..self.degree() as Port {
+                    self.send(p, msg);
+                }
+            }
         }
     }
 
     /// Whether this node already wrote to `port` this round.
     #[inline]
     pub fn port_used(&self, port: Port) -> bool {
-        self.outbox[port as usize].is_some()
+        match &self.outbox {
+            OutSlot::Scatter { mask, rev, lo, .. } => {
+                // Sound: own destination slot (see `send`).
+                unsafe { mask.read(rev[*lo + port as usize] as usize) != 0 }
+            }
+            OutSlot::Local { occ, .. } => slab::test(occ, port as usize),
+        }
     }
 
     /// This node's private RNG (deterministic per `(run_seed, node)`).
@@ -156,7 +312,7 @@ mod tests {
                 ctx.send_all(ctx.node);
                 return;
             }
-            let msgs: Vec<u32> = ctx.inbox().map(|(_, &m)| m).collect();
+            let msgs: Vec<u32> = ctx.inbox().map(|(_, m)| m).collect();
             self.heard.extend(msgs);
             ctx.set_done(true);
         }

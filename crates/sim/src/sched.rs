@@ -12,6 +12,12 @@
 //! index and queued per port (FIFO); each real round, every port transmits
 //! at most one queued message — preserving the global CONGEST discipline.
 //!
+//! Sub-protocols run against node-local **packed** buffers (the same word
+//! slab + occupancy bitset shape the engine uses, via
+//! [`crate::protocol`]'s host mode), so a multiplexed protocol pays the
+//! packed encoding exactly once per hop. The multiplexer itself is not
+//! part of the engine hot path — its FIFO queues may allocate.
+//!
 //! **Delay tolerance.** Under queuing, a sub-protocol's messages may
 //! arrive in later virtual rounds than in a solo run. Sub-protocols must
 //! therefore be *message-driven* (progress when messages arrive, rather
@@ -20,13 +26,14 @@
 //! Theorem 13) runs Lemma 1 pipelined broadcasts, which are message-driven
 //! too.
 
-use crate::message::MsgBits;
-use crate::protocol::{NodeCtx, Protocol};
+use crate::message::{low_mask, MsgBits, MsgWord, PackedMsg};
+use crate::protocol::{InSlot, NodeCtx, OutSlot, Protocol};
 use crate::rng::mix64;
+use crate::slab;
 use std::collections::VecDeque;
 
 /// A message tagged with the index of the sub-algorithm it belongs to.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Tagged<M> {
     pub algo: u32,
     pub msg: M,
@@ -40,13 +47,42 @@ impl<M: MsgBits> MsgBits for Tagged<M> {
     }
 }
 
+/// The tag rides in the 16 bits above the inner encoding. The combined
+/// width must fit a `u128` word — enforced at compile time (a
+/// post-monomorphization error when `M::WIDTH > 112`).
+impl<M: PackedMsg> PackedMsg for Tagged<M> {
+    type Word = u128;
+    const WIDTH: u32 = {
+        assert!(M::WIDTH + 16 <= 128, "tagged message exceeds 128 bits");
+        16 + M::WIDTH
+    };
+    #[inline]
+    fn pack(self) -> u128 {
+        let _guard = Self::WIDTH;
+        debug_assert!(self.algo < 1 << 16);
+        self.msg.pack().to_u128() | ((self.algo as u128) << M::WIDTH)
+    }
+    #[inline]
+    fn unpack(word: u128) -> Self {
+        let _guard = Self::WIDTH;
+        Tagged {
+            algo: (word >> M::WIDTH) as u32 & 0xFFFF,
+            msg: M::unpack(MsgWord::from_u128(word & low_mask(M::WIDTH))),
+        }
+    }
+}
+
+/// One hosted sub-protocol: its state plus node-local packed buffers in
+/// the engine's slab shape (port-indexed words + occupancy bits).
 struct Sub<P: Protocol> {
     proto: P,
     delay: u64,
     virtual_round: u64,
     done: bool,
-    inbox: Vec<Option<P::Msg>>,
-    outbox: Vec<Option<P::Msg>>,
+    in_words: Vec<<P::Msg as PackedMsg>::Word>,
+    in_occ: Vec<u64>,
+    out_words: Vec<<P::Msg as PackedMsg>::Word>,
+    out_occ: Vec<u64>,
 }
 
 /// One node's multiplexer hosting `k` sub-protocol instances.
@@ -71,8 +107,10 @@ impl<P: Protocol> Multiplexed<P> {
                 delay,
                 virtual_round: 0,
                 done: false,
-                inbox: (0..degree).map(|_| None).collect(),
-                outbox: (0..degree).map(|_| None).collect(),
+                in_words: vec![Default::default(); degree],
+                in_occ: vec![0; slab::words_for(degree)],
+                out_words: vec![Default::default(); degree],
+                out_occ: vec![0; slab::words_for(degree)],
             })
             .collect();
         Multiplexed {
@@ -89,14 +127,14 @@ impl<P: Protocol> Protocol for Multiplexed<P> {
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>) {
         // 1. Distribute arrivals to sub-inboxes.
-        for p in 0..ctx.degree() {
-            if let Some(t) = ctx.inbox[p].as_ref() {
-                let sub = &mut self.subs[t.algo as usize];
-                debug_assert!(sub.inbox[p].is_none());
-                sub.inbox[p] = Some(t.msg.clone());
-            }
+        for (p, t) in ctx.inbox() {
+            let sub = &mut self.subs[t.algo as usize];
+            debug_assert!(!slab::test(&sub.in_occ, p as usize));
+            slab::set(&mut sub.in_occ, p as usize);
+            sub.in_words[p as usize] = t.msg.pack();
         }
-        // 2. Step every sub-protocol whose delay has elapsed.
+        // 2. Step every sub-protocol whose delay has elapsed, against its
+        // node-local packed buffers.
         for (i, sub) in self.subs.iter_mut().enumerate() {
             if ctx.round < sub.delay {
                 continue;
@@ -106,20 +144,29 @@ impl<P: Protocol> Protocol for Multiplexed<P> {
                     node: ctx.node,
                     round: sub.virtual_round,
                     graph: ctx.graph,
-                    inbox: &sub.inbox,
-                    outbox: &mut sub.outbox,
+                    inbox: InSlot {
+                        words: &sub.in_words,
+                        occ: &sub.in_occ,
+                        bit0: 0,
+                    },
+                    outbox: OutSlot::Local {
+                        words: &mut sub.out_words,
+                        occ: &mut sub.out_occ,
+                    },
                     rng: ctx.rng,
                     done: &mut sub.done,
+                    max_bits: ctx.max_bits,
                 };
                 sub.proto.round(&mut sub_ctx);
             }
             sub.virtual_round += 1;
-            for p in 0..sub.inbox.len() {
-                sub.inbox[p] = None;
-                if let Some(m) = sub.outbox[p].take() {
-                    self.queues[p].push_back((i as u32, m));
+            for p in 0..sub.out_words.len() {
+                if slab::test(&sub.out_occ, p) {
+                    self.queues[p].push_back((i as u32, P::Msg::unpack(sub.out_words[p])));
                 }
             }
+            slab::clear_all(&mut sub.in_occ);
+            slab::clear_all(&mut sub.out_occ);
         }
         // 3. Serve one queued message per port.
         let mut peak = self.peak_queue;
@@ -199,6 +246,16 @@ mod tests {
     }
 
     #[test]
+    fn tagged_packing_roundtrips() {
+        let t = Tagged {
+            algo: 0xBEEF & 0xFFFF,
+            msg: 0xDEAD_CAFEu32,
+        };
+        assert_eq!(Tagged::<u32>::unpack(t.pack()), t);
+        assert_eq!(Tagged::<u32>::WIDTH, 48);
+    }
+
+    #[test]
     fn multiplexed_floods_all_complete() {
         let g = cycle(8);
         let k = 4;
@@ -206,8 +263,7 @@ mod tests {
         let outcome = run_protocol(
             &g,
             |v, gr: &Graph| {
-                let instances: Vec<Flood> =
-                    (0..k).map(|i| Flood::new(i as Node, v)).collect();
+                let instances: Vec<Flood> = (0..k).map(|i| Flood::new(i as Node, v)).collect();
                 Multiplexed::new(instances, &delays, gr.degree(v))
             },
             EngineConfig::default(),
@@ -231,8 +287,7 @@ mod tests {
         let outcome = run_protocol(
             &g,
             |v, gr: &Graph| {
-                let instances: Vec<Flood> =
-                    (0..k).map(|i| Flood::new(i as Node, v)).collect();
+                let instances: Vec<Flood> = (0..k).map(|i| Flood::new(i as Node, v)).collect();
                 Multiplexed::new(instances, &delays, gr.degree(v))
             },
             EngineConfig::default(),

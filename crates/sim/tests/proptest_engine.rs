@@ -139,3 +139,38 @@ proptest! {
         prop_assert!(trace.iter().all(|&t| t <= cap));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The headline determinism guarantee of the packed engine, above the
+    /// parallel-stepping threshold (≥ 256 nodes, where the pool really
+    /// kicks in): serial and parallel execution — at several pool widths —
+    /// must produce byte-identical outputs, stats, *and* traces on random
+    /// Harary graphs over arbitrary seeds, n, and δ.
+    #[test]
+    fn parallel_serial_identical_above_threshold(
+        n in 256usize..400,
+        half_delta in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = congest_graph::generators::harary(2 * half_delta, n);
+        let run = |cfg: EngineConfig| {
+            run_protocol(
+                &g,
+                |_, _| RandomChatter { rounds: 8, sent: 0, received: 0 },
+                cfg.trace(),
+            )
+            .unwrap()
+        };
+        let ser = run(EngineConfig::serial().seed(seed));
+        for threads in [2usize, 4] {
+            let par = congest_par::with_threads(threads, || {
+                run(EngineConfig::with_seed(seed))
+            });
+            prop_assert_eq!(&par.outputs, &ser.outputs, "threads = {}", threads);
+            prop_assert_eq!(par.stats, ser.stats, "threads = {}", threads);
+            prop_assert_eq!(&par.trace, &ser.trace, "threads = {}", threads);
+        }
+    }
+}

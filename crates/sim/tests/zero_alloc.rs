@@ -1,0 +1,104 @@
+//! The engine's zero-allocation guarantee, *measured* rather than
+//! promised: a counting global allocator wraps the system allocator, and
+//! the test asserts that running 10× more rounds performs exactly the
+//! same number of heap allocations — i.e. every allocation belongs to
+//! setup/teardown and the round loop itself allocates nothing.
+//!
+//! This file deliberately contains a single test: the allocator counter is
+//! process-global, and the harness runs tests in one process.
+
+use congest_sim::{run_protocol, EngineConfig, NodeCtx, Protocol};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation-free node program: every node sends a mixed counter to all
+/// neighbors each round and xors what it hears.
+struct Chatter {
+    until: u64,
+    acc: u64,
+}
+
+impl Protocol for Chatter {
+    type Msg = u64;
+    type Output = u64;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        for (_, m) in ctx.inbox() {
+            self.acc ^= m;
+        }
+        if ctx.round < self.until {
+            ctx.send_all(self.acc.wrapping_add(ctx.round));
+        } else {
+            ctx.set_done(true);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+fn allocs_for(g: &congest_graph::Graph, rounds: u64, cfg: EngineConfig) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = run_protocol(
+        g,
+        |_, _| Chatter {
+            until: rounds,
+            acc: 1,
+        },
+        cfg,
+    )
+    .unwrap();
+    assert_eq!(out.stats.rounds, rounds);
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn round_loop_allocates_nothing_after_setup() {
+    let g = congest_graph::generators::harary(8, 512);
+
+    // One warm-up run per mode: first use pays one-time lazy
+    // initialization (harness/TLS), which is not the round loop.
+    let _warm = allocs_for(&g, 10, EngineConfig::serial());
+
+    // Serial engine: the count must be exactly rounds-independent.
+    let short = allocs_for(&g, 40, EngineConfig::serial());
+    let long = allocs_for(&g, 400, EngineConfig::serial());
+    assert_eq!(
+        long, short,
+        "serial round loop allocated: {short} allocs for 40 rounds vs {long} for 400"
+    );
+
+    // Parallel engine: warm the pool once (thread spawn allocates), then
+    // the same invariant holds.
+    let _warm = allocs_for(&g, 10, EngineConfig::default());
+    let short = allocs_for(&g, 40, EngineConfig::default());
+    let long = allocs_for(&g, 400, EngineConfig::default());
+    assert_eq!(
+        long, short,
+        "parallel round loop allocated: {short} allocs for 40 rounds vs {long} for 400"
+    );
+}

@@ -24,7 +24,9 @@ pub fn t_bundle(
     k: usize,
     seed: u64,
 ) -> (Vec<SparseEdge>, Vec<SparseEdge>) {
-    debug_assert!(edges.windows(2).all(|w| (w[0].u, w[0].v) < (w[1].u, w[1].v)));
+    debug_assert!(edges
+        .windows(2)
+        .all(|w| (w[0].u, w[0].v) < (w[1].u, w[1].v)));
     let mut active: Vec<SparseEdge> = edges.to_vec();
     let mut bundle: Vec<SparseEdge> = Vec::new();
     for layer in 0..t {

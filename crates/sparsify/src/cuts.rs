@@ -88,7 +88,12 @@ pub fn evaluate_cuts(
     }
     // BFS-ball cuts of a few radii from a few sources.
     let dist0 = congest_graph::algo::bfs::bfs_distances(g.graph(), 0);
-    let max_d = dist0.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0);
+    let max_d = dist0
+        .iter()
+        .copied()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0);
     for r in 1..max_d {
         let in_s: Vec<bool> = dist0.iter().map(|&d| d <= r).collect();
         if in_s.iter().any(|&x| !x) {

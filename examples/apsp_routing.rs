@@ -8,8 +8,8 @@
 //! ```
 
 use fast_broadcast::apsp::baswana_sen::corollary1_k;
-use fast_broadcast::apsp::weighted::corollary1_apsp;
 use fast_broadcast::apsp::unweighted_apsp_approx;
+use fast_broadcast::apsp::weighted::corollary1_apsp;
 use fast_broadcast::graph::algo::apsp::{
     apsp_unweighted, apsp_weighted, measure_stretch_unweighted, measure_stretch_weighted,
 };

@@ -19,8 +19,8 @@ fn main() {
 
     // Full pipeline: sparsify + broadcast + audit.
     for eps in [0.6, 0.4] {
-        let out = theorem7_all_cuts(&WeightedGraph::unit(g.clone()), eps, lambda, 77)
-            .expect("theorem 7");
+        let out =
+            theorem7_all_cuts(&WeightedGraph::unit(g.clone()), eps, lambda, 77).expect("theorem 7");
         println!(
             "ε = {eps}: sparsifier {} / {} edges, broadcast+construction = {} rounds",
             out.sparsifier_edges,
@@ -42,15 +42,12 @@ fn main() {
     let sp = koutis_xu_unit(&g, 0.4, 77);
     let wg = WeightedGraph::unit(g.clone());
     let scenarios: Vec<(&str, Vec<bool>)> = vec![
+        ("isolate first 12 nodes", (0..n).map(|v| v < 12).collect()),
+        ("split fabric in half", (0..n).map(|v| v < n / 2).collect()),
         (
-            "isolate first 12 nodes",
-            (0..n).map(|v| v < 12).collect(),
+            "isolate every 5th node",
+            (0..n).map(|v| v % 5 == 0).collect(),
         ),
-        (
-            "split fabric in half",
-            (0..n).map(|v| v < n / 2).collect(),
-        ),
-        ("isolate every 5th node", (0..n).map(|v| v % 5 == 0).collect()),
     ];
     for (what, cut) in &scenarios {
         let true_w = wg.cut_weight(cut);

@@ -21,7 +21,11 @@ fn main() {
     println!("datacenter gossip: every node broadcasts one value (k = n)\n");
     let fabrics: Vec<(&str, Graph, usize)> = vec![
         ("2-D torus 12×12 (thin, λ=4)", torus2d(12, 12), 4),
-        ("clique-chain 6×24, 8 uplinks (λ=8)", clique_chain(6, 24, 8), 8),
+        (
+            "clique-chain 6×24, 8 uplinks (λ=8)",
+            clique_chain(6, 24, 8),
+            8,
+        ),
         ("circulant fat fabric (λ=24)", harary(24, 144), 24),
         ("random 16-regular fabric", random_regular(144, 16, 7), 16),
     ];

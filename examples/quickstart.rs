@@ -29,14 +29,19 @@ fn main() {
     // Theorem 1: partition broadcast.
     let outcome = partition_broadcast(&g, &input, lambda, 0xC0FFEE).expect("partition broadcast");
     assert!(outcome.all_delivered());
-    println!("\n== Theorem 1 (partition broadcast): {} rounds over {} edge-disjoint trees",
-        outcome.total_rounds, outcome.num_subgraphs);
+    println!(
+        "\n== Theorem 1 (partition broadcast): {} rounds over {} edge-disjoint trees",
+        outcome.total_rounds, outcome.num_subgraphs
+    );
     print!("{}", outcome.phases.breakdown());
 
     // Textbook O(D + k) baseline.
     let tb = textbook_broadcast(&g, &input, 0xC0FFEE).expect("textbook broadcast");
     assert!(tb.all_delivered());
-    println!("\n== textbook (single BFS tree): {} rounds", tb.total_rounds);
+    println!(
+        "\n== textbook (single BFS tree): {} rounds",
+        tb.total_rounds
+    );
     print!("{}", tb.phases.breakdown());
 
     // How close to the universal lower bound?

@@ -67,7 +67,12 @@ fn main() {
         let r = measure_gk13(columns, 6, 2, 3).expect("gk13");
         println!(
             "{:>8} {:>6} {:>8} {:>13} {:>8.0} {:>7.1}x",
-            columns, r.layout.n, r.graph_diameter, r.packing.max_diameter, r.n_over_lambda, r.blowup
+            columns,
+            r.layout.n,
+            r.graph_diameter,
+            r.packing.max_diameter,
+            r.n_over_lambda,
+            r.blowup
         );
     }
     println!("\n→ the graph's diameter stays logarithmic while every packing is forced to Θ(n/λ).");

@@ -110,7 +110,10 @@ fn parse_family(spec: &str) -> Result<Graph, String> {
     let (kind, rest) = spec.split_once(':').ok_or("family must be kind:params")?;
     let nums = |s: &str| -> Result<Vec<usize>, String> {
         s.split([',', 'x'])
-            .map(|x| x.parse().map_err(|_| format!("bad number `{x}` in `{spec}`")))
+            .map(|x| {
+                x.parse()
+                    .map_err(|_| format!("bad number `{x}` in `{spec}`"))
+            })
             .collect()
     };
     match kind {
@@ -203,13 +206,20 @@ fn cmd_broadcast(args: &[String]) -> Result<(), String> {
     }
     let input = BroadcastInput::random_spread(&g, k, seed);
     let params = PartitionParams::from_lambda(g.n(), lambda, DEFAULT_PARTITION_C);
-    println!("family {spec}: n = {}, λ = {lambda}, k = {k}, λ' = {}", g.n(), params.num_subgraphs);
+    println!(
+        "family {spec}: n = {}, λ = {lambda}, k = {k}, λ' = {}",
+        g.n(),
+        params.num_subgraphs
+    );
 
     let (out, attempts) =
         partition_broadcast_retrying(&g, &input, params, &BroadcastConfig::with_seed(seed), 30)
             .map_err(|e| e.to_string())?;
     assert!(out.all_delivered());
-    println!("\n== Theorem 1 broadcast: {} rounds (partition attempts: {attempts})", out.total_rounds);
+    println!(
+        "\n== Theorem 1 broadcast: {} rounds (partition attempts: {attempts})",
+        out.total_rounds
+    );
     print!("{}", out.phases.breakdown());
 
     let tb = textbook_broadcast(&g, &input, seed).map_err(|e| e.to_string())?;
@@ -231,11 +241,16 @@ fn cmd_packing(args: &[String]) -> Result<(), String> {
     let lambda = fast_broadcast::graph::algo::edge_connectivity(&g);
     let trees = opt(args, "--trees", (lambda / 2).max(1))?;
     let seed: u64 = opt(args, "--seed", 7u64)?;
-    println!("family {spec}: n = {}, m = {}, λ = {lambda}, requesting {trees} trees", g.n(), g.m());
+    println!(
+        "family {spec}: n = {}, m = {}, λ = {lambda}, requesting {trees} trees",
+        g.n(),
+        g.m()
+    );
     let packing = if flag(args, "--exact") {
         println!("construction: exact matroid union (Nash-Williams optimal)");
-        exact_tree_packing(&g, trees, 0)
-            .ok_or(format!("no edge-disjoint packing of {trees} spanning trees exists"))?
+        exact_tree_packing(&g, trees, 0).ok_or(format!(
+            "no edge-disjoint packing of {trees} spanning trees exists"
+        ))?
     } else {
         println!("construction: Theorem 2 random partition + per-class BFS");
         let (p, _, attempts) = partition_packing_retrying(&g, trees, 0, seed, 30)
@@ -287,10 +302,18 @@ fn cmd_cuts(args: &[String]) -> Result<(), String> {
     if lambda == 0 {
         return Err("graph is disconnected".into());
     }
-    println!("family {spec}: n = {}, m = {}, λ = {lambda}, ε = {eps}", g.n(), g.m());
+    println!(
+        "family {spec}: n = {}, m = {}, λ = {lambda}, ε = {eps}",
+        g.n(),
+        g.m()
+    );
     let out = theorem7_all_cuts(&WeightedGraph::unit(g.clone()), eps, lambda, seed)
         .map_err(|e| e.to_string())?;
-    println!("\nsparsifier    : {} / {} edges", out.sparsifier_edges, g.m());
+    println!(
+        "\nsparsifier    : {} / {} edges",
+        out.sparsifier_edges,
+        g.m()
+    );
     println!("total rounds  : {}", out.total_rounds);
     println!("cuts audited  : {}", out.quality.num_cuts);
     println!("worst error   : {:.4}", out.quality.max_rel_error);

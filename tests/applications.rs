@@ -33,7 +33,9 @@ fn theorem4_holds_on_heterogeneous_families() {
 fn theorem5_stretch_budget_across_k() {
     let base = harary(14, 70);
     let mut rng = SmallRng::seed_from_u64(21);
-    let w: Vec<f64> = (0..base.m()).map(|_| rng.gen_range(1..200) as f64).collect();
+    let w: Vec<f64> = (0..base.m())
+        .map(|_| rng.gen_range(1..200) as f64)
+        .collect();
     let g = WeightedGraph::new(base, w);
     let exact = apsp_weighted(&g);
     let mut last_size = usize::MAX;

@@ -32,14 +32,9 @@ fn theorem1_delivers_on_every_family() {
         let k = 2 * g.n();
         let input = BroadcastInput::random_spread(&g, k, 11);
         let params = PartitionParams::from_lambda(g.n(), lambda, DEFAULT_PARTITION_C);
-        let (out, attempts) = partition_broadcast_retrying(
-            &g,
-            &input,
-            params,
-            &BroadcastConfig::with_seed(17),
-            30,
-        )
-        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (out, attempts) =
+            partition_broadcast_retrying(&g, &input, params, &BroadcastConfig::with_seed(17), 30)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(out.all_delivered(), "{name}: delivery failed");
         assert!(
             attempts <= 5,
@@ -98,14 +93,9 @@ fn rounds_scale_inverse_with_lambda() {
         let g = harary(lambda, n);
         let input = BroadcastInput::random_spread(&g, k, 7);
         let params = PartitionParams::from_lambda(n, lambda, DEFAULT_PARTITION_C);
-        let (out, _) = partition_broadcast_retrying(
-            &g,
-            &input,
-            params,
-            &BroadcastConfig::with_seed(29),
-            30,
-        )
-        .unwrap();
+        let (out, _) =
+            partition_broadcast_retrying(&g, &input, params, &BroadcastConfig::with_seed(29), 30)
+                .unwrap();
         assert!(out.all_delivered());
         assert!(
             out.total_rounds < prev_rounds,

@@ -8,9 +8,7 @@ use fast_broadcast::core::broadcast::{BroadcastConfig, BroadcastInput};
 use fast_broadcast::core::congested_clique::{simulate_bcc, simulate_bcc_round};
 use fast_broadcast::core::partition::PartitionParams;
 use fast_broadcast::core::resilient::resilient_broadcast;
-use fast_broadcast::graph::generators::{
-    decode_theorem9, harary, theorem9_instance,
-};
+use fast_broadcast::graph::generators::{decode_theorem9, harary, theorem9_instance};
 use fast_broadcast::packing::matroid::exact_tree_packing;
 use fast_broadcast::packing::scheduled_broadcast::scheduled_packing_broadcast;
 use fast_broadcast::sim::FaultPlan;
@@ -43,7 +41,10 @@ fn resilient_broadcast_full_matrix() {
     // (statistically) in r — assert the endpoints.
     let heavy_single = run(1, 6, 7);
     let heavy_full = run(4, 6, 7);
-    assert!(heavy_full.all_delivered(), "r = 4 must absorb 6 faults/round");
+    assert!(
+        heavy_full.all_delivered(),
+        "r = 4 must absorb 6 faults/round"
+    );
     assert!(
         heavy_full.starved_nodes().len() <= heavy_single.starved_nodes().len(),
         "replication cannot hurt"
@@ -61,10 +62,7 @@ fn bcc_simulation_supports_iterated_computation() {
         view.iter().sum::<u64>() as u32
     })
     .unwrap();
-    assert!(out
-        .final_view
-        .iter()
-        .all(|&x| x == expected_sum));
+    assert!(out.final_view.iter().all(|&x| x == expected_sum));
     assert_eq!(out.rounds_per_bcc_round.len(), 2);
     assert!(out.total_rounds > 0);
 }

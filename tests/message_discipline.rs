@@ -23,14 +23,9 @@ fn theorem1_messages_fit_constant_words() {
     for k in [24usize, 96, 384] {
         let input = BroadcastInput::random_spread(&g, k, 1);
         let params = PartitionParams::from_lambda(96, 16, 2.0);
-        let (out, _) = partition_broadcast_retrying(
-            &g,
-            &input,
-            params,
-            &BroadcastConfig::with_seed(5),
-            30,
-        )
-        .unwrap();
+        let (out, _) =
+            partition_broadcast_retrying(&g, &input, params, &BroadcastConfig::with_seed(5), 30)
+                .unwrap();
         assert!(out.all_delivered());
         assert!(
             out.stats.max_message_bits <= CEILING_BITS,
@@ -49,14 +44,9 @@ fn message_size_does_not_grow_with_k() {
     let size_at = |k: usize| {
         let input = BroadcastInput::random_spread(&g, k, 2);
         let params = PartitionParams::from_lambda(96, 16, 2.0);
-        let (out, _) = partition_broadcast_retrying(
-            &g,
-            &input,
-            params,
-            &BroadcastConfig::with_seed(7),
-            30,
-        )
-        .unwrap();
+        let (out, _) =
+            partition_broadcast_retrying(&g, &input, params, &BroadcastConfig::with_seed(7), 30)
+                .unwrap();
         out.stats.max_message_bits
     };
     assert_eq!(size_at(48), size_at(192));
@@ -80,14 +70,9 @@ fn congestion_accounting_matches_lemma1_claim() {
     let input = BroadcastInput::random_spread(&g, k, 4);
     let tb = textbook_broadcast(&g, &input, 11).unwrap();
     let params = PartitionParams::from_lambda(96, 32, 2.0);
-    let (pt, _) = partition_broadcast_retrying(
-        &g,
-        &input,
-        params,
-        &BroadcastConfig::with_seed(11),
-        30,
-    )
-    .unwrap();
+    let (pt, _) =
+        partition_broadcast_retrying(&g, &input, params, &BroadcastConfig::with_seed(11), 30)
+            .unwrap();
     let tb_routing = tb
         .phases
         .phases()

@@ -79,8 +79,8 @@ proptest! {
         use fast_broadcast::sim::{run_protocol, EngineConfig};
         let out = run_protocol(&g, |v, _| BfsProtocol::new(0, v), EngineConfig::default()).unwrap();
         let exact = apsp_unweighted(&g);
-        for v in 0..g.n() {
-            prop_assert_eq!(out.outputs[v].depth, exact[0][v]);
+        for (v, info) in out.outputs.iter().enumerate() {
+            prop_assert_eq!(info.depth, exact[0][v]);
         }
     }
 

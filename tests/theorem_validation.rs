@@ -106,8 +106,8 @@ fn theorem1_round_formula_envelope() {
             .unwrap();
             assert!(out.all_delivered());
             let ln_n = (n as f64).ln();
-            let formula = (n as f64 * ln_n) / g.min_degree() as f64
-                + (k as f64 * ln_n) / lambda as f64;
+            let formula =
+                (n as f64 * ln_n) / g.min_degree() as f64 + (k as f64 * ln_n) / lambda as f64;
             let ratio = out.total_rounds as f64 / formula;
             assert!(
                 ratio <= 8.0,
