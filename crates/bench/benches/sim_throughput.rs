@@ -1,17 +1,31 @@
-//! Engine-throughput bench: the packed message plane vs. the seed-style
-//! `Vec<Option<Msg>>` slabs (kept as [`congest_sim::baseline`]), plus the
-//! parallel-vs-serial check on the packed engine.
+//! Engine-throughput bench, three comparisons:
 //!
-//! Each workload implements both engine traits with identical logic, so
-//! the measured difference is purely the message plane: packed words +
-//! occupancy bitset + swap delivery vs. `Option` slabs + clear-then-clone.
-//! Results are printed as criterion-style lines and exported to
-//! `BENCH_sim.json` at the workspace root so later changes have a perf
-//! trajectory to compare against.
+//! 1. **Packed plane vs. seed engine** — the packed message plane against
+//!    the seed-style `Vec<Option<Msg>>` slabs ([`congest_sim::baseline`]).
+//! 2. **Sharded plane vs. PR 1 engine** — the shard-owned deliver/metering
+//!    plane (bit-sliced congestion counters, ring-buffer multiplexer)
+//!    against the frozen PR 1 round loop ([`congest_sim::pr1`]), at
+//!    `n = 10^6` across 1/2/4/8 shards on dense, sparse, and multiplexed
+//!    traffic. The headline metric is the dense-traffic geomean speedup at
+//!    ≥ 4 shards.
+//!
+//! Each workload implements the live trait plus the comparison-arm traits
+//! with identical logic, so measured differences are pure engine. Results
+//! are printed as criterion-style lines and exported to `BENCH_sim.json`
+//! at the workspace root so later changes have a perf trajectory to
+//! compare against.
+//!
+//! **Smoke mode** (`SIM_BENCH_SMOKE=1`): shrinks every dimension so CI can
+//! execute the whole bench in seconds. Smoke runs keep all cross-checks
+//! (panicking on any engine disagreement), print `REGRESSION-MARKER` if
+//! the sharded engine fails to beat the PR 1 engine, and do **not**
+//! rewrite `BENCH_sim.json`.
 
 use congest_graph::generators::{complete, harary};
 use congest_graph::Graph;
 use congest_sim::baseline::{run_baseline, BaselineCtx, BaselineProtocol};
+use congest_sim::pr1::{run_pr1, Pr1Multiplexed, Pr1NodeCtx, Pr1Protocol};
+use congest_sim::sched::{random_delays, Multiplexed};
 use congest_sim::{run_protocol, EngineConfig, NodeCtx, Protocol};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::fmt::Write as _;
@@ -19,17 +33,26 @@ use std::time::Instant;
 
 const ROUNDS: u64 = 200;
 
+fn smoke() -> bool {
+    std::env::var("SIM_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
 /// Dense traffic: every node sends a 64-bit counter on every port, every
 /// round — the worst case for both planes (all arcs occupied).
 #[derive(Clone)]
 struct DenseChatter {
     acc: u64,
+    until: u64,
 }
 
 impl DenseChatter {
+    fn new(until: u64) -> Self {
+        DenseChatter { acc: 1, until }
+    }
+
     fn step(&mut self, round: u64, inbox_sum: u64) -> Option<u64> {
         self.acc = self.acc.wrapping_add(inbox_sum);
-        (round < ROUNDS).then_some(self.acc.wrapping_add(round))
+        (round < self.until).then_some(self.acc.wrapping_add(round))
     }
 }
 
@@ -63,6 +86,21 @@ impl BaselineProtocol for DenseChatter {
     }
 }
 
+impl Pr1Protocol for DenseChatter {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut Pr1NodeCtx<'_, u64>) {
+        let sum = ctx.inbox().map(|(_, m)| m).fold(0u64, u64::wrapping_add);
+        match self.step(ctx.round, sum) {
+            Some(m) => ctx.send_all(m),
+            None => ctx.set_done(true),
+        }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
 /// Sparse traffic: ~1/16 of the nodes speak each round — the regime the
 /// occupancy bitset is built for (quiescent arcs cost one bit, not an
 /// `Option` clear + scan).
@@ -70,9 +108,18 @@ impl BaselineProtocol for DenseChatter {
 struct SparseChatter {
     node: u32,
     acc: u64,
+    until: u64,
 }
 
 impl SparseChatter {
+    fn new(node: u32, until: u64) -> Self {
+        SparseChatter {
+            node,
+            acc: 1,
+            until,
+        }
+    }
+
     fn speaks(&self, round: u64) -> bool {
         (self.node as u64).wrapping_add(round).is_multiple_of(16)
     }
@@ -85,7 +132,7 @@ impl Protocol for SparseChatter {
         self.acc = self
             .acc
             .wrapping_add(ctx.inbox().map(|(_, m)| m).fold(0u64, u64::wrapping_add));
-        if ctx.round < ROUNDS {
+        if ctx.round < self.until {
             if self.speaks(ctx.round) {
                 ctx.send_all(self.acc | 1);
             }
@@ -105,13 +152,195 @@ impl BaselineProtocol for SparseChatter {
         self.acc = self
             .acc
             .wrapping_add(ctx.inbox().map(|(_, &m)| m).fold(0u64, u64::wrapping_add));
-        if ctx.round < ROUNDS {
+        if ctx.round < self.until {
             if self.speaks(ctx.round) {
                 ctx.send_all(self.acc | 1);
             }
         } else {
             ctx.set_done(true);
         }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+impl Pr1Protocol for SparseChatter {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut Pr1NodeCtx<'_, u64>) {
+        self.acc = self
+            .acc
+            .wrapping_add(ctx.inbox().map(|(_, m)| m).fold(0u64, u64::wrapping_add));
+        if ctx.round < self.until {
+            if self.speaks(ctx.round) {
+                ctx.send_all(self.acc | 1);
+            }
+        } else {
+            ctx.set_done(true);
+        }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// Dense wave traffic: every node broadcasts every round and reacts to
+/// *presence* (inbox population count) rather than reading every payload —
+/// the traffic shape of the paper's flooding waves and pipelined
+/// broadcasts. This is the pattern the engine's broadcast plane makes
+/// O(1) per sender.
+#[derive(Clone)]
+struct DenseWave {
+    acc: u64,
+    until: u64,
+}
+
+impl DenseWave {
+    fn new(until: u64) -> Self {
+        DenseWave { acc: 1, until }
+    }
+
+    fn step(&mut self, round: u64, inbox_len: u64) -> Option<u64> {
+        self.acc = self.acc.wrapping_add(inbox_len).rotate_left(1);
+        (round < self.until).then_some(self.acc | 1)
+    }
+}
+
+impl Protocol for DenseWave {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        match self.step(ctx.round, ctx.inbox_len() as u64) {
+            Some(m) => ctx.send_all(m),
+            None => ctx.set_done(true),
+        }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+impl Pr1Protocol for DenseWave {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut Pr1NodeCtx<'_, u64>) {
+        match self.step(ctx.round, ctx.inbox_len() as u64) {
+            Some(m) => ctx.send_all(m),
+            None => ctx.set_done(true),
+        }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// Wide dense broadcast: the pipelined-broadcast message shape — 96-bit
+/// `(id, payload)` pairs in `u128` slabs — broadcast by every node every
+/// round and fully read by receivers.
+#[derive(Clone)]
+struct WideBcast {
+    node: u32,
+    acc: u64,
+    until: u64,
+}
+
+impl WideBcast {
+    fn new(node: u32, until: u64) -> Self {
+        WideBcast {
+            node,
+            acc: 1,
+            until,
+        }
+    }
+
+    fn step(&mut self, round: u64, inbox_fold: u64) -> Option<(u32, u64)> {
+        self.acc = self.acc.wrapping_add(inbox_fold);
+        (round < self.until).then_some((self.node, self.acc))
+    }
+}
+
+impl Protocol for WideBcast {
+    type Msg = (u32, u64);
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, (u32, u64)>) {
+        let fold = ctx
+            .inbox()
+            .fold(0u64, |a, (_, (id, p))| a.wrapping_add(id as u64 ^ p));
+        match self.step(ctx.round, fold) {
+            Some(m) => ctx.send_all(m),
+            None => ctx.set_done(true),
+        }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+impl Pr1Protocol for WideBcast {
+    type Msg = (u32, u64);
+    type Output = u64;
+    fn round(&mut self, ctx: &mut Pr1NodeCtx<'_, (u32, u64)>) {
+        let fold = ctx
+            .inbox()
+            .fold(0u64, |a, (_, (id, p))| a.wrapping_add(id as u64 ^ p));
+        match self.step(ctx.round, fold) {
+            Some(m) => ctx.send_all(m),
+            None => ctx.set_done(true),
+        }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// Multiplexed-dense traffic: `k` rotating chatter sub-protocols per node
+/// (sub `i` speaks on virtual rounds ≡ `i` mod `k`), hosted by the
+/// random-delay scheduler — the workload that exercises port queues every
+/// round while keeping their depth bounded.
+#[derive(Clone)]
+struct RotChatter {
+    k: u64,
+    i: u64,
+    until: u64,
+    acc: u64,
+}
+
+impl RotChatter {
+    fn step(&mut self, round: u64, inbox_sum: u64) -> Option<u64> {
+        self.acc = self.acc.wrapping_add(inbox_sum);
+        (round < self.until && round % self.k == self.i).then_some(self.acc | 1)
+    }
+
+    fn done(&self, round: u64) -> bool {
+        round >= self.until
+    }
+}
+
+impl Protocol for RotChatter {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        let sum = ctx.inbox().map(|(_, m)| m).fold(0u64, u64::wrapping_add);
+        if let Some(m) = self.step(ctx.round, sum) {
+            ctx.send_all(m);
+        }
+        ctx.set_done(self.done(ctx.round));
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+impl Pr1Protocol for RotChatter {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut Pr1NodeCtx<'_, u64>) {
+        let sum = ctx.inbox().map(|(_, m)| m).fold(0u64, u64::wrapping_add);
+        if let Some(m) = self.step(ctx.round, sum) {
+            ctx.send_all(m);
+        }
+        ctx.set_done(self.done(ctx.round));
     }
     fn finish(self) -> u64 {
         self.acc
@@ -293,7 +522,386 @@ where
     }
 }
 
-fn write_json(measurements: &[Measurement], path: &std::path::Path) {
+/// One workload row of the shard-scaling comparison: the frozen PR 1
+/// engine vs. the sharded engine at several shard counts. All numbers are
+/// **ns per round**, measured as the delta between two run horizons so
+/// per-node setup (protocol construction, slab allocation) cancels out —
+/// the metric is the round loop itself.
+struct ScalingRow {
+    workload: &'static str,
+    graph: String,
+    arcs: usize,
+    pr1_ns: u128,
+    /// `(shards, ns per round)` per shard count, ascending.
+    new_by_shards: Vec<(usize, u128)>,
+}
+
+/// One timed invocation, in ns.
+fn time_once(run: &mut dyn FnMut(u64) -> u64, rounds: u64) -> u128 {
+    let t = Instant::now();
+    criterion::black_box(run(rounds));
+    t.elapsed().as_nanos()
+}
+
+impl ScalingRow {
+    fn new_ns_at(&self, shards: usize) -> u128 {
+        self.new_by_shards
+            .iter()
+            .find(|&&(s, _)| s == shards)
+            .map(|&(_, ns)| ns)
+            .expect("shard count measured")
+    }
+
+    fn speedup_at(&self, shards: usize) -> f64 {
+        self.pr1_ns as f64 / self.new_ns_at(shards) as f64
+    }
+}
+
+fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut sum, mut count) = (0.0f64, 0usize);
+    for v in vals {
+        sum += v.ln();
+        count += 1;
+    }
+    (sum / count.max(1) as f64).exp()
+}
+
+/// Pool width the sharded engine gets for a given shard count: one lane
+/// per shard, capped at the machine's parallelism (a 1-core runner
+/// executes the sharded plane serially — same results, honest numbers).
+fn pool_for(shards: usize) -> usize {
+    shards.min(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+}
+
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// The shard-scaling + PR 1 comparison section. Cross-checks engine
+/// agreement at a small scale first (panicking on any mismatch — that is
+/// what CI's smoke lane guards), then times the big runs.
+fn bench_shard_scaling() -> (Vec<ScalingRow>, f64) {
+    let (n_big, n_mux, rounds, mux_rounds, samples) = if smoke() {
+        (60_000usize, 20_000usize, 16u64, 16u64, 2usize)
+    } else {
+        (1_000_000usize, 200_000usize, 24u64, 24u64, 3usize)
+    };
+    let lo_rounds = rounds / 4;
+    let lo_mux = mux_rounds / 4;
+    let mux_k = 4usize;
+    // Theorem-12 queue bound for this workload: one sub speaks per phase,
+    // at most two land on the same phase after the random delays, so port
+    // queues never exceed a few entries (the ring overflow assert, which
+    // fires in the small-scale cross-check below, keeps this honest).
+    let mux_cap = mux_k;
+    let mux_delays = random_delays(mux_k, 3, 0xD31A);
+    let make_mux_subs = |until: u64| -> Vec<RotChatter> {
+        (0..mux_k as u64)
+            .map(|i| RotChatter {
+                k: mux_k as u64,
+                i,
+                until,
+                acc: 1,
+            })
+            .collect()
+    };
+
+    // --- Cross-checks at small scale: the sharded engine must agree with
+    // the frozen PR 1 engine bit-for-bit before any timing is trusted.
+    {
+        let g = harary(16, 1500);
+        let check_rounds = 40u64;
+        let live = run_protocol(&g, |_, _| DenseChatter::new(check_rounds), {
+            EngineConfig::serial().shards(4)
+        })
+        .unwrap();
+        let frozen = run_pr1(&g, |_, _| DenseChatter::new(check_rounds), {
+            EngineConfig::serial()
+        })
+        .unwrap();
+        assert_eq!(live.outputs, frozen.outputs, "dense: sharded vs PR 1");
+        assert_eq!(live.stats, frozen.stats, "dense: sharded vs PR 1 stats");
+
+        let live = run_protocol(&g, |_, _| DenseWave::new(check_rounds), {
+            EngineConfig::serial().shards(4)
+        })
+        .unwrap();
+        let frozen = run_pr1(&g, |_, _| DenseWave::new(check_rounds), {
+            EngineConfig::serial()
+        })
+        .unwrap();
+        assert_eq!(live.outputs, frozen.outputs, "wave: sharded vs PR 1");
+        assert_eq!(live.stats, frozen.stats, "wave: sharded vs PR 1 stats");
+
+        let live = run_protocol(
+            &g,
+            |v, _| SparseChatter::new(v, check_rounds),
+            EngineConfig::serial().shards(4),
+        )
+        .unwrap();
+        let frozen = run_pr1(
+            &g,
+            |v, _| SparseChatter::new(v, check_rounds),
+            EngineConfig::serial(),
+        )
+        .unwrap();
+        assert_eq!(live.outputs, frozen.outputs, "sparse: sharded vs PR 1");
+        assert_eq!(live.stats, frozen.stats, "sparse: sharded vs PR 1 stats");
+
+        let live = run_protocol(
+            &g,
+            |v, _| WideBcast::new(v, check_rounds),
+            EngineConfig::serial().shards(4),
+        )
+        .unwrap();
+        let frozen = run_pr1(
+            &g,
+            |v, _| WideBcast::new(v, check_rounds),
+            EngineConfig::serial(),
+        )
+        .unwrap();
+        assert_eq!(live.outputs, frozen.outputs, "wide: sharded vs PR 1");
+        assert_eq!(live.stats, frozen.stats, "wide: sharded vs PR 1 stats");
+
+        let live = run_protocol(
+            &g,
+            |_, gr: &Graph| {
+                Multiplexed::new(
+                    make_mux_subs(check_rounds),
+                    &mux_delays,
+                    gr.degree(0),
+                    mux_cap,
+                )
+            },
+            EngineConfig::serial().shards(4),
+        )
+        .unwrap();
+        let frozen = run_pr1(
+            &g,
+            |_, gr: &Graph| {
+                Pr1Multiplexed::new(make_mux_subs(check_rounds), &mux_delays, gr.degree(0))
+            },
+            EngineConfig::serial(),
+        )
+        .unwrap();
+        assert_eq!(live.outputs, frozen.outputs, "mux: rings vs VecDeque");
+        assert_eq!(live.stats, frozen.stats, "mux: rings vs VecDeque stats");
+    }
+
+    // --- Big runs.
+    let gname = format!("harary16_{n_big}");
+    let g_dense = harary(16, n_big);
+    let gname_mux = format!("harary8_{n_mux}");
+    let g_mux = harary(8, n_mux);
+
+    let mut rows = Vec::new();
+    // Sampling is **interleaved across configurations**: every sample pass
+    // times the PR 1 arm and each shard count back to back, so slow
+    // machine-level drift (DRAM contention on shared hosts moves the PR 1
+    // arm's cost several-fold between minutes) hits all arms of a row
+    // equally and the reported *ratios* stay meaningful.
+    let mut push_row = |workload: &'static str,
+                        graph: String,
+                        g: &Graph,
+                        hi: u64,
+                        lo: u64,
+                        pr1: &mut dyn FnMut(u64) -> u64,
+                        new: &mut dyn FnMut(usize, u64) -> u64| {
+        let n_cfg = 1 + SHARD_SWEEP.len();
+        let mut best_hi = vec![u128::MAX; n_cfg];
+        let mut best_lo = vec![u128::MAX; n_cfg];
+        for _ in 0..samples {
+            for ci in 0..n_cfg {
+                let (t_hi, t_lo) = if ci == 0 {
+                    (time_once(pr1, hi), time_once(pr1, lo))
+                } else {
+                    let s = SHARD_SWEEP[ci - 1];
+                    let mut f = |r: u64| new(s, r);
+                    (time_once(&mut f, hi), time_once(&mut f, lo))
+                };
+                best_hi[ci] = best_hi[ci].min(t_hi);
+                best_lo[ci] = best_lo[ci].min(t_lo);
+            }
+        }
+        let per_round =
+            |ci: usize| best_hi[ci].saturating_sub(best_lo[ci]).max(1) / (hi - lo) as u128;
+        rows.push(ScalingRow {
+            workload,
+            graph,
+            arcs: g.num_arcs(),
+            pr1_ns: per_round(0),
+            new_by_shards: SHARD_SWEEP
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (s, per_round(i + 1)))
+                .collect(),
+        });
+    };
+
+    push_row(
+        "dense_u64",
+        gname.clone(),
+        &g_dense,
+        rounds,
+        lo_rounds,
+        &mut |r| {
+            run_pr1(
+                &g_dense,
+                |_, _| DenseChatter::new(r),
+                EngineConfig::default(),
+            )
+            .unwrap()
+            .stats
+            .total_messages
+        },
+        &mut |shards, r| {
+            congest_par::with_threads(pool_for(shards), || {
+                run_protocol(
+                    &g_dense,
+                    |_, _| DenseChatter::new(r),
+                    EngineConfig::default().shards(shards),
+                )
+                .unwrap()
+                .stats
+                .total_messages
+            })
+        },
+    );
+    push_row(
+        "dense_wave",
+        gname.clone(),
+        &g_dense,
+        rounds,
+        lo_rounds,
+        &mut |r| {
+            run_pr1(&g_dense, |_, _| DenseWave::new(r), EngineConfig::default())
+                .unwrap()
+                .stats
+                .total_messages
+        },
+        &mut |shards, r| {
+            congest_par::with_threads(pool_for(shards), || {
+                run_protocol(
+                    &g_dense,
+                    |_, _| DenseWave::new(r),
+                    EngineConfig::default().shards(shards),
+                )
+                .unwrap()
+                .stats
+                .total_messages
+            })
+        },
+    );
+    push_row(
+        "dense_wide_u128",
+        gname.clone(),
+        &g_dense,
+        rounds,
+        lo_rounds,
+        &mut |r| {
+            run_pr1(
+                &g_dense,
+                |v, _| WideBcast::new(v, r),
+                EngineConfig::default(),
+            )
+            .unwrap()
+            .stats
+            .total_messages
+        },
+        &mut |shards, r| {
+            congest_par::with_threads(pool_for(shards), || {
+                run_protocol(
+                    &g_dense,
+                    |v, _| WideBcast::new(v, r),
+                    EngineConfig::default().shards(shards),
+                )
+                .unwrap()
+                .stats
+                .total_messages
+            })
+        },
+    );
+    push_row(
+        "sparse_u64",
+        gname.clone(),
+        &g_dense,
+        rounds,
+        lo_rounds,
+        &mut |r| {
+            run_pr1(
+                &g_dense,
+                |v, _| SparseChatter::new(v, r),
+                EngineConfig::default(),
+            )
+            .unwrap()
+            .stats
+            .total_messages
+        },
+        &mut |shards, r| {
+            congest_par::with_threads(pool_for(shards), || {
+                run_protocol(
+                    &g_dense,
+                    |v, _| SparseChatter::new(v, r),
+                    EngineConfig::default().shards(shards),
+                )
+                .unwrap()
+                .stats
+                .total_messages
+            })
+        },
+    );
+    push_row(
+        "mux_dense",
+        gname_mux.clone(),
+        &g_mux,
+        mux_rounds,
+        lo_mux,
+        &mut |r| {
+            run_pr1(
+                &g_mux,
+                |_, gr: &Graph| Pr1Multiplexed::new(make_mux_subs(r), &mux_delays, gr.degree(0)),
+                EngineConfig::default(),
+            )
+            .unwrap()
+            .stats
+            .total_messages
+        },
+        &mut |shards, r| {
+            congest_par::with_threads(pool_for(shards), || {
+                run_protocol(
+                    &g_mux,
+                    |_, gr: &Graph| {
+                        Multiplexed::new(make_mux_subs(r), &mux_delays, gr.degree(0), mux_cap)
+                    },
+                    EngineConfig::default().shards(shards),
+                )
+                .unwrap()
+                .stats
+                .total_messages
+            })
+        },
+    );
+
+    // Headline: dense-traffic geomean speedup over the PR 1 engine at
+    // 4 shards (the acceptance bar of the sharded-plane rework). Covers
+    // the plain dense engine workloads; the sparse and multiplexed rows
+    // are reported alongside for the full picture.
+    let dense_geomean = geomean(
+        rows.iter()
+            .filter(|r| matches!(r.workload, "dense_u64" | "dense_wave" | "dense_wide_u128"))
+            .map(|r| r.speedup_at(4)),
+    );
+    (rows, dense_geomean)
+}
+
+fn write_json(
+    measurements: &[Measurement],
+    scaling: &[ScalingRow],
+    dense_geomean: f64,
+    path: &std::path::Path,
+) {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"bench\": \"sim_throughput\",");
@@ -331,12 +939,83 @@ fn write_json(measurements: &[Measurement], path: &std::path::Path) {
         / measurements.len() as f64)
         .exp();
     let _ = writeln!(s, "  \"min_speedup\": {min:.3},");
-    let _ = writeln!(s, "  \"geomean_speedup\": {geomean:.3}");
+    let _ = writeln!(s, "  \"geomean_speedup\": {geomean:.3},");
+    // --- Shard-scaling section: sharded engine vs the frozen PR 1 engine.
+    let _ = writeln!(
+        s,
+        "  \"shard_scaling_note\": \"sharded deliver/metering plane + ring-buffer multiplexer vs the frozen PR 1 round loop (congest_sim::pr1); values are ns per round via horizon differencing (setup cancels); pool width = min(shards, cores)\","
+    );
+    let _ = writeln!(
+        s,
+        "  \"shard_scaling_cores\": {},",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let _ = writeln!(s, "  \"shard_scaling\": [");
+    for (i, r) in scaling.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"workload\": \"{}\",", r.workload);
+        let _ = writeln!(s, "      \"graph\": \"{}\",", r.graph);
+        let _ = writeln!(s, "      \"arcs\": {},", r.arcs);
+        let _ = writeln!(s, "      \"pr1_ns_per_round\": {},", r.pr1_ns);
+        for &(shards, ns) in &r.new_by_shards {
+            let _ = writeln!(s, "      \"sharded_ns_per_round_{shards}\": {ns},");
+        }
+        for &(shards, _) in &r.new_by_shards {
+            let _ = writeln!(
+                s,
+                "      \"speedup_vs_pr1_{shards}_shards\": {:.3}{}",
+                r.speedup_at(shards),
+                if shards == *SHARD_SWEEP.last().unwrap() {
+                    ""
+                } else {
+                    ","
+                }
+            );
+        }
+        let _ = writeln!(s, "    }}{}", if i + 1 < scaling.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(
+        s,
+        "  \"pr1_dense_geomean_speedup_4_shards\": {dense_geomean:.3}"
+    );
     let _ = writeln!(s, "}}");
     std::fs::write(path, s).expect("write BENCH_sim.json");
 }
 
 fn bench_engine(c: &mut Criterion) {
+    // --- Shard-scaling vs PR 1 (always runs; the smoke lane's guard).
+    let (scaling, dense_geomean) = bench_shard_scaling();
+    println!("\nper-round cost (ms/round), PR 1 engine vs sharded engine:");
+    println!("\n| workload | graph | arcs | pr1 | 1 shard | 2 shards | 4 shards | 8 shards | speedup@4 |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for r in &scaling {
+        print!(
+            "| {} | {} | {} | {:.3} |",
+            r.workload,
+            r.graph,
+            r.arcs,
+            r.pr1_ns as f64 / 1e6
+        );
+        for &(_, ns) in &r.new_by_shards {
+            print!(" {:.3} |", ns as f64 / 1e6);
+        }
+        println!(" {:.2}x |", r.speedup_at(4));
+    }
+    println!("\ndense-traffic geomean speedup vs PR 1 engine @ 4 shards: {dense_geomean:.2}x");
+    let bar = if smoke() { 1.0 } else { 1.5 };
+    if dense_geomean < bar {
+        println!(
+            "REGRESSION-MARKER: dense geomean {dense_geomean:.3} < {bar:.1} vs the PR 1 engine"
+        );
+    }
+    if smoke() {
+        println!("smoke mode: skipping baseline section and BENCH_sim.json rewrite");
+        return;
+    }
+
     let mut group = c.benchmark_group("sim_throughput");
     group.sample_size(5);
     // The paper's regime is *highly connected* networks: high-degree
@@ -347,10 +1026,11 @@ fn bench_engine(c: &mut Criterion) {
 
     let mut measurements = Vec::new();
     for (gname, g) in [("complete256", &clique), ("harary16_1024", &hara)] {
-        measurements.push(measure("dense_u64", gname, g, |_| DenseChatter { acc: 1 }));
-        measurements.push(measure("sparse_u64", gname, g, |v| SparseChatter {
-            node: v,
-            acc: 1,
+        measurements.push(measure("dense_u64", gname, g, |_| {
+            DenseChatter::new(ROUNDS)
+        }));
+        measurements.push(measure("sparse_u64", gname, g, |v| {
+            SparseChatter::new(v, ROUNDS)
         }));
         measurements.push(measure("wide_u128", gname, g, |_| WideChatter { acc: 1 }));
         measurements.push(measure("pipeline_u128", gname, g, |v| PipelineLike {
@@ -371,7 +1051,7 @@ fn bench_engine(c: &mut Criterion) {
                     } else {
                         EngineConfig::serial()
                     };
-                    run_protocol(g, |_, _| DenseChatter { acc: 1 }, cfg).unwrap()
+                    run_protocol(g, |_, _| DenseChatter::new(ROUNDS), cfg).unwrap()
                 })
             });
         }
@@ -398,7 +1078,7 @@ fn bench_engine(c: &mut Criterion) {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_sim.json");
-    write_json(&measurements, &root);
+    write_json(&measurements, &scaling, dense_geomean, &root);
     println!("\nwrote {}", root.display());
 }
 

@@ -78,7 +78,8 @@ fn main() {
                 let floods: Vec<Flood> = (0..q)
                     .map(|i| Flood::new((i * 7 % gr.n()) as Node, v))
                     .collect();
-                Multiplexed::new(floods, &delays, gr.degree(v))
+                // One-shot floods: per-edge congestion ≤ q (Theorem 12).
+                Multiplexed::new(floods, &delays, gr.degree(v), q)
             },
             EngineConfig::default(),
         )

@@ -11,6 +11,7 @@
 //! |---|---|---|---|---|
 //! | [`complete`] | n−1 | n−1 | 1 | best case, sanity |
 //! | [`harary`] (circulant) | k | k | ≈ n/k | the workhorse: λ swept freely |
+//! | [`large_sparse`] (circulant) | 6 | 6 | O(n^⅓) | engine scaling at n up to 10⁶ |
 //! | [`torus2d`] | 4 | 4 | (r+c)/2 | low fixed λ, 2-D locality |
 //! | [`hypercube`] | log n | log n | log n | λ grows with n |
 //! | [`clique_chain`] | ≥ bridge | bridge width | ≈ 2·#cliques | high δ, small λ (δ ≫ λ) |
@@ -27,7 +28,7 @@ pub mod theorem9;
 
 pub use deterministic::{
     barbell, circulant, clique_chain, clique_ring, complete, complete_bipartite, cycle, harary,
-    hypercube, path, thick_path, torus2d,
+    hypercube, large_sparse, path, thick_path, torus2d,
 };
 pub use lower_bound::{gk13_lower_bound, Gk13Layout};
 pub use random::{gnp, gnp_connected, random_regular};

@@ -128,6 +128,15 @@ impl Graph {
         &self.reverse_arc
     }
 
+    /// The flattened arc → target-node table: entry `i` is the neighbor
+    /// reached through arc position `i` (so `arc_targets()[arc_offset(v) + p]`
+    /// is `neighbor_at(v, p)`). The simulator's broadcast plane resolves
+    /// "who sits behind this port" through this table.
+    #[inline]
+    pub fn arc_targets(&self) -> &[Node] {
+        &self.adj_node
+    }
+
     /// Canonical endpoints `(u, v)` with `u < v` of edge `e`.
     #[inline]
     pub fn endpoints(&self, e: Edge) -> (Node, Node) {

@@ -32,8 +32,10 @@ pub mod builder;
 pub mod generators;
 mod graph;
 pub mod metrics;
+mod shard;
 mod weighted;
 
 pub use builder::GraphBuilder;
 pub use graph::{Edge, Graph, Node, Port, INVALID_NODE};
+pub use shard::ShardPlan;
 pub use weighted::WeightedGraph;

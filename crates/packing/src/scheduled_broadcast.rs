@@ -117,6 +117,10 @@ pub fn scheduled_packing_broadcast(
         .collect();
 
     let delays = random_delays(t_count, max_delay, seed ^ 0xD31A);
+    // Ring capacity = the collection's per-edge congestion bound
+    // (Theorem 12's parameter): every message crosses a shared edge at
+    // most twice (convergecast up, broadcast down), summed over trees.
+    let queue_capacity = 2 * input.messages.len() + 2;
     let run = run_protocol(
         g,
         |v, gr: &Graph| {
@@ -131,7 +135,7 @@ pub fn scheduled_packing_broadcast(
                     )
                 })
                 .collect();
-            Multiplexed::new(pipes, &delays, gr.degree(v))
+            Multiplexed::new(pipes, &delays, gr.degree(v), queue_capacity)
         },
         EngineConfig::with_seed(seed),
     )?;

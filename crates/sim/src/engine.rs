@@ -9,41 +9,76 @@
 //! occupancy bitset** (one bit per arc) instead of per-slot `Option`
 //! discriminants.
 //!
-//! ## Double-buffered delivery
+//! ## Shard-owned round phases
 //!
-//! Two slabs alternate roles every round. While stepping, a node's sends
-//! are scattered straight into the *destination* arc slot of the staging
-//! slab through the precomputed `reverse_arc` permutation (a bijection, so
-//! every slot has exactly one writer). Delivery is then a **buffer swap**:
-//! the staging slab becomes the inbox slab wholesale, the consumed inbox's
-//! occupancy words are zeroed (a 64×-denser memset than the seed layout's
-//! `Option` clear), and per-round statistics are read off the occupancy
-//! words. No message is ever cloned, matched, or moved again after the
-//! sender packed it — and the round loop performs **zero heap allocation**
-//! after setup (enforced by `tests/zero_alloc.rs`; enabling
-//! `collect_trace` appends one `u64` per round and may reallocate that
-//! vector).
+//! At setup the engine builds a [`congest_graph::ShardPlan`]: contiguous
+//! node shards balanced by arc count, each owning a disjoint range of
+//! occupancy *words* (64 arcs per word). **Both** phases of a round run as
+//! a parallel-for over shards on the `congest-par` pool:
+//!
+//! * **Step** — shard `s` steps its own nodes; sends are scattered
+//!   straight into the *destination* arc slot of the staging slab through
+//!   the precomputed `reverse_arc` permutation (a bijection, so every slot
+//!   has exactly one writer). The shard also folds its nodes' `done` flags
+//!   while they are cache-hot.
+//! * **Deliver** — after the staging slab *becomes* the inbox slab (a
+//!   buffer swap), shard `s` sweeps its own word range: folds the staging
+//!   byte-mask into the inbox occupancy bitset, re-zeroes the mask, counts
+//!   deliveries, and meters per-arc congestion into its private region —
+//!   no atomics, no sharing.
+//!
+//! Each shard writes one private [`ShardMeter`] block; the per-round
+//! totals (messages delivered, global termination) are combined with
+//! [`congest_par::par_tree_reduce`], an allocation-free fixed-shape tree
+//! reduction, so results are bit-identical at every pool width and shard
+//! count.
+//!
+//! ## Bit-sliced congestion metering
+//!
+//! The default [`MeterMode::BitPlanes`] accumulates per-arc delivery
+//! counts in **bit-sliced counters**: six plane words per occupancy word
+//! (word-major, one cache line) hold each arc's count in binary; adding a
+//! round's delivery bits is a ripple-carry costing ~2 word ops amortized
+//! instead of up to 64 `u32` increments. Planes are flushed into the
+//! `u32` per-arc totals every 63 rounds (and once at the end), keeping
+//! overflow impossible. [`MeterMode::ArcCounters`] keeps the PR 1
+//! increment-per-round scheme for cross-checking and benchmarking; both
+//! modes produce identical [`RunStats`].
+//!
+//! The round loop performs **zero heap allocation** after setup (enforced
+//! by `tests/zero_alloc.rs`; enabling `collect_trace` appends one `u64`
+//! per round and may reallocate that vector).
 //!
 //! ## Determinism
 //!
-//! Node stepping writes only slots owned by the stepped node (its state,
-//! its RNG, its destination arcs — disjoint across nodes because the
-//! reverse-arc permutation is a bijection); statistics are associative,
-//! commutative reductions over task-owned ranges. Any pool width —
-//! including serial mode — produces bit-identical results
+//! Node stepping writes only slots owned by the stepped node; shards write
+//! only their own mask/occupancy/meter regions; reductions are fixed-shape
+//! trees of integer folds. Any pool width and any shard count — including
+//! serial mode — produce bit-identical results
 //! (`tests/proptest_engine.rs` proves it property-wise).
 
 use crate::message::{MsgWord, PackedMsg};
-use crate::protocol::{InSlot, NodeCtx, OutSlot, Protocol};
+use crate::protocol::{BcastIn, BcastOut, InSlot, NodeCtx, OutSlot, Protocol};
 use crate::rng::node_rng;
 use crate::slab;
 use congest_graph::{Graph, Node};
 use congest_par::RacyCells;
 use rand::rngs::SmallRng;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The staging byte-mask value for "this arc carries a message".
 const STAGED: u8 = 1;
+
+/// How per-arc congestion is accumulated during the deliver sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MeterMode {
+    /// Bit-sliced plane counters flushed every 63 rounds (default; ~2 word
+    /// ops per 64 arcs per round).
+    #[default]
+    BitPlanes,
+    /// The PR 1 scheme: one `u32` increment per delivered arc per round.
+    /// Kept as a cross-checked comparison arm; results are identical.
+    ArcCounters,
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -58,6 +93,12 @@ pub struct EngineConfig {
     /// are stepped serially even when this is set — the cutoff only
     /// affects wall-clock, never results.
     pub parallel: bool,
+    /// Shard count for the step and deliver planes. `None` derives it from
+    /// the pool width (serial runs use one shard). Any value produces
+    /// identical results; this only shapes parallel granularity.
+    pub shards: Option<usize>,
+    /// Congestion metering implementation (results identical either way).
+    pub meter: MeterMode,
     /// Record per-round traffic (messages delivered per round) — the
     /// "traffic profile" figures of the experiment harness.
     pub collect_trace: bool,
@@ -72,6 +113,8 @@ impl Default for EngineConfig {
             seed: 0x5EED_CAFE,
             max_rounds: 1_000_000,
             parallel: true,
+            shards: None,
+            meter: MeterMode::default(),
             collect_trace: false,
             faults: None,
         }
@@ -105,6 +148,17 @@ impl EngineConfig {
 
     pub fn trace(mut self) -> Self {
         self.collect_trace = true;
+        self
+    }
+
+    /// Pin the shard count (otherwise derived from the pool width).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    pub fn meter(mut self, meter: MeterMode) -> Self {
+        self.meter = meter;
         self
     }
 
@@ -179,7 +233,7 @@ impl std::fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// Per-node hot state, kept together so one cache line serves one node's
-/// step and the pool chunks nodes without any per-round bookkeeping.
+/// step and shards walk nodes without any per-round bookkeeping.
 struct NodeCell<P> {
     state: P,
     rng: SmallRng,
@@ -188,9 +242,39 @@ struct NodeCell<P> {
     max_bits: usize,
 }
 
+/// One shard's private meter block, written only by the shard that owns it
+/// during a phase and read only between phases / by the tree reduction.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardMeter {
+    /// Messages delivered into this shard's arcs (and out of its
+    /// broadcasting nodes) this round.
+    delivered: u64,
+    /// Whether every node of this shard reported `done` this round.
+    all_done: bool,
+    /// Whether any node in this shard's region broadcast this round.
+    bcast_any: bool,
+    /// Whether any node of this shard staged a message through the
+    /// per-arc mask this round (per-port send or scatter-fallback
+    /// broadcast).
+    scatter_used: bool,
+}
+
+/// The value the per-round tree reduction folds.
+#[derive(Debug, Clone, Copy, Default)]
+struct RoundAgg {
+    delivered: u64,
+    all_done: bool,
+    /// Whether any node broadcast this round (gates receivers' broadcast
+    /// scans next round).
+    bcast_any: bool,
+}
+
 /// Below this many nodes the pool handoff costs more than the round; step
 /// serially regardless of [`EngineConfig::parallel`] (results identical).
 const PARALLEL_MIN_NODES: usize = 256;
+
+/// Cap on auto-derived shard counts (explicit configs may exceed it).
+const MAX_AUTO_SHARDS: usize = 64;
 
 /// Run one protocol instance per node until global termination (all nodes
 /// done and no message in flight) or the round limit.
@@ -209,6 +293,7 @@ where
     );
     let n = graph.n();
     let arcs = graph.num_arcs();
+    let occ_words = arcs.div_ceil(64);
     let mut cells: Vec<NodeCell<P>> = (0..n as Node)
         .map(|v| NodeCell {
             state: factory(v, graph),
@@ -225,13 +310,47 @@ where
     // `in_occ` bitset receivers read, zeroing it for reuse.
     let mut in_words: Vec<<P::Msg as PackedMsg>::Word> = vec![Default::default(); arcs];
     let mut out_words: Vec<<P::Msg as PackedMsg>::Word> = vec![Default::default(); arcs];
-    let mut in_occ: Vec<u64> = vec![0; slab::words_for(arcs)];
+    let mut in_occ: Vec<u64> = vec![0; occ_words];
     let mut out_mask: Vec<u8> = vec![0; arcs];
-    // Per-arc delivery counters for congestion accounting. `u32` halves
-    // the sweep's memory traffic; congestion per arc is bounded by the
-    // round count, which the saturating add keeps honest far beyond any
-    // realistic run.
+    // Per-arc congestion totals. Under `BitPlanes` these are only updated
+    // at flush points; under `ArcCounters` every round.
     let mut arc_traffic: Vec<u32> = vec![0; arcs];
+    // Bit-sliced per-arc counters, word-major: occupancy word `w` owns
+    // `planes[w*PLANES..(w+1)*PLANES]` (one cache line per hot word).
+    let mut planes: Vec<u64> = match config.meter {
+        MeterMode::BitPlanes => vec![0; occ_words * slab::PLANES],
+        MeterMode::ArcCounters => Vec::new(),
+    };
+    // The broadcast plane: `send_all` stores one word per *node* instead
+    // of `deg` scattered arc slots. Disabled under the fault adversary,
+    // which must be able to drop individual staged messages per arc.
+    let bcast_enabled = config.faults.is_none();
+    let node_words = n.div_ceil(64);
+    let mut bcast_in_words: Vec<<P::Msg as PackedMsg>::Word> =
+        vec![Default::default(); if bcast_enabled { n } else { 0 }];
+    let mut bcast_out_words: Vec<<P::Msg as PackedMsg>::Word> =
+        vec![Default::default(); if bcast_enabled { n } else { 0 }];
+    let mut bcast_stage: Vec<u8> = vec![0; if bcast_enabled { n } else { 0 }];
+    let mut bcast_occ: Vec<u64> = vec![0; if bcast_enabled { node_words } else { 0 }];
+    // Per-node broadcast congestion counters (expanded to arcs at the
+    // end): same bit-plane/counter split as the arc meters.
+    let mut node_planes: Vec<u64> = match config.meter {
+        MeterMode::BitPlanes if bcast_enabled => vec![0; node_words * slab::PLANES],
+        _ => Vec::new(),
+    };
+    let mut node_traffic: Vec<u32> = vec![0; if bcast_enabled { n } else { 0 }];
+    let mut bcast_any = false;
+    // Adaptive plane choice: `send_all` goes through the broadcast plane
+    // only in rounds following *dense* traffic (≥ a quarter of all arcs
+    // delivered), because receivers pay an O(deg) neighbor scan whenever
+    // anyone used the plane — worth it exactly when most ports carry a
+    // message anyway. Sparse broadcasters fall back to the per-arc
+    // scatter, whose cost is proportional to the traffic. Either choice
+    // is correct — receivers merge both planes — so this is purely a
+    // performance policy, driven by a deterministic global signal
+    // (identical at every pool width and shard count). Round 0 starts
+    // optimistic: initialization traffic is typically dense.
+    let mut last_delivered: u64 = arcs as u64;
     // Reusable fault scratch (kept empty without an adversary).
     let mut blocked: Vec<congest_graph::Edge> = Vec::new();
     if let Some(plan) = &config.faults {
@@ -239,60 +358,106 @@ where
     }
 
     let parallel = config.parallel && n >= PARALLEL_MIN_NODES && congest_par::num_threads() > 1;
-    let step_chunk = n.div_ceil((congest_par::num_threads() * 4).max(1)).max(1);
+    let s_count = config
+        .shards
+        .unwrap_or(if parallel {
+            (congest_par::num_threads() * 4).min(MAX_AUTO_SHARDS)
+        } else {
+            1
+        })
+        .clamp(1, n.max(1));
+    let plan = graph.shard_plan(s_count);
+    let s_count = plan.num_shards();
+    let mut meters: Vec<ShardMeter> = vec![ShardMeter::default(); s_count];
+    let mut agg_buf: Vec<RoundAgg> = vec![RoundAgg::default(); s_count];
 
     let mut stats = RunStats::default();
     let mut trace: Option<Vec<u64>> = config.collect_trace.then(Vec::new);
     let mut round: u64 = 0;
+    let mut rounds_since_flush: u64 = 0;
+    // Whether the inbox occupancy bitset is known to be all-zero (lets
+    // consecutive pure-broadcast rounds skip even the zeroing).
+    let mut occ_clean = true;
     loop {
         if round >= config.max_rounds {
             return Err(EngineError::RoundLimitExceeded {
                 limit: config.max_rounds,
             });
         }
-        // --- Step phase: every node reads its inbox and scatters its
-        // sends into the staging slab's destination slots.
+        // --- Step phase: each shard steps its own nodes; sends scatter
+        // into the staging slab's destination slots. The shard folds its
+        // nodes' done flags while the cells are hot.
         {
+            let racy_cells = RacyCells::new(&mut cells);
             let racy_out = RacyCells::new(&mut out_words);
             let racy_mask = RacyCells::new(&mut out_mask);
+            let racy_bcast_out = RacyCells::new(&mut bcast_out_words);
+            let racy_bcast_stage = RacyCells::new(&mut bcast_stage);
+            let racy_meters = RacyCells::new(&mut meters);
             let in_words = &in_words[..];
             let in_occ = &in_occ[..];
-            let step_node = |base: usize, i: usize, cell: &mut NodeCell<P>| {
-                let v = (base + i) as Node;
-                let lo = graph.arc_offset(v);
-                let deg = graph.degree(v);
-                let mut ctx = NodeCtx {
-                    node: v,
-                    round,
-                    graph,
-                    inbox: InSlot {
-                        words: &in_words[lo..lo + deg],
-                        occ: in_occ,
-                        bit0: lo,
-                    },
-                    outbox: OutSlot::Scatter {
-                        words: &racy_out,
-                        mask: &racy_mask,
-                        rev: graph.reverse_arcs(),
-                        lo,
-                        deg,
-                    },
-                    rng: &mut cell.rng,
-                    done: &mut cell.done,
-                    max_bits: &mut cell.max_bits,
-                };
-                cell.state.round(&mut ctx);
+            let use_plane = bcast_enabled && 4 * last_delivered >= arcs as u64;
+            // One broadcast descriptor per round, shared by every node's
+            // context (a pointer per context, not a struct).
+            let bcast_in = BcastIn {
+                words: &bcast_in_words[..],
+                occ: &bcast_occ[..],
+                adj: graph.arc_targets(),
+                any: bcast_any,
+            };
+            let bcast_in = bcast_enabled.then_some(&bcast_in);
+            let bcast_out = BcastOut {
+                words: &racy_bcast_out,
+                stage: &racy_bcast_stage,
+            };
+            let bcast_out = use_plane.then_some(&bcast_out);
+            let step_shard = |s: usize| {
+                let nodes = plan.nodes(s);
+                let (v_lo, v_hi) = (nodes.start as usize, nodes.end as usize);
+                // Sound: shard `s` is the unique task stepping these nodes
+                // and writing meter block `s`.
+                let cells_s = unsafe { racy_cells.slice_mut(v_lo, v_hi) };
+                let meter = unsafe { &mut racy_meters.slice_mut(s, s + 1)[0] };
+                let mut all_done = true;
+                let mut scatter_used = false;
+                for (i, cell) in cells_s.iter_mut().enumerate() {
+                    let v = (v_lo + i) as Node;
+                    let lo = graph.arc_offset(v);
+                    let deg = graph.degree(v);
+                    let mut ctx = NodeCtx {
+                        node: v,
+                        round,
+                        graph,
+                        inbox: InSlot {
+                            words: &in_words[lo..lo + deg],
+                            occ: in_occ,
+                            bit0: lo,
+                            bcast: bcast_in,
+                        },
+                        outbox: OutSlot::Scatter {
+                            words: &racy_out,
+                            mask: &racy_mask,
+                            rev: graph.reverse_arcs(),
+                            lo,
+                            deg,
+                            bcast: bcast_out,
+                            used: &mut scatter_used,
+                        },
+                        rng: &mut cell.rng,
+                        done: &mut cell.done,
+                        max_bits: &mut cell.max_bits,
+                    };
+                    cell.state.round(&mut ctx);
+                    all_done &= cell.done;
+                }
+                meter.all_done = all_done;
+                meter.scatter_used = scatter_used;
             };
             if parallel {
-                congest_par::par_chunks_mut(&mut cells, step_chunk, |ci, chunk| {
-                    let base = ci * step_chunk;
-                    for (i, cell) in chunk.iter_mut().enumerate() {
-                        step_node(base, i, cell);
-                    }
-                });
+                congest_par::run(s_count, step_shard);
             } else {
-                for (v, cell) in cells.iter_mut().enumerate() {
-                    step_node(v, 0, cell);
+                for s in 0..s_count {
+                    step_shard(s);
                 }
             }
         }
@@ -315,11 +480,221 @@ where
                 }
             }
         }
-        // --- Delivery phase: the staging slab *becomes* the inbox slab,
-        // and one sweep folds the staging byte-mask into the word-packed
-        // inbox bitset, meters the round, and re-zeroes the mask.
+        // --- Deliver phase: the staging slab *becomes* the inbox slab,
+        // and each shard folds its own staging-mask region into the
+        // word-packed inbox bitset, meters the round into its private
+        // block, and re-zeroes its mask region.
         std::mem::swap(&mut in_words, &mut out_words);
-        let delivered = deliver_and_account(&mut out_mask, &mut in_occ, &mut arc_traffic, parallel);
+        std::mem::swap(&mut bcast_in_words, &mut bcast_out_words);
+        let flush_now =
+            config.meter == MeterMode::BitPlanes && rounds_since_flush + 1 == slab::FLUSH_PERIOD;
+        // Pure-broadcast rounds never touched the per-arc mask, so the
+        // whole arc-plane sweep (mask scan, metering, occupancy fold) can
+        // be skipped — the dominant deliver cost vanishes for the paper's
+        // flooding/pipelining traffic.
+        let skip_arc_sweep = bcast_enabled && !meters.iter().any(|m| m.scatter_used);
+        let occ_was_clean = occ_clean;
+        {
+            let racy_mask = RacyCells::new(&mut out_mask);
+            let racy_occ = RacyCells::new(&mut in_occ);
+            let racy_traffic = RacyCells::new(&mut arc_traffic);
+            let racy_planes = RacyCells::new(&mut planes);
+            let racy_bcast_stage = RacyCells::new(&mut bcast_stage);
+            let racy_bcast_occ = RacyCells::new(&mut bcast_occ);
+            let racy_node_planes = RacyCells::new(&mut node_planes);
+            let racy_node_traffic = RacyCells::new(&mut node_traffic);
+            let racy_meters = RacyCells::new(&mut meters);
+            let meter_mode = config.meter;
+            let deliver_shard = |s: usize| {
+                let words = plan.words(s);
+                let arcs_range = plan.arcs_of(s);
+                let (w_lo, w_hi) = (words.start, words.end);
+                let (a_lo, a_hi) = (arcs_range.start, arcs_range.end);
+                // Sound: the plan's word/arc/meter regions are disjoint
+                // across shards by construction.
+                let (mask_s, occ_s, meter) = unsafe {
+                    (
+                        racy_mask.slice_mut(a_lo, a_hi),
+                        racy_occ.slice_mut(w_lo, w_hi),
+                        &mut racy_meters.slice_mut(s, s + 1)[0],
+                    )
+                };
+                let mut delivered = 0u64;
+                if skip_arc_sweep {
+                    // Nothing was staged through the per-arc mask this
+                    // round (pure broadcast traffic): the 0-cost path. The
+                    // occupancy bitset only needs zeroing if a previous
+                    // round left bits in it.
+                    if !occ_was_clean {
+                        occ_s.fill(0);
+                    }
+                } else {
+                    match meter_mode {
+                        MeterMode::BitPlanes => {
+                            let planes_s = unsafe {
+                                racy_planes.slice_mut(w_lo * slab::PLANES, w_hi * slab::PLANES)
+                            };
+                            for (i, occ_word) in occ_s.iter_mut().enumerate() {
+                                let lo = w_lo * 64 + i * 64;
+                                let hi = (lo + 64).min(a_hi);
+                                let mask = &mut mask_s[lo - a_lo..hi - a_lo];
+                                let bits = slab::pack_bytes(mask);
+                                *occ_word = bits;
+                                if bits != 0 {
+                                    mask.fill(0);
+                                    delivered += bits.count_ones() as u64;
+                                    slab::planes_add(
+                                        &mut planes_s[i * slab::PLANES..(i + 1) * slab::PLANES],
+                                        bits,
+                                    );
+                                }
+                            }
+                        }
+                        MeterMode::ArcCounters => {
+                            let traffic_s = unsafe { racy_traffic.slice_mut(a_lo, a_hi) };
+                            for (i, occ_word) in occ_s.iter_mut().enumerate() {
+                                let lo = w_lo * 64 + i * 64;
+                                let hi = (lo + 64).min(a_hi);
+                                let mask = &mut mask_s[lo - a_lo..hi - a_lo];
+                                let traffic = &mut traffic_s[lo - a_lo..hi - a_lo];
+                                let bits = slab::pack_bytes(mask);
+                                *occ_word = bits;
+                                if bits != 0 {
+                                    mask.fill(0);
+                                    delivered += bits.count_ones() as u64;
+                                    if bits == u64::MAX {
+                                        for t in traffic.iter_mut() {
+                                            *t = t.saturating_add(1);
+                                        }
+                                    } else {
+                                        let mut b = bits;
+                                        while b != 0 {
+                                            let t = &mut traffic[b.trailing_zeros() as usize];
+                                            *t = t.saturating_add(1);
+                                            b &= b - 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Flush cadence is independent of this round's traffic:
+                // the planes may hold counts from earlier rounds.
+                if flush_now {
+                    let planes_s =
+                        unsafe { racy_planes.slice_mut(w_lo * slab::PLANES, w_hi * slab::PLANES) };
+                    let traffic_s = unsafe { racy_traffic.slice_mut(a_lo, a_hi) };
+                    for (i, w) in (w_lo..w_hi).enumerate() {
+                        let lo = w * 64;
+                        let hi = (lo + 64).min(a_hi);
+                        slab::planes_flush(
+                            &mut planes_s[i * slab::PLANES..(i + 1) * slab::PLANES],
+                            &mut traffic_s[lo - a_lo..hi - a_lo],
+                        );
+                    }
+                }
+                // --- Broadcast fold: this shard's node-word region of the
+                // per-node staging bytes becomes presence bits; a
+                // broadcasting node delivers `deg` messages in one bit.
+                let mut shard_bcast = false;
+                if bcast_enabled {
+                    let nw = plan.node_words(s);
+                    let nodes_cov = plan.node_word_nodes(s);
+                    let (b_lo, b_hi) = (nodes_cov.start, nodes_cov.end);
+                    // Sound: node-word regions are disjoint across shards.
+                    let (stage_s, bocc_s) = unsafe {
+                        (
+                            racy_bcast_stage.slice_mut(b_lo, b_hi),
+                            racy_bcast_occ.slice_mut(nw.start, nw.end),
+                        )
+                    };
+                    for (i, occ_word) in bocc_s.iter_mut().enumerate() {
+                        let lo = nw.start * 64 + i * 64;
+                        let hi = (lo + 64).min(b_hi);
+                        let bytes = &mut stage_s[lo - b_lo..hi - b_lo];
+                        let bits = slab::pack_bytes(bytes);
+                        *occ_word = bits;
+                        if bits != 0 {
+                            bytes.fill(0);
+                            shard_bcast = true;
+                            let mut b = bits;
+                            while b != 0 {
+                                let v = lo + b.trailing_zeros() as usize;
+                                b &= b - 1;
+                                delivered += graph.degree(v as Node) as u64;
+                            }
+                            match meter_mode {
+                                MeterMode::BitPlanes => {
+                                    let planes_w = unsafe {
+                                        racy_node_planes.slice_mut(
+                                            (nw.start + i) * slab::PLANES,
+                                            (nw.start + i + 1) * slab::PLANES,
+                                        )
+                                    };
+                                    slab::planes_add(planes_w, bits);
+                                }
+                                MeterMode::ArcCounters => {
+                                    let traffic = unsafe { racy_node_traffic.slice_mut(lo, hi) };
+                                    let mut b = bits;
+                                    while b != 0 {
+                                        let t = &mut traffic[b.trailing_zeros() as usize];
+                                        *t = t.saturating_add(1);
+                                        b &= b - 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if flush_now && meter_mode == MeterMode::BitPlanes {
+                        for w in nw.clone() {
+                            let lo = w * 64;
+                            let hi = (lo + 64).min(b_hi);
+                            let (planes_w, traffic) = unsafe {
+                                (
+                                    racy_node_planes
+                                        .slice_mut(w * slab::PLANES, (w + 1) * slab::PLANES),
+                                    racy_node_traffic.slice_mut(lo, hi),
+                                )
+                            };
+                            slab::planes_flush(planes_w, traffic);
+                        }
+                    }
+                }
+                meter.delivered = delivered;
+                meter.bcast_any = shard_bcast;
+            };
+            if parallel {
+                congest_par::run(s_count, deliver_shard);
+            } else {
+                for s in 0..s_count {
+                    deliver_shard(s);
+                }
+            }
+        }
+        rounds_since_flush = if flush_now { 0 } else { rounds_since_flush + 1 };
+        occ_clean = skip_arc_sweep;
+        // --- Combine the shard meter blocks: allocation-free fixed-shape
+        // tree reduction (identical at every pool width and shard count).
+        for (agg, m) in agg_buf.iter_mut().zip(&meters) {
+            *agg = RoundAgg {
+                delivered: m.delivered,
+                all_done: m.all_done,
+                bcast_any: m.bcast_any,
+            };
+        }
+        congest_par::par_tree_reduce(&mut agg_buf, |a, b| {
+            a.delivered += b.delivered;
+            a.all_done &= b.all_done;
+            a.bcast_any |= b.bcast_any;
+        });
+        let RoundAgg {
+            delivered,
+            all_done,
+            bcast_any: round_bcast,
+        } = agg_buf[0];
+        bcast_any = round_bcast;
+        last_delivered = delivered;
         stats.total_messages += delivered;
         if let Some(t) = &mut trace {
             t.push(delivered);
@@ -328,7 +703,7 @@ where
         if delivered > 0 {
             stats.rounds = round;
         }
-        if delivered == 0 && cells.iter().all(|c| c.done) {
+        if delivered == 0 && all_done {
             stats.iterations = round;
             break;
         }
@@ -338,12 +713,40 @@ where
     }
     stats.max_message_bits = cells.iter().map(|c| c.max_bits).max().unwrap_or(0);
 
-    // Fold per-arc traffic into per-edge congestion.
+    // Final plane flush so `arc_traffic`/`node_traffic` hold exact totals.
+    if config.meter == MeterMode::BitPlanes && rounds_since_flush > 0 {
+        for w in 0..occ_words {
+            let lo = w * 64;
+            let hi = (lo + 64).min(arcs);
+            slab::planes_flush(
+                &mut planes[w * slab::PLANES..(w + 1) * slab::PLANES],
+                &mut arc_traffic[lo..hi],
+            );
+        }
+        if bcast_enabled {
+            for w in 0..node_words {
+                let lo = w * 64;
+                let hi = (lo + 64).min(n);
+                slab::planes_flush(
+                    &mut node_planes[w * slab::PLANES..(w + 1) * slab::PLANES],
+                    &mut node_traffic[lo..hi],
+                );
+            }
+        }
+    }
+
+    // Fold per-arc traffic into per-edge congestion. An arc's total is its
+    // directed deliveries plus every broadcast by the neighbor behind it.
     let mut per_edge: Vec<u64> = vec![0; graph.m()];
     for v in 0..n as Node {
         let lo = graph.arc_offset(v);
+        let neighbors = graph.neighbors(v);
         for (i, &e) in graph.incident_edges(v).iter().enumerate() {
-            per_edge[e as usize] += arc_traffic[lo + i] as u64;
+            let mut t = arc_traffic[lo + i] as u64;
+            if bcast_enabled {
+                t += node_traffic[neighbors[i] as usize] as u64;
+            }
+            per_edge[e as usize] += t;
         }
     }
     // Both arcs of an edge map to the same edge id and each counts the
@@ -359,82 +762,11 @@ where
     })
 }
 
-/// The delivery sweep: fold the staging byte-mask into the word-packed
-/// inbox occupancy bitset (byte `a` → bit `a`), zero the mask for reuse,
-/// count delivered messages, and bump per-arc traffic counters.
-///
-/// Occupancy word `w` owns arcs `64w..64w+64`, so parallel tasks chunked
-/// on word boundaries write disjoint ranges of every output.
-fn deliver_and_account(
-    staged: &mut [u8],
-    in_occ: &mut [u64],
-    arc_traffic: &mut [u32],
-    parallel: bool,
-) -> u64 {
-    let arcs = staged.len();
-    // One word's worth of work: pack, meter, zero.
-    let sweep_word = |mask_bytes: &mut [u8], traffic: &mut [u32]| -> (u64, u64) {
-        let bits = slab::pack_bytes(mask_bytes);
-        if bits != 0 {
-            mask_bytes.fill(0);
-            if bits == u64::MAX {
-                for t in traffic.iter_mut() {
-                    *t = t.saturating_add(1);
-                }
-            } else {
-                let mut b = bits;
-                while b != 0 {
-                    let t = &mut traffic[b.trailing_zeros() as usize];
-                    *t = t.saturating_add(1);
-                    b &= b - 1;
-                }
-            }
-        }
-        (bits, bits.count_ones() as u64)
-    };
-    if parallel && in_occ.len() >= 64 {
-        let words_per_task = in_occ
-            .len()
-            .div_ceil((congest_par::num_threads() * 4).max(1))
-            .max(1);
-        let delivered = AtomicU64::new(0);
-        let racy_mask = RacyCells::new(staged);
-        let racy_traffic = RacyCells::new(arc_traffic);
-        congest_par::par_chunks_mut(in_occ, words_per_task, |ci, occ_chunk| {
-            let first_arc = ci * words_per_task * 64;
-            let mut local = 0u64;
-            for (i, occ_word) in occ_chunk.iter_mut().enumerate() {
-                let lo = first_arc + i * 64;
-                let hi = (lo + 64).min(arcs);
-                // Sound: word-aligned chunks make `lo..hi` exclusive to
-                // this task for both the mask and the traffic counters.
-                let (mask_bytes, traffic) =
-                    unsafe { (racy_mask.slice_mut(lo, hi), racy_traffic.slice_mut(lo, hi)) };
-                let (bits, count) = sweep_word(mask_bytes, traffic);
-                *occ_word = bits;
-                local += count;
-            }
-            delivered.fetch_add(local, Ordering::Relaxed);
-        });
-        delivered.load(Ordering::Relaxed)
-    } else {
-        let mut delivered = 0u64;
-        for (w, occ_word) in in_occ.iter_mut().enumerate() {
-            let lo = w * 64;
-            let hi = (lo + 64).min(arcs);
-            let (bits, count) = sweep_word(&mut staged[lo..hi], &mut arc_traffic[lo..hi]);
-            *occ_word = bits;
-            delivered += count;
-        }
-        delivered
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::protocol::{NodeCtx, Protocol};
-    use congest_graph::generators::{complete, cycle, path};
+    use congest_graph::generators::{complete, cycle, harary, path};
 
     /// Flood a token from node 0; everyone records the round they heard it.
     struct Flood {
@@ -483,6 +815,58 @@ mod tests {
             run_protocol(&g, |_, _| Flood { heard_at: None }, EngineConfig::serial()).unwrap();
         assert_eq!(par.outputs, ser.outputs);
         assert_eq!(par.stats, ser.stats);
+    }
+
+    #[test]
+    fn shard_count_never_changes_results() {
+        let g = harary(8, 300);
+        let base =
+            run_protocol(&g, |_, _| Flood { heard_at: None }, EngineConfig::serial()).unwrap();
+        for shards in [1usize, 2, 3, 7, 64, 1000] {
+            let out = run_protocol(
+                &g,
+                |_, _| Flood { heard_at: None },
+                EngineConfig::serial().shards(shards),
+            )
+            .unwrap();
+            assert_eq!(out.outputs, base.outputs, "shards {shards}");
+            assert_eq!(out.stats, base.stats, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn meter_modes_agree_across_flush_boundaries() {
+        /// Chatter that spans several flush periods (> 63 rounds).
+        struct LongPulse;
+        impl Protocol for LongPulse {
+            type Msg = u32;
+            type Output = ();
+            fn round(&mut self, ctx: &mut NodeCtx<'_, u32>) {
+                if ctx.round < 150 {
+                    if !(ctx.node as u64 + ctx.round).is_multiple_of(3) {
+                        ctx.send_all(5);
+                    }
+                } else {
+                    ctx.set_done(true);
+                }
+            }
+            fn finish(self) {}
+        }
+        let g = harary(6, 64);
+        let planes = run_protocol(
+            &g,
+            |_, _| LongPulse,
+            EngineConfig::serial().meter(MeterMode::BitPlanes),
+        )
+        .unwrap();
+        let counters = run_protocol(
+            &g,
+            |_, _| LongPulse,
+            EngineConfig::serial().meter(MeterMode::ArcCounters),
+        )
+        .unwrap();
+        assert_eq!(planes.stats, counters.stats);
+        assert!(planes.stats.max_edge_congestion > 63, "spans a flush");
     }
 
     #[test]

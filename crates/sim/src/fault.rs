@@ -38,9 +38,11 @@ impl FaultPlan {
         }
     }
 
-    /// The edges blocked in `round` (may contain fewer than
-    /// `edges_per_round` distinct ids if the stream collides; the
-    /// adversary wastes that budget, which only weakens it).
+    /// The edges blocked in `round`: exactly `min(edges_per_round, m)`
+    /// **distinct** edge ids (sorted ascending). Earlier revisions let
+    /// seeded-stream collisions silently shrink the set, wasting adversary
+    /// budget; now colliding draws are rejected and redrawn, so the
+    /// adversary always spends its full budget.
     pub fn blocked_edges(&self, round: u64, m: usize) -> Vec<Edge> {
         let mut blocked = Vec::new();
         self.blocked_edges_into(round, m, &mut blocked);
@@ -55,12 +57,29 @@ impl FaultPlan {
         if round < self.start_round || self.edges_per_round == 0 || m == 0 {
             return;
         }
-        out.extend(
-            (0..self.edges_per_round as u64)
-                .map(|i| (mix64(self.seed ^ mix64(round) ^ mix64(0xFA17 + i)) % m as u64) as Edge),
-        );
+        let target = self.edges_per_round.min(m);
+        // Rejection-sample distinct edges from the seeded stream. The
+        // linear duplicate scan is fine at adversary scale (budgets are
+        // tiny next to m). A deterministic draw cap guards against the
+        // astronomically unlikely degenerate stream; past it, fill with
+        // the smallest unused ids so the budget promise still holds.
+        let mut draw: u64 = 0;
+        let draw_cap = 64 * (target as u64 + 16);
+        while out.len() < target && draw < draw_cap {
+            let e = (mix64(self.seed ^ mix64(round) ^ mix64(0xFA17 + draw)) % m as u64) as Edge;
+            draw += 1;
+            if !out.contains(&e) {
+                out.push(e);
+            }
+        }
+        let mut next = 0 as Edge;
+        while out.len() < target {
+            if !out.contains(&next) {
+                out.push(next);
+            }
+            next += 1;
+        }
         out.sort_unstable();
-        out.dedup();
     }
 
     /// Membership mask over edge ids for one round.
@@ -90,8 +109,17 @@ mod tests {
         let a = plan.blocked_edges(5, 100);
         let b = plan.blocked_edges(5, 100);
         assert_eq!(a, b);
-        assert!(a.len() <= 3 && !a.is_empty());
+        assert_eq!(a.len(), 3, "full budget is spent");
         assert!(a.iter().all(|&e| (e as usize) < 100));
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+    }
+
+    #[test]
+    fn small_graphs_block_every_edge() {
+        // Budget larger than m: all m edges are blocked, exactly once.
+        let plan = FaultPlan::new(10, 2);
+        let a = plan.blocked_edges(0, 4);
+        assert_eq!(a, vec![0, 1, 2, 3]);
     }
 
     #[test]

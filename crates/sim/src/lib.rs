@@ -54,13 +54,14 @@ pub mod engine;
 pub mod fault;
 pub mod message;
 pub mod phase;
+pub mod pr1;
 pub mod protocol;
 pub mod rng;
 pub mod sched;
 mod slab;
 
-pub use engine::{run_protocol, EngineConfig, EngineError, RunOutcome, RunStats};
+pub use engine::{run_protocol, EngineConfig, EngineError, MeterMode, RunOutcome, RunStats};
 pub use fault::FaultPlan;
 pub use message::{MsgBits, MsgWord, PackedMsg};
 pub use phase::PhaseLog;
-pub use protocol::{NodeCtx, Protocol};
+pub use protocol::{InboxIter, NodeCtx, Protocol};

@@ -1,0 +1,609 @@
+//! The **PR 1 round loop, frozen** — the bench comparison arm.
+//!
+//! `benches/sim_throughput.rs` reports the sharded engine's round-loop
+//! speedup *over the PR 1 engine*; for that ratio to stay meaningful as
+//! the live engine evolves, the PR 1 hot path is kept here verbatim (the
+//! same way [`crate::baseline`] preserves the seed-style `Option`-slab
+//! engine). Frozen pieces:
+//!
+//! * the **sequential deliver sweep** with per-round `u32` per-arc
+//!   congestion increments (the live engine meters through bit-sliced
+//!   planes, sharded);
+//! * the **PR 1 node context** (bounds-checked inbox walk, asserting
+//!   `send_all`) — so later context micro-optimizations don't silently
+//!   flatter the comparison;
+//! * the **`VecDeque` port-queue multiplexer** that PR 2 replaced with
+//!   packed ring buffers.
+//!
+//! Benchmark workloads implement [`Pr1Protocol`] alongside the live
+//! [`crate::Protocol`] with identical logic, mirroring how baseline
+//! workloads implement `BaselineProtocol`. Nothing outside the bench and
+//! its cross-check tests should use this module.
+
+use crate::engine::{EngineConfig, EngineError, RunOutcome, RunStats};
+use crate::message::PackedMsg;
+use crate::rng::node_rng;
+use crate::sched::Tagged;
+use crate::slab;
+use congest_graph::{Graph, Node, Port};
+use congest_par::RacyCells;
+use rand::rngs::SmallRng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const STAGED: u8 = 1;
+const PARALLEL_MIN_NODES: usize = 256;
+
+/// The PR 1 node program trait (identical shape to [`crate::Protocol`]).
+pub trait Pr1Protocol: Send {
+    type Msg: PackedMsg;
+    type Output: Send;
+    fn round(&mut self, ctx: &mut Pr1NodeCtx<'_, Self::Msg>);
+    fn finish(self) -> Self::Output;
+}
+
+struct InSlot<'a, M: PackedMsg> {
+    words: &'a [M::Word],
+    occ: &'a [u64],
+    bit0: usize,
+}
+
+enum OutSlot<'a, M: PackedMsg> {
+    Scatter {
+        words: &'a RacyCells<'a, M::Word>,
+        mask: &'a RacyCells<'a, u8>,
+        rev: &'a [u32],
+        lo: usize,
+        deg: usize,
+    },
+    Local {
+        words: &'a mut [M::Word],
+        occ: &'a mut [u64],
+    },
+}
+
+/// Frozen PR 1 context: the API subset the bench workloads use.
+pub struct Pr1NodeCtx<'a, M: PackedMsg> {
+    pub node: Node,
+    pub round: u64,
+    graph: &'a Graph,
+    inbox: InSlot<'a, M>,
+    outbox: OutSlot<'a, M>,
+    rng: &'a mut SmallRng,
+    done: &'a mut bool,
+    max_bits: &'a mut usize,
+}
+
+impl<M: PackedMsg> Pr1NodeCtx<'_, M> {
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.inbox.words.len()
+    }
+
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The PR 1 inbox walk: occupancy-word scan with bounds-checked word
+    /// loads (the live engine's walk elides the per-message bounds check).
+    pub fn inbox(&self) -> impl Iterator<Item = (Port, M)> + '_ {
+        let deg = self.degree();
+        let bit0 = self.inbox.bit0;
+        let words = self.inbox.words;
+        let occ = self.inbox.occ;
+        let first_w = bit0 >> 6;
+        let last_w = if deg == 0 {
+            first_w
+        } else {
+            (bit0 + deg - 1) >> 6
+        };
+        let mut w = first_w;
+        let mut current: u64 = 0;
+        if deg > 0 {
+            current = occ[w] & (!0u64 << (bit0 & 63));
+            if w == last_w {
+                let top = (bit0 + deg - 1) & 63;
+                current &= !0u64 >> (63 - top);
+            }
+        }
+        std::iter::from_fn(move || {
+            if deg == 0 {
+                return None;
+            }
+            loop {
+                if current != 0 {
+                    let bit = (w << 6) + current.trailing_zeros() as usize;
+                    current &= current - 1;
+                    let port = (bit - bit0) as Port;
+                    return Some((port, M::unpack(words[port as usize])));
+                }
+                if w >= last_w {
+                    return None;
+                }
+                w += 1;
+                current = occ[w];
+                if w == last_w {
+                    let top = (bit0 + deg - 1) & 63;
+                    current &= !0u64 >> (63 - top);
+                }
+            }
+        })
+    }
+
+    pub fn inbox_len(&self) -> usize {
+        slab::popcount_range(self.inbox.occ, self.inbox.bit0, self.degree())
+    }
+
+    #[inline]
+    pub fn send(&mut self, port: Port, msg: M) {
+        let bits = msg.bits();
+        if bits > *self.max_bits {
+            *self.max_bits = bits;
+        }
+        let word = msg.pack();
+        let already = match &mut self.outbox {
+            OutSlot::Scatter {
+                words,
+                mask,
+                rev,
+                lo,
+                deg,
+            } => {
+                assert!((port as usize) < *deg, "send on nonexistent port {port}");
+                let dest = rev[*lo + port as usize] as usize;
+                let already = unsafe { mask.read(dest) } != 0;
+                if !already {
+                    unsafe {
+                        mask.write(dest, 1);
+                        words.write(dest, word);
+                    }
+                }
+                already
+            }
+            OutSlot::Local { words, occ } => {
+                let already = slab::set(occ, port as usize);
+                if !already {
+                    words[port as usize] = word;
+                }
+                already
+            }
+        };
+        assert!(
+            !already,
+            "CONGEST violation: node {} sent twice on port {} in round {}",
+            self.node, port, self.round
+        );
+    }
+
+    /// The PR 1 `send_all`: per-arc asserting mask probe before each store.
+    pub fn send_all(&mut self, msg: M) {
+        match &mut self.outbox {
+            OutSlot::Scatter {
+                words,
+                mask,
+                rev,
+                lo,
+                deg,
+            } => {
+                let bits = msg.bits();
+                if bits > *self.max_bits {
+                    *self.max_bits = bits;
+                }
+                let word = msg.pack();
+                for &dest in &rev[*lo..*lo + *deg] {
+                    let dest = dest as usize;
+                    unsafe {
+                        assert!(
+                            mask.read(dest) == 0,
+                            "CONGEST violation: node {} double-sent in round {}",
+                            self.node,
+                            self.round
+                        );
+                        mask.write(dest, 1);
+                        words.write(dest, word);
+                    }
+                }
+            }
+            OutSlot::Local { .. } => {
+                for p in 0..self.degree() as Port {
+                    self.send(p, msg);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    #[inline]
+    pub fn set_done(&mut self, done: bool) {
+        *self.done = done;
+    }
+}
+
+struct NodeCell<P> {
+    state: P,
+    rng: SmallRng,
+    done: bool,
+    max_bits: usize,
+}
+
+/// The PR 1 engine: chunk-parallel step, **sequential-shape deliver sweep**
+/// with per-round per-arc `u32` congestion increments, lazy whole-`Vec`
+/// done-scan. Body frozen from PR 1's `run_protocol`.
+pub fn run_pr1<P, F>(
+    graph: &Graph,
+    mut factory: F,
+    config: EngineConfig,
+) -> Result<RunOutcome<P::Output>, EngineError>
+where
+    P: Pr1Protocol,
+    F: FnMut(Node, &Graph) -> P,
+{
+    let n = graph.n();
+    let arcs = graph.num_arcs();
+    let mut cells: Vec<NodeCell<P>> = (0..n as Node)
+        .map(|v| NodeCell {
+            state: factory(v, graph),
+            rng: node_rng(config.seed, v),
+            done: false,
+            max_bits: 0,
+        })
+        .collect();
+
+    let mut in_words: Vec<<P::Msg as PackedMsg>::Word> = vec![Default::default(); arcs];
+    let mut out_words: Vec<<P::Msg as PackedMsg>::Word> = vec![Default::default(); arcs];
+    let mut in_occ: Vec<u64> = vec![0; arcs.div_ceil(64)];
+    let mut out_mask: Vec<u8> = vec![0; arcs];
+    let mut arc_traffic: Vec<u32> = vec![0; arcs];
+    let mut blocked: Vec<congest_graph::Edge> = Vec::new();
+    if let Some(plan) = &config.faults {
+        blocked.reserve(plan.edges_per_round);
+    }
+
+    let parallel = config.parallel && n >= PARALLEL_MIN_NODES && congest_par::num_threads() > 1;
+    let step_chunk = n.div_ceil((congest_par::num_threads() * 4).max(1)).max(1);
+
+    let mut stats = RunStats::default();
+    let mut trace: Option<Vec<u64>> = config.collect_trace.then(Vec::new);
+    let mut round: u64 = 0;
+    loop {
+        if round >= config.max_rounds {
+            return Err(EngineError::RoundLimitExceeded {
+                limit: config.max_rounds,
+            });
+        }
+        {
+            let racy_out = RacyCells::new(&mut out_words);
+            let racy_mask = RacyCells::new(&mut out_mask);
+            let in_words = &in_words[..];
+            let in_occ = &in_occ[..];
+            let step_node = |base: usize, i: usize, cell: &mut NodeCell<P>| {
+                let v = (base + i) as Node;
+                let lo = graph.arc_offset(v);
+                let deg = graph.degree(v);
+                let mut ctx = Pr1NodeCtx {
+                    node: v,
+                    round,
+                    graph,
+                    inbox: InSlot {
+                        words: &in_words[lo..lo + deg],
+                        occ: in_occ,
+                        bit0: lo,
+                    },
+                    outbox: OutSlot::Scatter {
+                        words: &racy_out,
+                        mask: &racy_mask,
+                        rev: graph.reverse_arcs(),
+                        lo,
+                        deg,
+                    },
+                    rng: &mut cell.rng,
+                    done: &mut cell.done,
+                    max_bits: &mut cell.max_bits,
+                };
+                cell.state.round(&mut ctx);
+            };
+            if parallel {
+                congest_par::par_chunks_mut(&mut cells, step_chunk, |ci, chunk| {
+                    let base = ci * step_chunk;
+                    for (i, cell) in chunk.iter_mut().enumerate() {
+                        step_node(base, i, cell);
+                    }
+                });
+            } else {
+                for (v, cell) in cells.iter_mut().enumerate() {
+                    step_node(v, 0, cell);
+                }
+            }
+        }
+        if let Some(plan) = &config.faults {
+            if plan.edges_per_round > 0 {
+                plan.blocked_edges_into(round, graph.m(), &mut blocked);
+                for &e in &blocked {
+                    let (u, v) = graph.endpoints(e);
+                    for (from, to) in [(u, v), (v, u)] {
+                        let port = graph
+                            .port_to(to, from)
+                            .expect("edge endpoints are adjacent");
+                        let dest = graph.arc_offset(to) + port as usize;
+                        if out_mask[dest] == STAGED {
+                            out_mask[dest] = 0;
+                            stats.dropped_messages += 1;
+                        }
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut in_words, &mut out_words);
+        let delivered = deliver_and_account(&mut out_mask, &mut in_occ, &mut arc_traffic, parallel);
+        stats.total_messages += delivered;
+        if let Some(t) = &mut trace {
+            t.push(delivered);
+        }
+        round += 1;
+        if delivered > 0 {
+            stats.rounds = round;
+        }
+        if delivered == 0 && cells.iter().all(|c| c.done) {
+            stats.iterations = round;
+            break;
+        }
+    }
+    if let Some(t) = &mut trace {
+        t.truncate(stats.rounds as usize);
+    }
+    stats.max_message_bits = cells.iter().map(|c| c.max_bits).max().unwrap_or(0);
+
+    let mut per_edge: Vec<u64> = vec![0; graph.m()];
+    for v in 0..n as Node {
+        let lo = graph.arc_offset(v);
+        for (i, &e) in graph.incident_edges(v).iter().enumerate() {
+            per_edge[e as usize] += arc_traffic[lo + i] as u64;
+        }
+    }
+    stats.max_edge_congestion = per_edge.iter().copied().max().unwrap_or(0);
+
+    let outputs: Vec<P::Output> = cells.into_iter().map(|c| c.state.finish()).collect();
+    Ok(RunOutcome {
+        outputs,
+        stats,
+        trace,
+    })
+}
+
+/// The PR 1 delivery sweep, verbatim: fold the staging byte-mask into the
+/// occupancy bitset and bump a `u32` per delivered arc, every round.
+fn deliver_and_account(
+    staged: &mut [u8],
+    in_occ: &mut [u64],
+    arc_traffic: &mut [u32],
+    parallel: bool,
+) -> u64 {
+    let arcs = staged.len();
+    let sweep_word = |mask_bytes: &mut [u8], traffic: &mut [u32]| -> (u64, u64) {
+        let bits = slab::pack_bytes(mask_bytes);
+        if bits != 0 {
+            mask_bytes.fill(0);
+            if bits == u64::MAX {
+                for t in traffic.iter_mut() {
+                    *t = t.saturating_add(1);
+                }
+            } else {
+                let mut b = bits;
+                while b != 0 {
+                    let t = &mut traffic[b.trailing_zeros() as usize];
+                    *t = t.saturating_add(1);
+                    b &= b - 1;
+                }
+            }
+        }
+        (bits, bits.count_ones() as u64)
+    };
+    if parallel && in_occ.len() >= 64 {
+        let words_per_task = in_occ
+            .len()
+            .div_ceil((congest_par::num_threads() * 4).max(1))
+            .max(1);
+        let delivered = AtomicU64::new(0);
+        let racy_mask = RacyCells::new(staged);
+        let racy_traffic = RacyCells::new(arc_traffic);
+        congest_par::par_chunks_mut(in_occ, words_per_task, |ci, occ_chunk| {
+            let first_arc = ci * words_per_task * 64;
+            let mut local = 0u64;
+            for (i, occ_word) in occ_chunk.iter_mut().enumerate() {
+                let lo = first_arc + i * 64;
+                let hi = (lo + 64).min(arcs);
+                let (mask_bytes, traffic) =
+                    unsafe { (racy_mask.slice_mut(lo, hi), racy_traffic.slice_mut(lo, hi)) };
+                let (bits, count) = sweep_word(mask_bytes, traffic);
+                *occ_word = bits;
+                local += count;
+            }
+            delivered.fetch_add(local, Ordering::Relaxed);
+        });
+        delivered.load(Ordering::Relaxed)
+    } else {
+        let mut delivered = 0u64;
+        for (w, occ_word) in in_occ.iter_mut().enumerate() {
+            let lo = w * 64;
+            let hi = (lo + 64).min(arcs);
+            let (bits, count) = sweep_word(&mut staged[lo..hi], &mut arc_traffic[lo..hi]);
+            *occ_word = bits;
+            delivered += count;
+        }
+        delivered
+    }
+}
+
+/// The PR 1 random-delay multiplexer: heap `VecDeque` port queues, frozen
+/// as the comparison arm for the packed ring-buffer scheduler.
+pub struct Pr1Multiplexed<P: Pr1Protocol> {
+    subs: Vec<Pr1Sub<P>>,
+    queues: Vec<VecDeque<(u32, P::Msg)>>,
+    peak_queue: usize,
+}
+
+struct Pr1Sub<P: Pr1Protocol> {
+    proto: P,
+    delay: u64,
+    virtual_round: u64,
+    done: bool,
+    in_words: Vec<<P::Msg as PackedMsg>::Word>,
+    in_occ: Vec<u64>,
+    out_words: Vec<<P::Msg as PackedMsg>::Word>,
+    out_occ: Vec<u64>,
+}
+
+impl<P: Pr1Protocol> Pr1Multiplexed<P> {
+    pub fn new(instances: Vec<P>, delays: &[u64], degree: usize) -> Self {
+        assert_eq!(instances.len(), delays.len());
+        let subs = instances
+            .into_iter()
+            .zip(delays.iter())
+            .map(|(proto, &delay)| Pr1Sub {
+                proto,
+                delay,
+                virtual_round: 0,
+                done: false,
+                in_words: vec![Default::default(); degree],
+                in_occ: vec![0; degree.div_ceil(64)],
+                out_words: vec![Default::default(); degree],
+                out_occ: vec![0; degree.div_ceil(64)],
+            })
+            .collect();
+        Pr1Multiplexed {
+            subs,
+            queues: (0..degree).map(|_| VecDeque::new()).collect(),
+            peak_queue: 0,
+        }
+    }
+}
+
+impl<P: Pr1Protocol> Pr1Protocol for Pr1Multiplexed<P> {
+    type Msg = Tagged<P::Msg>;
+    type Output = (Vec<P::Output>, usize);
+
+    fn round(&mut self, ctx: &mut Pr1NodeCtx<'_, Self::Msg>) {
+        for (p, t) in ctx.inbox() {
+            let sub = &mut self.subs[t.algo as usize];
+            debug_assert!(!slab::test(&sub.in_occ, p as usize));
+            slab::set(&mut sub.in_occ, p as usize);
+            sub.in_words[p as usize] = t.msg.pack();
+        }
+        for (i, sub) in self.subs.iter_mut().enumerate() {
+            if ctx.round < sub.delay {
+                continue;
+            }
+            {
+                let mut sub_ctx = Pr1NodeCtx {
+                    node: ctx.node,
+                    round: sub.virtual_round,
+                    graph: ctx.graph,
+                    inbox: InSlot {
+                        words: &sub.in_words,
+                        occ: &sub.in_occ,
+                        bit0: 0,
+                    },
+                    outbox: OutSlot::Local {
+                        words: &mut sub.out_words,
+                        occ: &mut sub.out_occ,
+                    },
+                    rng: ctx.rng,
+                    done: &mut sub.done,
+                    max_bits: ctx.max_bits,
+                };
+                sub.proto.round(&mut sub_ctx);
+            }
+            sub.virtual_round += 1;
+            for p in 0..sub.out_words.len() {
+                if slab::test(&sub.out_occ, p) {
+                    self.queues[p].push_back((i as u32, P::Msg::unpack(sub.out_words[p])));
+                }
+            }
+            slab::clear_all(&mut sub.in_occ);
+            slab::clear_all(&mut sub.out_occ);
+        }
+        let mut peak = self.peak_queue;
+        for p in 0..self.queues.len() {
+            peak = peak.max(self.queues[p].len());
+            if let Some((algo, msg)) = self.queues[p].pop_front() {
+                ctx.send(p as u32, Tagged { algo, msg });
+            }
+        }
+        self.peak_queue = peak;
+        let all_done = self.subs.iter().all(|s| s.done);
+        let queues_empty = self.queues.iter().all(|q| q.is_empty());
+        ctx.set_done(all_done && queues_empty);
+    }
+
+    fn finish(self) -> Self::Output {
+        (
+            self.subs.into_iter().map(|s| s.proto.finish()).collect(),
+            self.peak_queue,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_protocol, EngineConfig};
+    use crate::protocol::{NodeCtx, Protocol};
+    use congest_graph::generators::harary;
+
+    /// Same chatter logic against both engines; the frozen arm must agree
+    /// with the live engine on outputs and every metered stat.
+    #[derive(Clone)]
+    struct Chatter {
+        acc: u64,
+        until: u64,
+    }
+    impl Chatter {
+        fn step(&mut self, round: u64, inbox_sum: u64) -> Option<u64> {
+            self.acc = self.acc.wrapping_add(inbox_sum);
+            (round < self.until).then_some(self.acc.wrapping_add(round))
+        }
+    }
+    impl Protocol for Chatter {
+        type Msg = u64;
+        type Output = u64;
+        fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+            let sum = ctx.inbox().map(|(_, m)| m).fold(0u64, u64::wrapping_add);
+            match self.step(ctx.round, sum) {
+                Some(m) => ctx.send_all(m),
+                None => ctx.set_done(true),
+            }
+        }
+        fn finish(self) -> u64 {
+            self.acc
+        }
+    }
+    impl Pr1Protocol for Chatter {
+        type Msg = u64;
+        type Output = u64;
+        fn round(&mut self, ctx: &mut Pr1NodeCtx<'_, u64>) {
+            let sum = ctx.inbox().map(|(_, m)| m).fold(0u64, u64::wrapping_add);
+            match self.step(ctx.round, sum) {
+                Some(m) => ctx.send_all(m),
+                None => ctx.set_done(true),
+            }
+        }
+        fn finish(self) -> u64 {
+            self.acc
+        }
+    }
+
+    #[test]
+    fn frozen_arm_agrees_with_live_engine() {
+        let g = harary(8, 300);
+        let mk = |_: u32| Chatter { acc: 1, until: 70 };
+        let live = run_protocol(&g, |v, _| mk(v), EngineConfig::with_seed(5)).unwrap();
+        let frozen = run_pr1(&g, |v, _| mk(v), EngineConfig::with_seed(5)).unwrap();
+        assert_eq!(live.outputs, frozen.outputs);
+        assert_eq!(live.stats, frozen.stats);
+    }
+}

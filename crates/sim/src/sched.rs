@@ -12,11 +12,36 @@
 //! index and queued per port (FIFO); each real round, every port transmits
 //! at most one queued message — preserving the global CONGEST discipline.
 //!
+//! ## Packed ring-buffer port queues
+//!
+//! The port FIFOs are **fixed-capacity ring buffers carved from one
+//! pre-sized word slab** ([`PortRings`]): port `p` owns slots
+//! `p·cap..(p+1)·cap` of a single `Vec<u128>`, each slot holding a fully
+//! tagged packed message word. The capacity is the caller's per-edge
+//! congestion bound — exactly the quantity Theorem 12 is parameterized by
+//! (for `k` one-shot broadcasts, `k`; for a shared tree packing, the
+//! packing's congestion × messages per tree). Push and pop are index
+//! arithmetic on the slab, so a multiplexed node performs **zero heap
+//! allocation per round**: the multiplexer is engine-hostable on the hot
+//! path, composable with the fault adversary, and covered by
+//! `tests/zero_alloc.rs` like any other protocol. Exceeding the declared
+//! capacity panics with the observed port — an honest signal that the
+//! congestion bound fed to the scheduler was wrong. (The PR 1
+//! `VecDeque`-queue multiplexer survives as
+//! [`crate::pr1::Pr1Multiplexed`], the bench comparison arm.)
+//!
 //! Sub-protocols run against node-local **packed** buffers (the same word
 //! slab + occupancy bitset shape the engine uses, via
 //! [`crate::protocol`]'s host mode), so a multiplexed protocol pays the
-//! packed encoding exactly once per hop. The multiplexer itself is not
-//! part of the engine hot path — its FIFO queues may allocate.
+//! packed encoding exactly once per hop. Sub-protocols that declared
+//! `done` are only re-stepped when a message arrives for them. This leans
+//! on the **message-driven contract below** (which this multiplexer
+//! already demands for delay tolerance): a done sub may only resume
+//! because traffic arrived, never by counting rounds — under that
+//! contract, skipping a done sub's idle rounds changes nothing observable
+//! while making quiescent algorithms free. (The plain engine, by
+//! contrast, steps done nodes every round; round-counting wake-ups are
+//! legal solo but out of contract under the scheduler.)
 //!
 //! **Delay tolerance.** Under queuing, a sub-protocol's messages may
 //! arrive in later virtual rounds than in a solo run. Sub-protocols must
@@ -30,7 +55,6 @@ use crate::message::{low_mask, MsgBits, MsgWord, PackedMsg};
 use crate::protocol::{InSlot, NodeCtx, OutSlot, Protocol};
 use crate::rng::mix64;
 use crate::slab;
-use std::collections::VecDeque;
 
 /// A message tagged with the index of the sub-algorithm it belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +96,72 @@ impl<M: PackedMsg> PackedMsg for Tagged<M> {
     }
 }
 
+/// Per-port FIFO ring buffers carved from one pre-sized `u128` slab: port
+/// `p` owns slots `p·cap..(p+1)·cap`, each holding a fully tagged packed
+/// message word. Allocation happens once at construction; push/pop are
+/// index arithmetic.
+struct PortRings {
+    slab: Vec<u128>,
+    /// Ring head (index of the oldest queued word) per port.
+    head: Vec<u32>,
+    /// Queue length per port.
+    len: Vec<u32>,
+    /// Per-port capacity, rounded up to a power of two so ring wrap-around
+    /// is a mask, never a hardware division.
+    cap: u32,
+    /// Total queued words across all ports (O(1) emptiness check).
+    queued: usize,
+    /// Peak per-port queue length observed (scheduling-quality metric).
+    peak: usize,
+}
+
+impl PortRings {
+    fn new(degree: usize, cap: usize) -> Self {
+        let cap = cap.max(1).next_power_of_two();
+        PortRings {
+            slab: vec![0; degree * cap],
+            head: vec![0; degree],
+            len: vec![0; degree],
+            cap: cap as u32,
+            queued: 0,
+            peak: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, port: usize, word: u128) {
+        let len = self.len[port];
+        assert!(
+            len < self.cap,
+            "multiplexer ring overflow on port {port}: capacity {} exhausted — \
+             the queue capacity must be at least the per-edge congestion bound \
+             (Theorem 12) of the multiplexed collection",
+            self.cap
+        );
+        let slot = port as u32 * self.cap + ((self.head[port] + len) & (self.cap - 1));
+        self.slab[slot as usize] = word;
+        self.len[port] = len + 1;
+        self.queued += 1;
+        if (len + 1) as usize > self.peak {
+            self.peak = (len + 1) as usize;
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self, port: usize) -> Option<u128> {
+        let len = self.len[port];
+        if len == 0 {
+            return None;
+        }
+        let head = self.head[port];
+        let word = self.slab[(port as u32 * self.cap + head) as usize];
+        self.head[port] = (head + 1) & (self.cap - 1);
+        self.len[port] = len - 1;
+        self.queued -= 1;
+        Some(word)
+    }
+}
+
 /// One hosted sub-protocol: its state plus node-local packed buffers in
 /// the engine's slab shape (port-indexed words + occupancy bits).
 struct Sub<P: Protocol> {
@@ -79,25 +169,30 @@ struct Sub<P: Protocol> {
     delay: u64,
     virtual_round: u64,
     done: bool,
+    /// A message arrived for this sub this round (re-steps a done sub).
+    woke: bool,
     in_words: Vec<<P::Msg as PackedMsg>::Word>,
     in_occ: Vec<u64>,
     out_words: Vec<<P::Msg as PackedMsg>::Word>,
     out_occ: Vec<u64>,
 }
 
-/// One node's multiplexer hosting `k` sub-protocol instances.
+/// One node's multiplexer hosting `k` sub-protocol instances over packed
+/// ring-buffer port queues.
 pub struct Multiplexed<P: Protocol> {
     subs: Vec<Sub<P>>,
-    /// Per-port FIFO of `(algo, message)` awaiting bandwidth.
-    queues: Vec<VecDeque<(u32, P::Msg)>>,
-    /// Peak queue length observed (scheduling-quality metric).
-    peak_queue: usize,
+    rings: PortRings,
 }
 
 impl<P: Protocol> Multiplexed<P> {
     /// Build a node multiplexer from per-algorithm instances and their
-    /// (globally agreed) start delays. `degree` is this node's degree.
-    pub fn new(instances: Vec<P>, delays: &[u64], degree: usize) -> Self {
+    /// (globally agreed) start delays. `degree` is this node's degree;
+    /// `queue_capacity` bounds each port's FIFO and must be at least the
+    /// per-edge congestion of the multiplexed collection — the exact
+    /// quantity Theorem 12's `O(congestion + dilation·log² n)` bound is
+    /// stated in terms of (`k` suffices for `k` one-shot floods; a shared
+    /// tree packing needs congestion × messages per tree).
+    pub fn new(instances: Vec<P>, delays: &[u64], degree: usize, queue_capacity: usize) -> Self {
         assert_eq!(instances.len(), delays.len());
         let subs = instances
             .into_iter()
@@ -107,6 +202,7 @@ impl<P: Protocol> Multiplexed<P> {
                 delay,
                 virtual_round: 0,
                 done: false,
+                woke: false,
                 in_words: vec![Default::default(); degree],
                 in_occ: vec![0; slab::words_for(degree)],
                 out_words: vec![Default::default(); degree],
@@ -115,8 +211,7 @@ impl<P: Protocol> Multiplexed<P> {
             .collect();
         Multiplexed {
             subs,
-            queues: (0..degree).map(|_| VecDeque::new()).collect(),
-            peak_queue: 0,
+            rings: PortRings::new(degree, queue_capacity),
         }
     }
 }
@@ -126,19 +221,22 @@ impl<P: Protocol> Protocol for Multiplexed<P> {
     type Output = (Vec<P::Output>, usize);
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>) {
-        // 1. Distribute arrivals to sub-inboxes.
+        // 1. Distribute arrivals to sub-inboxes (and wake their subs).
         for (p, t) in ctx.inbox() {
             let sub = &mut self.subs[t.algo as usize];
             debug_assert!(!slab::test(&sub.in_occ, p as usize));
             slab::set(&mut sub.in_occ, p as usize);
             sub.in_words[p as usize] = t.msg.pack();
+            sub.woke = true;
         }
-        // 2. Step every sub-protocol whose delay has elapsed, against its
-        // node-local packed buffers.
+        // 2. Step every sub-protocol whose delay has elapsed and that can
+        // still make progress (not yet done, or woken by an arrival),
+        // against its node-local packed buffers.
         for (i, sub) in self.subs.iter_mut().enumerate() {
-            if ctx.round < sub.delay {
+            if ctx.round < sub.delay || (sub.done && !sub.woke) {
                 continue;
             }
+            sub.woke = false;
             {
                 let mut sub_ctx = NodeCtx {
                     node: ctx.node,
@@ -148,6 +246,7 @@ impl<P: Protocol> Protocol for Multiplexed<P> {
                         words: &sub.in_words,
                         occ: &sub.in_occ,
                         bit0: 0,
+                        bcast: None,
                     },
                     outbox: OutSlot::Local {
                         words: &mut sub.out_words,
@@ -160,33 +259,38 @@ impl<P: Protocol> Protocol for Multiplexed<P> {
                 sub.proto.round(&mut sub_ctx);
             }
             sub.virtual_round += 1;
-            for p in 0..sub.out_words.len() {
-                if slab::test(&sub.out_occ, p) {
-                    self.queues[p].push_back((i as u32, P::Msg::unpack(sub.out_words[p])));
+            // Queue this sub's sends: walk the occupancy words so quiet
+            // ports cost one word load, not one bit test each.
+            for (wi, occ_word) in sub.out_occ.iter_mut().enumerate() {
+                let mut bits = *occ_word;
+                *occ_word = 0;
+                while bits != 0 {
+                    let p = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let tagged = Tagged {
+                        algo: i as u32,
+                        msg: P::Msg::unpack(sub.out_words[p]),
+                    };
+                    self.rings.push(p, tagged.pack());
                 }
             }
             slab::clear_all(&mut sub.in_occ);
-            slab::clear_all(&mut sub.out_occ);
         }
         // 3. Serve one queued message per port.
-        let mut peak = self.peak_queue;
-        for p in 0..self.queues.len() {
-            peak = peak.max(self.queues[p].len());
-            if let Some((algo, msg)) = self.queues[p].pop_front() {
-                ctx.send(p as u32, Tagged { algo, msg });
+        for p in 0..ctx.degree() {
+            if let Some(word) = self.rings.pop(p) {
+                ctx.send(p as u32, Tagged::unpack(word));
             }
         }
-        self.peak_queue = peak;
         // 4. Done when all subs are done and no message waits.
         let all_done = self.subs.iter().all(|s| s.done);
-        let queues_empty = self.queues.iter().all(|q| q.is_empty());
-        ctx.set_done(all_done && queues_empty);
+        ctx.set_done(all_done && self.rings.queued == 0);
     }
 
     fn finish(self) -> Self::Output {
         (
             self.subs.into_iter().map(|s| s.proto.finish()).collect(),
-            self.peak_queue,
+            self.rings.peak,
         )
     }
 }
@@ -256,6 +360,33 @@ mod tests {
     }
 
     #[test]
+    fn rings_fifo_per_port() {
+        let mut rings = PortRings::new(3, 2);
+        rings.push(0, 10);
+        rings.push(0, 11);
+        rings.push(2, 30);
+        assert_eq!(rings.queued, 3);
+        assert_eq!(rings.peak, 2);
+        assert_eq!(rings.pop(0), Some(10));
+        rings.push(0, 12); // wraps around the ring
+        assert_eq!(rings.pop(0), Some(11));
+        assert_eq!(rings.pop(0), Some(12));
+        assert_eq!(rings.pop(0), None);
+        assert_eq!(rings.pop(1), None);
+        assert_eq!(rings.pop(2), Some(30));
+        assert_eq!(rings.queued, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring overflow")]
+    fn ring_overflow_panics_with_congestion_hint() {
+        let mut rings = PortRings::new(1, 2);
+        rings.push(0, 1);
+        rings.push(0, 2);
+        rings.push(0, 3);
+    }
+
+    #[test]
     fn multiplexed_floods_all_complete() {
         let g = cycle(8);
         let k = 4;
@@ -264,7 +395,7 @@ mod tests {
             &g,
             |v, gr: &Graph| {
                 let instances: Vec<Flood> = (0..k).map(|i| Flood::new(i as Node, v)).collect();
-                Multiplexed::new(instances, &delays, gr.degree(v))
+                Multiplexed::new(instances, &delays, gr.degree(v), k)
             },
             EngineConfig::default(),
         )
@@ -288,7 +419,7 @@ mod tests {
             &g,
             |v, gr: &Graph| {
                 let instances: Vec<Flood> = (0..k).map(|i| Flood::new(i as Node, v)).collect();
-                Multiplexed::new(instances, &delays, gr.degree(v))
+                Multiplexed::new(instances, &delays, gr.degree(v), k)
             },
             EngineConfig::default(),
         )
@@ -300,6 +431,61 @@ mod tests {
         // edge-direction in one round (engine would have panicked), and the
         // total rounds exceed a single flood's (queuing happened).
         assert!(outcome.stats.rounds >= 3);
+    }
+
+    #[test]
+    fn multiplexed_survives_faults_like_any_protocol() {
+        // Ring-hosted scheduling composes with the fault adversary: a
+        // light adversary delays but cannot stop re-flooding subs.
+        use crate::fault::FaultPlan;
+        struct Stubborn {
+            informed: bool,
+        }
+        impl Protocol for Stubborn {
+            type Msg = ();
+            type Output = bool;
+            fn round(&mut self, ctx: &mut NodeCtx<'_, ()>) {
+                if ctx.round == 0 && ctx.node == 0 {
+                    self.informed = true;
+                }
+                if ctx.inbox_len() > 0 {
+                    self.informed = true;
+                }
+                if self.informed && ctx.round < 30 {
+                    for p in 0..ctx.degree() as u32 {
+                        if !ctx.port_used(p) {
+                            ctx.send(p, ());
+                        }
+                    }
+                }
+                ctx.set_done(ctx.round >= 30);
+            }
+            fn finish(self) -> bool {
+                self.informed
+            }
+        }
+        let g = cycle(8);
+        let k = 2;
+        let delays = vec![0, 1];
+        let outcome = run_protocol(
+            &g,
+            |_, gr: &Graph| {
+                let instances: Vec<Stubborn> =
+                    (0..k).map(|_| Stubborn { informed: false }).collect();
+                Multiplexed::new(instances, &delays, gr.degree(0), 64)
+            },
+            EngineConfig::default()
+                .max_rounds(500)
+                .with_faults(FaultPlan::new(1, 11)),
+        )
+        .unwrap();
+        assert!(outcome.stats.dropped_messages > 0, "adversary acted");
+        for (flags, _) in &outcome.outputs {
+            assert!(
+                flags.iter().all(|&x| x),
+                "floods must survive the adversary"
+            );
+        }
     }
 
     #[test]

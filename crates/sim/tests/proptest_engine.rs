@@ -3,7 +3,8 @@
 //! arbitrary (randomized) chatter protocols.
 
 use congest_graph::{Graph, GraphBuilder};
-use congest_sim::{run_protocol, EngineConfig, NodeCtx, Protocol};
+use congest_sim::pr1::{run_pr1, Pr1NodeCtx, Pr1Protocol};
+use congest_sim::{run_protocol, EngineConfig, MeterMode, NodeCtx, Protocol};
 use proptest::prelude::*;
 use rand::Rng;
 
@@ -66,8 +67,169 @@ impl Protocol for RandomChatter {
     }
 }
 
+/// A protocol that randomly mixes `send_all` (the broadcast plane),
+/// per-port `send` (the arc scatter plane), and silence — the oracle
+/// workload for the merged inbox. Receivers fold everything they hear.
+struct MixedChatter {
+    rounds: u64,
+    sent: u64,
+    heard: u64,
+}
+
+impl MixedChatter {
+    /// Shared round body against any context (closures abstract the two
+    /// engines' APIs).
+    fn drive(
+        &mut self,
+        round: u64,
+        degree: usize,
+        inbox_fold: u64,
+        inbox_count: u64,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> MixedAction {
+        self.heard = self
+            .heard
+            .wrapping_mul(31)
+            .wrapping_add(inbox_fold)
+            .wrapping_add(inbox_count);
+        if round >= self.rounds {
+            return MixedAction::Quiet;
+        }
+        match rng.gen_range(0..4u32) {
+            0 => {
+                self.sent += degree as u64;
+                MixedAction::Broadcast(rng.gen())
+            }
+            1 | 2 => MixedAction::Ports(rng.gen()),
+            _ => MixedAction::Quiet,
+        }
+    }
+}
+
+enum MixedAction {
+    Broadcast(u64),
+    /// Bitmask of ports to send distinct payloads on.
+    Ports(u64),
+    Quiet,
+}
+
+impl Protocol for MixedChatter {
+    type Msg = u64;
+    type Output = (u64, u64);
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        let fold = ctx.inbox().fold(0u64, |a, (p, m)| {
+            a.wrapping_mul(17).wrapping_add(m ^ p as u64)
+        });
+        let count = ctx.inbox_len() as u64;
+        let deg = ctx.degree();
+        match self.drive(ctx.round, deg, fold, count, ctx.rng()) {
+            MixedAction::Broadcast(m) => ctx.send_all(m),
+            MixedAction::Ports(mask) => {
+                for p in 0..deg.min(64) as u32 {
+                    if mask >> p & 1 == 1 {
+                        ctx.send(p, mask.wrapping_add(p as u64));
+                        self.sent += 1;
+                    }
+                }
+            }
+            MixedAction::Quiet => {}
+        }
+        ctx.set_done(ctx.round >= self.rounds);
+    }
+    fn finish(self) -> (u64, u64) {
+        (self.sent, self.heard)
+    }
+}
+
+impl Pr1Protocol for MixedChatter {
+    type Msg = u64;
+    type Output = (u64, u64);
+    fn round(&mut self, ctx: &mut Pr1NodeCtx<'_, u64>) {
+        let fold = ctx.inbox().fold(0u64, |a, (p, m)| {
+            a.wrapping_mul(17).wrapping_add(m ^ p as u64)
+        });
+        let count = ctx.inbox_len() as u64;
+        let deg = ctx.degree();
+        match self.drive(ctx.round, deg, fold, count, ctx.rng()) {
+            MixedAction::Broadcast(m) => ctx.send_all(m),
+            MixedAction::Ports(mask) => {
+                for p in 0..deg.min(64) as u32 {
+                    if mask >> p & 1 == 1 {
+                        ctx.send(p, mask.wrapping_add(p as u64));
+                        self.sent += 1;
+                    }
+                }
+            }
+            MixedAction::Quiet => {}
+        }
+        ctx.set_done(ctx.round >= self.rounds);
+    }
+    fn finish(self) -> (u64, u64) {
+        (self.sent, self.heard)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The broadcast-plane oracle: random mixes of `send_all`, per-port
+    /// `send`, and silence must produce results and stats **identical to
+    /// the frozen PR 1 engine** (which scatters everything per arc), in
+    /// serial and parallel, under both meter modes.
+    #[test]
+    fn mixed_broadcast_traffic_matches_pr1(
+        g in arb_connected_graph(24),
+        seed in any::<u64>(),
+    ) {
+        let mk = || MixedChatter { rounds: 9, sent: 0, heard: 0 };
+        let frozen = run_pr1(&g, |_, _| mk(), EngineConfig::with_seed(seed).trace()).unwrap();
+        for &meter in &[MeterMode::BitPlanes, MeterMode::ArcCounters] {
+            let live = run_protocol(
+                &g,
+                |_, _| mk(),
+                EngineConfig::with_seed(seed).meter(meter).trace(),
+            )
+            .unwrap();
+            prop_assert_eq!(&live.outputs, &frozen.outputs, "meter {:?}", meter);
+            prop_assert_eq!(live.stats, frozen.stats, "meter {:?}", meter);
+            prop_assert_eq!(&live.trace, &frozen.trace, "meter {:?}", meter);
+        }
+        let par = congest_par::with_threads(4, || {
+            run_protocol(
+                &g,
+                |_, _| mk(),
+                EngineConfig::with_seed(seed).shards(5).trace(),
+            )
+            .unwrap()
+        });
+        prop_assert_eq!(&par.outputs, &frozen.outputs);
+        prop_assert_eq!(par.stats, frozen.stats);
+    }
+
+    /// Same oracle above the parallel threshold: the sharded parallel
+    /// broadcast fold must match the frozen PR 1 engine bit-for-bit.
+    #[test]
+    fn mixed_broadcast_traffic_matches_pr1_parallel(
+        n in 256usize..330,
+        seed in any::<u64>(),
+    ) {
+        let g = congest_graph::generators::harary(8, n);
+        let mk = || MixedChatter { rounds: 8, sent: 0, heard: 0 };
+        let frozen = run_pr1(&g, |_, _| mk(), EngineConfig::with_seed(seed).trace()).unwrap();
+        for threads in [2usize, 4] {
+            let par = congest_par::with_threads(threads, || {
+                run_protocol(
+                    &g,
+                    |_, _| mk(),
+                    EngineConfig::with_seed(seed).shards(2 * threads).trace(),
+                )
+                .unwrap()
+            });
+            prop_assert_eq!(&par.outputs, &frozen.outputs, "threads {}", threads);
+            prop_assert_eq!(par.stats, frozen.stats, "threads {}", threads);
+            prop_assert_eq!(&par.trace, &frozen.trace, "threads {}", threads);
+        }
+    }
 
     /// Conservation: every sent message is delivered exactly once (no
     /// faults configured), and the engine's totals agree with the nodes'
@@ -171,6 +333,52 @@ proptest! {
             prop_assert_eq!(&par.outputs, &ser.outputs, "threads = {}", threads);
             prop_assert_eq!(par.stats, ser.stats, "threads = {}", threads);
             prop_assert_eq!(&par.trace, &ser.trace, "threads = {}", threads);
+        }
+    }
+
+    /// The sharded deliver+metering plane: byte-identical outputs, stats,
+    /// and traces at every (pool width × shard count × meter mode)
+    /// combination, against the one-shard serial reference. This is the
+    /// determinism contract of the shard-owned round phases.
+    #[test]
+    fn sharded_deliver_identical_at_every_width_and_shard_count(
+        n in 256usize..380,
+        half_delta in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = congest_graph::generators::harary(2 * half_delta, n);
+        let run = |cfg: EngineConfig| {
+            run_protocol(
+                &g,
+                |_, _| RandomChatter { rounds: 7, sent: 0, received: 0 },
+                cfg.trace(),
+            )
+            .unwrap()
+        };
+        let reference = run(EngineConfig::serial().seed(seed).shards(1));
+        for &meter in &[MeterMode::BitPlanes, MeterMode::ArcCounters] {
+            for &shards in &[1usize, 2, 5, 8, 64] {
+                // Serial at this shard count.
+                let ser = run(EngineConfig::serial().seed(seed).shards(shards).meter(meter));
+                prop_assert_eq!(&ser.outputs, &reference.outputs,
+                    "serial shards={} meter={:?}", shards, meter);
+                prop_assert_eq!(ser.stats, reference.stats,
+                    "serial shards={} meter={:?}", shards, meter);
+                prop_assert_eq!(&ser.trace, &reference.trace,
+                    "serial shards={} meter={:?}", shards, meter);
+                // Parallel at several pool widths, same shard count.
+                for threads in [2usize, 4] {
+                    let par = congest_par::with_threads(threads, || {
+                        run(EngineConfig::with_seed(seed).shards(shards).meter(meter))
+                    });
+                    prop_assert_eq!(&par.outputs, &reference.outputs,
+                        "threads={} shards={} meter={:?}", threads, shards, meter);
+                    prop_assert_eq!(par.stats, reference.stats,
+                        "threads={} shards={} meter={:?}", threads, shards, meter);
+                    prop_assert_eq!(&par.trace, &reference.trace,
+                        "threads={} shards={} meter={:?}", threads, shards, meter);
+                }
+            }
         }
     }
 }

@@ -1,0 +1,48 @@
+//! Property-based tests for the fault adversary's edge-drawing stream.
+
+use congest_sim::FaultPlan;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On a large enough graph the adversary blocks *exactly*
+    /// `edges_per_round` distinct edges, every round, for any seed — the
+    /// budget is never silently wasted on stream collisions.
+    #[test]
+    fn full_budget_of_distinct_edges(
+        budget in 1usize..40,
+        m_extra in 0usize..5000,
+        seed in any::<u64>(),
+        round in 0u64..10_000,
+    ) {
+        let m = budget + m_extra;
+        let plan = FaultPlan::new(budget, seed);
+        let blocked = plan.blocked_edges(round, m);
+        prop_assert_eq!(blocked.len(), budget);
+        prop_assert!(blocked.windows(2).all(|w| w[0] < w[1]), "distinct + sorted");
+        prop_assert!(blocked.iter().all(|&e| (e as usize) < m));
+    }
+
+    /// When the budget meets or exceeds the edge count, every edge is
+    /// blocked exactly once.
+    #[test]
+    fn saturating_budget_blocks_all(
+        m in 1usize..50,
+        extra in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let plan = FaultPlan::new(m + extra, seed);
+        let blocked = plan.blocked_edges(3, m);
+        let expect: Vec<u32> = (0..m as u32).collect();
+        prop_assert_eq!(blocked, expect);
+    }
+
+    /// The stream is a pure function of (seed, round): same inputs, same
+    /// set; different rounds (almost surely) differ.
+    #[test]
+    fn deterministic_per_round(seed in any::<u64>(), round in 0u64..1000) {
+        let plan = FaultPlan::new(8, seed);
+        prop_assert_eq!(plan.blocked_edges(round, 4096), plan.blocked_edges(round, 4096));
+    }
+}

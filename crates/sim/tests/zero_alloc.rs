@@ -7,6 +7,7 @@
 //! This file deliberately contains a single test: the allocator counter is
 //! process-global, and the harness runs tests in one process.
 
+use congest_sim::sched::{random_delays, Multiplexed};
 use congest_sim::{run_protocol, EngineConfig, NodeCtx, Protocol};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,6 +62,38 @@ impl Protocol for Chatter {
     }
 }
 
+/// Rotating multiplexed chatter: sub `i` of `k` speaks on virtual rounds
+/// `≡ i (mod k)`, so the port rings stay near-full without overflowing —
+/// the multiplexer's queue machinery is genuinely exercised every round.
+struct RotChatter {
+    k: u64,
+    i: u64,
+    until: u64,
+    acc: u64,
+}
+
+impl Protocol for RotChatter {
+    type Msg = u64;
+    type Output = u64;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        for (_, m) in ctx.inbox() {
+            self.acc ^= m;
+        }
+        if ctx.round < self.until {
+            if ctx.round % self.k == self.i {
+                ctx.send_all(self.acc | 1);
+            }
+        } else {
+            ctx.set_done(true);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
 fn allocs_for(g: &congest_graph::Graph, rounds: u64, cfg: EngineConfig) -> u64 {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let out = run_protocol(
@@ -73,6 +106,32 @@ fn allocs_for(g: &congest_graph::Graph, rounds: u64, cfg: EngineConfig) -> u64 {
     )
     .unwrap();
     assert_eq!(out.stats.rounds, rounds);
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn mux_allocs_for(g: &congest_graph::Graph, rounds: u64, cfg: EngineConfig) -> u64 {
+    let k = 4usize;
+    let delays = random_delays(k, 3, 17);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = run_protocol(
+        g,
+        |_, gr: &congest_graph::Graph| {
+            let subs: Vec<RotChatter> = (0..k as u64)
+                .map(|i| RotChatter {
+                    k: k as u64,
+                    i,
+                    until: rounds,
+                    acc: 1,
+                })
+                .collect();
+            // Capacity: ≤ 2 subs can share a phase (delays ≤ 3 over
+            // period 4), plus slack for the delay skew.
+            Multiplexed::new(subs, &delays, gr.degree(0), 2 * k + 4)
+        },
+        cfg,
+    )
+    .unwrap();
+    assert!(out.stats.total_messages > 0);
     ALLOCATIONS.load(Ordering::Relaxed) - before
 }
 
@@ -100,5 +159,25 @@ fn round_loop_allocates_nothing_after_setup() {
     assert_eq!(
         long, short,
         "parallel round loop allocated: {short} allocs for 40 rounds vs {long} for 400"
+    );
+
+    // Multiplexed scheduler path: per-node construction allocates (sub
+    // buffers + ring slab) but the round loop — including ring push/pop
+    // and sub-protocol hosting — must not. Setup scales with n, not
+    // rounds, so equal counts at 10× rounds prove the loop is clean.
+    let _warm = mux_allocs_for(&g, 10, EngineConfig::serial());
+    let short = mux_allocs_for(&g, 40, EngineConfig::serial());
+    let long = mux_allocs_for(&g, 400, EngineConfig::serial());
+    assert_eq!(
+        long, short,
+        "multiplexed round loop allocated: {short} allocs for 40 rounds vs {long} for 400"
+    );
+
+    let _warm = mux_allocs_for(&g, 10, EngineConfig::default());
+    let short = mux_allocs_for(&g, 40, EngineConfig::default());
+    let long = mux_allocs_for(&g, 400, EngineConfig::default());
+    assert_eq!(
+        long, short,
+        "parallel multiplexed round loop allocated: {short} for 40 rounds vs {long} for 400"
     );
 }
