@@ -8,8 +8,10 @@
 //!
 //! Supported: range strategies over primitive ints, `any::<T>()`,
 //! `prop_map`, tuple strategies, `collection::vec`, `prop_assert!`,
-//! `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`, and
-//! `ProptestConfig::with_cases`.
+//! `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`,
+//! `ProptestConfig::with_cases`, and the `PROPTEST_CASES` environment
+//! override (CI's proptest-heavy lane raises every harness's case count
+//! through it, as with real proptest).
 
 /// The per-test deterministic generator handed to strategies.
 pub struct TestRng {
@@ -187,6 +189,18 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable overrides the configured count when set (mirroring real
+    /// proptest), so CI's proptest-heavy lane can crank every harness up
+    /// without touching source.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(self.cases)
+    }
 }
 
 /// FNV-1a over the test name: stable per-test seed base.
@@ -261,7 +275,7 @@ macro_rules! __proptest_items {
             fn $name() {
                 let __cfg: $crate::ProptestConfig = $cfg;
                 let __seed = $crate::name_seed(concat!(module_path!(), "::", stringify!($name)));
-                for __case in 0..__cfg.cases as u64 {
+                for __case in 0..__cfg.resolved_cases() as u64 {
                     $crate::__proptest_case(__seed, __case, |__rng| {
                         $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
                         $body
@@ -310,6 +324,18 @@ mod tests {
         fn assume_skips(x in 0u32..10) {
             prop_assume!(x < 5);
             prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn env_override_parses_and_falls_back() {
+        // Note: no test here mutates the process environment (that would
+        // race other tests); this covers the parse/fallback logic.
+        let cfg = super::ProptestConfig::with_cases(7);
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(cfg.resolved_cases(), 7);
+        } else {
+            assert!(cfg.resolved_cases() >= 1);
         }
     }
 

@@ -70,6 +70,31 @@ impl ShardPlan {
         self.arcs
     }
 
+    /// Number of arcs in shard `s`'s word-aligned sweep region — the
+    /// per-shard share of any arc-indexed slab pass.
+    #[inline]
+    pub fn arc_count(&self, s: usize) -> usize {
+        self.arcs_of(s).len()
+    }
+
+    /// Number of nodes shard `s` steps.
+    #[inline]
+    pub fn node_count(&self, s: usize) -> usize {
+        let r = self.nodes(s);
+        (r.end - r.start) as usize
+    }
+
+    /// Upper bound on the number of per-arc sends the nodes of shard `s`
+    /// can stage in one round (their total out-degree). The true value is
+    /// `offsets[nodes.end] - offsets[nodes.start]`; the plan only keeps
+    /// word-aligned boundaries, so this pads by at most 63 arcs at each
+    /// cut. Used to size per-shard active-send worklists without the
+    /// `shards × total_arcs` blowup a uniform cap would cost.
+    #[inline]
+    pub fn out_arc_bound(&self, s: usize) -> usize {
+        (self.arc_count(s) + 63).min(self.arcs)
+    }
+
     /// The node-bitset word range shard `s` sweeps (indexes into a
     /// `words_for(n)`-long `u64` bitset over nodes).
     #[inline]
@@ -198,6 +223,34 @@ mod tests {
         for g in [harary(6, 100), complete(40), path(9), harary(16, 257)] {
             for shards in [1usize, 2, 3, 4, 7, 8, 64, 1000] {
                 check_plan(&g, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn active_count_accessors_bound_the_true_counts() {
+        for g in [harary(6, 100), complete(40), path(9), harary(16, 257)] {
+            for shards in [1usize, 2, 3, 7, 64] {
+                let plan = g.shard_plan(shards);
+                let mut arc_sum = 0usize;
+                let mut node_sum = 0usize;
+                for s in 0..plan.num_shards() {
+                    assert_eq!(plan.arc_count(s), plan.arcs_of(s).len());
+                    assert_eq!(plan.node_count(s), plan.nodes(s).len());
+                    // The true out-degree sum of the shard's nodes never
+                    // exceeds the word-padded bound.
+                    let out: usize = plan.nodes(s).map(|v| g.degree(v)).sum();
+                    assert!(
+                        out <= plan.out_arc_bound(s),
+                        "shard {s}: out {out} > bound {}",
+                        plan.out_arc_bound(s)
+                    );
+                    assert!(plan.out_arc_bound(s) <= g.num_arcs());
+                    arc_sum += plan.arc_count(s);
+                    node_sum += plan.node_count(s);
+                }
+                assert_eq!(arc_sum, g.num_arcs());
+                assert_eq!(node_sum, g.n());
             }
         }
     }

@@ -10,6 +10,9 @@
 //!   The job descriptor lives on the caller's stack; workers check in and
 //!   out under a lock, so no per-call heap allocation happens and the
 //!   borrow is released before `run` returns.
+//! * [`run_list`] — parallel-for over an **explicit worklist** of task
+//!   indices (the engine's sparse rounds visit only shards with staged
+//!   traffic; idle shards cost nothing).
 //! * [`par_chunks_mut`] — split a `&mut [T]` into fixed-size chunks and
 //!   process them in parallel (each chunk is touched by exactly one task).
 //! * [`par_map_collect`] — parallel `(0..n).map(f).collect()`.
@@ -278,6 +281,18 @@ pub fn run(n_tasks: usize, task: impl Fn(usize) + Sync) {
     current_pool().scope(n_tasks, &task);
 }
 
+/// Parallel-for over an **explicit worklist** of task indices: runs
+/// `task(list[i])` for every entry, scheduling entries across the pool
+/// like [`run`] schedules `0..n`. This is the worklist-friendly shape the
+/// engine's sparse round paths use: per-shard active lists (shards that
+/// actually staged traffic this round) are built once and only those
+/// shards are visited — idle shards cost nothing, not even a closure
+/// call. Allocation-free; entries may appear in any order and tasks must
+/// be independent, exactly as with [`run`].
+pub fn run_list(list: &[u32], task: impl Fn(usize) + Sync) {
+    current_pool().scope(list.len(), &|i| task(list[i] as usize));
+}
+
 /// Process `data` in contiguous chunks of `chunk_len` elements, in
 /// parallel. `f(chunk_index, chunk)`; the last chunk may be short.
 pub fn par_chunks_mut<T: Send>(
@@ -437,6 +452,25 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_list_visits_exactly_the_listed_tasks() {
+        let hits: Vec<AtomicU64> = (0..256).map(|_| AtomicU64::new(0)).collect();
+        let list: Vec<u32> = (0..256).step_by(3).collect();
+        for t in [1usize, 4] {
+            with_threads(t, || {
+                run_list(&list, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }
+        for (i, h) in hits.iter().enumerate() {
+            let expect = if i % 3 == 0 { 2 } else { 0 };
+            assert_eq!(h.load(Ordering::Relaxed), expect, "task {i}");
+        }
+        // Empty worklists are a no-op at any pool width.
+        run_list(&[], |_| panic!("no tasks"));
     }
 
     #[test]

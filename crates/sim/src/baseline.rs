@@ -70,12 +70,18 @@ impl<M: Clone> BaselineCtx<'_, M> {
 }
 
 /// Outcome mirror of [`crate::RunOutcome`], reduced to what the bench
-/// compares.
+/// and the differential harness compare.
 pub struct BaselineOutcome<O> {
     pub outputs: Vec<O>,
     pub rounds: u64,
     pub total_messages: u64,
     pub max_message_bits: usize,
+    /// Per-edge congestion (both directions summed), indexed by edge id —
+    /// the seed engine's own `arc_traffic` counters folded exactly the
+    /// way the packed engines fold theirs, so the three-way differential
+    /// harness can assert the meters bit-identical.
+    pub edge_congestion: Vec<u64>,
+    pub max_edge_congestion: u64,
 }
 
 /// Run the seed-style engine (serial — the seed's parallel path brought
@@ -151,14 +157,23 @@ where
             break;
         }
     }
-    // Matches the seed's post-run congestion fold (consumed here so the
-    // baseline pays for maintaining the counters, like the seed did).
-    let _max_arc_traffic = arc_traffic.iter().copied().max().unwrap_or(0);
+    // The seed's post-run congestion fold: per-arc deliveries summed onto
+    // their undirected edge, exactly as the packed engines fold theirs.
+    let mut per_edge: Vec<u64> = vec![0; graph.m()];
+    for v in 0..n as Node {
+        let lo = graph.arc_offset(v);
+        for (i, &e) in graph.incident_edges(v).iter().enumerate() {
+            per_edge[e as usize] += arc_traffic[lo + i];
+        }
+    }
+    let max_edge_congestion = per_edge.iter().copied().max().unwrap_or(0);
     BaselineOutcome {
         outputs: states.into_iter().map(|s| s.finish()).collect(),
         rounds,
         total_messages,
         max_message_bits,
+        edge_congestion: per_edge,
+        max_edge_congestion,
     }
 }
 

@@ -99,6 +99,14 @@ pub struct EngineConfig {
     pub shards: Option<usize>,
     /// Congestion metering implementation (results identical either way).
     pub meter: MeterMode,
+    /// Sparse-round fast-path threshold: rounds whose staged per-arc send
+    /// count is at most this take the worklist deliver path instead of
+    /// the full shard-region sweep. `None` derives a heuristic from the
+    /// arc count; `Some(0)` disables the fast path and `Some(usize::MAX)`
+    /// forces it for every scattering round (the differential tests pin
+    /// both extremes). Results are identical at every value — this is
+    /// purely a performance policy.
+    pub sparse_threshold: Option<usize>,
     /// Record per-round traffic (messages delivered per round) — the
     /// "traffic profile" figures of the experiment harness.
     pub collect_trace: bool,
@@ -115,6 +123,7 @@ impl Default for EngineConfig {
             parallel: true,
             shards: None,
             meter: MeterMode::default(),
+            sparse_threshold: None,
             collect_trace: false,
             faults: None,
         }
@@ -159,6 +168,13 @@ impl EngineConfig {
 
     pub fn meter(mut self, meter: MeterMode) -> Self {
         self.meter = meter;
+        self
+    }
+
+    /// Pin the sparse fast-path threshold (see
+    /// [`EngineConfig::sparse_threshold`]).
+    pub fn sparse_threshold(mut self, threshold: usize) -> Self {
+        self.sparse_threshold = Some(threshold);
         self
     }
 
@@ -210,6 +226,12 @@ pub struct RunOutcome<O> {
     /// Messages delivered per round, when
     /// [`EngineConfig::collect_trace`] was set.
     pub trace: Option<Vec<u64>>,
+    /// Total messages that crossed each undirected edge (both directions
+    /// summed), indexed by edge id — the per-edge congestion meters whose
+    /// maximum is [`RunStats::max_edge_congestion`]. The differential
+    /// harness asserts these bit-identical across engines and execution
+    /// modes, not just their max.
+    pub edge_congestion: Vec<u64>,
 }
 
 /// Why a run failed.
@@ -253,10 +275,29 @@ struct ShardMeter {
     all_done: bool,
     /// Whether any node in this shard's region broadcast this round.
     bcast_any: bool,
-    /// Whether any node of this shard staged a message through the
-    /// per-arc mask this round (per-port send or scatter-fallback
-    /// broadcast).
-    scatter_used: bool,
+    /// Messages this shard's nodes staged through the per-arc mask this
+    /// round (per-port sends plus scatter-fallback broadcasts). Zero lets
+    /// the deliver phase skip the arc plane; a small global total takes
+    /// the sparse worklist path.
+    staged: u32,
+    /// Whether any node of this shard staged a broadcast-plane word this
+    /// round (gates the per-node plane fold).
+    bcast_used: bool,
+}
+
+/// Does the inbox occupancy bitset need zeroing before this round's bits
+/// land, and how cheaply can that be done?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OccState {
+    /// All-zero (nothing to do).
+    Clean,
+    /// Nonzero only at the words listed in the engine's `set_words`
+    /// scratch (sparse rounds leave this breadcrumb so the next round
+    /// zeroes O(traffic) words, not O(arcs/64)).
+    Tracked,
+    /// Arbitrary (a full-sweep round rebuilt every word; zeroing takes a
+    /// whole-bitset fill).
+    Unknown,
 }
 
 /// The value the per-round tree reduction folds.
@@ -371,13 +412,37 @@ where
     let mut meters: Vec<ShardMeter> = vec![ShardMeter::default(); s_count];
     let mut agg_buf: Vec<RoundAgg> = vec![RoundAgg::default(); s_count];
 
+    // --- Sparse fast-path state. Rounds whose staged per-arc send count
+    // is at most `threshold` skip the full shard-region sweep: the step
+    // phase records every staged destination arc in a per-shard worklist
+    // (capped by the shard's out-degree bound, so the slab never pays the
+    // `shards × arcs` blowup), and the deliver phase touches exactly the
+    // staged arcs — occupancy, mask and meters all O(traffic).
+    let threshold = config
+        .sparse_threshold
+        .unwrap_or_else(|| (arcs / 32).clamp(64, 1 << 20))
+        .min(arcs);
+    let mut wl_starts: Vec<usize> = Vec::with_capacity(s_count + 1);
+    wl_starts.push(0);
+    for s in 0..s_count {
+        let cap = threshold.min(plan.out_arc_bound(s));
+        wl_starts.push(wl_starts[s] + cap);
+    }
+    let mut worklist: Vec<u32> = vec![0; wl_starts[s_count]];
+    // Surviving-entry counts per shard after the fault prefilter.
+    let mut wl_live: Vec<u32> = vec![0; s_count];
+    // Shards that staged at least one per-arc send this round.
+    let mut active_shards: Vec<u32> = Vec::with_capacity(s_count);
+    // Occupancy words set by the last sparse round (what the next round
+    // must zero). Bounded by the threshold and by the word count.
+    let mut set_words: Vec<u32> = Vec::with_capacity(threshold.min(occ_words));
+
     let mut stats = RunStats::default();
     let mut trace: Option<Vec<u64>> = config.collect_trace.then(Vec::new);
     let mut round: u64 = 0;
     let mut rounds_since_flush: u64 = 0;
-    // Whether the inbox occupancy bitset is known to be all-zero (lets
-    // consecutive pure-broadcast rounds skip even the zeroing).
-    let mut occ_clean = true;
+    // What zeroing the inbox occupancy bitset needs before new bits land.
+    let mut occ_state = OccState::Clean;
     loop {
         if round >= config.max_rounds {
             return Err(EngineError::RoundLimitExceeded {
@@ -387,6 +452,7 @@ where
         // --- Step phase: each shard steps its own nodes; sends scatter
         // into the staging slab's destination slots. The shard folds its
         // nodes' done flags while the cells are hot.
+        let use_plane = bcast_enabled && 4 * last_delivered >= arcs as u64;
         {
             let racy_cells = RacyCells::new(&mut cells);
             let racy_out = RacyCells::new(&mut out_words);
@@ -394,18 +460,23 @@ where
             let racy_bcast_out = RacyCells::new(&mut bcast_out_words);
             let racy_bcast_stage = RacyCells::new(&mut bcast_stage);
             let racy_meters = RacyCells::new(&mut meters);
+            let racy_wl = RacyCells::new(&mut worklist);
             let in_words = &in_words[..];
             let in_occ = &in_occ[..];
-            let use_plane = bcast_enabled && 4 * last_delivered >= arcs as u64;
             // One broadcast descriptor per round, shared by every node's
-            // context (a pointer per context, not a struct).
+            // context (a pointer per context, not a struct). Rounds after
+            // which nobody broadcast hand receivers `None` outright: the
+            // presence bits are unreadable anyway (`any` gates every
+            // reader), and a `None` plane keeps the inbox walk — the
+            // sparse regime's hottest loop — free of per-word plane
+            // probes.
             let bcast_in = BcastIn {
                 words: &bcast_in_words[..],
                 occ: &bcast_occ[..],
                 adj: graph.arc_targets(),
                 any: bcast_any,
             };
-            let bcast_in = bcast_enabled.then_some(&bcast_in);
+            let bcast_in = (bcast_enabled && bcast_any).then_some(&bcast_in);
             let bcast_out = BcastOut {
                 words: &racy_bcast_out,
                 stage: &racy_bcast_stage,
@@ -415,11 +486,23 @@ where
                 let nodes = plan.nodes(s);
                 let (v_lo, v_hi) = (nodes.start as usize, nodes.end as usize);
                 // Sound: shard `s` is the unique task stepping these nodes
-                // and writing meter block `s`.
+                // and writing meter block `s` and worklist region `s`.
                 let cells_s = unsafe { racy_cells.slice_mut(v_lo, v_hi) };
                 let meter = unsafe { &mut racy_meters.slice_mut(s, s + 1)[0] };
+                // One scatter-plane descriptor per shard per round; node
+                // contexts carry a pointer to it instead of its fields.
+                let plane = crate::protocol::ScatterPlane {
+                    words: &racy_out,
+                    mask: &racy_mask,
+                    rev: graph.reverse_arcs(),
+                    bcast: bcast_out,
+                    wl: &racy_wl,
+                    wl_lo: wl_starts[s],
+                    wl_cap: wl_starts[s + 1] - wl_starts[s],
+                    staged: std::cell::Cell::new(0),
+                    bcast_used: std::cell::Cell::new(false),
+                };
                 let mut all_done = true;
-                let mut scatter_used = false;
                 for (i, cell) in cells_s.iter_mut().enumerate() {
                     let v = (v_lo + i) as Node;
                     let lo = graph.arc_offset(v);
@@ -435,13 +518,9 @@ where
                             bcast: bcast_in,
                         },
                         outbox: OutSlot::Scatter {
-                            words: &racy_out,
-                            mask: &racy_mask,
-                            rev: graph.reverse_arcs(),
+                            plane: &plane,
                             lo,
                             deg,
-                            bcast: bcast_out,
-                            used: &mut scatter_used,
                         },
                         rng: &mut cell.rng,
                         done: &mut cell.done,
@@ -451,7 +530,8 @@ where
                     all_done &= cell.done;
                 }
                 meter.all_done = all_done;
-                meter.scatter_used = scatter_used;
+                meter.staged = plane.staged.get();
+                meter.bcast_used = plane.bcast_used.get();
             };
             if parallel {
                 congest_par::run(s_count, step_shard);
@@ -481,20 +561,146 @@ where
             }
         }
         // --- Deliver phase: the staging slab *becomes* the inbox slab,
-        // and each shard folds its own staging-mask region into the
-        // word-packed inbox bitset, meters the round into its private
-        // block, and re-zeroes its mask region.
+        // and the round's staged traffic is folded into the word-packed
+        // inbox bitset and the congestion meters, along one of three arc
+        // paths: **skip** (nothing staged — pure-broadcast or silent
+        // rounds cost at most the occupancy zeroing), **sparse** (the
+        // staged total fits the threshold — only the worklisted arcs are
+        // touched), or **full** (each shard sweeps its own word region as
+        // in PR 2). All three produce bit-identical results.
         std::mem::swap(&mut in_words, &mut out_words);
         std::mem::swap(&mut bcast_in_words, &mut bcast_out_words);
         let flush_now =
             config.meter == MeterMode::BitPlanes && rounds_since_flush + 1 == slab::FLUSH_PERIOD;
-        // Pure-broadcast rounds never touched the per-arc mask, so the
-        // whole arc-plane sweep (mask scan, metering, occupancy fold) can
-        // be skipped — the dominant deliver cost vanishes for the paper's
-        // flooding/pipelining traffic.
-        let skip_arc_sweep = bcast_enabled && !meters.iter().any(|m| m.scatter_used);
-        let occ_was_clean = occ_clean;
-        {
+        let staged_total: u64 = meters.iter().map(|m| m.staged as u64).sum();
+        // The per-node broadcast plane only needs folding in rounds where
+        // someone actually staged through it; receivers gate on
+        // `bcast_any`, and later folds rebuild every presence word, so
+        // skipped rounds leave no observable residue.
+        let fold_bcast = use_plane && meters.iter().any(|m| m.bcast_used);
+        // A shard whose staged count exceeds its worklist cap stopped
+        // recording: for protocols honoring the CONGEST discipline this
+        // cannot happen (a shard stages at most its out-degree bound, and
+        // the cap dominates both that and the threshold whenever the
+        // round is sparse), but a double-sending protocol in a release
+        // build could overrun its count — route those rounds to the full
+        // sweep so the worklist is never trusted beyond what was written.
+        let wl_overflow = meters
+            .iter()
+            .enumerate()
+            .any(|(s, m)| m.staged as usize > wl_starts[s + 1] - wl_starts[s]);
+        let sparse_round = staged_total > 0 && staged_total <= threshold as u64 && !wl_overflow;
+        let run_full_sweep = staged_total > 0 && !sparse_round;
+        for m in meters.iter_mut() {
+            m.delivered = 0;
+            m.bcast_any = false;
+        }
+        let mut sparse_delivered: u64 = 0;
+        if !run_full_sweep {
+            // Zero last round's occupancy bits: nothing (Clean), the
+            // tracked word list (after a sparse round), or a whole-bitset
+            // fill (after a full-sweep round — split across the pool, as
+            // the per-shard sweep regions were). The full sweep rebuilds
+            // every word itself and needs none of this.
+            match occ_state {
+                OccState::Clean => {}
+                OccState::Tracked => {
+                    for &w in &set_words {
+                        in_occ[w as usize] = 0;
+                    }
+                    set_words.clear();
+                }
+                OccState::Unknown => {
+                    if parallel && occ_words >= 4096 {
+                        let chunk = occ_words.div_ceil(congest_par::num_threads().max(1));
+                        congest_par::par_chunks_mut(&mut in_occ, chunk, |_, c| c.fill(0));
+                    } else {
+                        in_occ.fill(0);
+                    }
+                    set_words.clear();
+                }
+            }
+            occ_state = OccState::Clean;
+        }
+        if sparse_round {
+            // Stage A — fault prefilter over the active-shard worklists:
+            // drop entries the adversary unstaged, zero the surviving
+            // mask bytes, compact survivors in place. Every destination
+            // arc identifies a unique sender, so mask bytes and worklist
+            // regions have single writers and the pass parallelizes over
+            // the active-shard list (idle shards cost nothing).
+            active_shards.clear();
+            for (s, m) in meters.iter().enumerate() {
+                if m.staged > 0 {
+                    active_shards.push(s as u32);
+                }
+            }
+            {
+                let racy_wl = RacyCells::new(&mut worklist);
+                let racy_mask = RacyCells::new(&mut out_mask);
+                let racy_live = RacyCells::new(&mut wl_live);
+                let meters = &meters[..];
+                let wl_starts = &wl_starts[..];
+                let prefilter = |s: usize| {
+                    let cnt = meters[s].staged as usize;
+                    let base = wl_starts[s];
+                    // Sound: worklist region `s` and live-count slot `s`
+                    // belong to this task alone; every staged mask byte
+                    // has exactly one worklist entry pointing at it.
+                    let wl = unsafe { racy_wl.slice_mut(base, base + cnt) };
+                    let mut live = 0usize;
+                    for k in 0..cnt {
+                        let dest = wl[k] as usize;
+                        if unsafe { racy_mask.read(dest) } != 0 {
+                            unsafe { racy_mask.write(dest, 0) };
+                            wl[live] = dest as u32;
+                            live += 1;
+                        }
+                    }
+                    unsafe { racy_live.write(s, live as u32) };
+                };
+                if parallel && staged_total >= 4096 && active_shards.len() > 1 {
+                    congest_par::run_list(&active_shards, prefilter);
+                } else {
+                    for &s in &active_shards {
+                        prefilter(s as usize);
+                    }
+                }
+            }
+            // Stage B — serial merge over the survivors: occupancy bits,
+            // meters, delivery count, and the set-word breadcrumb the
+            // next round's zeroing uses. Per-arc effects commute, so the
+            // result is identical at every shard count and pool width.
+            for &s in &active_shards {
+                let base = wl_starts[s as usize];
+                let live = wl_live[s as usize] as usize;
+                for &dest in &worklist[base..base + live] {
+                    let dest = dest as usize;
+                    let w = dest >> 6;
+                    let bit = 1u64 << (dest & 63);
+                    if in_occ[w] == 0 {
+                        set_words.push(w as u32);
+                    }
+                    in_occ[w] |= bit;
+                    sparse_delivered += 1;
+                    match config.meter {
+                        MeterMode::BitPlanes => {
+                            slab::planes_add(
+                                &mut planes[w * slab::PLANES..(w + 1) * slab::PLANES],
+                                bit,
+                            );
+                        }
+                        MeterMode::ArcCounters => {
+                            arc_traffic[dest] = arc_traffic[dest].saturating_add(1);
+                        }
+                    }
+                }
+            }
+            if !set_words.is_empty() {
+                occ_state = OccState::Tracked;
+            }
+        }
+        if run_full_sweep || fold_bcast || flush_now {
             let racy_mask = RacyCells::new(&mut out_mask);
             let racy_occ = RacyCells::new(&mut in_occ);
             let racy_traffic = RacyCells::new(&mut arc_traffic);
@@ -520,15 +726,7 @@ where
                     )
                 };
                 let mut delivered = 0u64;
-                if skip_arc_sweep {
-                    // Nothing was staged through the per-arc mask this
-                    // round (pure broadcast traffic): the 0-cost path. The
-                    // occupancy bitset only needs zeroing if a previous
-                    // round left bits in it.
-                    if !occ_was_clean {
-                        occ_s.fill(0);
-                    }
-                } else {
+                if run_full_sweep {
                     match meter_mode {
                         MeterMode::BitPlanes => {
                             let planes_s = unsafe {
@@ -597,8 +795,12 @@ where
                 // --- Broadcast fold: this shard's node-word region of the
                 // per-node staging bytes becomes presence bits; a
                 // broadcasting node delivers `deg` messages in one bit.
+                // Only folded in rounds where someone staged through the
+                // plane — receivers gate on `bcast_any` and every fold
+                // rebuilds all presence words, so skipped rounds leave no
+                // observable residue (and cost nothing).
                 let mut shard_bcast = false;
-                if bcast_enabled {
+                if fold_bcast {
                     let nw = plan.node_words(s);
                     let nodes_cov = plan.node_word_nodes(s);
                     let (b_lo, b_hi) = (nodes_cov.start, nodes_cov.end);
@@ -646,19 +848,23 @@ where
                             }
                         }
                     }
-                    if flush_now && meter_mode == MeterMode::BitPlanes {
-                        for w in nw.clone() {
-                            let lo = w * 64;
-                            let hi = (lo + 64).min(b_hi);
-                            let (planes_w, traffic) = unsafe {
-                                (
-                                    racy_node_planes
-                                        .slice_mut(w * slab::PLANES, (w + 1) * slab::PLANES),
-                                    racy_node_traffic.slice_mut(lo, hi),
-                                )
-                            };
-                            slab::planes_flush(planes_w, traffic);
-                        }
+                }
+                // Node-plane flush runs on the arc-plane cadence whether
+                // or not this round folded the plane.
+                if bcast_enabled && flush_now && meter_mode == MeterMode::BitPlanes {
+                    let nw = plan.node_words(s);
+                    let b_hi = plan.node_word_nodes(s).end;
+                    for w in nw {
+                        let lo = w * 64;
+                        let hi = (lo + 64).min(b_hi);
+                        let (planes_w, traffic) = unsafe {
+                            (
+                                racy_node_planes
+                                    .slice_mut(w * slab::PLANES, (w + 1) * slab::PLANES),
+                                racy_node_traffic.slice_mut(lo, hi),
+                            )
+                        };
+                        slab::planes_flush(planes_w, traffic);
                     }
                 }
                 meter.delivered = delivered;
@@ -673,7 +879,9 @@ where
             }
         }
         rounds_since_flush = if flush_now { 0 } else { rounds_since_flush + 1 };
-        occ_clean = skip_arc_sweep;
+        if run_full_sweep {
+            occ_state = OccState::Unknown;
+        }
         // --- Combine the shard meter blocks: allocation-free fixed-shape
         // tree reduction (identical at every pool width and shard count).
         for (agg, m) in agg_buf.iter_mut().zip(&meters) {
@@ -693,6 +901,7 @@ where
             all_done,
             bcast_any: round_bcast,
         } = agg_buf[0];
+        let delivered = delivered + sparse_delivered;
         bcast_any = round_bcast;
         last_delivered = delivered;
         stats.total_messages += delivered;
@@ -759,6 +968,7 @@ where
         outputs,
         stats,
         trace,
+        edge_congestion: per_edge,
     })
 }
 

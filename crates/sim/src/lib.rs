@@ -29,9 +29,13 @@
 //! literal). The slabs are flat word vectors with a word-packed occupancy
 //! bitset; sends scatter through the precomputed reverse-arc permutation
 //! straight into the receiver's slot, so delivery is a buffer *swap* and
-//! the round loop allocates nothing (see [`engine`]). The pre-packing
-//! `Vec<Option<Msg>>` engine survives in [`baseline`] purely as the
-//! comparison arm of `benches/sim_throughput.rs`.
+//! the round loop allocates nothing (see [`engine`]). Rounds whose staged
+//! traffic is sparse take a worklist fast path — deliver cost is
+//! O(traffic), not O(arcs) (see [`engine::EngineConfig::sparse_threshold`]).
+//! The pre-packing `Vec<Option<Msg>>` engine survives in [`baseline`],
+//! the PR 1 round loop in [`pr1`], and the PR 2 single-tier ring
+//! multiplexer in [`pr2`] — the frozen comparison arms of
+//! `benches/sim_throughput.rs` and the differential test harnesses.
 //!
 //! Per-node randomness comes from a counter-based RNG seeded by
 //! `mix(run_seed, node_id)` ([`rng::node_rng`]), making whole runs
@@ -55,6 +59,7 @@ pub mod fault;
 pub mod message;
 pub mod phase;
 pub mod pr1;
+pub mod pr2;
 pub mod protocol;
 pub mod rng;
 pub mod sched;

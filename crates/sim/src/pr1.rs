@@ -372,6 +372,7 @@ where
         outputs,
         stats,
         trace,
+        edge_congestion: per_edge,
     })
 }
 

@@ -1,0 +1,262 @@
+//! The **PR 2 single-tier ring multiplexer, frozen** — the bench
+//! comparison arm for the two-tier queue rework.
+//!
+//! PR 2 rehosted the random-delay scheduler on fixed-capacity ring
+//! buffers carved uniformly from one `u128` slab: port `p` owned slots
+//! `p·cap..(p+1)·cap`, capacity rounded to a power of two. That layout
+//! goes cache-cold at large `n × capacity` — every port's ring base is
+//! `cap` words apart, so even depth-1 queues stride the whole slab — and
+//! the serve loop probed every port every round. [`crate::sched::PortRings`]
+//! replaced it with a two-tier (inline head + spill arena) queue; this
+//! module keeps the PR 2 hot path verbatim (the same way [`crate::pr1`]
+//! freezes the PR 1 engine) so `benches/sim_throughput.rs` can report the
+//! two-tier ring's speedup *over the single-tier ring* on the live
+//! engine, isolating the queue layout from everything else.
+//!
+//! Nothing outside the bench and its cross-check tests should use this.
+
+use crate::message::PackedMsg;
+use crate::protocol::{InSlot, NodeCtx, OutSlot, Protocol};
+use crate::sched::Tagged;
+use crate::slab;
+
+/// The PR 2 single-tier packed ring buffers, verbatim.
+struct SingleTierRings {
+    slab: Vec<u128>,
+    head: Vec<u32>,
+    len: Vec<u32>,
+    cap: u32,
+    queued: usize,
+    peak: usize,
+}
+
+impl SingleTierRings {
+    fn new(degree: usize, cap: usize) -> Self {
+        let cap = cap.max(1).next_power_of_two();
+        SingleTierRings {
+            slab: vec![0; degree * cap],
+            head: vec![0; degree],
+            len: vec![0; degree],
+            cap: cap as u32,
+            queued: 0,
+            peak: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, port: usize, word: u128) {
+        let len = self.len[port];
+        assert!(
+            len < self.cap,
+            "multiplexer ring overflow on port {port}: capacity {} exhausted — \
+             the queue capacity must be at least the per-edge congestion bound \
+             (Theorem 12) of the multiplexed collection",
+            self.cap
+        );
+        let slot = port as u32 * self.cap + ((self.head[port] + len) & (self.cap - 1));
+        self.slab[slot as usize] = word;
+        self.len[port] = len + 1;
+        self.queued += 1;
+        if (len + 1) as usize > self.peak {
+            self.peak = (len + 1) as usize;
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self, port: usize) -> Option<u128> {
+        let len = self.len[port];
+        if len == 0 {
+            return None;
+        }
+        let head = self.head[port];
+        let word = self.slab[(port as u32 * self.cap + head) as usize];
+        self.head[port] = (head + 1) & (self.cap - 1);
+        self.len[port] = len - 1;
+        self.queued -= 1;
+        Some(word)
+    }
+}
+
+struct Pr2Sub<P: Protocol> {
+    proto: P,
+    delay: u64,
+    virtual_round: u64,
+    done: bool,
+    woke: bool,
+    in_words: Vec<<P::Msg as PackedMsg>::Word>,
+    in_occ: Vec<u64>,
+    out_words: Vec<<P::Msg as PackedMsg>::Word>,
+    out_occ: Vec<u64>,
+}
+
+/// The PR 2 multiplexer: identical hosting logic to
+/// [`crate::sched::Multiplexed`] (same sub-stepping, same done-sub
+/// skipping, same tags), but over the frozen single-tier rings and the
+/// PR 2 probe-every-port serve loop.
+pub struct Pr2Multiplexed<P: Protocol> {
+    subs: Vec<Pr2Sub<P>>,
+    rings: SingleTierRings,
+}
+
+impl<P: Protocol> Pr2Multiplexed<P> {
+    /// Mirror of [`crate::sched::Multiplexed::new`].
+    pub fn new(instances: Vec<P>, delays: &[u64], degree: usize, queue_capacity: usize) -> Self {
+        assert_eq!(instances.len(), delays.len());
+        let subs = instances
+            .into_iter()
+            .zip(delays.iter())
+            .map(|(proto, &delay)| Pr2Sub {
+                proto,
+                delay,
+                virtual_round: 0,
+                done: false,
+                woke: false,
+                in_words: vec![Default::default(); degree],
+                in_occ: vec![0; slab::words_for(degree)],
+                out_words: vec![Default::default(); degree],
+                out_occ: vec![0; slab::words_for(degree)],
+            })
+            .collect();
+        Pr2Multiplexed {
+            subs,
+            rings: SingleTierRings::new(degree, queue_capacity),
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for Pr2Multiplexed<P> {
+    type Msg = Tagged<P::Msg>;
+    type Output = (Vec<P::Output>, usize);
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>) {
+        for (p, t) in ctx.inbox() {
+            let sub = &mut self.subs[t.algo as usize];
+            debug_assert!(!slab::test(&sub.in_occ, p as usize));
+            slab::set(&mut sub.in_occ, p as usize);
+            sub.in_words[p as usize] = t.msg.pack();
+            sub.woke = true;
+        }
+        for (i, sub) in self.subs.iter_mut().enumerate() {
+            if ctx.round < sub.delay || (sub.done && !sub.woke) {
+                continue;
+            }
+            sub.woke = false;
+            {
+                let mut sub_ctx = NodeCtx {
+                    node: ctx.node,
+                    round: sub.virtual_round,
+                    graph: ctx.graph,
+                    inbox: InSlot {
+                        words: &sub.in_words,
+                        occ: &sub.in_occ,
+                        bit0: 0,
+                        bcast: None,
+                    },
+                    outbox: OutSlot::Local {
+                        words: &mut sub.out_words,
+                        occ: &mut sub.out_occ,
+                    },
+                    rng: ctx.rng,
+                    done: &mut sub.done,
+                    max_bits: ctx.max_bits,
+                };
+                sub.proto.round(&mut sub_ctx);
+            }
+            sub.virtual_round += 1;
+            for (wi, occ_word) in sub.out_occ.iter_mut().enumerate() {
+                let mut bits = *occ_word;
+                *occ_word = 0;
+                while bits != 0 {
+                    let p = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let tagged = Tagged {
+                        algo: i as u32,
+                        msg: P::Msg::unpack(sub.out_words[p]),
+                    };
+                    self.rings.push(p, tagged.pack());
+                }
+            }
+            slab::clear_all(&mut sub.in_occ);
+        }
+        // The PR 2 serve loop, verbatim: probe every port.
+        for p in 0..ctx.degree() {
+            if let Some(word) = self.rings.pop(p) {
+                ctx.send(p as u32, Tagged::unpack(word));
+            }
+        }
+        let all_done = self.subs.iter().all(|s| s.done);
+        ctx.set_done(all_done && self.rings.queued == 0);
+    }
+
+    fn finish(self) -> Self::Output {
+        (
+            self.subs.into_iter().map(|s| s.proto.finish()).collect(),
+            self.rings.peak,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_protocol, EngineConfig};
+    use crate::sched::{random_delays, Multiplexed};
+    use congest_graph::{Graph, Node};
+
+    /// Message-driven flood (tolerates queuing delays).
+    struct Flood {
+        informed: bool,
+        relayed: bool,
+    }
+    impl Protocol for Flood {
+        type Msg = ();
+        type Output = bool;
+        fn round(&mut self, ctx: &mut NodeCtx<'_, ()>) {
+            if ctx.inbox_len() > 0 {
+                self.informed = true;
+            }
+            if self.informed && !self.relayed {
+                ctx.send_all(());
+                self.relayed = true;
+            }
+            ctx.set_done(self.relayed);
+        }
+        fn finish(self) -> bool {
+            self.informed
+        }
+    }
+
+    /// The frozen single-tier arm must agree with the live two-tier
+    /// multiplexer bit-for-bit: same outputs, same stats, same peak
+    /// queue depths — the tiers are a layout change, not a schedule
+    /// change.
+    #[test]
+    fn frozen_single_tier_agrees_with_two_tier() {
+        let g = congest_graph::generators::harary(6, 64);
+        let k = 5;
+        let delays = random_delays(k, 4, 11);
+        let mk = |v: Node| -> Vec<Flood> {
+            (0..k)
+                .map(|i| Flood {
+                    informed: i as Node == v,
+                    relayed: false,
+                })
+                .collect()
+        };
+        let live = run_protocol(
+            &g,
+            |v, gr: &Graph| Multiplexed::new(mk(v), &delays, gr.degree(v), 2 * k),
+            EngineConfig::with_seed(3),
+        )
+        .unwrap();
+        let frozen = run_protocol(
+            &g,
+            |v, gr: &Graph| Pr2Multiplexed::new(mk(v), &delays, gr.degree(v), 2 * k),
+            EngineConfig::with_seed(3),
+        )
+        .unwrap();
+        assert_eq!(live.outputs, frozen.outputs);
+        assert_eq!(live.stats, frozen.stats);
+        assert_eq!(live.edge_congestion, frozen.edge_congestion);
+    }
+}

@@ -68,6 +68,49 @@ pub(crate) struct InSlot<'a, M: PackedMsg> {
     pub(crate) bcast: Option<&'a BcastIn<'a, M>>,
 }
 
+/// Shard-invariant scatter-plane handles plus the shard's staging
+/// counters, built **once per shard per round** and shared by reference
+/// across every node context the shard constructs — one pointer per
+/// context instead of a dozen fields (sparse rounds are step-dominated,
+/// so context construction is hot). The counters are `Cell`s: the plane
+/// lives on the owning shard task's stack and is touched by that task
+/// alone; only the `RacyCells` slabs inside are cross-thread.
+pub(crate) struct ScatterPlane<'a, M: PackedMsg> {
+    pub(crate) words: &'a RacyCells<'a, M::Word>,
+    pub(crate) mask: &'a RacyCells<'a, u8>,
+    pub(crate) rev: &'a [u32],
+    pub(crate) bcast: Option<&'a BcastOut<'a, M>>,
+    /// The engine's active-send worklist slab: the first `wl_cap` staged
+    /// destination arcs of this shard land in `wl[wl_lo..wl_lo+wl_cap]`
+    /// (recording stops past the cap — the engine only trusts the list
+    /// when the round's global total fits its sparse threshold, which
+    /// the per-shard caps dominate).
+    pub(crate) wl: &'a RacyCells<'a, u32>,
+    pub(crate) wl_lo: usize,
+    pub(crate) wl_cap: usize,
+    /// Count of messages this shard staged through the per-arc mask this
+    /// round (per-port `send`, or `send_all`'s scatter fallback). Zero
+    /// lets the deliver sweep skip the arc plane entirely; a small
+    /// global total takes the sparse worklist fast path.
+    pub(crate) staged: std::cell::Cell<u32>,
+    /// Whether this shard staged anything through the broadcast plane
+    /// this round (gates the per-node plane fold).
+    pub(crate) bcast_used: std::cell::Cell<bool>,
+}
+
+impl<'a, M: PackedMsg> ScatterPlane<'a, M> {
+    /// Record one staged destination arc in the shard worklist.
+    #[inline]
+    fn record(&self, dest: usize) {
+        let k = self.staged.get() as usize;
+        if k < self.wl_cap {
+            // Sound: the worklist region belongs to this shard alone.
+            unsafe { self.wl.write(self.wl_lo + k, dest as u32) };
+        }
+        self.staged.set(k as u32 + 1);
+    }
+}
+
 /// Where this node's sends land.
 pub(crate) enum OutSlot<'a, M: PackedMsg> {
     /// Engine mode: per-port sends scatter straight into the *destination*
@@ -79,17 +122,9 @@ pub(crate) enum OutSlot<'a, M: PackedMsg> {
     /// `send_all` goes through the broadcast plane when available: one
     /// word + one staging byte per *node* instead of per arc.
     Scatter {
-        words: &'a RacyCells<'a, M::Word>,
-        mask: &'a RacyCells<'a, u8>,
-        rev: &'a [u32],
+        plane: &'a ScatterPlane<'a, M>,
         lo: usize,
         deg: usize,
-        bcast: Option<&'a BcastOut<'a, M>>,
-        /// Set whenever this node stages anything through the per-arc
-        /// mask (per-port `send`, or `send_all`'s scatter fallback). The
-        /// engine folds it per shard: a round in which *no* node
-        /// scattered lets the deliver sweep skip the arc plane entirely.
-        used: &'a mut bool,
     },
     /// Host mode: a plain port-indexed buffer, used by protocol
     /// combinators (e.g. [`crate::sched::Multiplexed`]) that run
@@ -218,7 +253,8 @@ impl<'a, M: PackedMsg> Iterator for InboxIter<'a, M> {
     /// In rounds where anyone broadcast, the presence gather and the
     /// message read are **fused**: one neighbor-list pass per word yields
     /// both, instead of building a presence word and re-deriving sources.
-    fn fold<B, F>(mut self, init: B, mut f: F) -> B
+    #[inline]
+    fn fold<B, F>(self, init: B, mut f: F) -> B
     where
         F: FnMut(B, (Port, M)) -> B,
     {
@@ -226,7 +262,54 @@ impl<'a, M: PackedMsg> Iterator for InboxIter<'a, M> {
         if self.deg == 0 {
             return acc;
         }
-        let fuse_bcast = self.bcast.is_some_and(|b| b.any);
+        if !self.bcast.is_some_and(|b| b.any) {
+            // No broadcast anywhere this round (the sparse regime's
+            // common case): a minimal word loop over the slab bits alone,
+            // with the dense full-word fast path — no plane probes, no
+            // per-item source dispatch. Quiescent nodes fall straight
+            // through; this prologue is small enough to inline into the
+            // protocol's round body, unlike the fused scan below.
+            let mut w = self.w;
+            let mut bits = self.cur_slab;
+            loop {
+                if bits == u64::MAX {
+                    // Full word ⇒ 64 consecutive in-range ports.
+                    let base = (w << 6) - self.bit0;
+                    for j in 0..64 {
+                        let port = (base + j) as Port;
+                        let m = M::unpack(unsafe { *self.words.get_unchecked(port as usize) });
+                        acc = f(acc, (port, m));
+                    }
+                } else {
+                    while bits != 0 {
+                        let t = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let port = ((w << 6) + t - self.bit0) as Port;
+                        // Sound: range-masked bits imply port < deg.
+                        let m = M::unpack(unsafe { *self.words.get_unchecked(port as usize) });
+                        acc = f(acc, (port, m));
+                    }
+                }
+                if w >= self.last_w {
+                    return acc;
+                }
+                w += 1;
+                bits = self.slab_word(w);
+            }
+        }
+        self.fold_fused(acc, &mut f)
+    }
+}
+
+impl<'a, M: PackedMsg> InboxIter<'a, M> {
+    /// The broadcast-fused internal iteration: one neighbor-list pass per
+    /// word yields presence and message together. Out-of-line — it only
+    /// runs in rounds where someone broadcast, and keeping it out of
+    /// `fold` keeps the sparse prologue inlinable.
+    fn fold_fused<B, F>(mut self, mut acc: B, f: &mut F) -> B
+    where
+        F: FnMut(B, (Port, M)) -> B,
+    {
         loop {
             let slab = self.cur_slab;
             let mut bits = slab | self.cur_bcast;
@@ -252,57 +335,52 @@ impl<'a, M: PackedMsg> Iterator for InboxIter<'a, M> {
                 return acc;
             }
             self.w += 1;
-            if fuse_bcast {
-                let b = self.bcast.expect("checked above");
-                let slab_bits = self.slab_word(self.w);
-                let lo = (self.w << 6).max(self.bit0);
-                let hi = ((self.w << 6) + 64).min(self.bit0 + self.deg);
-                if slab_bits == 0 {
-                    // Broadcast-only word (the common dense case): a tight
-                    // neighbor scan with no per-port slab test.
-                    for bitpos in lo..hi {
-                        let port = (bitpos - self.bit0) as Port;
-                        // Sound: `bitpos` is a valid arc position;
-                        // neighbor ids index the n-bit occ set and n-slot
-                        // table.
-                        unsafe {
-                            let nb = *b.adj.get_unchecked(bitpos) as usize;
-                            if *b.occ.get_unchecked(nb >> 6) >> (nb & 63) & 1 == 1 {
-                                let m = M::unpack(*b.words.get_unchecked(nb));
-                                acc = f(acc, (port, m));
-                            }
-                        }
-                    }
-                } else {
-                    for bitpos in lo..hi {
-                        let port = (bitpos - self.bit0) as Port;
-                        if slab_bits >> (bitpos & 63) & 1 == 1 {
-                            let m = M::unpack(unsafe { *self.words.get_unchecked(port as usize) });
+            let b = self.bcast.expect("fused path implies a live plane");
+            let slab_bits = self.slab_word(self.w);
+            let lo = (self.w << 6).max(self.bit0);
+            let hi = ((self.w << 6) + 64).min(self.bit0 + self.deg);
+            if slab_bits == 0 {
+                // Broadcast-only word (the common dense case): a tight
+                // neighbor scan with no per-port slab test.
+                for bitpos in lo..hi {
+                    let port = (bitpos - self.bit0) as Port;
+                    // Sound: `bitpos` is a valid arc position;
+                    // neighbor ids index the n-bit occ set and n-slot
+                    // table.
+                    unsafe {
+                        let nb = *b.adj.get_unchecked(bitpos) as usize;
+                        if *b.occ.get_unchecked(nb >> 6) >> (nb & 63) & 1 == 1 {
+                            let m = M::unpack(*b.words.get_unchecked(nb));
                             acc = f(acc, (port, m));
-                            continue;
-                        }
-                        // Sound: `bitpos` is a valid arc position;
-                        // neighbor ids index the n-bit occ set and n-slot
-                        // table.
-                        unsafe {
-                            let nb = *b.adj.get_unchecked(bitpos) as usize;
-                            if *b.occ.get_unchecked(nb >> 6) >> (nb & 63) & 1 == 1 {
-                                let m = M::unpack(*b.words.get_unchecked(nb));
-                                acc = f(acc, (port, m));
-                            }
                         }
                     }
                 }
-                if self.w >= self.last_w {
-                    return acc;
+            } else {
+                for bitpos in lo..hi {
+                    let port = (bitpos - self.bit0) as Port;
+                    if slab_bits >> (bitpos & 63) & 1 == 1 {
+                        let m = M::unpack(unsafe { *self.words.get_unchecked(port as usize) });
+                        acc = f(acc, (port, m));
+                        continue;
+                    }
+                    // Sound: `bitpos` is a valid arc position;
+                    // neighbor ids index the n-bit occ set and n-slot
+                    // table.
+                    unsafe {
+                        let nb = *b.adj.get_unchecked(bitpos) as usize;
+                        if *b.occ.get_unchecked(nb >> 6) >> (nb & 63) & 1 == 1 {
+                            let m = M::unpack(*b.words.get_unchecked(nb));
+                            acc = f(acc, (port, m));
+                        }
+                    }
                 }
-                // The fused path consumed word `w` entirely.
-                self.cur_slab = 0;
-                self.cur_bcast = 0;
-                continue;
             }
-            self.cur_slab = self.slab_word(self.w);
-            self.cur_bcast = self.bcast_word(self.w);
+            if self.w >= self.last_w {
+                return acc;
+            }
+            // The fused pass consumed word `w` entirely.
+            self.cur_slab = 0;
+            self.cur_bcast = 0;
         }
     }
 }
@@ -382,6 +460,7 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
     /// built on it: `for_each`, `sum`, folds over `map`/`filter` adapters)
     /// runs a word-nested loop with a dense fast path, so saturated
     /// inboxes cost a sequential scan instead of per-bit extraction.
+    #[inline]
     pub fn inbox(&self) -> InboxIter<'_, M> {
         let deg = self.degree();
         let bit0 = self.inbox.bit0;
@@ -436,28 +515,22 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
         }
         let word = msg.pack();
         let already = match &mut self.outbox {
-            OutSlot::Scatter {
-                words,
-                mask,
-                rev,
-                lo,
-                deg,
-                bcast,
-                used,
-            } => {
+            OutSlot::Scatter { plane, lo, deg } => {
                 assert!((port as usize) < *deg, "send on nonexistent port {port}");
-                let dest = rev[*lo + port as usize] as usize;
+                let dest = plane.rev[*lo + port as usize] as usize;
                 // A prior `send_all` this round already claimed every port.
                 let node = self.node as usize;
-                let already_bcast = bcast.is_some_and(|b| unsafe { b.stage.read(node) } != 0);
+                let already_bcast = plane
+                    .bcast
+                    .is_some_and(|b| unsafe { b.stage.read(node) } != 0);
                 // Sound: `rev` is a bijection, so slot `dest` belongs to
                 // this (node, port) alone this round.
-                let already = already_bcast || unsafe { mask.read(dest) } != 0;
+                let already = already_bcast || unsafe { plane.mask.read(dest) } != 0;
                 if !already {
-                    **used = true;
+                    plane.record(dest);
                     unsafe {
-                        mask.write(dest, 1);
-                        words.write(dest, word);
+                        plane.mask.write(dest, 1);
+                        plane.words.write(dest, word);
                     }
                 }
                 already
@@ -486,21 +559,13 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
     /// scatter: one packed word, `deg` plain stores.)
     pub fn send_all(&mut self, msg: M) {
         match &mut self.outbox {
-            OutSlot::Scatter {
-                words,
-                mask,
-                rev,
-                lo,
-                deg,
-                bcast,
-                used,
-            } => {
+            OutSlot::Scatter { plane, lo, deg } => {
                 let bits = msg.bits();
                 if bits > *self.max_bits {
                     *self.max_bits = bits;
                 }
                 let word = msg.pack();
-                if let Some(b) = bcast {
+                if let Some(b) = plane.bcast {
                     let node = self.node as usize;
                     // Sound: `node` is this node's own slot; no other
                     // task writes it.
@@ -514,9 +579,9 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
                         // Debug-only: `send_all` after a per-port `send`
                         // would double-book that port.
                         debug_assert!(
-                            rev[*lo..*lo + *deg]
+                            plane.rev[*lo..*lo + *deg]
                                 .iter()
-                                .all(|&d| mask.read(d as usize) == 0),
+                                .all(|&d| plane.mask.read(d as usize) == 0),
                             "CONGEST violation: node {} broadcast after sending in round {}",
                             self.node,
                             self.round
@@ -524,10 +589,11 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
                         b.stage.write(node, 1);
                         b.words.write(node, word);
                     }
+                    plane.bcast_used.set(true);
                     return;
                 }
-                **used = true;
-                for &dest in &rev[*lo..*lo + *deg] {
+                let k0 = plane.staged.get() as usize;
+                for (j, &dest) in plane.rev[*lo..*lo + *deg].iter().enumerate() {
                     let dest = dest as usize;
                     // Sound: own destination slots (see `send`). The
                     // double-send probe is debug-only on this bulk path —
@@ -535,15 +601,19 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
                     // `send` keeps the full check for per-port traffic.
                     unsafe {
                         debug_assert!(
-                            mask.read(dest) == 0,
+                            plane.mask.read(dest) == 0,
                             "CONGEST violation: node {} double-sent in round {}",
                             self.node,
                             self.round
                         );
-                        mask.write(dest, 1);
-                        words.write(dest, word);
+                        if k0 + j < plane.wl_cap {
+                            plane.wl.write(plane.wl_lo + k0 + j, dest as u32);
+                        }
+                        plane.mask.write(dest, 1);
+                        plane.words.write(dest, word);
                     }
                 }
+                plane.staged.set((k0 + *deg) as u32);
             }
             OutSlot::Local { .. } => {
                 for p in 0..self.degree() as Port {
@@ -557,19 +627,13 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
     #[inline]
     pub fn port_used(&self, port: Port) -> bool {
         match &self.outbox {
-            OutSlot::Scatter {
-                mask,
-                rev,
-                lo,
-                bcast,
-                ..
-            } => {
+            OutSlot::Scatter { plane, lo, .. } => {
                 // Sound: own destination slot / own broadcast byte (see
                 // `send`).
                 let node = self.node as usize;
                 unsafe {
-                    bcast.is_some_and(|b| b.stage.read(node) != 0)
-                        || mask.read(rev[*lo + port as usize] as usize) != 0
+                    plane.bcast.is_some_and(|b| b.stage.read(node) != 0)
+                        || plane.mask.read(plane.rev[*lo + port as usize] as usize) != 0
                 }
             }
             OutSlot::Local { occ, .. } => slab::test(occ, port as usize),

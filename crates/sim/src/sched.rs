@@ -12,23 +12,28 @@
 //! index and queued per port (FIFO); each real round, every port transmits
 //! at most one queued message — preserving the global CONGEST discipline.
 //!
-//! ## Packed ring-buffer port queues
+//! ## Two-tier packed port queues
 //!
-//! The port FIFOs are **fixed-capacity ring buffers carved from one
-//! pre-sized word slab** ([`PortRings`]): port `p` owns slots
-//! `p·cap..(p+1)·cap` of a single `Vec<u128>`, each slot holding a fully
-//! tagged packed message word. The capacity is the caller's per-edge
-//! congestion bound — exactly the quantity Theorem 12 is parameterized by
-//! (for `k` one-shot broadcasts, `k`; for a shared tree packing, the
-//! packing's congestion × messages per tree). Push and pop are index
-//! arithmetic on the slab, so a multiplexed node performs **zero heap
-//! allocation per round**: the multiplexer is engine-hostable on the hot
-//! path, composable with the fault adversary, and covered by
-//! `tests/zero_alloc.rs` like any other protocol. Exceeding the declared
-//! capacity panics with the observed port — an honest signal that the
-//! congestion bound fed to the scheduler was wrong. (The PR 1
-//! `VecDeque`-queue multiplexer survives as
-//! [`crate::pr1::Pr1Multiplexed`], the bench comparison arm.)
+//! The port FIFOs are **two-tier fixed-capacity rings** ([`PortRings`]):
+//! a 4-slot **inline head** carved per-port from one `u128` slab (one
+//! cache line per port) plus a shared **spill arena** whose per-port
+//! blocks are claimed by a cursor bump the first time a port overflows.
+//! The logical capacity is the caller's per-edge congestion bound —
+//! exactly the quantity Theorem 12 is parameterized by (for `k` one-shot
+//! broadcasts, `k`; for a shared tree packing, the packing's congestion ×
+//! messages per tree). Push and pop are index arithmetic, spill claims
+//! are cursor bumps into the pre-sized arena, so a multiplexed node
+//! performs **zero heap allocation per round**: the multiplexer is
+//! engine-hostable on the hot path, composable with the fault adversary,
+//! and covered by `tests/zero_alloc.rs` like any other protocol. Ports
+//! that stay at depth ≤ 4 never touch the arena, so at large
+//! `n × capacity` the resident footprint is one line per port, not the
+//! whole slab. Exceeding the declared capacity panics with the observed
+//! port — an honest signal that the congestion bound fed to the scheduler
+//! was wrong. (The PR 1 `VecDeque`-queue multiplexer survives as
+//! [`crate::pr1::Pr1Multiplexed`] and the PR 2 single-tier ring
+//! multiplexer as [`crate::pr2::Pr2Multiplexed`] — the bench comparison
+//! arms.)
 //!
 //! Sub-protocols run against node-local **packed** buffers (the same word
 //! slab + occupancy bitset shape the engine uses, via
@@ -96,19 +101,75 @@ impl<M: PackedMsg> PackedMsg for Tagged<M> {
     }
 }
 
-/// Per-port FIFO ring buffers carved from one pre-sized `u128` slab: port
-/// `p` owns slots `p·cap..(p+1)·cap`, each holding a fully tagged packed
-/// message word. Allocation happens once at construction; push/pop are
-/// index arithmetic.
-struct PortRings {
-    slab: Vec<u128>,
-    /// Ring head (index of the oldest queued word) per port.
-    head: Vec<u32>,
-    /// Queue length per port.
+/// Inline slots per port in the two-tier ring: 4 × `u128` = exactly one
+/// 64-byte cache line, so a hot port's whole working set is one line.
+pub const INLINE_CAP: u32 = 4;
+
+/// One port's inline tier, forced to cache-line alignment so the
+/// "one line per port" layout holds regardless of where the allocator
+/// puts the slab (a plain `Vec<u128>` is only 16-byte aligned and could
+/// make every port straddle two lines).
+#[repr(align(64))]
+#[derive(Clone, Copy)]
+struct InlineLine([u128; INLINE_CAP as usize]);
+
+/// Sentinel for "this port never overflowed its inline tier".
+const SPILL_UNCLAIMED: u32 = u32::MAX;
+
+/// Per-port **two-tier FIFO queues**: a small inline head carved per-port
+/// from one `u128` slab, plus a shared **spill arena** claimed on
+/// overflow.
+///
+/// * **Inline tier** — the front [`INLINE_CAP`] (= 4) elements of every
+///   port's queue live in `inline[p·4..(p+1)·4]`: one cache line per
+///   port, so ports whose depth never exceeds 4 (the common case — a
+///   well-scheduled Theorem-12 execution drains one message per round)
+///   touch nothing else. Pops always read the inline head.
+/// * **Spill tier** — elements beyond the inline head live in a per-port
+///   block of the shared arena, claimed by a cursor bump the first time
+///   the port overflows and kept for the queue's lifetime. The arena is
+///   pre-sized for the worst case (`degree` blocks), so a claim is never
+///   a heap allocation — but blocks of never-overflowing ports are never
+///   *touched*, so at large `n × capacity` the resident footprint is one
+///   cache line per port plus the genuinely hot blocks, not the whole
+///   `degree × capacity` slab the single-tier layout swept cold.
+///
+/// Every pop refills the vacated inline slot from the spill front, so
+/// FIFO order holds across the tiers and pops stay O(1) with at most one
+/// arena read. A word-packed nonempty bitset over ports lets the
+/// serve-one-per-port scan skip idle ports wholesale.
+///
+/// The logical capacity is **exactly the declared bound**: exceeding it
+/// panics with the observed port — an honest signal that the congestion
+/// bound fed to the scheduler (Theorem 12's parameter) was wrong — even
+/// when the physical tiers (the fixed inline line, the spill block
+/// rounded to a power of two so ring wrap-around is a mask, never a
+/// division) could have absorbed more.
+pub struct PortRings {
+    /// Inline tier: one cache-line-aligned block of `INLINE_CAP` slots
+    /// per port.
+    inline: Vec<InlineLine>,
+    /// Spill arena: `spill_cap` slots per block, `degree` blocks.
+    arena: Vec<u128>,
+    /// Per-port claimed arena block base (`SPILL_UNCLAIMED` until the
+    /// port first overflows).
+    spill_base: Vec<u32>,
+    /// Next unclaimed arena slot.
+    arena_next: u32,
+    /// Inline ring head per port (index of the oldest queued word,
+    /// modulo `INLINE_CAP`).
+    head: Vec<u8>,
+    /// Spill ring head per port (modulo `spill_cap`).
+    spill_head: Vec<u32>,
+    /// Queue length per port (both tiers).
     len: Vec<u32>,
-    /// Per-port capacity, rounded up to a power of two so ring wrap-around
-    /// is a mask, never a hardware division.
+    /// Spill block size (power of two, or 0 when the requested capacity
+    /// fits the inline tier). Physical: may exceed the logical bound.
+    spill_cap: u32,
+    /// Logical capacity per port — the declared Theorem-12 bound.
     cap: u32,
+    /// Word-packed bitset of ports with a nonempty queue.
+    nonempty: Vec<u64>,
     /// Total queued words across all ports (O(1) emptiness check).
     queued: usize,
     /// Peak per-port queue length observed (scheduling-quality metric).
@@ -116,20 +177,64 @@ struct PortRings {
 }
 
 impl PortRings {
-    fn new(degree: usize, cap: usize) -> Self {
-        let cap = cap.max(1).next_power_of_two();
+    /// Build queues for `degree` ports, each with logical capacity
+    /// exactly `cap` (the per-edge congestion bound of the multiplexed
+    /// collection).
+    pub fn new(degree: usize, cap: usize) -> Self {
+        let cap = cap.max(1) as u32;
+        let spill_cap =
+            cap.saturating_sub(INLINE_CAP).next_power_of_two() * u32::from(cap > INLINE_CAP);
         PortRings {
-            slab: vec![0; degree * cap],
+            inline: vec![InlineLine([0; INLINE_CAP as usize]); degree],
+            arena: vec![0; degree * spill_cap as usize],
+            spill_base: vec![SPILL_UNCLAIMED; degree],
+            arena_next: 0,
             head: vec![0; degree],
+            spill_head: vec![0; degree],
             len: vec![0; degree],
-            cap: cap as u32,
+            spill_cap,
+            cap,
+            nonempty: vec![0; crate::slab::words_for(degree)],
             queued: 0,
             peak: 0,
         }
     }
 
+    /// Logical capacity per port — the declared bound, exactly.
     #[inline]
-    fn push(&mut self, port: usize, word: u128) {
+    pub fn capacity(&self) -> usize {
+        self.cap as usize
+    }
+
+    /// Queued words across all ports.
+    #[inline]
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Queue length of one port.
+    #[inline]
+    pub fn len(&self, port: usize) -> usize {
+        self.len[port] as usize
+    }
+
+    /// Peak per-port queue length observed so far.
+    #[inline]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of ports that have claimed a spill block.
+    pub fn spilled_ports(&self) -> usize {
+        self.spill_base
+            .iter()
+            .filter(|&&b| b != SPILL_UNCLAIMED)
+            .count()
+    }
+
+    /// Append `word` to `port`'s queue. Panics past the capacity bound.
+    #[inline]
+    pub fn push(&mut self, port: usize, word: u128) {
         let len = self.len[port];
         assert!(
             len < self.cap,
@@ -138,8 +243,27 @@ impl PortRings {
              (Theorem 12) of the multiplexed collection",
             self.cap
         );
-        let slot = port as u32 * self.cap + ((self.head[port] + len) & (self.cap - 1));
-        self.slab[slot as usize] = word;
+        if len < INLINE_CAP {
+            let slot = (self.head[port] as u32 + len) & (INLINE_CAP - 1);
+            self.inline[port].0[slot as usize] = word;
+            if len == 0 {
+                self.nonempty[port >> 6] |= 1u64 << (port & 63);
+            }
+        } else {
+            // Overflow: claim this port's spill block on first use (a
+            // cursor bump into the pre-sized arena — never a heap
+            // allocation) and append at the spill tail.
+            let base = if self.spill_base[port] == SPILL_UNCLAIMED {
+                let base = self.arena_next;
+                self.spill_base[port] = base;
+                self.arena_next += self.spill_cap;
+                base
+            } else {
+                self.spill_base[port]
+            };
+            let slot = (self.spill_head[port] + (len - INLINE_CAP)) & (self.spill_cap - 1);
+            self.arena[(base + slot) as usize] = word;
+        }
         self.len[port] = len + 1;
         self.queued += 1;
         if (len + 1) as usize > self.peak {
@@ -147,18 +271,51 @@ impl PortRings {
         }
     }
 
+    /// Pop the oldest word queued on `port`.
     #[inline]
-    fn pop(&mut self, port: usize) -> Option<u128> {
+    pub fn pop(&mut self, port: usize) -> Option<u128> {
         let len = self.len[port];
         if len == 0 {
             return None;
         }
-        let head = self.head[port];
-        let word = self.slab[(port as u32 * self.cap + head) as usize];
-        self.head[port] = (head + 1) & (self.cap - 1);
+        let h = self.head[port] as u32;
+        let word = self.inline[port].0[h as usize];
+        if len > INLINE_CAP {
+            // Keep the inline tier the queue's front window: the vacated
+            // slot (which becomes the new inline tail position) takes the
+            // spill front. FIFO order across tiers is preserved.
+            let sh = self.spill_head[port];
+            self.inline[port].0[h as usize] = self.arena[(self.spill_base[port] + sh) as usize];
+            self.spill_head[port] = (sh + 1) & (self.spill_cap - 1);
+        }
+        self.head[port] = ((h + 1) & (INLINE_CAP - 1)) as u8;
         self.len[port] = len - 1;
         self.queued -= 1;
+        if len == 1 {
+            self.nonempty[port >> 6] &= !(1u64 << (port & 63));
+        }
         Some(word)
+    }
+
+    /// Pop one word from every nonempty port, ascending by port — the
+    /// Theorem-12 "each edge serves one queued message per round" step.
+    /// Idle ports cost nothing: the scan walks the nonempty bitset words,
+    /// so a quiescent multiplexer pays a few word loads regardless of
+    /// degree.
+    #[inline]
+    pub fn serve(&mut self, mut f: impl FnMut(usize, u128)) {
+        if self.queued == 0 {
+            return;
+        }
+        for wi in 0..self.nonempty.len() {
+            let mut bits = self.nonempty[wi];
+            while bits != 0 {
+                let p = (wi << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let word = self.pop(p).expect("nonempty bit implies a queued word");
+                f(p, word);
+            }
+        }
     }
 }
 
@@ -276,21 +433,19 @@ impl<P: Protocol> Protocol for Multiplexed<P> {
             }
             slab::clear_all(&mut sub.in_occ);
         }
-        // 3. Serve one queued message per port.
-        for p in 0..ctx.degree() {
-            if let Some(word) = self.rings.pop(p) {
-                ctx.send(p as u32, Tagged::unpack(word));
-            }
-        }
+        // 3. Serve one queued message per port (nonempty ports only — the
+        // bitset scan makes idle ports free).
+        let rings = &mut self.rings;
+        rings.serve(|p, word| ctx.send(p as u32, Tagged::unpack(word)));
         // 4. Done when all subs are done and no message waits.
         let all_done = self.subs.iter().all(|s| s.done);
-        ctx.set_done(all_done && self.rings.queued == 0);
+        ctx.set_done(all_done && self.rings.queued() == 0);
     }
 
     fn finish(self) -> Self::Output {
         (
             self.subs.into_iter().map(|s| s.proto.finish()).collect(),
-            self.rings.peak,
+            self.rings.peak(),
         )
     }
 }
@@ -365,25 +520,68 @@ mod tests {
         rings.push(0, 10);
         rings.push(0, 11);
         rings.push(2, 30);
-        assert_eq!(rings.queued, 3);
-        assert_eq!(rings.peak, 2);
+        assert_eq!(rings.queued(), 3);
+        assert_eq!(rings.peak(), 2);
         assert_eq!(rings.pop(0), Some(10));
-        rings.push(0, 12); // wraps around the ring
+        rings.push(0, 12); // wraps around the inline ring
         assert_eq!(rings.pop(0), Some(11));
         assert_eq!(rings.pop(0), Some(12));
         assert_eq!(rings.pop(0), None);
         assert_eq!(rings.pop(1), None);
         assert_eq!(rings.pop(2), Some(30));
-        assert_eq!(rings.queued, 0);
+        assert_eq!(rings.queued(), 0);
+        assert_eq!(rings.spilled_ports(), 0, "depth ≤ inline ⇒ no claims");
+    }
+
+    #[test]
+    fn rings_spill_preserves_fifo_across_tiers() {
+        let mut rings = PortRings::new(2, 12);
+        for i in 0..12u128 {
+            rings.push(1, 100 + i);
+        }
+        assert_eq!(rings.spilled_ports(), 1, "only the hot port claims");
+        assert_eq!(rings.peak(), 12);
+        // Interleave pops and pushes across the spill boundary.
+        for i in 0..6u128 {
+            assert_eq!(rings.pop(1), Some(100 + i));
+            rings.push(1, 200 + i);
+        }
+        for i in 6..12u128 {
+            assert_eq!(rings.pop(1), Some(100 + i));
+        }
+        for i in 0..6u128 {
+            assert_eq!(rings.pop(1), Some(200 + i));
+        }
+        assert_eq!(rings.pop(1), None);
+        assert_eq!(rings.queued(), 0);
+    }
+
+    #[test]
+    fn rings_serve_pops_one_per_nonempty_port_ascending() {
+        let mut rings = PortRings::new(70, 3);
+        for p in [0usize, 3, 64, 69] {
+            rings.push(p, p as u128);
+            rings.push(p, 1000 + p as u128);
+        }
+        let mut seen = Vec::new();
+        rings.serve(|p, w| seen.push((p, w)));
+        assert_eq!(seen, vec![(0, 0), (3, 3), (64, 64), (69, 69)]);
+        assert_eq!(rings.queued(), 4);
+        let mut seen = Vec::new();
+        rings.serve(|p, w| seen.push((p, w)));
+        assert_eq!(seen.len(), 4);
+        assert!(seen.iter().all(|&(p, w)| w == 1000 + p as u128));
+        assert_eq!(rings.queued(), 0);
+        rings.serve(|_, _| panic!("empty rings serve nothing"));
     }
 
     #[test]
     #[should_panic(expected = "ring overflow")]
     fn ring_overflow_panics_with_congestion_hint() {
         let mut rings = PortRings::new(1, 2);
-        rings.push(0, 1);
-        rings.push(0, 2);
-        rings.push(0, 3);
+        for i in 0..=rings.capacity() as u128 {
+            rings.push(0, i);
+        }
     }
 
     #[test]

@@ -1,11 +1,19 @@
 //! Property-based tests for the CONGEST engine: message conservation,
-//! determinism across execution modes, and metering consistency for
-//! arbitrary (randomized) chatter protocols.
+//! determinism across execution modes, metering consistency for
+//! arbitrary (randomized) chatter protocols, and the **three-way
+//! differential harness** — the live engine raced against the frozen
+//! PR 1 engine *and* the seed-style baseline over sparse/dense/mixed
+//! traffic × fault plans × shard counts, with the sparse fast path
+//! forced both on and off, asserting bit-identical inboxes (via the
+//! inbox-folding outputs) and identical per-arc congestion meters.
 
 use congest_graph::{Graph, GraphBuilder};
+use congest_sim::baseline::{run_baseline, BaselineCtx, BaselineProtocol};
 use congest_sim::pr1::{run_pr1, Pr1NodeCtx, Pr1Protocol};
-use congest_sim::{run_protocol, EngineConfig, MeterMode, NodeCtx, Protocol};
+use congest_sim::rng::node_rng;
+use congest_sim::{run_protocol, EngineConfig, FaultPlan, MeterMode, NodeCtx, Protocol};
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
 use rand::Rng;
 
 fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
@@ -67,25 +75,36 @@ impl Protocol for RandomChatter {
     }
 }
 
+/// Traffic profiles for [`MixedChatter`]: which regime of the engine the
+/// round-by-round action distribution exercises.
+const PROFILE_SPARSE: u8 = 0;
+const PROFILE_DENSE: u8 = 1;
+const PROFILE_MIXED: u8 = 2;
+
 /// A protocol that randomly mixes `send_all` (the broadcast plane),
 /// per-port `send` (the arc scatter plane), and silence — the oracle
 /// workload for the merged inbox. Receivers fold everything they hear.
+/// The profile shapes the distribution (sparse trickle / dense saturation
+/// / the original mix) while keeping the RNG call pattern identical, so
+/// every engine sees the same per-node random stream.
 struct MixedChatter {
     rounds: u64,
     sent: u64,
     heard: u64,
+    profile: u8,
 }
 
 impl MixedChatter {
-    /// Shared round body against any context (closures abstract the two
-    /// engines' APIs).
+    /// Shared round body against any context (closures abstract the
+    /// engines' APIs). Exactly two RNG draws per active round, in every
+    /// profile and branch, so the streams stay aligned across engines.
     fn drive(
         &mut self,
         round: u64,
         degree: usize,
         inbox_fold: u64,
         inbox_count: u64,
-        rng: &mut rand::rngs::SmallRng,
+        rng: &mut SmallRng,
     ) -> MixedAction {
         self.heard = self
             .heard
@@ -95,13 +114,41 @@ impl MixedChatter {
         if round >= self.rounds {
             return MixedAction::Quiet;
         }
-        match rng.gen_range(0..4u32) {
-            0 => {
-                self.sent += degree as u64;
-                MixedAction::Broadcast(rng.gen())
+        let a = rng.gen_range(0..16u32);
+        let m: u64 = rng.gen();
+        match self.profile {
+            PROFILE_SPARSE => {
+                // Mostly silence; occasional thin port masks; rare
+                // broadcasts (which in sparse rounds take the engine's
+                // scatter fallback).
+                if a == 0 {
+                    self.sent += degree as u64;
+                    MixedAction::Broadcast(m)
+                } else if a < 4 {
+                    MixedAction::Ports(m & m.rotate_left(17) & m.rotate_left(31))
+                } else {
+                    MixedAction::Quiet
+                }
             }
-            1 | 2 => MixedAction::Ports(rng.gen()),
-            _ => MixedAction::Quiet,
+            PROFILE_DENSE => {
+                // Every node talks every round: broadcast or all ports.
+                if a < 8 {
+                    self.sent += degree as u64;
+                    MixedAction::Broadcast(m)
+                } else {
+                    MixedAction::Ports(!0)
+                }
+            }
+            _ => {
+                if a < 4 {
+                    self.sent += degree as u64;
+                    MixedAction::Broadcast(m)
+                } else if a < 12 {
+                    MixedAction::Ports(m)
+                } else {
+                    MixedAction::Quiet
+                }
+            }
         }
     }
 }
@@ -169,6 +216,44 @@ impl Pr1Protocol for MixedChatter {
     }
 }
 
+/// The seed-engine arm of the three-way harness: the baseline context has
+/// no engine-provided RNG, so this wrapper carries the node's own
+/// [`node_rng`] stream — seeded exactly as the packed engines seed
+/// theirs, so all three arms draw identical per-node randomness.
+struct BaselineMixed {
+    inner: MixedChatter,
+    rng: SmallRng,
+}
+
+impl BaselineProtocol for BaselineMixed {
+    type Msg = u64;
+    type Output = (u64, u64);
+    fn round(&mut self, ctx: &mut BaselineCtx<'_, u64>) {
+        let fold = ctx.inbox().fold(0u64, |a, (p, &m)| {
+            a.wrapping_mul(17).wrapping_add(m ^ p as u64)
+        });
+        let count = ctx.inbox_len() as u64;
+        let deg = ctx.degree();
+        match self.inner.drive(ctx.round, deg, fold, count, &mut self.rng) {
+            MixedAction::Broadcast(m) => ctx.send_all(m),
+            MixedAction::Ports(mask) => {
+                for p in 0..deg.min(64) as u32 {
+                    if mask >> p & 1 == 1 {
+                        ctx.send(p, mask.wrapping_add(p as u64));
+                        self.inner.sent += 1;
+                    }
+                }
+            }
+            MixedAction::Quiet => {}
+        }
+        let done = ctx.round >= self.inner.rounds;
+        ctx.set_done(done);
+    }
+    fn finish(self) -> (u64, u64) {
+        (self.inner.sent, self.inner.heard)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -181,7 +266,7 @@ proptest! {
         g in arb_connected_graph(24),
         seed in any::<u64>(),
     ) {
-        let mk = || MixedChatter { rounds: 9, sent: 0, heard: 0 };
+        let mk = || MixedChatter { rounds: 9, sent: 0, heard: 0, profile: PROFILE_MIXED };
         let frozen = run_pr1(&g, |_, _| mk(), EngineConfig::with_seed(seed).trace()).unwrap();
         for &meter in &[MeterMode::BitPlanes, MeterMode::ArcCounters] {
             let live = run_protocol(
@@ -214,7 +299,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let g = congest_graph::generators::harary(8, n);
-        let mk = || MixedChatter { rounds: 8, sent: 0, heard: 0 };
+        let mk = || MixedChatter { rounds: 8, sent: 0, heard: 0, profile: PROFILE_MIXED };
         let frozen = run_pr1(&g, |_, _| mk(), EngineConfig::with_seed(seed).trace()).unwrap();
         for threads in [2usize, 4] {
             let par = congest_par::with_threads(threads, || {
@@ -377,6 +462,119 @@ proptest! {
                         "threads={} shards={} meter={:?}", threads, shards, meter);
                     prop_assert_eq!(&par.trace, &reference.trace,
                         "threads={} shards={} meter={:?}", threads, shards, meter);
+                }
+            }
+        }
+    }
+}
+
+/// Thresholds the three-way harness pins: fast path off (`0`), fast path
+/// forced for every scattering round (`usize::MAX`), and the default
+/// heuristic.
+const THRESHOLDS: [Option<usize>; 3] = [Some(0), Some(usize::MAX), None];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The **three-way differential harness**: the live engine (sparse
+    /// fast path forced on, forced off, and on its heuristic; several
+    /// shard counts; both meter modes; serial and parallel) vs the frozen
+    /// PR 1 engine vs the seed-style baseline, over sparse, dense, and
+    /// mixed traffic. Inboxes must be bit-identical (the outputs fold
+    /// every delivered `(port, message)` pair) and the per-arc congestion
+    /// meters must agree edge for edge, not just in their max.
+    #[test]
+    fn three_way_differential_harness(
+        g in arb_connected_graph(22),
+        seed in any::<u64>(),
+        profile in 0u8..3,
+    ) {
+        let mk = || MixedChatter { rounds: 8, sent: 0, heard: 0, profile };
+        let frozen = run_pr1(&g, |_, _| mk(), EngineConfig::with_seed(seed).trace()).unwrap();
+        // Arm 2: the seed-style baseline (no packed plane at all).
+        let base = run_baseline::<BaselineMixed, _>(
+            &g,
+            |v, _| BaselineMixed { inner: mk(), rng: node_rng(seed, v) },
+            10_000,
+        );
+        prop_assert_eq!(&base.outputs, &frozen.outputs, "baseline vs pr1 outputs");
+        prop_assert_eq!(base.rounds, frozen.stats.rounds);
+        prop_assert_eq!(base.total_messages, frozen.stats.total_messages);
+        prop_assert_eq!(base.max_message_bits, frozen.stats.max_message_bits);
+        prop_assert_eq!(&base.edge_congestion, &frozen.edge_congestion,
+            "baseline vs pr1 per-edge meters");
+        prop_assert_eq!(base.max_edge_congestion, frozen.stats.max_edge_congestion);
+        // Arm 3: the live engine across the config grid.
+        for &thr in &THRESHOLDS {
+            for &shards in &[1usize, 5] {
+                for &meter in &[MeterMode::BitPlanes, MeterMode::ArcCounters] {
+                    let mut cfg = EngineConfig::serial().seed(seed).shards(shards).meter(meter).trace();
+                    cfg.sparse_threshold = thr;
+                    let live = run_protocol(&g, |_, _| mk(), cfg).unwrap();
+                    prop_assert_eq!(&live.outputs, &frozen.outputs,
+                        "thr={:?} shards={} meter={:?}", thr, shards, meter);
+                    prop_assert_eq!(live.stats, frozen.stats,
+                        "thr={:?} shards={} meter={:?}", thr, shards, meter);
+                    prop_assert_eq!(&live.trace, &frozen.trace,
+                        "thr={:?} shards={} meter={:?}", thr, shards, meter);
+                    prop_assert_eq!(&live.edge_congestion, &frozen.edge_congestion,
+                        "per-edge meters: thr={:?} shards={} meter={:?}", thr, shards, meter);
+                }
+            }
+            // One parallel run per threshold (pool width 4, 6 shards).
+            let par = congest_par::with_threads(4, || {
+                let mut cfg = EngineConfig::with_seed(seed).shards(6).trace();
+                cfg.sparse_threshold = thr;
+                run_protocol(&g, |_, _| mk(), cfg).unwrap()
+            });
+            prop_assert_eq!(&par.outputs, &frozen.outputs, "parallel thr={:?}", thr);
+            prop_assert_eq!(par.stats, frozen.stats, "parallel thr={:?}", thr);
+            prop_assert_eq!(&par.edge_congestion, &frozen.edge_congestion,
+                "parallel per-edge meters thr={:?}", thr);
+        }
+    }
+
+    /// The faulted wing of the harness: the same profiles under a mobile
+    /// edge adversary (which disables the broadcast plane, so every
+    /// `send_all` takes the scatter fallback). The baseline engine has no
+    /// fault support, so this wing is two-way — live vs PR 1 — asserting
+    /// identical drops and per-edge meters with the fast path forced both
+    /// ways.
+    #[test]
+    fn three_way_differential_harness_faulted(
+        g in arb_connected_graph(20),
+        seed in any::<u64>(),
+        profile in 0u8..3,
+        budget in 1usize..4,
+        fseed in any::<u64>(),
+    ) {
+        let plan = FaultPlan::new(budget, fseed);
+        let mk = || MixedChatter { rounds: 8, sent: 0, heard: 0, profile };
+        let frozen = run_pr1(
+            &g,
+            |_, _| mk(),
+            EngineConfig::with_seed(seed).trace().with_faults(plan.clone()),
+        )
+        .unwrap();
+        for &thr in &THRESHOLDS {
+            for &shards in &[1usize, 4] {
+                for &meter in &[MeterMode::BitPlanes, MeterMode::ArcCounters] {
+                    let mut cfg = EngineConfig::serial()
+                        .seed(seed)
+                        .shards(shards)
+                        .meter(meter)
+                        .trace()
+                        .with_faults(plan.clone());
+                    cfg.sparse_threshold = thr;
+                    let live = run_protocol(&g, |_, _| mk(), cfg).unwrap();
+                    prop_assert_eq!(&live.outputs, &frozen.outputs,
+                        "thr={:?} shards={} meter={:?}", thr, shards, meter);
+                    prop_assert_eq!(live.stats, frozen.stats,
+                        "thr={:?} shards={} meter={:?}", thr, shards, meter);
+                    prop_assert_eq!(&live.trace, &frozen.trace,
+                        "thr={:?} shards={} meter={:?}", thr, shards, meter);
+                    prop_assert_eq!(&live.edge_congestion, &frozen.edge_congestion,
+                        "per-edge meters: thr={:?} shards={} meter={:?}", thr, shards, meter);
                 }
             }
         }

@@ -1,6 +1,9 @@
-//! Property-based tests for the fault adversary's edge-drawing stream.
+//! Property-based tests for the fault adversary's edge-drawing stream,
+//! plus the regression tests for the adversary's interaction with the
+//! broadcast plane's adaptive scatter fallback in sparse rounds.
 
-use congest_sim::FaultPlan;
+use congest_sim::pr1::{run_pr1, Pr1NodeCtx, Pr1Protocol};
+use congest_sim::{run_protocol, EngineConfig, FaultPlan, NodeCtx, Protocol};
 use proptest::prelude::*;
 
 proptest! {
@@ -44,5 +47,120 @@ proptest! {
     fn deterministic_per_round(seed in any::<u64>(), round in 0u64..1000) {
         let plan = FaultPlan::new(8, seed);
         prop_assert_eq!(plan.blocked_edges(round, 4096), plan.blocked_edges(round, 4096));
+    }
+}
+
+/// A deliberately sparse broadcaster: after a few silent rounds (which
+/// drive the engine's adaptive plane signal to "sparse"), a single node
+/// re-broadcasts every round. Without faults this exercises `send_all`'s
+/// scatter fallback in sparse rounds; with faults the plane is disabled
+/// outright and the same fallback carries the traffic.
+struct SparseBeacon {
+    node: u32,
+    until: u64,
+    acc: u64,
+}
+
+impl SparseBeacon {
+    fn speaks(&self, round: u64) -> bool {
+        self.node == 0 && round >= 2 && round < self.until
+    }
+}
+
+impl Protocol for SparseBeacon {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        for (p, m) in ctx.inbox() {
+            self.acc = self.acc.wrapping_mul(31).wrapping_add(m ^ p as u64);
+        }
+        if self.speaks(ctx.round) {
+            ctx.send_all(self.acc | 1);
+        }
+        ctx.set_done(ctx.round >= self.until);
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+impl Pr1Protocol for SparseBeacon {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut Pr1NodeCtx<'_, u64>) {
+        for (p, m) in ctx.inbox() {
+            self.acc = self.acc.wrapping_mul(31).wrapping_add(m ^ p as u64);
+        }
+        if self.speaks(ctx.round) {
+            ctx.send_all(self.acc | 1);
+        }
+        ctx.set_done(ctx.round >= self.until);
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// Regression: a round that is **sparse and faulted** must take the
+/// scatter fallback (the adversary disables the broadcast plane) and
+/// still meter blocked arcs correctly — dropped messages are counted but
+/// never metered as traffic, identically to the frozen PR 1 engine, with
+/// the sparse fast path forced on, forced off, and on its heuristic.
+#[test]
+fn sparse_faulted_rounds_scatter_and_meter_blocked_arcs() {
+    let g = congest_graph::generators::harary(6, 40);
+    let until = 30u64;
+    let mk = |v: u32| SparseBeacon {
+        node: v,
+        until,
+        acc: 1,
+    };
+    for fault_budget in [1usize, 3] {
+        let plan = FaultPlan::new(fault_budget, 0xFA_17);
+        let frozen = run_pr1(
+            &g,
+            |v, _| mk(v),
+            EngineConfig::with_seed(9).trace().with_faults(plan.clone()),
+        )
+        .unwrap();
+        assert!(
+            frozen.stats.dropped_messages > 0,
+            "the adversary must catch some staged broadcast arcs"
+        );
+        for thr in [Some(0), Some(usize::MAX), None] {
+            let mut cfg = EngineConfig::with_seed(9).trace().with_faults(plan.clone());
+            cfg.sparse_threshold = thr;
+            let live = run_protocol(&g, |v, _| mk(v), cfg).unwrap();
+            assert_eq!(live.outputs, frozen.outputs, "thr {thr:?}");
+            assert_eq!(live.stats, frozen.stats, "thr {thr:?}");
+            assert_eq!(live.trace, frozen.trace, "thr {thr:?}");
+            assert_eq!(
+                live.edge_congestion, frozen.edge_congestion,
+                "blocked arcs must meter identically (thr {thr:?})"
+            );
+        }
+    }
+}
+
+/// Regression: the same sparse beacon **without** faults goes through the
+/// adaptive fallback branch (`send_all` in a plane-disabled sparse round
+/// scatters per arc) and must agree with PR 1 on everything metered.
+#[test]
+fn sparse_unfaulted_broadcast_takes_adaptive_fallback() {
+    let g = congest_graph::generators::harary(6, 40);
+    let mk = |v: u32| SparseBeacon {
+        node: v,
+        until: 20,
+        acc: 1,
+    };
+    let frozen = run_pr1(&g, |v, _| mk(v), EngineConfig::with_seed(4).trace()).unwrap();
+    for thr in [Some(0), Some(usize::MAX), None] {
+        let mut cfg = EngineConfig::with_seed(4).trace();
+        cfg.sparse_threshold = thr;
+        let live = run_protocol(&g, |v, _| mk(v), cfg).unwrap();
+        assert_eq!(live.outputs, frozen.outputs, "thr {thr:?}");
+        assert_eq!(live.stats, frozen.stats, "thr {thr:?}");
+        assert_eq!(live.trace, frozen.trace, "thr {thr:?}");
+        assert_eq!(live.edge_congestion, frozen.edge_congestion, "thr {thr:?}");
     }
 }

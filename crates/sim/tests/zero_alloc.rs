@@ -94,6 +94,71 @@ impl Protocol for RotChatter {
     }
 }
 
+/// Sparse per-port chatter: a trickle of nodes send on one rotating port
+/// each round, so every round's staged total sits far below the sparse
+/// threshold and the engine's worklist fast path (including its
+/// set-word zeroing breadcrumbs) runs every round.
+struct SparseTrickle {
+    node: u32,
+    until: u64,
+    acc: u64,
+}
+
+impl Protocol for SparseTrickle {
+    type Msg = u64;
+    type Output = u64;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        for (_, m) in ctx.inbox() {
+            self.acc ^= m;
+        }
+        if ctx.round < self.until {
+            if (self.node as u64 + ctx.round).is_multiple_of(64) {
+                let p = (ctx.round % ctx.degree() as u64) as u32;
+                ctx.send(p, self.acc | 1);
+            }
+        } else {
+            ctx.set_done(true);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// Bursting multiplexed chatter: every sub floods every port during the
+/// burst window, so port queues build depth ≫ the inline tier and every
+/// port claims a spill block from the preallocated arena — while the
+/// round loop must still allocate nothing.
+struct BurstChatter {
+    burst: u64,
+    until: u64,
+    acc: u64,
+}
+
+impl Protocol for BurstChatter {
+    type Msg = u64;
+    type Output = u64;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        for (_, m) in ctx.inbox() {
+            self.acc ^= m;
+        }
+        if ctx.round < self.until {
+            if ctx.round < self.burst {
+                ctx.send_all(self.acc | 1);
+            }
+        } else {
+            ctx.set_done(true);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
 fn allocs_for(g: &congest_graph::Graph, rounds: u64, cfg: EngineConfig) -> u64 {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let out = run_protocol(
@@ -106,6 +171,59 @@ fn allocs_for(g: &congest_graph::Graph, rounds: u64, cfg: EngineConfig) -> u64 {
     )
     .unwrap();
     assert_eq!(out.stats.rounds, rounds);
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn sparse_allocs_for(g: &congest_graph::Graph, rounds: u64, cfg: EngineConfig) -> u64 {
+    // Force the fast path for every scattering round, so the count below
+    // measures the worklist machinery itself.
+    let cfg = cfg.sparse_threshold(usize::MAX);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = run_protocol(
+        g,
+        |v, _| SparseTrickle {
+            node: v,
+            until: rounds,
+            acc: 1,
+        },
+        cfg,
+    )
+    .unwrap();
+    assert_eq!(out.stats.rounds, rounds);
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// Spill-arena coverage: deep burst queues must claim spill blocks from
+/// the preallocated arena, never the heap. The burst length is fixed, so
+/// spills happen identically at every horizon and any extra allocation
+/// would show as a rounds-dependent count.
+fn spill_allocs_for(g: &congest_graph::Graph, rounds: u64, cfg: EngineConfig) -> u64 {
+    let k = 8usize;
+    let delays = vec![0; k];
+    let burst = 6u64;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = run_protocol(
+        g,
+        |_, gr: &congest_graph::Graph| {
+            let subs: Vec<BurstChatter> = (0..k)
+                .map(|_| BurstChatter {
+                    burst,
+                    until: rounds,
+                    acc: 1,
+                })
+                .collect();
+            // Worst case queue depth: k subs push per burst round while
+            // one message drains per port per round.
+            Multiplexed::new(subs, &delays, gr.degree(0), k * burst as usize)
+        },
+        cfg,
+    )
+    .unwrap();
+    // Queues must genuinely have spilled past the inline tier.
+    assert!(
+        out.outputs.iter().all(|(_, peak)| *peak > 4),
+        "burst must drive queues past the inline tier"
+    );
     ALLOCATIONS.load(Ordering::Relaxed) - before
 }
 
@@ -179,5 +297,33 @@ fn round_loop_allocates_nothing_after_setup() {
     assert_eq!(
         long, short,
         "parallel multiplexed round loop allocated: {short} for 40 rounds vs {long} for 400"
+    );
+
+    // Sparse fast path (forced on): the worklist deliver, its set-word
+    // breadcrumbs, and the active-shard lists must all live in
+    // setup-time buffers.
+    let _warm = sparse_allocs_for(&g, 10, EngineConfig::serial());
+    let short = sparse_allocs_for(&g, 40, EngineConfig::serial());
+    let long = sparse_allocs_for(&g, 400, EngineConfig::serial());
+    assert_eq!(
+        long, short,
+        "sparse fast-path round loop allocated: {short} for 40 rounds vs {long} for 400"
+    );
+    let _warm = sparse_allocs_for(&g, 10, EngineConfig::default());
+    let short = sparse_allocs_for(&g, 40, EngineConfig::default());
+    let long = sparse_allocs_for(&g, 400, EngineConfig::default());
+    assert_eq!(
+        long, short,
+        "parallel sparse fast-path loop allocated: {short} for 40 rounds vs {long} for 400"
+    );
+
+    // Spill-arena path: queues build past the inline tier and claim spill
+    // blocks — cursor bumps into the preallocated arena, not the heap.
+    let _warm = spill_allocs_for(&g, 20, EngineConfig::serial());
+    let short = spill_allocs_for(&g, 40, EngineConfig::serial());
+    let long = spill_allocs_for(&g, 400, EngineConfig::serial());
+    assert_eq!(
+        long, short,
+        "spill-arena round loop allocated: {short} for 40 rounds vs {long} for 400"
     );
 }
