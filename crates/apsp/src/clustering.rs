@@ -15,9 +15,7 @@
 //! `Gc`-neighborhoods in `O(#clusters)` rounds).
 
 use congest_graph::{Graph, Node};
-use congest_sim::{
-    run_protocol, EngineConfig, EngineError, MsgBits, NodeCtx, PackedMsg, Protocol, RunStats,
-};
+use congest_sim::{EngineConfig, EngineError, MsgBits, NodeCtx, PackedMsg, Protocol, RunStats};
 use rand::Rng;
 
 /// Per-node clustering output.
@@ -189,23 +187,36 @@ pub fn build_clustering(
     c: f64,
     seed: u64,
 ) -> Result<(ClusterGraph, RunStats), ClusteringError> {
+    let mut host = congest_sim::PhaseHost::resident(g);
+    build_clustering_hosted(&mut host, c, seed)
+}
+
+/// [`build_clustering`] on a caller-provided engine host, so the APSP
+/// pipeline's clustering phase shares the engine its broadcast phases
+/// run on.
+pub fn build_clustering_hosted(
+    host: &mut congest_sim::PhaseHost<'_>,
+    c: f64,
+    seed: u64,
+) -> Result<(ClusterGraph, RunStats), ClusteringError> {
+    let g = host.graph();
     let n = g.n();
     let delta = g.min_degree().max(1);
     let p = (c * (n.max(2) as f64).ln() / delta as f64).min(1.0);
-    let run = run_protocol(
-        g,
+    let run = host.run(
         |v, _| ClusterProtocol::new(v, p),
         EngineConfig::with_seed(seed),
     )?;
+    let stats = run.stats;
+    let outputs = run.take_outputs();
     // Coverage check (w.h.p. event).
-    for (v, info) in run.outputs.iter().enumerate() {
+    for (v, info) in outputs.iter().enumerate() {
         if info.s.is_none() {
             return Err(ClusteringError::Uncovered(UncoveredNode(v as Node)));
         }
     }
     // Dense renumbering of centers.
-    let mut centers: Vec<Node> = run
-        .outputs
+    let mut centers: Vec<Node> = outputs
         .iter()
         .enumerate()
         .filter(|(_, i)| i.is_center)
@@ -214,8 +225,7 @@ pub fn build_clustering(
     centers.sort_unstable();
     let center_index =
         |c: Node| -> u32 { centers.binary_search(&c).expect("s(v) must be a center") as u32 };
-    let cluster_of: Vec<u32> = run
-        .outputs
+    let cluster_of: Vec<u32> = outputs
         .iter()
         .map(|i| center_index(i.s.expect("covered")))
         .collect();
@@ -240,7 +250,7 @@ pub fn build_clustering(
             cluster_of,
             graph,
         },
-        run.stats,
+        stats,
     ))
 }
 
@@ -275,9 +285,20 @@ pub fn build_clustering_retrying(
     seed: u64,
     attempts: usize,
 ) -> Result<(ClusterGraph, RunStats), ClusteringError> {
+    let mut host = congest_sim::PhaseHost::resident(g);
+    build_clustering_retrying_hosted(&mut host, c, seed, attempts)
+}
+
+/// [`build_clustering_retrying`] on a caller-provided engine host.
+pub fn build_clustering_retrying_hosted(
+    host: &mut congest_sim::PhaseHost<'_>,
+    c: f64,
+    seed: u64,
+    attempts: usize,
+) -> Result<(ClusterGraph, RunStats), ClusteringError> {
     let mut last = None;
     for a in 0..attempts.max(1) {
-        match build_clustering(g, c, seed.wrapping_add(a as u64 * 0xC11)) {
+        match build_clustering_hosted(host, c, seed.wrapping_add(a as u64 * 0xC11)) {
             Ok(ok) => return Ok(ok),
             Err(e @ ClusteringError::Uncovered(_)) => last = Some(e),
             Err(e) => return Err(e),

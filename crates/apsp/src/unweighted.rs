@@ -14,10 +14,10 @@
 //! 5. everyone evaluates `d̃(u,v) = 3·d_Gc(s(u), s(v)) + 2` locally
 //!    (Lemma 7 proves `d ≤ d̃ ≤ 3d + 2`).
 
-use crate::clustering::{build_clustering_retrying, ClusterGraph, ClusteringError};
+use crate::clustering::{build_clustering_retrying_hosted, ClusterGraph, ClusteringError};
 use crate::prt12::prt12_apsp;
 use congest_core::broadcast::{
-    partition_broadcast_retrying, BroadcastConfig, BroadcastError, BroadcastInput,
+    partition_broadcast_retrying_hosted, BroadcastConfig, BroadcastError, BroadcastInput,
 };
 use congest_core::partition::PartitionParams;
 use congest_graph::{Graph, Node};
@@ -64,11 +64,14 @@ pub fn unweighted_apsp_approx(
     seed: u64,
 ) -> Result<UnweightedApspOutcome, ApspError> {
     let n = g.n();
+    // One resident engine serves the clustering phase and every phase of
+    // the Theorem 1 broadcast below.
+    let mut host = congest_sim::PhaseHost::resident(g);
     let mut phases = PhaseLog::new();
 
     // 1. Clustering (3 measured rounds).
-    let (cg, cluster_stats) =
-        build_clustering_retrying(g, 2.0, seed, 20).map_err(ApspError::Clustering)?;
+    let (cg, cluster_stats) = build_clustering_retrying_hosted(&mut host, 2.0, seed, 20)
+        .map_err(ApspError::Clustering)?;
     phases.record("clustering", cluster_stats);
 
     // 2. PRT12 on the cluster graph (charged per Lemma 6).
@@ -87,8 +90,8 @@ pub fn unweighted_apsp_approx(
     };
     let params =
         PartitionParams::from_lambda(n, lambda, congest_core::broadcast::DEFAULT_PARTITION_C);
-    let (bc, _) = partition_broadcast_retrying(
-        g,
+    let (bc, _) = partition_broadcast_retrying_hosted(
+        &mut host,
         &input,
         params,
         &BroadcastConfig::with_seed(seed ^ 0xB0),

@@ -26,7 +26,7 @@ use congest_graph::Graph;
 use congest_sim::baseline::{run_baseline, BaselineCtx, BaselineProtocol};
 use congest_sim::pr1::{run_pr1, Pr1Multiplexed, Pr1NodeCtx, Pr1Protocol};
 use congest_sim::sched::{random_delays, Multiplexed};
-use congest_sim::{run_protocol, EngineConfig, NodeCtx, Protocol};
+use congest_sim::{run_protocol, EngineConfig, NodeCtx, PhaseHost, Protocol};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -1030,27 +1030,31 @@ fn bench_shard_scaling() -> (Vec<ScalingRow>, f64, f64) {
     (rows, dense_geomean, sparse_geomean)
 }
 
-/// One row of the mux ring-layout comparison: the live two-tier queue
-/// vs the frozen PR 2 single-tier ring, same multiplexer logic, same
-/// engine — isolating the queue layout. `cap` is the declared Theorem-12
-/// capacity; `deep` workloads genuinely spill, `spread` workloads stay
-/// shallow under a conservative (large) declared bound — the case whose
-/// cache-cold slab sweep motivated the two-tier rework.
+/// One row of the multiplexer comparison: the live arm (two-tier rings
+/// on the live engine) vs a frozen arm — either the PR 2 single-tier
+/// ring layout on the same engine (isolating the queue layout), or the
+/// whole PR 1-hosted multiplexer (isolating the live engine's per-node
+/// context weight, the ROADMAP's host-mode gap item). `cap` is the
+/// declared Theorem-12 capacity.
 struct MuxRingRow {
     workload: &'static str,
     graph: String,
     cap: usize,
-    two_tier_ns: u128,
-    single_tier_ns: u128,
+    /// What the live arm is racing: the frozen comparison arm's name.
+    frozen_arm: &'static str,
+    live_ns: u128,
+    frozen_ns: u128,
 }
 
 impl MuxRingRow {
     fn speedup(&self) -> f64 {
-        self.single_tier_ns as f64 / self.two_tier_ns as f64
+        self.frozen_ns as f64 / self.live_ns as f64
     }
 }
 
-/// Race the two-tier rings against the frozen PR 2 single-tier rings.
+/// Race the live multiplexer against the frozen PR 2 single-tier rings
+/// (layout isolation) and against the PR 1-hosted `VecDeque` multiplexer
+/// (host isolation — the dense-mux gap the NodeCtx slimming targets).
 fn bench_mux_rings() -> Vec<MuxRingRow> {
     use congest_sim::pr2::Pr2Multiplexed;
     let (n_mux, rounds, samples) = if smoke() {
@@ -1135,19 +1139,212 @@ fn bench_mux_rings() -> Vec<MuxRingRow> {
             workload,
             graph: graph.clone(),
             cap,
-            two_tier_ns: per_round(two_hi, two_lo),
-            single_tier_ns: per_round(one_hi, one_lo),
+            frozen_arm: "pr2_single_tier_rings",
+            live_ns: per_round(two_hi, two_lo),
+            frozen_ns: per_round(one_hi, one_lo),
+        });
+    }
+    // --- Host comparison: the live engine hosting the two-tier
+    // multiplexer vs the frozen PR 1 engine hosting its `VecDeque`
+    // multiplexer, on dense mux traffic. Before the host-mode NodeCtx
+    // slimming the live host trailed by ~20% here (ROADMAP item); this
+    // row tracks that gap.
+    {
+        let mut live = |r: u64| {
+            run_protocol(
+                &g,
+                |_, gr: &Graph| Multiplexed::new(mk_subs(r), &delays, gr.degree(0), k),
+                EngineConfig::default(),
+            )
+            .unwrap()
+            .stats
+            .total_messages
+        };
+        let mut pr1_host = |r: u64| {
+            run_pr1(
+                &g,
+                |_, gr: &Graph| Pr1Multiplexed::new(mk_subs(r), &delays, gr.degree(0)),
+                EngineConfig::default(),
+            )
+            .unwrap()
+            .stats
+            .total_messages
+        };
+        let (mut live_hi, mut live_lo) = (u128::MAX, u128::MAX);
+        let (mut pr1_hi, mut pr1_lo) = (u128::MAX, u128::MAX);
+        for _ in 0..samples {
+            live_hi = live_hi.min(time_once(&mut live, rounds));
+            live_lo = live_lo.min(time_once(&mut live, lo_rounds));
+            pr1_hi = pr1_hi.min(time_once(&mut pr1_host, rounds));
+            pr1_lo = pr1_lo.min(time_once(&mut pr1_host, lo_rounds));
+        }
+        let per_round =
+            |hi: u128, lo: u128| hi.saturating_sub(lo).max(1) / (rounds - lo_rounds) as u128;
+        rows.push(MuxRingRow {
+            workload: "mux_host_dense",
+            graph: graph.clone(),
+            cap: k,
+            frozen_arm: "pr1_engine_host",
+            live_ns: per_round(live_hi, live_lo),
+            frozen_ns: per_round(pr1_hi, pr1_lo),
         });
     }
     rows
 }
 
+/// One row of the phase-reuse comparison: a whole multi-phase algorithm
+/// executed **session-hosted** (one resident engine for every phase) vs
+/// **per-phase** (a fresh engine per phase — the pre-session
+/// composition). Whole-run wall clock: the difference *is* the
+/// per-phase engine churn.
+struct PhaseReuseRow {
+    workload: &'static str,
+    graph: String,
+    phases: usize,
+    session_ns: u128,
+    per_phase_ns: u128,
+}
+
+impl PhaseReuseRow {
+    fn speedup(&self) -> f64 {
+        self.per_phase_ns as f64 / self.session_ns as f64
+    }
+}
+
+/// Session-hosted vs per-phase composition: the end-to-end six-phase
+/// Theorem 1 broadcast, the exp-search doubling loop, and a
+/// short-phase chatter composition where engine churn dominates.
+fn bench_phase_reuse() -> (Vec<PhaseReuseRow>, f64) {
+    use congest_core::broadcast::{partition_broadcast_with, BroadcastConfig, BroadcastInput};
+    use congest_core::exp_search::exp_search_broadcast;
+    use congest_core::partition::PartitionParams;
+
+    let (n_bcast, n_search, n_chat, samples) = if smoke() {
+        (2_000usize, 1_000usize, 40_000usize, 2usize)
+    } else {
+        (40_000usize, 12_000usize, 400_000usize, 3usize)
+    };
+    let mut rows = Vec::new();
+
+    // --- Theorem 1 end to end (six phases).
+    {
+        let g = harary(16, n_bcast);
+        let input = BroadcastInput::random_spread(&g, n_bcast / 4, 7);
+        let params = PartitionParams::from_lambda(g.n(), 16, 2.0);
+        let run_arm = |resident: bool| {
+            let mut cfg = BroadcastConfig::with_seed(0x7E57);
+            cfg.phase_resident = resident;
+            partition_broadcast_with(&g, &input, params, &cfg).unwrap()
+        };
+        // Cross-check: both compositions must agree bit for bit.
+        let a = run_arm(true);
+        let b = run_arm(false);
+        assert_eq!(a.stats, b.stats, "theorem1: session vs per-phase stats");
+        assert_eq!(a.per_node, b.per_node, "theorem1: session vs per-phase");
+        assert!(a.all_delivered());
+        let (mut ses, mut per) = (u128::MAX, u128::MAX);
+        for _ in 0..samples {
+            let t = Instant::now();
+            criterion::black_box(run_arm(true).total_rounds);
+            ses = ses.min(t.elapsed().as_nanos());
+            let t = Instant::now();
+            criterion::black_box(run_arm(false).total_rounds);
+            per = per.min(t.elapsed().as_nanos());
+        }
+        rows.push(PhaseReuseRow {
+            workload: "theorem1_broadcast_6phase",
+            graph: format!("harary16_{n_bcast}"),
+            phases: 6,
+            session_ns: ses,
+            per_phase_ns: per,
+        });
+    }
+
+    // --- Exponential search (the doubling loop re-pays partition +
+    // subgraph-BFS + validity check per iteration).
+    {
+        let g = harary(8, n_search);
+        let input = BroadcastInput::random_spread(&g, n_search / 4, 3);
+        let run_arm = |resident: bool| {
+            let mut cfg = BroadcastConfig::with_seed(0x5EA);
+            cfg.phase_resident = resident;
+            exp_search_broadcast(&g, &input, &cfg).unwrap()
+        };
+        let (a, ra) = run_arm(true);
+        let (b, rb) = run_arm(false);
+        assert_eq!(a.stats, b.stats, "exp_search: session vs per-phase");
+        assert_eq!(ra, rb, "exp_search: reports diverge");
+        assert!(a.all_delivered());
+        let phases = a.phases.len();
+        let (mut ses, mut per) = (u128::MAX, u128::MAX);
+        for _ in 0..samples {
+            let t = Instant::now();
+            criterion::black_box(run_arm(true).0.total_rounds);
+            ses = ses.min(t.elapsed().as_nanos());
+            let t = Instant::now();
+            criterion::black_box(run_arm(false).0.total_rounds);
+            per = per.min(t.elapsed().as_nanos());
+        }
+        rows.push(PhaseReuseRow {
+            workload: "exp_search_broadcast",
+            graph: format!("harary8_{n_search}"),
+            phases,
+            session_ns: ses,
+            per_phase_ns: per,
+        });
+    }
+
+    // --- Short phases at scale: 12 three-round phases, where engine
+    // (re)construction dominates the rounds themselves.
+    {
+        let g = harary(16, n_chat);
+        let phase_count = 12usize;
+        let run_arm = |resident: bool| -> u64 {
+            let mut host = PhaseHost::new(&g, resident);
+            let mut acc = 0u64;
+            for p in 0..phase_count as u64 {
+                let out = host
+                    .run(
+                        |_, _| DenseChatter::new(3),
+                        EngineConfig::with_seed(congest_sim::rng::phase_seed(0xC0DE, p)),
+                    )
+                    .unwrap();
+                acc ^= out.stats.total_messages;
+            }
+            acc
+        };
+        assert_eq!(run_arm(true), run_arm(false), "short_phases cross-check");
+        let (mut ses, mut per) = (u128::MAX, u128::MAX);
+        for _ in 0..samples {
+            let t = Instant::now();
+            criterion::black_box(run_arm(true));
+            ses = ses.min(t.elapsed().as_nanos());
+            let t = Instant::now();
+            criterion::black_box(run_arm(false));
+            per = per.min(t.elapsed().as_nanos());
+        }
+        rows.push(PhaseReuseRow {
+            workload: "short_phases_12x3rounds",
+            graph: format!("harary16_{n_chat}"),
+            phases: phase_count,
+            session_ns: ses,
+            per_phase_ns: per,
+        });
+    }
+
+    let geo = geomean(rows.iter().map(PhaseReuseRow::speedup));
+    (rows, geo)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     measurements: &[Measurement],
     scaling: &[ScalingRow],
     mux_rings: &[MuxRingRow],
+    phase_reuse: &[PhaseReuseRow],
     dense_geomean: f64,
     sparse_geomean: f64,
+    phase_reuse_geomean: f64,
     path: &std::path::Path,
 ) {
     let mut s = String::new();
@@ -1260,10 +1457,13 @@ fn write_json(
     let _ = writeln!(s, "    ],");
     let _ = writeln!(s, "    \"geomean_vs_pr1_4_shards\": {sparse_geomean:.3}");
     let _ = writeln!(s, "  }},");
-    // --- Two-tier vs single-tier ring layout comparison.
+    // --- Multiplexer comparisons: the live arm (two-tier rings on the
+    // live engine) vs each frozen arm — the PR 2 single-tier rings
+    // (layout isolation) and the PR 1 engine host (host-mode context
+    // isolation; the ROADMAP's dense-mux gap item).
     let _ = writeln!(
         s,
-        "  \"mux_ring_compare_note\": \"two-tier (inline head + spill arena) port queues vs the frozen PR 2 single-tier ring slab, same multiplexer logic on the live engine; ns per round via horizon differencing\","
+        "  \"mux_ring_compare_note\": \"live arm = two-tier (inline head + spill arena) port queues hosted on the live engine; frozen_arm names the comparison: pr2_single_tier_rings (same engine, PR 2 ring layout) or pr1_engine_host (whole PR 1-hosted VecDeque multiplexer); ns per round via horizon differencing\","
     );
     let _ = writeln!(s, "  \"mux_ring_compare\": [");
     for (i, r) in mux_rings.iter().enumerate() {
@@ -1271,20 +1471,44 @@ fn write_json(
         let _ = writeln!(s, "      \"workload\": \"{}\",", r.workload);
         let _ = writeln!(s, "      \"graph\": \"{}\",", r.graph);
         let _ = writeln!(s, "      \"declared_capacity\": {},", r.cap);
-        let _ = writeln!(s, "      \"two_tier_ns_per_round\": {},", r.two_tier_ns);
-        let _ = writeln!(
-            s,
-            "      \"single_tier_ns_per_round\": {},",
-            r.single_tier_ns
-        );
-        let _ = writeln!(s, "      \"speedup_two_tier\": {:.3}", r.speedup());
+        let _ = writeln!(s, "      \"frozen_arm\": \"{}\",", r.frozen_arm);
+        let _ = writeln!(s, "      \"live_ns_per_round\": {},", r.live_ns);
+        let _ = writeln!(s, "      \"frozen_ns_per_round\": {},", r.frozen_ns);
+        let _ = writeln!(s, "      \"speedup_live\": {:.3}", r.speedup());
         let _ = writeln!(
             s,
             "    }}{}",
             if i + 1 < mux_rings.len() { "," } else { "" }
         );
     }
-    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "  ],");
+    // --- Phase-reuse section: session-hosted vs per-phase composition.
+    let _ = writeln!(
+        s,
+        "  \"phase_reuse_note\": \"whole multi-phase algorithms executed on one resident congest_sim::Session vs a fresh engine per phase (the pre-session run_protocol composition); whole-run wall clock, best of N; both arms cross-checked bit-identical before timing\","
+    );
+    let _ = writeln!(s, "  \"phase_reuse\": {{");
+    let _ = writeln!(s, "    \"workloads\": [");
+    for (i, r) in phase_reuse.iter().enumerate() {
+        let _ = writeln!(s, "      {{");
+        let _ = writeln!(s, "        \"workload\": \"{}\",", r.workload);
+        let _ = writeln!(s, "        \"graph\": \"{}\",", r.graph);
+        let _ = writeln!(s, "        \"phases\": {},", r.phases);
+        let _ = writeln!(s, "        \"session_ns\": {},", r.session_ns);
+        let _ = writeln!(s, "        \"per_phase_ns\": {},", r.per_phase_ns);
+        let _ = writeln!(s, "        \"speedup_session\": {:.3}", r.speedup());
+        let _ = writeln!(
+            s,
+            "      }}{}",
+            if i + 1 < phase_reuse.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(
+        s,
+        "    \"geomean_session_vs_per_phase\": {phase_reuse_geomean:.3}"
+    );
+    let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     std::fs::write(path, s).expect("write BENCH_sim.json");
 }
@@ -1324,19 +1548,47 @@ fn bench_engine(c: &mut Criterion) {
             "REGRESSION-MARKER: sparse geomean {sparse_geomean:.3} < {sparse_bar:.1} vs the PR 1 engine"
         );
     }
-    // --- Two-tier vs single-tier mux rings.
+    // --- Mux comparisons: ring layout and engine host.
     let mux_rings = bench_mux_rings();
-    println!("\n| mux ring workload | graph | cap | two-tier | single-tier | speedup |");
-    println!("|---|---|---|---|---|---|");
+    println!("\n| mux workload | graph | cap | frozen arm | live | frozen | speedup |");
+    println!("|---|---|---|---|---|---|---|");
     for r in &mux_rings {
+        println!(
+            "| {} | {} | {} | {} | {:.3} ms | {:.3} ms | {:.2}x |",
+            r.workload,
+            r.graph,
+            r.cap,
+            r.frozen_arm,
+            r.live_ns as f64 / 1e6,
+            r.frozen_ns as f64 / 1e6,
+            r.speedup()
+        );
+    }
+    // --- Phase-reuse: session-hosted vs per-phase composition.
+    let (phase_reuse, phase_reuse_geomean) = bench_phase_reuse();
+    println!("\n| phase-reuse workload | graph | phases | session | per-phase | speedup |");
+    println!("|---|---|---|---|---|---|");
+    for r in &phase_reuse {
         println!(
             "| {} | {} | {} | {:.3} ms | {:.3} ms | {:.2}x |",
             r.workload,
             r.graph,
-            r.cap,
-            r.two_tier_ns as f64 / 1e6,
-            r.single_tier_ns as f64 / 1e6,
+            r.phases,
+            r.session_ns as f64 / 1e6,
+            r.per_phase_ns as f64 / 1e6,
             r.speedup()
+        );
+    }
+    println!(
+        "phase-reuse geomean speedup (session-hosted vs per-phase): {phase_reuse_geomean:.2}x"
+    );
+    // Session hosting must never lose to per-phase composition; the
+    // smoke lane gets slack for small-n noise on shared runners.
+    let reuse_bar = if smoke() { 0.85 } else { 1.0 };
+    if phase_reuse_geomean < reuse_bar {
+        println!(
+            "REGRESSION-MARKER: phase-reuse geomean {phase_reuse_geomean:.3} < {reuse_bar:.2} — \
+             session hosting lost to per-phase engine rebuilds"
         );
     }
     if smoke() {
@@ -1410,8 +1662,10 @@ fn bench_engine(c: &mut Criterion) {
         &measurements,
         &scaling,
         &mux_rings,
+        &phase_reuse,
         dense_geomean,
         sparse_geomean,
+        phase_reuse_geomean,
         &root,
     );
     println!("\nwrote {}", root.display());

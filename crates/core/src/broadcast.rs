@@ -27,8 +27,7 @@ use crate::partition::{EdgePartitionProtocol, PartitionParams};
 use crate::pipeline::{expected_checksums, PipeCore, PipeMsg, PipeResult};
 use congest_graph::{Graph, Node, Port};
 use congest_sim::{
-    run_protocol, EngineConfig, EngineError, MsgBits, NodeCtx, PackedMsg, PhaseLog, Protocol,
-    RunStats,
+    EngineConfig, EngineError, MsgBits, NodeCtx, PackedMsg, PhaseHost, PhaseLog, Protocol, RunStats,
 };
 
 /// The broadcast problem instance: `k` messages, message `i` initially at
@@ -96,6 +95,12 @@ pub struct BroadcastConfig {
     pub record_payloads: bool,
     /// Engine round limit per phase.
     pub max_rounds: u64,
+    /// Host every phase on one resident [`congest_sim::Session`]
+    /// (default) instead of building a fresh engine per phase. Results
+    /// are bit-identical either way — the per-phase composition is kept
+    /// selectable for the differential tests and the `phase_reuse`
+    /// bench arm.
+    pub phase_resident: bool,
 }
 
 impl Default for BroadcastConfig {
@@ -104,6 +109,7 @@ impl Default for BroadcastConfig {
             seed: 0xB10C,
             record_payloads: false,
             max_rounds: 4_000_000,
+            phase_resident: true,
         }
     }
 }
@@ -204,67 +210,84 @@ pub fn partition_broadcast(
 }
 
 /// Theorem 1 with explicit parameters. See the module docs for the phase
-/// structure.
+/// structure. Builds a phase host per `cfg.phase_resident` and delegates
+/// to [`partition_broadcast_hosted`].
 pub fn partition_broadcast_with(
     g: &Graph,
     input: &BroadcastInput,
     params: PartitionParams,
     cfg: &BroadcastConfig,
 ) -> Result<BroadcastOutcome, BroadcastError> {
+    let mut host = PhaseHost::new(g, cfg.phase_resident);
+    partition_broadcast_hosted(&mut host, input, params, cfg)
+}
+
+/// Theorem 1 on a caller-provided engine host. Drivers that compose
+/// several broadcasts (the BCC simulation, APSP, the sparsifier
+/// pipeline) pass one resident host so every broadcast — and every phase
+/// inside it — reuses the same preallocated engine.
+pub fn partition_broadcast_hosted(
+    host: &mut PhaseHost<'_>,
+    input: &BroadcastInput,
+    params: PartitionParams,
+    cfg: &BroadcastConfig,
+) -> Result<BroadcastOutcome, BroadcastError> {
+    let g = host.graph();
     let n = g.n();
     let k = input.k() as u64;
     let lp = params.num_subgraphs;
     let mut phases = PhaseLog::new();
 
     // Phase 1: leader election.
-    let leaders = run_protocol(g, |v, _| FloodMax::new(v), cfg.engine(1))?;
+    let leaders = host.run(|v, _| FloodMax::new(v), cfg.engine(1))?;
     phases.record("leader-election", leaders.stats);
-    let root = leaders.outputs[0].leader;
+    let root = leaders.outputs()[0].leader;
+    drop(leaders);
 
     // Phase 2: BFS on G from the leader.
-    let bfs = run_protocol(g, |v, _| BfsProtocol::new(root, v), cfg.engine(2))?;
+    let bfs = host.run(|v, _| BfsProtocol::new(root, v), cfg.engine(2))?;
     phases.record("bfs", bfs.stats);
-    let views: Vec<TreeView> = bfs.outputs.iter().map(TreeView::from_bfs).collect();
+    let views: Vec<TreeView> = bfs.outputs().iter().map(TreeView::from_bfs).collect();
+    drop(bfs);
 
     // Phase 3: Lemma 3 numbering of the k messages.
     let payloads = input.payloads_by_node(n);
-    let numbering = run_protocol(
-        g,
+    let numbering = host.run(
         |v, _| Numbering::new(views[v as usize].clone(), payloads[v as usize].len() as u64),
         cfg.engine(3),
     )?;
     phases.record("numbering", numbering.stats);
-    debug_assert!(numbering.outputs.iter().all(|&(_, total)| total == k));
+    debug_assert!(numbering.outputs().iter().all(|&(_, total)| total == k));
 
     // Locally at each node: message j (input order) gets id start_v + j.
     let ids_by_node: Vec<Vec<u32>> = (0..n)
         .map(|v| {
-            let (start, _) = numbering.outputs[v];
+            let (start, _) = numbering.outputs()[v];
             (0..payloads[v].len() as u64)
                 .map(|j| (start + j) as u32)
                 .collect()
         })
         .collect();
+    drop(numbering);
 
     // Phase 4: edge partition (one round).
-    let part_protocol = run_protocol(
-        g,
+    let part_protocol = host.run(
         |v, gr| EdgePartitionProtocol::new(v, cfg.seed, lp, gr.degree(v)),
         cfg.engine(4),
     )?;
     phases.record("edge-partition", part_protocol.stats);
-    let port_colors: Vec<Vec<u32>> = part_protocol.outputs;
+    let port_colors: Vec<Vec<u32>> = part_protocol.take_outputs();
 
     // Phase 5: parallel BFS in every class.
-    let sub_bfs = run_protocol(
-        g,
+    let sub_bfs_run = host.run(
         |v, _| SubgraphBfs::new(root, v, port_colors[v as usize].clone(), lp),
         cfg.engine(5),
     )?;
-    phases.record("subgraph-bfs", sub_bfs.stats);
+    phases.record("subgraph-bfs", sub_bfs_run.stats);
+    let sub_bfs = sub_bfs_run.take_outputs();
     // Verify Theorem 2's event: every class spans.
     for c in 0..lp {
-        let unreached = (0..n).filter(|&v| !sub_bfs.outputs[v][c].reached).count();
+        let unreached = sub_bfs.iter().filter(|infos| !infos[c].reached).count();
         if unreached > 0 {
             return Err(BroadcastError::NotSpanning {
                 subgraph: c as u32,
@@ -273,12 +296,7 @@ pub fn partition_broadcast_with(
         }
     }
     let subgraph_heights: Vec<u32> = (0..lp)
-        .map(|c| {
-            (0..n)
-                .map(|v| sub_bfs.outputs[v][c].depth)
-                .max()
-                .unwrap_or(0)
-        })
+        .map(|c| (0..n).map(|v| sub_bfs[v][c].depth).max().unwrap_or(0))
         .collect();
 
     // Phase 6: parallel pipelined routing. Message id j → class ⌊j/K⌋.
@@ -290,8 +308,7 @@ pub fn partition_broadcast_with(
             k_per_class[color_of_id(id)] += 1;
         }
     }
-    let routing = run_protocol(
-        g,
+    let routing = host.run(
         |v, _| {
             let vi = v as usize;
             let cores = (0..lp)
@@ -303,7 +320,7 @@ pub fn partition_broadcast_with(
                         .map(|(&id, &payload)| PipeMsg { id, payload })
                         .collect();
                     PipeCore::new(
-                        TreeView::from_bfs(&sub_bfs.outputs[vi][c]),
+                        TreeView::from_bfs(&sub_bfs[vi][c]),
                         k_per_class[c],
                         own,
                         cfg.record_payloads,
@@ -315,6 +332,7 @@ pub fn partition_broadcast_with(
         cfg.engine(6),
     )?;
     phases.record("parallel-routing", routing.stats);
+    let per_node = routing.take_outputs();
 
     // Expected checksums from the id assignment.
     let all_msgs: Vec<(u32, u64)> = (0..n)
@@ -335,7 +353,7 @@ pub fn partition_broadcast_with(
         stats,
         num_subgraphs: lp,
         subgraph_heights,
-        per_node: routing.outputs,
+        per_node,
         expected,
         k,
     })
@@ -350,11 +368,24 @@ pub fn partition_broadcast_retrying(
     cfg: &BroadcastConfig,
     attempts: usize,
 ) -> Result<(BroadcastOutcome, usize), BroadcastError> {
+    let mut host = PhaseHost::new(g, cfg.phase_resident);
+    partition_broadcast_retrying_hosted(&mut host, input, params, cfg, attempts)
+}
+
+/// [`partition_broadcast_retrying`] on a caller-provided host: retries
+/// (and the broadcasts composed around them) all share one engine.
+pub fn partition_broadcast_retrying_hosted(
+    host: &mut PhaseHost<'_>,
+    input: &BroadcastInput,
+    params: PartitionParams,
+    cfg: &BroadcastConfig,
+    attempts: usize,
+) -> Result<(BroadcastOutcome, usize), BroadcastError> {
     let mut last_err = None;
     for attempt in 0..attempts.max(1) {
         let mut c = cfg.clone();
         c.seed = cfg.seed.wrapping_add(attempt as u64 * 0x9E37_79B9);
-        match partition_broadcast_with(g, input, params, &c) {
+        match partition_broadcast_hosted(host, input, params, &c) {
             Ok(outcome) => return Ok((outcome, attempt + 1)),
             Err(e @ BroadcastError::NotSpanning { .. }) => last_err = Some(e),
             Err(e) => return Err(e),
@@ -579,6 +610,34 @@ mod tests {
             let mut want: Vec<u64> = input.messages.iter().map(|&(_, p)| p).collect();
             want.sort_unstable();
             assert_eq!(got, want);
+        }
+    }
+
+    /// The session-hosted composition must reproduce the per-phase
+    /// composition bit for bit: same per-phase log, same stats, same
+    /// per-node deliveries. This pins the drivers' `phase_resident`
+    /// default against the pre-session behavior.
+    #[test]
+    fn phase_resident_and_per_phase_compositions_agree() {
+        let g = harary(16, 48);
+        let input = BroadcastInput::random_spread(&g, 96, 5);
+        let params = PartitionParams::from_lambda(g.n(), 16, DEFAULT_PARTITION_C);
+        let mut cfg = BroadcastConfig::with_seed(17);
+        cfg.record_payloads = true;
+        assert!(cfg.phase_resident, "resident hosting is the default");
+        let resident = partition_broadcast_with(&g, &input, params, &cfg).unwrap();
+        cfg.phase_resident = false;
+        let per_phase = partition_broadcast_with(&g, &input, params, &cfg).unwrap();
+        assert_eq!(resident.total_rounds, per_phase.total_rounds);
+        assert_eq!(resident.stats, per_phase.stats);
+        assert_eq!(resident.num_subgraphs, per_phase.num_subgraphs);
+        assert_eq!(resident.subgraph_heights, per_phase.subgraph_heights);
+        assert_eq!(resident.per_node, per_phase.per_node);
+        assert_eq!(resident.expected, per_phase.expected);
+        assert_eq!(resident.phases.len(), per_phase.phases.len());
+        for ((na, sa), (nb, sb)) in resident.phases.phases().zip(per_phase.phases.phases()) {
+            assert_eq!(na, nb);
+            assert_eq!(sa, sb, "phase {na}");
         }
     }
 

@@ -14,11 +14,11 @@
 //! computational model.
 
 use crate::broadcast::{
-    partition_broadcast_retrying, BroadcastConfig, BroadcastError, BroadcastInput,
+    partition_broadcast_retrying_hosted, BroadcastConfig, BroadcastError, BroadcastInput,
 };
 use crate::partition::PartitionParams;
 use congest_graph::{Graph, Node};
-use congest_sim::PhaseLog;
+use congest_sim::{PhaseHost, PhaseLog};
 
 /// One node's view after a BCC round: every node's broadcast value,
 /// indexed by node id.
@@ -48,7 +48,19 @@ pub fn simulate_bcc_round(
     lambda: usize,
     seed: u64,
 ) -> Result<(BccView, u64, PhaseLog), BroadcastError> {
-    let n = g.n();
+    let mut host = PhaseHost::resident(g);
+    simulate_bcc_round_hosted(&mut host, values, lambda, seed)
+}
+
+/// [`simulate_bcc_round`] on a caller-provided engine host, so chained
+/// BCC rounds reuse one preallocated engine.
+pub fn simulate_bcc_round_hosted(
+    host: &mut PhaseHost<'_>,
+    values: &[u32],
+    lambda: usize,
+    seed: u64,
+) -> Result<(BccView, u64, PhaseLog), BroadcastError> {
+    let n = host.graph().n();
     assert_eq!(values.len(), n);
     let input = BroadcastInput {
         messages: (0..n as Node)
@@ -56,8 +68,13 @@ pub fn simulate_bcc_round(
             .collect(),
     };
     let params = PartitionParams::from_lambda(n, lambda, crate::broadcast::DEFAULT_PARTITION_C);
-    let (out, _) =
-        partition_broadcast_retrying(g, &input, params, &BroadcastConfig::with_seed(seed), 20)?;
+    let (out, _) = partition_broadcast_retrying_hosted(
+        host,
+        &input,
+        params,
+        &BroadcastConfig::with_seed(seed),
+        20,
+    )?;
     debug_assert!(out.all_delivered());
     // Reconstruct the view every node now holds (identical everywhere by
     // the delivery guarantee, so computed once from the input).
@@ -87,13 +104,19 @@ where
     F: FnMut(Node, usize, &BccView) -> u32,
 {
     let n = g.n();
+    // One resident engine serves every broadcast of every BCC round.
+    let mut host = PhaseHost::resident(g);
     let mut values: Vec<u32> = initial.to_vec();
     let mut phases = PhaseLog::new();
     let mut per_round = Vec::with_capacity(rounds);
     let mut view: BccView = initial.iter().map(|&x| x as u64).collect();
     for t in 0..rounds {
-        let (new_view, cost, round_phases) =
-            simulate_bcc_round(g, &values, lambda, seed.wrapping_add(t as u64 * 0x9E37))?;
+        let (new_view, cost, round_phases) = simulate_bcc_round_hosted(
+            &mut host,
+            &values,
+            lambda,
+            seed.wrapping_add(t as u64 * 0x9E37),
+        )?;
         view = new_view;
         per_round.push(cost);
         for (name, st) in round_phases.phases() {

@@ -20,7 +20,7 @@ use crate::leader::FloodMax;
 use crate::partition::{EdgePartitionProtocol, PartitionParams};
 use crate::pipeline::{expected_checksums, PipeCore, PipeMsg};
 use congest_graph::Graph;
-use congest_sim::{run_protocol, EngineConfig, PhaseLog};
+use congest_sim::{EngineConfig, PhaseHost, PhaseLog};
 
 /// Trace of the exponential search.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,12 +40,16 @@ pub struct ExpSearchReport {
 /// whole graph, which trivially spans).
 pub type ExpSearchError = congest_sim::EngineError;
 
-/// k-broadcast with no knowledge of λ.
+/// k-broadcast with no knowledge of λ. The whole search — shared
+/// prologue plus every doubling iteration's partition/BFS/check — runs
+/// on one phase host, so with a resident session the dozens of phases
+/// reuse one preallocated engine.
 pub fn exp_search_broadcast(
     g: &Graph,
     input: &BroadcastInput,
     cfg: &BroadcastConfig,
 ) -> Result<(BroadcastOutcome, ExpSearchReport), ExpSearchError> {
+    let mut host = PhaseHost::new(g, cfg.phase_resident);
     let n = g.n();
     let k = input.k() as u64;
     let mut phases = PhaseLog::new();
@@ -55,37 +59,39 @@ pub fn exp_search_broadcast(
     };
 
     // Leader + BFS + learn δ + numbering (shared across iterations).
-    let leaders = run_protocol(g, |v, _| FloodMax::new(v), engine(1))?;
+    let leaders = host.run(|v, _| FloodMax::new(v), engine(1))?;
     phases.record("leader-election", leaders.stats);
-    let root = leaders.outputs[0].leader;
+    let root = leaders.outputs()[0].leader;
+    drop(leaders);
 
-    let bfs = run_protocol(g, |v, _| BfsProtocol::new(root, v), engine(2))?;
+    let bfs = host.run(|v, _| BfsProtocol::new(root, v), engine(2))?;
     phases.record("bfs", bfs.stats);
-    let views: Vec<TreeView> = bfs.outputs.iter().map(TreeView::from_bfs).collect();
+    let views: Vec<TreeView> = bfs.outputs().iter().map(TreeView::from_bfs).collect();
+    drop(bfs);
 
-    let delta_run = run_protocol(
-        g,
+    let delta_run = host.run(
         |v, gr| Aggregate::new(views[v as usize].clone(), AggOp::Min, gr.degree(v) as u64),
         engine(3),
     )?;
     phases.record("learn-delta", delta_run.stats);
-    let delta = delta_run.outputs[0] as usize;
+    let delta = delta_run.outputs()[0] as usize;
+    drop(delta_run);
 
     let payloads = input.payloads_by_node(n);
-    let numbering = run_protocol(
-        g,
+    let numbering = host.run(
         |v, _| Numbering::new(views[v as usize].clone(), payloads[v as usize].len() as u64),
         engine(4),
     )?;
     phases.record("numbering", numbering.stats);
     let ids_by_node: Vec<Vec<u32>> = (0..n)
         .map(|v| {
-            let (start, _) = numbering.outputs[v];
+            let (start, _) = numbering.outputs()[v];
             (0..payloads[v].len() as u64)
                 .map(|j| (start + j) as u32)
                 .collect()
         })
         .collect();
+    drop(numbering);
 
     // Exponential search over λ̃.
     let mut tried = Vec::new();
@@ -98,33 +104,32 @@ pub fn exp_search_broadcast(
         let lp = params.num_subgraphs;
         let part_seed = congest_sim::rng::phase_seed(cfg.seed, 0xA11CE + iter);
 
-        let part = run_protocol(
-            g,
+        let part = host.run(
             |v, gr| EdgePartitionProtocol::new(v, part_seed, lp, gr.degree(v)),
             engine(10 + 4 * iter),
         )?;
         phases.record(format!("partition(λ̃={lambda_tilde})"), part.stats);
-        let port_colors = part.outputs;
+        let port_colors = part.take_outputs();
 
-        let sub_bfs = run_protocol(
-            g,
+        let sub_bfs_run = host.run(
             |v, _| SubgraphBfs::new(root, v, port_colors[v as usize].clone(), lp),
             engine(11 + 4 * iter),
         )?;
-        phases.record(format!("subgraph-bfs(λ̃={lambda_tilde})"), sub_bfs.stats);
+        phases.record(format!("subgraph-bfs(λ̃={lambda_tilde})"), sub_bfs_run.stats);
+        let sub_bfs = sub_bfs_run.take_outputs();
 
         // Distributed validity check: AND over "all my classes reached me"
         // = Min over indicator bits, convergecast on the main BFS tree.
         let ok_local: Vec<u64> = (0..n)
-            .map(|v| sub_bfs.outputs[v].iter().all(|i| i.reached) as u64)
+            .map(|v| sub_bfs[v].iter().all(|i| i.reached) as u64)
             .collect();
-        let check = run_protocol(
-            g,
+        let check = host.run(
             |v, _| Aggregate::new(views[v as usize].clone(), AggOp::Min, ok_local[v as usize]),
             engine(12 + 4 * iter),
         )?;
         phases.record(format!("validity-check(λ̃={lambda_tilde})"), check.stats);
-        let valid = check.outputs[0] == 1;
+        let valid = check.outputs()[0] == 1;
+        drop(check);
 
         if valid {
             // Routing phase, identical to Theorem 1's phase 6.
@@ -136,8 +141,7 @@ pub fn exp_search_broadcast(
                     k_per_class[color_of_id(id)] += 1;
                 }
             }
-            let routing = run_protocol(
-                g,
+            let routing = host.run(
                 |v, _| {
                     let vi = v as usize;
                     let cores = (0..lp)
@@ -149,7 +153,7 @@ pub fn exp_search_broadcast(
                                 .map(|(&id, &payload)| PipeMsg { id, payload })
                                 .collect();
                             PipeCore::new(
-                                TreeView::from_bfs(&sub_bfs.outputs[vi][c]),
+                                TreeView::from_bfs(&sub_bfs[vi][c]),
                                 k_per_class[c],
                                 own,
                                 cfg.record_payloads,
@@ -161,14 +165,10 @@ pub fn exp_search_broadcast(
                 engine(13 + 4 * iter),
             )?;
             phases.record("parallel-routing", routing.stats);
+            let per_node = routing.take_outputs();
 
             let subgraph_heights: Vec<u32> = (0..lp)
-                .map(|c| {
-                    (0..n)
-                        .map(|v| sub_bfs.outputs[v][c].depth)
-                        .max()
-                        .unwrap_or(0)
-                })
+                .map(|c| (0..n).map(|v| sub_bfs[v][c].depth).max().unwrap_or(0))
                 .collect();
             let all_msgs: Vec<(u32, u64)> = (0..n)
                 .flat_map(|v| {
@@ -187,7 +187,7 @@ pub fn exp_search_broadcast(
                 stats,
                 num_subgraphs: lp,
                 subgraph_heights,
-                per_node: routing.outputs,
+                per_node,
                 expected,
                 k,
             };

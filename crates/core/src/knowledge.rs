@@ -16,32 +16,35 @@ use crate::bfs::BfsProtocol;
 use crate::convergecast::{AggOp, Aggregate, TreeView};
 use crate::leader::FloodMax;
 use congest_graph::Graph;
-use congest_sim::{run_protocol, EngineConfig, EngineError, PhaseLog};
+use congest_sim::{EngineConfig, EngineError, PhaseLog, Session};
 
 /// Distributed δ-learning: every node ends up knowing the global minimum
-/// degree. Returns `(delta, phases)`.
+/// degree. Returns `(delta, phases)`. All three phases run on one
+/// resident engine session.
 pub fn learn_min_degree(g: &Graph, seed: u64) -> Result<(usize, PhaseLog), EngineError> {
+    let mut session = Session::new(g);
     let mut phases = PhaseLog::new();
     let engine = |p: u64| EngineConfig::with_seed(congest_sim::rng::phase_seed(seed, 0xDE17A + p));
 
-    let leaders = run_protocol(g, |v, _| FloodMax::new(v), engine(1))?;
+    let leaders = session.run(|v, _| FloodMax::new(v), engine(1))?;
     phases.record("leader-election", leaders.stats);
-    let root = leaders.outputs[0].leader;
+    let root = leaders.outputs()[0].leader;
+    drop(leaders);
 
-    let bfs = run_protocol(g, |v, _| BfsProtocol::new(root, v), engine(2))?;
+    let bfs = session.run(|v, _| BfsProtocol::new(root, v), engine(2))?;
     phases.record("bfs", bfs.stats);
-    let views: Vec<TreeView> = bfs.outputs.iter().map(TreeView::from_bfs).collect();
+    let views: Vec<TreeView> = bfs.outputs().iter().map(TreeView::from_bfs).collect();
+    drop(bfs);
 
-    let agg = run_protocol(
-        g,
+    let agg = session.run(
         |v, gr| Aggregate::new(views[v as usize].clone(), AggOp::Min, gr.degree(v) as u64),
         engine(3),
     )?;
     phases.record("min-convergecast", agg.stats);
 
     // Every node holds the same answer; sanity-check that.
-    let delta = agg.outputs[0];
-    debug_assert!(agg.outputs.iter().all(|&d| d == delta));
+    let delta = agg.outputs()[0];
+    debug_assert!(agg.outputs().iter().all(|&d| d == delta));
     Ok((delta as usize, phases))
 }
 

@@ -23,7 +23,7 @@ use crate::leader::FloodMax;
 use crate::partition::{EdgePartitionProtocol, PartitionParams};
 use crate::pipeline::{expected_checksums, PipeCore, PipeMsg};
 use congest_graph::{Graph, Port};
-use congest_sim::{run_protocol, EngineConfig, FaultPlan, NodeCtx, PhaseLog, Protocol};
+use congest_sim::{EngineConfig, FaultPlan, NodeCtx, PhaseHost, PhaseLog, Protocol};
 use std::collections::HashMap;
 
 /// Per-node result of a replicated broadcast: the deduplicated message
@@ -169,6 +169,7 @@ pub fn resilient_broadcast(
     let k = input.k() as u64;
     let lp = params.num_subgraphs;
     let r = replication.clamp(1, lp);
+    let mut host = PhaseHost::new(g, cfg.phase_resident);
     let mut phases = PhaseLog::new();
     let engine = |p: u64| {
         EngineConfig::with_seed(congest_sim::rng::phase_seed(cfg.seed, 0x9E5 + p))
@@ -176,46 +177,47 @@ pub fn resilient_broadcast(
     };
 
     // Protected control phases (identical to Theorem 1's phases 1–5).
-    let leaders = run_protocol(g, |v, _| FloodMax::new(v), engine(1))?;
+    let leaders = host.run(|v, _| FloodMax::new(v), engine(1))?;
     phases.record("leader-election", leaders.stats);
-    let root = leaders.outputs[0].leader;
+    let root = leaders.outputs()[0].leader;
+    drop(leaders);
 
-    let bfs = run_protocol(g, |v, _| BfsProtocol::new(root, v), engine(2))?;
+    let bfs = host.run(|v, _| BfsProtocol::new(root, v), engine(2))?;
     phases.record("bfs", bfs.stats);
-    let views: Vec<TreeView> = bfs.outputs.iter().map(TreeView::from_bfs).collect();
+    let views: Vec<TreeView> = bfs.outputs().iter().map(TreeView::from_bfs).collect();
+    drop(bfs);
 
     let payloads = input.payloads_by_node(n);
-    let numbering = run_protocol(
-        g,
+    let numbering = host.run(
         |v, _| Numbering::new(views[v as usize].clone(), payloads[v as usize].len() as u64),
         engine(3),
     )?;
     phases.record("numbering", numbering.stats);
     let ids_by_node: Vec<Vec<u32>> = (0..n)
         .map(|v| {
-            let (start, _) = numbering.outputs[v];
+            let (start, _) = numbering.outputs()[v];
             (0..payloads[v].len() as u64)
                 .map(|j| (start + j) as u32)
                 .collect()
         })
         .collect();
+    drop(numbering);
 
-    let part = run_protocol(
-        g,
+    let part = host.run(
         |v, gr| EdgePartitionProtocol::new(v, cfg.seed, lp, gr.degree(v)),
         engine(4),
     )?;
     phases.record("edge-partition", part.stats);
-    let port_colors = part.outputs;
+    let port_colors = part.take_outputs();
 
-    let sub_bfs = run_protocol(
-        g,
+    let sub_bfs_run = host.run(
         |v, _| SubgraphBfs::new(root, v, port_colors[v as usize].clone(), lp),
         engine(5),
     )?;
-    phases.record("subgraph-bfs", sub_bfs.stats);
+    phases.record("subgraph-bfs", sub_bfs_run.stats);
+    let sub_bfs = sub_bfs_run.take_outputs();
     for c in 0..lp {
-        let unreached = (0..n).filter(|&v| !sub_bfs.outputs[v][c].reached).count();
+        let unreached = sub_bfs.iter().filter(|infos| !infos[c].reached).count();
         if unreached > 0 {
             return Err(BroadcastError::NotSpanning {
                 subgraph: c as u32,
@@ -239,8 +241,7 @@ pub fn resilient_broadcast(
     }
     let mut routing_engine = engine(6);
     routing_engine.faults = faults;
-    let routing = run_protocol(
-        g,
+    let routing = host.run(
         |v, _| {
             let vi = v as usize;
             let own_unique: Vec<(u32, u64)> = ids_by_node[vi]
@@ -256,7 +257,7 @@ pub fn resilient_broadcast(
                         .map(|&(id, payload)| PipeMsg { id, payload })
                         .collect();
                     PipeCore::new(
-                        TreeView::from_bfs(&sub_bfs.outputs[vi][c]),
+                        TreeView::from_bfs(&sub_bfs[vi][c]),
                         k_per_class[c],
                         own,
                         false,
@@ -268,6 +269,8 @@ pub fn resilient_broadcast(
         routing_engine,
     )?;
     phases.record("replicated-routing", routing.stats);
+    let routing_stats = routing.stats;
+    let per_node = routing.take_outputs();
 
     let all_msgs: Vec<(u32, u64)> = (0..n)
         .flat_map(|v| {
@@ -285,10 +288,10 @@ pub fn resilient_broadcast(
         phases,
         replication: r,
         num_subgraphs: lp,
-        per_node: routing.outputs,
+        per_node,
         expected,
         k,
-        dropped: routing.stats.dropped_messages, // routing is the only attacked phase
+        dropped: routing_stats.dropped_messages, // routing is the only attacked phase
     })
 }
 

@@ -14,7 +14,7 @@ use crate::convergecast::TreeView;
 use crate::leader::FloodMax;
 use crate::pipeline::{expected_checksums, PipeMsg, PipeResult, TreePipeline};
 use congest_graph::Graph;
-use congest_sim::{run_protocol, EngineError, PhaseLog, RunStats};
+use congest_sim::{EngineError, PhaseLog, RunStats};
 
 /// Outcome of the baseline run (same verification interface as
 /// [`crate::broadcast::BroadcastOutcome`]).
@@ -60,6 +60,7 @@ pub fn textbook_broadcast_with(
 ) -> Result<TextbookOutcome, EngineError> {
     let n = g.n();
     let k = input.k() as u64;
+    let mut host = congest_sim::PhaseHost::new(g, cfg.phase_resident);
     let mut phases = PhaseLog::new();
 
     let engine = |phase: u64| {
@@ -68,15 +69,17 @@ pub fn textbook_broadcast_with(
     };
 
     // Phase 1: leader election.
-    let leaders = run_protocol(g, |v, _| FloodMax::new(v), engine(1))?;
+    let leaders = host.run(|v, _| FloodMax::new(v), engine(1))?;
     phases.record("leader-election", leaders.stats);
-    let root = leaders.outputs[0].leader;
+    let root = leaders.outputs()[0].leader;
+    drop(leaders);
 
     // Phase 2: BFS tree.
-    let bfs = run_protocol(g, |v, _| BfsProtocol::new(root, v), engine(2))?;
+    let bfs = host.run(|v, _| BfsProtocol::new(root, v), engine(2))?;
     phases.record("bfs", bfs.stats);
-    let views: Vec<TreeView> = bfs.outputs.iter().map(TreeView::from_bfs).collect();
-    let tree_height = bfs.outputs.iter().map(|i| i.depth).max().unwrap_or(0);
+    let views: Vec<TreeView> = bfs.outputs().iter().map(TreeView::from_bfs).collect();
+    let tree_height = bfs.outputs().iter().map(|i| i.depth).max().unwrap_or(0);
+    drop(bfs);
 
     // Phase 3: single-tree pipeline with all k messages.
     let mut own: Vec<Vec<PipeMsg>> = vec![Vec::new(); n];
@@ -86,8 +89,7 @@ pub fn textbook_broadcast_with(
             payload,
         });
     }
-    let routing = run_protocol(
-        g,
+    let routing = host.run(
         |v, _| {
             TreePipeline::new(
                 views[v as usize].clone(),
@@ -99,6 +101,7 @@ pub fn textbook_broadcast_with(
         engine(3),
     )?;
     phases.record("tree-pipeline", routing.stats);
+    let per_node = routing.take_outputs();
 
     let all: Vec<(u32, u64)> = input
         .messages
@@ -114,7 +117,7 @@ pub fn textbook_broadcast_with(
         phases,
         stats,
         tree_height,
-        per_node: routing.outputs,
+        per_node,
         expected,
         k,
     })

@@ -19,7 +19,7 @@ use congest_core::bfs::SubgraphBfs;
 use congest_core::partition::{EdgePartition, EdgePartitionProtocol, PartitionParams};
 use congest_graph::algo::bfs::{bfs_tree_restricted, BfsTree};
 use congest_graph::{Graph, Node, INVALID_NODE};
-use congest_sim::{run_protocol, EngineConfig, EngineError, PhaseLog};
+use congest_sim::{EngineConfig, EngineError, PhaseLog};
 
 /// Failure: some partition class did not span (retry with another seed or
 /// fewer classes).
@@ -91,21 +91,22 @@ pub fn partition_packing_distributed(
     root: Node,
     seed: u64,
 ) -> Result<(TreePacking, PhaseLog), DistPackingError> {
+    // Both phases share one resident engine session.
+    let mut session = congest_sim::Session::new(g);
     let mut phases = PhaseLog::new();
-    let part_run = run_protocol(
-        g,
+    let part_run = session.run(
         |v, gr| EdgePartitionProtocol::new(v, seed, num_subgraphs, gr.degree(v)),
         EngineConfig::with_seed(seed ^ 0x9a),
     )?;
     phases.record("edge-partition", part_run.stats);
-    let port_colors = part_run.outputs;
+    let port_colors = part_run.take_outputs();
 
-    let bfs_run = run_protocol(
-        g,
+    let bfs_phase = session.run(
         |v, _| SubgraphBfs::new(root, v, port_colors[v as usize].clone(), num_subgraphs),
         EngineConfig::with_seed(seed ^ 0x9b),
     )?;
-    phases.record("subgraph-bfs", bfs_run.stats);
+    phases.record("subgraph-bfs", bfs_phase.stats);
+    let bfs_outputs = bfs_phase.take_outputs();
 
     // Reassemble BfsTree structures from per-node protocol outputs.
     let n = g.n();
@@ -115,8 +116,8 @@ pub fn partition_packing_distributed(
         let mut parent_edge = vec![u32::MAX; n];
         let mut depth = vec![u32::MAX; n];
         let mut unreached = 0usize;
-        for v in 0..n {
-            let info = &bfs_run.outputs[v][c];
+        for (v, infos) in bfs_outputs.iter().enumerate() {
+            let info = &infos[c];
             if !info.reached {
                 unreached += 1;
                 continue;

@@ -1,4 +1,10 @@
-//! The synchronous round engine.
+//! The synchronous round engine: configuration, stats, and the one-phase
+//! [`run_protocol`] entry point.
+//!
+//! The round loop itself lives in [`crate::session`] — a
+//! [`crate::Session`] owns all engine state for a whole multi-phase
+//! algorithm, and `run_protocol` is a thin wrapper that builds a fresh
+//! session per call. The invariants documented here describe that loop.
 //!
 //! ## Data layout
 //!
@@ -57,16 +63,9 @@
 //! serial mode — produce bit-identical results
 //! (`tests/proptest_engine.rs` proves it property-wise).
 
-use crate::message::{MsgWord, PackedMsg};
-use crate::protocol::{BcastIn, BcastOut, InSlot, NodeCtx, OutSlot, Protocol};
-use crate::rng::node_rng;
-use crate::slab;
+use crate::protocol::Protocol;
+use crate::session::Session;
 use congest_graph::{Graph, Node};
-use congest_par::RacyCells;
-use rand::rngs::SmallRng;
-
-/// The staging byte-mask value for "this arc carries a message".
-const STAGED: u8 = 1;
 
 /// How per-arc congestion is accumulated during the deliver sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -254,728 +253,34 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// Per-node hot state, kept together so one cache line serves one node's
-/// step and shards walk nodes without any per-round bookkeeping.
-struct NodeCell<P> {
-    state: P,
-    rng: SmallRng,
-    done: bool,
-    /// Largest message (in bits) this node sent over the whole run.
-    max_bits: usize,
-}
-
-/// One shard's private meter block, written only by the shard that owns it
-/// during a phase and read only between phases / by the tree reduction.
-#[derive(Debug, Clone, Copy, Default)]
-struct ShardMeter {
-    /// Messages delivered into this shard's arcs (and out of its
-    /// broadcasting nodes) this round.
-    delivered: u64,
-    /// Whether every node of this shard reported `done` this round.
-    all_done: bool,
-    /// Whether any node in this shard's region broadcast this round.
-    bcast_any: bool,
-    /// Messages this shard's nodes staged through the per-arc mask this
-    /// round (per-port sends plus scatter-fallback broadcasts). Zero lets
-    /// the deliver phase skip the arc plane; a small global total takes
-    /// the sparse worklist path.
-    staged: u32,
-    /// Whether any node of this shard staged a broadcast-plane word this
-    /// round (gates the per-node plane fold).
-    bcast_used: bool,
-}
-
-/// Does the inbox occupancy bitset need zeroing before this round's bits
-/// land, and how cheaply can that be done?
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OccState {
-    /// All-zero (nothing to do).
-    Clean,
-    /// Nonzero only at the words listed in the engine's `set_words`
-    /// scratch (sparse rounds leave this breadcrumb so the next round
-    /// zeroes O(traffic) words, not O(arcs/64)).
-    Tracked,
-    /// Arbitrary (a full-sweep round rebuilt every word; zeroing takes a
-    /// whole-bitset fill).
-    Unknown,
-}
-
-/// The value the per-round tree reduction folds.
-#[derive(Debug, Clone, Copy, Default)]
-struct RoundAgg {
-    delivered: u64,
-    all_done: bool,
-    /// Whether any node broadcast this round (gates receivers' broadcast
-    /// scans next round).
-    bcast_any: bool,
-}
-
-/// Below this many nodes the pool handoff costs more than the round; step
-/// serially regardless of [`EngineConfig::parallel`] (results identical).
-const PARALLEL_MIN_NODES: usize = 256;
-
-/// Cap on auto-derived shard counts (explicit configs may exceed it).
-const MAX_AUTO_SHARDS: usize = 64;
-
 /// Run one protocol instance per node until global termination (all nodes
 /// done and no message in flight) or the round limit.
+///
+/// This is a thin **one-phase wrapper** over [`crate::Session`]: it
+/// builds a fresh session for `graph`, runs the protocol on it, and
+/// returns an owned outcome. Multi-phase algorithms should build one
+/// session and call [`Session::run`] per phase instead — the session
+/// reuses every engine buffer across phases (zero heap allocation at
+/// phase boundaries) where this wrapper re-allocates them per call.
 pub fn run_protocol<P, F>(
     graph: &Graph,
-    mut factory: F,
+    factory: F,
     config: EngineConfig,
 ) -> Result<RunOutcome<P::Output>, EngineError>
 where
     P: Protocol,
     F: FnMut(Node, &Graph) -> P,
 {
-    debug_assert!(
-        P::Msg::WIDTH <= <<P::Msg as PackedMsg>::Word as MsgWord>::BITS,
-        "message WIDTH exceeds its storage word"
-    );
-    let n = graph.n();
-    let arcs = graph.num_arcs();
-    let occ_words = arcs.div_ceil(64);
-    let mut cells: Vec<NodeCell<P>> = (0..n as Node)
-        .map(|v| NodeCell {
-            state: factory(v, graph),
-            rng: node_rng(config.seed, v),
-            done: false,
-            max_bits: 0,
-        })
-        .collect();
-
-    // The double buffer: `in_words` is what nodes read this round,
-    // `out_words` is the staging slab sends scatter into. Swapped every
-    // round. Staged presence is one byte per arc (single writer per slot
-    // — plain stores); the delivery sweep folds it into the word-packed
-    // `in_occ` bitset receivers read, zeroing it for reuse.
-    let mut in_words: Vec<<P::Msg as PackedMsg>::Word> = vec![Default::default(); arcs];
-    let mut out_words: Vec<<P::Msg as PackedMsg>::Word> = vec![Default::default(); arcs];
-    let mut in_occ: Vec<u64> = vec![0; occ_words];
-    let mut out_mask: Vec<u8> = vec![0; arcs];
-    // Per-arc congestion totals. Under `BitPlanes` these are only updated
-    // at flush points; under `ArcCounters` every round.
-    let mut arc_traffic: Vec<u32> = vec![0; arcs];
-    // Bit-sliced per-arc counters, word-major: occupancy word `w` owns
-    // `planes[w*PLANES..(w+1)*PLANES]` (one cache line per hot word).
-    let mut planes: Vec<u64> = match config.meter {
-        MeterMode::BitPlanes => vec![0; occ_words * slab::PLANES],
-        MeterMode::ArcCounters => Vec::new(),
-    };
-    // The broadcast plane: `send_all` stores one word per *node* instead
-    // of `deg` scattered arc slots. Disabled under the fault adversary,
-    // which must be able to drop individual staged messages per arc.
-    let bcast_enabled = config.faults.is_none();
-    let node_words = n.div_ceil(64);
-    let mut bcast_in_words: Vec<<P::Msg as PackedMsg>::Word> =
-        vec![Default::default(); if bcast_enabled { n } else { 0 }];
-    let mut bcast_out_words: Vec<<P::Msg as PackedMsg>::Word> =
-        vec![Default::default(); if bcast_enabled { n } else { 0 }];
-    let mut bcast_stage: Vec<u8> = vec![0; if bcast_enabled { n } else { 0 }];
-    let mut bcast_occ: Vec<u64> = vec![0; if bcast_enabled { node_words } else { 0 }];
-    // Per-node broadcast congestion counters (expanded to arcs at the
-    // end): same bit-plane/counter split as the arc meters.
-    let mut node_planes: Vec<u64> = match config.meter {
-        MeterMode::BitPlanes if bcast_enabled => vec![0; node_words * slab::PLANES],
-        _ => Vec::new(),
-    };
-    let mut node_traffic: Vec<u32> = vec![0; if bcast_enabled { n } else { 0 }];
-    let mut bcast_any = false;
-    // Adaptive plane choice: `send_all` goes through the broadcast plane
-    // only in rounds following *dense* traffic (≥ a quarter of all arcs
-    // delivered), because receivers pay an O(deg) neighbor scan whenever
-    // anyone used the plane — worth it exactly when most ports carry a
-    // message anyway. Sparse broadcasters fall back to the per-arc
-    // scatter, whose cost is proportional to the traffic. Either choice
-    // is correct — receivers merge both planes — so this is purely a
-    // performance policy, driven by a deterministic global signal
-    // (identical at every pool width and shard count). Round 0 starts
-    // optimistic: initialization traffic is typically dense.
-    let mut last_delivered: u64 = arcs as u64;
-    // Reusable fault scratch (kept empty without an adversary).
-    let mut blocked: Vec<congest_graph::Edge> = Vec::new();
-    if let Some(plan) = &config.faults {
-        blocked.reserve(plan.edges_per_round);
-    }
-
-    let parallel = config.parallel && n >= PARALLEL_MIN_NODES && congest_par::num_threads() > 1;
-    let s_count = config
-        .shards
-        .unwrap_or(if parallel {
-            (congest_par::num_threads() * 4).min(MAX_AUTO_SHARDS)
-        } else {
-            1
-        })
-        .clamp(1, n.max(1));
-    let plan = graph.shard_plan(s_count);
-    let s_count = plan.num_shards();
-    let mut meters: Vec<ShardMeter> = vec![ShardMeter::default(); s_count];
-    let mut agg_buf: Vec<RoundAgg> = vec![RoundAgg::default(); s_count];
-
-    // --- Sparse fast-path state. Rounds whose staged per-arc send count
-    // is at most `threshold` skip the full shard-region sweep: the step
-    // phase records every staged destination arc in a per-shard worklist
-    // (capped by the shard's out-degree bound, so the slab never pays the
-    // `shards × arcs` blowup), and the deliver phase touches exactly the
-    // staged arcs — occupancy, mask and meters all O(traffic).
-    let threshold = config
-        .sparse_threshold
-        .unwrap_or_else(|| (arcs / 32).clamp(64, 1 << 20))
-        .min(arcs);
-    let mut wl_starts: Vec<usize> = Vec::with_capacity(s_count + 1);
-    wl_starts.push(0);
-    for s in 0..s_count {
-        let cap = threshold.min(plan.out_arc_bound(s));
-        wl_starts.push(wl_starts[s] + cap);
-    }
-    let mut worklist: Vec<u32> = vec![0; wl_starts[s_count]];
-    // Surviving-entry counts per shard after the fault prefilter.
-    let mut wl_live: Vec<u32> = vec![0; s_count];
-    // Shards that staged at least one per-arc send this round.
-    let mut active_shards: Vec<u32> = Vec::with_capacity(s_count);
-    // Occupancy words set by the last sparse round (what the next round
-    // must zero). Bounded by the threshold and by the word count.
-    let mut set_words: Vec<u32> = Vec::with_capacity(threshold.min(occ_words));
-
-    let mut stats = RunStats::default();
-    let mut trace: Option<Vec<u64>> = config.collect_trace.then(Vec::new);
-    let mut round: u64 = 0;
-    let mut rounds_since_flush: u64 = 0;
-    // What zeroing the inbox occupancy bitset needs before new bits land.
-    let mut occ_state = OccState::Clean;
-    loop {
-        if round >= config.max_rounds {
-            return Err(EngineError::RoundLimitExceeded {
-                limit: config.max_rounds,
-            });
-        }
-        // --- Step phase: each shard steps its own nodes; sends scatter
-        // into the staging slab's destination slots. The shard folds its
-        // nodes' done flags while the cells are hot.
-        let use_plane = bcast_enabled && 4 * last_delivered >= arcs as u64;
-        {
-            let racy_cells = RacyCells::new(&mut cells);
-            let racy_out = RacyCells::new(&mut out_words);
-            let racy_mask = RacyCells::new(&mut out_mask);
-            let racy_bcast_out = RacyCells::new(&mut bcast_out_words);
-            let racy_bcast_stage = RacyCells::new(&mut bcast_stage);
-            let racy_meters = RacyCells::new(&mut meters);
-            let racy_wl = RacyCells::new(&mut worklist);
-            let in_words = &in_words[..];
-            let in_occ = &in_occ[..];
-            // One broadcast descriptor per round, shared by every node's
-            // context (a pointer per context, not a struct). Rounds after
-            // which nobody broadcast hand receivers `None` outright: the
-            // presence bits are unreadable anyway (`any` gates every
-            // reader), and a `None` plane keeps the inbox walk — the
-            // sparse regime's hottest loop — free of per-word plane
-            // probes.
-            let bcast_in = BcastIn {
-                words: &bcast_in_words[..],
-                occ: &bcast_occ[..],
-                adj: graph.arc_targets(),
-                any: bcast_any,
-            };
-            let bcast_in = (bcast_enabled && bcast_any).then_some(&bcast_in);
-            let bcast_out = BcastOut {
-                words: &racy_bcast_out,
-                stage: &racy_bcast_stage,
-            };
-            let bcast_out = use_plane.then_some(&bcast_out);
-            let step_shard = |s: usize| {
-                let nodes = plan.nodes(s);
-                let (v_lo, v_hi) = (nodes.start as usize, nodes.end as usize);
-                // Sound: shard `s` is the unique task stepping these nodes
-                // and writing meter block `s` and worklist region `s`.
-                let cells_s = unsafe { racy_cells.slice_mut(v_lo, v_hi) };
-                let meter = unsafe { &mut racy_meters.slice_mut(s, s + 1)[0] };
-                // One scatter-plane descriptor per shard per round; node
-                // contexts carry a pointer to it instead of its fields.
-                let plane = crate::protocol::ScatterPlane {
-                    words: &racy_out,
-                    mask: &racy_mask,
-                    rev: graph.reverse_arcs(),
-                    bcast: bcast_out,
-                    wl: &racy_wl,
-                    wl_lo: wl_starts[s],
-                    wl_cap: wl_starts[s + 1] - wl_starts[s],
-                    staged: std::cell::Cell::new(0),
-                    bcast_used: std::cell::Cell::new(false),
-                };
-                let mut all_done = true;
-                for (i, cell) in cells_s.iter_mut().enumerate() {
-                    let v = (v_lo + i) as Node;
-                    let lo = graph.arc_offset(v);
-                    let deg = graph.degree(v);
-                    let mut ctx = NodeCtx {
-                        node: v,
-                        round,
-                        graph,
-                        inbox: InSlot {
-                            words: &in_words[lo..lo + deg],
-                            occ: in_occ,
-                            bit0: lo,
-                            bcast: bcast_in,
-                        },
-                        outbox: OutSlot::Scatter {
-                            plane: &plane,
-                            lo,
-                            deg,
-                        },
-                        rng: &mut cell.rng,
-                        done: &mut cell.done,
-                        max_bits: &mut cell.max_bits,
-                    };
-                    cell.state.round(&mut ctx);
-                    all_done &= cell.done;
-                }
-                meter.all_done = all_done;
-                meter.staged = plane.staged.get();
-                meter.bcast_used = plane.bcast_used.get();
-            };
-            if parallel {
-                congest_par::run(s_count, step_shard);
-            } else {
-                for s in 0..s_count {
-                    step_shard(s);
-                }
-            }
-        }
-        // --- Adversary phase: destroy staged messages on blocked edges.
-        if let Some(plan) = &config.faults {
-            if plan.edges_per_round > 0 {
-                plan.blocked_edges_into(round, graph.m(), &mut blocked);
-                for &e in &blocked {
-                    let (u, v) = graph.endpoints(e);
-                    for (from, to) in [(u, v), (v, u)] {
-                        let port = graph
-                            .port_to(to, from)
-                            .expect("edge endpoints are adjacent");
-                        let dest = graph.arc_offset(to) + port as usize;
-                        if out_mask[dest] == STAGED {
-                            out_mask[dest] = 0;
-                            stats.dropped_messages += 1;
-                        }
-                    }
-                }
-            }
-        }
-        // --- Deliver phase: the staging slab *becomes* the inbox slab,
-        // and the round's staged traffic is folded into the word-packed
-        // inbox bitset and the congestion meters, along one of three arc
-        // paths: **skip** (nothing staged — pure-broadcast or silent
-        // rounds cost at most the occupancy zeroing), **sparse** (the
-        // staged total fits the threshold — only the worklisted arcs are
-        // touched), or **full** (each shard sweeps its own word region as
-        // in PR 2). All three produce bit-identical results.
-        std::mem::swap(&mut in_words, &mut out_words);
-        std::mem::swap(&mut bcast_in_words, &mut bcast_out_words);
-        let flush_now =
-            config.meter == MeterMode::BitPlanes && rounds_since_flush + 1 == slab::FLUSH_PERIOD;
-        let staged_total: u64 = meters.iter().map(|m| m.staged as u64).sum();
-        // The per-node broadcast plane only needs folding in rounds where
-        // someone actually staged through it; receivers gate on
-        // `bcast_any`, and later folds rebuild every presence word, so
-        // skipped rounds leave no observable residue.
-        let fold_bcast = use_plane && meters.iter().any(|m| m.bcast_used);
-        // A shard whose staged count exceeds its worklist cap stopped
-        // recording: for protocols honoring the CONGEST discipline this
-        // cannot happen (a shard stages at most its out-degree bound, and
-        // the cap dominates both that and the threshold whenever the
-        // round is sparse), but a double-sending protocol in a release
-        // build could overrun its count — route those rounds to the full
-        // sweep so the worklist is never trusted beyond what was written.
-        let wl_overflow = meters
-            .iter()
-            .enumerate()
-            .any(|(s, m)| m.staged as usize > wl_starts[s + 1] - wl_starts[s]);
-        let sparse_round = staged_total > 0 && staged_total <= threshold as u64 && !wl_overflow;
-        let run_full_sweep = staged_total > 0 && !sparse_round;
-        for m in meters.iter_mut() {
-            m.delivered = 0;
-            m.bcast_any = false;
-        }
-        let mut sparse_delivered: u64 = 0;
-        if !run_full_sweep {
-            // Zero last round's occupancy bits: nothing (Clean), the
-            // tracked word list (after a sparse round), or a whole-bitset
-            // fill (after a full-sweep round — split across the pool, as
-            // the per-shard sweep regions were). The full sweep rebuilds
-            // every word itself and needs none of this.
-            match occ_state {
-                OccState::Clean => {}
-                OccState::Tracked => {
-                    for &w in &set_words {
-                        in_occ[w as usize] = 0;
-                    }
-                    set_words.clear();
-                }
-                OccState::Unknown => {
-                    if parallel && occ_words >= 4096 {
-                        let chunk = occ_words.div_ceil(congest_par::num_threads().max(1));
-                        congest_par::par_chunks_mut(&mut in_occ, chunk, |_, c| c.fill(0));
-                    } else {
-                        in_occ.fill(0);
-                    }
-                    set_words.clear();
-                }
-            }
-            occ_state = OccState::Clean;
-        }
-        if sparse_round {
-            // Stage A — fault prefilter over the active-shard worklists:
-            // drop entries the adversary unstaged, zero the surviving
-            // mask bytes, compact survivors in place. Every destination
-            // arc identifies a unique sender, so mask bytes and worklist
-            // regions have single writers and the pass parallelizes over
-            // the active-shard list (idle shards cost nothing).
-            active_shards.clear();
-            for (s, m) in meters.iter().enumerate() {
-                if m.staged > 0 {
-                    active_shards.push(s as u32);
-                }
-            }
-            {
-                let racy_wl = RacyCells::new(&mut worklist);
-                let racy_mask = RacyCells::new(&mut out_mask);
-                let racy_live = RacyCells::new(&mut wl_live);
-                let meters = &meters[..];
-                let wl_starts = &wl_starts[..];
-                let prefilter = |s: usize| {
-                    let cnt = meters[s].staged as usize;
-                    let base = wl_starts[s];
-                    // Sound: worklist region `s` and live-count slot `s`
-                    // belong to this task alone; every staged mask byte
-                    // has exactly one worklist entry pointing at it.
-                    let wl = unsafe { racy_wl.slice_mut(base, base + cnt) };
-                    let mut live = 0usize;
-                    for k in 0..cnt {
-                        let dest = wl[k] as usize;
-                        if unsafe { racy_mask.read(dest) } != 0 {
-                            unsafe { racy_mask.write(dest, 0) };
-                            wl[live] = dest as u32;
-                            live += 1;
-                        }
-                    }
-                    unsafe { racy_live.write(s, live as u32) };
-                };
-                if parallel && staged_total >= 4096 && active_shards.len() > 1 {
-                    congest_par::run_list(&active_shards, prefilter);
-                } else {
-                    for &s in &active_shards {
-                        prefilter(s as usize);
-                    }
-                }
-            }
-            // Stage B — serial merge over the survivors: occupancy bits,
-            // meters, delivery count, and the set-word breadcrumb the
-            // next round's zeroing uses. Per-arc effects commute, so the
-            // result is identical at every shard count and pool width.
-            for &s in &active_shards {
-                let base = wl_starts[s as usize];
-                let live = wl_live[s as usize] as usize;
-                for &dest in &worklist[base..base + live] {
-                    let dest = dest as usize;
-                    let w = dest >> 6;
-                    let bit = 1u64 << (dest & 63);
-                    if in_occ[w] == 0 {
-                        set_words.push(w as u32);
-                    }
-                    in_occ[w] |= bit;
-                    sparse_delivered += 1;
-                    match config.meter {
-                        MeterMode::BitPlanes => {
-                            slab::planes_add(
-                                &mut planes[w * slab::PLANES..(w + 1) * slab::PLANES],
-                                bit,
-                            );
-                        }
-                        MeterMode::ArcCounters => {
-                            arc_traffic[dest] = arc_traffic[dest].saturating_add(1);
-                        }
-                    }
-                }
-            }
-            if !set_words.is_empty() {
-                occ_state = OccState::Tracked;
-            }
-        }
-        if run_full_sweep || fold_bcast || flush_now {
-            let racy_mask = RacyCells::new(&mut out_mask);
-            let racy_occ = RacyCells::new(&mut in_occ);
-            let racy_traffic = RacyCells::new(&mut arc_traffic);
-            let racy_planes = RacyCells::new(&mut planes);
-            let racy_bcast_stage = RacyCells::new(&mut bcast_stage);
-            let racy_bcast_occ = RacyCells::new(&mut bcast_occ);
-            let racy_node_planes = RacyCells::new(&mut node_planes);
-            let racy_node_traffic = RacyCells::new(&mut node_traffic);
-            let racy_meters = RacyCells::new(&mut meters);
-            let meter_mode = config.meter;
-            let deliver_shard = |s: usize| {
-                let words = plan.words(s);
-                let arcs_range = plan.arcs_of(s);
-                let (w_lo, w_hi) = (words.start, words.end);
-                let (a_lo, a_hi) = (arcs_range.start, arcs_range.end);
-                // Sound: the plan's word/arc/meter regions are disjoint
-                // across shards by construction.
-                let (mask_s, occ_s, meter) = unsafe {
-                    (
-                        racy_mask.slice_mut(a_lo, a_hi),
-                        racy_occ.slice_mut(w_lo, w_hi),
-                        &mut racy_meters.slice_mut(s, s + 1)[0],
-                    )
-                };
-                let mut delivered = 0u64;
-                if run_full_sweep {
-                    match meter_mode {
-                        MeterMode::BitPlanes => {
-                            let planes_s = unsafe {
-                                racy_planes.slice_mut(w_lo * slab::PLANES, w_hi * slab::PLANES)
-                            };
-                            for (i, occ_word) in occ_s.iter_mut().enumerate() {
-                                let lo = w_lo * 64 + i * 64;
-                                let hi = (lo + 64).min(a_hi);
-                                let mask = &mut mask_s[lo - a_lo..hi - a_lo];
-                                let bits = slab::pack_bytes(mask);
-                                *occ_word = bits;
-                                if bits != 0 {
-                                    mask.fill(0);
-                                    delivered += bits.count_ones() as u64;
-                                    slab::planes_add(
-                                        &mut planes_s[i * slab::PLANES..(i + 1) * slab::PLANES],
-                                        bits,
-                                    );
-                                }
-                            }
-                        }
-                        MeterMode::ArcCounters => {
-                            let traffic_s = unsafe { racy_traffic.slice_mut(a_lo, a_hi) };
-                            for (i, occ_word) in occ_s.iter_mut().enumerate() {
-                                let lo = w_lo * 64 + i * 64;
-                                let hi = (lo + 64).min(a_hi);
-                                let mask = &mut mask_s[lo - a_lo..hi - a_lo];
-                                let traffic = &mut traffic_s[lo - a_lo..hi - a_lo];
-                                let bits = slab::pack_bytes(mask);
-                                *occ_word = bits;
-                                if bits != 0 {
-                                    mask.fill(0);
-                                    delivered += bits.count_ones() as u64;
-                                    if bits == u64::MAX {
-                                        for t in traffic.iter_mut() {
-                                            *t = t.saturating_add(1);
-                                        }
-                                    } else {
-                                        let mut b = bits;
-                                        while b != 0 {
-                                            let t = &mut traffic[b.trailing_zeros() as usize];
-                                            *t = t.saturating_add(1);
-                                            b &= b - 1;
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                // Flush cadence is independent of this round's traffic:
-                // the planes may hold counts from earlier rounds.
-                if flush_now {
-                    let planes_s =
-                        unsafe { racy_planes.slice_mut(w_lo * slab::PLANES, w_hi * slab::PLANES) };
-                    let traffic_s = unsafe { racy_traffic.slice_mut(a_lo, a_hi) };
-                    for (i, w) in (w_lo..w_hi).enumerate() {
-                        let lo = w * 64;
-                        let hi = (lo + 64).min(a_hi);
-                        slab::planes_flush(
-                            &mut planes_s[i * slab::PLANES..(i + 1) * slab::PLANES],
-                            &mut traffic_s[lo - a_lo..hi - a_lo],
-                        );
-                    }
-                }
-                // --- Broadcast fold: this shard's node-word region of the
-                // per-node staging bytes becomes presence bits; a
-                // broadcasting node delivers `deg` messages in one bit.
-                // Only folded in rounds where someone staged through the
-                // plane — receivers gate on `bcast_any` and every fold
-                // rebuilds all presence words, so skipped rounds leave no
-                // observable residue (and cost nothing).
-                let mut shard_bcast = false;
-                if fold_bcast {
-                    let nw = plan.node_words(s);
-                    let nodes_cov = plan.node_word_nodes(s);
-                    let (b_lo, b_hi) = (nodes_cov.start, nodes_cov.end);
-                    // Sound: node-word regions are disjoint across shards.
-                    let (stage_s, bocc_s) = unsafe {
-                        (
-                            racy_bcast_stage.slice_mut(b_lo, b_hi),
-                            racy_bcast_occ.slice_mut(nw.start, nw.end),
-                        )
-                    };
-                    for (i, occ_word) in bocc_s.iter_mut().enumerate() {
-                        let lo = nw.start * 64 + i * 64;
-                        let hi = (lo + 64).min(b_hi);
-                        let bytes = &mut stage_s[lo - b_lo..hi - b_lo];
-                        let bits = slab::pack_bytes(bytes);
-                        *occ_word = bits;
-                        if bits != 0 {
-                            bytes.fill(0);
-                            shard_bcast = true;
-                            let mut b = bits;
-                            while b != 0 {
-                                let v = lo + b.trailing_zeros() as usize;
-                                b &= b - 1;
-                                delivered += graph.degree(v as Node) as u64;
-                            }
-                            match meter_mode {
-                                MeterMode::BitPlanes => {
-                                    let planes_w = unsafe {
-                                        racy_node_planes.slice_mut(
-                                            (nw.start + i) * slab::PLANES,
-                                            (nw.start + i + 1) * slab::PLANES,
-                                        )
-                                    };
-                                    slab::planes_add(planes_w, bits);
-                                }
-                                MeterMode::ArcCounters => {
-                                    let traffic = unsafe { racy_node_traffic.slice_mut(lo, hi) };
-                                    let mut b = bits;
-                                    while b != 0 {
-                                        let t = &mut traffic[b.trailing_zeros() as usize];
-                                        *t = t.saturating_add(1);
-                                        b &= b - 1;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                // Node-plane flush runs on the arc-plane cadence whether
-                // or not this round folded the plane.
-                if bcast_enabled && flush_now && meter_mode == MeterMode::BitPlanes {
-                    let nw = plan.node_words(s);
-                    let b_hi = plan.node_word_nodes(s).end;
-                    for w in nw {
-                        let lo = w * 64;
-                        let hi = (lo + 64).min(b_hi);
-                        let (planes_w, traffic) = unsafe {
-                            (
-                                racy_node_planes
-                                    .slice_mut(w * slab::PLANES, (w + 1) * slab::PLANES),
-                                racy_node_traffic.slice_mut(lo, hi),
-                            )
-                        };
-                        slab::planes_flush(planes_w, traffic);
-                    }
-                }
-                meter.delivered = delivered;
-                meter.bcast_any = shard_bcast;
-            };
-            if parallel {
-                congest_par::run(s_count, deliver_shard);
-            } else {
-                for s in 0..s_count {
-                    deliver_shard(s);
-                }
-            }
-        }
-        rounds_since_flush = if flush_now { 0 } else { rounds_since_flush + 1 };
-        if run_full_sweep {
-            occ_state = OccState::Unknown;
-        }
-        // --- Combine the shard meter blocks: allocation-free fixed-shape
-        // tree reduction (identical at every pool width and shard count).
-        for (agg, m) in agg_buf.iter_mut().zip(&meters) {
-            *agg = RoundAgg {
-                delivered: m.delivered,
-                all_done: m.all_done,
-                bcast_any: m.bcast_any,
-            };
-        }
-        congest_par::par_tree_reduce(&mut agg_buf, |a, b| {
-            a.delivered += b.delivered;
-            a.all_done &= b.all_done;
-            a.bcast_any |= b.bcast_any;
-        });
-        let RoundAgg {
-            delivered,
-            all_done,
-            bcast_any: round_bcast,
-        } = agg_buf[0];
-        let delivered = delivered + sparse_delivered;
-        bcast_any = round_bcast;
-        last_delivered = delivered;
-        stats.total_messages += delivered;
-        if let Some(t) = &mut trace {
-            t.push(delivered);
-        }
-        round += 1;
-        if delivered > 0 {
-            stats.rounds = round;
-        }
-        if delivered == 0 && all_done {
-            stats.iterations = round;
-            break;
-        }
-    }
-    if let Some(t) = &mut trace {
-        t.truncate(stats.rounds as usize);
-    }
-    stats.max_message_bits = cells.iter().map(|c| c.max_bits).max().unwrap_or(0);
-
-    // Final plane flush so `arc_traffic`/`node_traffic` hold exact totals.
-    if config.meter == MeterMode::BitPlanes && rounds_since_flush > 0 {
-        for w in 0..occ_words {
-            let lo = w * 64;
-            let hi = (lo + 64).min(arcs);
-            slab::planes_flush(
-                &mut planes[w * slab::PLANES..(w + 1) * slab::PLANES],
-                &mut arc_traffic[lo..hi],
-            );
-        }
-        if bcast_enabled {
-            for w in 0..node_words {
-                let lo = w * 64;
-                let hi = (lo + 64).min(n);
-                slab::planes_flush(
-                    &mut node_planes[w * slab::PLANES..(w + 1) * slab::PLANES],
-                    &mut node_traffic[lo..hi],
-                );
-            }
-        }
-    }
-
-    // Fold per-arc traffic into per-edge congestion. An arc's total is its
-    // directed deliveries plus every broadcast by the neighbor behind it.
-    let mut per_edge: Vec<u64> = vec![0; graph.m()];
-    for v in 0..n as Node {
-        let lo = graph.arc_offset(v);
-        let neighbors = graph.neighbors(v);
-        for (i, &e) in graph.incident_edges(v).iter().enumerate() {
-            let mut t = arc_traffic[lo + i] as u64;
-            if bcast_enabled {
-                t += node_traffic[neighbors[i] as usize] as u64;
-            }
-            per_edge[e as usize] += t;
-        }
-    }
-    // Both arcs of an edge map to the same edge id and each counts the
-    // deliveries *into* one endpoint, so the sum is the total number of
-    // messages that crossed the edge in either direction.
-    stats.max_edge_congestion = per_edge.iter().copied().max().unwrap_or(0);
-
-    let outputs: Vec<P::Output> = cells.into_iter().map(|c| c.state.finish()).collect();
-    Ok(RunOutcome {
-        outputs,
-        stats,
-        trace,
-        edge_congestion: per_edge,
-    })
+    let mut session = Session::new(graph);
+    let outcome = session.run(factory, config)?;
+    Ok(outcome.into_owned())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::protocol::{NodeCtx, Protocol};
+    use crate::session::PARALLEL_MIN_NODES;
     use congest_graph::generators::{complete, cycle, harary, path};
 
     /// Flood a token from node 0; everyone records the round they heard it.

@@ -63,6 +63,7 @@ pub mod pr2;
 pub mod protocol;
 pub mod rng;
 pub mod sched;
+pub mod session;
 mod slab;
 
 pub use engine::{run_protocol, EngineConfig, EngineError, MeterMode, RunOutcome, RunStats};
@@ -70,3 +71,4 @@ pub use fault::FaultPlan;
 pub use message::{MsgBits, MsgWord, PackedMsg};
 pub use phase::PhaseLog;
 pub use protocol::{InboxIter, NodeCtx, Protocol};
+pub use session::{PhaseHost, PhaseOutcome, Session};

@@ -129,6 +129,7 @@ impl<P: Protocol> Protocol for Pr2Multiplexed<P> {
     type Output = (Vec<P::Output>, usize);
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>) {
+        let graph = ctx.graph();
         for (p, t) in ctx.inbox() {
             let sub = &mut self.subs[t.algo as usize];
             debug_assert!(!slab::test(&sub.in_occ, p as usize));
@@ -145,7 +146,6 @@ impl<P: Protocol> Protocol for Pr2Multiplexed<P> {
                 let mut sub_ctx = NodeCtx {
                     node: ctx.node,
                     round: sub.virtual_round,
-                    graph: ctx.graph,
                     inbox: InSlot {
                         words: &sub.in_words,
                         occ: &sub.in_occ,
@@ -155,7 +155,9 @@ impl<P: Protocol> Protocol for Pr2Multiplexed<P> {
                     outbox: OutSlot::Local {
                         words: &mut sub.out_words,
                         occ: &mut sub.out_occ,
+                        graph,
                     },
+                    bcast_staged: false,
                     rng: ctx.rng,
                     done: &mut sub.done,
                     max_bits: ctx.max_bits,

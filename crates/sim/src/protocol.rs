@@ -75,7 +75,12 @@ pub(crate) struct InSlot<'a, M: PackedMsg> {
 /// so context construction is hot). The counters are `Cell`s: the plane
 /// lives on the owning shard task's stack and is touched by that task
 /// alone; only the `RacyCells` slabs inside are cross-thread.
+///
+/// Since the host-mode slimming pass this descriptor also carries the
+/// cold per-round fields the context used to copy per node (`graph`):
+/// [`NodeCtx`] holds one pointer to the plane instead.
 pub(crate) struct ScatterPlane<'a, M: PackedMsg> {
+    pub(crate) graph: &'a Graph,
     pub(crate) words: &'a RacyCells<'a, M::Word>,
     pub(crate) mask: &'a RacyCells<'a, u8>,
     pub(crate) rev: &'a [u32],
@@ -116,22 +121,21 @@ pub(crate) enum OutSlot<'a, M: PackedMsg> {
     /// Engine mode: per-port sends scatter straight into the *destination*
     /// arc slot of the staging slab through the reverse-arc permutation,
     /// so delivery is a buffer swap. Disjointness: `rev` is a bijection on
-    /// arcs, and `rev[lo..lo+deg]` are exactly this node's destinations —
-    /// which is why the staging mask is one *byte* per arc written with a
-    /// plain store (no atomic read-modify-write on the send path).
-    /// `send_all` goes through the broadcast plane when available: one
-    /// word + one staging byte per *node* instead of per arc.
-    Scatter {
-        plane: &'a ScatterPlane<'a, M>,
-        lo: usize,
-        deg: usize,
-    },
+    /// arcs, and the node's destinations are exactly
+    /// `rev[bit0..bit0+deg]` (the context's inbox range doubles as the
+    /// outbox range — one CSR offset serves both) — which is why the
+    /// staging mask is one *byte* per arc written with a plain store (no
+    /// atomic read-modify-write on the send path). `send_all` goes
+    /// through the broadcast plane when available: one word + one staging
+    /// byte per *node* instead of per arc.
+    Scatter { plane: &'a ScatterPlane<'a, M> },
     /// Host mode: a plain port-indexed buffer, used by protocol
     /// combinators (e.g. [`crate::sched::Multiplexed`]) that run
     /// sub-protocols against node-local buffers.
     Local {
         words: &'a mut [M::Word],
         occ: &'a mut [u64],
+        graph: &'a Graph,
     },
 }
 
@@ -386,14 +390,25 @@ impl<'a, M: PackedMsg> InboxIter<'a, M> {
 }
 
 /// Everything one node may legitimately touch during one round.
+///
+/// Kept deliberately small: contexts are rebuilt for every node every
+/// round (and for every hosted sub-protocol under the multiplexer), so
+/// shard-invariant state lives behind one [`ScatterPlane`] pointer and
+/// the per-port ranges are derived from the inbox slice instead of being
+/// stored twice.
 pub struct NodeCtx<'a, M: PackedMsg> {
     /// This node's id.
     pub node: Node,
     /// Current round number (0-based).
     pub round: u64,
-    pub(crate) graph: &'a Graph,
     pub(crate) inbox: InSlot<'a, M>,
     pub(crate) outbox: OutSlot<'a, M>,
+    /// Whether this node already staged a broadcast-plane word this
+    /// round. Mirrors the node's own `bcast_stage` byte (which the
+    /// deliver fold always zeroes before the next step), so the send hot
+    /// path tests a context-local flag instead of re-reading the shared
+    /// staging slab per send.
+    pub(crate) bcast_staged: bool,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) done: &'a mut bool,
     /// Largest `MsgBits::bits()` this node has sent over the whole run
@@ -402,6 +417,17 @@ pub struct NodeCtx<'a, M: PackedMsg> {
 }
 
 impl<'a, M: PackedMsg> NodeCtx<'a, M> {
+    /// The graph, reached through whichever shared descriptor this
+    /// context runs against (the per-shard scatter plane in engine mode,
+    /// the host's own handle in host mode).
+    #[inline]
+    pub(crate) fn graph(&self) -> &'a Graph {
+        match &self.outbox {
+            OutSlot::Scatter { plane } => plane.graph,
+            OutSlot::Local { graph, .. } => graph,
+        }
+    }
+
     /// Degree of this node = number of ports.
     #[inline]
     pub fn degree(&self) -> usize {
@@ -411,20 +437,20 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
     /// Neighbor reached through `port`.
     #[inline]
     pub fn neighbor(&self, port: Port) -> Node {
-        self.graph.neighbor_at(self.node, port)
+        self.graph().neighbor_at(self.node, port)
     }
 
     /// Undirected edge id behind `port` — stable across the run, usable as
     /// an index into edge-colored structures (e.g. the Theorem 2 partition).
     #[inline]
     pub fn edge(&self, port: Port) -> congest_graph::Edge {
-        self.graph.edge_at(self.node, port)
+        self.graph().edge_at(self.node, port)
     }
 
     /// All neighbor ids (sorted ascending; index = port).
     #[inline]
     pub fn neighbors(&self) -> &'a [Node] {
-        self.graph.neighbors(self.node)
+        self.graph().neighbors(self.node)
     }
 
     /// Total number of nodes in the network. CONGEST algorithms may assume
@@ -432,7 +458,7 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
     /// its `C log n` thresholds.
     #[inline]
     pub fn n(&self) -> usize {
-        self.graph.n()
+        self.graph().n()
     }
 
     /// The message delivered on `port` this round, if any. Unpacks by
@@ -514,18 +540,18 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
             *self.max_bits = bits;
         }
         let word = msg.pack();
+        let lo = self.inbox.bit0;
+        let deg = self.inbox.words.len();
         let already = match &mut self.outbox {
-            OutSlot::Scatter { plane, lo, deg } => {
-                assert!((port as usize) < *deg, "send on nonexistent port {port}");
-                let dest = plane.rev[*lo + port as usize] as usize;
-                // A prior `send_all` this round already claimed every port.
-                let node = self.node as usize;
-                let already_bcast = plane
-                    .bcast
-                    .is_some_and(|b| unsafe { b.stage.read(node) } != 0);
+            OutSlot::Scatter { plane } => {
+                assert!((port as usize) < deg, "send on nonexistent port {port}");
+                let dest = plane.rev[lo + port as usize] as usize;
+                // A prior `send_all` this round already claimed every port
+                // (tracked context-locally — the staging byte it mirrors
+                // is always zero at context construction).
                 // Sound: `rev` is a bijection, so slot `dest` belongs to
                 // this (node, port) alone this round.
-                let already = already_bcast || unsafe { plane.mask.read(dest) } != 0;
+                let already = self.bcast_staged || unsafe { plane.mask.read(dest) } != 0;
                 if !already {
                     plane.record(dest);
                     unsafe {
@@ -535,7 +561,7 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
                 }
                 already
             }
-            OutSlot::Local { words, occ } => {
+            OutSlot::Local { words, occ, .. } => {
                 let already = slab::set(occ, port as usize);
                 if !already {
                     words[port as usize] = word;
@@ -558,8 +584,10 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
     /// drop individual messages — and this falls back to the reverse-arc
     /// scatter: one packed word, `deg` plain stores.)
     pub fn send_all(&mut self, msg: M) {
+        let lo = self.inbox.bit0;
+        let deg = self.inbox.words.len();
         match &mut self.outbox {
-            OutSlot::Scatter { plane, lo, deg } => {
+            OutSlot::Scatter { plane } => {
                 let bits = msg.bits();
                 if bits > *self.max_bits {
                     *self.max_bits = bits;
@@ -567,19 +595,18 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
                 let word = msg.pack();
                 if let Some(b) = plane.bcast {
                     let node = self.node as usize;
+                    assert!(
+                        !self.bcast_staged,
+                        "CONGEST violation: node {} broadcast twice in round {}",
+                        self.node, self.round
+                    );
                     // Sound: `node` is this node's own slot; no other
                     // task writes it.
                     unsafe {
-                        assert!(
-                            b.stage.read(node) == 0,
-                            "CONGEST violation: node {} broadcast twice in round {}",
-                            self.node,
-                            self.round
-                        );
                         // Debug-only: `send_all` after a per-port `send`
                         // would double-book that port.
                         debug_assert!(
-                            plane.rev[*lo..*lo + *deg]
+                            plane.rev[lo..lo + deg]
                                 .iter()
                                 .all(|&d| plane.mask.read(d as usize) == 0),
                             "CONGEST violation: node {} broadcast after sending in round {}",
@@ -589,11 +616,12 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
                         b.stage.write(node, 1);
                         b.words.write(node, word);
                     }
+                    self.bcast_staged = true;
                     plane.bcast_used.set(true);
                     return;
                 }
                 let k0 = plane.staged.get() as usize;
-                for (j, &dest) in plane.rev[*lo..*lo + *deg].iter().enumerate() {
+                for (j, &dest) in plane.rev[lo..lo + deg].iter().enumerate() {
                     let dest = dest as usize;
                     // Sound: own destination slots (see `send`). The
                     // double-send probe is debug-only on this bulk path —
@@ -613,10 +641,10 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
                         plane.words.write(dest, word);
                     }
                 }
-                plane.staged.set((k0 + *deg) as u32);
+                plane.staged.set((k0 + deg) as u32);
             }
             OutSlot::Local { .. } => {
-                for p in 0..self.degree() as Port {
+                for p in 0..deg as Port {
                     self.send(p, msg);
                 }
             }
@@ -627,14 +655,15 @@ impl<'a, M: PackedMsg> NodeCtx<'a, M> {
     #[inline]
     pub fn port_used(&self, port: Port) -> bool {
         match &self.outbox {
-            OutSlot::Scatter { plane, lo, .. } => {
-                // Sound: own destination slot / own broadcast byte (see
-                // `send`).
-                let node = self.node as usize;
-                unsafe {
-                    plane.bcast.is_some_and(|b| b.stage.read(node) != 0)
-                        || plane.mask.read(plane.rev[*lo + port as usize] as usize) != 0
-                }
+            OutSlot::Scatter { plane } => {
+                // Sound: own destination slot (see `send`).
+                self.bcast_staged
+                    || unsafe {
+                        plane
+                            .mask
+                            .read(plane.rev[self.inbox.bit0 + port as usize] as usize)
+                            != 0
+                    }
             }
             OutSlot::Local { occ, .. } => slab::test(occ, port as usize),
         }

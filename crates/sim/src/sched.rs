@@ -378,6 +378,7 @@ impl<P: Protocol> Protocol for Multiplexed<P> {
     type Output = (Vec<P::Output>, usize);
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>) {
+        let graph = ctx.graph();
         // 1. Distribute arrivals to sub-inboxes (and wake their subs).
         for (p, t) in ctx.inbox() {
             let sub = &mut self.subs[t.algo as usize];
@@ -398,7 +399,6 @@ impl<P: Protocol> Protocol for Multiplexed<P> {
                 let mut sub_ctx = NodeCtx {
                     node: ctx.node,
                     round: sub.virtual_round,
-                    graph: ctx.graph,
                     inbox: InSlot {
                         words: &sub.in_words,
                         occ: &sub.in_occ,
@@ -408,7 +408,9 @@ impl<P: Protocol> Protocol for Multiplexed<P> {
                     outbox: OutSlot::Local {
                         words: &mut sub.out_words,
                         occ: &mut sub.out_occ,
+                        graph,
                     },
+                    bcast_staged: false,
                     rng: ctx.rng,
                     done: &mut sub.done,
                     max_bits: ctx.max_bits,

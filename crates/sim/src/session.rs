@@ -1,0 +1,1143 @@
+//! Phase-resident engine sessions.
+//!
+//! The paper's algorithms are *sequential compositions* (Theorem 1 alone
+//! chains leader election → BFS → numbering → partition → per-class BFS →
+//! pipelined routing). Executing each phase through a fresh
+//! [`crate::run_protocol`] call re-allocates and re-zeroes the full arc
+//! slabs, occupancy bitsets, broadcast planes, meter planes, and shard
+//! worklists — hundreds of MB of setup churn per phase at `n = 10^6`,
+//! paid again for every phase and for every iteration of
+//! `exp_search`'s doubling loop.
+//!
+//! A [`Session`] is a **graph-keyed engine instance** that owns all of
+//! that state once and runs any number of protocols to termination on
+//! it, in sequence:
+//!
+//! * **Slab reuse across message widths.** The arc/broadcast message
+//!   slabs are raw 16-byte-aligned storage keyed by the *widest*
+//!   [`crate::PackedMsg::Word`] any phase has used, so a `u64` phase
+//!   reuses (half of) a `u128` slab without touching the allocator.
+//! * **Node state in a bump arena.** Per-node protocol cells (state +
+//!   RNG + flags) and per-node outputs live in two reusable arenas sized
+//!   by high-water mark — a phase whose footprint fits what an earlier
+//!   phase already paid for allocates nothing.
+//! * **Zeroed by breadcrumb.** The round loop's own termination
+//!   discipline leaves the occupancy bitsets, staging masks, and
+//!   broadcast stage bytes all-zero when a run completes (sparse rounds
+//!   zero by set-word breadcrumbs, full sweeps rebuild every word, the
+//!   final silent iteration clears the rest), and the end-of-run per-edge
+//!   congestion fold drains the arc/node traffic counters back to zero
+//!   as it reads them. The next phase starts on clean state without any
+//!   O(arcs) scrub. Only a phase that *failed* (round-limit error or a
+//!   panic inside a node program) marks the session dirty and pays one
+//!   full scrub on the next run.
+//!
+//! Between two phases on the same session **zero heap allocation**
+//! happens (enforced by `tests/zero_alloc.rs`), with the documented
+//! growth exceptions, each sized on first use: a phase using a wider
+//! message word than any before it, a phase whose shard count differs
+//! from the cached [`congest_graph::ShardPlan`], a phase whose
+//! node-cell/output/trace footprint exceeds the session's high-water
+//! mark, and the session's first `BitPlanes` phase (meter planes) /
+//! first unfaulted phase (broadcast-plane bookkeeping).
+//!
+//! [`crate::run_protocol`] is a thin one-phase wrapper: it builds a
+//! session, runs the protocol, and returns an owned outcome.
+
+use crate::engine::{EngineConfig, EngineError, MeterMode, RunOutcome, RunStats};
+use crate::message::{MsgWord, PackedMsg};
+use crate::protocol::{BcastIn, BcastOut, InSlot, NodeCtx, OutSlot, Protocol};
+use crate::rng::node_rng;
+use crate::slab;
+use congest_graph::{Graph, Node, ShardPlan};
+use congest_par::RacyCells;
+use rand::rngs::SmallRng;
+
+/// The staging byte-mask value for "this arc carries a message".
+const STAGED: u8 = 1;
+
+/// Below this many nodes the pool handoff costs more than the round; step
+/// serially regardless of [`EngineConfig::parallel`] (results identical).
+pub(crate) const PARALLEL_MIN_NODES: usize = 256;
+
+/// Cap on auto-derived shard counts (explicit configs may exceed it).
+const MAX_AUTO_SHARDS: usize = 64;
+
+/// Per-node hot state, kept together so one cache line serves one node's
+/// step and shards walk nodes without any per-round bookkeeping.
+struct NodeCell<P> {
+    state: P,
+    rng: SmallRng,
+    done: bool,
+    /// Largest message (in bits) this node sent over the whole run.
+    max_bits: usize,
+}
+
+/// One shard's private meter block, written only by the shard that owns it
+/// during a phase and read only between phases / by the tree reduction.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardMeter {
+    /// Messages delivered into this shard's arcs (and out of its
+    /// broadcasting nodes) this round.
+    delivered: u64,
+    /// Whether every node of this shard reported `done` this round.
+    all_done: bool,
+    /// Whether any node in this shard's region broadcast this round.
+    bcast_any: bool,
+    /// Messages this shard's nodes staged through the per-arc mask this
+    /// round (per-port sends plus scatter-fallback broadcasts). Zero lets
+    /// the deliver phase skip the arc plane; a small global total takes
+    /// the sparse worklist path.
+    staged: u32,
+    /// Whether any node of this shard staged a broadcast-plane word this
+    /// round (gates the per-node plane fold).
+    bcast_used: bool,
+}
+
+/// Does the inbox occupancy bitset need zeroing before this round's bits
+/// land, and how cheaply can that be done?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OccState {
+    /// All-zero (nothing to do).
+    Clean,
+    /// Nonzero only at the words listed in the engine's `set_words`
+    /// scratch (sparse rounds leave this breadcrumb so the next round
+    /// zeroes O(traffic) words, not O(arcs/64)).
+    Tracked,
+    /// Arbitrary (a full-sweep round rebuilt every word; zeroing takes a
+    /// whole-bitset fill).
+    Unknown,
+}
+
+/// The value the per-round tree reduction folds.
+#[derive(Debug, Clone, Copy, Default)]
+struct RoundAgg {
+    delivered: u64,
+    all_done: bool,
+    /// Whether any node broadcast this round (gates receivers' broadcast
+    /// scans next round).
+    bcast_any: bool,
+}
+
+/// Raw 16-byte-aligned storage reused as a `&mut [W]` message slab for
+/// whatever word width the current phase needs. Capacity is keyed in
+/// bytes, so a `u64` phase reuses a slab a `u128` phase grew.
+#[derive(Default)]
+struct WordSlab {
+    buf: Vec<u128>,
+}
+
+impl WordSlab {
+    /// A `len`-word view of the slab, growing the backing storage only
+    /// when `len × size_of::<W>()` exceeds every earlier phase's demand.
+    /// Contents are unspecified; the engine only reads word slots whose
+    /// occupancy bit was set this phase, so stale words are unreachable.
+    fn view<W: MsgWord>(&mut self, len: usize) -> &mut [W] {
+        assert!(
+            std::mem::align_of::<W>() <= 16 && std::mem::size_of::<W>() <= 16,
+            "message words wider than u128 are not supported"
+        );
+        let units = (len * std::mem::size_of::<W>()).div_ceil(16);
+        if self.buf.len() < units {
+            self.buf.resize(units, 0);
+        }
+        // Sound: the buffer is 16-byte aligned, holds at least
+        // `len * size_of::<W>()` bytes, and `W` (u64/u128) is plain old
+        // data valid for any bit pattern.
+        unsafe { std::slice::from_raw_parts_mut(self.buf.as_mut_ptr() as *mut W, len) }
+    }
+}
+
+/// A reusable bump arena for per-phase typed arrays (node cells, outputs).
+/// Grows to the high-water footprint and then serves every later phase
+/// without touching the allocator. The arena hands out raw storage only;
+/// initialization, drop, and non-overlap are the caller's contract.
+#[derive(Default)]
+struct Arena {
+    buf: Vec<u128>,
+}
+
+impl Arena {
+    /// Storage for `n` values of `T`, aligned for `T`.
+    fn alloc<T>(&mut self, n: usize) -> *mut T {
+        let align = std::mem::align_of::<T>();
+        // Slack so any alignment can be met inside the 16-aligned buffer.
+        let bytes = n * std::mem::size_of::<T>() + align;
+        let units = bytes.div_ceil(16);
+        if self.buf.len() < units {
+            self.buf.resize(units, 0);
+        }
+        let base = self.buf.as_mut_ptr() as usize;
+        ((base + align - 1) & !(align - 1)) as *mut T
+    }
+}
+
+/// One completed phase, borrowing the session's buffers.
+///
+/// Outputs live in the session's output arena; read them in place via
+/// [`PhaseOutcome::outputs`] (no allocation) or move them out with
+/// [`PhaseOutcome::take_outputs`]. Dropping the outcome drops any
+/// outputs still in the arena, freeing it for the next phase.
+pub struct PhaseOutcome<'s, O> {
+    outputs: *mut O,
+    n: usize,
+    taken: bool,
+    /// What the phase cost — the same [`RunStats`] `run_protocol` reports.
+    pub stats: RunStats,
+    trace: Option<&'s [u64]>,
+    edge_congestion: &'s [u64],
+    _borrow: std::marker::PhantomData<&'s mut O>,
+}
+
+impl<'s, O> PhaseOutcome<'s, O> {
+    /// Per-node outputs, indexed by node id, in the session arena.
+    #[inline]
+    pub fn outputs(&self) -> &[O] {
+        // Sound: `outputs..outputs+n` was fully initialized by the run
+        // and `taken` moves happen only in consuming methods.
+        unsafe { std::slice::from_raw_parts(self.outputs, self.n) }
+    }
+
+    /// Messages delivered per round, when the phase collected a trace.
+    #[inline]
+    pub fn trace(&self) -> Option<&'s [u64]> {
+        self.trace
+    }
+
+    /// Per-edge congestion meters (indexed by edge id), in the session's
+    /// reusable buffer.
+    #[inline]
+    pub fn edge_congestion(&self) -> &'s [u64] {
+        self.edge_congestion
+    }
+
+    /// Move the outputs out of the arena into an owned `Vec` (the one
+    /// allocation this type can perform).
+    pub fn take_outputs(mut self) -> Vec<O> {
+        let mut out = Vec::with_capacity(self.n);
+        // Sound: each arena slot is moved out exactly once; `taken`
+        // stops Drop from touching them again.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.outputs, out.as_mut_ptr(), self.n);
+            out.set_len(self.n);
+        }
+        self.taken = true;
+        out
+    }
+
+    /// Convert into the owned [`RunOutcome`] shape `run_protocol` returns.
+    pub fn into_owned(self) -> RunOutcome<O> {
+        let stats = self.stats;
+        let trace = self.trace.map(|t| t.to_vec());
+        let edge_congestion = self.edge_congestion.to_vec();
+        RunOutcome {
+            outputs: self.take_outputs(),
+            stats,
+            trace,
+            edge_congestion,
+        }
+    }
+}
+
+impl<O> Drop for PhaseOutcome<'_, O> {
+    fn drop(&mut self) {
+        if !self.taken {
+            for i in 0..self.n {
+                // Sound: initialized by the run, not yet moved out.
+                unsafe { std::ptr::drop_in_place(self.outputs.add(i)) };
+            }
+        }
+    }
+}
+
+/// A graph-keyed engine instance owning all round-loop state for a whole
+/// multi-phase algorithm. See the module docs for the reuse and zeroing
+/// contract.
+pub struct Session<'g> {
+    graph: &'g Graph,
+    /// Double-buffered arc message slabs (inbox / staging).
+    slab_a: WordSlab,
+    slab_b: WordSlab,
+    /// Per-node broadcast-plane message slabs (inbox / staging).
+    bcast_slab_a: WordSlab,
+    bcast_slab_b: WordSlab,
+    /// Word-packed inbox occupancy bitset (one bit per arc).
+    in_occ: Vec<u64>,
+    /// Staging byte-mask (one byte per arc).
+    out_mask: Vec<u8>,
+    /// Per-arc congestion totals.
+    arc_traffic: Vec<u32>,
+    /// Bit-sliced per-arc counters (word-major; see [`crate::engine`]).
+    planes: Vec<u64>,
+    /// Broadcast-plane staging bytes / presence bits / meters (per node).
+    bcast_stage: Vec<u8>,
+    bcast_occ: Vec<u64>,
+    node_planes: Vec<u64>,
+    node_traffic: Vec<u32>,
+    /// Fault-adversary scratch.
+    blocked: Vec<congest_graph::Edge>,
+    /// Shard plan cache, keyed by the clamped requested shard count.
+    plan: Option<(usize, ShardPlan)>,
+    meters: Vec<ShardMeter>,
+    agg_buf: Vec<RoundAgg>,
+    wl_starts: Vec<usize>,
+    worklist: Vec<u32>,
+    wl_live: Vec<u32>,
+    active_shards: Vec<u32>,
+    set_words: Vec<u32>,
+    /// Per-edge congestion fold target, exposed through [`PhaseOutcome`].
+    per_edge: Vec<u64>,
+    /// Per-round trace buffer (reused across phases that collect traces).
+    trace_buf: Vec<u64>,
+    /// Node-cell and output arenas.
+    cell_arena: Arena,
+    out_arena: Arena,
+    /// Whether the previous phase completed cleanly (breadcrumb-zeroed
+    /// state). A failed or panicked phase clears this and the next run
+    /// pays one full scrub.
+    clean: bool,
+}
+
+impl<'g> Session<'g> {
+    /// Build a session for `graph`, allocating every graph-keyed buffer
+    /// once. Message slabs and arenas are sized lazily by the first
+    /// phase that needs them (and re-keyed upward if a later phase needs
+    /// more — e.g. a `u128` phase after `u64` ones).
+    pub fn new(graph: &'g Graph) -> Session<'g> {
+        let arcs = graph.num_arcs();
+        let occ_words = arcs.div_ceil(64);
+        Session {
+            graph,
+            slab_a: WordSlab::default(),
+            slab_b: WordSlab::default(),
+            bcast_slab_a: WordSlab::default(),
+            bcast_slab_b: WordSlab::default(),
+            in_occ: vec![0; occ_words],
+            out_mask: vec![0; arcs],
+            arc_traffic: vec![0; arcs],
+            // Meter planes and broadcast-plane bookkeeping are sized
+            // lazily by the first phase that needs them (a BitPlanes /
+            // unfaulted phase respectively), mirroring the conditional
+            // allocations the pre-session engine made per call.
+            planes: Vec::new(),
+            bcast_stage: Vec::new(),
+            bcast_occ: Vec::new(),
+            node_planes: Vec::new(),
+            node_traffic: Vec::new(),
+            blocked: Vec::new(),
+            plan: None,
+            meters: Vec::new(),
+            agg_buf: Vec::new(),
+            wl_starts: Vec::new(),
+            worklist: Vec::new(),
+            wl_live: Vec::new(),
+            active_shards: Vec::new(),
+            set_words: Vec::new(),
+            per_edge: vec![0; graph.m()],
+            trace_buf: Vec::new(),
+            cell_arena: Arena::default(),
+            out_arena: Arena::default(),
+            clean: true,
+        }
+    }
+
+    /// The graph this session is keyed to.
+    #[inline]
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Full scrub of every buffer a failed phase may have left dirty.
+    /// Only runs after an error or a panic escaped a phase; clean phases
+    /// re-zero everything they touched on their way out.
+    fn scrub(&mut self) {
+        self.in_occ.fill(0);
+        self.out_mask.fill(0);
+        self.arc_traffic.fill(0);
+        self.planes.fill(0);
+        self.bcast_stage.fill(0);
+        self.node_planes.fill(0);
+        self.node_traffic.fill(0);
+        // `bcast_occ` needs no scrub: readers are gated on a per-phase
+        // `bcast_any` flag and every fold rebuilds all presence words.
+    }
+
+    /// Run one protocol instance per node until global termination (all
+    /// nodes done and no message in flight) or the round limit — the
+    /// session-resident equivalent of [`crate::run_protocol`], reusing
+    /// every buffer of the previous phase. Per-node RNGs are re-derived
+    /// from `config.seed` exactly as `run_protocol` derives them, so a
+    /// session-hosted composition is bit-identical to the per-phase one.
+    pub fn run<'s, P, F>(
+        &'s mut self,
+        mut factory: F,
+        config: EngineConfig,
+    ) -> Result<PhaseOutcome<'s, P::Output>, EngineError>
+    where
+        P: Protocol,
+        F: FnMut(Node, &Graph) -> P,
+    {
+        debug_assert!(
+            P::Msg::WIDTH <= <<P::Msg as PackedMsg>::Word as MsgWord>::BITS,
+            "message WIDTH exceeds its storage word"
+        );
+        if !self.clean {
+            self.scrub();
+        }
+        // Any early exit (error or panic) leaves partially-built state;
+        // only a completed phase restores the breadcrumb-zero invariant.
+        self.clean = false;
+
+        let graph = self.graph;
+        let n = graph.n();
+        let arcs = graph.num_arcs();
+        let occ_words = arcs.div_ceil(64);
+        let node_words = n.div_ceil(64);
+        let bcast_enabled = config.faults.is_none();
+
+        // --- Lazily size the meter planes and broadcast-plane
+        // bookkeeping on first use (an ArcCounters or faulted phase
+        // never pays for them — matching the conditional allocations
+        // the pre-session engine made per call). Growth happens at most
+        // once per buffer per session.
+        if config.meter == MeterMode::BitPlanes && self.planes.len() < occ_words * slab::PLANES {
+            self.planes.resize(occ_words * slab::PLANES, 0);
+        }
+        if bcast_enabled {
+            if self.bcast_stage.len() < n {
+                self.bcast_stage.resize(n, 0);
+                self.bcast_occ.resize(node_words, 0);
+                self.node_traffic.resize(n, 0);
+            }
+            if config.meter == MeterMode::BitPlanes
+                && self.node_planes.len() < node_words * slab::PLANES
+            {
+                self.node_planes.resize(node_words * slab::PLANES, 0);
+            }
+        }
+
+        // --- Shard plan (cached across phases keyed by shard count).
+        let parallel = config.parallel && n >= PARALLEL_MIN_NODES && congest_par::num_threads() > 1;
+        let s_req = config
+            .shards
+            .unwrap_or(if parallel {
+                (congest_par::num_threads() * 4).min(MAX_AUTO_SHARDS)
+            } else {
+                1
+            })
+            .clamp(1, n.max(1));
+        if self.plan.as_ref().map(|(k, _)| *k) != Some(s_req) {
+            self.plan = Some((s_req, graph.shard_plan(s_req)));
+        }
+        if let Some(fp) = &config.faults {
+            self.blocked.reserve(fp.edges_per_round);
+        }
+
+        // --- Sparse fast-path worklist layout for this phase's threshold.
+        let threshold = config
+            .sparse_threshold
+            .unwrap_or_else(|| (arcs / 32).clamp(64, 1 << 20))
+            .min(arcs);
+
+        // --- Split the session into independently borrowed buffers.
+        let Session {
+            slab_a,
+            slab_b,
+            bcast_slab_a,
+            bcast_slab_b,
+            in_occ,
+            out_mask,
+            arc_traffic,
+            planes,
+            bcast_stage,
+            bcast_occ,
+            node_planes,
+            node_traffic,
+            blocked,
+            plan,
+            meters,
+            agg_buf,
+            wl_starts,
+            worklist,
+            wl_live,
+            active_shards,
+            set_words,
+            per_edge,
+            trace_buf,
+            cell_arena,
+            out_arena,
+            clean,
+            ..
+        } = self;
+        let plan: &ShardPlan = &plan.as_ref().expect("plan built above").1;
+        let s_count = plan.num_shards();
+
+        meters.clear();
+        meters.resize(s_count, ShardMeter::default());
+        agg_buf.clear();
+        agg_buf.resize(s_count, RoundAgg::default());
+        wl_live.clear();
+        wl_live.resize(s_count, 0);
+        wl_starts.clear();
+        wl_starts.push(0);
+        for s in 0..s_count {
+            let cap = threshold.min(plan.out_arc_bound(s));
+            wl_starts.push(wl_starts[s] + cap);
+        }
+        if worklist.len() < wl_starts[s_count] {
+            worklist.resize(wl_starts[s_count], 0);
+        }
+        active_shards.clear();
+        active_shards.reserve(s_count);
+        set_words.clear();
+        set_words.reserve(threshold.min(occ_words));
+        trace_buf.clear();
+
+        // --- Message slabs for this phase's word width (byte-capacity
+        // keyed: a u64 phase reuses a u128 phase's slab).
+        let mut in_words: &mut [<P::Msg as PackedMsg>::Word] = slab_a.view(arcs);
+        let mut out_words: &mut [<P::Msg as PackedMsg>::Word] = slab_b.view(arcs);
+        let bcast_len = if bcast_enabled { n } else { 0 };
+        let mut bcast_in_words: &mut [<P::Msg as PackedMsg>::Word] = bcast_slab_a.view(bcast_len);
+        let mut bcast_out_words: &mut [<P::Msg as PackedMsg>::Word] = bcast_slab_b.view(bcast_len);
+
+        let in_occ: &mut [u64] = in_occ;
+        let out_mask: &mut [u8] = out_mask;
+        let arc_traffic: &mut [u32] = arc_traffic;
+        let planes: &mut [u64] = match config.meter {
+            MeterMode::BitPlanes => planes,
+            MeterMode::ArcCounters => &mut [],
+        };
+        let bcast_stage: &mut [u8] = &mut bcast_stage[..bcast_len];
+        let bcast_occ: &mut [u64] = &mut bcast_occ[..if bcast_enabled { node_words } else { 0 }];
+        let node_planes: &mut [u64] = match config.meter {
+            MeterMode::BitPlanes if bcast_enabled => node_planes,
+            _ => &mut [],
+        };
+        let node_traffic: &mut [u32] = &mut node_traffic[..bcast_len];
+        let meters: &mut [ShardMeter] = meters;
+        let agg_buf: &mut [RoundAgg] = agg_buf;
+        let wl_live: &mut [u32] = wl_live;
+        let worklist: &mut [u32] = &mut worklist[..wl_starts[s_count]];
+
+        // --- Node cells in the bump arena.
+        let cells_ptr: *mut NodeCell<P> = cell_arena.alloc(n);
+        for v in 0..n as Node {
+            // Sound: slot `v` is in-bounds, and a panic in `factory`
+            // leaks only the already-written prefix (the session stays
+            // dirty and the arena is plain bytes to later phases).
+            unsafe {
+                cells_ptr.add(v as usize).write(NodeCell {
+                    state: factory(v, graph),
+                    rng: node_rng(config.seed, v),
+                    done: false,
+                    max_bits: 0,
+                });
+            }
+        }
+        // Sound: all `n` cells initialized above; the arena is not handed
+        // to anyone else while this borrow lives.
+        let cells: &mut [NodeCell<P>] = unsafe { std::slice::from_raw_parts_mut(cells_ptr, n) };
+
+        let mut bcast_any = false;
+        // Adaptive plane choice: `send_all` goes through the broadcast
+        // plane only in rounds following *dense* traffic (see the engine
+        // module docs); round 0 starts optimistic.
+        let mut last_delivered: u64 = arcs as u64;
+
+        let mut stats = RunStats::default();
+        let mut round: u64 = 0;
+        let mut rounds_since_flush: u64 = 0;
+        // What zeroing the inbox occupancy bitset needs before new bits
+        // land. The previous phase's exit leaves the bitset all-zero.
+        let mut occ_state = OccState::Clean;
+        loop {
+            if round >= config.max_rounds {
+                // Drop the cells so their heap state is released; the
+                // session stays marked dirty and scrubs on the next run.
+                for i in 0..n {
+                    unsafe { std::ptr::drop_in_place(cells_ptr.add(i)) };
+                }
+                return Err(EngineError::RoundLimitExceeded {
+                    limit: config.max_rounds,
+                });
+            }
+            // --- Step phase: each shard steps its own nodes; sends
+            // scatter into the staging slab's destination slots.
+            let use_plane = bcast_enabled && 4 * last_delivered >= arcs as u64;
+            {
+                let racy_cells = RacyCells::new(&mut *cells);
+                let racy_out = RacyCells::new(&mut *out_words);
+                let racy_mask = RacyCells::new(&mut *out_mask);
+                let racy_bcast_out = RacyCells::new(&mut *bcast_out_words);
+                let racy_bcast_stage = RacyCells::new(&mut *bcast_stage);
+                let racy_meters = RacyCells::new(&mut *meters);
+                let racy_wl = RacyCells::new(&mut *worklist);
+                let in_words = &in_words[..];
+                let in_occ = &in_occ[..];
+                // One broadcast descriptor per round, shared by every
+                // node's context; rounds after which nobody broadcast
+                // hand receivers `None` outright.
+                let bcast_in = BcastIn {
+                    words: &bcast_in_words[..],
+                    occ: &bcast_occ[..],
+                    adj: graph.arc_targets(),
+                    any: bcast_any,
+                };
+                let bcast_in = (bcast_enabled && bcast_any).then_some(&bcast_in);
+                let bcast_out = BcastOut {
+                    words: &racy_bcast_out,
+                    stage: &racy_bcast_stage,
+                };
+                let bcast_out = use_plane.then_some(&bcast_out);
+                let wl_starts = &wl_starts[..];
+                let step_shard = |s: usize| {
+                    let nodes = plan.nodes(s);
+                    let (v_lo, v_hi) = (nodes.start as usize, nodes.end as usize);
+                    // Sound: shard `s` is the unique task stepping these
+                    // nodes and writing meter block `s` and worklist
+                    // region `s`.
+                    let cells_s = unsafe { racy_cells.slice_mut(v_lo, v_hi) };
+                    let meter = unsafe { &mut racy_meters.slice_mut(s, s + 1)[0] };
+                    // One scatter-plane descriptor per shard per round;
+                    // node contexts carry a pointer to it instead of its
+                    // fields.
+                    let plane = crate::protocol::ScatterPlane {
+                        graph,
+                        words: &racy_out,
+                        mask: &racy_mask,
+                        rev: graph.reverse_arcs(),
+                        bcast: bcast_out,
+                        wl: &racy_wl,
+                        wl_lo: wl_starts[s],
+                        wl_cap: wl_starts[s + 1] - wl_starts[s],
+                        staged: std::cell::Cell::new(0),
+                        bcast_used: std::cell::Cell::new(false),
+                    };
+                    let mut all_done = true;
+                    for (i, cell) in cells_s.iter_mut().enumerate() {
+                        let v = (v_lo + i) as Node;
+                        let lo = graph.arc_offset(v);
+                        let deg = graph.degree(v);
+                        let mut ctx = NodeCtx {
+                            node: v,
+                            round,
+                            inbox: InSlot {
+                                words: &in_words[lo..lo + deg],
+                                occ: in_occ,
+                                bit0: lo,
+                                bcast: bcast_in,
+                            },
+                            outbox: OutSlot::Scatter { plane: &plane },
+                            bcast_staged: false,
+                            rng: &mut cell.rng,
+                            done: &mut cell.done,
+                            max_bits: &mut cell.max_bits,
+                        };
+                        cell.state.round(&mut ctx);
+                        all_done &= cell.done;
+                    }
+                    meter.all_done = all_done;
+                    meter.staged = plane.staged.get();
+                    meter.bcast_used = plane.bcast_used.get();
+                };
+                if parallel {
+                    congest_par::run(s_count, step_shard);
+                } else {
+                    for s in 0..s_count {
+                        step_shard(s);
+                    }
+                }
+            }
+            // --- Adversary phase: destroy staged messages on blocked
+            // edges.
+            if let Some(fault_plan) = &config.faults {
+                if fault_plan.edges_per_round > 0 {
+                    fault_plan.blocked_edges_into(round, graph.m(), blocked);
+                    for &e in blocked.iter() {
+                        let (u, v) = graph.endpoints(e);
+                        for (from, to) in [(u, v), (v, u)] {
+                            let port = graph
+                                .port_to(to, from)
+                                .expect("edge endpoints are adjacent");
+                            let dest = graph.arc_offset(to) + port as usize;
+                            if out_mask[dest] == STAGED {
+                                out_mask[dest] = 0;
+                                stats.dropped_messages += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            // --- Deliver phase: identical three-path structure to the
+            // engine (skip / sparse worklist / full sweep); see
+            // `crate::engine` for the invariants.
+            std::mem::swap(&mut in_words, &mut out_words);
+            std::mem::swap(&mut bcast_in_words, &mut bcast_out_words);
+            let flush_now = config.meter == MeterMode::BitPlanes
+                && rounds_since_flush + 1 == slab::FLUSH_PERIOD;
+            let staged_total: u64 = meters.iter().map(|m| m.staged as u64).sum();
+            let fold_bcast = use_plane && meters.iter().any(|m| m.bcast_used);
+            let wl_overflow = meters
+                .iter()
+                .enumerate()
+                .any(|(s, m)| m.staged as usize > wl_starts[s + 1] - wl_starts[s]);
+            let sparse_round = staged_total > 0 && staged_total <= threshold as u64 && !wl_overflow;
+            let run_full_sweep = staged_total > 0 && !sparse_round;
+            for m in meters.iter_mut() {
+                m.delivered = 0;
+                m.bcast_any = false;
+            }
+            let mut sparse_delivered: u64 = 0;
+            if !run_full_sweep {
+                match occ_state {
+                    OccState::Clean => {}
+                    OccState::Tracked => {
+                        for &w in set_words.iter() {
+                            in_occ[w as usize] = 0;
+                        }
+                        set_words.clear();
+                    }
+                    OccState::Unknown => {
+                        if parallel && occ_words >= 4096 {
+                            let chunk = occ_words.div_ceil(congest_par::num_threads().max(1));
+                            congest_par::par_chunks_mut(&mut *in_occ, chunk, |_, c| c.fill(0));
+                        } else {
+                            in_occ.fill(0);
+                        }
+                        set_words.clear();
+                    }
+                }
+                occ_state = OccState::Clean;
+            }
+            if sparse_round {
+                // Stage A — fault prefilter over the active-shard
+                // worklists (see `crate::engine`).
+                active_shards.clear();
+                for (s, m) in meters.iter().enumerate() {
+                    if m.staged > 0 {
+                        active_shards.push(s as u32);
+                    }
+                }
+                {
+                    let racy_wl = RacyCells::new(&mut *worklist);
+                    let racy_mask = RacyCells::new(&mut *out_mask);
+                    let racy_live = RacyCells::new(&mut *wl_live);
+                    let meters = &meters[..];
+                    let wl_starts = &wl_starts[..];
+                    let prefilter = |s: usize| {
+                        let cnt = meters[s].staged as usize;
+                        let base = wl_starts[s];
+                        // Sound: worklist region `s` and live-count slot
+                        // `s` belong to this task alone; every staged
+                        // mask byte has exactly one worklist entry
+                        // pointing at it.
+                        let wl = unsafe { racy_wl.slice_mut(base, base + cnt) };
+                        let mut live = 0usize;
+                        for k in 0..cnt {
+                            let dest = wl[k] as usize;
+                            if unsafe { racy_mask.read(dest) } != 0 {
+                                unsafe { racy_mask.write(dest, 0) };
+                                wl[live] = dest as u32;
+                                live += 1;
+                            }
+                        }
+                        unsafe { racy_live.write(s, live as u32) };
+                    };
+                    if parallel && staged_total >= 4096 && active_shards.len() > 1 {
+                        congest_par::run_list(active_shards, prefilter);
+                    } else {
+                        for &s in active_shards.iter() {
+                            prefilter(s as usize);
+                        }
+                    }
+                }
+                // Stage B — serial merge over the survivors.
+                for &s in active_shards.iter() {
+                    let base = wl_starts[s as usize];
+                    let live = wl_live[s as usize] as usize;
+                    for &dest in &worklist[base..base + live] {
+                        let dest = dest as usize;
+                        let w = dest >> 6;
+                        let bit = 1u64 << (dest & 63);
+                        if in_occ[w] == 0 {
+                            set_words.push(w as u32);
+                        }
+                        in_occ[w] |= bit;
+                        sparse_delivered += 1;
+                        match config.meter {
+                            MeterMode::BitPlanes => {
+                                slab::planes_add(
+                                    &mut planes[w * slab::PLANES..(w + 1) * slab::PLANES],
+                                    bit,
+                                );
+                            }
+                            MeterMode::ArcCounters => {
+                                arc_traffic[dest] = arc_traffic[dest].saturating_add(1);
+                            }
+                        }
+                    }
+                }
+                if !set_words.is_empty() {
+                    occ_state = OccState::Tracked;
+                }
+            }
+            if run_full_sweep || fold_bcast || flush_now {
+                let racy_mask = RacyCells::new(&mut *out_mask);
+                let racy_occ = RacyCells::new(&mut *in_occ);
+                let racy_traffic = RacyCells::new(&mut *arc_traffic);
+                let racy_planes = RacyCells::new(&mut *planes);
+                let racy_bcast_stage = RacyCells::new(&mut *bcast_stage);
+                let racy_bcast_occ = RacyCells::new(&mut *bcast_occ);
+                let racy_node_planes = RacyCells::new(&mut *node_planes);
+                let racy_node_traffic = RacyCells::new(&mut *node_traffic);
+                let racy_meters = RacyCells::new(&mut *meters);
+                let meter_mode = config.meter;
+                let deliver_shard = |s: usize| {
+                    let words = plan.words(s);
+                    let arcs_range = plan.arcs_of(s);
+                    let (w_lo, w_hi) = (words.start, words.end);
+                    let (a_lo, a_hi) = (arcs_range.start, arcs_range.end);
+                    // Sound: the plan's word/arc/meter regions are
+                    // disjoint across shards by construction.
+                    let (mask_s, occ_s, meter) = unsafe {
+                        (
+                            racy_mask.slice_mut(a_lo, a_hi),
+                            racy_occ.slice_mut(w_lo, w_hi),
+                            &mut racy_meters.slice_mut(s, s + 1)[0],
+                        )
+                    };
+                    let mut delivered = 0u64;
+                    if run_full_sweep {
+                        match meter_mode {
+                            MeterMode::BitPlanes => {
+                                let planes_s = unsafe {
+                                    racy_planes.slice_mut(w_lo * slab::PLANES, w_hi * slab::PLANES)
+                                };
+                                for (i, occ_word) in occ_s.iter_mut().enumerate() {
+                                    let lo = w_lo * 64 + i * 64;
+                                    let hi = (lo + 64).min(a_hi);
+                                    let mask = &mut mask_s[lo - a_lo..hi - a_lo];
+                                    let bits = slab::pack_bytes(mask);
+                                    *occ_word = bits;
+                                    if bits != 0 {
+                                        mask.fill(0);
+                                        delivered += bits.count_ones() as u64;
+                                        slab::planes_add(
+                                            &mut planes_s[i * slab::PLANES..(i + 1) * slab::PLANES],
+                                            bits,
+                                        );
+                                    }
+                                }
+                            }
+                            MeterMode::ArcCounters => {
+                                let traffic_s = unsafe { racy_traffic.slice_mut(a_lo, a_hi) };
+                                for (i, occ_word) in occ_s.iter_mut().enumerate() {
+                                    let lo = w_lo * 64 + i * 64;
+                                    let hi = (lo + 64).min(a_hi);
+                                    let mask = &mut mask_s[lo - a_lo..hi - a_lo];
+                                    let traffic = &mut traffic_s[lo - a_lo..hi - a_lo];
+                                    let bits = slab::pack_bytes(mask);
+                                    *occ_word = bits;
+                                    if bits != 0 {
+                                        mask.fill(0);
+                                        delivered += bits.count_ones() as u64;
+                                        if bits == u64::MAX {
+                                            for t in traffic.iter_mut() {
+                                                *t = t.saturating_add(1);
+                                            }
+                                        } else {
+                                            let mut b = bits;
+                                            while b != 0 {
+                                                let t = &mut traffic[b.trailing_zeros() as usize];
+                                                *t = t.saturating_add(1);
+                                                b &= b - 1;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Flush cadence is independent of this round's
+                    // traffic: the planes may hold counts from earlier
+                    // rounds.
+                    if flush_now {
+                        let planes_s = unsafe {
+                            racy_planes.slice_mut(w_lo * slab::PLANES, w_hi * slab::PLANES)
+                        };
+                        let traffic_s = unsafe { racy_traffic.slice_mut(a_lo, a_hi) };
+                        for (i, w) in (w_lo..w_hi).enumerate() {
+                            let lo = w * 64;
+                            let hi = (lo + 64).min(a_hi);
+                            slab::planes_flush(
+                                &mut planes_s[i * slab::PLANES..(i + 1) * slab::PLANES],
+                                &mut traffic_s[lo - a_lo..hi - a_lo],
+                            );
+                        }
+                    }
+                    // --- Broadcast fold (see `crate::engine`).
+                    let mut shard_bcast = false;
+                    if fold_bcast {
+                        let nw = plan.node_words(s);
+                        let nodes_cov = plan.node_word_nodes(s);
+                        let (b_lo, b_hi) = (nodes_cov.start, nodes_cov.end);
+                        // Sound: node-word regions are disjoint across
+                        // shards.
+                        let (stage_s, bocc_s) = unsafe {
+                            (
+                                racy_bcast_stage.slice_mut(b_lo, b_hi),
+                                racy_bcast_occ.slice_mut(nw.start, nw.end),
+                            )
+                        };
+                        for (i, occ_word) in bocc_s.iter_mut().enumerate() {
+                            let lo = nw.start * 64 + i * 64;
+                            let hi = (lo + 64).min(b_hi);
+                            let bytes = &mut stage_s[lo - b_lo..hi - b_lo];
+                            let bits = slab::pack_bytes(bytes);
+                            *occ_word = bits;
+                            if bits != 0 {
+                                bytes.fill(0);
+                                shard_bcast = true;
+                                let mut b = bits;
+                                while b != 0 {
+                                    let v = lo + b.trailing_zeros() as usize;
+                                    b &= b - 1;
+                                    delivered += graph.degree(v as Node) as u64;
+                                }
+                                match meter_mode {
+                                    MeterMode::BitPlanes => {
+                                        let planes_w = unsafe {
+                                            racy_node_planes.slice_mut(
+                                                (nw.start + i) * slab::PLANES,
+                                                (nw.start + i + 1) * slab::PLANES,
+                                            )
+                                        };
+                                        slab::planes_add(planes_w, bits);
+                                    }
+                                    MeterMode::ArcCounters => {
+                                        let traffic =
+                                            unsafe { racy_node_traffic.slice_mut(lo, hi) };
+                                        let mut b = bits;
+                                        while b != 0 {
+                                            let t = &mut traffic[b.trailing_zeros() as usize];
+                                            *t = t.saturating_add(1);
+                                            b &= b - 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Node-plane flush runs on the arc-plane cadence
+                    // whether or not this round folded the plane.
+                    if bcast_enabled && flush_now && meter_mode == MeterMode::BitPlanes {
+                        let nw = plan.node_words(s);
+                        let b_hi = plan.node_word_nodes(s).end;
+                        for w in nw {
+                            let lo = w * 64;
+                            let hi = (lo + 64).min(b_hi);
+                            let (planes_w, traffic) = unsafe {
+                                (
+                                    racy_node_planes
+                                        .slice_mut(w * slab::PLANES, (w + 1) * slab::PLANES),
+                                    racy_node_traffic.slice_mut(lo, hi),
+                                )
+                            };
+                            slab::planes_flush(planes_w, traffic);
+                        }
+                    }
+                    meter.delivered = delivered;
+                    meter.bcast_any = shard_bcast;
+                };
+                if parallel {
+                    congest_par::run(s_count, deliver_shard);
+                } else {
+                    for s in 0..s_count {
+                        deliver_shard(s);
+                    }
+                }
+            }
+            rounds_since_flush = if flush_now { 0 } else { rounds_since_flush + 1 };
+            if run_full_sweep {
+                occ_state = OccState::Unknown;
+            }
+            // --- Combine the shard meter blocks.
+            for (agg, m) in agg_buf.iter_mut().zip(meters.iter()) {
+                *agg = RoundAgg {
+                    delivered: m.delivered,
+                    all_done: m.all_done,
+                    bcast_any: m.bcast_any,
+                };
+            }
+            congest_par::par_tree_reduce(agg_buf, |a, b| {
+                a.delivered += b.delivered;
+                a.all_done &= b.all_done;
+                a.bcast_any |= b.bcast_any;
+            });
+            let RoundAgg {
+                delivered,
+                all_done,
+                bcast_any: round_bcast,
+            } = agg_buf[0];
+            let delivered = delivered + sparse_delivered;
+            bcast_any = round_bcast;
+            last_delivered = delivered;
+            stats.total_messages += delivered;
+            if config.collect_trace {
+                trace_buf.push(delivered);
+            }
+            round += 1;
+            if delivered > 0 {
+                stats.rounds = round;
+            }
+            if delivered == 0 && all_done {
+                stats.iterations = round;
+                break;
+            }
+        }
+        trace_buf.truncate(stats.rounds as usize);
+        stats.max_message_bits = cells.iter().map(|c| c.max_bits).max().unwrap_or(0);
+
+        // Final plane flush so `arc_traffic`/`node_traffic` hold exact
+        // totals (and the planes return to all-zero for the next phase).
+        if config.meter == MeterMode::BitPlanes && rounds_since_flush > 0 {
+            for w in 0..occ_words {
+                let lo = w * 64;
+                let hi = (lo + 64).min(arcs);
+                slab::planes_flush(
+                    &mut planes[w * slab::PLANES..(w + 1) * slab::PLANES],
+                    &mut arc_traffic[lo..hi],
+                );
+            }
+            if bcast_enabled {
+                for w in 0..node_words {
+                    let lo = w * 64;
+                    let hi = (lo + 64).min(n);
+                    slab::planes_flush(
+                        &mut node_planes[w * slab::PLANES..(w + 1) * slab::PLANES],
+                        &mut node_traffic[lo..hi],
+                    );
+                }
+            }
+        }
+
+        // Fold per-arc traffic into per-edge congestion, draining the
+        // arc counters back to zero as they are read (the "zeroed by
+        // breadcrumb" phase-exit contract — the next phase pays nothing).
+        per_edge.fill(0);
+        for v in 0..n as Node {
+            let lo = graph.arc_offset(v);
+            let neighbors = graph.neighbors(v);
+            for (i, &e) in graph.incident_edges(v).iter().enumerate() {
+                let mut t = std::mem::take(&mut arc_traffic[lo + i]) as u64;
+                if bcast_enabled {
+                    t += node_traffic[neighbors[i] as usize] as u64;
+                }
+                per_edge[e as usize] += t;
+            }
+        }
+        // Node counters are read once per incident arc above, so they
+        // drain in one O(n) pass afterwards.
+        node_traffic.fill(0);
+        stats.max_edge_congestion = per_edge.iter().copied().max().unwrap_or(0);
+
+        // Consume the cells into arena-resident outputs.
+        let out_ptr: *mut P::Output = out_arena.alloc(n);
+        for i in 0..n {
+            // Sound: each cell is read (moved) exactly once; a panic in
+            // `finish` leaks the tail, which the dirty flag covers.
+            unsafe {
+                let cell = cells_ptr.add(i).read();
+                out_ptr.add(i).write(cell.state.finish());
+            }
+        }
+
+        *clean = true;
+        let trace: Option<&'s [u64]> = if config.collect_trace {
+            Some(&trace_buf[..])
+        } else {
+            None
+        };
+        Ok(PhaseOutcome {
+            outputs: out_ptr,
+            n,
+            taken: false,
+            stats,
+            trace,
+            edge_congestion: &per_edge[..],
+            _borrow: std::marker::PhantomData,
+        })
+    }
+}
+
+/// How a multi-phase driver hosts its engine: one **resident** session
+/// reused by every phase (the default — zero engine churn between
+/// phases), or a **fresh engine per phase** (exactly the pre-session
+/// `run_protocol` composition, kept selectable so differential tests and
+/// the `phase_reuse` bench can race the two compositions bit-for-bit).
+pub enum PhaseHost<'g> {
+    /// One session owns the engine state for the whole composition.
+    Resident(Session<'g>),
+    /// Every phase rebuilds the engine from scratch (slabs, bitsets,
+    /// planes, plan), like a standalone `run_protocol` call does. The
+    /// previous phase's engine is dropped when the next phase starts.
+    PerPhase {
+        graph: &'g Graph,
+        current: Option<Session<'g>>,
+    },
+}
+
+impl<'g> PhaseHost<'g> {
+    /// A host backed by one resident session.
+    pub fn resident(graph: &'g Graph) -> Self {
+        PhaseHost::Resident(Session::new(graph))
+    }
+
+    /// A host that rebuilds the engine for every phase.
+    pub fn per_phase(graph: &'g Graph) -> Self {
+        PhaseHost::PerPhase {
+            graph,
+            current: None,
+        }
+    }
+
+    /// Pick a host per `phase_resident` (the drivers' config knob).
+    pub fn new(graph: &'g Graph, phase_resident: bool) -> Self {
+        if phase_resident {
+            Self::resident(graph)
+        } else {
+            Self::per_phase(graph)
+        }
+    }
+
+    /// The graph this host executes on.
+    pub fn graph(&self) -> &'g Graph {
+        match self {
+            PhaseHost::Resident(s) => s.graph(),
+            PhaseHost::PerPhase { graph, .. } => graph,
+        }
+    }
+
+    /// Run one phase. Identical semantics to [`Session::run`]; the
+    /// per-phase variant pays a fresh engine build first.
+    pub fn run<'s, P, F>(
+        &'s mut self,
+        factory: F,
+        config: EngineConfig,
+    ) -> Result<PhaseOutcome<'s, P::Output>, EngineError>
+    where
+        P: Protocol,
+        F: FnMut(Node, &Graph) -> P,
+    {
+        match self {
+            PhaseHost::Resident(s) => s.run(factory, config),
+            PhaseHost::PerPhase { graph, current } => {
+                // Drop the previous phase's engine, build a fresh one —
+                // the allocation/zeroing churn the resident host avoids.
+                *current = None;
+                current.insert(Session::new(graph)).run(factory, config)
+            }
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The session differential harness: a multi-phase composition executed
+//! on one **resident** [`Session`] must be bit-identical — outputs,
+//! stats, traces, per-edge congestion meters, and the accumulated
+//! [`PhaseLog`] — to the same composition run **per-phase** (a fresh
+//! engine per phase, exactly what `run_protocol` composition did before
+//! sessions), sweeping shard counts × pool widths × meter modes × fault
+//! plans, with the sparse fast path forced both ways and a `u64` phase
+//! reusing a `u128` phase's slab.
+//!
+//! Per-phase RNG seeds are derived through `phase_seed` exactly as the
+//! drivers' `cfg.engine(k)` discipline derives them, so this is the
+//! contract that lets every driver switch hosts without changing one
+//! bit of any result.
+
+use congest_graph::{Graph, GraphBuilder};
+use congest_sim::rng::phase_seed;
+use congest_sim::{
+    EngineConfig, FaultPlan, MeterMode, NodeCtx, PhaseHost, PhaseLog, Protocol, RunStats,
+};
+use proptest::prelude::*;
+
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mix = |mut z: u64| {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        };
+        let mut b = GraphBuilder::new(n);
+        let mut edges = std::collections::BTreeSet::new();
+        for v in 1..n as u32 {
+            let u = (mix(seed ^ v as u64) % v as u64) as u32;
+            edges.insert((u, v));
+        }
+        for i in 0..2 * n as u64 {
+            let u = (mix(seed ^ (i << 20)) % n as u64) as u32;
+            let v = (mix(seed ^ (i << 21) ^ 7) % n as u64) as u32;
+            if u != v {
+                edges.insert((u.min(v), u.max(v)));
+            }
+        }
+        for (u, v) in edges {
+            b.push_edge(u, v);
+        }
+        b.build().unwrap()
+    })
+}
+
+/// Random mix of `send_all`, per-port `send`, and silence over `u64`
+/// messages (the engine oracle workload).
+struct Chatter {
+    rounds: u64,
+    salt: u64,
+    heard: u64,
+}
+
+impl Protocol for Chatter {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        self.heard = ctx.inbox().fold(self.heard, |a, (p, m)| {
+            a.wrapping_mul(17).wrapping_add(m ^ p as u64)
+        });
+        if ctx.round < self.rounds {
+            use rand::Rng;
+            let a = ctx.rng().gen_range(0..8u32);
+            let m: u64 = ctx.rng().gen();
+            if a == 0 {
+                ctx.send_all(m ^ self.salt);
+            } else if a < 5 {
+                for p in 0..ctx.degree().min(64) as u32 {
+                    if m >> p & 1 == 1 {
+                        ctx.send(p, m.wrapping_add(self.salt ^ p as u64));
+                    }
+                }
+            }
+        }
+        ctx.set_done(ctx.round >= self.rounds);
+    }
+    fn finish(self) -> u64 {
+        self.heard
+    }
+}
+
+/// Wide-message phase: `(u32, u64)` pairs in the `u128` slab, so the
+/// composition exercises the width-keyed slab reuse in both hosts.
+struct WideChatter {
+    rounds: u64,
+    heard: u64,
+}
+
+impl Protocol for WideChatter {
+    type Msg = (u32, u64);
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, (u32, u64)>) {
+        self.heard = ctx.inbox().fold(self.heard, |a, (_, (id, p))| {
+            a.wrapping_mul(31).wrapping_add(id as u64 ^ p)
+        });
+        if ctx.round < self.rounds {
+            ctx.send_all((ctx.node, self.heard | 1));
+        } else {
+            ctx.set_done(true);
+        }
+    }
+    fn finish(self) -> u64 {
+        self.heard
+    }
+}
+
+/// One phase's complete observable footprint.
+#[derive(Debug, PartialEq)]
+struct PhaseObs {
+    outputs: Vec<u64>,
+    stats: RunStats,
+    trace: Vec<u64>,
+    edge_congestion: Vec<u64>,
+}
+
+/// Run the five-phase composition on `host` and capture everything
+/// observable. Phase seeds follow the drivers' `cfg.engine(k)`
+/// discipline (`phase_seed(seed, k)`).
+fn run_composition(
+    host: &mut PhaseHost<'_>,
+    seed: u64,
+    shards: usize,
+    meter: MeterMode,
+    fault_budget: usize,
+    fseed: u64,
+) -> (Vec<PhaseObs>, PhaseLog) {
+    let mut log = PhaseLog::new();
+    let mut all = Vec::new();
+    let engine = |k: u64| {
+        EngineConfig::serial()
+            .seed(phase_seed(seed, k))
+            .shards(shards)
+            .meter(meter)
+            .trace()
+    };
+    let push = |name: &str, log: &mut PhaseLog, out: congest_sim::PhaseOutcome<'_, u64>| {
+        log.record(name.to_string(), out.stats);
+        let obs = PhaseObs {
+            stats: out.stats,
+            trace: out.trace().unwrap().to_vec(),
+            edge_congestion: out.edge_congestion().to_vec(),
+            outputs: out.take_outputs(),
+        };
+        obs
+    };
+    // 1. dense-ish u64 chatter.
+    let out = host
+        .run(
+            |_, _| Chatter {
+                rounds: 6,
+                salt: 1,
+                heard: 0,
+            },
+            engine(1),
+        )
+        .unwrap();
+    all.push(push("phase-1", &mut log, out));
+    // 2. wide u128 phase.
+    let out = host
+        .run(
+            |_, _| WideChatter {
+                rounds: 5,
+                heard: 1,
+            },
+            engine(2),
+        )
+        .unwrap();
+    all.push(push("phase-2", &mut log, out));
+    // 3. u64 phase straight after the u128 one, sparse path forced on.
+    let out = host
+        .run(
+            |_, _| Chatter {
+                rounds: 6,
+                salt: 3,
+                heard: 0,
+            },
+            engine(3).sparse_threshold(usize::MAX),
+        )
+        .unwrap();
+    all.push(push("phase-3", &mut log, out));
+    // 4. faulted phase (fast path forced off), when the plan has budget.
+    let out = host
+        .run(
+            |_, _| Chatter {
+                rounds: 7,
+                salt: 4,
+                heard: 0,
+            },
+            engine(4)
+                .sparse_threshold(0)
+                .with_faults(FaultPlan::new(fault_budget, fseed)),
+        )
+        .unwrap();
+    all.push(push("phase-4", &mut log, out));
+    // 5. mixed u64 phase on the default threshold.
+    let out = host
+        .run(
+            |_, _| Chatter {
+                rounds: 6,
+                salt: 5,
+                heard: 0,
+            },
+            engine(5),
+        )
+        .unwrap();
+    all.push(push("phase-5", &mut log, out));
+    (all, log)
+}
+
+fn logs_equal(a: &PhaseLog, b: &PhaseLog) -> bool {
+    a.len() == b.len()
+        && a.phases()
+            .zip(b.phases())
+            .all(|((na, sa), (nb, sb))| na == nb && sa == sb)
+        && a.total() == b.total()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Resident-session composition ≡ per-phase composition, across the
+    /// config grid.
+    #[test]
+    fn session_composition_matches_per_phase(
+        g in arb_connected_graph(22),
+        seed in any::<u64>(),
+        fault_budget in 0usize..3,
+        fseed in any::<u64>(),
+    ) {
+        for &shards in &[1usize, 5] {
+            for &meter in &[MeterMode::BitPlanes, MeterMode::ArcCounters] {
+                let mut resident = PhaseHost::resident(&g);
+                let (res, res_log) =
+                    run_composition(&mut resident, seed, shards, meter, fault_budget, fseed);
+                let mut fresh = PhaseHost::per_phase(&g);
+                let (per, per_log) =
+                    run_composition(&mut fresh, seed, shards, meter, fault_budget, fseed);
+                prop_assert_eq!(&res, &per, "shards={} meter={:?}", shards, meter);
+                prop_assert!(logs_equal(&res_log, &per_log),
+                    "phase logs diverge: shards={} meter={:?}", shards, meter);
+            }
+        }
+    }
+
+    /// Same equivalence with the step/deliver planes genuinely parallel:
+    /// several pool widths, the resident arm parallel vs the per-phase
+    /// arm serial (and vice versa) — host choice and execution mode are
+    /// both irrelevant to results.
+    #[test]
+    fn session_composition_matches_across_pool_widths(
+        g in arb_connected_graph(18),
+        seed in any::<u64>(),
+    ) {
+        let mut fresh = PhaseHost::per_phase(&g);
+        let (reference, ref_log) =
+            run_composition(&mut fresh, seed, 4, MeterMode::BitPlanes, 1, seed ^ 0xF);
+        for threads in [2usize, 4] {
+            let (par, par_log) = congest_par::with_threads(threads, || {
+                let mut resident = PhaseHost::resident(&g);
+                run_composition(&mut resident, seed, 4, MeterMode::BitPlanes, 1, seed ^ 0xF)
+            });
+            prop_assert_eq!(&par, &reference, "threads={}", threads);
+            prop_assert!(logs_equal(&par_log, &ref_log), "threads={}", threads);
+        }
+    }
+
+    /// A phase that fails (round-limit) must leave the session reusable:
+    /// the next phase on the same session matches a fresh engine's run
+    /// of that phase bit-for-bit (the dirty-scrub path).
+    #[test]
+    fn failed_phase_leaves_session_clean(
+        g in arb_connected_graph(16),
+        seed in any::<u64>(),
+    ) {
+        /// Never terminates: chatters forever.
+        struct Forever;
+        impl Protocol for Forever {
+            type Msg = u64;
+            type Output = u64;
+            fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+                ctx.send_all(ctx.round | 1);
+            }
+            fn finish(self) -> u64 {
+                0
+            }
+        }
+        let mut session = congest_sim::Session::new(&g);
+        let err = match session.run(|_, _| Forever, EngineConfig::serial().seed(seed).max_rounds(5))
+        {
+            Err(e) => e,
+            Ok(_) => panic!("Forever must exceed the round limit"),
+        };
+        prop_assert_eq!(err, congest_sim::EngineError::RoundLimitExceeded { limit: 5 });
+        let cfg = || EngineConfig::serial().seed(phase_seed(seed, 9)).trace();
+        let mk = || Chatter { rounds: 6, salt: 9, heard: 0 };
+        let after = session.run(|_, _| mk(), cfg()).unwrap();
+        let after_obs = PhaseObs {
+            stats: after.stats,
+            trace: after.trace().unwrap().to_vec(),
+            edge_congestion: after.edge_congestion().to_vec(),
+            outputs: after.take_outputs(),
+        };
+        let fresh = congest_sim::run_protocol(&g, |_, _| mk(), cfg()).unwrap();
+        prop_assert_eq!(after_obs.outputs, fresh.outputs);
+        prop_assert_eq!(after_obs.stats, fresh.stats);
+        prop_assert_eq!(Some(after_obs.trace), fresh.trace);
+        prop_assert_eq!(after_obs.edge_congestion, fresh.edge_congestion);
+    }
+}

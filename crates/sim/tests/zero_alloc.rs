@@ -8,7 +8,7 @@
 //! process-global, and the harness runs tests in one process.
 
 use congest_sim::sched::{random_delays, Multiplexed};
-use congest_sim::{run_protocol, EngineConfig, NodeCtx, Protocol};
+use congest_sim::{run_protocol, EngineConfig, FaultPlan, NodeCtx, Protocol, Session};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -157,6 +157,125 @@ impl Protocol for BurstChatter {
     fn finish(self) -> u64 {
         self.acc
     }
+}
+
+/// Wide-message phase (the pipelined-routing shape): 96-bit `(id,
+/// payload)` pairs in the `u128` slab, broadcast every round.
+struct WidePhase {
+    node: u32,
+    until: u64,
+    acc: u64,
+}
+
+impl Protocol for WidePhase {
+    type Msg = (u32, u64);
+    type Output = u64;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, (u32, u64)>) {
+        self.acc = ctx
+            .inbox()
+            .fold(self.acc, |a, (_, (id, p))| a.wrapping_add(id as u64 ^ p));
+        if ctx.round < self.until {
+            ctx.send_all((self.node, self.acc | 1));
+        } else {
+            ctx.set_done(true);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// One six-phase cycle mirroring Theorem 1's composition shape on a
+/// **resident session** — dense flood (leader election), sparse per-port
+/// trickle (BFS wave), dense u64 chatter (numbering), a faulted phase
+/// (partition under the adversary's scatter fallback), a wide `u128`
+/// routing-like phase, and a final u64 phase that must reuse the `u128`
+/// slab. Returns a fold of all outputs so nothing is optimized away.
+fn session_cycle(session: &mut Session<'_>, rounds: u64, cfg: &EngineConfig) -> u64 {
+    let mut acc = 0u64;
+    let phase_cfg = |p: u64| {
+        let mut c = cfg.clone();
+        c.seed = congest_sim::rng::phase_seed(cfg.seed, p);
+        c
+    };
+    // 1. leader-election-like dense flood.
+    let ph = session
+        .run(
+            |_, _| Chatter {
+                until: rounds,
+                acc: 1,
+            },
+            phase_cfg(1),
+        )
+        .unwrap();
+    acc ^= ph.outputs().iter().fold(0, |a, &x| a ^ x) ^ ph.stats.total_messages;
+    drop(ph);
+    // 2. BFS-wave-like sparse per-port trickle (worklist fast path).
+    let ph = session
+        .run(
+            |v, _| SparseTrickle {
+                node: v,
+                until: rounds,
+                acc: 1,
+            },
+            phase_cfg(2).sparse_threshold(usize::MAX),
+        )
+        .unwrap();
+    acc ^= ph.outputs().iter().fold(0, |a, &x| a ^ x);
+    drop(ph);
+    // 3. numbering-like dense u64 chatter.
+    let ph = session
+        .run(
+            |_, _| Chatter {
+                until: rounds,
+                acc: 2,
+            },
+            phase_cfg(3),
+        )
+        .unwrap();
+    acc ^= ph.stats.total_messages;
+    drop(ph);
+    // 4. partition-like phase under the fault adversary (broadcast plane
+    //    disabled; scatter fallback + drop accounting).
+    let ph = session
+        .run(
+            |_, _| Chatter {
+                until: rounds,
+                acc: 3,
+            },
+            phase_cfg(4).with_faults(FaultPlan::new(2, 0xFA)),
+        )
+        .unwrap();
+    acc ^= ph.stats.total_messages ^ ph.stats.dropped_messages;
+    drop(ph);
+    // 5. routing-like wide u128 phase.
+    let ph = session
+        .run(
+            |v, _| WidePhase {
+                node: v,
+                until: rounds,
+                acc: 1,
+            },
+            phase_cfg(5),
+        )
+        .unwrap();
+    acc ^= ph.outputs().iter().fold(0, |a, &x| a ^ x);
+    drop(ph);
+    // 6. u64 phase straight after the u128 one: the slab-reuse pair the
+    //    width-keyed capacity contract promises costs nothing.
+    let ph = session
+        .run(
+            |_, _| Chatter {
+                until: rounds,
+                acc: 4,
+            },
+            phase_cfg(6),
+        )
+        .unwrap();
+    acc ^= ph.stats.total_messages ^ ph.edge_congestion().iter().fold(0, |a, &x| a ^ x);
+    acc
 }
 
 fn allocs_for(g: &congest_graph::Graph, rounds: u64, cfg: EngineConfig) -> u64 {
@@ -326,4 +445,31 @@ fn round_loop_allocates_nothing_after_setup() {
         long, short,
         "spill-arena round loop allocated: {short} for 40 rounds vs {long} for 400"
     );
+
+    // --- Phase-resident sessions: a full multi-phase Theorem-1-shaped
+    // run (six phases incl. a faulted phase and a u64-after-u128
+    // slab-reuse pair) performs **exactly zero** heap allocations after
+    // session setup — phase boundaries included. The first cycle is the
+    // setup (slabs keyed to the widest word, arenas to the high-water
+    // footprint, plan cached); every later cycle must be allocation-free.
+    for cfg in [EngineConfig::serial(), EngineConfig::default()] {
+        let mut session = Session::new(&g);
+        let warm = session_cycle(&mut session, 12, &cfg);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let mut acc = 0u64;
+        for k in 0..3 {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(k);
+            acc ^= session_cycle(&mut session, 12, &c);
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "session phases allocated {} times after setup (parallel={})",
+            after - before,
+            cfg.parallel
+        );
+        assert_ne!(acc, warm.wrapping_add(1), "keep results observable");
+    }
 }
