@@ -1336,15 +1336,134 @@ fn bench_phase_reuse() -> (Vec<PhaseReuseRow>, f64) {
     (rows, geo)
 }
 
+/// One row of the churn-repair race: a remove batch applied and then
+/// re-added at a phase boundary, incremental arm vs full rebuild. Both
+/// numbers are **ns per mutation batch** (one `apply_pending`, i.e. one
+/// graph splice + engine repair, vs one `GraphBuilder::build` + one
+/// `Session::new`).
+struct ChurnRepairRow {
+    graph: String,
+    batch: usize,
+    incremental_ns: u128,
+    rebuild_ns: u128,
+}
+
+impl ChurnRepairRow {
+    fn speedup(&self) -> f64 {
+        self.rebuild_ns as f64 / self.incremental_ns as f64
+    }
+}
+
+/// Incremental repair vs full rebuild at phase boundaries. The workload
+/// alternates a remove batch with the matching re-add batch, so the
+/// topology (and therefore every repair's work size) is identical cycle
+/// after cycle. The rebuild arm is given its edge lists for free — only
+/// `GraphBuilder::build` + `Session::new` are timed — so the comparison
+/// is pure construct-vs-repair.
+fn bench_churn_repair() -> (Vec<ChurnRepairRow>, f64) {
+    use congest_graph::GraphBuilder;
+    use congest_sim::{ChurnSession, Mutation, Session};
+
+    let (configs, cycles, samples) = if smoke() {
+        (vec![(2_000usize, 16usize)], 2u32, 2usize)
+    } else {
+        (
+            vec![(20_000usize, 16usize), (20_000, 256), (200_000, 64)],
+            4u32,
+            3usize,
+        )
+    };
+    let mut rows = Vec::new();
+    for (n, batch) in configs {
+        let g = harary(16, n);
+        let full: Vec<(u32, u32)> = g.edge_list().map(|(_, u, v)| (u, v)).collect();
+        // A well-spread batch: every (m / batch)-th edge of the canonical list.
+        let step = full.len() / batch;
+        let picked: Vec<(u32, u32)> = (0..batch).map(|i| full[i * step]).collect();
+        let removed: Vec<(u32, u32)> = full
+            .iter()
+            .copied()
+            .filter(|e| !picked.contains(e))
+            .collect();
+
+        let mut churn = ChurnSession::new(g.clone());
+        let cycle = |churn: &mut ChurnSession| {
+            for &(u, v) in &picked {
+                churn.queue_mut().push(Mutation::RemoveEdge(u, v));
+            }
+            churn.apply_pending().unwrap();
+            for &(u, v) in &picked {
+                churn.queue_mut().push(Mutation::AddEdge(u, v));
+            }
+            churn.apply_pending().unwrap();
+        };
+        // Cross-check before timing: a full cycle must restore the exact
+        // CSR (edge ids included), and a phase on the long-lived repaired
+        // session must be bit-identical to one on a fresh session.
+        cycle(&mut churn);
+        assert_eq!(
+            churn.graph(),
+            &g,
+            "churn_repair: remove+readd did not restore the graph"
+        );
+        let cfg = || EngineConfig::serial().seed(0xC842);
+        let live = churn
+            .run(|_, _| DenseChatter::new(4), cfg())
+            .unwrap()
+            .take_outputs();
+        let fresh = Session::new(&g)
+            .run(|_, _| DenseChatter::new(4), cfg())
+            .unwrap()
+            .take_outputs();
+        assert_eq!(live, fresh, "churn_repair: repaired session diverged");
+        // Warm a second cycle so the repair scratch (which ping-pongs
+        // between two buffer sets) reaches steady state before timing.
+        cycle(&mut churn);
+
+        let incremental_total = best_of(samples, || {
+            for _ in 0..cycles {
+                cycle(&mut churn);
+            }
+            churn.graph().num_arcs() as u64
+        });
+        let rebuild_total = best_of(samples, || {
+            let mut acc = 0u64;
+            for _ in 0..cycles {
+                for list in [&removed, &full] {
+                    let g2 = GraphBuilder::new(n)
+                        .edges(list.iter().copied())
+                        .build()
+                        .unwrap();
+                    let sess = Session::new(&g2);
+                    criterion::black_box(&sess);
+                    acc = acc.wrapping_add(g2.num_arcs() as u64);
+                }
+            }
+            acc
+        });
+        let events = (cycles as u128) * 2;
+        rows.push(ChurnRepairRow {
+            graph: format!("harary16_{n}"),
+            batch,
+            incremental_ns: incremental_total / events,
+            rebuild_ns: rebuild_total / events,
+        });
+    }
+    let geo = geomean(rows.iter().map(ChurnRepairRow::speedup));
+    (rows, geo)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn write_json(
     measurements: &[Measurement],
     scaling: &[ScalingRow],
     mux_rings: &[MuxRingRow],
     phase_reuse: &[PhaseReuseRow],
+    churn_repair: &[ChurnRepairRow],
     dense_geomean: f64,
     sparse_geomean: f64,
     phase_reuse_geomean: f64,
+    churn_repair_geomean: f64,
     path: &std::path::Path,
 ) {
     let mut s = String::new();
@@ -1508,6 +1627,37 @@ fn write_json(
         s,
         "    \"geomean_session_vs_per_phase\": {phase_reuse_geomean:.3}"
     );
+    let _ = writeln!(s, "  }},");
+    // --- Churn-repair section: incremental phase-boundary repair vs
+    // full rebuild, the dynamic-graph acceptance bar.
+    let _ = writeln!(
+        s,
+        "  \"churn_repair_note\": \"phase-boundary churn: a remove batch then the matching re-add batch; incremental arm = in-place CSR splice + engine repair on a live ChurnSession, rebuild arm = GraphBuilder::build + Session::new from a prepared edge list; ns per mutation batch, best of N; both arms cross-checked bit-identical before timing (geomean >= 1.0)\","
+    );
+    let _ = writeln!(s, "  \"churn_repair\": {{");
+    let _ = writeln!(s, "    \"workloads\": [");
+    for (i, r) in churn_repair.iter().enumerate() {
+        let _ = writeln!(s, "      {{");
+        let _ = writeln!(s, "        \"graph\": \"{}\",", r.graph);
+        let _ = writeln!(s, "        \"batch_edges\": {},", r.batch);
+        let _ = writeln!(
+            s,
+            "        \"incremental_ns_per_batch\": {},",
+            r.incremental_ns
+        );
+        let _ = writeln!(s, "        \"rebuild_ns_per_batch\": {},", r.rebuild_ns);
+        let _ = writeln!(s, "        \"speedup_incremental\": {:.3}", r.speedup());
+        let _ = writeln!(
+            s,
+            "      }}{}",
+            if i + 1 < churn_repair.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(
+        s,
+        "    \"geomean_incremental_vs_rebuild\": {churn_repair_geomean:.3}"
+    );
     let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     std::fs::write(path, s).expect("write BENCH_sim.json");
@@ -1591,6 +1741,30 @@ fn bench_engine(c: &mut Criterion) {
              session hosting lost to per-phase engine rebuilds"
         );
     }
+    // --- Churn repair: incremental phase-boundary repair vs full rebuild.
+    let (churn_repair, churn_repair_geomean) = bench_churn_repair();
+    println!("\n| churn-repair graph | batch edges | incremental | rebuild | speedup |");
+    println!("|---|---|---|---|---|");
+    for r in &churn_repair {
+        println!(
+            "| {} | {} | {:.3} ms | {:.3} ms | {:.2}x |",
+            r.graph,
+            r.batch,
+            r.incremental_ns as f64 / 1e6,
+            r.rebuild_ns as f64 / 1e6,
+            r.speedup()
+        );
+    }
+    println!("churn-repair geomean speedup (incremental vs rebuild): {churn_repair_geomean:.2}x");
+    // Incremental repair must never lose to a from-scratch rebuild; the
+    // smoke lane gets slack for small-n noise on shared runners.
+    let churn_bar = if smoke() { 0.9 } else { 1.0 };
+    if churn_repair_geomean < churn_bar {
+        println!(
+            "REGRESSION-MARKER: churn-repair geomean {churn_repair_geomean:.3} < {churn_bar:.2} — \
+             incremental repair lost to full engine rebuilds"
+        );
+    }
     if smoke() {
         println!("smoke mode: skipping baseline section and BENCH_sim.json rewrite");
         return;
@@ -1663,9 +1837,11 @@ fn bench_engine(c: &mut Criterion) {
         &scaling,
         &mux_rings,
         &phase_reuse,
+        &churn_repair,
         dense_geomean,
         sparse_geomean,
         phase_reuse_geomean,
+        churn_repair_geomean,
         &root,
     );
     println!("\nwrote {}", root.display());

@@ -137,6 +137,10 @@ pub enum BroadcastError {
         subgraph: u32,
         unreached: usize,
     },
+    /// The connectivity watchdog found the graph disconnected: no number
+    /// of subgraphs can span it, so degradation refuses to burn retries
+    /// and reports cleanly instead (see [`crate::watchdog`]).
+    Disconnected,
     Engine(EngineError),
 }
 
@@ -147,6 +151,9 @@ impl std::fmt::Display for BroadcastError {
                 f,
                 "partition class {subgraph} left {unreached} nodes unreached (Theorem 2 failure event)"
             ),
+            BroadcastError::Disconnected => {
+                write!(f, "graph is disconnected: no subgraph count can span it")
+            }
             BroadcastError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }

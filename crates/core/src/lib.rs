@@ -18,6 +18,7 @@
 //! | Theorems 3 & 8 | [`lower_bounds`] | information-theoretic universal lower-bound calculators |
 //! | §1.2 | [`congested_clique`] | simulating rounds of the broadcast congested clique \[DKO14\] |
 //! | §1.2 / \[FP23\] | [`resilient`] | replicated broadcast surviving a mobile edge adversary |
+//! | robustness (DESIGN.md §3) | [`watchdog`] | phase-boundary connectivity watchdog + retry-and-degrade broadcast under churn |
 //!
 //! All protocols are *message-driven* (progress on arrival rather than on
 //! round counting), which makes them tolerant of the random-delay
@@ -37,7 +38,12 @@ pub mod partition;
 pub mod pipeline;
 pub mod resilient;
 pub mod textbook;
+pub mod watchdog;
 
 pub use broadcast::{partition_broadcast, BroadcastInput, BroadcastOutcome};
 pub use partition::{EdgePartition, PartitionParams};
 pub use textbook::textbook_broadcast;
+pub use watchdog::{
+    partition_broadcast_degrading, resilient_broadcast_degrading, watchdog, DegradeLog,
+    DegradePolicy, WatchdogMode, WatchdogReport,
+};

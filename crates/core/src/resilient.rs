@@ -165,11 +165,26 @@ pub fn resilient_broadcast(
     faults: Option<FaultPlan>,
     cfg: &BroadcastConfig,
 ) -> Result<ResilientOutcome, BroadcastError> {
+    let mut host = PhaseHost::new(g, cfg.phase_resident);
+    resilient_broadcast_hosted(&mut host, input, params, replication, faults, cfg)
+}
+
+/// [`resilient_broadcast`] on a caller-provided engine host, so drivers
+/// that compose broadcasts (and the degradation loop in
+/// [`crate::watchdog`]) reuse one preallocated engine across attempts.
+pub fn resilient_broadcast_hosted(
+    host: &mut PhaseHost<'_>,
+    input: &BroadcastInput,
+    params: PartitionParams,
+    replication: usize,
+    faults: Option<FaultPlan>,
+    cfg: &BroadcastConfig,
+) -> Result<ResilientOutcome, BroadcastError> {
+    let g = host.graph();
     let n = g.n();
     let k = input.k() as u64;
     let lp = params.num_subgraphs;
     let r = replication.clamp(1, lp);
-    let mut host = PhaseHost::new(g, cfg.phase_resident);
     let mut phases = PhaseLog::new();
     let engine = |p: u64| {
         EngineConfig::with_seed(congest_sim::rng::phase_seed(cfg.seed, 0x9E5 + p))
@@ -361,6 +376,33 @@ mod tests {
             "r=3 should survive 3 random edge faults/round: starved {:?}",
             triple.starved_nodes()
         );
+    }
+
+    #[test]
+    fn starved_nodes_reports_exact_mismatch_set_under_partial_delivery() {
+        let (g, input, params) = setup();
+        // Moderate faults on unreplicated routing: partial delivery with
+        // a genuinely mixed population (some starved, some complete).
+        let out = resilient_broadcast(
+            &g,
+            &input,
+            params,
+            1,
+            Some(FaultPlan::new(2, 0xBAD)),
+            &BroadcastConfig::with_seed(0x52),
+        )
+        .unwrap();
+        assert!(out.dropped > 0);
+        let starved = out.starved_nodes();
+        assert!(!starved.is_empty(), "2 faults/round must starve someone");
+        assert!(starved.len() < g.n(), "quiescence still delivers to most");
+        assert_eq!(out.all_delivered(), starved.is_empty());
+        assert!(starved.windows(2).all(|w| w[0] < w[1]), "sorted node ids");
+        for (v, r) in out.per_node.iter().enumerate() {
+            let bad = r.unique != out.k || (r.xor_check, r.sum_check) != out.expected;
+            assert_eq!(starved.contains(&v), bad, "node {v}");
+            assert!(r.unique <= out.k, "dedup can never exceed k");
+        }
     }
 
     #[test]

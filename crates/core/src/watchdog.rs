@@ -1,0 +1,496 @@
+//! Connectivity watchdog and graceful degradation under churn.
+//!
+//! The paper's parameter choice `λ′ = λ/(C·ln n)` (Theorem 1) assumes λ is
+//! a property of a fixed graph. Under churn ([`congest_sim::churn`]) the
+//! topology drifts between phases, and a λ′ that was safe at launch can
+//! silently cross Theorem 2's threshold — at which point every attempt
+//! fails [`BroadcastError::NotSpanning`] and a bare retry loop burns its
+//! whole budget re-rolling a partition that *cannot* span.
+//!
+//! This module closes that gap in two layers:
+//!
+//! * a **watchdog** ([`watchdog`]) run at the phase boundary: it
+//!   re-measures connectivity (cheap `δ ≥ λ` upper bound by default,
+//!   exact λ via [`congest_graph::algo::edge_connectivity`] on demand)
+//!   and recomputes the λ′ the *current* graph supports;
+//! * a **degradation ladder** ([`partition_broadcast_degrading`],
+//!   [`resilient_broadcast_degrading`]): retry with fresh seeds at the
+//!   current λ′, and on persistent `NotSpanning` halve the subgraph count
+//!   instead of failing — at λ′ = 1 the algorithm *is* the textbook
+//!   single-tree broadcast, which spans any connected graph. Only a
+//!   genuinely disconnected graph (reported cleanly as
+//!   [`BroadcastError::Disconnected`]) or an exhausted budget still
+//!   errors.
+//!
+//! The resilient variant additionally tolerates partial delivery: under
+//! an active edge adversary a run can complete with starved nodes, so the
+//! ladder keeps the best outcome seen (fewest starved nodes) and returns
+//! it with [`DegradeLog::exhausted`] set when the budget runs out —
+//! degraded service instead of no service.
+
+use crate::broadcast::{
+    partition_broadcast_hosted, BroadcastConfig, BroadcastError, BroadcastInput, BroadcastOutcome,
+    DEFAULT_PARTITION_C,
+};
+use crate::partition::PartitionParams;
+use crate::resilient::{resilient_broadcast_hosted, ResilientOutcome};
+use congest_graph::{algo, Graph};
+use congest_sim::{FaultPlan, PhaseHost};
+
+/// How the watchdog measures connectivity at a phase boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WatchdogMode {
+    /// Skip the check (the degradation ladder still reacts to
+    /// `NotSpanning` failures, just without foresight).
+    Off,
+    /// Use the minimum degree δ: free to compute, and `λ ≤ δ` always, so
+    /// a δ that no longer supports the requested λ′ proves λ doesn't
+    /// either. Misses cuts narrower than δ (a bottleneck between two
+    /// dense halves). This is the default.
+    #[default]
+    MinDegree,
+    /// Exact λ by max-flow ([`algo::edge_connectivity`]) — `n−1` Dinic
+    /// runs; precise but only affordable at experiment scale.
+    Exact,
+}
+
+/// What the watchdog saw at one phase boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// Minimum degree δ of the current graph.
+    pub min_degree: usize,
+    /// Exact λ (only measured in [`WatchdogMode::Exact`]).
+    pub lambda: Option<usize>,
+    /// The λ′ the caller wanted to run with.
+    pub current_subgraphs: usize,
+    /// The λ′ the current graph supports:
+    /// `max(1, ⌊bound/(c·ln n)⌋)` for the measured bound.
+    pub recommended_subgraphs: usize,
+    /// `recommended < current`: proceeding unchanged would (likely) fail.
+    pub degrade_needed: bool,
+    /// The graph cannot be spanned at all.
+    pub disconnected: bool,
+}
+
+/// Re-measure connectivity and judge whether `current_subgraphs` is still
+/// viable on `g`. `c` is the partition constant (Theorem 2's `C`,
+/// usually [`DEFAULT_PARTITION_C`]).
+pub fn watchdog(g: &Graph, current_subgraphs: usize, mode: WatchdogMode, c: f64) -> WatchdogReport {
+    let n = g.n();
+    let min_degree = g.min_degree();
+    let (lambda, bound, disconnected) = match mode {
+        WatchdogMode::Off => (None, current_subgraphs, false),
+        WatchdogMode::MinDegree => (None, min_degree, n > 1 && min_degree == 0),
+        WatchdogMode::Exact => {
+            let l = algo::edge_connectivity(g);
+            (Some(l), l, n > 1 && l == 0)
+        }
+    };
+    let recommended = match mode {
+        WatchdogMode::Off => current_subgraphs,
+        _ => PartitionParams::from_lambda(n, bound, c).num_subgraphs,
+    };
+    WatchdogReport {
+        min_degree,
+        lambda,
+        current_subgraphs,
+        recommended_subgraphs: recommended,
+        degrade_needed: recommended < current_subgraphs,
+        disconnected,
+    }
+}
+
+/// Budget and shape of the degradation ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradePolicy {
+    /// Fresh-seed retries at each subgraph count before halving.
+    pub attempts_per_level: usize,
+    /// Floor of the ladder (1 = textbook single-tree broadcast).
+    pub min_subgraphs: usize,
+    /// Phase-boundary connectivity check.
+    pub watchdog: WatchdogMode,
+    /// Theorem 2's `C` used to recompute λ′ from the watchdog's bound.
+    pub partition_c: f64,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            attempts_per_level: 3,
+            min_subgraphs: 1,
+            watchdog: WatchdogMode::MinDegree,
+            partition_c: DEFAULT_PARTITION_C,
+        }
+    }
+}
+
+/// How a degrading run actually unfolded.
+#[derive(Debug, Clone, Default)]
+pub struct DegradeLog {
+    /// The boundary check, if the policy ran one.
+    pub watchdog: Option<WatchdogReport>,
+    /// `(subgraphs, attempts)` per ladder level, in descent order; the
+    /// last entry is the level that produced the returned result.
+    pub levels: Vec<(usize, usize)>,
+    /// λ′ of the returned outcome (0 if the run errored out).
+    pub final_subgraphs: usize,
+    /// Did we run below the λ′ originally requested?
+    pub degraded: bool,
+    /// The whole budget was spent; the result (if any) is best-effort.
+    pub exhausted: bool,
+}
+
+impl DegradeLog {
+    pub fn total_attempts(&self) -> usize {
+        self.levels.iter().map(|&(_, a)| a).sum()
+    }
+}
+
+/// The subgraph count the ladder starts at, after the optional watchdog
+/// veto, plus the started log.
+fn ladder_start(
+    g: &Graph,
+    requested: usize,
+    policy: &DegradePolicy,
+) -> Result<(usize, DegradeLog), BroadcastError> {
+    let mut log = DegradeLog::default();
+    let floor = policy.min_subgraphs.max(1);
+    let mut lp = requested.max(floor);
+    if policy.watchdog != WatchdogMode::Off {
+        let report = watchdog(g, lp, policy.watchdog, policy.partition_c);
+        if report.disconnected {
+            log.watchdog = Some(report);
+            return Err(BroadcastError::Disconnected);
+        }
+        if report.degrade_needed {
+            // Jump straight to what the graph supports instead of
+            // discovering it one NotSpanning failure at a time.
+            lp = report.recommended_subgraphs.max(floor);
+            log.degraded = lp < requested;
+        }
+        log.watchdog = Some(report);
+    }
+    Ok((lp, log))
+}
+
+/// Theorem 1 with retry-and-degrade instead of hard failure; see the
+/// module docs. Per-host variant: every attempt at every level reuses
+/// the caller's engine.
+pub fn partition_broadcast_degrading_hosted(
+    host: &mut PhaseHost<'_>,
+    input: &BroadcastInput,
+    params: PartitionParams,
+    cfg: &BroadcastConfig,
+    policy: &DegradePolicy,
+) -> Result<(BroadcastOutcome, DegradeLog), BroadcastError> {
+    let (mut lp, mut log) = ladder_start(host.graph(), params.num_subgraphs, policy)?;
+    let floor = policy.min_subgraphs.max(1);
+    let mut total_attempt: u64 = 0;
+    let mut last_err = None;
+    loop {
+        let mut attempts_here = 0usize;
+        for _ in 0..policy.attempts_per_level.max(1) {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(total_attempt * 0x9E37_79B9);
+            total_attempt += 1;
+            attempts_here += 1;
+            match partition_broadcast_hosted(host, input, PartitionParams::explicit(lp), &c) {
+                Ok(out) => {
+                    log.levels.push((lp, attempts_here));
+                    log.final_subgraphs = lp;
+                    return Ok((out, log));
+                }
+                Err(e @ BroadcastError::NotSpanning { .. }) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        log.levels.push((lp, attempts_here));
+        if lp <= floor {
+            log.exhausted = true;
+            return Err(last_err.expect("at least one attempt ran"));
+        }
+        lp = (lp / 2).max(floor);
+        log.degraded = true;
+    }
+}
+
+/// [`partition_broadcast_degrading_hosted`] owning its host.
+pub fn partition_broadcast_degrading(
+    g: &Graph,
+    input: &BroadcastInput,
+    params: PartitionParams,
+    cfg: &BroadcastConfig,
+    policy: &DegradePolicy,
+) -> Result<(BroadcastOutcome, DegradeLog), BroadcastError> {
+    let mut host = PhaseHost::new(g, cfg.phase_resident);
+    partition_broadcast_degrading_hosted(&mut host, input, params, cfg, policy)
+}
+
+/// Resilient broadcast with retry-and-degrade **and** partial-delivery
+/// salvage: an attempt that completes with starved nodes is remembered
+/// (fewest starved wins, earliest such attempt on ties) and returned with
+/// [`DegradeLog::exhausted`] set if nothing fully delivers within the
+/// budget. Callers distinguish the cases via
+/// [`ResilientOutcome::all_delivered`] / [`DegradeLog::exhausted`].
+pub fn resilient_broadcast_degrading_hosted(
+    host: &mut PhaseHost<'_>,
+    input: &BroadcastInput,
+    params: PartitionParams,
+    replication: usize,
+    faults: Option<FaultPlan>,
+    cfg: &BroadcastConfig,
+    policy: &DegradePolicy,
+) -> Result<(ResilientOutcome, DegradeLog), BroadcastError> {
+    let (mut lp, mut log) = ladder_start(host.graph(), params.num_subgraphs, policy)?;
+    let floor = policy.min_subgraphs.max(1);
+    let mut total_attempt: u64 = 0;
+    let mut last_err = None;
+    let mut best: Option<(usize, usize, ResilientOutcome)> = None; // (starved, level, outcome)
+    loop {
+        let mut attempts_here = 0usize;
+        for _ in 0..policy.attempts_per_level.max(1) {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(total_attempt * 0x9E37_79B9);
+            total_attempt += 1;
+            attempts_here += 1;
+            match resilient_broadcast_hosted(
+                host,
+                input,
+                PartitionParams::explicit(lp),
+                replication,
+                faults.clone(),
+                &c,
+            ) {
+                Ok(out) => {
+                    let starved = out.starved_nodes().len();
+                    if starved == 0 {
+                        log.levels.push((lp, attempts_here));
+                        log.final_subgraphs = lp;
+                        return Ok((out, log));
+                    }
+                    if best.as_ref().is_none_or(|(s, _, _)| starved < *s) {
+                        best = Some((starved, lp, out));
+                    }
+                }
+                Err(e @ BroadcastError::NotSpanning { .. }) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        log.levels.push((lp, attempts_here));
+        if lp <= floor {
+            log.exhausted = true;
+            return match best {
+                // Budget gone: degrade gracefully to the best partial
+                // delivery instead of erroring.
+                Some((_, level, out)) => {
+                    log.final_subgraphs = level;
+                    Ok((out, log))
+                }
+                None => Err(last_err.expect("at least one attempt ran")),
+            };
+        }
+        lp = (lp / 2).max(floor);
+        log.degraded = true;
+    }
+}
+
+/// [`resilient_broadcast_degrading_hosted`] owning its host.
+#[allow(clippy::too_many_arguments)]
+pub fn resilient_broadcast_degrading(
+    g: &Graph,
+    input: &BroadcastInput,
+    params: PartitionParams,
+    replication: usize,
+    faults: Option<FaultPlan>,
+    cfg: &BroadcastConfig,
+    policy: &DegradePolicy,
+) -> Result<(ResilientOutcome, DegradeLog), BroadcastError> {
+    let mut host = PhaseHost::new(g, cfg.phase_resident);
+    resilient_broadcast_degrading_hosted(&mut host, input, params, replication, faults, cfg, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{cycle, harary};
+    use congest_graph::GraphBuilder;
+
+    #[test]
+    fn watchdog_modes_agree_on_healthy_graphs() {
+        // δ = λ = 16 on 48 nodes: ⌊16/(2·ln 48)⌋ = 2, so λ′ = 2 is viable.
+        let g = harary(16, 48);
+        let cheap = watchdog(&g, 2, WatchdogMode::MinDegree, DEFAULT_PARTITION_C);
+        let exact = watchdog(&g, 2, WatchdogMode::Exact, DEFAULT_PARTITION_C);
+        assert_eq!(cheap.min_degree, 16);
+        assert_eq!(exact.lambda, Some(16));
+        assert_eq!(
+            cheap.recommended_subgraphs, exact.recommended_subgraphs,
+            "δ = λ here, so both modes recommend the same λ′"
+        );
+        assert!(!cheap.degrade_needed && !exact.degrade_needed);
+        assert!(!cheap.disconnected);
+    }
+
+    #[test]
+    fn watchdog_flags_overambitious_subgraph_counts() {
+        let g = cycle(64); // δ = λ = 2; 2/(2·ln 64) < 1 ⇒ λ′ = 1
+        let rep = watchdog(&g, 4, WatchdogMode::MinDegree, DEFAULT_PARTITION_C);
+        assert!(rep.degrade_needed);
+        assert_eq!(rep.recommended_subgraphs, 1);
+    }
+
+    #[test]
+    fn watchdog_exact_sees_narrow_cut_min_degree_misses() {
+        // Two K17's joined by one bridge: δ = 16 (⌊16/(2·ln 34)⌋ = 2, so
+        // the cheap bound blesses λ′ = 2) but λ = 1.
+        let mut edges = Vec::new();
+        for a in 0..17u32 {
+            for b in (a + 1)..17 {
+                edges.push((a, b));
+                edges.push((a + 17, b + 17));
+            }
+        }
+        edges.push((0, 17));
+        let g = GraphBuilder::new(34).edges(edges).build().unwrap();
+        let cheap = watchdog(&g, 2, WatchdogMode::MinDegree, DEFAULT_PARTITION_C);
+        let exact = watchdog(&g, 2, WatchdogMode::Exact, DEFAULT_PARTITION_C);
+        assert!(!cheap.degrade_needed, "δ = 16 looks fine to the cheap mode");
+        assert!(exact.degrade_needed, "λ = 1 cannot support 2 subgraphs");
+        assert_eq!(exact.lambda, Some(1));
+    }
+
+    #[test]
+    fn disconnected_graph_is_reported_cleanly() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (2, 3)])
+            .build()
+            .unwrap();
+        let rep = watchdog(&g, 1, WatchdogMode::Exact, DEFAULT_PARTITION_C);
+        assert!(rep.disconnected);
+        let input = BroadcastInput::at_single_node(&g, 0, 4);
+        let err = partition_broadcast_degrading(
+            &g,
+            &input,
+            PartitionParams::explicit(1),
+            &BroadcastConfig::with_seed(1),
+            &DegradePolicy {
+                watchdog: WatchdogMode::Exact,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, BroadcastError::Disconnected);
+    }
+
+    #[test]
+    fn degrading_broadcast_succeeds_where_fixed_params_fail() {
+        // cycle(16) with λ′ = 16 demanded: plain broadcast fails
+        // NotSpanning (pinned in broadcast.rs tests); the degrading
+        // wrapper walks down and delivers on one tree.
+        let g = cycle(16);
+        let input = BroadcastInput::random_spread(&g, 8, 0);
+        let policy = DegradePolicy {
+            watchdog: WatchdogMode::Off, // force the ladder itself to work
+            attempts_per_level: 1,
+            ..Default::default()
+        };
+        let (out, log) = partition_broadcast_degrading(
+            &g,
+            &input,
+            PartitionParams::explicit(16),
+            &BroadcastConfig::with_seed(0),
+            &policy,
+        )
+        .unwrap();
+        assert!(out.all_delivered());
+        assert!(log.degraded);
+        assert_eq!(log.final_subgraphs, 1);
+        assert!(log.levels.len() > 1, "walked down the ladder");
+        assert!(!log.exhausted);
+    }
+
+    #[test]
+    fn resilient_degrading_returns_best_partial_on_exhaustion() {
+        // Unreplicated routing under a heavy mobile adversary: every
+        // ladder level completes but starves someone. The budget runs
+        // out and the wrapper returns the *best* partial outcome instead
+        // of an error — degraded service, honestly labelled.
+        let g = harary(24, 72);
+        let input = BroadcastInput::random_spread(&g, 72, 3);
+        let faults = congest_sim::FaultPlan::new(12, 0xBAD);
+        let policy = DegradePolicy {
+            attempts_per_level: 1,
+            watchdog: WatchdogMode::Off,
+            ..Default::default()
+        };
+        let (out, log) = resilient_broadcast_degrading(
+            &g,
+            &input,
+            PartitionParams::explicit(4),
+            1,
+            Some(faults),
+            &BroadcastConfig::with_seed(0x52),
+            &policy,
+        )
+        .unwrap();
+        assert!(log.exhausted, "no attempt fully delivered: {log:?}");
+        assert!(out.dropped > 0, "the adversary must have acted");
+        assert!(!out.all_delivered());
+        let starved = out.starved_nodes();
+        assert!(!starved.is_empty());
+        // starved_nodes is precisely the fingerprint-mismatch set.
+        for (v, r) in out.per_node.iter().enumerate() {
+            let bad = r.unique != out.k || (r.xor_check, r.sum_check) != out.expected;
+            assert_eq!(starved.contains(&v), bad, "node {v}");
+        }
+        // The ladder walked 4 → 2 → 1, one attempt each.
+        let visited: Vec<usize> = log.levels.iter().map(|&(l, _)| l).collect();
+        assert_eq!(visited, vec![4, 2, 1]);
+        assert_eq!(log.total_attempts(), 3);
+    }
+
+    #[test]
+    fn resilient_degrading_stops_at_first_full_delivery() {
+        let g = harary(24, 72);
+        let input = BroadcastInput::random_spread(&g, 72, 3);
+        let faults = congest_sim::FaultPlan::new(3, 0xBAD);
+        // Watchdog off: harary(24,72) only supports λ′ = 2 by the
+        // formula, and this test wants the undegraded r=3 run (pinned
+        // all-delivered in resilient.rs) to return on attempt one.
+        let policy = DegradePolicy {
+            watchdog: WatchdogMode::Off,
+            ..Default::default()
+        };
+        let (out, log) = resilient_broadcast_degrading(
+            &g,
+            &input,
+            PartitionParams::explicit(4),
+            3,
+            Some(faults),
+            &BroadcastConfig::with_seed(0x52),
+            &policy,
+        )
+        .unwrap();
+        assert!(out.all_delivered(), "starved: {:?}", out.starved_nodes());
+        assert!(!log.exhausted);
+        assert_eq!(log.final_subgraphs, 4, "no degradation needed");
+        assert_eq!(log.total_attempts(), 1);
+    }
+
+    #[test]
+    fn watchdog_jumps_ladder_straight_to_viable_level() {
+        let g = cycle(16);
+        let input = BroadcastInput::random_spread(&g, 8, 0);
+        let (out, log) = partition_broadcast_degrading(
+            &g,
+            &input,
+            PartitionParams::explicit(16),
+            &BroadcastConfig::with_seed(0),
+            &DegradePolicy::default(),
+        )
+        .unwrap();
+        assert!(out.all_delivered());
+        assert_eq!(log.final_subgraphs, 1);
+        assert_eq!(log.total_attempts(), 1, "no NotSpanning burned: {log:?}");
+    }
+}

@@ -32,10 +32,12 @@ pub mod builder;
 pub mod generators;
 mod graph;
 pub mod metrics;
+mod mutate;
 mod shard;
 mod weighted;
 
 pub use builder::GraphBuilder;
 pub use graph::{Edge, Graph, Node, Port, INVALID_NODE};
+pub use mutate::{MutationError, RepairReport, RepairScratch};
 pub use shard::ShardPlan;
 pub use weighted::WeightedGraph;

@@ -1,0 +1,467 @@
+//! Incremental topology mutation: batch edge insertion/removal with
+//! in-place CSR repair.
+//!
+//! The churn subsystem (DESIGN.md §3) applies topology changes at phase
+//! boundaries. Rebuilding the graph through [`crate::GraphBuilder`] costs
+//! a full `O(m log m)` canonical sort, per-node adjacency re-sorts, and
+//! `O(m log Δ)` reverse-arc binary searches. [`Graph::apply_batch`]
+//! instead *splices* a sorted batch into the existing sorted CSR arrays:
+//!
+//! * endpoints merge is a single linear pass over `old ∪ add \ remove`;
+//! * adjacency slices are respliced per node with a two-pointer merge
+//!   (old slices are already sorted, removed entries are dropped while
+//!   copying);
+//! * the reverse-arc involution is rebuilt by a counting pass (pair the
+//!   two arc positions of every edge), no binary search;
+//! * all target arrays live in a ping-ponging [`RepairScratch`], so a
+//!   steady stream of batches touches the allocator only while growing
+//!   to its high-water mark.
+//!
+//! **Edge-id discipline.** [`crate::GraphBuilder::build`] assigns edge
+//! ids by position in the sorted canonical edge list, which is what makes
+//! runs replayable across the workspace. `apply_batch` preserves exactly
+//! that rule — the repaired graph is `==` (structurally identical,
+//! including edge ids and arc positions) to a fresh build of the same
+//! edge set. That global renumbering is what lets mutate-then-run stay
+//! bit-identical with rebuild-then-run (`proptest_churn`), at the price
+//! of an `O(n + m)` pass no repair scheme respecting the id discipline
+//! can avoid; the win over rebuild is dropping every sort and search.
+
+use crate::graph::{Edge, Graph, Node};
+use std::fmt;
+
+/// Sentinel in the old→new edge-id map for "removed by this batch".
+const REMOVED: u32 = u32::MAX;
+
+/// Errors raised while applying a mutation batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationError {
+    /// An edge references a node `>= n`.
+    NodeOutOfRange { edge: (Node, Node), n: usize },
+    /// A self-loop `{v, v}` was supplied (graphs stay simple).
+    SelfLoop(Node),
+    /// The same edge appears twice in one batch (in either list).
+    DuplicateInBatch(Node, Node),
+    /// The same edge appears in both the add and the remove list; callers
+    /// must net out cancelling mutations before applying.
+    AddRemoveConflict(Node, Node),
+    /// An added edge already exists.
+    EdgeExists(Node, Node),
+    /// A removed edge does not exist.
+    EdgeMissing(Node, Node),
+    /// More than `u32::MAX` edges after the batch.
+    TooManyEdges,
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationError::NodeOutOfRange { edge: (u, v), n } => {
+                write!(f, "edge ({u}, {v}) references a node >= n = {n}")
+            }
+            MutationError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            MutationError::DuplicateInBatch(u, v) => {
+                write!(f, "edge ({u}, {v}) appears twice in the batch")
+            }
+            MutationError::AddRemoveConflict(u, v) => {
+                write!(f, "edge ({u}, {v}) both added and removed in one batch")
+            }
+            MutationError::EdgeExists(u, v) => write!(f, "added edge ({u}, {v}) already exists"),
+            MutationError::EdgeMissing(u, v) => write!(f, "removed edge ({u}, {v}) does not exist"),
+            MutationError::TooManyEdges => write!(f, "more than u32::MAX edges"),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// Reusable working storage for [`Graph::apply_batch`]. The repaired CSR
+/// arrays are built here and swapped with the graph's, so the arrays the
+/// graph held before become the next batch's scratch (ping-pong); after
+/// the first few batches a steady churn stream allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub struct RepairScratch {
+    offsets: Vec<u32>,
+    adj_node: Vec<Node>,
+    adj_edge: Vec<Edge>,
+    endpoints: Vec<(Node, Node)>,
+    reverse_arc: Vec<u32>,
+    /// Old edge id → new edge id (or [`REMOVED`]).
+    old_to_new: Vec<u32>,
+    /// First arc position seen per (new) edge id, for reverse-arc pairing.
+    first_pos: Vec<u32>,
+    /// Canonicalized, sorted copies of the caller's batches.
+    add: Vec<(Node, Node)>,
+    remove: Vec<(Node, Node)>,
+    /// Added arcs `(src, dst, new edge id)`, sorted by `(src, dst)`.
+    add_arcs: Vec<(Node, Node, Edge)>,
+    /// Per-node degree delta; zeroed outside `apply_batch` (re-zeroed
+    /// sparsely on exit, so it never costs an O(n) fill per batch).
+    delta: Vec<i32>,
+}
+
+impl RepairScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// What one [`Graph::apply_batch`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Edges inserted by the batch.
+    pub edges_added: usize,
+    /// Edges deleted by the batch.
+    pub edges_removed: usize,
+    /// Smallest edge id (new numbering) at which ids diverge from the
+    /// pre-batch numbering; `m` (the new edge count) when the batch was
+    /// empty. Everything below this id kept its identity.
+    pub first_renumbered: usize,
+    /// Nodes whose degree changed (their adjacency slices moved).
+    pub touched_nodes: usize,
+    /// Edge count after the batch.
+    pub m: usize,
+}
+
+impl Graph {
+    /// Apply one batch of edge insertions and removals in place,
+    /// preserving the builder's sorted-canonical edge-id discipline. On
+    /// success the graph equals a fresh [`crate::GraphBuilder`] build of
+    /// the post-batch edge set (same ids, same arc layout); on error the
+    /// graph is untouched.
+    ///
+    /// Cost: `O(n + m + |batch| log |batch|)` with no global sort and no
+    /// binary searches; all working storage comes from `scratch`.
+    pub fn apply_batch(
+        &mut self,
+        add: &[(Node, Node)],
+        remove: &[(Node, Node)],
+        scratch: &mut RepairScratch,
+    ) -> Result<RepairReport, MutationError> {
+        let n = self.n();
+        let m = self.m();
+        if add.is_empty() && remove.is_empty() {
+            return Ok(RepairReport {
+                edges_added: 0,
+                edges_removed: 0,
+                first_renumbered: m,
+                touched_nodes: 0,
+                m,
+            });
+        }
+
+        // --- Canonicalize, sort, validate both batches.
+        let canon =
+            |list: &[(Node, Node)], out: &mut Vec<(Node, Node)>| -> Result<(), MutationError> {
+                out.clear();
+                for &(u, v) in list {
+                    if u as usize >= n || v as usize >= n {
+                        return Err(MutationError::NodeOutOfRange { edge: (u, v), n });
+                    }
+                    if u == v {
+                        return Err(MutationError::SelfLoop(u));
+                    }
+                    out.push(if u < v { (u, v) } else { (v, u) });
+                }
+                out.sort_unstable();
+                if let Some(w) = out.windows(2).find(|w| w[0] == w[1]) {
+                    return Err(MutationError::DuplicateInBatch(w[0].0, w[0].1));
+                }
+                Ok(())
+            };
+        let s = scratch;
+        let (adds, removes) = {
+            let mut a = std::mem::take(&mut s.add);
+            let mut r = std::mem::take(&mut s.remove);
+            let res = canon(add, &mut a).and_then(|()| canon(remove, &mut r));
+            s.add = a;
+            s.remove = r;
+            res?;
+            (s.add.len(), s.remove.len())
+        };
+        {
+            // Both sorted: one merge pass finds any common pair.
+            let (mut i, mut j) = (0, 0);
+            while i < adds && j < removes {
+                match s.add[i].cmp(&s.remove[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let (u, v) = s.add[i];
+                        return Err(MutationError::AddRemoveConflict(u, v));
+                    }
+                }
+            }
+        }
+        for &(u, v) in &s.add {
+            if self.has_edge(u, v) {
+                return Err(MutationError::EdgeExists(u, v));
+            }
+        }
+        for &(u, v) in &s.remove {
+            if !self.has_edge(u, v) {
+                return Err(MutationError::EdgeMissing(u, v));
+            }
+        }
+        let new_m = m + adds - removes;
+        if new_m > u32::MAX as usize {
+            return Err(MutationError::TooManyEdges);
+        }
+
+        // --- Merge endpoints (all sorted) into the new canonical list,
+        // recording the old→new edge-id renumbering and tagging each add
+        // with its new id.
+        s.endpoints.clear();
+        s.endpoints.reserve(new_m);
+        s.old_to_new.clear();
+        s.old_to_new.resize(m, REMOVED);
+        s.add_arcs.clear();
+        s.add_arcs.reserve(2 * adds);
+        let mut first_renumbered = new_m;
+        let (mut oi, mut ai, mut ri) = (0usize, 0usize, 0usize);
+        while oi < m || ai < adds {
+            let take_add = ai < adds && (oi >= m || s.add[ai] < self.endpoints[oi]);
+            if take_add {
+                let id = s.endpoints.len() as Edge;
+                first_renumbered = first_renumbered.min(id as usize);
+                let (u, v) = s.add[ai];
+                s.add_arcs.push((u, v, id));
+                s.add_arcs.push((v, u, id));
+                s.endpoints.push((u, v));
+                ai += 1;
+            } else if ri < removes && s.remove[ri] == self.endpoints[oi] {
+                first_renumbered = first_renumbered.min(s.endpoints.len());
+                ri += 1;
+                oi += 1;
+            } else {
+                s.old_to_new[oi] = s.endpoints.len() as u32;
+                s.endpoints.push(self.endpoints[oi]);
+                oi += 1;
+            }
+        }
+        debug_assert_eq!(s.endpoints.len(), new_m);
+        s.add_arcs.sort_unstable();
+
+        // --- New offsets from sparse degree deltas (delta is all-zero
+        // between batches; only touched entries are written and re-zeroed).
+        if s.delta.len() < n {
+            s.delta.resize(n, 0);
+        }
+        for &(u, v) in &s.add {
+            s.delta[u as usize] += 1;
+            s.delta[v as usize] += 1;
+        }
+        for &(u, v) in &s.remove {
+            s.delta[u as usize] -= 1;
+            s.delta[v as usize] -= 1;
+        }
+        let mut touched_nodes = 0usize;
+        s.offsets.clear();
+        s.offsets.reserve(n + 1);
+        s.offsets.push(0);
+        let mut running = 0u32;
+        for v in 0..n {
+            let d = s.delta[v];
+            if d != 0 {
+                touched_nodes += 1;
+            }
+            let old_deg = self.offsets[v + 1] - self.offsets[v];
+            running += (old_deg as i64 + d as i64) as u32;
+            s.offsets.push(running);
+        }
+        debug_assert_eq!(running as usize, 2 * new_m);
+        for &(u, v) in s.add.iter().chain(s.remove.iter()) {
+            s.delta[u as usize] = 0;
+            s.delta[v as usize] = 0;
+        }
+
+        // --- Resplice adjacency: per node, merge the surviving old slice
+        // (renumbered) with this node's added arcs; both sides sorted by
+        // neighbor, so one two-pointer pass keeps the slice sorted.
+        let new_arcs = 2 * new_m;
+        s.adj_node.clear();
+        s.adj_node.resize(new_arcs, 0);
+        s.adj_edge.clear();
+        s.adj_edge.resize(new_arcs, 0);
+        let mut aa = 0usize;
+        for v in 0..n as Node {
+            let old_lo = self.offsets[v as usize] as usize;
+            let old_hi = self.offsets[v as usize + 1] as usize;
+            let mut w = s.offsets[v as usize] as usize;
+            let mut i = old_lo;
+            loop {
+                while i < old_hi && s.old_to_new[self.adj_edge[i] as usize] == REMOVED {
+                    i += 1;
+                }
+                let add_pending = aa < s.add_arcs.len() && s.add_arcs[aa].0 == v;
+                if i >= old_hi && !add_pending {
+                    break;
+                }
+                let take_add = add_pending && (i >= old_hi || s.add_arcs[aa].1 < self.adj_node[i]);
+                if take_add {
+                    s.adj_node[w] = s.add_arcs[aa].1;
+                    s.adj_edge[w] = s.add_arcs[aa].2;
+                    aa += 1;
+                } else {
+                    s.adj_node[w] = self.adj_node[i];
+                    s.adj_edge[w] = s.old_to_new[self.adj_edge[i] as usize];
+                    i += 1;
+                }
+                w += 1;
+            }
+            debug_assert_eq!(w, s.offsets[v as usize + 1] as usize);
+        }
+        debug_assert_eq!(aa, s.add_arcs.len());
+
+        // --- Reverse arcs by pairing the two positions of every edge in
+        // one linear pass (no binary search).
+        s.reverse_arc.clear();
+        s.reverse_arc.resize(new_arcs, 0);
+        s.first_pos.clear();
+        s.first_pos.resize(new_m, u32::MAX);
+        for i in 0..new_arcs {
+            let e = s.adj_edge[i] as usize;
+            let fp = s.first_pos[e];
+            if fp == u32::MAX {
+                s.first_pos[e] = i as u32;
+            } else {
+                s.reverse_arc[i] = fp;
+                s.reverse_arc[fp as usize] = i as u32;
+            }
+        }
+
+        // --- Commit: swap the repaired arrays in; the graph's previous
+        // arrays become next batch's scratch.
+        std::mem::swap(&mut self.offsets, &mut s.offsets);
+        std::mem::swap(&mut self.adj_node, &mut s.adj_node);
+        std::mem::swap(&mut self.adj_edge, &mut s.adj_edge);
+        std::mem::swap(&mut self.endpoints, &mut s.endpoints);
+        std::mem::swap(&mut self.reverse_arc, &mut s.reverse_arc);
+
+        Ok(RepairReport {
+            edges_added: adds,
+            edges_removed: removes,
+            first_renumbered,
+            touched_nodes,
+            m: new_m,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{harary, path};
+
+    /// The oracle: the repaired graph must equal a fresh build of the
+    /// same edge set (ids, arc layout, everything `PartialEq` sees).
+    fn rebuild(n: usize, g: &Graph) -> Graph {
+        GraphBuilder::new(n)
+            .edges(g.edge_list().map(|(_, u, v)| (u, v)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn add_and_remove_match_rebuild() {
+        let mut g = path(6); // 0-1-2-3-4-5
+        let mut s = RepairScratch::new();
+        let rep = g.apply_batch(&[(0, 3), (5, 2)], &[(1, 2)], &mut s).unwrap();
+        assert_eq!(rep.edges_added, 2);
+        assert_eq!(rep.edges_removed, 1);
+        assert_eq!(rep.m, 6);
+        assert_eq!(g, rebuild(6, &g));
+        assert!(g.has_edge(0, 3) && g.has_edge(2, 5) && !g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn repeated_batches_stay_canonical() {
+        let mut g = harary(4, 24);
+        let mut s = RepairScratch::new();
+        // Deterministic churn: remove the lowest edge, add a chord, undo.
+        for round in 0..12u32 {
+            let (_, u, v) = g.edge_list().next().unwrap();
+            let a = (round % 24, (round + 7) % 24);
+            let add = if g.has_edge(a.0, a.1) || a.0 == a.1 {
+                vec![]
+            } else {
+                vec![a]
+            };
+            g.apply_batch(&add, &[(u, v)], &mut s).unwrap();
+            assert_eq!(g, rebuild(24, &g), "round {round}");
+            for arc in 0..g.num_arcs() {
+                assert_eq!(g.reverse_arc(g.reverse_arc(arc)), arc);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut g = path(4);
+        let before = g.clone();
+        let rep = g.apply_batch(&[], &[], &mut RepairScratch::new()).unwrap();
+        assert_eq!(rep.first_renumbered, g.m());
+        assert_eq!(rep.touched_nodes, 0);
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn errors_leave_graph_untouched() {
+        let mut g = path(4);
+        let before = g.clone();
+        let mut s = RepairScratch::new();
+        assert_eq!(
+            g.apply_batch(&[(0, 1)], &[], &mut s),
+            Err(MutationError::EdgeExists(0, 1))
+        );
+        assert_eq!(
+            g.apply_batch(&[], &[(0, 2)], &mut s),
+            Err(MutationError::EdgeMissing(0, 2))
+        );
+        assert_eq!(
+            g.apply_batch(&[(1, 1)], &[], &mut s),
+            Err(MutationError::SelfLoop(1))
+        );
+        assert_eq!(
+            g.apply_batch(&[(0, 9)], &[], &mut s),
+            Err(MutationError::NodeOutOfRange { edge: (0, 9), n: 4 })
+        );
+        assert_eq!(
+            g.apply_batch(&[(0, 2), (2, 0)], &[], &mut s),
+            Err(MutationError::DuplicateInBatch(0, 2))
+        );
+        assert_eq!(
+            g.apply_batch(&[(0, 2)], &[(0, 2)], &mut s),
+            Err(MutationError::AddRemoveConflict(0, 2))
+        );
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn can_remove_every_edge_and_refill() {
+        let mut g = path(5);
+        let mut s = RepairScratch::new();
+        let all: Vec<_> = g.edge_list().map(|(_, u, v)| (u, v)).collect();
+        g.apply_batch(&[], &all, &mut s).unwrap();
+        assert_eq!(g.m(), 0);
+        assert_eq!(g, rebuild(5, &g));
+        g.apply_batch(&all, &[], &mut s).unwrap();
+        assert_eq!(g, path(5));
+    }
+
+    #[test]
+    fn first_renumbered_is_tight() {
+        let mut g = GraphBuilder::new(6)
+            .edges([(0, 1), (2, 3), (4, 5)])
+            .build()
+            .unwrap();
+        let mut s = RepairScratch::new();
+        // (3,4) sorts after (2,3): ids 0 and 1 keep their identity.
+        let rep = g.apply_batch(&[(3, 4)], &[], &mut s).unwrap();
+        assert_eq!(rep.first_renumbered, 2);
+        assert_eq!(g.endpoints(0), (0, 1));
+        assert_eq!(g.endpoints(1), (2, 3));
+        assert_eq!(g.endpoints(2), (3, 4));
+    }
+}

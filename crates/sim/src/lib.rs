@@ -54,6 +54,7 @@
 //! `O(congestion + dilation·log² n)` composition.
 
 pub mod baseline;
+pub mod churn;
 pub mod engine;
 pub mod fault;
 pub mod message;
@@ -66,8 +67,9 @@ pub mod sched;
 pub mod session;
 mod slab;
 
+pub use churn::{ChurnError, ChurnReport, ChurnSession, ChurnStats, Mutation, MutationQueue};
 pub use engine::{run_protocol, EngineConfig, EngineError, MeterMode, RunOutcome, RunStats};
-pub use fault::FaultPlan;
+pub use fault::{ChurnPlan, EdgeMarks, FaultPlan};
 pub use message::{MsgBits, MsgWord, PackedMsg};
 pub use phase::PhaseLog;
 pub use protocol::{InboxIter, NodeCtx, Protocol};

@@ -250,11 +250,14 @@ impl<O> Drop for PhaseOutcome<'_, O> {
     }
 }
 
-/// A graph-keyed engine instance owning all round-loop state for a whole
-/// multi-phase algorithm. See the module docs for the reuse and zeroing
-/// contract.
-pub struct Session<'g> {
-    graph: &'g Graph,
+/// The graph-independent half of a [`Session`]: every buffer the round
+/// loop owns, movable between graphs. A session is `graph + state`; the
+/// churn subsystem ([`crate::churn`]) owns a `SessionState` next to an
+/// owned mutable [`Graph`] and re-marries them per phase, repairing the
+/// graph-keyed buffers in place after each mutation batch instead of
+/// rebuilding the engine.
+#[derive(Default)]
+pub(crate) struct SessionState {
     /// Double-buffered arc message slabs (inbox / staging).
     slab_a: WordSlab,
     slab_b: WordSlab,
@@ -274,8 +277,9 @@ pub struct Session<'g> {
     bcast_occ: Vec<u64>,
     node_planes: Vec<u64>,
     node_traffic: Vec<u32>,
-    /// Fault-adversary scratch.
+    /// Fault-adversary scratch (drawn edge ids + dedup mark-bitset).
     blocked: Vec<congest_graph::Edge>,
+    fault_marks: crate::fault::EdgeMarks,
     /// Shard plan cache, keyed by the clamped requested shard count.
     plan: Option<(usize, ShardPlan)>,
     meters: Vec<ShardMeter>,
@@ -298,16 +302,20 @@ pub struct Session<'g> {
     clean: bool,
 }
 
-impl<'g> Session<'g> {
-    /// Build a session for `graph`, allocating every graph-keyed buffer
-    /// once. Message slabs and arenas are sized lazily by the first
-    /// phase that needs them (and re-keyed upward if a later phase needs
-    /// more — e.g. a `u128` phase after `u64` ones).
-    pub fn new(graph: &'g Graph) -> Session<'g> {
+/// A graph-keyed engine instance owning all round-loop state for a whole
+/// multi-phase algorithm. See the module docs for the reuse and zeroing
+/// contract.
+pub struct Session<'g> {
+    graph: &'g Graph,
+    state: SessionState,
+}
+
+impl SessionState {
+    /// Freshly sized state for `graph` — what [`Session::new`] allocates.
+    pub(crate) fn new(graph: &Graph) -> SessionState {
         let arcs = graph.num_arcs();
         let occ_words = arcs.div_ceil(64);
-        Session {
-            graph,
+        SessionState {
             slab_a: WordSlab::default(),
             slab_b: WordSlab::default(),
             bcast_slab_a: WordSlab::default(),
@@ -325,6 +333,7 @@ impl<'g> Session<'g> {
             node_planes: Vec::new(),
             node_traffic: Vec::new(),
             blocked: Vec::new(),
+            fault_marks: crate::fault::EdgeMarks::default(),
             plan: None,
             meters: Vec::new(),
             agg_buf: Vec::new(),
@@ -341,10 +350,32 @@ impl<'g> Session<'g> {
         }
     }
 
-    /// The graph this session is keyed to.
-    #[inline]
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    /// Re-key the graph-sized buffers after the graph mutated: resize the
+    /// arc/edge-indexed buffers to the new arc and edge counts and
+    /// rebalance the cached shard plan in place. Clean state stays clean
+    /// (every live region is zero, and resizing zeros grows with zeros /
+    /// truncates zeros); a dirty state pays its scrub at the new sizes on
+    /// the next run. Node-indexed buffers are untouched — churn never
+    /// changes `n` (crashed nodes are isolated, not deleted).
+    pub(crate) fn repair(&mut self, graph: &Graph) {
+        let arcs = graph.num_arcs();
+        let occ_words = arcs.div_ceil(64);
+        self.in_occ.resize(occ_words, 0);
+        self.out_mask.resize(arcs, 0);
+        self.arc_traffic.resize(arcs, 0);
+        self.per_edge.resize(graph.m(), 0);
+        if !self.planes.is_empty() {
+            self.planes.resize(occ_words * slab::PLANES, 0);
+        }
+        if let Some((_, plan)) = &mut self.plan {
+            plan.rebalance(graph);
+        }
+    }
+
+    /// Whether this state's graph-sized buffers match `graph` (the
+    /// churn session's self-heal check after a hosted-closure panic).
+    pub(crate) fn fits(&self, graph: &Graph) -> bool {
+        self.out_mask.len() == graph.num_arcs() && self.per_edge.len() == graph.m()
     }
 
     /// Full scrub of every buffer a failed phase may have left dirty.
@@ -362,14 +393,13 @@ impl<'g> Session<'g> {
         // `bcast_any` flag and every fold rebuilds all presence words.
     }
 
-    /// Run one protocol instance per node until global termination (all
-    /// nodes done and no message in flight) or the round limit — the
-    /// session-resident equivalent of [`crate::run_protocol`], reusing
-    /// every buffer of the previous phase. Per-node RNGs are re-derived
-    /// from `config.seed` exactly as `run_protocol` derives them, so a
-    /// session-hosted composition is bit-identical to the per-phase one.
-    pub fn run<'s, P, F>(
+    /// The round loop: run one protocol instance per node on `graph`
+    /// until global termination or the round limit. [`Session::run`] is
+    /// the public face; the state-level split is what lets the churn
+    /// session host phases on an owned, mutating graph.
+    pub(crate) fn run_phase<'s, P, F>(
         &'s mut self,
+        graph: &Graph,
         mut factory: F,
         config: EngineConfig,
     ) -> Result<PhaseOutcome<'s, P::Output>, EngineError>
@@ -381,6 +411,7 @@ impl<'g> Session<'g> {
             P::Msg::WIDTH <= <<P::Msg as PackedMsg>::Word as MsgWord>::BITS,
             "message WIDTH exceeds its storage word"
         );
+        debug_assert!(self.fits(graph), "state sized for a different graph");
         if !self.clean {
             self.scrub();
         }
@@ -388,7 +419,6 @@ impl<'g> Session<'g> {
         // only a completed phase restores the breadcrumb-zero invariant.
         self.clean = false;
 
-        let graph = self.graph;
         let n = graph.n();
         let arcs = graph.num_arcs();
         let occ_words = arcs.div_ceil(64);
@@ -439,8 +469,8 @@ impl<'g> Session<'g> {
             .unwrap_or_else(|| (arcs / 32).clamp(64, 1 << 20))
             .min(arcs);
 
-        // --- Split the session into independently borrowed buffers.
-        let Session {
+        // --- Split the state into independently borrowed buffers.
+        let SessionState {
             slab_a,
             slab_b,
             bcast_slab_a,
@@ -454,6 +484,7 @@ impl<'g> Session<'g> {
             node_planes,
             node_traffic,
             blocked,
+            fault_marks,
             plan,
             meters,
             agg_buf,
@@ -653,7 +684,7 @@ impl<'g> Session<'g> {
             // edges.
             if let Some(fault_plan) = &config.faults {
                 if fault_plan.edges_per_round > 0 {
-                    fault_plan.blocked_edges_into(round, graph.m(), blocked);
+                    fault_plan.blocked_edges_into_marked(round, graph.m(), blocked, fault_marks);
                     for &e in blocked.iter() {
                         let (u, v) = graph.endpoints(e);
                         for (from, to) in [(u, v), (v, u)] {
@@ -1068,6 +1099,55 @@ impl<'g> Session<'g> {
             edge_congestion: &per_edge[..],
             _borrow: std::marker::PhantomData,
         })
+    }
+}
+
+impl<'g> Session<'g> {
+    /// Build a session for `graph`, allocating every graph-keyed buffer
+    /// once. Message slabs and arenas are sized lazily by the first
+    /// phase that needs them (and re-keyed upward if a later phase needs
+    /// more — e.g. a `u128` phase after `u64` ones).
+    pub fn new(graph: &'g Graph) -> Session<'g> {
+        Session {
+            graph,
+            state: SessionState::new(graph),
+        }
+    }
+
+    /// Re-marry a (possibly repaired) state with its graph — the churn
+    /// session's way of lending its owned state out as a plain session.
+    pub(crate) fn from_state(graph: &'g Graph, state: SessionState) -> Session<'g> {
+        debug_assert!(state.fits(graph), "state sized for a different graph");
+        Session { graph, state }
+    }
+
+    /// Take the state back out (inverse of [`Session::from_state`]).
+    pub(crate) fn into_state(self) -> SessionState {
+        self.state
+    }
+
+    /// The graph this session is keyed to.
+    #[inline]
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Run one protocol instance per node until global termination (all
+    /// nodes done and no message in flight) or the round limit — the
+    /// session-resident equivalent of [`crate::run_protocol`], reusing
+    /// every buffer of the previous phase. Per-node RNGs are re-derived
+    /// from `config.seed` exactly as `run_protocol` derives them, so a
+    /// session-hosted composition is bit-identical to the per-phase one.
+    pub fn run<'s, P, F>(
+        &'s mut self,
+        factory: F,
+        config: EngineConfig,
+    ) -> Result<PhaseOutcome<'s, P::Output>, EngineError>
+    where
+        P: Protocol,
+        F: FnMut(Node, &Graph) -> P,
+    {
+        self.state.run_phase(self.graph, factory, config)
     }
 }
 

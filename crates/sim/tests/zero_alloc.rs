@@ -8,7 +8,9 @@
 //! process-global, and the harness runs tests in one process.
 
 use congest_sim::sched::{random_delays, Multiplexed};
-use congest_sim::{run_protocol, EngineConfig, FaultPlan, NodeCtx, Protocol, Session};
+use congest_sim::{
+    run_protocol, ChurnSession, EngineConfig, FaultPlan, Mutation, NodeCtx, Protocol, Session,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -278,6 +280,44 @@ fn session_cycle(session: &mut Session<'_>, rounds: u64, cfg: &EngineConfig) -> 
     acc
 }
 
+/// One steady-state churn cycle: queue a fixed removal batch, apply it at
+/// the phase boundary (incremental repair) and run a dense phase, then
+/// queue the inverse batch, apply, and run a **faulted** phase (the
+/// adversary's mark-bitset dedup must also hold its high-water). The
+/// batch is its own inverse, so the topology — and therefore every repair
+/// size — is identical at each cycle's start.
+fn churn_cycle(sess: &mut ChurnSession, rounds: u64, cfg: &EngineConfig) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..4u32 {
+        sess.queue_mut().push(Mutation::RemoveEdge(i, i + 1));
+    }
+    let ph = sess
+        .run(
+            |_, _| Chatter {
+                until: rounds,
+                acc: 1,
+            },
+            cfg.clone(),
+        )
+        .unwrap();
+    acc ^= ph.outputs().iter().fold(0, |a, &x| a ^ x) ^ ph.stats.total_messages;
+    drop(ph);
+    for i in 0..4u32 {
+        sess.queue_mut().push(Mutation::AddEdge(i, i + 1));
+    }
+    let ph = sess
+        .run(
+            |_, _| Chatter {
+                until: rounds,
+                acc: 2,
+            },
+            cfg.clone().with_faults(FaultPlan::new(2, 0xFA)),
+        )
+        .unwrap();
+    acc ^= ph.stats.total_messages ^ ph.stats.dropped_messages;
+    acc
+}
+
 fn allocs_for(g: &congest_graph::Graph, rounds: u64, cfg: EngineConfig) -> u64 {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let out = run_protocol(
@@ -471,5 +511,34 @@ fn round_loop_allocates_nothing_after_setup() {
             cfg.parallel
         );
         assert_ne!(acc, warm.wrapping_add(1), "keep results observable");
+    }
+
+    // --- Churn sessions: phase-boundary topology mutation with
+    // incremental repair. After two warm cycles (the repair scratch
+    // ping-pongs between two buffer sets, so both must reach high water),
+    // remove-batch → phase → add-batch → faulted-phase cycles allocate
+    // **exactly zero**: the CSR resplice reuses its scratch, the engine
+    // repair resizes stay within capacity, the cached ShardPlan
+    // rebalances in place, and the fault mark-bitset reuses its stamps
+    // across the changing edge count.
+    for cfg in [EngineConfig::serial(), EngineConfig::default()] {
+        let mut sess = ChurnSession::new(g.clone());
+        let warm = churn_cycle(&mut sess, 12, &cfg);
+        let warm2 = churn_cycle(&mut sess, 12, &cfg);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let mut acc = 0u64;
+        for _ in 0..3 {
+            acc ^= churn_cycle(&mut sess, 12, &cfg);
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "churn cycles allocated {} times after setup (parallel={})",
+            after - before,
+            cfg.parallel
+        );
+        assert_eq!(sess.stats().batches, 10, "five cycles of two batches");
+        assert_ne!(acc, warm.wrapping_add(warm2).wrapping_add(1));
     }
 }
