@@ -428,6 +428,16 @@ impl Pr1Protocol for RotChatter {
 
 /// Wide 96-bit messages (the broadcast pipeline's `(id, payload)` shape),
 /// dense — exercises the `u128` slab.
+///
+/// The inbox read goes through the engine's internal-iteration `fold`
+/// like every other dense workload. This workload originally used an
+/// external `for` loop, which was measured ~2.2× slower here: a `for`
+/// loop drives `Iterator::next`'s per-item state machine, and on
+/// broadcast-heavy rounds that rebuilds the presence word per word
+/// advance *and* re-derives the neighbor per item — the fused
+/// single-pass scan only exists on the `fold` override. That idiom gap,
+/// not the `u128` slab itself, was the whole `wide_u128` deficit
+/// (1.41× vs ~3× for the other dense workloads in earlier recordings).
 #[derive(Clone)]
 struct WideChatter {
     acc: u64,
@@ -437,9 +447,9 @@ impl Protocol for WideChatter {
     type Msg = (u32, u64);
     type Output = u64;
     fn round(&mut self, ctx: &mut NodeCtx<'_, (u32, u64)>) {
-        for (_, (id, payload)) in ctx.inbox() {
-            self.acc = self.acc.wrapping_add(id as u64 ^ payload);
-        }
+        self.acc = ctx.inbox().fold(self.acc, |a, (_, (id, payload))| {
+            a.wrapping_add(id as u64 ^ payload)
+        });
         if ctx.round < ROUNDS {
             ctx.send_all((ctx.node, self.acc));
         } else {
@@ -523,6 +533,59 @@ impl BaselineProtocol for PipelineLike {
         } else {
             ctx.set_done(true);
         }
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// Lane-salted QUIESCENT rumor flood for the wide-batch arm: lane `l`'s
+/// rumor starts at a lane-dependent source and floods the circulant,
+/// each node relaying once in its adoption round. Every node is `done`
+/// from round 0 on, so outside the O(degree)-wide frontier a lane's
+/// nodes are done-and-silent — the regime where the wide kernel's
+/// active-lane word skips the node step outright, while the sequential
+/// engine still pays one step call per node per round. This is the
+/// "many sparse runs" shape the wide kernel exists for.
+#[derive(Clone)]
+struct LaneRumor {
+    me: u32,
+    src: u32,
+    heard: bool,
+    acc: u64,
+}
+
+impl LaneRumor {
+    fn new(node: u32, salt: u64, n: usize) -> Self {
+        let h = congest_sim::rng::mix64(0xB47C ^ salt);
+        LaneRumor {
+            me: node,
+            src: (h % n as u64) as u32,
+            heard: false,
+            acc: h | 1,
+        }
+    }
+}
+
+impl Protocol for LaneRumor {
+    type Msg = u64;
+    type Output = u64;
+    /// State mutates and sends happen only at round 0 (the source's
+    /// announcement) or on message arrival (adoption + relay), so a
+    /// done round with an empty inbox is a semantic no-op.
+    const QUIESCENT: bool = true;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        let sum = ctx.inbox().map(|(_, m)| m).fold(0u64, u64::wrapping_add);
+        self.acc = self.acc.wrapping_add(sum);
+        if ctx.inbox_len() > 0 && !self.heard {
+            self.heard = true;
+            ctx.send_all(sum | 1);
+        }
+        if ctx.round == 0 && self.me == self.src && !self.heard {
+            self.heard = true;
+            ctx.send_all(self.acc | 1);
+        }
+        ctx.set_done(true);
     }
     fn finish(self) -> u64 {
         self.acc
@@ -1453,6 +1516,109 @@ fn bench_churn_repair() -> (Vec<ChurnRepairRow>, f64) {
     (rows, geo)
 }
 
+struct WideBatchRow {
+    w: usize,
+    ns: u128,
+    inst_rounds_per_sec: f64,
+    speedup_vs_seq: f64,
+}
+
+/// Wide-batch throughput: W independent sparse instances through one
+/// [`congest_sim::WideSession`] sweep vs the same instance on a
+/// sequential `Session`, both single-core. Metric is instances·rounds
+/// per second; the acceptance bar is W=32 ≥ 4× the sequential arm.
+/// All 64 lanes are cross-checked bit-identical (outputs + stats)
+/// against their per-lane sequential runs before any timing.
+fn bench_wide_batch() -> (Vec<WideBatchRow>, f64) {
+    use congest_sim::{LaneSpec, Session, WideSession};
+
+    let (n, samples) = if smoke() {
+        (1024usize, 2usize)
+    } else {
+        (4096usize, 5usize)
+    };
+    let g = harary(6, n);
+    let lane_seed = |l: usize| congest_sim::rng::mix64(0x57ED_BA7C ^ l as u64);
+    let wide_cfg = EngineConfig::serial();
+    let seq_cfg = |l: usize| EngineConfig::serial().seed(lane_seed(l));
+    let lanes_for =
+        |w: usize| -> Vec<LaneSpec> { (0..w).map(|l| LaneSpec::new(lane_seed(l))).collect() };
+
+    let mut wide = WideSession::new(&g);
+
+    // Cross-check the full width bit-identical before timing anything,
+    // and record each lane's true round count for the throughput metric
+    // (sources sit at different eccentricities, so lanes can differ).
+    let lanes64 = lanes_for(64);
+    let lane_rounds: Vec<u64> = {
+        let out = wide
+            .run(
+                &lanes64,
+                |v, l, _| LaneRumor::new(v, l as u64, n),
+                wide_cfg.clone(),
+            )
+            .unwrap();
+        for l in 0..64 {
+            let mut sess = Session::new(&g);
+            let seq = sess
+                .run(|v, _| LaneRumor::new(v, l as u64, n), seq_cfg(l))
+                .unwrap();
+            assert_eq!(
+                out.stats(l),
+                seq.stats,
+                "wide_batch lane {l} stats diverged"
+            );
+            assert_eq!(
+                out.outputs(l),
+                seq.outputs(),
+                "wide_batch lane {l} outputs diverged"
+            );
+        }
+        (0..64).map(|l| out.stats(l).rounds).collect()
+    };
+
+    // Sequential arm: one instance per run on a resident Session.
+    let seq_ns = {
+        let mut sess = Session::new(&g);
+        best_of(samples, || {
+            let out = sess
+                .run(|v, _| LaneRumor::new(v, 0, n), seq_cfg(0))
+                .unwrap();
+            out.outputs()[0]
+        })
+    };
+    let seq_rate = lane_rounds[0] as f64 / (seq_ns as f64 / 1e9);
+
+    let mut rows = Vec::new();
+    for w in [1usize, 8, 32, 64] {
+        let lanes = lanes_for(w);
+        let ns = best_of(samples, || {
+            let out = wide
+                .run(
+                    &lanes,
+                    |v, l, _| LaneRumor::new(v, l as u64, n),
+                    wide_cfg.clone(),
+                )
+                .unwrap();
+            out.outputs(0)[0]
+        });
+        let inst_rounds: u64 = lane_rounds[..w].iter().sum();
+        let rate = inst_rounds as f64 / (ns as f64 / 1e9);
+        rows.push(WideBatchRow {
+            w,
+            ns,
+            inst_rounds_per_sec: rate,
+            speedup_vs_seq: rate / seq_rate,
+        });
+    }
+    let at_32 = rows
+        .iter()
+        .find(|r| r.w == 32)
+        .map(|r| r.speedup_vs_seq)
+        .unwrap_or(0.0);
+    (rows, at_32)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn write_json(
     measurements: &[Measurement],
@@ -1460,10 +1626,12 @@ fn write_json(
     mux_rings: &[MuxRingRow],
     phase_reuse: &[PhaseReuseRow],
     churn_repair: &[ChurnRepairRow],
+    wide_batch: &[WideBatchRow],
     dense_geomean: f64,
     sparse_geomean: f64,
     phase_reuse_geomean: f64,
     churn_repair_geomean: f64,
+    wide_batch_speedup_32: f64,
     path: &std::path::Path,
 ) {
     let mut s = String::new();
@@ -1658,6 +1826,39 @@ fn write_json(
         s,
         "    \"geomean_incremental_vs_rebuild\": {churn_repair_geomean:.3}"
     );
+    let _ = writeln!(s, "  }},");
+    // --- Wide-batch section: W instances through one interleaved sweep.
+    let _ = writeln!(
+        s,
+        "  \"wide_batch_note\": \"W independent lane-salted QUIESCENT rumor floods on the harary(6, n) circulant through one WideSession sweep vs one instance per sequential Session run, both single-core; metric is instances*rounds/sec, whole-run wall clock, best of N; all 64 lanes cross-checked bit-identical (outputs + stats) against per-lane sequential runs before timing; acceptance bar: W=32 >= 4x sequential\","
+    );
+    let _ = writeln!(s, "  \"wide_batch\": {{");
+    let _ = writeln!(s, "    \"arms\": [");
+    for (i, r) in wide_batch.iter().enumerate() {
+        let _ = writeln!(s, "      {{");
+        let _ = writeln!(s, "        \"lanes\": {},", r.w);
+        let _ = writeln!(s, "        \"wall_ns\": {},", r.ns);
+        let _ = writeln!(
+            s,
+            "        \"instances_rounds_per_sec\": {:.0},",
+            r.inst_rounds_per_sec
+        );
+        let _ = writeln!(
+            s,
+            "        \"speedup_vs_sequential\": {:.3}",
+            r.speedup_vs_seq
+        );
+        let _ = writeln!(
+            s,
+            "      }}{}",
+            if i + 1 < wide_batch.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(
+        s,
+        "    \"speedup_vs_sequential_32_lanes\": {wide_batch_speedup_32:.3}"
+    );
     let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     std::fs::write(path, s).expect("write BENCH_sim.json");
@@ -1765,6 +1966,31 @@ fn bench_engine(c: &mut Criterion) {
              incremental repair lost to full engine rebuilds"
         );
     }
+    // --- Wide batch: W instances through one interleaved sweep.
+    let (wide_batch, wide_batch_speedup_32) = bench_wide_batch();
+    println!("\n| wide-batch lanes | wall clock | instances·rounds/sec | vs sequential |");
+    println!("|---|---|---|---|");
+    for r in &wide_batch {
+        println!(
+            "| {} | {:.3} ms | {:.0} | {:.2}x |",
+            r.w,
+            r.ns as f64 / 1e6,
+            r.inst_rounds_per_sec,
+            r.speedup_vs_seq
+        );
+    }
+    println!(
+        "wide-batch speedup at 32 lanes vs one sequential instance: {wide_batch_speedup_32:.2}x"
+    );
+    // The whole point of the wide kernel: amortizing the arc sweep
+    // across lanes must beat running the lanes one at a time by a wide
+    // margin, in the smoke lane too.
+    if wide_batch_speedup_32 < 4.0 {
+        println!(
+            "REGRESSION-MARKER: wide-batch speedup {wide_batch_speedup_32:.3} < 4.0 at 32 lanes \
+             vs the sequential arm"
+        );
+    }
     if smoke() {
         println!("smoke mode: skipping baseline section and BENCH_sim.json rewrite");
         return;
@@ -1838,10 +2064,12 @@ fn bench_engine(c: &mut Criterion) {
         &mux_rings,
         &phase_reuse,
         &churn_repair,
+        &wide_batch,
         dense_geomean,
         sparse_geomean,
         phase_reuse_geomean,
         churn_repair_geomean,
+        wide_batch_speedup_32,
         &root,
     );
     println!("\nwrote {}", root.display());

@@ -106,6 +106,11 @@ impl BfsProtocol {
 impl Protocol for BfsProtocol {
     type Msg = BfsMsg;
     type Output = BfsNodeInfo;
+    /// A node relays in the very round it adopts a parent (or round 0 at
+    /// the root), so `reached ⇒ relayed` at every round boundary; with an
+    /// empty inbox nothing else can change. Done rounds are no-ops and
+    /// the wide kernel may skip them.
+    const QUIESCENT: bool = true;
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, BfsMsg>) {
         // Root bootstraps.
@@ -241,6 +246,11 @@ impl SubgraphBfs {
 impl Protocol for SubgraphBfs {
     type Msg = SubBfsMsg;
     type Output = SubgraphBfsInfo;
+    /// Same argument as [`BfsProtocol`], per class: each subgraph's wave
+    /// is relayed in the round it is adopted, so an empty inbox leaves
+    /// every `reached`/`relayed` pair in lockstep and the round is a
+    /// no-op.
+    const QUIESCENT: bool = true;
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, SubBfsMsg>) {
         if ctx.round == 0 && self.me == self.root {

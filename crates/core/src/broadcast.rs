@@ -27,7 +27,8 @@ use crate::partition::{EdgePartitionProtocol, PartitionParams};
 use crate::pipeline::{expected_checksums, PipeCore, PipeMsg, PipeResult};
 use congest_graph::{Graph, Node, Port};
 use congest_sim::{
-    EngineConfig, EngineError, MsgBits, NodeCtx, PackedMsg, PhaseHost, PhaseLog, Protocol, RunStats,
+    EngineConfig, EngineError, LaneSpec, MsgBits, NodeCtx, PackedMsg, PhaseHost, PhaseLog,
+    Protocol, RunStats, WideSession,
 };
 
 /// The broadcast problem instance: `k` messages, message `i` initially at
@@ -406,6 +407,238 @@ fn ceil_div(a: u64, b: u64) -> u64 {
     a.div_ceil(b)
 }
 
+/// Theorem 1, **W independent instances in one sweep**: lane `l` runs the
+/// whole six-phase composition under broadcast seed `seeds[l]`, with all
+/// lanes advancing through each phase in lockstep on one
+/// [`WideSession`]. Lane `l`'s result — phase log, stats, deliveries —
+/// is bit-identical to
+/// `partition_broadcast_with(g, input, params, &BroadcastConfig { seed: seeds[l], ..cfg })`,
+/// which is exactly the seed-sweep the retry wrapper
+/// ([`partition_broadcast_retrying`]) performs one at a time: the wide
+/// driver explores all candidate seeds concurrently, paying the arc
+/// sweep once per round instead of once per seed.
+///
+/// **Lane compaction:** lanes whose partition fails the phase-5 spanning
+/// check (Theorem 2's low-probability failure event) drop out and are
+/// reported as `Err(NotSpanning)`; the surviving lanes run the routing
+/// phase on a compacted lane set. An engine error (round limit) aborts
+/// the whole batch, exactly as it would abort each sequential run.
+pub fn partition_broadcast_wide(
+    g: &Graph,
+    input: &BroadcastInput,
+    params: PartitionParams,
+    cfg: &BroadcastConfig,
+    seeds: &[u64],
+) -> Result<Vec<Result<BroadcastOutcome, BroadcastError>>, BroadcastError> {
+    let w = seeds.len();
+    assert!(
+        (1..=congest_sim::MAX_LANES).contains(&w),
+        "1..={} broadcast lanes, got {w}",
+        congest_sim::MAX_LANES
+    );
+    let n = g.n();
+    let k = input.k() as u64;
+    let lp = params.num_subgraphs;
+    let mut session = WideSession::new(g);
+    let econf = EngineConfig::with_seed(0).max_rounds(cfg.max_rounds);
+    // Per-phase lane seeds follow the sequential drivers' `cfg.engine(k)`
+    // discipline: lane l, phase p runs under `phase_seed(seeds[l], p)`.
+    let lane_specs = |phase: u64, lane_seeds: &[u64]| -> Vec<LaneSpec> {
+        lane_seeds
+            .iter()
+            .map(|&s| LaneSpec::new(congest_sim::rng::phase_seed(s, phase)))
+            .collect()
+    };
+    let mut logs: Vec<PhaseLog> = (0..w).map(|_| PhaseLog::new()).collect();
+
+    // Phase 1: leader election, all lanes.
+    let roots: Vec<Node> = {
+        let out = session.run(
+            &lane_specs(1, seeds),
+            |v, _, _| FloodMax::new(v),
+            econf.clone(),
+        )?;
+        (0..w)
+            .map(|l| {
+                logs[l].record("leader-election", out.stats(l));
+                out.outputs(l)[0].leader
+            })
+            .collect()
+    };
+
+    // Phase 2: BFS on G from each lane's leader.
+    let views: Vec<Vec<TreeView>> = {
+        let out = session.run(
+            &lane_specs(2, seeds),
+            |v, l, _| BfsProtocol::new(roots[l], v),
+            econf.clone(),
+        )?;
+        (0..w)
+            .map(|l| {
+                logs[l].record("bfs", out.stats(l));
+                out.outputs(l).iter().map(TreeView::from_bfs).collect()
+            })
+            .collect()
+    };
+
+    // Phase 3: Lemma 3 numbering, per lane.
+    let payloads = input.payloads_by_node(n);
+    let ids_by_node: Vec<Vec<Vec<u32>>> = {
+        let out = session.run(
+            &lane_specs(3, seeds),
+            |v, l, _| {
+                Numbering::new(
+                    views[l][v as usize].clone(),
+                    payloads[v as usize].len() as u64,
+                )
+            },
+            econf.clone(),
+        )?;
+        (0..w)
+            .map(|l| {
+                logs[l].record("numbering", out.stats(l));
+                debug_assert!(out.outputs(l).iter().all(|&(_, total)| total == k));
+                (0..n)
+                    .map(|v| {
+                        let (start, _) = out.outputs(l)[v];
+                        (0..payloads[v].len() as u64)
+                            .map(|j| (start + j) as u32)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    // Phase 4: edge partition — lane l colors with its own broadcast
+    // seed, exactly as the sequential driver uses `cfg.seed`.
+    let port_colors: Vec<Vec<Vec<u32>>> = {
+        let mut out = session.run(
+            &lane_specs(4, seeds),
+            |v, l, gr: &Graph| EdgePartitionProtocol::new(v, seeds[l], lp, gr.degree(v)),
+            econf.clone(),
+        )?;
+        (0..w)
+            .map(|l| {
+                logs[l].record("edge-partition", out.stats(l));
+                out.take_lane_outputs(l)
+            })
+            .collect()
+    };
+
+    // Phase 5: parallel BFS in every class, per lane, then the spanning
+    // check — failing lanes compact out here.
+    let sub_bfs: Vec<Vec<crate::bfs::SubgraphBfsInfo>> = {
+        let mut out = session.run(
+            &lane_specs(5, seeds),
+            |v, l, _| SubgraphBfs::new(roots[l], v, port_colors[l][v as usize].clone(), lp),
+            econf.clone(),
+        )?;
+        (0..w)
+            .map(|l| {
+                logs[l].record("subgraph-bfs", out.stats(l));
+                out.take_lane_outputs(l)
+            })
+            .collect()
+    };
+    let mut failed: Vec<Option<BroadcastError>> = (0..w).map(|_| None).collect();
+    for l in 0..w {
+        for c in 0..lp {
+            let unreached = sub_bfs[l].iter().filter(|infos| !infos[c].reached).count();
+            if unreached > 0 {
+                failed[l] = Some(BroadcastError::NotSpanning {
+                    subgraph: c as u32,
+                    unreached,
+                });
+                break;
+            }
+        }
+    }
+    let alive: Vec<usize> = (0..w).filter(|&l| failed[l].is_none()).collect();
+
+    // Phase 6: parallel pipelined routing on the compacted lane set.
+    let cap = ceil_div(k.max(1), lp as u64);
+    let color_of_id = |id: u32| ((id as u64 / cap).min(lp as u64 - 1)) as usize;
+    let k_per_class: Vec<Vec<u64>> = (0..w)
+        .map(|l| {
+            let mut per = vec![0u64; lp];
+            for ids in &ids_by_node[l] {
+                for &id in ids {
+                    per[color_of_id(id)] += 1;
+                }
+            }
+            per
+        })
+        .collect();
+    let mut per_node: Vec<Option<Vec<PipeResult>>> = (0..w).map(|_| None).collect();
+    if !alive.is_empty() {
+        let routing_seeds: Vec<u64> = alive.iter().map(|&l| seeds[l]).collect();
+        let mut out = session.run(
+            &lane_specs(6, &routing_seeds),
+            |v, li, _| {
+                let l = alive[li];
+                let vi = v as usize;
+                let cores = (0..lp)
+                    .map(|c| {
+                        let own: Vec<PipeMsg> = ids_by_node[l][vi]
+                            .iter()
+                            .zip(payloads[vi].iter())
+                            .filter(|(&id, _)| color_of_id(id) == c)
+                            .map(|(&id, &payload)| PipeMsg { id, payload })
+                            .collect();
+                        PipeCore::new(
+                            TreeView::from_bfs(&sub_bfs[l][vi][c]),
+                            k_per_class[l][c],
+                            own,
+                            cfg.record_payloads,
+                        )
+                    })
+                    .collect();
+                ParallelPipeline::new(cores)
+            },
+            econf.clone(),
+        )?;
+        for (li, &l) in alive.iter().enumerate() {
+            logs[l].record("parallel-routing", out.stats(li));
+            per_node[l] = Some(out.take_lane_outputs(li));
+        }
+    }
+
+    // Assemble per-lane results.
+    Ok((0..w)
+        .map(|l| {
+            if let Some(err) = failed[l].take() {
+                return Err(err);
+            }
+            let subgraph_heights: Vec<u32> = (0..lp)
+                .map(|c| (0..n).map(|v| sub_bfs[l][v][c].depth).max().unwrap_or(0))
+                .collect();
+            let all_msgs: Vec<(u32, u64)> = (0..n)
+                .flat_map(|v| {
+                    ids_by_node[l][v]
+                        .iter()
+                        .zip(payloads[v].iter())
+                        .map(|(&id, &p)| (id, p))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let expected = expected_checksums(all_msgs.iter());
+            let phases = std::mem::take(&mut logs[l]);
+            let stats = phases.total();
+            Ok(BroadcastOutcome {
+                total_rounds: phases.total_rounds(),
+                phases,
+                stats,
+                num_subgraphs: lp,
+                subgraph_heights,
+                per_node: per_node[l].take().expect("alive lane routed"),
+                expected,
+                k,
+            })
+        })
+        .collect())
+}
+
 /// One message on the wire during parallel routing: the class tag plus the
 /// usual pipeline payload. Classes are edge-disjoint, so each port only
 /// ever carries its own class's messages — the tag is for safety checking
@@ -646,6 +879,93 @@ mod tests {
             assert_eq!(na, nb);
             assert_eq!(sa, sb, "phase {na}");
         }
+    }
+
+    /// One sequential broadcast per seed is the oracle for the wide
+    /// driver: every lane must reproduce its seed's run bit for bit —
+    /// phase log, stats, heights, deliveries, recorded payloads.
+    #[test]
+    fn wide_lanes_match_sequential_per_seed() {
+        let g = harary(16, 48);
+        let input = BroadcastInput::random_spread(&g, 96, 5);
+        let params = PartitionParams::from_lambda(g.n(), 16, DEFAULT_PARTITION_C);
+        let mut cfg = BroadcastConfig::with_seed(0); // superseded per lane
+        cfg.record_payloads = true;
+        let seeds = [5u64, 17, 23, 42, 0xB10C];
+        let wide = partition_broadcast_wide(&g, &input, params, &cfg, &seeds).unwrap();
+        assert_eq!(wide.len(), seeds.len());
+        for (l, &seed) in seeds.iter().enumerate() {
+            let seq_cfg = BroadcastConfig {
+                seed,
+                ..cfg.clone()
+            };
+            let seq = partition_broadcast_with(&g, &input, params, &seq_cfg);
+            match (&wide[l], &seq) {
+                (Ok(wo), Ok(so)) => {
+                    assert_eq!(wo.total_rounds, so.total_rounds, "lane {l}");
+                    assert_eq!(wo.stats, so.stats, "lane {l}");
+                    assert_eq!(wo.num_subgraphs, so.num_subgraphs);
+                    assert_eq!(wo.subgraph_heights, so.subgraph_heights, "lane {l}");
+                    assert_eq!(wo.per_node, so.per_node, "lane {l}");
+                    assert_eq!(wo.expected, so.expected);
+                    assert_eq!(wo.k, so.k);
+                    assert!(wo.all_delivered(), "lane {l}");
+                    assert_eq!(wo.phases.len(), so.phases.len());
+                    for ((na, sa), (nb, sb)) in wo.phases.phases().zip(so.phases.phases()) {
+                        assert_eq!(na, nb);
+                        assert_eq!(sa, sb, "lane {l} phase {na}");
+                    }
+                }
+                (Err(we), Err(se)) => assert_eq!(we, se, "lane {l}"),
+                (w, s) => panic!("lane {l} diverged: wide {w:?} vs sequential {s:?}"),
+            }
+        }
+    }
+
+    /// Mixed outcomes: on a borderline partition some seeds fail the
+    /// spanning check. Failing lanes must surface as per-lane
+    /// `NotSpanning` while the survivors still route correctly on the
+    /// compacted lane set — each lane again equal to its sequential run.
+    #[test]
+    fn wide_compacts_out_non_spanning_lanes() {
+        let g = clique_chain(3, 12, 6);
+        let input = BroadcastInput::random_spread(&g, 40, 4);
+        let params = PartitionParams::explicit(2);
+        let cfg = BroadcastConfig::with_seed(0);
+        // The retrying test's seed family: borderline two-class split.
+        let seeds: Vec<u64> = (0..12u64)
+            .map(|a| 77u64.wrapping_add(a * 0x9E37_79B9))
+            .collect();
+        let wide = partition_broadcast_wide(&g, &input, params, &cfg, &seeds).unwrap();
+        let mut ok = 0usize;
+        let mut failed = 0usize;
+        for (l, &seed) in seeds.iter().enumerate() {
+            let seq_cfg = BroadcastConfig {
+                seed,
+                ..cfg.clone()
+            };
+            let seq = partition_broadcast_with(&g, &input, params, &seq_cfg);
+            match (&wide[l], &seq) {
+                (Ok(wo), Ok(so)) => {
+                    ok += 1;
+                    assert!(wo.all_delivered(), "lane {l}");
+                    assert_eq!(wo.total_rounds, so.total_rounds, "lane {l}");
+                    assert_eq!(wo.stats, so.stats, "lane {l}");
+                    assert_eq!(wo.per_node, so.per_node, "lane {l}");
+                }
+                (Err(we), Err(se)) => {
+                    failed += 1;
+                    assert_eq!(we, se, "lane {l}");
+                    assert!(matches!(we, BroadcastError::NotSpanning { .. }));
+                }
+                (w, s) => panic!("lane {l} diverged: wide {w:?} vs sequential {s:?}"),
+            }
+        }
+        assert!(ok > 0, "seed family produced no spanning partition");
+        assert!(
+            failed > 0,
+            "seed family produced no failure — not borderline"
+        );
     }
 
     #[test]

@@ -120,6 +120,10 @@ impl Aggregate {
 impl Protocol for Aggregate {
     type Msg = UpDown;
     type Output = u64;
+    /// Convergecast transitions (`sent_up`, `forwarded_down`) fire at
+    /// round 0 or in the round the triggering message arrives; with an
+    /// empty inbox both guards are stable, so done rounds are no-ops.
+    const QUIESCENT: bool = true;
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, UpDown>) {
         for (_, msg) in ctx.inbox() {
@@ -245,6 +249,10 @@ impl Numbering {
 impl Protocol for Numbering {
     type Msg = NumberingMsg;
     type Output = (u64, u64);
+    /// Same argument as [`Aggregate`]: `sent_up`/`forwarded_down` can
+    /// only flip at round 0 or on message arrival, so a done round with
+    /// an empty inbox reads nothing, sends nothing, mutates nothing.
+    const QUIESCENT: bool = true;
 
     fn round(&mut self, ctx: &mut NodeCtx<'_, NumberingMsg>) {
         for (port, msg) in ctx.inbox() {

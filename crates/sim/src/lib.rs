@@ -66,6 +66,7 @@ pub mod rng;
 pub mod sched;
 pub mod session;
 mod slab;
+pub mod wide;
 
 pub use churn::{ChurnError, ChurnReport, ChurnSession, ChurnStats, Mutation, MutationQueue};
 pub use engine::{run_protocol, EngineConfig, EngineError, MeterMode, RunOutcome, RunStats};
@@ -74,3 +75,4 @@ pub use message::{MsgBits, MsgWord, PackedMsg};
 pub use phase::PhaseLog;
 pub use protocol::{InboxIter, NodeCtx, Protocol};
 pub use session::{PhaseHost, PhaseOutcome, Session};
+pub use wide::{LaneSpec, WideOutcome, WideSession, MAX_LANES};

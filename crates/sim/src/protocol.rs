@@ -25,6 +25,18 @@ pub trait Protocol: Send {
     /// Per-node output collected when the run ends.
     type Output: Send;
 
+    /// Opt-in idle contract for the wide-batch kernel: `true` promises
+    /// that once a node has declared [`NodeCtx::set_done`] and receives an
+    /// **empty inbox**, its `round` is a semantic no-op — it sends
+    /// nothing, mutates no state (including its RNG), and leaves the done
+    /// flag set. [`crate::wide::WideSession`] then skips the `round` call
+    /// entirely for such (node, lane) pairs, which is where most of the
+    /// W-way speedup on sparse workloads comes from. The sequential
+    /// engine ignores this flag, and `proptest_wide` pins the skip
+    /// bit-identical, so a wrong promise is caught, not silently wrong.
+    /// Default `false`: every active lane steps every node every round.
+    const QUIESCENT: bool = false;
+
     /// Execute one round. On round 0 the inbox is empty (initialization).
     fn round(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>);
 
@@ -176,7 +188,11 @@ impl<'a, M: PackedMsg> InboxIter<'a, M> {
     }
 
     /// Broadcast-presence bits of word `w`: bit set for each port in range
-    /// whose neighbor broadcast last round.
+    /// whose neighbor broadcast last round. Inlined because external
+    /// iteration (`for` over the inbox) rebuilds it on every word advance
+    /// inside `next`; the internal `fold` path only calls it once per
+    /// word too, but from a loop the compiler already keeps hot.
+    #[inline]
     fn bcast_word(&self, w: usize) -> u64 {
         let Some(b) = &self.bcast else { return 0 };
         if !b.any {

@@ -61,7 +61,7 @@ const STAGED: u8 = 1;
 pub(crate) const PARALLEL_MIN_NODES: usize = 256;
 
 /// Cap on auto-derived shard counts (explicit configs may exceed it).
-const MAX_AUTO_SHARDS: usize = 64;
+pub(crate) const MAX_AUTO_SHARDS: usize = 64;
 
 /// Per-node hot state, kept together so one cache line serves one node's
 /// step and shards walk nodes without any per-round bookkeeping.
@@ -123,7 +123,7 @@ struct RoundAgg {
 /// whatever word width the current phase needs. Capacity is keyed in
 /// bytes, so a `u64` phase reuses a slab a `u128` phase grew.
 #[derive(Default)]
-struct WordSlab {
+pub(crate) struct WordSlab {
     buf: Vec<u128>,
 }
 
@@ -132,7 +132,7 @@ impl WordSlab {
     /// when `len × size_of::<W>()` exceeds every earlier phase's demand.
     /// Contents are unspecified; the engine only reads word slots whose
     /// occupancy bit was set this phase, so stale words are unreachable.
-    fn view<W: MsgWord>(&mut self, len: usize) -> &mut [W] {
+    pub(crate) fn view<W: MsgWord>(&mut self, len: usize) -> &mut [W] {
         assert!(
             std::mem::align_of::<W>() <= 16 && std::mem::size_of::<W>() <= 16,
             "message words wider than u128 are not supported"
@@ -153,13 +153,13 @@ impl WordSlab {
 /// without touching the allocator. The arena hands out raw storage only;
 /// initialization, drop, and non-overlap are the caller's contract.
 #[derive(Default)]
-struct Arena {
+pub(crate) struct Arena {
     buf: Vec<u128>,
 }
 
 impl Arena {
     /// Storage for `n` values of `T`, aligned for `T`.
-    fn alloc<T>(&mut self, n: usize) -> *mut T {
+    pub(crate) fn alloc<T>(&mut self, n: usize) -> *mut T {
         let align = std::mem::align_of::<T>();
         // Slack so any alignment can be met inside the 16-aligned buffer.
         let bytes = n * std::mem::size_of::<T>() + align;
@@ -258,9 +258,12 @@ impl<O> Drop for PhaseOutcome<'_, O> {
 /// rebuilding the engine.
 #[derive(Default)]
 pub(crate) struct SessionState {
-    /// Double-buffered arc message slabs (inbox / staging).
-    slab_a: WordSlab,
-    slab_b: WordSlab,
+    /// Double-buffered arc message slabs (inbox / staging). The wide-batch
+    /// kernel ([`crate::wide`]) reuses these byte-keyed for its `arcs × W`
+    /// instance-major slabs, so sequential and wide phases on one session
+    /// share the same high-water storage.
+    pub(crate) slab_a: WordSlab,
+    pub(crate) slab_b: WordSlab,
     /// Per-node broadcast-plane message slabs (inbox / staging).
     bcast_slab_a: WordSlab,
     bcast_slab_b: WordSlab,
@@ -278,10 +281,10 @@ pub(crate) struct SessionState {
     node_planes: Vec<u64>,
     node_traffic: Vec<u32>,
     /// Fault-adversary scratch (drawn edge ids + dedup mark-bitset).
-    blocked: Vec<congest_graph::Edge>,
-    fault_marks: crate::fault::EdgeMarks,
+    pub(crate) blocked: Vec<congest_graph::Edge>,
+    pub(crate) fault_marks: crate::fault::EdgeMarks,
     /// Shard plan cache, keyed by the clamped requested shard count.
-    plan: Option<(usize, ShardPlan)>,
+    pub(crate) plan: Option<(usize, ShardPlan)>,
     meters: Vec<ShardMeter>,
     agg_buf: Vec<RoundAgg>,
     wl_starts: Vec<usize>,
@@ -294,12 +297,15 @@ pub(crate) struct SessionState {
     /// Per-round trace buffer (reused across phases that collect traces).
     trace_buf: Vec<u64>,
     /// Node-cell and output arenas.
-    cell_arena: Arena,
-    out_arena: Arena,
+    pub(crate) cell_arena: Arena,
+    pub(crate) out_arena: Arena,
+    /// Wide-batch lane buffers ([`crate::wide`]); empty until the first
+    /// wide run on this session.
+    pub(crate) wide: crate::wide::WideBuffers,
     /// Whether the previous phase completed cleanly (breadcrumb-zeroed
     /// state). A failed or panicked phase clears this and the next run
     /// pays one full scrub.
-    clean: bool,
+    pub(crate) clean: bool,
 }
 
 /// A graph-keyed engine instance owning all round-loop state for a whole
@@ -346,6 +352,7 @@ impl SessionState {
             trace_buf: Vec::new(),
             cell_arena: Arena::default(),
             out_arena: Arena::default(),
+            wide: crate::wide::WideBuffers::default(),
             clean: true,
         }
     }
@@ -381,7 +388,7 @@ impl SessionState {
     /// Full scrub of every buffer a failed phase may have left dirty.
     /// Only runs after an error or a panic escaped a phase; clean phases
     /// re-zero everything they touched on their way out.
-    fn scrub(&mut self) {
+    pub(crate) fn scrub(&mut self) {
         self.in_occ.fill(0);
         self.out_mask.fill(0);
         self.arc_traffic.fill(0);
@@ -389,6 +396,7 @@ impl SessionState {
         self.bcast_stage.fill(0);
         self.node_planes.fill(0);
         self.node_traffic.fill(0);
+        self.wide.scrub();
         // `bcast_occ` needs no scrub: readers are gated on a per-phase
         // `bcast_any` flag and every fold rebuilds all presence words.
     }

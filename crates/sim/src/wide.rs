@@ -1,0 +1,1089 @@
+//! Wide-batch bit-parallel round kernel: W independent instances of one
+//! protocol on one graph, executed through a single interleaved sweep.
+//!
+//! ## Why
+//!
+//! The engine already stores arc occupancy as word-packed bitsets and
+//! congestion meters as bit-sliced planes, but a [`crate::Session`] sweeps
+//! those words for exactly one run at a time. The representative
+//! heavy-traffic workload for the paper's broadcast algorithms is *many
+//! sparse runs* — seed sweeps, per-lane fault plans, future tenants — and
+//! Fountoulakis–Huber–Panagiotou (PAPERS.md) says broadcast time is
+//! governed by sparse per-round traffic regardless of density. So the
+//! word-level parallelism left on the table is *across instances*, not
+//! across arcs of one instance.
+//!
+//! ## Lane layout
+//!
+//! A [`WideSession`] runs `W ≤ 64` **lanes** (instances). Per-arc
+//! occupancy becomes one **lane word** per arc: bit `l` of `in_lane[a]`
+//! says "lane `l` has a message on arc `a`". Message slabs are
+//! instance-major within each arc block — lane `l`'s word for arc `a`
+//! lives at `words[a * W + l]` — so the W occupancy bits of one arc land
+//! in a single `u64` and per-arc liveness checks, mask zeroing, fault
+//! blocking, and bit-plane meter accumulation are one word op shared by
+//! all W lanes:
+//!
+//! * the deliver sweep tests `in_lane[a] != 0` once for all lanes;
+//! * bit-plane metering calls [`crate::slab::planes_add`] once per live
+//!   arc with the lane word (bit `l` = lane `l`), exactly the ripple-carry
+//!   trick the sequential engine uses with bit `i` = arc `i`;
+//! * the fault adversary clears one bit of one word per blocked lane-arc.
+//!
+//! Scalar per-instance work — the node `round` calls and the payload
+//! gather/scatter — iterates lanes via `trailing_zeros` over an
+//! **active-lane word**, so finished lanes cost nothing, and protocols
+//! that opt into [`Protocol::QUIESCENT`] skip `(node, lane)` pairs that
+//! are done with an empty inbox, which is where the W-way speedup on
+//! sparse workloads comes from.
+//!
+//! ## Oracle discipline
+//!
+//! A wide run is **bit-identical, per lane, to W sequential
+//! [`crate::Session::run`]s**: outputs, [`RunStats`], traces, and
+//! per-edge congestion all match the run lane `l` would produce alone
+//! with `EngineConfig { seed: lanes[l].seed, faults: lanes[l].faults, ..config }`.
+//! Wide mode always routes `send_all` through the per-arc scatter path
+//! (never the broadcast plane) — the engine's adaptive plane fallback
+//! already guarantees that substitution is result-identical, and
+//! `tests/proptest_wide.rs` pins the equivalence across shard counts ×
+//! meter modes × per-lane fault plans.
+//!
+//! ## What a wide round costs
+//!
+//! Per round: one O(arcs) lane-word pass (the shared per-node inbox OR +
+//! consume-and-zero), one O(arcs) deliver scan, and scalar work only for
+//! the `(node, lane)` pairs actually stepped. A sequential batch pays
+//! `W × O(n)` context builds per round even when every instance is idle;
+//! the wide kernel pays the word passes once and skips idle lanes, which
+//! is why the `wide_batch` bench arm requires W=32 ≥ 4× the sequential
+//! arm on the sparse circulant.
+
+use crate::engine::{EngineConfig, EngineError, MeterMode, RunStats};
+use crate::fault::FaultPlan;
+use crate::message::{MsgWord, PackedMsg};
+use crate::protocol::{InSlot, NodeCtx, OutSlot, Protocol};
+use crate::rng::{mix64, node_rng};
+use crate::session::WordSlab;
+use crate::session::{SessionState, MAX_AUTO_SHARDS, PARALLEL_MIN_NODES};
+use crate::slab;
+use congest_graph::{Graph, Node};
+use congest_par::RacyCells;
+use rand::rngs::SmallRng;
+
+/// Maximum lanes per wide run: one bit per lane in a `u64` lane word.
+pub const MAX_LANES: usize = 64;
+
+/// One lane's identity: the RNG seed its nodes derive from and the fault
+/// plan (if any) it runs under. Everything else — graph, protocol, round
+/// limit, meter mode, shard count — is shared across the batch.
+#[derive(Debug, Clone, Default)]
+pub struct LaneSpec {
+    /// Per-node RNGs of this lane derive from this seed exactly as a
+    /// sequential run derives them from [`EngineConfig::seed`].
+    pub seed: u64,
+    /// This lane's mobile adversary, applied to this lane's staged
+    /// messages only. See [`FaultPlan::with_lane_seed`] for deriving W
+    /// reproducible plans from one base seed.
+    pub faults: Option<FaultPlan>,
+}
+
+impl LaneSpec {
+    pub fn new(seed: u64) -> LaneSpec {
+        LaneSpec { seed, faults: None }
+    }
+
+    /// Attach a fault plan to this lane.
+    pub fn with_faults(mut self, plan: FaultPlan) -> LaneSpec {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// `w` faultless lanes with seeds derived from `base_seed` (lane `l`
+    /// gets `mix64(base ^ mix64(0x57ED ^ l))`) — the batch shape the
+    /// bench and soak harnesses start from.
+    pub fn batch(base_seed: u64, w: usize) -> Vec<LaneSpec> {
+        (0..w)
+            .map(|l| LaneSpec::new(mix64(base_seed ^ mix64(0x57ED ^ l as u64))))
+            .collect()
+    }
+}
+
+/// The wide kernel's session-resident buffers, embedded in
+/// [`SessionState`] so sequential and wide phases on one session share
+/// arenas, slabs, and the shard-plan cache. All-zero at rest (the same
+/// breadcrumb discipline as the sequential buffers); a failed run leaves
+/// them dirty and [`SessionState::scrub`] restores the invariant.
+#[derive(Default)]
+pub(crate) struct WideBuffers {
+    /// Per-arc inbox lane words (bit `l` = lane `l` has a message).
+    in_lane: Vec<u64>,
+    /// Per-arc staging lane words (swapped with `in_lane` at delivery).
+    out_lane: Vec<u64>,
+    /// Per-node lane words: bit `l` set means lane `l`'s node is *not*
+    /// done (the polarity makes the per-round all-done check one OR pass).
+    undone: Vec<u64>,
+    /// Per-shard gather/outbox scratch the per-(node, lane) contexts run
+    /// against: `max_deg` message words per direction per shard…
+    scratch_in: WordSlab,
+    scratch_out: WordSlab,
+    /// …plus `ceil(max_deg/64)` occupancy words per direction per shard.
+    scratch_occ: Vec<u64>,
+    /// Bit-sliced per-arc congestion planes, lane-word semantics: the
+    /// `PLANES` words of arc `a` count deliveries per *lane* (bit `l`),
+    /// where the sequential planes count per *arc* (bit `i`).
+    lane_planes: Vec<u64>,
+    /// Flush target: per-(arc, lane) delivery totals, `a * W + l`.
+    lane_traffic: Vec<u32>,
+    /// Per-lane per-edge congestion, lane-major: `l * m + e`.
+    per_edge: Vec<u64>,
+    /// Per-lane round traces (reused across runs; inner capacity sticks).
+    trace_bufs: Vec<Vec<u64>>,
+    /// Per-shard per-lane delivered counts for the round reduction,
+    /// stride [`MAX_LANES`].
+    shard_delivered: Vec<u64>,
+    /// Per-shard OR of its nodes' `undone` words.
+    shard_undone: Vec<u64>,
+}
+
+impl WideBuffers {
+    /// Full scrub after a failed run (round-limit error or a panic inside
+    /// a node program) — completed runs re-zero everything on the way out.
+    pub(crate) fn scrub(&mut self) {
+        self.in_lane.fill(0);
+        self.out_lane.fill(0);
+        self.undone.fill(0);
+        self.scratch_occ.fill(0);
+        self.lane_planes.fill(0);
+        self.lane_traffic.fill(0);
+        for t in &mut self.trace_bufs {
+            t.clear();
+        }
+        // `scratch_in`/`scratch_out` words and `per_edge` need no scrub:
+        // words are unreachable without occupancy bits, and `per_edge` is
+        // rebuilt from zero by every run's final fold.
+    }
+}
+
+/// Per-(node, lane) hot state — the wide analog of the sequential
+/// engine's node cell, one per lane within each node's block.
+struct WideCell<P> {
+    state: P,
+    rng: SmallRng,
+    done: bool,
+    max_bits: usize,
+}
+
+/// One completed wide run, borrowing the session's buffers: per-lane
+/// outputs (lane-major in the output arena), stats, traces, and per-edge
+/// congestion. The wide analog of [`crate::PhaseOutcome`].
+pub struct WideOutcome<'s, O> {
+    outputs: *mut O,
+    n: usize,
+    lanes: usize,
+    m: usize,
+    /// Bit `l` set = lane `l`'s outputs were moved out already.
+    taken: u64,
+    stats: [RunStats; MAX_LANES],
+    traces: Option<&'s [Vec<u64>]>,
+    per_edge: &'s [u64],
+    _borrow: std::marker::PhantomData<&'s mut O>,
+}
+
+impl<'s, O> WideOutcome<'s, O> {
+    /// Number of lanes this run executed.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Nodes per lane.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Lane `l`'s run statistics — bit-identical to the [`RunStats`] a
+    /// sequential run of that lane reports.
+    #[inline]
+    pub fn stats(&self, lane: usize) -> RunStats {
+        assert!(lane < self.lanes);
+        self.stats[lane]
+    }
+
+    /// Lane `l`'s per-node outputs, in the session arena.
+    #[inline]
+    pub fn outputs(&self, lane: usize) -> &[O] {
+        assert!(lane < self.lanes);
+        assert!(self.taken >> lane & 1 == 0, "lane {lane} outputs taken");
+        // Sound: the lane-major region was fully initialized by the run
+        // and not yet moved out (checked above).
+        unsafe { std::slice::from_raw_parts(self.outputs.add(lane * self.n), self.n) }
+    }
+
+    /// Lane `l`'s per-round trace, when the run collected traces.
+    #[inline]
+    pub fn trace(&self, lane: usize) -> Option<&'s [u64]> {
+        assert!(lane < self.lanes);
+        self.traces.map(|t| &t[lane][..])
+    }
+
+    /// Lane `l`'s per-edge congestion (indexed by edge id).
+    #[inline]
+    pub fn edge_congestion(&self, lane: usize) -> &'s [u64] {
+        assert!(lane < self.lanes);
+        &self.per_edge[lane * self.m..(lane + 1) * self.m]
+    }
+
+    /// Move lane `l`'s outputs out of the arena into an owned `Vec`.
+    pub fn take_lane_outputs(&mut self, lane: usize) -> Vec<O> {
+        assert!(lane < self.lanes);
+        assert!(self.taken >> lane & 1 == 0, "lane {lane} outputs taken");
+        let mut out = Vec::with_capacity(self.n);
+        // Sound: each lane region is moved out at most once (`taken`).
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.outputs.add(lane * self.n),
+                out.as_mut_ptr(),
+                self.n,
+            );
+            out.set_len(self.n);
+        }
+        self.taken |= 1 << lane;
+        out
+    }
+}
+
+impl<O> Drop for WideOutcome<'_, O> {
+    fn drop(&mut self) {
+        for lane in 0..self.lanes {
+            if self.taken >> lane & 1 == 1 {
+                continue;
+            }
+            for i in 0..self.n {
+                // Sound: initialized by the run, not yet moved out.
+                unsafe { std::ptr::drop_in_place(self.outputs.add(lane * self.n + i)) };
+            }
+        }
+    }
+}
+
+/// A graph-keyed wide-batch engine instance. Structurally a
+/// [`crate::Session`] (it owns the same [`SessionState`]), plus the lane
+/// buffers; repeated [`WideSession::run`] calls reuse everything grown by
+/// earlier runs (enforced by `tests/zero_alloc.rs`).
+pub struct WideSession<'g> {
+    graph: &'g Graph,
+    state: SessionState,
+}
+
+impl<'g> WideSession<'g> {
+    pub fn new(graph: &'g Graph) -> WideSession<'g> {
+        WideSession {
+            graph,
+            state: SessionState::new(graph),
+        }
+    }
+
+    /// The graph this session is keyed to.
+    #[inline]
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Run `lanes.len()` independent instances of `P` to termination in
+    /// one interleaved sweep. `factory(v, l, g)` builds lane `l`'s
+    /// protocol state for node `v`; lane `l`'s RNGs and faults come from
+    /// `lanes[l]`, so the run is bit-identical per lane to a sequential
+    /// [`crate::Session::run`] with
+    /// `EngineConfig { seed: lanes[l].seed, faults: lanes[l].faults, ..config }`.
+    ///
+    /// Of the shared `config`, wide honors `max_rounds`, `meter`,
+    /// `collect_trace`, `parallel`, and `shards`; `seed` and `faults` are
+    /// superseded by the per-lane specs, and `sparse_threshold` does not
+    /// apply (the lane-word sweep has no separate sparse path — idleness
+    /// is skipped per (node, lane) instead). If `max_rounds` elapses while
+    /// *any* lane is still active the whole run fails, exactly as that
+    /// lane's sequential run would.
+    pub fn run<'s, P, F>(
+        &'s mut self,
+        lanes: &[LaneSpec],
+        factory: F,
+        config: EngineConfig,
+    ) -> Result<WideOutcome<'s, P::Output>, EngineError>
+    where
+        P: Protocol,
+        F: FnMut(Node, usize, &Graph) -> P,
+    {
+        self.state.run_wide(self.graph, lanes, factory, config)
+    }
+}
+
+impl SessionState {
+    /// The wide round loop. Lives on [`SessionState`] so it can share the
+    /// sequential session's slabs, arenas, shard-plan cache, and fault
+    /// scratch; [`WideSession::run`] is the public face.
+    pub(crate) fn run_wide<'s, P, F>(
+        &'s mut self,
+        graph: &Graph,
+        lanes: &[LaneSpec],
+        mut factory: F,
+        config: EngineConfig,
+    ) -> Result<WideOutcome<'s, P::Output>, EngineError>
+    where
+        P: Protocol,
+        F: FnMut(Node, usize, &Graph) -> P,
+    {
+        let w = lanes.len();
+        assert!(
+            (1..=MAX_LANES).contains(&w),
+            "a wide run takes 1..={MAX_LANES} lanes, got {w}"
+        );
+        debug_assert!(
+            P::Msg::WIDTH <= <<P::Msg as PackedMsg>::Word as MsgWord>::BITS,
+            "message WIDTH exceeds its storage word"
+        );
+        if !self.clean {
+            self.scrub();
+        }
+        self.clean = false;
+
+        let n = graph.n();
+        let arcs = graph.num_arcs();
+        let m = graph.m();
+        let use_planes = config.meter == MeterMode::BitPlanes;
+
+        // --- Shard plan (same derivation and cache as the sequential
+        // round loop, so alternating sequential/wide phases share it).
+        let parallel = config.parallel && n >= PARALLEL_MIN_NODES && congest_par::num_threads() > 1;
+        let s_req = config
+            .shards
+            .unwrap_or(if parallel {
+                (congest_par::num_threads() * 4).min(MAX_AUTO_SHARDS)
+            } else {
+                1
+            })
+            .clamp(1, n.max(1));
+        if self.plan.as_ref().map(|(k, _)| *k) != Some(s_req) {
+            self.plan = Some((s_req, graph.shard_plan(s_req)));
+        }
+        let max_budget = lanes
+            .iter()
+            .filter_map(|l| l.faults.as_ref())
+            .map(|fp| fp.edges_per_round)
+            .max()
+            .unwrap_or(0);
+        self.blocked.reserve(max_budget);
+
+        // --- Split the state into independently borrowed buffers.
+        let SessionState {
+            slab_a,
+            slab_b,
+            blocked,
+            fault_marks,
+            plan,
+            cell_arena,
+            out_arena,
+            wide,
+            clean,
+            ..
+        } = self;
+        let WideBuffers {
+            in_lane,
+            out_lane,
+            undone,
+            scratch_in,
+            scratch_out,
+            scratch_occ,
+            lane_planes,
+            lane_traffic,
+            per_edge,
+            trace_bufs,
+            shard_delivered,
+            shard_undone,
+        } = wide;
+        let plan = &plan.as_ref().expect("plan built above").1;
+        let s_count = plan.num_shards();
+        let max_deg = plan.max_degree();
+        // Scratch occupancy words per direction per shard.
+        let sow = max_deg.div_ceil(64);
+
+        // --- Size the lane buffers (grow-only where the rest state is
+        // zero either way; exact-size where indexing depends on it).
+        in_lane.resize(arcs, 0);
+        out_lane.resize(arcs, 0);
+        if undone.len() < n {
+            undone.resize(n, 0);
+        }
+        lane_traffic.resize(arcs * w, 0);
+        if use_planes && lane_planes.len() < arcs * slab::PLANES {
+            lane_planes.resize(arcs * slab::PLANES, 0);
+        }
+        if scratch_occ.len() < s_count * 2 * sow {
+            scratch_occ.resize(s_count * 2 * sow, 0);
+        }
+        shard_delivered.resize(s_count * MAX_LANES, 0);
+        shard_undone.resize(s_count, 0);
+        while trace_bufs.len() < w {
+            trace_bufs.push(Vec::new());
+        }
+        for t in trace_bufs.iter_mut().take(w) {
+            t.clear();
+        }
+
+        // --- Instance-major message slabs: lane l's word for arc a at
+        // `a * w + l` (byte-capacity keyed, shared with sequential runs).
+        let mut in_words: &mut [<P::Msg as PackedMsg>::Word] = slab_a.view(arcs * w);
+        let mut out_words: &mut [<P::Msg as PackedMsg>::Word] = slab_b.view(arcs * w);
+        let sw_in: &mut [<P::Msg as PackedMsg>::Word] = scratch_in.view(s_count * max_deg);
+        let sw_out: &mut [<P::Msg as PackedMsg>::Word] = scratch_out.view(s_count * max_deg);
+
+        // --- Node cells, node-major blocks of w lanes.
+        let cells_ptr: *mut WideCell<P> = cell_arena.alloc(n * w);
+        for v in 0..n {
+            for (l, spec) in lanes.iter().enumerate() {
+                // Sound: slot is in-bounds; a panic in `factory` leaks
+                // only the written prefix (dirty flag covers the scrub).
+                unsafe {
+                    cells_ptr.add(v * w + l).write(WideCell {
+                        state: factory(v as Node, l, graph),
+                        rng: node_rng(spec.seed, v as Node),
+                        done: false,
+                        max_bits: 0,
+                    });
+                }
+            }
+        }
+        // Sound: all n*w cells initialized above.
+        let cells: &mut [WideCell<P>] = unsafe { std::slice::from_raw_parts_mut(cells_ptr, n * w) };
+        let drop_cells = |ptr: *mut WideCell<P>| {
+            for i in 0..n * w {
+                unsafe { std::ptr::drop_in_place(ptr.add(i)) };
+            }
+        };
+
+        let lanes_mask: u64 = if w == 64 { !0 } else { (1u64 << w) - 1 };
+        let mut active = lanes_mask;
+        undone[..n].fill(lanes_mask);
+
+        let mut stats = [RunStats::default(); MAX_LANES];
+        let mut round: u64 = 0;
+        let mut rounds_since_flush: u64 = 0;
+        loop {
+            if round >= config.max_rounds {
+                drop_cells(cells_ptr);
+                return Err(EngineError::RoundLimitExceeded {
+                    limit: config.max_rounds,
+                });
+            }
+            // --- Step phase: each shard steps the active lanes of its own
+            // nodes. One OR pass over the node's in-arc lane words serves
+            // all W lanes' liveness at once; QUIESCENT protocols then step
+            // only lanes with traffic or not-done nodes. Each node's
+            // in-arc lane words are consumed and zeroed here, so after the
+            // swap the staging side starts clean without any extra pass.
+            {
+                let racy_cells = RacyCells::new(&mut *cells);
+                let racy_out_words = RacyCells::new(&mut *out_words);
+                let racy_out_lane = RacyCells::new(&mut out_lane[..arcs]);
+                let racy_in_lane = RacyCells::new(&mut in_lane[..arcs]);
+                let racy_undone = RacyCells::new(&mut undone[..n]);
+                let racy_sw_in = RacyCells::new(&mut *sw_in);
+                let racy_sw_out = RacyCells::new(&mut *sw_out);
+                let racy_socc = RacyCells::new(&mut scratch_occ[..s_count * 2 * sow]);
+                let racy_sh_undone = RacyCells::new(&mut shard_undone[..s_count]);
+                let in_words = &in_words[..];
+                let rev = graph.reverse_arcs();
+                let step_shard = |s: usize| {
+                    let nodes = plan.nodes(s);
+                    let (v_lo, v_hi) = (nodes.start as usize, nodes.end as usize);
+                    // Sound: shard s owns its nodes' cells and undone
+                    // words, its scratch regions, and — through the
+                    // reverse-arc bijection — every staging slot its
+                    // nodes scatter into (each arc has one sender).
+                    let gw = unsafe { racy_sw_in.slice_mut(s * max_deg, (s + 1) * max_deg) };
+                    let ow = unsafe { racy_sw_out.slice_mut(s * max_deg, (s + 1) * max_deg) };
+                    let gocc = unsafe { racy_socc.slice_mut(s * 2 * sow, s * 2 * sow + sow) };
+                    let oocc = unsafe { racy_socc.slice_mut(s * 2 * sow + sow, (s + 1) * 2 * sow) };
+                    let mut sh_undone = 0u64;
+                    for v in v_lo..v_hi {
+                        let lo = graph.arc_offset(v as Node);
+                        let deg = graph.degree(v as Node);
+                        let dw = deg.div_ceil(64);
+                        // Shared liveness: which lanes have inbox traffic
+                        // at this node — one word OR over deg arcs for all
+                        // W lanes at once.
+                        let mut inbox_lanes = 0u64;
+                        for a in lo..lo + deg {
+                            inbox_lanes |= unsafe { racy_in_lane.read(a) };
+                        }
+                        let undone_v = unsafe { racy_undone.read(v) };
+                        let step_lanes = if P::QUIESCENT {
+                            (inbox_lanes | undone_v) & active
+                        } else {
+                            active
+                        };
+                        // Skipped lanes keep their done state (QUIESCENT
+                        // promises their round() is a no-op); stepped
+                        // lanes rewrite their bit below.
+                        let mut new_undone = undone_v & !step_lanes;
+                        let cells_v = unsafe { racy_cells.slice_mut(v * w, (v + 1) * w) };
+                        let mut b = step_lanes;
+                        while b != 0 {
+                            let l = b.trailing_zeros() as usize;
+                            b &= b - 1;
+                            // Gather lane l's inbox: occupancy bits from
+                            // the lane words, payload words from the
+                            // instance-major slab. (`gocc` is all-zero on
+                            // entry and re-zeroed after the step, keeping
+                            // the scratch at rest zero-filled.)
+                            for p in 0..deg {
+                                if unsafe { racy_in_lane.read(lo + p) } >> l & 1 == 1 {
+                                    gocc[p >> 6] |= 1u64 << (p & 63);
+                                    gw[p] = in_words[(lo + p) * w + l];
+                                }
+                            }
+                            let cell = &mut cells_v[l];
+                            {
+                                let mut ctx = NodeCtx {
+                                    node: v as Node,
+                                    round,
+                                    inbox: InSlot {
+                                        words: &gw[..deg],
+                                        occ: &gocc[..dw],
+                                        bit0: 0,
+                                        bcast: None,
+                                    },
+                                    outbox: OutSlot::Local {
+                                        words: &mut ow[..deg],
+                                        occ: &mut oocc[..dw],
+                                        graph,
+                                    },
+                                    bcast_staged: false,
+                                    rng: &mut cell.rng,
+                                    done: &mut cell.done,
+                                    max_bits: &mut cell.max_bits,
+                                };
+                                cell.state.round(&mut ctx);
+                            }
+                            if !cell.done {
+                                new_undone |= 1u64 << l;
+                            }
+                            gocc[..dw].fill(0);
+                            // Scatter lane l's sends through the
+                            // reverse-arc permutation, consuming (and
+                            // zeroing) the outbox scratch as we go.
+                            for (wd, occ_word) in oocc[..dw].iter_mut().enumerate() {
+                                let mut bits = *occ_word;
+                                *occ_word = 0;
+                                while bits != 0 {
+                                    let p = (wd << 6) + bits.trailing_zeros() as usize;
+                                    bits &= bits - 1;
+                                    let dest = rev[lo + p] as usize;
+                                    unsafe {
+                                        let cur = racy_out_lane.read(dest);
+                                        racy_out_lane.write(dest, cur | 1u64 << l);
+                                        racy_out_words.write(dest * w + l, ow[p]);
+                                    }
+                                }
+                            }
+                        }
+                        // Consume this node's inbox lane words (the only
+                        // reader was this step), leaving the future
+                        // staging side zero.
+                        for a in lo..lo + deg {
+                            unsafe { racy_in_lane.write(a, 0) };
+                        }
+                        unsafe { racy_undone.write(v, new_undone) };
+                        sh_undone |= new_undone;
+                    }
+                    unsafe { racy_sh_undone.write(s, sh_undone) };
+                };
+                if parallel {
+                    congest_par::run(s_count, step_shard);
+                } else {
+                    for s in 0..s_count {
+                        step_shard(s);
+                    }
+                }
+            }
+            // --- Adversary phase: each faulted lane's plan clears its own
+            // bit of the blocked arcs' staging lane words.
+            let mut fl = active;
+            while fl != 0 {
+                let l = fl.trailing_zeros() as usize;
+                fl &= fl - 1;
+                let Some(fault_plan) = &lanes[l].faults else {
+                    continue;
+                };
+                if fault_plan.edges_per_round == 0 {
+                    continue;
+                }
+                fault_plan.blocked_edges_into_marked(round, m, blocked, fault_marks);
+                for &e in blocked.iter() {
+                    let (u, v) = graph.endpoints(e);
+                    for (from, to) in [(u, v), (v, u)] {
+                        let port = graph
+                            .port_to(to, from)
+                            .expect("edge endpoints are adjacent");
+                        let dest = graph.arc_offset(to) + port as usize;
+                        if out_lane[dest] >> l & 1 == 1 {
+                            out_lane[dest] &= !(1u64 << l);
+                            stats[l].dropped_messages += 1;
+                        }
+                    }
+                }
+            }
+            // --- Deliver phase: swap staging to inbox, then one sharded
+            // scan over the lane words — per-arc liveness is a single
+            // word test for all W lanes, and bit-plane metering is one
+            // ripple-carry add with lane-bit semantics.
+            std::mem::swap(&mut in_words, &mut out_words);
+            std::mem::swap(in_lane, out_lane);
+            let flush_now = use_planes && rounds_since_flush + 1 == slab::FLUSH_PERIOD;
+            {
+                let racy_in_lane = RacyCells::new(&mut in_lane[..arcs]);
+                let racy_planes = RacyCells::new(&mut lane_planes[..]);
+                let racy_traffic = RacyCells::new(&mut lane_traffic[..arcs * w]);
+                let racy_sd = RacyCells::new(&mut shard_delivered[..s_count * MAX_LANES]);
+                let meter_mode = config.meter;
+                let deliver_shard = |s: usize| {
+                    // Sound: shard arc regions are disjoint by plan
+                    // construction; the per-shard delivered block is ours.
+                    let sd = unsafe { racy_sd.slice_mut(s * MAX_LANES, (s + 1) * MAX_LANES) };
+                    sd.fill(0);
+                    for a in plan.arcs_of(s) {
+                        let bits = unsafe { racy_in_lane.read(a) };
+                        if bits != 0 {
+                            match meter_mode {
+                                MeterMode::BitPlanes => {
+                                    let planes_a = unsafe {
+                                        racy_planes
+                                            .slice_mut(a * slab::PLANES, (a + 1) * slab::PLANES)
+                                    };
+                                    slab::planes_add(planes_a, bits);
+                                    let mut b = bits;
+                                    while b != 0 {
+                                        let l = b.trailing_zeros() as usize;
+                                        b &= b - 1;
+                                        sd[l] += 1;
+                                    }
+                                }
+                                MeterMode::ArcCounters => {
+                                    let traffic_a =
+                                        unsafe { racy_traffic.slice_mut(a * w, (a + 1) * w) };
+                                    let mut b = bits;
+                                    while b != 0 {
+                                        let l = b.trailing_zeros() as usize;
+                                        b &= b - 1;
+                                        sd[l] += 1;
+                                        traffic_a[l] = traffic_a[l].saturating_add(1);
+                                    }
+                                }
+                            }
+                        }
+                        // Flush cadence is traffic-independent: the
+                        // planes may hold counts from earlier rounds.
+                        if flush_now {
+                            let planes_a = unsafe {
+                                racy_planes.slice_mut(a * slab::PLANES, (a + 1) * slab::PLANES)
+                            };
+                            let traffic_a = unsafe { racy_traffic.slice_mut(a * w, (a + 1) * w) };
+                            slab::planes_flush(planes_a, traffic_a);
+                        }
+                    }
+                };
+                if parallel {
+                    congest_par::run(s_count, deliver_shard);
+                } else {
+                    for s in 0..s_count {
+                        deliver_shard(s);
+                    }
+                }
+            }
+            rounds_since_flush = if flush_now { 0 } else { rounds_since_flush + 1 };
+            // --- Per-lane reduction and termination, mirroring the
+            // sequential loop's bookkeeping lane by lane.
+            let mut undone_any = 0u64;
+            for &sh in shard_undone[..s_count].iter() {
+                undone_any |= sh;
+            }
+            round += 1;
+            let mut b = active;
+            while b != 0 {
+                let l = b.trailing_zeros() as usize;
+                b &= b - 1;
+                let mut delivered = 0u64;
+                for s in 0..s_count {
+                    delivered += shard_delivered[s * MAX_LANES + l];
+                }
+                stats[l].total_messages += delivered;
+                if config.collect_trace {
+                    trace_bufs[l].push(delivered);
+                }
+                if delivered > 0 {
+                    stats[l].rounds = round;
+                }
+                if delivered == 0 && undone_any >> l & 1 == 0 {
+                    stats[l].iterations = round;
+                    active &= !(1u64 << l);
+                    trace_bufs[l].truncate(stats[l].rounds as usize);
+                }
+            }
+            if active == 0 {
+                break;
+            }
+        }
+
+        // --- Post-run folds, per lane: max message bits, the final plane
+        // flush, and the per-edge congestion fold (draining the lane
+        // traffic counters back to zero — the breadcrumb exit contract).
+        for (l, st) in stats.iter_mut().enumerate().take(w) {
+            st.max_message_bits = (0..n).map(|v| cells[v * w + l].max_bits).max().unwrap_or(0);
+        }
+        if use_planes && rounds_since_flush > 0 {
+            for a in 0..arcs {
+                slab::planes_flush(
+                    &mut lane_planes[a * slab::PLANES..(a + 1) * slab::PLANES],
+                    &mut lane_traffic[a * w..(a + 1) * w],
+                );
+            }
+        }
+        per_edge.resize(w * m, 0);
+        per_edge[..w * m].fill(0);
+        for v in 0..n as Node {
+            let lo = graph.arc_offset(v);
+            for (i, &e) in graph.incident_edges(v).iter().enumerate() {
+                let a = lo + i;
+                for (l, t) in lane_traffic[a * w..(a + 1) * w].iter_mut().enumerate() {
+                    let t = std::mem::take(t) as u64;
+                    if t != 0 {
+                        per_edge[l * m + e as usize] += t;
+                    }
+                }
+            }
+        }
+        for (l, st) in stats.iter_mut().enumerate().take(w) {
+            st.max_edge_congestion = per_edge[l * m..(l + 1) * m]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0);
+        }
+
+        // --- Consume the cells into lane-major arena outputs.
+        let out_ptr: *mut P::Output = out_arena.alloc(n * w);
+        for v in 0..n {
+            for l in 0..w {
+                // Sound: each cell is moved out exactly once; a panic in
+                // `finish` leaks the tail, which the dirty flag covers.
+                unsafe {
+                    let cell = cells_ptr.add(v * w + l).read();
+                    out_ptr.add(l * n + v).write(cell.state.finish());
+                }
+            }
+        }
+
+        *clean = true;
+        let traces: Option<&'s [Vec<u64>]> = config.collect_trace.then_some(&trace_bufs[..w]);
+        Ok(WideOutcome {
+            outputs: out_ptr,
+            n,
+            lanes: w,
+            m,
+            taken: 0,
+            stats,
+            traces,
+            per_edge: &per_edge[..w * m],
+            _borrow: std::marker::PhantomData,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::session::Session;
+    use congest_graph::generators::{cycle, harary};
+
+    /// Flood-max: every node converges on the maximum node id. Quiescent:
+    /// once done with an empty inbox, round() reads nothing and sends
+    /// nothing.
+    struct FloodMax {
+        best: Node,
+    }
+
+    impl Protocol for FloodMax {
+        type Msg = u32;
+        type Output = Node;
+        const QUIESCENT: bool = true;
+
+        fn round(&mut self, ctx: &mut NodeCtx<'_, u32>) {
+            if ctx.round == 0 {
+                ctx.send_all(self.best);
+                return;
+            }
+            let prior = self.best;
+            self.best = ctx.inbox().fold(self.best, |b, (_, m)| b.max(m));
+            if self.best > prior {
+                ctx.send_all(self.best);
+            }
+            ctx.set_done(true);
+        }
+
+        fn finish(self) -> Node {
+            self.best
+        }
+    }
+
+    /// Sends a pulse to every neighbor for `remaining` rounds, then goes
+    /// quiet — used to stagger lane termination times.
+    struct Pulser {
+        remaining: u64,
+    }
+
+    impl Protocol for Pulser {
+        type Msg = u64;
+        type Output = u64;
+        const QUIESCENT: bool = true;
+
+        fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send_all(self.remaining);
+            }
+            ctx.set_done(self.remaining == 0);
+        }
+
+        fn finish(self) -> u64 {
+            self.remaining
+        }
+    }
+
+    fn check_lane_oracle<P, F>(g: &Graph, lanes: &[LaneSpec], mut factory: F, config: EngineConfig)
+    where
+        P: Protocol,
+        P::Output: PartialEq + std::fmt::Debug + Clone,
+        F: FnMut(Node, usize, &Graph) -> P + Copy,
+    {
+        let mut wide = WideSession::new(g);
+        let out = wide
+            .run(lanes, factory, config.clone())
+            .expect("wide run terminates");
+        for (l, spec) in lanes.iter().enumerate() {
+            let seq_cfg = EngineConfig {
+                seed: spec.seed,
+                faults: spec.faults.clone(),
+                ..config.clone()
+            };
+            let mut sess = Session::new(g);
+            let seq = sess
+                .run(|v, gr| factory(v, l, gr), seq_cfg)
+                .expect("sequential lane terminates");
+            assert_eq!(out.stats(l), seq.stats, "lane {l} stats");
+            assert_eq!(out.outputs(l), seq.outputs(), "lane {l} outputs");
+            assert_eq!(out.trace(l), seq.trace(), "lane {l} trace");
+            assert_eq!(
+                out.edge_congestion(l),
+                seq.edge_congestion(),
+                "lane {l} edge congestion"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_floodmax_matches_sequential_lanes() {
+        let g = harary(4, 20);
+        let lanes = LaneSpec::batch(7, 5);
+        let config = EngineConfig::with_seed(0).trace();
+        check_lane_oracle(&g, &lanes, |_, _, _| FloodMax { best: 0 }, config.clone());
+        // Lane-distinct initial states: lane l floods id max over v+l.
+        check_lane_oracle(
+            &g,
+            &lanes,
+            |v, l, _| FloodMax {
+                best: v + l as Node,
+            },
+            config,
+        );
+    }
+
+    #[test]
+    fn wide_faulted_lanes_match_sequential() {
+        let g = harary(4, 16);
+        let base = FaultPlan::new(2, 99);
+        let lanes: Vec<LaneSpec> = (0..6)
+            .map(|l| LaneSpec::new(l as u64 + 1).with_faults(base.with_lane_seed(l)))
+            .collect();
+        let config = EngineConfig::with_seed(0).trace();
+        check_lane_oracle(
+            &g,
+            &lanes,
+            |v, l, _| Pulser {
+                remaining: (v as u64 + l as u64) % 5 + 1,
+            },
+            config,
+        );
+    }
+
+    #[test]
+    fn staggered_termination_leaves_lane_state_zero() {
+        // Lanes terminate at very different rounds; after the run, every
+        // lane's slab regions must be back to all-zero (the breadcrumb
+        // exit contract the next phase relies on), and a rerun on the
+        // same session must reproduce the first run exactly.
+        let g = cycle(12);
+        let lanes: Vec<LaneSpec> = (0..9).map(|l| LaneSpec::new(l as u64)).collect();
+        let factory = |_: Node, l: usize, _: &Graph| Pulser {
+            remaining: 3 * l as u64 + 1,
+        };
+        let mut wide = WideSession::new(&g);
+        let first: Vec<RunStats> = {
+            let out = wide
+                .run(&lanes, factory, EngineConfig::with_seed(3))
+                .unwrap();
+            (0..lanes.len()).map(|l| out.stats(l)).collect()
+        };
+        assert!(wide.state.wide.in_lane.iter().all(|&x| x == 0));
+        assert!(wide.state.wide.out_lane.iter().all(|&x| x == 0));
+        assert!(wide.state.wide.scratch_occ.iter().all(|&x| x == 0));
+        assert!(wide.state.wide.lane_traffic.iter().all(|&x| x == 0));
+        assert!(wide.state.wide.lane_planes.iter().all(|&x| x == 0));
+        let out = wide
+            .run(&lanes, factory, EngineConfig::with_seed(3))
+            .unwrap();
+        for (l, st) in first.iter().enumerate() {
+            assert_eq!(out.stats(l), *st, "rerun reproduces lane {l}");
+        }
+        // Staggering is real: later lanes pulse longer.
+        assert!(first[8].rounds > first[0].rounds);
+    }
+
+    #[test]
+    fn take_lane_outputs_moves_each_lane_once() {
+        let g = cycle(6);
+        let lanes = LaneSpec::batch(1, 3);
+        let mut wide = WideSession::new(&g);
+        let mut out = wide
+            .run(
+                &lanes,
+                |_, _, _| FloodMax { best: 1 },
+                EngineConfig::with_seed(0),
+            )
+            .unwrap();
+        let lane1 = out.take_lane_outputs(1);
+        assert_eq!(lane1, vec![1; 6]);
+        assert_eq!(out.outputs(0), &[1; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outputs taken")]
+    fn outputs_after_take_panics() {
+        let g = cycle(4);
+        let lanes = LaneSpec::batch(1, 2);
+        let mut wide = WideSession::new(&g);
+        let mut out = wide
+            .run(
+                &lanes,
+                |_, _, _| FloodMax { best: 1 },
+                EngineConfig::with_seed(0),
+            )
+            .unwrap();
+        let _ = out.take_lane_outputs(0);
+        let _ = out.outputs(0);
+    }
+
+    /// A protocol that *may not* be skipped: it counts its own round()
+    /// invocations — QUIESCENT = false keeps wide stepping it every
+    /// round like the sequential engine does.
+    struct Counter {
+        calls: u64,
+        quit_after: u64,
+    }
+
+    impl Protocol for Counter {
+        type Msg = u64;
+        type Output = u64;
+
+        fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+            self.calls += 1;
+            if ctx.round == 0 {
+                ctx.send(0, 1);
+            }
+            ctx.set_done(self.calls >= self.quit_after);
+        }
+
+        fn finish(self) -> u64 {
+            self.calls
+        }
+    }
+
+    #[test]
+    fn non_quiescent_lanes_step_every_round() {
+        let g = cycle(8);
+        let lanes = LaneSpec::batch(2, 4);
+        let config = EngineConfig::with_seed(0);
+        check_lane_oracle(
+            &g,
+            &lanes,
+            |_, l, _| Counter {
+                calls: 0,
+                quit_after: l as u64 + 2,
+            },
+            config,
+        );
+    }
+
+    /// `send` on one port per round with `(u64, u64)` pair messages
+    /// (u128 wire words) — exercises the wide slab's byte-keyed width
+    /// handling beyond u64.
+    struct RingPass {
+        acc: u64,
+        hops: u64,
+    }
+
+    impl Protocol for RingPass {
+        type Msg = (u64, u64);
+        type Output = u64;
+        const QUIESCENT: bool = true;
+
+        fn round(&mut self, ctx: &mut NodeCtx<'_, (u64, u64)>) {
+            if ctx.round == 0 {
+                ctx.send(0, (ctx.node as u64, 1));
+                ctx.set_done(true);
+                return;
+            }
+            let mut relay = None;
+            for (_, (origin, hop)) in ctx.inbox() {
+                self.acc ^= origin.rotate_left(hop as u32);
+                if hop < self.hops {
+                    relay = Some((origin, hop + 1));
+                }
+            }
+            if let Some(msg) = relay {
+                ctx.send(0, msg);
+            }
+            ctx.set_done(true);
+        }
+
+        fn finish(self) -> u64 {
+            self.acc
+        }
+    }
+
+    #[test]
+    fn wide_u128_messages_match_sequential() {
+        let g = cycle(10);
+        let lanes = LaneSpec::batch(11, 5);
+        check_lane_oracle(
+            &g,
+            &lanes,
+            |_, l, _| RingPass {
+                acc: 0,
+                hops: l as u64 + 2,
+            },
+            EngineConfig::with_seed(0).trace(),
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! The wide-batch differential harness: a W-lane [`WideSession`] run must
+//! be **bit-identical, lane by lane, to W sequential [`Session`] runs** —
+//! outputs, [`RunStats`], round traces, and per-edge congestion meters —
+//! sweeping shard counts × meter modes × per-lane fault plans × pool
+//! widths, with the sequential arm's sparse fast path forced both ways
+//! (the wide kernel has no sparse path, so equivalence across both
+//! sequential modes proves it sits in the same result class).
+//!
+//! Lane `l` of the wide run corresponds to the sequential config
+//! `EngineConfig { seed: lanes[l].seed, faults: lanes[l].faults, ..shared }`,
+//! which is the contract drivers rely on to batch seed sweeps without
+//! changing one bit of any result.
+
+use congest_graph::{Graph, GraphBuilder};
+use congest_sim::{
+    EngineConfig, FaultPlan, LaneSpec, MeterMode, NodeCtx, Protocol, Session, WideSession,
+};
+use proptest::prelude::*;
+
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mix = |mut z: u64| {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        };
+        let mut b = GraphBuilder::new(n);
+        let mut edges = std::collections::BTreeSet::new();
+        for v in 1..n as u32 {
+            let u = (mix(seed ^ v as u64) % v as u64) as u32;
+            edges.insert((u, v));
+        }
+        for i in 0..2 * n as u64 {
+            let u = (mix(seed ^ (i << 20)) % n as u64) as u32;
+            let v = (mix(seed ^ (i << 21) ^ 7) % n as u64) as u32;
+            if u != v {
+                edges.insert((u.min(v), u.max(v)));
+            }
+        }
+        for (u, v) in edges {
+            b.push_edge(u, v);
+        }
+        b.build().unwrap()
+    })
+}
+
+/// Random mix of `send_all`, per-port `send`, and silence over `u64`
+/// messages — the engine-oracle workload. NOT quiescent: it draws from
+/// the node RNG every round, so the wide kernel must step it every round
+/// exactly like the sequential engine does.
+struct Chatter {
+    rounds: u64,
+    salt: u64,
+    heard: u64,
+}
+
+impl Protocol for Chatter {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        self.heard = ctx.inbox().fold(self.heard, |a, (p, m)| {
+            a.wrapping_mul(17).wrapping_add(m ^ p as u64)
+        });
+        if ctx.round < self.rounds {
+            use rand::Rng;
+            let a = ctx.rng().gen_range(0..8u32);
+            let m: u64 = ctx.rng().gen();
+            if a == 0 {
+                ctx.send_all(m ^ self.salt);
+            } else if a < 5 {
+                for p in 0..ctx.degree().min(64) as u32 {
+                    if m >> p & 1 == 1 {
+                        ctx.send(p, m.wrapping_add(self.salt ^ p as u64));
+                    }
+                }
+            }
+        }
+        ctx.set_done(ctx.round >= self.rounds);
+    }
+    fn finish(self) -> u64 {
+        self.heard
+    }
+}
+
+/// Quiescent flood-max gossip: converges on the max token, then goes
+/// silent — once done with an empty inbox, `round` reads nothing, sends
+/// nothing, and touches no state, so wide may skip the call entirely.
+struct Gossip {
+    token: u64,
+}
+
+impl Protocol for Gossip {
+    type Msg = u64;
+    type Output = u64;
+    const QUIESCENT: bool = true;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        if ctx.round == 0 {
+            ctx.send_all(self.token);
+            return;
+        }
+        let prior = self.token;
+        self.token = ctx.inbox().fold(self.token, |b, (_, m)| b.max(m));
+        if self.token > prior {
+            ctx.send_all(self.token);
+        }
+        ctx.set_done(true);
+    }
+    fn finish(self) -> u64 {
+        self.token
+    }
+}
+
+/// Pair-message phase (`(u32, u64)` → u128 wire words): exercises the
+/// wide slab's byte-keyed width handling past u64.
+struct PairChatter {
+    rounds: u64,
+    heard: u64,
+}
+
+impl Protocol for PairChatter {
+    type Msg = (u32, u64);
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, (u32, u64)>) {
+        self.heard = ctx.inbox().fold(self.heard, |a, (_, (id, p))| {
+            a.wrapping_mul(31).wrapping_add(id as u64 ^ p)
+        });
+        if ctx.round < self.rounds {
+            ctx.send_all((ctx.node, self.heard | 1));
+        } else {
+            ctx.set_done(true);
+        }
+    }
+    fn finish(self) -> u64 {
+        self.heard
+    }
+}
+
+/// One lane's complete observable footprint.
+#[derive(Debug, PartialEq)]
+struct LaneObs {
+    outputs: Vec<u64>,
+    stats: congest_sim::RunStats,
+    trace: Option<Vec<u64>>,
+    edge_congestion: Vec<u64>,
+}
+
+/// Wide arm: run all lanes at once on a fresh [`WideSession`].
+fn wide_obs<P, F>(g: &Graph, lanes: &[LaneSpec], factory: F, config: EngineConfig) -> Vec<LaneObs>
+where
+    P: Protocol<Output = u64>,
+    F: FnMut(congest_graph::Node, usize, &Graph) -> P,
+{
+    let mut session = WideSession::new(g);
+    let mut out = session
+        .run(lanes, factory, config)
+        .expect("wide terminates");
+    (0..lanes.len())
+        .map(|l| LaneObs {
+            stats: out.stats(l),
+            trace: out.trace(l).map(<[u64]>::to_vec),
+            edge_congestion: out.edge_congestion(l).to_vec(),
+            outputs: out.take_lane_outputs(l),
+        })
+        .collect()
+}
+
+/// Sequential arm: run each lane alone on a fresh [`Session`] under the
+/// lane's derived config.
+fn seq_obs<P, F>(
+    g: &Graph,
+    lanes: &[LaneSpec],
+    mut factory: F,
+    config: EngineConfig,
+) -> Vec<LaneObs>
+where
+    P: Protocol<Output = u64>,
+    F: FnMut(congest_graph::Node, usize, &Graph) -> P,
+{
+    lanes
+        .iter()
+        .enumerate()
+        .map(|(l, spec)| {
+            let cfg = EngineConfig {
+                seed: spec.seed,
+                faults: spec.faults.clone(),
+                ..config.clone()
+            };
+            let mut session = Session::new(g);
+            let out = session
+                .run(|v, gr| factory(v, l, gr), cfg)
+                .expect("sequential lane terminates");
+            LaneObs {
+                stats: out.stats,
+                trace: out.trace().map(<[u64]>::to_vec),
+                edge_congestion: out.edge_congestion().to_vec(),
+                outputs: out.take_outputs(),
+            }
+        })
+        .collect()
+}
+
+/// Mixed batch: lane seeds derived from `seed`, even lanes under the
+/// lane-derived fault plan, odd lanes faultless.
+fn mixed_lanes(seed: u64, w: usize, fault_budget: usize, fseed: u64) -> Vec<LaneSpec> {
+    let base = FaultPlan::new(fault_budget, fseed);
+    LaneSpec::batch(seed, w)
+        .into_iter()
+        .enumerate()
+        .map(|(l, spec)| {
+            if l % 2 == 0 && fault_budget > 0 {
+                spec.with_faults(base.with_lane_seed(l))
+            } else {
+                spec
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Non-quiescent RNG-driven chatter: wide ≡ sequential per lane,
+    /// across shard counts × meter modes × faulted lanes, with the
+    /// sequential arm's sparse fast path forced both off and on.
+    #[test]
+    fn wide_chatter_matches_sequential(
+        g in arb_connected_graph(20),
+        seed in any::<u64>(),
+        w in 1usize..7,
+        fault_budget in 0usize..3,
+        fseed in any::<u64>(),
+    ) {
+        let lanes = mixed_lanes(seed, w, fault_budget, fseed);
+        let mk = |_: u32, l: usize, _: &Graph| Chatter { rounds: 6, salt: l as u64 + 1, heard: 0 };
+        for &shards in &[1usize, 5] {
+            for &meter in &[MeterMode::BitPlanes, MeterMode::ArcCounters] {
+                let config = EngineConfig::serial().shards(shards).meter(meter).trace();
+                let wide = wide_obs(&g, &lanes, mk, config.clone());
+                for &st in &[0usize, usize::MAX] {
+                    let seq = seq_obs(&g, &lanes, mk, config.clone().sparse_threshold(st));
+                    prop_assert_eq!(
+                        &wide, &seq,
+                        "shards={} meter={:?} sparse_threshold={}", shards, meter, st
+                    );
+                }
+            }
+        }
+    }
+
+    /// Quiescent gossip: the wide kernel skips done-and-silent (node,
+    /// lane) pairs; results still match the sequential engine, which
+    /// steps every node every round.
+    #[test]
+    fn wide_quiescent_gossip_matches_sequential(
+        g in arb_connected_graph(24),
+        seed in any::<u64>(),
+        w in 1usize..9,
+        fault_budget in 0usize..2,
+    ) {
+        let lanes = mixed_lanes(seed, w, fault_budget, seed ^ 0xF00D);
+        let mk = |v: u32, l: usize, _: &Graph| Gossip {
+            token: (v as u64).wrapping_mul(0x9E37_79B9).rotate_left(l as u32),
+        };
+        for &shards in &[1usize, 4] {
+            for &meter in &[MeterMode::BitPlanes, MeterMode::ArcCounters] {
+                let config = EngineConfig::serial().shards(shards).meter(meter).trace();
+                let wide = wide_obs(&g, &lanes, mk, config.clone());
+                let seq = seq_obs(&g, &lanes, mk, config);
+                prop_assert_eq!(&wide, &seq, "shards={} meter={:?}", shards, meter);
+            }
+        }
+    }
+
+    /// u128-word pair messages through the wide slab.
+    #[test]
+    fn wide_pair_messages_match_sequential(
+        g in arb_connected_graph(16),
+        seed in any::<u64>(),
+        w in 1usize..6,
+    ) {
+        let lanes = LaneSpec::batch(seed, w);
+        let mk = |_: u32, l: usize, _: &Graph| PairChatter { rounds: 4 + l as u64 % 3, heard: 1 };
+        let config = EngineConfig::serial().shards(3).trace();
+        let wide = wide_obs(&g, &lanes, mk, config.clone());
+        let seq = seq_obs(&g, &lanes, mk, config);
+        prop_assert_eq!(&wide, &seq);
+    }
+
+    /// Parallel wide execution is bit-identical to the serial sequential
+    /// reference for any pool width (sharded step/deliver planes).
+    #[test]
+    fn wide_parallel_matches_serial_sequential(
+        g in arb_connected_graph(18),
+        seed in any::<u64>(),
+    ) {
+        let lanes = mixed_lanes(seed, 5, 1, seed ^ 0xCAFE);
+        let mk = |_: u32, l: usize, _: &Graph| Chatter { rounds: 6, salt: l as u64, heard: 0 };
+        let reference = seq_obs(&g, &lanes, mk, EngineConfig::serial().shards(4).trace());
+        for threads in [2usize, 4] {
+            let wide = congest_par::with_threads(threads, || {
+                wide_obs(
+                    &g,
+                    &lanes,
+                    mk,
+                    EngineConfig::with_seed(0).shards(4).trace(),
+                )
+            });
+            prop_assert_eq!(&wide, &reference, "threads={}", threads);
+        }
+    }
+
+    /// A wide run that hits the round limit must leave the session
+    /// reusable: the next wide run on the same session matches a fresh
+    /// session's run lane-for-lane (the dirty-scrub path).
+    #[test]
+    fn failed_wide_run_leaves_session_clean(
+        g in arb_connected_graph(14),
+        seed in any::<u64>(),
+    ) {
+        /// Never terminates: chatters forever.
+        struct Forever;
+        impl Protocol for Forever {
+            type Msg = u64;
+            type Output = u64;
+            fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+                ctx.send_all(ctx.round | 1);
+            }
+            fn finish(self) -> u64 {
+                0
+            }
+        }
+        let lanes = LaneSpec::batch(seed, 4);
+        let mut session = WideSession::new(&g);
+        let err = match session.run(
+            &lanes,
+            |_, _, _| Forever,
+            EngineConfig::serial().max_rounds(5),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("Forever must exceed the round limit"),
+        };
+        prop_assert_eq!(err, congest_sim::EngineError::RoundLimitExceeded { limit: 5 });
+        let mk = |_: u32, l: usize, _: &Graph| Chatter { rounds: 5, salt: l as u64, heard: 0 };
+        let config = EngineConfig::serial().shards(2).trace();
+        let after: Vec<LaneObs> = {
+            let mut out = session
+                .run(&lanes, mk, config.clone())
+                .expect("post-failure run terminates");
+            (0..lanes.len())
+                .map(|l| LaneObs {
+                    stats: out.stats(l),
+                    trace: out.trace(l).map(<[u64]>::to_vec),
+                    edge_congestion: out.edge_congestion(l).to_vec(),
+                    outputs: out.take_lane_outputs(l),
+                })
+                .collect()
+        };
+        let fresh = wide_obs(&g, &lanes, mk, config);
+        prop_assert_eq!(&after, &fresh);
+    }
+}
+
+/// Full-width boundary: all 64 lanes in one run (bit 63 in every lane
+/// word), staggered termination, identical to 64 sequential runs.
+#[test]
+fn wide_64_lanes_match_sequential() {
+    let g = congest_graph::generators::harary(4, 12);
+    let lanes = mixed_lanes(42, 64, 1, 7);
+    let mk = |v: u32, l: usize, _: &Graph| Gossip {
+        token: (v as u64 + 1).wrapping_mul(l as u64 + 1),
+    };
+    let config = EngineConfig::serial().shards(3).trace();
+    let wide = wide_obs(&g, &lanes, mk, config.clone());
+    let seq = seq_obs(&g, &lanes, mk, config);
+    assert_eq!(wide, seq);
+}

@@ -9,7 +9,8 @@
 
 use congest_sim::sched::{random_delays, Multiplexed};
 use congest_sim::{
-    run_protocol, ChurnSession, EngineConfig, FaultPlan, Mutation, NodeCtx, Protocol, Session,
+    run_protocol, ChurnSession, EngineConfig, FaultPlan, LaneSpec, Mutation, NodeCtx, Protocol,
+    Session, WideSession,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -187,6 +188,82 @@ impl Protocol for WidePhase {
     fn finish(self) -> u64 {
         self.acc
     }
+}
+
+/// Quiescent staggered chatter for the wide kernel: identical to
+/// [`Chatter`] but with the idle contract declared — once done with an
+/// empty inbox its `round` is a no-op, so the wide sweep may skip the
+/// `(node, lane)` pair while other lanes keep running.
+struct StaggerChatter {
+    until: u64,
+    acc: u64,
+}
+
+impl Protocol for StaggerChatter {
+    type Msg = u64;
+    type Output = u64;
+    const QUIESCENT: bool = true;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        for (_, m) in ctx.inbox() {
+            self.acc ^= m;
+        }
+        if ctx.round < self.until {
+            ctx.send_all(self.acc.wrapping_add(ctx.round));
+        } else {
+            ctx.set_done(true);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// One wide-batch cycle with **staggered lane teardown**: lane `l` runs
+/// `rounds/2 + l·rounds/16` rounds, so early lanes go quiet (their slab
+/// regions zeroed by the exit contract) while late lanes keep sweeping —
+/// then a pair-message (`u128`-word) wide phase reuses the same
+/// byte-keyed slabs. Both phases must allocate nothing after the first
+/// cycle sizes the lane buffers.
+fn wide_cycle(
+    session: &mut WideSession<'_>,
+    lanes: &[LaneSpec],
+    rounds: u64,
+    cfg: &EngineConfig,
+) -> u64 {
+    let mut acc = 0u64;
+    let out = session
+        .run(
+            lanes,
+            |_, l, _| StaggerChatter {
+                until: rounds / 2 + (l as u64 * rounds) / 16,
+                acc: 1,
+            },
+            cfg.clone(),
+        )
+        .unwrap();
+    for l in 0..out.lanes() {
+        acc ^= out.outputs(l).iter().fold(0, |a, &x| a ^ x)
+            ^ out.stats(l).total_messages
+            ^ out.edge_congestion(l).iter().fold(0, |a, &x| a ^ x);
+    }
+    drop(out);
+    let out = session
+        .run(
+            lanes,
+            |v, _, _| WidePhase {
+                node: v,
+                until: rounds / 2,
+                acc: 1,
+            },
+            cfg.clone(),
+        )
+        .unwrap();
+    for l in 0..out.lanes() {
+        acc ^= out.outputs(l).iter().fold(0, |a, &x| a ^ x) ^ out.stats(l).dropped_messages;
+    }
+    acc
 }
 
 /// One six-phase cycle mirroring Theorem 1's composition shape on a
@@ -540,5 +617,42 @@ fn round_loop_allocates_nothing_after_setup() {
         );
         assert_eq!(sess.stats().batches, 10, "five cycles of two batches");
         assert_ne!(acc, warm.wrapping_add(warm2).wrapping_add(1));
+    }
+
+    // --- Wide-batch sessions: 24 lanes with staggered teardown (early
+    // lanes terminate and hand their zeroed slab regions back while late
+    // lanes keep sweeping) followed by a u128-word wide phase on the
+    // same byte-keyed slabs. After the first cycle sizes the lane
+    // buffers and arenas, every later cycle — lane startup, quiescent
+    // skipping, per-lane faults, teardown, and the width switch — must
+    // allocate **exactly zero**.
+    for cfg in [EngineConfig::serial(), EngineConfig::default()] {
+        let lanes: Vec<LaneSpec> = LaneSpec::batch(99, 24)
+            .into_iter()
+            .enumerate()
+            .map(|(l, spec)| {
+                if l % 3 == 0 {
+                    spec.with_faults(FaultPlan::new(2, 0xFA).with_lane_seed(l))
+                } else {
+                    spec
+                }
+            })
+            .collect();
+        let mut session = WideSession::new(&g);
+        let warm = wide_cycle(&mut session, &lanes, 24, &cfg);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let mut acc = 0u64;
+        for _ in 0..3 {
+            acc ^= wide_cycle(&mut session, &lanes, 24, &cfg);
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "wide cycles allocated {} times after setup (parallel={})",
+            after - before,
+            cfg.parallel
+        );
+        assert_ne!(acc, warm.wrapping_add(1), "keep results observable");
     }
 }
