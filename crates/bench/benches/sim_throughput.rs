@@ -1619,6 +1619,133 @@ fn bench_wide_batch() -> (Vec<WideBatchRow>, f64) {
     (rows, at_32)
 }
 
+struct ServeRow {
+    arm: &'static str,
+    wall_ns: u128,
+    jobs_per_sec: f64,
+}
+
+/// Serving-layer throughput: one multi-tenant rumor job stream over two
+/// highly-connected circulants (the paper's regime; per-job sources,
+/// seeds, and tenants) pushed through the `PoolServer`'s batching drain
+/// — warm pooled states, compatible jobs grouped onto wide lane sweeps —
+/// vs the same stream run one fresh `Session` per job
+/// (`run_job_isolated`, the pool's oracle). Every output and stat is
+/// cross-checked bit-identical before anything is timed. Returns the two
+/// arms plus the batched-vs-isolated speedup.
+///
+/// The mix is deliberately all wide-worthy: rumor's thin wavefront is
+/// where lane batching amortizes the arc sweep (measured ~3.7x at 32
+/// lanes on `harary(6, 1024)`), while dense-head families like flood-max
+/// run every lane hot simultaneously and batch roughly latency-neutral —
+/// the policy tradeoff documented on `JobSpec::wide_worthy`.
+fn bench_serve() -> (Vec<ServeRow>, f64) {
+    use congest_sim::rng::mix64;
+    use congest_sim::{run_job_isolated, Job, JobOutput, JobSpec, JobStatus, PoolServer};
+
+    let (n, jobs_n, samples) = if smoke() {
+        (1024usize, 64usize, 2usize)
+    } else {
+        (4096usize, 128usize, 5usize)
+    };
+    let graphs = [harary(6, n), harary(6, 3 * n / 4)];
+    let cfg = EngineConfig::serial();
+
+    // The stream: alternating graphs (the batcher has to regroup), every
+    // job its own source and seed, tenants interleaved.
+    let stream: Vec<(usize, JobSpec, u64, u32)> = (0..jobs_n)
+        .map(|j| {
+            let graph = j % 2;
+            let spec = JobSpec::Rumor {
+                source: (mix64(0x5E11 ^ j as u64) % graphs[graph].n() as u64) as u32,
+            };
+            (
+                graph,
+                spec,
+                mix64(0x0B_5EED ^ mix64(j as u64)),
+                (j % 4) as u32,
+            )
+        })
+        .collect();
+
+    let mut server = PoolServer::new(cfg.clone(), jobs_n);
+    let keys = [
+        server.register_graph(graphs[0].clone()),
+        server.register_graph(graphs[1].clone()),
+    ];
+    let serve_once = |server: &mut PoolServer, out: &mut Vec<JobOutput>| {
+        out.clear();
+        for (graph, spec, seed, tenant) in &stream {
+            server
+                .submit(
+                    Job {
+                        graph: keys[*graph],
+                        protocol: spec.clone(),
+                        seed: *seed,
+                        faults: None,
+                        tenant: *tenant,
+                    },
+                    out,
+                )
+                .expect("graph is registered");
+        }
+        server.drain(out);
+        out.sort_by_key(|o| o.id);
+    };
+
+    // Cross-check the whole stream bit-identical against the isolated
+    // oracle before timing anything.
+    let mut out = Vec::new();
+    serve_once(&mut server, &mut out);
+    assert_eq!(out.len(), stream.len());
+    for ((graph, spec, seed, tenant), o) in stream.iter().zip(&out) {
+        let (outputs, stats) = run_job_isolated(&graphs[*graph], spec, *seed, None, &cfg).unwrap();
+        assert_eq!(o.status, JobStatus::Done, "serve job {:?} failed", o.id);
+        assert_eq!(o.tenant, *tenant);
+        assert_eq!(o.outputs, outputs, "serve job {:?} outputs diverged", o.id);
+        assert_eq!(o.stats, stats, "serve job {:?} stats diverged", o.id);
+    }
+    assert!(
+        server.batched_jobs() > server.solo_jobs(),
+        "the mix must actually exercise wide batching ({} batched, {} solo)",
+        server.batched_jobs(),
+        server.solo_jobs()
+    );
+
+    // Batched arm: the resident server (pool stays warm across samples,
+    // as in steady-state serving).
+    let pooled_ns = best_of(samples, || {
+        serve_once(&mut server, &mut out);
+        out.iter().fold(0u64, |a, o| {
+            a ^ o.outputs.first().copied().unwrap_or(0) ^ o.stats.total_messages
+        })
+    });
+    // Isolated arm: one fresh session per job, same configs, same order.
+    let isolated_ns = best_of(samples, || {
+        stream.iter().fold(0u64, |a, (graph, spec, seed, _)| {
+            let (outputs, stats) =
+                run_job_isolated(&graphs[*graph], spec, *seed, None, &cfg).unwrap();
+            a ^ outputs.first().copied().unwrap_or(0) ^ stats.total_messages
+        })
+    });
+
+    let rate = |ns: u128| jobs_n as f64 / (ns as f64 / 1e9);
+    let rows = vec![
+        ServeRow {
+            arm: "pool_batched",
+            wall_ns: pooled_ns,
+            jobs_per_sec: rate(pooled_ns),
+        },
+        ServeRow {
+            arm: "session_per_job",
+            wall_ns: isolated_ns,
+            jobs_per_sec: rate(isolated_ns),
+        },
+    ];
+    let speedup = isolated_ns as f64 / pooled_ns as f64;
+    (rows, speedup)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn write_json(
     measurements: &[Measurement],
@@ -1627,11 +1754,13 @@ fn write_json(
     phase_reuse: &[PhaseReuseRow],
     churn_repair: &[ChurnRepairRow],
     wide_batch: &[WideBatchRow],
+    serve: &[ServeRow],
     dense_geomean: f64,
     sparse_geomean: f64,
     phase_reuse_geomean: f64,
     churn_repair_geomean: f64,
     wide_batch_speedup_32: f64,
+    serve_speedup: f64,
     path: &std::path::Path,
 ) {
     let mut s = String::new();
@@ -1859,12 +1988,66 @@ fn write_json(
         s,
         "    \"speedup_vs_sequential_32_lanes\": {wide_batch_speedup_32:.3}"
     );
+    let _ = writeln!(s, "  }},");
+    // --- Serving layer: PoolServer batching drain vs session-per-job.
+    let _ = writeln!(
+        s,
+        "  \"serve_throughput_note\": \"multi-tenant rumor job stream (2 highly-connected harary circulants, per-job sources/seeds/tenants, all wide-worthy) through the PoolServer batching drain (warm pooled states, compatible jobs grouped onto wide lane sweeps) vs one fresh Session per job (run_job_isolated); single-core, whole-stream wall clock, best of N; every job's outputs + stats cross-checked bit-identical against the isolated oracle before timing; acceptance bar: batched >= 2x session-per-job\","
+    );
+    let _ = writeln!(s, "  \"serve_throughput\": {{");
+    let _ = writeln!(s, "    \"arms\": [");
+    for (i, r) in serve.iter().enumerate() {
+        let _ = writeln!(s, "      {{");
+        let _ = writeln!(s, "        \"arm\": \"{}\",", r.arm);
+        let _ = writeln!(s, "        \"wall_ns\": {},", r.wall_ns);
+        let _ = writeln!(s, "        \"jobs_per_sec\": {:.0}", r.jobs_per_sec);
+        let _ = writeln!(s, "      }}{}", if i + 1 < serve.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(
+        s,
+        "    \"speedup_batched_vs_session_per_job\": {serve_speedup:.3}"
+    );
     let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     std::fs::write(path, s).expect("write BENCH_sim.json");
 }
 
+/// Print the serve section and emit its regression marker; returns the
+/// rows + speedup for the JSON export.
+fn run_serve_section() -> (Vec<ServeRow>, f64) {
+    let (serve, serve_speedup) = bench_serve();
+    println!("\n| serve arm | wall clock | jobs/sec |");
+    println!("|---|---|---|");
+    for r in &serve {
+        println!(
+            "| {} | {:.3} ms | {:.0} |",
+            r.arm,
+            r.wall_ns as f64 / 1e6,
+            r.jobs_per_sec
+        );
+    }
+    println!("serve speedup (pool-batched vs one session per job): {serve_speedup:.2}x");
+    // The serving layer's acceptance bar: batching compatible jobs onto
+    // wide sweeps must at least double job throughput, smoke mix included.
+    if serve_speedup < 2.0 {
+        println!(
+            "REGRESSION-MARKER: serve speedup {serve_speedup:.3} < 2.0 — pool batching lost \
+             its advantage over one fresh session per job"
+        );
+    }
+    (serve, serve_speedup)
+}
+
 fn bench_engine(c: &mut Criterion) {
+    // `SIM_BENCH_SECTION=serve`: run only the serving-layer section (CI's
+    // serve smoke lane), keep its cross-checks and marker, skip the rest.
+    if let Ok(section) = std::env::var("SIM_BENCH_SECTION") {
+        assert_eq!(section, "serve", "unknown SIM_BENCH_SECTION `{section}`");
+        let _ = run_serve_section();
+        println!("section mode: skipping remaining sections and BENCH_sim.json rewrite");
+        return;
+    }
     // --- Shard-scaling vs PR 1 (always runs; the smoke lane's guard).
     let (scaling, dense_geomean, sparse_geomean) = bench_shard_scaling();
     println!("\nper-round cost (ms/round), PR 1 engine vs sharded engine:");
@@ -1991,6 +2174,8 @@ fn bench_engine(c: &mut Criterion) {
              vs the sequential arm"
         );
     }
+    // --- Serving layer: pool-batched job stream vs session-per-job.
+    let (serve, serve_speedup) = run_serve_section();
     if smoke() {
         println!("smoke mode: skipping baseline section and BENCH_sim.json rewrite");
         return;
@@ -2065,11 +2250,13 @@ fn bench_engine(c: &mut Criterion) {
         &phase_reuse,
         &churn_repair,
         &wide_batch,
+        &serve,
         dense_geomean,
         sparse_geomean,
         phase_reuse_geomean,
         churn_repair_geomean,
         wide_batch_speedup_32,
+        serve_speedup,
         &root,
     );
     println!("\nwrote {}", root.display());

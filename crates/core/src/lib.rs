@@ -45,5 +45,5 @@ pub use partition::{EdgePartition, PartitionParams};
 pub use textbook::textbook_broadcast;
 pub use watchdog::{
     partition_broadcast_degrading, resilient_broadcast_degrading, watchdog, DegradeLog,
-    DegradePolicy, WatchdogMode, WatchdogReport,
+    DegradePolicy, SalvageAttempt, WatchdogMode, WatchdogReport,
 };

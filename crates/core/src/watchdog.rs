@@ -124,6 +124,27 @@ impl Default for DegradePolicy {
     }
 }
 
+/// One partial-delivery run remembered by the salvage ladder: which
+/// attempt it was, what it starved, and whether its outcome is the one
+/// ultimately returned at exhaustion. A multi-tenant caller attributes
+/// degraded service run by run from these records instead of seeing only
+/// the winning outcome's global starved set.
+#[derive(Debug, Clone)]
+pub struct SalvageAttempt {
+    /// λ′ the attempt ran at.
+    pub subgraphs: usize,
+    /// Zero-based attempt index across the whole ladder (the same
+    /// counter that perturbs the seed), so the exact run is replayable.
+    pub attempt: u64,
+    /// That run's exact starved-node set.
+    pub starved: Vec<usize>,
+    /// Messages the adversary destroyed during that run's routing phase.
+    pub dropped: u64,
+    /// True on exactly one record iff the budget was exhausted and this
+    /// attempt's outcome was the best partial delivery returned.
+    pub salvaged: bool,
+}
+
 /// How a degrading run actually unfolded.
 #[derive(Debug, Clone, Default)]
 pub struct DegradeLog {
@@ -138,6 +159,10 @@ pub struct DegradeLog {
     pub degraded: bool,
     /// The whole budget was spent; the result (if any) is best-effort.
     pub exhausted: bool,
+    /// Every partial-delivery attempt the resilient ladder saw, in run
+    /// order (empty for the plain partition ladder and for runs that
+    /// fully delivered before anything starved).
+    pub salvage: Vec<SalvageAttempt>,
 }
 
 impl DegradeLog {
@@ -246,6 +271,7 @@ pub fn resilient_broadcast_degrading_hosted(
     let mut total_attempt: u64 = 0;
     let mut last_err = None;
     let mut best: Option<(usize, usize, ResilientOutcome)> = None; // (starved, level, outcome)
+    let mut best_salvage = 0usize; // index into log.salvage of the current best
     loop {
         let mut attempts_here = 0usize;
         for _ in 0..policy.attempts_per_level.max(1) {
@@ -262,14 +288,23 @@ pub fn resilient_broadcast_degrading_hosted(
                 &c,
             ) {
                 Ok(out) => {
-                    let starved = out.starved_nodes().len();
-                    if starved == 0 {
+                    let starved = out.starved_nodes();
+                    if starved.is_empty() {
                         log.levels.push((lp, attempts_here));
                         log.final_subgraphs = lp;
                         return Ok((out, log));
                     }
-                    if best.as_ref().is_none_or(|(s, _, _)| starved < *s) {
+                    log.salvage.push(SalvageAttempt {
+                        subgraphs: lp,
+                        attempt: total_attempt - 1,
+                        dropped: out.dropped,
+                        salvaged: false,
+                        starved,
+                    });
+                    let starved = log.salvage.last().expect("just pushed").starved.len();
+                    if best.as_ref().is_none_or(|(s, ..)| starved < *s) {
                         best = Some((starved, lp, out));
+                        best_salvage = log.salvage.len() - 1;
                     }
                 }
                 Err(e @ BroadcastError::NotSpanning { .. }) => last_err = Some(e),
@@ -284,6 +319,7 @@ pub fn resilient_broadcast_degrading_hosted(
                 // delivery instead of erroring.
                 Some((_, level, out)) => {
                     log.final_subgraphs = level;
+                    log.salvage[best_salvage].salvaged = true;
                     Ok((out, log))
                 }
                 None => Err(last_err.expect("at least one attempt ran")),
@@ -447,6 +483,74 @@ mod tests {
         let visited: Vec<usize> = log.levels.iter().map(|&(l, _)| l).collect();
         assert_eq!(visited, vec![4, 2, 1]);
         assert_eq!(log.total_attempts(), 3);
+    }
+
+    #[test]
+    fn exhausted_salvage_reports_every_partial_attempt() {
+        // Same exhaustion scenario as above, but the contract under test
+        // is the per-run salvage detail: `log.salvage` must carry one
+        // record per partial attempt — exact starved set, drop count,
+        // replayable attempt index — with exactly one record marked as
+        // the outcome the caller actually got. Multi-tenant callers
+        // attribute degraded service from these records, not from the
+        // winner's global starved set alone.
+        let g = harary(24, 72);
+        let input = BroadcastInput::random_spread(&g, 72, 3);
+        let faults = congest_sim::FaultPlan::new(12, 0xBAD);
+        let policy = DegradePolicy {
+            attempts_per_level: 1,
+            watchdog: WatchdogMode::Off,
+            ..Default::default()
+        };
+        let (out, log) = resilient_broadcast_degrading(
+            &g,
+            &input,
+            PartitionParams::explicit(4),
+            1,
+            Some(faults),
+            &BroadcastConfig::with_seed(0x52),
+            &policy,
+        )
+        .unwrap();
+        assert!(log.exhausted);
+        // One attempt per level, all partial: three salvage records in
+        // run order with replayable attempt indices.
+        let levels: Vec<usize> = log.salvage.iter().map(|s| s.subgraphs).collect();
+        assert_eq!(levels, vec![4, 2, 1]);
+        let attempts: Vec<u64> = log.salvage.iter().map(|s| s.attempt).collect();
+        assert_eq!(attempts, vec![0, 1, 2]);
+        for s in &log.salvage {
+            assert!(!s.starved.is_empty(), "a salvage record is a partial run");
+            assert!(s.dropped > 0, "partial delivery here implies drops");
+        }
+        // Exactly one record is the returned outcome, and it is the one
+        // with the fewest starved nodes (earliest on ties).
+        let winners: Vec<&SalvageAttempt> = log.salvage.iter().filter(|s| s.salvaged).collect();
+        assert_eq!(winners.len(), 1);
+        let w = winners[0];
+        assert_eq!(w.starved, out.starved_nodes());
+        assert_eq!(w.dropped, out.dropped);
+        assert_eq!(w.subgraphs, log.final_subgraphs);
+        let min = log.salvage.iter().map(|s| s.starved.len()).min().unwrap();
+        assert_eq!(w.starved.len(), min);
+        assert!(log
+            .salvage
+            .iter()
+            .take_while(|s| !s.salvaged)
+            .all(|s| s.starved.len() > min));
+        // A run that fully delivers leaves no salvage records behind.
+        let ok_faults = congest_sim::FaultPlan::new(3, 0xBAD);
+        let (_, ok_log) = resilient_broadcast_degrading(
+            &g,
+            &input,
+            PartitionParams::explicit(4),
+            3,
+            Some(ok_faults),
+            &BroadcastConfig::with_seed(0x52),
+            &policy,
+        )
+        .unwrap();
+        assert!(ok_log.salvage.is_empty());
     }
 
     #[test]

@@ -232,6 +232,30 @@ impl Graph {
     pub fn degree_sum(&self) -> usize {
         self.adj_node.len()
     }
+
+    /// A 64-bit fingerprint of the canonical CSR: two graphs built from
+    /// the same node count and edge multiset (in any insertion order)
+    /// hash equal, and any difference in adjacency, edge numbering, or
+    /// port order changes the digest with full avalanche. Session pools
+    /// key warm engine state by this value.
+    pub fn fingerprint(&self) -> u64 {
+        #[inline]
+        fn mix(x: u64) -> u64 {
+            // splitmix64 finalizer.
+            let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut h = mix(0xF1_9927 ^ self.n() as u64) ^ mix(0x9127_0C5A ^ self.m() as u64);
+        for &o in &self.offsets {
+            h = mix(h ^ o as u64);
+        }
+        for (&v, &e) in self.adj_node.iter().zip(&self.adj_edge) {
+            h = mix(h ^ ((v as u64) << 32 | e as u64));
+        }
+        h
+    }
 }
 
 impl fmt::Debug for Graph {

@@ -59,6 +59,7 @@ pub mod engine;
 pub mod fault;
 pub mod message;
 pub mod phase;
+pub mod pool;
 pub mod pr1;
 pub mod pr2;
 pub mod protocol;
@@ -73,6 +74,10 @@ pub use engine::{run_protocol, EngineConfig, EngineError, MeterMode, RunOutcome,
 pub use fault::{ChurnPlan, EdgeMarks, FaultPlan};
 pub use message::{MsgBits, MsgWord, PackedMsg};
 pub use phase::PhaseLog;
+pub use pool::{
+    run_job_isolated, GraphKey, Job, JobId, JobOutput, JobSpec, JobStatus, PoolError, PoolServer,
+    SessionPool, Tenant, TenantMeter,
+};
 pub use protocol::{InboxIter, NodeCtx, Protocol};
 pub use session::{PhaseHost, PhaseOutcome, Session};
 pub use wide::{LaneSpec, WideOutcome, WideSession, MAX_LANES};

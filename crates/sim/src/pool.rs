@@ -1,0 +1,1031 @@
+//! Broadcast-as-a-service: a multi-tenant session pool with a batching
+//! job plane.
+//!
+//! ## The serving problem
+//!
+//! The engine amortizes state per graph ([`crate::Session`], PR 4) and
+//! bit-parallelizes instances per sweep ([`crate::WideSession`], PR 7),
+//! but both are *libraries*: every caller owns its own engine. Serving
+//! many concurrent runs — the heavy-traffic workload PAPERS.md frames via
+//! Paramonov–Wattenhofer's congested random graphs — needs the layer
+//! above: warm state shared across callers, and independent submissions
+//! coalesced onto the wide kernel.
+//!
+//! ## The pool
+//!
+//! A [`SessionPool`] holds warm [`SessionState`]s keyed by
+//! [`Graph::fingerprint`] (a hash of the canonical CSR, so two tenants
+//! registering equal graphs share one entry). Checkout is closure-scoped:
+//! [`SessionPool::with_session`] / [`SessionPool::with_wide`] pop a warm
+//! state (or build one on a miss), marry it to the entry's graph, run the
+//! closure, and push the state back. A warm checkout cycle allocates
+//! nothing (pinned by `tests/zero_alloc.rs`), so steady-state serving has
+//! zero engine churn.
+//!
+//! ## The job plane
+//!
+//! A [`PoolServer`] admits [`Job`] submissions into a bounded queue and
+//! executes them on [`PoolServer::drain`]. Batching policy:
+//!
+//! * jobs group by **(graph key, protocol family)**;
+//! * a wide-worthy (quiescent) group runs as one [`WideSession`] lane
+//!   group, up to [`MAX_LANES`] jobs per sweep, each job keeping its own
+//!   seed and fault plan via [`LaneSpec`];
+//! * singletons and dense (non-quiescent) families fall back to a
+//!   sequential [`crate::Session`] — a dense lane would step every round
+//!   anyway, so it only dilutes the shared sweep.
+//!
+//! Because the wide kernel is bit-identical per lane to a sequential run,
+//! **any interleaving of submissions produces outputs bit-identical to
+//! running each job alone on a fresh `Session`**
+//! ([`run_job_isolated`] is that oracle; `tests/proptest_pool.rs` pins
+//! the equivalence). Backpressure is bounded-queue: [`PoolServer::try_submit`]
+//! refuses when full, [`PoolServer::submit`] drains the backlog first.
+//! Engine-level parallelism still applies inside each run — sharded
+//! step/deliver on the `congest-par` workers — so the serving loop stays
+//! single-threaded and deterministic while the sweeps are not.
+//!
+//! The job plane is a *closed* protocol menu ([`JobSpec`]): `Protocol` is
+//! generic over message and output types, so heterogeneous lanes in one
+//! sweep require a concrete family enum (type erasure cannot cross
+//! [`WideSession::run`]'s `P`). Fully heterogeneous lane groups — lanes
+//! joining and leaving between rounds — remain open (see ROADMAP).
+
+use crate::engine::{EngineConfig, EngineError, RunStats};
+use crate::fault::FaultPlan;
+use crate::protocol::{NodeCtx, Protocol};
+use crate::session::{Session, SessionState};
+use crate::wide::{LaneSpec, WideSession, MAX_LANES};
+use congest_graph::{Graph, Node};
+use rand::Rng;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Identifies a registered graph inside a pool: the
+/// [`Graph::fingerprint`] of its canonical CSR. Equal graphs registered
+/// by different tenants yield the same key and share warm state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphKey(u64);
+
+impl GraphKey {
+    /// The underlying CSR fingerprint.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A pool of warm, graph-keyed engine states. See the module docs for
+/// the checkout discipline.
+#[derive(Default)]
+pub struct SessionPool {
+    entries: Vec<PoolEntry>,
+    /// fingerprint → index into `entries` (entries are never removed, so
+    /// indices are stable and the map never rehashes in steady state).
+    index: HashMap<u64, usize>,
+    warm_limit: usize,
+    hits: u64,
+    misses: u64,
+}
+
+struct PoolEntry {
+    graph: Graph,
+    warm: Vec<SessionState>,
+}
+
+impl SessionPool {
+    /// An empty pool keeping up to 4 warm states per graph.
+    pub fn new() -> SessionPool {
+        SessionPool::with_warm_limit(4)
+    }
+
+    /// An empty pool keeping up to `warm_limit` warm states per graph;
+    /// states released beyond the limit are dropped.
+    pub fn with_warm_limit(warm_limit: usize) -> SessionPool {
+        SessionPool {
+            entries: Vec::new(),
+            index: HashMap::new(),
+            warm_limit,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Register `graph`, returning its key. Registering an equal graph
+    /// again (any tenant) returns the same key and keeps the existing
+    /// warm state. Panics on a fingerprint collision between *unequal*
+    /// graphs — with a 64-bit avalanche hash that is a program error,
+    /// not an operational condition.
+    pub fn register(&mut self, graph: Graph) -> GraphKey {
+        let fp = graph.fingerprint();
+        match self.index.get(&fp) {
+            Some(&i) => {
+                assert!(
+                    self.entries[i].graph == graph,
+                    "graph fingerprint collision: unequal graphs hash to {fp:#x}"
+                );
+            }
+            None => {
+                self.index.insert(fp, self.entries.len());
+                self.entries.push(PoolEntry {
+                    graph,
+                    warm: Vec::with_capacity(self.warm_limit),
+                });
+            }
+        }
+        GraphKey(fp)
+    }
+
+    /// Whether `key` is registered.
+    pub fn contains(&self, key: GraphKey) -> bool {
+        self.index.contains_key(&key.0)
+    }
+
+    /// The registered graph behind `key`.
+    ///
+    /// # Panics
+    /// If `key` was not returned by [`SessionPool::register`] on this pool.
+    pub fn graph(&self, key: GraphKey) -> &Graph {
+        &self.entries[self.entry_index(key)].graph
+    }
+
+    /// Warm states currently parked for `key`.
+    pub fn warm_count(&self, key: GraphKey) -> usize {
+        self.entries[self.entry_index(key)].warm.len()
+    }
+
+    /// Checkouts served from a warm state.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Checkouts that had to build fresh state.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn entry_index(&self, key: GraphKey) -> usize {
+        *self
+            .index
+            .get(&key.0)
+            .expect("graph key not registered with this pool")
+    }
+
+    /// Check out a sequential [`Session`] for `key`: pop a warm state (or
+    /// build one), run `f`, release the state back. The closure is
+    /// higher-ranked over the session lifetime, so results must be moved
+    /// out (e.g. [`crate::PhaseOutcome::take_outputs`]) — nothing can
+    /// keep borrowing the pooled buffers after release.
+    ///
+    /// # Panics
+    /// If `key` was not registered on this pool. A panic inside `f`
+    /// drops the checked-out state instead of re-pooling it.
+    pub fn with_session<R>(&mut self, key: GraphKey, f: impl FnOnce(&mut Session<'_>) -> R) -> R {
+        let i = self.entry_index(key);
+        let entry = &mut self.entries[i];
+        let state = match entry.warm.pop() {
+            Some(s) => {
+                self.hits += 1;
+                s
+            }
+            None => {
+                self.misses += 1;
+                SessionState::new(&entry.graph)
+            }
+        };
+        let mut session = Session::from_state(&entry.graph, state);
+        let r = f(&mut session);
+        let state = session.into_state();
+        if entry.warm.len() < self.warm_limit {
+            entry.warm.push(state);
+        }
+        r
+    }
+
+    /// Check out a [`WideSession`] for `key` — same discipline as
+    /// [`SessionPool::with_session`]. Wide and sequential checkouts draw
+    /// from the same warm list: a [`SessionState`] carries both kernels'
+    /// buffers, so a state warmed by one serves the other.
+    pub fn with_wide<R>(&mut self, key: GraphKey, f: impl FnOnce(&mut WideSession<'_>) -> R) -> R {
+        let i = self.entry_index(key);
+        let entry = &mut self.entries[i];
+        let state = match entry.warm.pop() {
+            Some(s) => {
+                self.hits += 1;
+                s
+            }
+            None => {
+                self.misses += 1;
+                SessionState::new(&entry.graph)
+            }
+        };
+        let mut session = WideSession::from_state(&entry.graph, state);
+        let r = f(&mut session);
+        let state = session.into_state();
+        if entry.warm.len() < self.warm_limit {
+            entry.warm.push(state);
+        }
+        r
+    }
+}
+
+/// A tenant identifier — opaque to the pool, used only for metering.
+pub type Tenant = u32;
+
+/// The closed protocol menu the job plane serves. `Protocol` is generic
+/// over message and output types, so a lane group must be monomorphic;
+/// a closed family enum is what lets heterogeneous *parameters* (per-job
+/// sources, budgets, seeds, faults) share one sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobSpec {
+    /// Leader election by flood-max: every node outputs the maximum node
+    /// id. Quiescent — batches well.
+    FloodMax,
+    /// Single-source rumor spreading from `source`: every node outputs
+    /// the round it first heard the rumor (`u64::MAX` if never, e.g.
+    /// when the fault adversary cut every path). Quiescent.
+    Rumor { source: Node },
+    /// Seeded dense gossip for `rounds` rounds: every node stirs its RNG
+    /// and inbox into an accumulator and chatters to all neighbors. Not
+    /// quiescent — the batching policy evicts this family to a
+    /// sequential session.
+    Gossip { rounds: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    FloodMax = 0,
+    Rumor = 1,
+    Gossip = 2,
+}
+
+impl JobSpec {
+    fn family(&self) -> Family {
+        match self {
+            JobSpec::FloodMax => Family::FloodMax,
+            JobSpec::Rumor { .. } => Family::Rumor,
+            JobSpec::Gossip { .. } => Family::Gossip,
+        }
+    }
+
+    /// Whether a group of this family earns a wide lane group. Dense
+    /// (non-quiescent) families step every (node, lane) every round, so
+    /// sharing a sweep buys nothing and dilutes the quiescent lanes.
+    ///
+    /// Within the quiescent families the win is activity-shaped:
+    /// thin-wavefront runs (rumor spreading) amortize the arc sweep
+    /// across mostly-idle lanes (measured ~3.7x at 32 lanes on
+    /// `harary(6, 1024)` in the `serve_throughput` bench), while
+    /// dense-head runs (flood-max's first few rounds, where every lane
+    /// is hot simultaneously) batch roughly latency-neutral. Flood-max
+    /// stays wide-worthy — results are identical either way and one
+    /// sweep still beats per-job scheduling overhead at scale — but the
+    /// throughput headline belongs to the sparse families.
+    fn wide_worthy(&self) -> bool {
+        self.family() != Family::Gossip
+    }
+}
+
+/// One unit of serving work: a protocol family on a registered graph,
+/// with the job's own seed and fault plan, attributed to a tenant.
+#[derive(Debug, Clone)]
+pub struct Job {
+    pub graph: GraphKey,
+    pub protocol: JobSpec,
+    pub seed: u64,
+    pub faults: Option<FaultPlan>,
+    pub tenant: Tenant,
+}
+
+/// Server-assigned submission id; outputs come back ordered by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// The raw submission counter value.
+    #[inline]
+    pub fn index(&self) -> u64 {
+        self.0
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran to termination; `outputs` and `stats` are authoritative.
+    Done,
+    /// Exceeded the server's shared `max_rounds` budget (its isolated
+    /// run would too); `outputs` is empty and `stats` zeroed.
+    RoundLimit { limit: u64 },
+}
+
+/// One completed job: per-node outputs (a family-specific `u64` per
+/// node) plus the run's meters — bit-identical to what the job's
+/// isolated run on a fresh [`Session`] would report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutput {
+    pub id: JobId,
+    pub tenant: Tenant,
+    pub status: JobStatus,
+    /// Per-node outputs, indexed by node id.
+    pub outputs: Vec<u64>,
+    pub stats: RunStats,
+    /// Whether this job rode a wide lane group (false = sequential
+    /// fallback). Purely informational — results are identical.
+    pub batched: bool,
+}
+
+/// Aggregate congestion/bit meters for one tenant, summed over its jobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantMeter {
+    /// Jobs completed (including round-limit failures).
+    pub jobs: u64,
+    /// Total CONGEST rounds across the tenant's jobs.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Messages destroyed by the tenant's fault plans.
+    pub dropped: u64,
+    /// Worst per-edge congestion any of the tenant's jobs caused.
+    pub max_edge_congestion: u64,
+    /// Largest message any of the tenant's jobs put on a wire, in bits.
+    pub max_message_bits: usize,
+}
+
+impl TenantMeter {
+    fn absorb(&mut self, stats: &RunStats) {
+        self.jobs += 1;
+        self.rounds += stats.rounds;
+        self.messages += stats.total_messages;
+        self.dropped += stats.dropped_messages;
+        self.max_edge_congestion = self.max_edge_congestion.max(stats.max_edge_congestion);
+        self.max_message_bits = self.max_message_bits.max(stats.max_message_bits);
+    }
+}
+
+/// Submission failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The job names a graph key never registered on this server.
+    UnknownGraph(GraphKey),
+    /// The bounded queue is full; drain (or use [`PoolServer::submit`],
+    /// which drains for you) and resubmit.
+    Backpressure { capacity: usize },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::UnknownGraph(k) => {
+                write!(f, "graph {:#018x} is not registered", k.fingerprint())
+            }
+            PoolError::Backpressure { capacity } => {
+                write!(f, "job queue full (capacity {capacity})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// The in-process job plane: a [`SessionPool`] plus a bounded submission
+/// queue, batching policy, and per-tenant meters. See the module docs.
+pub struct PoolServer {
+    pool: SessionPool,
+    queue: VecDeque<(JobId, Job)>,
+    capacity: usize,
+    config: EngineConfig,
+    next_id: u64,
+    meters: HashMap<Tenant, TenantMeter>,
+    batched_jobs: u64,
+    solo_jobs: u64,
+}
+
+impl PoolServer {
+    /// A server whose runs share `config` (each job's `seed`/`faults`
+    /// supersede the config's) and whose queue holds at most
+    /// `queue_capacity` pending jobs.
+    pub fn new(config: EngineConfig, queue_capacity: usize) -> PoolServer {
+        assert!(queue_capacity > 0, "queue capacity must be positive");
+        PoolServer {
+            pool: SessionPool::new(),
+            queue: VecDeque::with_capacity(queue_capacity),
+            capacity: queue_capacity,
+            config,
+            next_id: 0,
+            meters: HashMap::new(),
+            batched_jobs: 0,
+            solo_jobs: 0,
+        }
+    }
+
+    /// Register a graph for serving (delegates to
+    /// [`SessionPool::register`]).
+    pub fn register_graph(&mut self, graph: Graph) -> GraphKey {
+        self.pool.register(graph)
+    }
+
+    /// The underlying pool (hit/miss counters, warm counts).
+    pub fn pool(&self) -> &SessionPool {
+        &self.pool
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The bounded queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs that rode a wide lane group so far.
+    pub fn batched_jobs(&self) -> u64 {
+        self.batched_jobs
+    }
+
+    /// Jobs that ran on the sequential fallback so far.
+    pub fn solo_jobs(&self) -> u64 {
+        self.solo_jobs
+    }
+
+    /// Admit `job` if the queue has room; [`PoolError::Backpressure`]
+    /// otherwise. The job is validated (graph key known) either way.
+    pub fn try_submit(&mut self, job: Job) -> Result<JobId, PoolError> {
+        if !self.pool.contains(job.graph) {
+            return Err(PoolError::UnknownGraph(job.graph));
+        }
+        if self.queue.len() >= self.capacity {
+            return Err(PoolError::Backpressure {
+                capacity: self.capacity,
+            });
+        }
+        Ok(self.enqueue(job))
+    }
+
+    /// Admit `job`, draining the backlog into `completed` first if the
+    /// queue is full — the blocking face of the bounded queue.
+    pub fn submit(&mut self, job: Job, completed: &mut Vec<JobOutput>) -> Result<JobId, PoolError> {
+        if !self.pool.contains(job.graph) {
+            return Err(PoolError::UnknownGraph(job.graph));
+        }
+        if self.queue.len() >= self.capacity {
+            self.drain(completed);
+        }
+        Ok(self.enqueue(job))
+    }
+
+    fn enqueue(&mut self, job: Job) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.queue.push_back((id, job));
+        id
+    }
+
+    /// The per-tenant aggregate meter (zero if the tenant never ran).
+    pub fn meter(&self, tenant: Tenant) -> TenantMeter {
+        self.meters.get(&tenant).copied().unwrap_or_default()
+    }
+
+    /// All tenant meters, sorted by tenant id.
+    pub fn meters(&self) -> Vec<(Tenant, TenantMeter)> {
+        let mut v: Vec<_> = self.meters.iter().map(|(&t, &m)| (t, m)).collect();
+        v.sort_by_key(|&(t, _)| t);
+        v
+    }
+
+    /// Run everything queued, appending one [`JobOutput`] per job to
+    /// `out` in submission (id) order. Grouping, chunking, and execution
+    /// order are deterministic functions of the queue contents, and
+    /// every output is bit-identical to the job's isolated run.
+    pub fn drain(&mut self, out: &mut Vec<JobOutput>) {
+        let start = out.len();
+        let mut jobs: Vec<(JobId, Job)> = self.queue.drain(..).collect();
+        // Group compatible jobs: same graph, same family. The sort is
+        // stable in effect (ids are unique), so lane order inside a
+        // group is submission order.
+        jobs.sort_by_key(|(id, j)| (j.graph.0, j.protocol.family() as u8, id.0));
+        let mut i = 0;
+        while i < jobs.len() {
+            let graph = jobs[i].1.graph;
+            let family = jobs[i].1.protocol.family();
+            let mut j = i + 1;
+            while j < jobs.len()
+                && jobs[j].1.graph == graph
+                && jobs[j].1.protocol.family() == family
+            {
+                j += 1;
+            }
+            let group = &jobs[i..j];
+            if group[0].1.protocol.wide_worthy() {
+                for chunk in group.chunks(MAX_LANES) {
+                    if chunk.len() == 1 {
+                        self.run_solo(&chunk[0], out);
+                    } else {
+                        self.run_wide_chunk(chunk, out);
+                    }
+                }
+            } else {
+                for job in group {
+                    self.run_solo(job, out);
+                }
+            }
+            i = j;
+        }
+        out[start..].sort_by_key(|o| o.id);
+    }
+
+    fn run_solo(&mut self, (id, job): &(JobId, Job), out: &mut Vec<JobOutput>) {
+        let cfg = EngineConfig {
+            seed: job.seed,
+            faults: job.faults.clone(),
+            ..self.config.clone()
+        };
+        let spec = job.protocol.clone();
+        let res = self
+            .pool
+            .with_session(job.graph, |s| run_spec_on_session(s, &spec, cfg));
+        self.solo_jobs += 1;
+        self.record(*id, job, res, false, out);
+    }
+
+    fn run_wide_chunk(&mut self, chunk: &[(JobId, Job)], out: &mut Vec<JobOutput>) {
+        let lanes: Vec<LaneSpec> = chunk
+            .iter()
+            .map(|(_, j)| LaneSpec {
+                seed: j.seed,
+                faults: j.faults.clone(),
+            })
+            .collect();
+        let specs: Vec<JobSpec> = chunk.iter().map(|(_, j)| j.protocol.clone()).collect();
+        let cfg = self.config.clone();
+        let res = self
+            .pool
+            .with_wide(chunk[0].1.graph, |w| run_specs_wide(w, &lanes, &specs, cfg));
+        match res {
+            Ok(results) => {
+                for ((id, job), r) in chunk.iter().zip(results) {
+                    self.batched_jobs += 1;
+                    self.record(*id, job, Ok(r), true, out);
+                }
+            }
+            Err(_) => {
+                // One lane blowing the shared round budget fails the
+                // whole wide run; retry each job alone so unaffected
+                // tenants still complete and the offender fails exactly
+                // as its isolated run would.
+                for job in chunk {
+                    self.run_solo(job, out);
+                }
+            }
+        }
+    }
+
+    fn record(
+        &mut self,
+        id: JobId,
+        job: &Job,
+        res: Result<(Vec<u64>, RunStats), EngineError>,
+        batched: bool,
+        out: &mut Vec<JobOutput>,
+    ) {
+        let (outputs, stats, status) = match res {
+            Ok((o, s)) => (o, s, JobStatus::Done),
+            Err(EngineError::RoundLimitExceeded { limit }) => (
+                Vec::new(),
+                RunStats::default(),
+                JobStatus::RoundLimit { limit },
+            ),
+        };
+        self.meters.entry(job.tenant).or_default().absorb(&stats);
+        out.push(JobOutput {
+            id,
+            tenant: job.tenant,
+            status,
+            outputs,
+            stats,
+            batched,
+        });
+    }
+}
+
+/// Run one job alone on a **fresh** [`Session`] — the oracle the pool is
+/// held to (`tests/proptest_pool.rs`) and the "one-Session-per-job" arm
+/// of the `serve_throughput` bench. Per-job `seed`/`faults` supersede
+/// `config`'s exactly as the server's runs do.
+pub fn run_job_isolated(
+    graph: &Graph,
+    spec: &JobSpec,
+    seed: u64,
+    faults: Option<FaultPlan>,
+    config: &EngineConfig,
+) -> Result<(Vec<u64>, RunStats), EngineError> {
+    let cfg = EngineConfig {
+        seed,
+        faults,
+        ..config.clone()
+    };
+    let mut session = Session::new(graph);
+    run_spec_on_session(&mut session, spec, cfg)
+}
+
+fn run_spec_on_session(
+    session: &mut Session<'_>,
+    spec: &JobSpec,
+    cfg: EngineConfig,
+) -> Result<(Vec<u64>, RunStats), EngineError> {
+    match *spec {
+        JobSpec::FloodMax => {
+            let ph = session.run(|v, _| FloodMax { best: v as u64 }, cfg)?;
+            let stats = ph.stats;
+            Ok((ph.take_outputs(), stats))
+        }
+        JobSpec::Rumor { source } => {
+            let ph = session.run(
+                |v, _| Rumor {
+                    is_source: v == source,
+                    heard: u64::MAX,
+                },
+                cfg,
+            )?;
+            let stats = ph.stats;
+            Ok((ph.take_outputs(), stats))
+        }
+        JobSpec::Gossip { rounds } => {
+            let ph = session.run(
+                |v, _| Gossip {
+                    until: rounds,
+                    acc: v as u64,
+                },
+                cfg,
+            )?;
+            let stats = ph.stats;
+            Ok((ph.take_outputs(), stats))
+        }
+    }
+}
+
+fn run_specs_wide(
+    w: &mut WideSession<'_>,
+    lanes: &[LaneSpec],
+    specs: &[JobSpec],
+    cfg: EngineConfig,
+) -> Result<Vec<(Vec<u64>, RunStats)>, EngineError> {
+    match specs[0].family() {
+        Family::FloodMax => {
+            let mut o = w.run(lanes, |v, _, _| FloodMax { best: v as u64 }, cfg)?;
+            Ok((0..o.lanes())
+                .map(|l| (o.take_lane_outputs(l), o.stats(l)))
+                .collect())
+        }
+        Family::Rumor => {
+            let sources: Vec<Node> = specs
+                .iter()
+                .map(|s| match s {
+                    JobSpec::Rumor { source } => *source,
+                    _ => unreachable!("mixed families in one lane group"),
+                })
+                .collect();
+            let mut o = w.run(
+                lanes,
+                |v, l, _| Rumor {
+                    is_source: v == sources[l],
+                    heard: u64::MAX,
+                },
+                cfg,
+            )?;
+            Ok((0..o.lanes())
+                .map(|l| (o.take_lane_outputs(l), o.stats(l)))
+                .collect())
+        }
+        Family::Gossip => unreachable!("dense families never batch wide"),
+    }
+}
+
+/// Flood-max leader election (see [`JobSpec::FloodMax`]).
+struct FloodMax {
+    best: u64,
+}
+
+impl Protocol for FloodMax {
+    type Msg = u64;
+    type Output = u64;
+    const QUIESCENT: bool = true;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        if ctx.round == 0 {
+            ctx.send_all(self.best);
+            return;
+        }
+        let prior = self.best;
+        self.best = ctx.inbox().fold(self.best, |b, (_, m)| b.max(m));
+        if self.best > prior {
+            ctx.send_all(self.best);
+        }
+        ctx.set_done(true);
+    }
+
+    fn finish(self) -> u64 {
+        self.best
+    }
+}
+
+/// Single-source rumor spreading (see [`JobSpec::Rumor`]).
+struct Rumor {
+    is_source: bool,
+    heard: u64,
+}
+
+impl Protocol for Rumor {
+    type Msg = u64;
+    type Output = u64;
+    const QUIESCENT: bool = true;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        if ctx.round == 0 {
+            if self.is_source {
+                self.heard = 0;
+                ctx.send_all(0);
+            }
+            ctx.set_done(true);
+            return;
+        }
+        if self.heard == u64::MAX && ctx.inbox_len() > 0 {
+            let r = ctx.round;
+            self.heard = r;
+            ctx.send_all(r);
+        }
+        ctx.set_done(true);
+    }
+
+    fn finish(self) -> u64 {
+        self.heard
+    }
+}
+
+/// Seeded dense gossip (see [`JobSpec::Gossip`]).
+struct Gossip {
+    until: u64,
+    acc: u64,
+}
+
+impl Protocol for Gossip {
+    type Msg = u64;
+    type Output = u64;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        for (p, m) in ctx.inbox() {
+            self.acc = self
+                .acc
+                .rotate_left(7)
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(m ^ p as u64);
+        }
+        if ctx.round < self.until {
+            let stir: u64 = ctx.rng().gen();
+            self.acc ^= stir;
+            ctx.send_all(self.acc);
+        }
+        ctx.set_done(ctx.round + 1 >= self.until);
+    }
+
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{cycle, harary, torus2d};
+
+    fn mk_job(graph: GraphKey, protocol: JobSpec, seed: u64, tenant: Tenant) -> Job {
+        Job {
+            graph,
+            protocol,
+            seed,
+            faults: None,
+            tenant,
+        }
+    }
+
+    #[test]
+    fn register_dedups_equal_graphs() {
+        let mut pool = SessionPool::new();
+        let a = pool.register(harary(4, 16));
+        let b = pool.register(harary(4, 16));
+        assert_eq!(a, b);
+        let c = pool.register(harary(4, 18));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn warm_states_are_reused() {
+        let mut pool = SessionPool::new();
+        let k = pool.register(cycle(8));
+        assert_eq!(pool.warm_count(k), 0);
+        for _ in 0..3 {
+            pool.with_session(k, |s| {
+                s.run(|v, _| FloodMax { best: v as u64 }, EngineConfig::serial())
+                    .unwrap()
+                    .stats
+            });
+        }
+        assert_eq!(pool.warm_count(k), 1);
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.hits(), 2);
+        // Wide checkouts share the same warm list.
+        pool.with_wide(k, |w| {
+            w.run(
+                &[LaneSpec::new(1), LaneSpec::new(2)],
+                |v, _, _| FloodMax { best: v as u64 },
+                EngineConfig::serial(),
+            )
+            .unwrap()
+            .stats(0)
+        });
+        assert_eq!(pool.hits(), 3);
+    }
+
+    #[test]
+    fn warm_limit_caps_parked_states() {
+        let mut pool = SessionPool::with_warm_limit(0);
+        let k = pool.register(cycle(6));
+        pool.with_session(k, |_| ());
+        assert_eq!(pool.warm_count(k), 0);
+        assert_eq!(pool.misses(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn foreign_key_panics() {
+        let mut a = SessionPool::new();
+        let mut b = SessionPool::new();
+        let ka = a.register(cycle(6));
+        let _kb = b.register(harary(4, 16));
+        b.with_session(ka, |_| ());
+    }
+
+    /// The mini oracle: a mixed drain is bit-identical, job for job, to
+    /// isolated fresh-session runs (the full version with faults,
+    /// shards, and meters lives in `tests/proptest_pool.rs`).
+    #[test]
+    fn mixed_drain_matches_isolated_runs() {
+        let cfg = EngineConfig::serial();
+        let mut server = PoolServer::new(cfg.clone(), 64);
+        let g1 = harary(4, 24);
+        let g2 = torus2d(4, 5);
+        let k1 = server.register_graph(g1.clone());
+        let k2 = server.register_graph(g2.clone());
+        let mut jobs = Vec::new();
+        for i in 0..13u64 {
+            let (key, g_n) = if i % 3 == 0 {
+                (k2, g2.n())
+            } else {
+                (k1, g1.n())
+            };
+            let protocol = match i % 4 {
+                0 => JobSpec::FloodMax,
+                1 => JobSpec::Rumor {
+                    source: (i as Node * 5) % g_n as Node,
+                },
+                2 => JobSpec::Gossip { rounds: 3 + i % 3 },
+                _ => JobSpec::Rumor { source: 0 },
+            };
+            let mut job = mk_job(key, protocol, 0xAB0 + i, (i % 3) as Tenant);
+            if i % 5 == 0 {
+                job.faults = Some(FaultPlan::new(1, 0xFA + i));
+            }
+            jobs.push(job);
+        }
+        let mut out = Vec::new();
+        for job in &jobs {
+            server.submit(job.clone(), &mut out).unwrap();
+        }
+        server.drain(&mut out);
+        assert_eq!(out.len(), jobs.len());
+        assert!(server.batched_jobs() > 0 && server.solo_jobs() > 0);
+        for (o, job) in out.iter().zip(&jobs) {
+            let g = if job.graph == k1 { &g1 } else { &g2 };
+            let (outputs, stats) =
+                run_job_isolated(g, &job.protocol, job.seed, job.faults.clone(), &cfg).unwrap();
+            assert_eq!(o.status, JobStatus::Done);
+            assert_eq!(o.outputs, outputs, "job {:?} outputs", o.id);
+            assert_eq!(o.stats, stats, "job {:?} stats", o.id);
+            assert_eq!(o.tenant, job.tenant);
+        }
+        // Meters really aggregate the per-job stats.
+        let total: u64 = out.iter().map(|o| o.stats.total_messages).sum();
+        let metered: u64 = server.meters().iter().map(|(_, m)| m.messages).sum();
+        assert_eq!(total, metered);
+        let jobs_metered: u64 = server.meters().iter().map(|(_, m)| m.jobs).sum();
+        assert_eq!(jobs_metered, out.len() as u64);
+    }
+
+    #[test]
+    fn try_submit_backpressures_and_submit_drains() {
+        let mut server = PoolServer::new(EngineConfig::serial(), 2);
+        let k = server.register_graph(cycle(8));
+        let job = mk_job(k, JobSpec::FloodMax, 1, 0);
+        server.try_submit(job.clone()).unwrap();
+        server.try_submit(job.clone()).unwrap();
+        assert_eq!(
+            server.try_submit(job.clone()),
+            Err(PoolError::Backpressure { capacity: 2 })
+        );
+        let mut out = Vec::new();
+        server.submit(job.clone(), &mut out).unwrap();
+        assert_eq!(out.len(), 2, "submit drained the full queue first");
+        assert_eq!(server.queued(), 1);
+    }
+
+    #[test]
+    fn unknown_graph_is_rejected() {
+        let mut server = PoolServer::new(EngineConfig::serial(), 4);
+        let mut other = SessionPool::new();
+        let foreign = other.register(cycle(8));
+        let err = server.try_submit(mk_job(foreign, JobSpec::FloodMax, 1, 0));
+        assert_eq!(err, Err(PoolError::UnknownGraph(foreign)));
+    }
+
+    #[test]
+    fn round_limit_fails_per_job_not_per_batch() {
+        // Two lanes whose isolated runs terminate inside the budget and
+        // one that cannot: the wide run fails, the fallback retries each
+        // alone, and only the offender reports RoundLimit.
+        let mut cfg = EngineConfig::serial();
+        cfg.max_rounds = 8;
+        let mut server = PoolServer::new(cfg, 8);
+        let k = server.register_graph(cycle(6));
+        let ok1 = server
+            .try_submit(mk_job(k, JobSpec::FloodMax, 1, 0))
+            .unwrap();
+        let ok2 = server
+            .try_submit(mk_job(k, JobSpec::FloodMax, 2, 0))
+            .unwrap();
+        // FloodMax on a 6-cycle settles within 8 rounds; gossip for 20
+        // rounds cannot.
+        let bad = server
+            .try_submit(mk_job(k, JobSpec::Gossip { rounds: 20 }, 3, 1))
+            .unwrap();
+        let mut out = Vec::new();
+        server.drain(&mut out);
+        let by_id = |id: JobId| out.iter().find(|o| o.id == id).unwrap();
+        assert_eq!(by_id(ok1).status, JobStatus::Done);
+        assert_eq!(by_id(ok2).status, JobStatus::Done);
+        assert_eq!(by_id(bad).status, JobStatus::RoundLimit { limit: 8 });
+        assert!(by_id(bad).outputs.is_empty());
+        // The round-limited job still counts toward its tenant's meter.
+        assert_eq!(server.meter(1).jobs, 1);
+        assert_eq!(server.meter(1).messages, 0);
+    }
+
+    #[test]
+    fn wide_group_failure_falls_back_to_solo() {
+        // FloodMax on a long cycle needs ~n/2 rounds; a 3-round budget
+        // fails the wide group, and the per-job fallback then fails each
+        // job exactly as its isolated run would.
+        let mut cfg = EngineConfig::serial();
+        cfg.max_rounds = 3;
+        let mut server = PoolServer::new(cfg, 8);
+        let k = server.register_graph(cycle(32));
+        for s in 0..3 {
+            server
+                .try_submit(mk_job(k, JobSpec::FloodMax, s, 0))
+                .unwrap();
+        }
+        let mut out = Vec::new();
+        server.drain(&mut out);
+        assert_eq!(out.len(), 3);
+        for o in &out {
+            assert_eq!(o.status, JobStatus::RoundLimit { limit: 3 });
+            assert!(!o.batched);
+        }
+        assert_eq!(server.batched_jobs(), 0);
+        assert_eq!(server.solo_jobs(), 3);
+    }
+
+    #[test]
+    fn outputs_come_back_in_submission_order() {
+        let mut server = PoolServer::new(EngineConfig::serial(), 64);
+        let ka = server.register_graph(harary(4, 16));
+        let kb = server.register_graph(cycle(10));
+        let mut ids = Vec::new();
+        // Interleave graphs and families so the grouped execution order
+        // differs maximally from submission order.
+        for i in 0..12u64 {
+            let key = if i % 2 == 0 { ka } else { kb };
+            let protocol = if i % 3 == 0 {
+                JobSpec::Gossip { rounds: 2 }
+            } else {
+                JobSpec::FloodMax
+            };
+            ids.push(server.try_submit(mk_job(key, protocol, i, 0)).unwrap());
+        }
+        let mut out = Vec::new();
+        server.drain(&mut out);
+        let got: Vec<JobId> = out.iter().map(|o| o.id).collect();
+        assert_eq!(got, ids);
+    }
+}

@@ -291,6 +291,19 @@ impl<'g> WideSession<'g> {
         self.graph
     }
 
+    /// Rehost detached engine state on `graph` — the pool checkout path.
+    /// The caller (the session pool) guarantees the state was built for
+    /// an equal graph, so no repair pass is needed.
+    pub(crate) fn from_state(graph: &'g Graph, state: SessionState) -> WideSession<'g> {
+        debug_assert!(state.fits(graph));
+        WideSession { graph, state }
+    }
+
+    /// Detach the engine state for warm reuse (the pool release path).
+    pub(crate) fn into_state(self) -> SessionState {
+        self.state
+    }
+
     /// Run `lanes.len()` independent instances of `P` to termination in
     /// one interleaved sweep. `factory(v, l, g)` builds lane `l`'s
     /// protocol state for node `v`; lane `l`'s RNGs and faults come from

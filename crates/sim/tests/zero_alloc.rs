@@ -9,8 +9,8 @@
 
 use congest_sim::sched::{random_delays, Multiplexed};
 use congest_sim::{
-    run_protocol, ChurnSession, EngineConfig, FaultPlan, LaneSpec, Mutation, NodeCtx, Protocol,
-    Session, WideSession,
+    run_protocol, ChurnSession, EngineConfig, FaultPlan, GraphKey, LaneSpec, Mutation, NodeCtx,
+    Protocol, Session, SessionPool, WideSession,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -395,6 +395,65 @@ fn churn_cycle(sess: &mut ChurnSession, rounds: u64, cfg: &EngineConfig) -> u64 
     acc
 }
 
+/// One pool steady-state cycle: acquire a warm state → run a phase →
+/// release → **re-acquire** (sequential then wide checkout of the same
+/// warm list), folding borrowed outputs so nothing escapes the closure.
+/// Once the warm state has reached its high-water footprint, the whole
+/// cycle — fingerprint lookup, checkout, two engine runs, park — must
+/// allocate exactly zero.
+fn pool_cycle(
+    pool: &mut SessionPool,
+    key: GraphKey,
+    lanes: &[LaneSpec],
+    rounds: u64,
+    cfg: &EngineConfig,
+) -> u64 {
+    let mut acc = pool.with_session(key, |s| {
+        let ph = s
+            .run(
+                |_, _| Chatter {
+                    until: rounds,
+                    acc: 1,
+                },
+                cfg.clone(),
+            )
+            .unwrap();
+        ph.outputs().iter().fold(0, |a, &x| a ^ x) ^ ph.stats.total_messages
+    });
+    // Re-acquire the state just released — first as a plain session on a
+    // u128-word phase (slab reuse across checkouts), then as a wide batch.
+    acc ^= pool.with_session(key, |s| {
+        let ph = s
+            .run(
+                |v, _| WidePhase {
+                    node: v,
+                    until: rounds,
+                    acc: 1,
+                },
+                cfg.clone(),
+            )
+            .unwrap();
+        ph.outputs().iter().fold(0, |a, &x| a ^ x) ^ ph.stats.dropped_messages
+    });
+    acc ^ pool.with_wide(key, |w| {
+        let out = w
+            .run(
+                lanes,
+                |_, l, _| StaggerChatter {
+                    until: rounds / 2 + l as u64,
+                    acc: 1,
+                },
+                cfg.clone(),
+            )
+            .unwrap();
+        let mut a = 0u64;
+        for l in 0..out.lanes() {
+            a ^= out.outputs(l).iter().fold(0, |x, &y| x ^ y) ^ out.stats(l).total_messages;
+        }
+        a
+    })
+}
+
 fn allocs_for(g: &congest_graph::Graph, rounds: u64, cfg: EngineConfig) -> u64 {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let out = run_protocol(
@@ -652,6 +711,38 @@ fn round_loop_allocates_nothing_after_setup() {
             "wide cycles allocated {} times after setup (parallel={})",
             after - before,
             cfg.parallel
+        );
+        assert_ne!(acc, warm.wrapping_add(1), "keep results observable");
+    }
+
+    // --- Session pool: the serving layer's steady state. Register pays
+    // the graph clone and warm-list growth once; after a warm-up cycle
+    // sizes the parked state's slabs and arenas, every
+    // acquire → run → release → re-acquire cycle — including the
+    // sequential→wide checkout switch on the *same* warm state — must
+    // allocate **exactly zero**, serial and parallel.
+    for cfg in [EngineConfig::serial(), EngineConfig::default()] {
+        let lanes = LaneSpec::batch(7, 8);
+        let mut pool = SessionPool::new();
+        let key = pool.register(g.clone());
+        let warm = pool_cycle(&mut pool, key, &lanes, 12, &cfg);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let mut acc = 0u64;
+        for _ in 0..3 {
+            acc ^= pool_cycle(&mut pool, key, &lanes, 12, &cfg);
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "pool cycles allocated {} times after warm-up (parallel={})",
+            after - before,
+            cfg.parallel
+        );
+        assert_eq!(pool.misses(), 1, "only the very first checkout is cold");
+        assert!(
+            pool.hits() >= 11,
+            "every later checkout reuses the warm state"
         );
         assert_ne!(acc, warm.wrapping_add(1), "keep results observable");
     }

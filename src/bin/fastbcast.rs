@@ -6,6 +6,7 @@
 //! fastbcast packing   <family> [--trees T] [--exact]   tree packings (partition / matroid union)
 //! fastbcast apsp      <family> [--seed S]              (3,2)-approximate APSP quality report
 //! fastbcast cuts      <family> [--eps E] [--seed S]    sparsifier all-cuts report
+//! fastbcast serve     [--graphs G1+G2] [--jobs N] ...  multi-tenant session-pool server (job mix)
 //!
 //! <family> grammar:
 //!   harary:L,N | complete:N | torus:RxC | hypercube:D | clique-chain:C,S,B
@@ -34,6 +35,9 @@ use fast_broadcast::graph::metrics::GraphParams;
 use fast_broadcast::graph::{Graph, WeightedGraph};
 use fast_broadcast::packing::matroid::exact_tree_packing;
 use fast_broadcast::packing::random_partition::partition_packing_retrying;
+use fast_broadcast::sim::fault::FaultPlan;
+use fast_broadcast::sim::rng::mix64;
+use fast_broadcast::sim::{EngineConfig, Job, JobSpec, JobStatus, PoolServer};
 use fast_broadcast::sparsify::cuts::theorem7_all_cuts;
 use std::process::ExitCode;
 
@@ -43,7 +47,8 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("run `fastbcast help` for usage");
+            eprintln!();
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
@@ -63,6 +68,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "packing" => cmd_packing(&args[1..]),
         "apsp" => cmd_apsp(&args[1..]),
         "cuts" => cmd_cuts(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -75,6 +81,8 @@ fastbcast — fast broadcast in highly connected networks (SPAA 2024 reproductio
   fastbcast packing   <family> [--trees T] [--exact] [--seed S]
   fastbcast apsp      <family> [--seed S]
   fastbcast cuts      <family> [--eps E] [--seed S]
+  fastbcast serve     [--graphs F1+F2+..] [--jobs N] [--tenants T] [--queue Q]
+                      [--mix flood,rumor,gossip] [--fault-edges F] [--seed S] [--serial]
 
 families:
   harary:L,N         circulant with λ = L on N nodes
@@ -105,59 +113,68 @@ fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-/// Parse a family spec like `harary:16,96`.
+/// Parse a family spec like `harary:16,96`. Every malformed spec —
+/// missing `:`, wrong parameter count, non-numeric parameter — is a
+/// clean `Err`, never a panic.
 fn parse_family(spec: &str) -> Result<Graph, String> {
-    let (kind, rest) = spec.split_once(':').ok_or("family must be kind:params")?;
-    let nums = |s: &str| -> Result<Vec<usize>, String> {
-        s.split([',', 'x'])
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or(format!("family must be kind:params, got `{spec}`"))?;
+    let nums = |arity: usize, grammar: &str| -> Result<Vec<usize>, String> {
+        let v: Vec<usize> = rest
+            .split([',', 'x'])
             .map(|x| {
                 x.parse()
                     .map_err(|_| format!("bad number `{x}` in `{spec}`"))
             })
-            .collect()
+            .collect::<Result<_, _>>()?;
+        if v.len() != arity {
+            return Err(format!(
+                "`{spec}` takes {arity} parameter(s): {grammar}, got {}",
+                v.len()
+            ));
+        }
+        Ok(v)
     };
     match kind {
         "harary" => {
-            let v = nums(rest)?;
-            if v.len() != 2 {
-                return Err("harary:L,N".into());
-            }
+            let v = nums(2, "harary:L,N")?;
             Ok(gen::harary(v[0], v[1]))
         }
-        "complete" => Ok(gen::complete(nums(rest)?[0])),
+        "complete" => Ok(gen::complete(nums(1, "complete:N")?[0])),
         "torus" => {
-            let v = nums(rest)?;
+            let v = nums(2, "torus:RxC")?;
             Ok(gen::torus2d(v[0], v[1]))
         }
-        "hypercube" => Ok(gen::hypercube(nums(rest)?[0])),
+        "hypercube" => Ok(gen::hypercube(nums(1, "hypercube:D")?[0])),
         "clique-chain" => {
-            let v = nums(rest)?;
+            let v = nums(3, "clique-chain:C,S,B")?;
             Ok(gen::clique_chain(v[0], v[1], v[2]))
         }
         "thick-path" => {
-            let v = nums(rest)?;
+            let v = nums(2, "thick-path:L,W")?;
             Ok(gen::thick_path(v[0], v[1]))
         }
         "gnp" => {
             let (n, p) = rest.split_once(',').ok_or("gnp:N,P")?;
-            let n: usize = n.parse().map_err(|_| "bad N")?;
-            let p: f64 = p.parse().map_err(|_| "bad P")?;
+            let n: usize = n.parse().map_err(|_| format!("bad N `{n}` in `{spec}`"))?;
+            let p: f64 = p.parse().map_err(|_| format!("bad P `{p}` in `{spec}`"))?;
             Ok(gen::gnp_connected(n, p, 0xC11))
         }
         "regular" => {
-            let v = nums(rest)?;
+            let v = nums(2, "regular:N,D")?;
             Ok(gen::random_regular(v[0], v[1], 0xC11))
         }
         "gk13" => {
-            let v = nums(rest)?;
+            let v = nums(2, "gk13:COLS,L")?;
             Ok(gen::gk13_lower_bound(v[0], v[1]).0)
         }
         "barbell" => {
-            let v = nums(rest)?;
+            let v = nums(2, "barbell:S,P")?;
             Ok(gen::barbell(v[0], v[1]))
         }
         "bipartite" => {
-            let v = nums(rest)?;
+            let v = nums(2, "bipartite:A,B")?;
             Ok(gen::complete_bipartite(v[0], v[1]))
         }
         other => Err(format!("unknown family kind `{other}`")),
@@ -322,5 +339,113 @@ fn cmd_cuts(args: &[String]) -> Result<(), String> {
         "min cut       : {} → {} (G → sparsifier)",
         out.quality.min_cut_g, out.quality.min_cut_h
     );
+    Ok(())
+}
+
+/// The in-process serving driver: register a graph mix, synthesize a
+/// deterministic multi-tenant job stream over it, push it through the
+/// session-pool server (bounded queue → batched wide lane groups), and
+/// report throughput plus the per-tenant congestion/bit meters.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let graphs_spec: String = opt(args, "--graphs", "harary:6,256+torus:16x16".to_string())?;
+    let jobs: u64 = opt(args, "--jobs", 96u64)?;
+    let tenants: u32 = opt(args, "--tenants", 4u32)?;
+    let queue: usize = opt(args, "--queue", 32usize)?;
+    let seed: u64 = opt(args, "--seed", 42u64)?;
+    let fault_edges: usize = opt(args, "--fault-edges", 0usize)?;
+    let mix_spec: String = opt(args, "--mix", "flood,rumor,gossip".to_string())?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    if tenants == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    if queue == 0 {
+        return Err("--queue must be at least 1".into());
+    }
+    let graphs: Vec<Graph> = graphs_spec
+        .split('+')
+        .map(parse_family)
+        .collect::<Result<_, _>>()?;
+    let mix: Vec<&str> = mix_spec.split(',').collect();
+    for fam in &mix {
+        if !matches!(*fam, "flood" | "rumor" | "gossip") {
+            return Err(format!(
+                "unknown mix family `{fam}` (expected flood|rumor|gossip)"
+            ));
+        }
+    }
+
+    let config = if flag(args, "--serial") {
+        EngineConfig::serial()
+    } else {
+        EngineConfig::default()
+    };
+    let mut server = PoolServer::new(config, queue);
+    let keys: Vec<_> = graphs
+        .iter()
+        .map(|g| (server.register_graph(g.clone()), g.n()))
+        .collect();
+    println!(
+        "serving {jobs} jobs: {} graph(s) × {} famil(y/ies), {tenants} tenant(s), queue capacity {queue}",
+        keys.len(),
+        mix.len()
+    );
+
+    let mut out = Vec::with_capacity(jobs as usize);
+    let t0 = std::time::Instant::now();
+    for j in 0..jobs {
+        let (key, n) = keys[j as usize % keys.len()];
+        let protocol = match mix[(j as usize / keys.len()) % mix.len()] {
+            "flood" => JobSpec::FloodMax,
+            "rumor" => JobSpec::Rumor {
+                source: (mix64(seed ^ j) % n as u64) as u32,
+            },
+            _ => JobSpec::Gossip { rounds: 4 + j % 4 },
+        };
+        let faults = (fault_edges > 0 && j % 2 == 1)
+            .then(|| FaultPlan::new(fault_edges, mix64(seed ^ 0xFA17 ^ j)));
+        let job = Job {
+            graph: key,
+            protocol,
+            seed: mix64(seed ^ mix64(j)),
+            faults,
+            tenant: (j % tenants as u64) as u32,
+        };
+        // `submit` drains the backlog when the bounded queue fills — the
+        // in-process face of backpressure.
+        server.submit(job, &mut out).map_err(|e| e.to_string())?;
+    }
+    server.drain(&mut out);
+    let secs = t0.elapsed().as_secs_f64();
+
+    let failed = out
+        .iter()
+        .filter(|o| !matches!(o.status, JobStatus::Done))
+        .count();
+    println!(
+        "\ndrained     : {} jobs in {secs:.3} s → {:.0} jobs/sec",
+        out.len(),
+        out.len() as f64 / secs.max(1e-9)
+    );
+    println!(
+        "batching    : {} wide-batched, {} sequential, {failed} round-limited",
+        server.batched_jobs(),
+        server.solo_jobs()
+    );
+    println!(
+        "pool        : {} graph entr(y/ies), {} warm hits, {} cold builds",
+        keys.len(),
+        server.pool().hits(),
+        server.pool().misses()
+    );
+    println!("\nper-tenant meters:");
+    println!("  tenant      jobs    rounds  messages   dropped  max-cong  max-bits");
+    for (t, m) in server.meters() {
+        println!(
+            "  {t:<8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            m.jobs, m.rounds, m.messages, m.dropped, m.max_edge_congestion, m.max_message_bits
+        );
+    }
     Ok(())
 }

@@ -1,0 +1,127 @@
+//! `fastbcast` CLI error-path contract: every malformed invocation —
+//! bad family specs, non-numeric flag values, unknown subcommands,
+//! missing arguments — exits non-zero with an `error:` line plus the
+//! usage text on stderr, and never panics or silently succeeds.
+
+use std::process::Command;
+
+fn fastbcast(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_fastbcast"))
+        .args(args)
+        .output()
+        .expect("spawn fastbcast")
+}
+
+#[test]
+fn bad_invocations_fail_with_usage_on_stderr() {
+    // (args, substring the error message must carry)
+    let table: &[(&[&str], &str)] = &[
+        (&[], "missing subcommand"),
+        (&["frobnicate"], "unknown subcommand"),
+        (&["params"], "params needs a <family>"),
+        (&["params", "harary"], "kind:params"),
+        (&["params", "klein:4,4"], "unknown family kind"),
+        (&["params", "harary:a,b"], "bad number"),
+        (&["params", "harary:16"], "2 parameter(s)"),
+        (&["params", "complete:"], "bad number"),
+        (&["params", "complete:8,9"], "1 parameter(s)"),
+        (&["params", "torus:3"], "2 parameter(s)"),
+        (&["params", "hypercube:3,3"], "1 parameter(s)"),
+        (&["params", "clique-chain:4,6"], "3 parameter(s)"),
+        (&["params", "thick-path:9"], "2 parameter(s)"),
+        (&["params", "regular:64"], "2 parameter(s)"),
+        (&["params", "gk13:4"], "2 parameter(s)"),
+        (&["params", "barbell:8"], "2 parameter(s)"),
+        (&["params", "bipartite:4"], "2 parameter(s)"),
+        (&["params", "gnp:64"], "gnp:N,P"),
+        (&["params", "gnp:x,0.5"], "bad N"),
+        (&["broadcast"], "broadcast needs a <family>"),
+        (
+            &["broadcast", "harary:4,32", "--k", "zebra"],
+            "bad value for --k",
+        ),
+        (
+            &["broadcast", "harary:4,32", "--seed"],
+            "--seed needs a value",
+        ),
+        (
+            &["packing", "complete:16", "--trees", "-3"],
+            "bad value for --trees",
+        ),
+        (
+            &["apsp", "harary:4,32", "--seed", "1.5"],
+            "bad value for --seed",
+        ),
+        (
+            &["cuts", "harary:4,32", "--eps", "wide"],
+            "bad value for --eps",
+        ),
+        (&["serve", "--jobs", "many"], "bad value for --jobs"),
+        (&["serve", "--jobs", "0"], "--jobs must be at least 1"),
+        (&["serve", "--queue", "0"], "--queue must be at least 1"),
+        (&["serve", "--graphs", "harary:4"], "2 parameter(s)"),
+        (&["serve", "--mix", "flood,osmosis"], "unknown mix family"),
+    ];
+    for (args, needle) in table {
+        let out = fastbcast(args);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            !out.status.success(),
+            "fastbcast {args:?} should fail, got success\nstderr: {stderr}"
+        );
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "fastbcast {args:?} should exit 1 (a panic exits 101)\nstderr: {stderr}"
+        );
+        assert!(
+            stderr.contains("error:"),
+            "fastbcast {args:?} stderr missing `error:`\nstderr: {stderr}"
+        );
+        assert!(
+            stderr.contains(needle),
+            "fastbcast {args:?} stderr missing `{needle}`\nstderr: {stderr}"
+        );
+        assert!(
+            stderr.contains("fastbcast params"),
+            "fastbcast {args:?} stderr missing usage text\nstderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn good_invocations_still_succeed() {
+    for args in [
+        &["params", "harary:4,16"][..],
+        &["help"],
+        &[
+            "serve",
+            "--jobs",
+            "8",
+            "--graphs",
+            "harary:4,32",
+            "--serial",
+        ],
+    ] {
+        let out = fastbcast(args);
+        assert!(
+            out.status.success(),
+            "fastbcast {args:?} failed\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let serve = fastbcast(&[
+        "serve",
+        "--jobs",
+        "8",
+        "--graphs",
+        "harary:4,32",
+        "--serial",
+    ]);
+    let stdout = String::from_utf8_lossy(&serve.stdout);
+    assert!(stdout.contains("jobs/sec"), "serve output: {stdout}");
+    assert!(
+        stdout.contains("per-tenant meters"),
+        "serve output: {stdout}"
+    );
+}
