@@ -140,7 +140,7 @@ pub enum BroadcastError {
     },
     /// The connectivity watchdog found the graph disconnected: no number
     /// of subgraphs can span it, so degradation refuses to burn retries
-    /// and reports cleanly instead (see [`crate::watchdog`]).
+    /// and reports cleanly instead (see [`crate::watchdog()`]).
     Disconnected,
     Engine(EngineError),
 }
@@ -246,17 +246,24 @@ pub fn partition_broadcast_hosted(
     let lp = params.num_subgraphs;
     let mut phases = PhaseLog::new();
 
+    // Phase stats are recorded together with the engine's post-phase
+    // state hash (the snapshot/replay checkpoint signal), which needs
+    // the host back — so each phase captures its stats, releases the
+    // outcome, then records.
+
     // Phase 1: leader election.
     let leaders = host.run(|v, _| FloodMax::new(v), cfg.engine(1))?;
-    phases.record("leader-election", leaders.stats);
+    let st = leaders.stats;
     let root = leaders.outputs()[0].leader;
     drop(leaders);
+    phases.record_hashed("leader-election", st, host.state_hash());
 
     // Phase 2: BFS on G from the leader.
     let bfs = host.run(|v, _| BfsProtocol::new(root, v), cfg.engine(2))?;
-    phases.record("bfs", bfs.stats);
+    let st = bfs.stats;
     let views: Vec<TreeView> = bfs.outputs().iter().map(TreeView::from_bfs).collect();
     drop(bfs);
+    phases.record_hashed("bfs", st, host.state_hash());
 
     // Phase 3: Lemma 3 numbering of the k messages.
     let payloads = input.payloads_by_node(n);
@@ -264,7 +271,7 @@ pub fn partition_broadcast_hosted(
         |v, _| Numbering::new(views[v as usize].clone(), payloads[v as usize].len() as u64),
         cfg.engine(3),
     )?;
-    phases.record("numbering", numbering.stats);
+    let numbering_stats = numbering.stats;
     debug_assert!(numbering.outputs().iter().all(|&(_, total)| total == k));
 
     // Locally at each node: message j (input order) gets id start_v + j.
@@ -277,22 +284,25 @@ pub fn partition_broadcast_hosted(
         })
         .collect();
     drop(numbering);
+    phases.record_hashed("numbering", numbering_stats, host.state_hash());
 
     // Phase 4: edge partition (one round).
     let part_protocol = host.run(
         |v, gr| EdgePartitionProtocol::new(v, cfg.seed, lp, gr.degree(v)),
         cfg.engine(4),
     )?;
-    phases.record("edge-partition", part_protocol.stats);
+    let st = part_protocol.stats;
     let port_colors: Vec<Vec<u32>> = part_protocol.take_outputs();
+    phases.record_hashed("edge-partition", st, host.state_hash());
 
     // Phase 5: parallel BFS in every class.
     let sub_bfs_run = host.run(
         |v, _| SubgraphBfs::new(root, v, port_colors[v as usize].clone(), lp),
         cfg.engine(5),
     )?;
-    phases.record("subgraph-bfs", sub_bfs_run.stats);
+    let st = sub_bfs_run.stats;
     let sub_bfs = sub_bfs_run.take_outputs();
+    phases.record_hashed("subgraph-bfs", st, host.state_hash());
     // Verify Theorem 2's event: every class spans.
     for c in 0..lp {
         let unreached = sub_bfs.iter().filter(|infos| !infos[c].reached).count();
@@ -339,8 +349,9 @@ pub fn partition_broadcast_hosted(
         },
         cfg.engine(6),
     )?;
-    phases.record("parallel-routing", routing.stats);
+    let st = routing.stats;
     let per_node = routing.take_outputs();
+    phases.record_hashed("parallel-routing", st, host.state_hash());
 
     // Expected checksums from the id assignment.
     let all_msgs: Vec<(u32, u64)> = (0..n)

@@ -18,7 +18,7 @@
 //! | Theorems 3 & 8 | [`lower_bounds`] | information-theoretic universal lower-bound calculators |
 //! | §1.2 | [`congested_clique`] | simulating rounds of the broadcast congested clique \[DKO14\] |
 //! | §1.2 / \[FP23\] | [`resilient`] | replicated broadcast surviving a mobile edge adversary |
-//! | robustness (DESIGN.md §3) | [`watchdog`] | phase-boundary connectivity watchdog + retry-and-degrade broadcast under churn |
+//! | robustness (DESIGN.md §3) | [`mod@watchdog`] | phase-boundary connectivity watchdog + retry-and-degrade broadcast under churn |
 //!
 //! All protocols are *message-driven* (progress on arrival rather than on
 //! round counting), which makes them tolerant of the random-delay

@@ -171,7 +171,7 @@ pub fn resilient_broadcast(
 
 /// [`resilient_broadcast`] on a caller-provided engine host, so drivers
 /// that compose broadcasts (and the degradation loop in
-/// [`crate::watchdog`]) reuse one preallocated engine across attempts.
+/// [`crate::watchdog()`]) reuse one preallocated engine across attempts.
 pub fn resilient_broadcast_hosted(
     host: &mut PhaseHost<'_>,
     input: &BroadcastInput,

@@ -9,7 +9,7 @@
 //!
 //! This module closes that gap in two layers:
 //!
-//! * a **watchdog** ([`watchdog`]) run at the phase boundary: it
+//! * a **watchdog** ([`watchdog()`]) run at the phase boundary: it
 //!   re-measures connectivity (cheap `δ ≥ λ` upper bound by default,
 //!   exact λ via [`congest_graph::algo::edge_connectivity`] on demand)
 //!   and recomputes the λ′ the *current* graph supports;

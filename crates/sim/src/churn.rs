@@ -4,7 +4,7 @@
 //! The paper's fault model (§1.2) masks edges per round but never changes
 //! the graph. Real networks churn: links come and go, nodes crash and
 //! come back. A [`ChurnSession`] is the session engine's answer — it owns
-//! a mutable [`Graph`] plus the engine's [`SessionState`] and a
+//! a mutable [`Graph`] plus the engine's `SessionState` and a
 //! [`MutationQueue`] of pending [`Mutation`]s. Mutations are **applied
 //! only at phase boundaries** (the CONGEST round structure stays intact
 //! within a phase), and applying a batch *repairs* rather than rebuilds:
@@ -20,6 +20,14 @@
 //! The repaired engine is **bit-identical** to a freshly built one:
 //! `tests/proptest_churn.rs` pins mutate-then-run against
 //! rebuild-then-run across churn schedules × shard counts × meter modes.
+//! Phases between batches keep the resident engine's steady-state
+//! contract — a warm churn cycle (queue → apply → run) allocates nothing
+//! (pinned by `tests/zero_alloc.rs`); only a repair that *grows* an
+//! arc-keyed buffer past its high-water mark allocates. A
+//! [`ChurnSession`] can also be checkpointed mid-scenario:
+//! [`ChurnSession::snapshot`] captures the mutated graph, crash/parked
+//! bookkeeping, and engine payload in one frame (see [`crate::snapshot`]
+//! — pending [`Mutation`]s are deliberately *not* captured).
 //!
 //! **Crash semantics.** `Crash(v)` removes every live edge incident to
 //! `v` and *parks* it; `Revive(v)` re-adds the parked edges whose other
@@ -233,6 +241,151 @@ impl ChurnSession {
     /// Cumulative churn counters.
     pub fn stats(&self) -> ChurnStats {
         self.stats
+    }
+
+    /// [`Session::state_hash`] of the resident engine — the same
+    /// phase-boundary signal, computed on the churned topology's state.
+    pub fn state_hash(&self) -> u64 {
+        self.state.state_hash()
+    }
+
+    /// Serialize the session at a phase boundary into `out` (cleared
+    /// first). Unlike [`Session::snapshot_into`], a churn frame **embeds
+    /// the topology** (the graph is owned and mutated, so the restorer
+    /// cannot be handed it separately) plus the crash flags, the parked
+    /// edges, and the cumulative [`ChurnStats`].
+    ///
+    /// **Not captured:** the pending [`MutationQueue`] — queued
+    /// mutations are client intent, not engine state. Call
+    /// [`ChurnSession::apply_pending`] (or [`MutationQueue::clear`])
+    /// first; a snapshot taken with a non-empty queue simply does not
+    /// carry it.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        use crate::snapshot;
+        out.clear();
+        let mut flags = snapshot::FLAG_GRAPH | snapshot::FLAG_CHURN;
+        if self.state.clean {
+            flags |= snapshot::FLAG_CLEAN;
+        }
+        snapshot::begin(
+            out,
+            &snapshot::Frame {
+                flags,
+                fingerprint: self.graph.fingerprint(),
+                n: self.graph.n() as u64,
+                m: self.graph.m() as u64,
+                arcs: self.graph.num_arcs() as u64,
+                plan_key: self.state.plan_key(),
+                state_hash: self.state.state_hash(),
+                capacities: self.state.capacities(),
+            },
+        );
+        snapshot::put_graph(out, &self.graph);
+        // Churn section: crash flags, parked edges (per crashed owner,
+        // flattened endpoint pairs), cumulative counters.
+        let crash_bytes: Vec<u8> = self.crashed.iter().map(|&c| c as u8).collect();
+        snapshot::put_u8s(out, &crash_bytes);
+        for held in &self.held {
+            let flat: Vec<u32> = held.iter().flat_map(|&(u, v)| [u, v]).collect();
+            snapshot::put_u32s(out, &flat);
+        }
+        snapshot::put_u64(out, self.stats.batches);
+        snapshot::put_u64(out, self.stats.edges_added);
+        snapshot::put_u64(out, self.stats.edges_removed);
+        snapshot::put_u64(out, self.stats.crashes);
+        snapshot::put_u64(out, self.stats.revives);
+        self.state.encode_payload(out);
+        snapshot::finish(out);
+    }
+
+    /// [`ChurnSession::snapshot_into`] into a fresh buffer.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Restore a churn snapshot into a new owning session. The embedded
+    /// edge list is rebuilt through [`congest_graph::GraphBuilder`]
+    /// (edge ids are canonical, so the CSR round-trips exactly),
+    /// re-validated structurally, and checked against the recorded
+    /// fingerprint; the engine payload then goes through the same
+    /// validation chain as [`Session::restore`], ending with the
+    /// state-hash re-verification. The restored session continues
+    /// bit-identically — including future [`Mutation`]s, since the crash
+    /// flags and parked edges come along.
+    pub fn restore(bytes: &[u8]) -> Result<ChurnSession, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{self, SnapshotError};
+        let (header, mut r) = snapshot::open(bytes)?;
+        if !header.has_graph || !header.has_churn {
+            return Err(SnapshotError::WrongKind);
+        }
+        let graph = snapshot::read_graph(&mut r, header.fingerprint)?;
+        if (header.n, header.m, header.arcs)
+            != (graph.n() as u64, graph.m() as u64, graph.num_arcs() as u64)
+        {
+            return Err(SnapshotError::SizeMismatch("graph shape"));
+        }
+        let n = graph.n();
+        let crash_bytes = r.u8s()?;
+        if crash_bytes.len() != n || crash_bytes.iter().any(|&b| b > 1) {
+            return Err(SnapshotError::SizeMismatch("crash flags"));
+        }
+        let crashed: Vec<bool> = crash_bytes.iter().map(|&b| b != 0).collect();
+        let mut held: Vec<Vec<(Node, Node)>> = Vec::with_capacity(n);
+        for &down in crashed.iter() {
+            let flat = r.u32s()?;
+            if flat.len() % 2 != 0 {
+                return Err(SnapshotError::SizeMismatch("parked edges"));
+            }
+            if !flat.is_empty() && !down {
+                // Parked edges are owned by crashed nodes only.
+                return Err(SnapshotError::SizeMismatch("parked edges"));
+            }
+            let pairs: Vec<(Node, Node)> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+            if pairs
+                .iter()
+                .any(|&(u, w)| u as usize >= n || w as usize >= n || u >= w)
+            {
+                return Err(SnapshotError::SizeMismatch("parked edges"));
+            }
+            held.push(pairs);
+        }
+        let stats = ChurnStats {
+            batches: r.u64()?,
+            edges_added: r.u64()?,
+            edges_removed: r.u64()?,
+            crashes: r.u64()?,
+            revives: r.u64()?,
+        };
+        let mut state = SessionState::decode_payload(&graph, &mut r)?;
+        state.clean = header.clean;
+        if header.plan_key != 0 {
+            let k = header.plan_key as usize;
+            state.plan = Some((k, graph.shard_plan(k)));
+        }
+        state.grow_capacities(header.capacities);
+        let rehash = state.state_hash();
+        if rehash != header.state_hash {
+            return Err(SnapshotError::StateHashMismatch {
+                expected: header.state_hash,
+                found: rehash,
+            });
+        }
+        Ok(ChurnSession {
+            graph,
+            state,
+            queue: MutationQueue::new(),
+            crashed,
+            held,
+            scratch: RepairScratch::new(),
+            add_batch: Vec::new(),
+            remove_batch: Vec::new(),
+            revive_buf: Vec::new(),
+            crashed_backup: Vec::new(),
+            held_backup: Vec::new(),
+            stats,
+        })
     }
 
     /// Self-heal after a panic escaped a hosted closure (the state was

@@ -33,7 +33,7 @@
 //!   deliveries, and meters per-arc congestion into its private region —
 //!   no atomics, no sharing.
 //!
-//! Each shard writes one private [`ShardMeter`] block; the per-round
+//! Each shard writes one private `ShardMeter` block; the per-round
 //! totals (messages delivered, global termination) are combined with
 //! [`congest_par::par_tree_reduce`], an allocation-free fixed-shape tree
 //! reduction, so results are bit-identical at every pool width and shard

@@ -67,6 +67,7 @@ pub mod rng;
 pub mod sched;
 pub mod session;
 mod slab;
+pub mod snapshot;
 pub mod wide;
 
 pub use churn::{ChurnError, ChurnReport, ChurnSession, ChurnStats, Mutation, MutationQueue};
@@ -80,4 +81,5 @@ pub use pool::{
 };
 pub use protocol::{InboxIter, NodeCtx, Protocol};
 pub use session::{PhaseHost, PhaseOutcome, Session};
+pub use snapshot::{SnapshotError, SnapshotHeader, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use wide::{LaneSpec, WideOutcome, WideSession, MAX_LANES};

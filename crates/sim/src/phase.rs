@@ -5,13 +5,20 @@
 //! routing). [`PhaseLog`] records each phase's [`RunStats`] under a name
 //! and exposes the composed totals, so experiment tables can show both the
 //! total and the per-phase breakdown.
+//!
+//! A phase may additionally carry the engine's post-phase
+//! [`crate::Session::state_hash`] ([`PhaseLog::record_hashed`]): eight
+//! bytes per phase that let two hosts running the same composition diff
+//! their logs and name the first phase where they diverged, without
+//! shipping any buffer contents (see [`crate::snapshot`]).
 
 use crate::engine::RunStats;
 
 /// An ordered log of named phases and their costs.
 #[derive(Debug, Clone, Default)]
 pub struct PhaseLog {
-    entries: Vec<(String, RunStats)>,
+    /// `(name, stats, post-phase state hash if recorded)`.
+    entries: Vec<(String, RunStats, Option<u64>)>,
 }
 
 impl PhaseLog {
@@ -21,12 +28,33 @@ impl PhaseLog {
 
     /// Record a completed phase.
     pub fn record(&mut self, name: impl Into<String>, stats: RunStats) {
-        self.entries.push((name.into(), stats));
+        self.entries.push((name.into(), stats, None));
+    }
+
+    /// Record a completed phase together with the engine's post-phase
+    /// state hash (the checkpoint signal — see [`crate::snapshot`]).
+    pub fn record_hashed(&mut self, name: impl Into<String>, stats: RunStats, hash: u64) {
+        self.entries.push((name.into(), stats, Some(hash)));
     }
 
     /// Iterate `(name, stats)` in execution order.
     pub fn phases(&self) -> impl Iterator<Item = (&str, &RunStats)> {
-        self.entries.iter().map(|(n, s)| (n.as_str(), s))
+        self.entries.iter().map(|(n, s, _)| (n.as_str(), s))
+    }
+
+    /// Iterate `(name, state hash)` in execution order; `None` for
+    /// phases recorded without a hash.
+    pub fn hashes(&self) -> impl Iterator<Item = (&str, Option<u64>)> + '_ {
+        self.entries.iter().map(|(n, _, h)| (n.as_str(), *h))
+    }
+
+    /// Post-phase state hash of a specific named phase (first match),
+    /// when one was recorded.
+    pub fn hash_of(&self, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .and_then(|(_, _, h)| *h)
     }
 
     /// Number of recorded phases.
@@ -42,27 +70,27 @@ impl PhaseLog {
     pub fn total(&self) -> RunStats {
         self.entries
             .iter()
-            .fold(RunStats::default(), |acc, (_, s)| acc.then(*s))
+            .fold(RunStats::default(), |acc, (_, s, _)| acc.then(*s))
     }
 
     /// Total rounds across phases — the headline number.
     pub fn total_rounds(&self) -> u64 {
-        self.entries.iter().map(|(_, s)| s.rounds).sum()
+        self.entries.iter().map(|(_, s, _)| s.rounds).sum()
     }
 
     /// Rounds of a specific named phase (first match).
     pub fn rounds_of(&self, name: &str) -> Option<u64> {
         self.entries
             .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, s)| s.rounds)
+            .find(|(n, _, _)| n == name)
+            .map(|(_, s, _)| s.rounds)
     }
 
     /// Human-readable multi-line breakdown.
     pub fn breakdown(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        for (name, st) in &self.entries {
+        for (name, st, _) in &self.entries {
             let _ = writeln!(
                 s,
                 "  {name:<28} {:>8} rounds  {:>10} msgs  congestion {:>6}",

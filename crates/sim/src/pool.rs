@@ -13,7 +13,7 @@
 //!
 //! ## The pool
 //!
-//! A [`SessionPool`] holds warm [`SessionState`]s keyed by
+//! A [`SessionPool`] holds warm `SessionState`s keyed by
 //! [`Graph::fingerprint`] (a hash of the canonical CSR, so two tenants
 //! registering equal graphs share one entry). Checkout is closure-scoped:
 //! [`SessionPool::with_session`] / [`SessionPool::with_wide`] pop a warm
@@ -77,6 +77,44 @@ impl GraphKey {
 
 /// A pool of warm, graph-keyed engine states. See the module docs for
 /// the checkout discipline.
+///
+/// # Example
+///
+/// Two tenants registering equal graphs share one warm entry; every
+/// checkout after the first reuses the state the previous one parked:
+///
+/// ```
+/// use congest_graph::generators::complete;
+/// use congest_sim::{EngineConfig, NodeCtx, Protocol, SessionPool};
+///
+/// struct Ping;
+/// impl Protocol for Ping {
+///     type Msg = u64;
+///     type Output = u64;
+///     fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+///         if ctx.round == 0 {
+///             ctx.send_all(1);
+///         } else {
+///             ctx.set_done(true);
+///         }
+///     }
+///     fn finish(self) -> u64 {
+///         0
+///     }
+/// }
+///
+/// let mut pool = SessionPool::new();
+/// let a = pool.register(complete(6));
+/// let b = pool.register(complete(6)); // same canonical CSR, same key
+/// assert_eq!(a, b);
+/// for _ in 0..3 {
+///     pool.with_session(a, |session| {
+///         session.run(|_, _| Ping, EngineConfig::serial()).unwrap();
+///     });
+/// }
+/// assert_eq!(pool.misses(), 1); // only the first checkout built state
+/// assert_eq!(pool.hits(), 2);
+/// ```
 #[derive(Default)]
 pub struct SessionPool {
     entries: Vec<PoolEntry>,
@@ -204,7 +242,7 @@ impl SessionPool {
 
     /// Check out a [`WideSession`] for `key` — same discipline as
     /// [`SessionPool::with_session`]. Wide and sequential checkouts draw
-    /// from the same warm list: a [`SessionState`] carries both kernels'
+    /// from the same warm list: a `SessionState` carries both kernels'
     /// buffers, so a state warmed by one serves the other.
     pub fn with_wide<R>(&mut self, key: GraphKey, f: impl FnOnce(&mut WideSession<'_>) -> R) -> R {
         let i = self.entry_index(key);
@@ -226,6 +264,53 @@ impl SessionPool {
             entry.warm.push(state);
         }
         r
+    }
+
+    /// Park `key`'s warm states as snapshot frames: each is married to
+    /// the registered graph, encoded ([`Session::snapshot_into`]), and
+    /// dropped. Returns the number of frames appended to `out`. Together
+    /// with [`SessionPool::restore_warm`] this migrates a pool's warm
+    /// set across processes — the serving loop restarts warm.
+    ///
+    /// # Panics
+    /// If `key` was not registered on this pool.
+    pub fn park_warm(&mut self, key: GraphKey, out: &mut Vec<Vec<u8>>) -> usize {
+        let i = self.entry_index(key);
+        let entry = &mut self.entries[i];
+        let parked = entry.warm.len();
+        for state in entry.warm.drain(..) {
+            let session = Session::from_state(&entry.graph, state);
+            out.push(session.snapshot());
+        }
+        parked
+    }
+
+    /// Restore one parked frame into the pool: the embedded fingerprint
+    /// selects the registered graph ([`SnapshotError::UnknownGraph`] if
+    /// none matches), the payload goes through the full
+    /// [`Session::restore`] validation chain, and the state joins the
+    /// warm list (dropped silently if the list is at its limit — the
+    /// frame is a cache entry, not data). Returns the graph key the
+    /// state now serves.
+    ///
+    /// [`SnapshotError::UnknownGraph`]: crate::snapshot::SnapshotError::UnknownGraph
+    pub fn restore_warm(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<GraphKey, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let header = crate::snapshot::peek(bytes)?;
+        let &i = self
+            .index
+            .get(&header.fingerprint)
+            .ok_or(SnapshotError::UnknownGraph(header.fingerprint))?;
+        let entry = &mut self.entries[i];
+        let session = Session::restore(&entry.graph, bytes)?;
+        let state = session.into_state();
+        if entry.warm.len() < self.warm_limit {
+            entry.warm.push(state);
+        }
+        Ok(GraphKey(header.fingerprint))
     }
 }
 

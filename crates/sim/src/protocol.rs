@@ -409,7 +409,7 @@ impl<'a, M: PackedMsg> InboxIter<'a, M> {
 ///
 /// Kept deliberately small: contexts are rebuilt for every node every
 /// round (and for every hosted sub-protocol under the multiplexer), so
-/// shard-invariant state lives behind one [`ScatterPlane`] pointer and
+/// shard-invariant state lives behind one `ScatterPlane` pointer and
 /// the per-port ranges are derived from the inbox slice instead of being
 /// stored twice.
 pub struct NodeCtx<'a, M: PackedMsg> {

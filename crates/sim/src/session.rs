@@ -146,6 +146,20 @@ impl WordSlab {
         // data valid for any bit pattern.
         unsafe { std::slice::from_raw_parts_mut(self.buf.as_mut_ptr() as *mut W, len) }
     }
+
+    /// Current byte high-water mark (what snapshots record).
+    pub(crate) fn byte_capacity(&self) -> usize {
+        self.buf.len() * 16
+    }
+
+    /// Pre-grow to a recorded high-water mark (what restore replays, so
+    /// a migrated warm session stays allocation-free).
+    pub(crate) fn grow_to_bytes(&mut self, bytes: usize) {
+        let units = bytes.div_ceil(16);
+        if self.buf.len() < units {
+            self.buf.resize(units, 0);
+        }
+    }
 }
 
 /// A reusable bump arena for per-phase typed arrays (node cells, outputs).
@@ -169,6 +183,20 @@ impl Arena {
         }
         let base = self.buf.as_mut_ptr() as usize;
         ((base + align - 1) & !(align - 1)) as *mut T
+    }
+
+    /// Current byte high-water mark (what snapshots record).
+    pub(crate) fn byte_capacity(&self) -> usize {
+        self.buf.len() * 16
+    }
+
+    /// Pre-grow to a recorded high-water mark (see
+    /// [`WordSlab::grow_to_bytes`]).
+    pub(crate) fn grow_to_bytes(&mut self, bytes: usize) {
+        let units = bytes.div_ceil(16);
+        if self.buf.len() < units {
+            self.buf.resize(units, 0);
+        }
     }
 }
 
@@ -399,6 +427,172 @@ impl SessionState {
         self.wide.scrub();
         // `bcast_occ` needs no scrub: readers are gated on a per-phase
         // `bcast_any` flag and every fold rebuilds all presence words.
+    }
+
+    /// Splitmix64-folded hash of the resident engine state.
+    ///
+    /// Only **nonzero** words contribute (tagged by buffer and index),
+    /// which makes the hash invariant across serial/parallel execution,
+    /// shard counts, meter modes, lazily-sized buffers, and resident vs
+    /// per-phase hosting — everything the differential oracles prove
+    /// irrelevant to results. `bcast_occ` is excluded outright: its
+    /// contents are unspecified at rest (readers are gated on a
+    /// per-phase flag), exactly why [`SessionState::scrub`] skips it.
+    /// The buffer sizes that *are* semantic (arcs, edges) and the
+    /// clean flag are folded in as a prefix.
+    pub(crate) fn state_hash(&self) -> u64 {
+        use crate::rng::mix64;
+        #[inline]
+        fn fold(mut h: u64, tag: u64, words: impl Iterator<Item = u64>) -> u64 {
+            for (i, w) in words.enumerate() {
+                if w != 0 {
+                    h = h.wrapping_add(mix64(w ^ mix64((tag << 48) ^ i as u64)));
+                }
+            }
+            h
+        }
+        let mut h = Self::hash_base(self.out_mask.len(), self.per_edge.len(), self.clean);
+        h = fold(h, 1, self.in_occ.iter().copied());
+        h = fold(h, 2, self.out_mask.iter().map(|&b| b as u64));
+        h = fold(h, 3, self.arc_traffic.iter().map(|&w| w as u64));
+        h = fold(h, 4, self.planes.iter().copied());
+        h = fold(h, 5, self.bcast_stage.iter().map(|&b| b as u64));
+        h = fold(h, 6, self.node_planes.iter().copied());
+        h = fold(h, 7, self.node_traffic.iter().map(|&w| w as u64));
+        h = fold(h, 8, self.per_edge.iter().copied());
+        h = fold(h, 9, self.trace_buf.iter().copied());
+        mix64(h)
+    }
+
+    /// The hash prefix shared by [`SessionState::state_hash`] and
+    /// [`SessionState::fresh_hash`].
+    fn hash_base(arcs: usize, m: usize, clean: bool) -> u64 {
+        use crate::rng::mix64;
+        mix64(0x5348_0001 ^ arcs as u64)
+            ^ mix64(0x5348_0002 ^ m as u64)
+            ^ mix64(0x5348_0003 ^ clean as u64)
+    }
+
+    /// What a freshly built (all-zero, clean) state for `graph` hashes
+    /// to, without building one.
+    pub(crate) fn fresh_hash(graph: &Graph) -> u64 {
+        crate::rng::mix64(Self::hash_base(graph.num_arcs(), graph.m(), true))
+    }
+
+    /// The cached shard-plan key (0 = no plan cached). The plan itself
+    /// is a pure function of the graph and this key, so snapshots store
+    /// only the key.
+    pub(crate) fn plan_key(&self) -> u64 {
+        self.plan.as_ref().map_or(0, |(k, _)| *k as u64)
+    }
+
+    /// Byte high-water marks of the width-keyed slabs and bump arenas,
+    /// in snapshot-header order.
+    pub(crate) fn capacities(&self) -> [u64; 6] {
+        [
+            self.slab_a.byte_capacity() as u64,
+            self.slab_b.byte_capacity() as u64,
+            self.bcast_slab_a.byte_capacity() as u64,
+            self.bcast_slab_b.byte_capacity() as u64,
+            self.cell_arena.byte_capacity() as u64,
+            self.out_arena.byte_capacity() as u64,
+        ]
+    }
+
+    /// Replay recorded high-water marks so the restored session's first
+    /// phases allocate nothing the original's wouldn't have.
+    pub(crate) fn grow_capacities(&mut self, caps: [u64; 6]) {
+        self.slab_a.grow_to_bytes(caps[0] as usize);
+        self.slab_b.grow_to_bytes(caps[1] as usize);
+        self.bcast_slab_a.grow_to_bytes(caps[2] as usize);
+        self.bcast_slab_b.grow_to_bytes(caps[3] as usize);
+        self.cell_arena.grow_to_bytes(caps[4] as usize);
+        self.out_arena.grow_to_bytes(caps[5] as usize);
+    }
+
+    /// Append the phase-crossing buffers to `out` as length-prefixed
+    /// little-endian words — the snapshot frame's engine payload. The
+    /// per-phase scratch (meters, worklists, fault buffers), the slabs,
+    /// the arenas, and the wide-lane buffers are deliberately absent;
+    /// see the [`crate::snapshot`] module docs for why each is safe to
+    /// drop. Appends only — steady-state encoding into a warm buffer
+    /// allocates nothing.
+    pub(crate) fn encode_payload(&self, out: &mut Vec<u8>) {
+        crate::snapshot::put_u64s(out, &self.in_occ);
+        crate::snapshot::put_u8s(out, &self.out_mask);
+        crate::snapshot::put_u32s(out, &self.arc_traffic);
+        crate::snapshot::put_u64s(out, &self.planes);
+        crate::snapshot::put_u8s(out, &self.bcast_stage);
+        crate::snapshot::put_u64s(out, &self.bcast_occ);
+        crate::snapshot::put_u64s(out, &self.node_planes);
+        crate::snapshot::put_u32s(out, &self.node_traffic);
+        crate::snapshot::put_u64s(out, &self.per_edge);
+        crate::snapshot::put_u64s(out, &self.trace_buf);
+    }
+
+    /// Decode an engine payload for `graph`, validating every buffer
+    /// length against the graph shape (lazily-sized buffers may be
+    /// empty or full-size, nothing else). The caller stamps `clean`,
+    /// the plan, and the capacities from the frame header.
+    pub(crate) fn decode_payload(
+        graph: &Graph,
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<SessionState, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let n = graph.n();
+        let arcs = graph.num_arcs();
+        let occ_words = arcs.div_ceil(64);
+        let node_words = n.div_ceil(64);
+        fn expect(len: usize, allowed: &[usize], what: &'static str) -> Result<(), SnapshotError> {
+            if allowed.contains(&len) {
+                Ok(())
+            } else {
+                Err(SnapshotError::SizeMismatch(what))
+            }
+        }
+        let in_occ = r.u64s()?;
+        expect(in_occ.len(), &[occ_words], "in_occ")?;
+        let out_mask = r.u8s()?;
+        expect(out_mask.len(), &[arcs], "out_mask")?;
+        let arc_traffic = r.u32s()?;
+        expect(arc_traffic.len(), &[arcs], "arc_traffic")?;
+        let planes = r.u64s()?;
+        expect(planes.len(), &[0, occ_words * slab::PLANES], "planes")?;
+        let bcast_stage = r.u8s()?;
+        expect(bcast_stage.len(), &[0, n], "bcast_stage")?;
+        let bcast_occ = r.u64s()?;
+        expect(bcast_occ.len(), &[0, node_words], "bcast_occ")?;
+        let node_planes = r.u64s()?;
+        expect(
+            node_planes.len(),
+            &[0, node_words * slab::PLANES],
+            "node_planes",
+        )?;
+        let node_traffic = r.u32s()?;
+        expect(node_traffic.len(), &[0, n], "node_traffic")?;
+        let per_edge = r.u64s()?;
+        expect(per_edge.len(), &[graph.m()], "per_edge")?;
+        let trace_buf = r.u64s()?;
+        // The broadcast-plane trio is sized together by the round loop;
+        // a frame where only part of it is present is inconsistent.
+        if (bcast_stage.is_empty() || bcast_occ.is_empty() || node_traffic.is_empty())
+            && !(bcast_stage.is_empty() && bcast_occ.is_empty() && node_traffic.is_empty())
+        {
+            return Err(SnapshotError::SizeMismatch("bcast planes"));
+        }
+        Ok(SessionState {
+            in_occ,
+            out_mask,
+            arc_traffic,
+            planes,
+            bcast_stage,
+            bcast_occ,
+            node_planes,
+            node_traffic,
+            per_edge,
+            trace_buf,
+            ..SessionState::default()
+        })
     }
 
     /// The round loop: run one protocol instance per node on `graph`
@@ -1140,12 +1334,144 @@ impl<'g> Session<'g> {
         self.graph
     }
 
+    /// Hash of the resident engine state — eight bytes that sign the
+    /// state a continuation would start from. Invariant across
+    /// serial/parallel execution, shard counts, meter modes, and
+    /// resident vs per-phase hosting; see [`crate::snapshot`].
+    pub fn state_hash(&self) -> u64 {
+        self.state.state_hash()
+    }
+
+    /// Serialize the session at a phase boundary into `out` (cleared
+    /// first) as a versioned, checksummed snapshot frame — see
+    /// [`crate::snapshot`] for the format. Encoding into a warm
+    /// (previously used) buffer allocates nothing.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        crate::snapshot::begin(
+            out,
+            &crate::snapshot::Frame {
+                flags: if self.state.clean {
+                    crate::snapshot::FLAG_CLEAN
+                } else {
+                    0
+                },
+                fingerprint: self.graph.fingerprint(),
+                n: self.graph.n() as u64,
+                m: self.graph.m() as u64,
+                arcs: self.graph.num_arcs() as u64,
+                plan_key: self.state.plan_key(),
+                state_hash: self.state.state_hash(),
+                capacities: self.state.capacities(),
+            },
+        );
+        self.state.encode_payload(out);
+        crate::snapshot::finish(out);
+    }
+
+    /// [`Session::snapshot_into`] into a fresh buffer.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Restore a snapshot frame onto `graph`, which must be the graph
+    /// the frame was taken from (fingerprint and shape are verified).
+    /// The restored session continues **bit-identically** to the one
+    /// that was snapshotted: buffers are byte-equal, the shard-plan
+    /// cache is recomputed from its recorded key, slab/arena high-water
+    /// marks are replayed, and the recomputed [`Session::state_hash`]
+    /// must equal the recorded one or the restore is refused.
+    pub fn restore(
+        graph: &'g Graph,
+        bytes: &[u8],
+    ) -> Result<Session<'g>, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let (header, mut r) = crate::snapshot::open(bytes)?;
+        if header.has_churn {
+            return Err(SnapshotError::WrongKind);
+        }
+        let found = graph.fingerprint();
+        if header.fingerprint != found {
+            return Err(SnapshotError::FingerprintMismatch {
+                expected: found,
+                found: header.fingerprint,
+            });
+        }
+        if (header.n, header.m, header.arcs)
+            != (graph.n() as u64, graph.m() as u64, graph.num_arcs() as u64)
+        {
+            return Err(SnapshotError::SizeMismatch("graph shape"));
+        }
+        if header.has_graph {
+            // A plain-session frame may still embed the topology (it is
+            // redundant here); skip over it after checking it matches.
+            crate::snapshot::read_graph(&mut r, header.fingerprint)?;
+        }
+        let mut state = SessionState::decode_payload(graph, &mut r)?;
+        state.clean = header.clean;
+        if header.plan_key != 0 {
+            let k = header.plan_key as usize;
+            state.plan = Some((k, graph.shard_plan(k)));
+        }
+        state.grow_capacities(header.capacities);
+        let rehash = state.state_hash();
+        if rehash != header.state_hash {
+            return Err(SnapshotError::StateHashMismatch {
+                expected: header.state_hash,
+                found: rehash,
+            });
+        }
+        Ok(Session::from_state(graph, state))
+    }
+
     /// Run one protocol instance per node until global termination (all
     /// nodes done and no message in flight) or the round limit — the
     /// session-resident equivalent of [`crate::run_protocol`], reusing
     /// every buffer of the previous phase. Per-node RNGs are re-derived
     /// from `config.seed` exactly as `run_protocol` derives them, so a
     /// session-hosted composition is bit-identical to the per-phase one.
+    ///
+    /// # Example
+    ///
+    /// Flood the maximum node id; every node converges on `n - 1`, and a
+    /// second phase on the same session reuses every buffer of the first:
+    ///
+    /// ```
+    /// use congest_graph::generators::complete;
+    /// use congest_sim::{EngineConfig, NodeCtx, Protocol, Session};
+    ///
+    /// struct FloodMax {
+    ///     best: u64,
+    /// }
+    /// impl Protocol for FloodMax {
+    ///     type Msg = u64;
+    ///     type Output = u64;
+    ///     fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+    ///         let before = self.best;
+    ///         for (_, m) in ctx.inbox() {
+    ///             self.best = self.best.max(m);
+    ///         }
+    ///         if ctx.round == 0 || self.best > before {
+    ///             ctx.send_all(self.best);
+    ///         }
+    ///         ctx.set_done(ctx.round > 0 && self.best == before);
+    ///     }
+    ///     fn finish(self) -> u64 {
+    ///         self.best
+    ///     }
+    /// }
+    ///
+    /// let g = complete(8);
+    /// let mut session = Session::new(&g);
+    /// for phase in 0..2 {
+    ///     let out = session
+    ///         .run(|v, _| FloodMax { best: v as u64 }, EngineConfig::serial().seed(phase))
+    ///         .unwrap();
+    ///     assert!(out.outputs().iter().all(|&b| b == 7));
+    /// }
+    /// ```
     pub fn run<'s, P, F>(
         &'s mut self,
         factory: F,
@@ -1204,6 +1530,46 @@ impl<'g> PhaseHost<'g> {
         match self {
             PhaseHost::Resident(s) => s.graph(),
             PhaseHost::PerPhase { graph, .. } => graph,
+        }
+    }
+
+    /// [`Session::state_hash`] of the hosted engine. Because the hash
+    /// folds only nonzero state, both host modes report the **same**
+    /// value at every phase boundary (a per-phase host's fresh engine
+    /// ends a phase with exactly the state a resident one carries
+    /// forward); before any phase has run it equals the fresh-state
+    /// hash. Drivers record this into their [`crate::PhaseLog`] via
+    /// [`crate::PhaseLog::record_hashed`] — the checkpoint signal.
+    pub fn state_hash(&self) -> u64 {
+        match self {
+            PhaseHost::Resident(s) => s.state_hash(),
+            PhaseHost::PerPhase {
+                current: Some(s), ..
+            } => s.state_hash(),
+            PhaseHost::PerPhase { graph, .. } => SessionState::fresh_hash(graph),
+        }
+    }
+
+    /// Snapshot the hosted engine at the current phase boundary (see
+    /// [`Session::snapshot_into`]). Returns `false` — leaving `out`
+    /// empty — when the host holds no engine yet (a per-phase host
+    /// before its first phase has nothing to checkpoint).
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) -> bool {
+        match self {
+            PhaseHost::Resident(s) => {
+                s.snapshot_into(out);
+                true
+            }
+            PhaseHost::PerPhase {
+                current: Some(s), ..
+            } => {
+                s.snapshot_into(out);
+                true
+            }
+            PhaseHost::PerPhase { .. } => {
+                out.clear();
+                false
+            }
         }
     }
 

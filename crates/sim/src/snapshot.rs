@@ -1,0 +1,546 @@
+//! Snapshot, replay, and per-phase state hashing.
+//!
+//! Long compositions — soak runs, churn scenarios, `fastbcast serve`
+//! sessions — need two things the round loop itself cannot give them:
+//! **checkpointing** (stop at a phase boundary, move the engine to
+//! another process or host, continue bit-identically) and a **cheap
+//! cross-host differential signal** (compare two runs without shipping
+//! gigabytes of buffers). This module provides both.
+//!
+//! ## The snapshot format
+//!
+//! A snapshot is a single flat byte frame, version-stamped and
+//! checksummed. Because the engine's live state is already flat words —
+//! packed `u64`/`u128` message slabs, word-packed occupancy bitsets,
+//! plane counters, per-edge congestion — encoding is a near-memcpy walk
+//! over those vectors. Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  field
+//! 0       magic      u64   "FBCSNAP1"
+//! 8       version    u32   SNAPSHOT_VERSION
+//! 12      flags      u32   bit 0 clean, bit 1 graph section, bit 2 churn section
+//! 16      checksum   u64   splitmix64 fold over every byte after this field
+//! 24      fingerprint u64  Graph::fingerprint of the graph the state is keyed to
+//! 32      n, m, arcs u64×3 graph shape (restore-time size validation)
+//! 56      plan_key   u64   cached shard-plan key (0 = none); the plan itself
+//!                          is a pure function of (graph, key) and is recomputed
+//! 64      state_hash u64   state_hash() at encode time (restore re-verifies)
+//! 72      capacities u64×6 byte high-water marks of the arc/broadcast slabs
+//!                          and the cell/output arenas (restored so the
+//!                          zero-alloc warm-up survives migration)
+//! 120     body             [graph section][churn section][engine payload]
+//! ```
+//!
+//! The engine payload serializes exactly the buffers that carry state
+//! *across* a phase boundary: inbox occupancy, staging mask, traffic
+//! counters, meter planes, broadcast bookkeeping, per-edge congestion,
+//! and the last trace. **Not captured** (and why):
+//!
+//! * **slab and arena contents** — between phases only occupancy-gated
+//!   slots are ever read and the occupancy bitset is zero, so the words
+//!   are unreachable by construction; only their byte capacities matter
+//!   (they are restored, so a warm session stays warm);
+//! * **per-phase scratch** (shard meters, worklists, aggregation and
+//!   fault buffers) — rebuilt at the start of every run;
+//! * **the [`congest_graph::ShardPlan`]** — a pure function of the graph
+//!   and the recorded `plan_key`, recomputed on restore;
+//! * **wide-lane buffers** — zero at rest under the same breadcrumb
+//!   discipline; they re-grow on the first wide run after restore;
+//! * **mid-phase node state** — protocol cells are arbitrary user types;
+//!   snapshots are a *phase-boundary* operation by design.
+//!
+//! ## Restore validation
+//!
+//! [`crate::Session::restore`] refuses to marry a payload to the wrong graph:
+//! magic/version are checked first, then the checksum, then the graph
+//! fingerprint and the `n`/`m`/`arcs` shape, then every decoded buffer
+//! length, and finally the recomputed [`crate::Session::state_hash`] must equal
+//! the recorded one — a restored engine is bit-identical or it is an
+//! error, never silently wrong. Churn snapshots additionally carry the
+//! mutated topology as an edge list; the CSR is rebuilt through
+//! [`congest_graph::GraphBuilder`] (edge ids are canonical, so the
+//! rebuild is exact), re-validated structurally
+//! ([`congest_graph::Graph::validate_csr`]), and checked against the
+//! recorded fingerprint.
+//!
+//! ## State hashing
+//!
+//! [`crate::Session::state_hash`] folds every **nonzero** word of the resident
+//! buffers (tagged by buffer and index) through the same splitmix64
+//! finalizer the graph fingerprint uses. Folding only nonzero words
+//! makes the hash invariant across everything that must not matter:
+//! serial vs parallel execution, shard counts, meter modes, lazily-sized
+//! buffers, and resident vs per-phase hosting. At a clean phase boundary
+//! the breadcrumb-zero contract means the hash effectively signs the
+//! last phase's per-edge congestion profile and trace — recorded into
+//! [`crate::PhaseLog`] via [`crate::PhaseLog::record_hashed`], two hosts
+//! can diff a long composition phase by phase with eight bytes per
+//! phase.
+//!
+//! ## Example
+//!
+//! Snapshot after one phase, restore into a second session, and watch
+//! both continue in lockstep:
+//!
+//! ```
+//! use congest_graph::generators::complete;
+//! use congest_sim::{EngineConfig, NodeCtx, Protocol, Session};
+//!
+//! struct FloodMax {
+//!     best: u64,
+//! }
+//! impl Protocol for FloodMax {
+//!     type Msg = u64;
+//!     type Output = u64;
+//!     fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+//!         let before = self.best;
+//!         for (_, m) in ctx.inbox() {
+//!             self.best = self.best.max(m);
+//!         }
+//!         if ctx.round == 0 || self.best > before {
+//!             ctx.send_all(self.best);
+//!         }
+//!         ctx.set_done(ctx.round > 0 && self.best == before);
+//!     }
+//!     fn finish(self) -> u64 {
+//!         self.best
+//!     }
+//! }
+//!
+//! let g = complete(8);
+//! let phase = |k: u64| EngineConfig::serial().seed(k);
+//! let mut original = Session::new(&g);
+//! original.run(|v, _| FloodMax { best: v as u64 }, phase(1)).unwrap();
+//!
+//! // Checkpoint at the phase boundary and restore into a fresh engine.
+//! let bytes = original.snapshot();
+//! let mut restored = Session::restore(&g, &bytes).unwrap();
+//! assert_eq!(original.state_hash(), restored.state_hash());
+//!
+//! // Both sessions continue bit-identically.
+//! let a = original.run(|v, _| FloodMax { best: v as u64 }, phase(2)).unwrap().take_outputs();
+//! let b = restored.run(|v, _| FloodMax { best: v as u64 }, phase(2)).unwrap().take_outputs();
+//! assert_eq!(a, b);
+//! assert_eq!(original.state_hash(), restored.state_hash());
+//! ```
+
+use crate::rng::mix64;
+use congest_graph::{Graph, GraphBuilder};
+use std::fmt;
+
+/// First 8 bytes of every snapshot: `b"FBCSNAP1"` read as a
+/// little-endian `u64`.
+pub const SNAPSHOT_MAGIC: u64 = u64::from_le_bytes(*b"FBCSNAP1");
+
+/// Format version written by this build; [`crate::Session::restore`] rejects
+/// any other value.
+///
+/// [`crate::Session::restore`]: crate::Session::restore
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+pub(crate) const FLAG_CLEAN: u32 = 1;
+pub(crate) const FLAG_GRAPH: u32 = 2;
+pub(crate) const FLAG_CHURN: u32 = 4;
+
+/// Fixed header size in bytes; the body starts here.
+pub(crate) const HEADER_BYTES: usize = 120;
+
+/// Why a snapshot frame was rejected. Every variant is a *refusal to
+/// restore*: the engine is never left in a partially-restored state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The frame does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The frame's version is not [`SNAPSHOT_VERSION`].
+    BadVersion(u32),
+    /// The frame ended before a declared field.
+    Truncated,
+    /// The stored checksum does not match the frame contents.
+    Checksum,
+    /// The frame is keyed to a different graph than the restore target.
+    FingerprintMismatch { expected: u64, found: u64 },
+    /// This frame kind cannot restore into the requested session type
+    /// (e.g. a churn frame into a plain [`crate::Session`]).
+    WrongKind,
+    /// A decoded buffer length disagrees with the recorded graph shape.
+    SizeMismatch(&'static str),
+    /// The embedded graph section failed to rebuild or re-validate.
+    Graph(String),
+    /// The restored state's recomputed hash differs from the recorded
+    /// one — the frame is internally inconsistent.
+    StateHashMismatch { expected: u64, found: u64 },
+    /// (Pool restore only.) No graph with the frame's fingerprint is
+    /// registered in the pool.
+    UnknownGraph(u64),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a snapshot frame (bad magic)"),
+            SnapshotError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::Truncated => write!(f, "snapshot frame is truncated"),
+            SnapshotError::Checksum => write!(f, "snapshot checksum mismatch (corrupt frame)"),
+            SnapshotError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "snapshot is keyed to graph {found:#018x}, not {expected:#018x}"
+            ),
+            SnapshotError::WrongKind => {
+                write!(f, "snapshot kind does not match the restore target")
+            }
+            SnapshotError::SizeMismatch(what) => {
+                write!(f, "snapshot buffer `{what}` disagrees with the graph shape")
+            }
+            SnapshotError::Graph(e) => write!(f, "embedded graph rejected: {e}"),
+            SnapshotError::StateHashMismatch { expected, found } => write!(
+                f,
+                "restored state hashes to {found:#018x}, frame recorded {expected:#018x}"
+            ),
+            SnapshotError::UnknownGraph(fp) => {
+                write!(f, "no graph with fingerprint {fp:#018x} is registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The decoded fixed header of a snapshot frame — everything a tool
+/// needs to route, validate, or display a checkpoint without decoding
+/// the payload. Obtain one with [`peek`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// Format version of the frame.
+    pub version: u32,
+    /// Whether the captured state was breadcrumb-clean (it always is for
+    /// frames produced by this crate; snapshots are phase-boundary only).
+    pub clean: bool,
+    /// Whether the frame embeds the graph topology (churn snapshots do).
+    pub has_graph: bool,
+    /// Whether the frame carries churn bookkeeping (crash flags, parked
+    /// edges, cumulative counters).
+    pub has_churn: bool,
+    /// [`congest_graph::Graph::fingerprint`] of the keyed graph.
+    pub fingerprint: u64,
+    /// Node count of the keyed graph.
+    pub n: u64,
+    /// Undirected edge count of the keyed graph.
+    pub m: u64,
+    /// Directed arc count of the keyed graph.
+    pub arcs: u64,
+    /// Cached shard-plan key (0 = no plan was cached).
+    pub plan_key: u64,
+    /// [`crate::Session::state_hash`] at encode time.
+    pub state_hash: u64,
+    /// Byte high-water marks: arc slabs ×2, broadcast slabs ×2, cell
+    /// arena, output arena.
+    pub capacities: [u64; 6],
+}
+
+/// Decode and fully validate a frame's fixed header (magic, version,
+/// length, checksum) without touching the payload.
+pub fn peek(bytes: &[u8]) -> Result<SnapshotHeader, SnapshotError> {
+    open(bytes).map(|(h, _)| h)
+}
+
+/// Splitmix64 fold over a byte stream, 8 bytes at a time (zero-padded
+/// tail), each chunk salted by its position.
+pub(crate) fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = mix64(0xC0DE_C4EC ^ bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for (i, c) in chunks.by_ref().enumerate() {
+        let w = u64::from_le_bytes(c.try_into().unwrap());
+        h = h.wrapping_add(mix64(w ^ mix64(i as u64)));
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut pad = [0u8; 8];
+        pad[..rest.len()].copy_from_slice(rest);
+        h = h.wrapping_add(mix64(
+            u64::from_le_bytes(pad) ^ mix64(bytes.len() as u64 / 8),
+        ));
+    }
+    mix64(h)
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Length-prefixed `u64` slice.
+pub(crate) fn put_u64s(out: &mut Vec<u8>, ws: &[u64]) {
+    put_u64(out, ws.len() as u64);
+    for &w in ws {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+/// Length-prefixed `u32` slice.
+pub(crate) fn put_u32s(out: &mut Vec<u8>, ws: &[u32]) {
+    put_u64(out, ws.len() as u64);
+    for &w in ws {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+/// Length-prefixed raw byte slice.
+pub(crate) fn put_u8s(out: &mut Vec<u8>, bs: &[u8]) {
+    put_u64(out, bs.len() as u64);
+    out.extend_from_slice(bs);
+}
+
+/// A bounds-checked cursor over a frame body; every read can fail with
+/// [`SnapshotError::Truncated`], never panic.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(len).ok_or(SnapshotError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let len = self.u64()? as usize;
+        // Reject absurd lengths before allocating (a corrupt frame must
+        // not become an OOM).
+        if len
+            .checked_mul(elem_bytes)
+            .is_none_or(|b| b > self.buf.len())
+        {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(len)
+    }
+
+    pub(crate) fn u64s(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let len = self.len_prefix(8)?;
+        let raw = self.take(len * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    pub(crate) fn u32s(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let len = self.len_prefix(4)?;
+        let raw = self.take(len * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    pub(crate) fn u8s(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let len = self.len_prefix(1)?;
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+/// Header fields the encoder stamps (checksum is patched by [`finish`]).
+pub(crate) struct Frame {
+    pub(crate) flags: u32,
+    pub(crate) fingerprint: u64,
+    pub(crate) n: u64,
+    pub(crate) m: u64,
+    pub(crate) arcs: u64,
+    pub(crate) plan_key: u64,
+    pub(crate) state_hash: u64,
+    pub(crate) capacities: [u64; 6],
+}
+
+/// Write the fixed header with a zero checksum; body bytes follow.
+pub(crate) fn begin(out: &mut Vec<u8>, f: &Frame) {
+    put_u64(out, SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&f.flags.to_le_bytes());
+    put_u64(out, 0); // checksum placeholder
+    put_u64(out, f.fingerprint);
+    put_u64(out, f.n);
+    put_u64(out, f.m);
+    put_u64(out, f.arcs);
+    put_u64(out, f.plan_key);
+    put_u64(out, f.state_hash);
+    for &c in &f.capacities {
+        put_u64(out, c);
+    }
+    debug_assert_eq!(out.len(), HEADER_BYTES);
+}
+
+/// Compute the checksum over everything after the checksum field and
+/// patch it into the header. Must be the encoder's last step.
+pub(crate) fn finish(out: &mut [u8]) {
+    let sum = checksum(&out[24..]);
+    out[16..24].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Validate magic, version, length, and checksum; return the decoded
+/// header plus a reader positioned at the body.
+pub(crate) fn open(bytes: &[u8]) -> Result<(SnapshotHeader, Reader<'_>), SnapshotError> {
+    if bytes.len() < HEADER_BYTES {
+        if bytes.len() >= 8 && u64::from_le_bytes(bytes[..8].try_into().unwrap()) != SNAPSHOT_MAGIC
+        {
+            return Err(SnapshotError::BadMagic);
+        }
+        return Err(SnapshotError::Truncated);
+    }
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.u64()? != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let flags = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
+    let recorded = r.u64()?;
+    if checksum(&bytes[24..]) != recorded {
+        return Err(SnapshotError::Checksum);
+    }
+    let fingerprint = r.u64()?;
+    let n = r.u64()?;
+    let m = r.u64()?;
+    let arcs = r.u64()?;
+    let plan_key = r.u64()?;
+    let state_hash = r.u64()?;
+    let mut capacities = [0u64; 6];
+    for c in &mut capacities {
+        *c = r.u64()?;
+    }
+    let header = SnapshotHeader {
+        version,
+        clean: flags & FLAG_CLEAN != 0,
+        has_graph: flags & FLAG_GRAPH != 0,
+        has_churn: flags & FLAG_CHURN != 0,
+        fingerprint,
+        n,
+        m,
+        arcs,
+        plan_key,
+        state_hash,
+        capacities,
+    };
+    Ok((header, r))
+}
+
+/// Serialize a graph as its canonical edge list. Edge ids are assigned
+/// in canonical `(min, max)`-sorted order by [`GraphBuilder::build`], so
+/// the list round-trips to the *identical* CSR.
+pub(crate) fn put_graph(out: &mut Vec<u8>, g: &Graph) {
+    put_u64(out, g.n() as u64);
+    put_u64(out, g.m() as u64);
+    for (_, u, v) in g.edge_list() {
+        out.extend_from_slice(&u.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Rebuild the embedded graph, re-validating the CSR invariants and the
+/// recorded fingerprint on the way.
+pub(crate) fn read_graph(r: &mut Reader<'_>, fingerprint: u64) -> Result<Graph, SnapshotError> {
+    let n = r.u64()? as usize;
+    let m = r.len_prefix(8)?;
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let raw = r.take(8)?;
+        let u = u32::from_le_bytes(raw[..4].try_into().unwrap());
+        let v = u32::from_le_bytes(raw[4..].try_into().unwrap());
+        b.push_edge(u, v);
+    }
+    let g = b.build().map_err(|e| SnapshotError::Graph(e.to_string()))?;
+    g.validate_csr()
+        .map_err(|e| SnapshotError::Graph(e.to_string()))?;
+    let found = g.fingerprint();
+    if found != fingerprint {
+        return Err(SnapshotError::FingerprintMismatch {
+            expected: fingerprint,
+            found,
+        });
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_position_sensitive() {
+        let a = checksum(&[1, 0, 0, 0, 0, 0, 0, 0, 2]);
+        let b = checksum(&[2, 0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_ne!(a, b);
+        assert_ne!(checksum(&[]), checksum(&[0]));
+    }
+
+    #[test]
+    fn reader_never_reads_past_the_end() {
+        let mut out = Vec::new();
+        put_u64s(&mut out, &[1, 2, 3]);
+        let mut r = Reader { buf: &out, pos: 0 };
+        assert_eq!(r.u64s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.u64(), Err(SnapshotError::Truncated));
+        // A declared length far beyond the buffer is refused before any
+        // allocation happens.
+        let mut bogus = Vec::new();
+        put_u64(&mut bogus, u64::MAX);
+        let mut r = Reader {
+            buf: &bogus,
+            pos: 0,
+        };
+        assert_eq!(r.u64s(), Err(SnapshotError::Truncated));
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let f = Frame {
+            flags: FLAG_CLEAN,
+            fingerprint: 0xABCD,
+            n: 10,
+            m: 20,
+            arcs: 40,
+            plan_key: 3,
+            state_hash: 0x5EED,
+            capacities: [1, 2, 3, 4, 5, 6],
+        };
+        let mut out = Vec::new();
+        begin(&mut out, &f);
+        put_u64(&mut out, 99); // body
+        finish(&mut out);
+        let h = peek(&out).unwrap();
+        assert_eq!(h.version, SNAPSHOT_VERSION);
+        assert!(h.clean);
+        assert!(!h.has_graph);
+        assert_eq!(h.fingerprint, 0xABCD);
+        assert_eq!((h.n, h.m, h.arcs), (10, 20, 40));
+        assert_eq!(h.plan_key, 3);
+        assert_eq!(h.capacities, [1, 2, 3, 4, 5, 6]);
+
+        // Any flipped body byte fails the checksum.
+        let mut bad = out.clone();
+        *bad.last_mut().unwrap() ^= 1;
+        assert_eq!(peek(&bad), Err(SnapshotError::Checksum));
+        // A flipped magic byte is a different refusal.
+        let mut bad = out.clone();
+        bad[0] ^= 1;
+        assert_eq!(peek(&bad), Err(SnapshotError::BadMagic));
+        // Truncation is caught.
+        assert_eq!(peek(&out[..40]), Err(SnapshotError::Truncated));
+    }
+}

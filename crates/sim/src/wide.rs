@@ -25,7 +25,7 @@
 //! all W lanes:
 //!
 //! * the deliver sweep tests `in_lane[a] != 0` once for all lanes;
-//! * bit-plane metering calls [`crate::slab::planes_add`] once per live
+//! * bit-plane metering calls `crate::slab::planes_add` once per live
 //!   arc with the lane word (bit `l` = lane `l`), exactly the ripple-carry
 //!   trick the sequential engine uses with bit `i` = arc `i`;
 //! * the fault adversary clears one bit of one word per blocked lane-arc.
@@ -110,7 +110,7 @@ impl LaneSpec {
 }
 
 /// The wide kernel's session-resident buffers, embedded in
-/// [`SessionState`] so sequential and wide phases on one session share
+/// `SessionState` so sequential and wide phases on one session share
 /// arenas, slabs, and the shard-plan cache. All-zero at rest (the same
 /// breadcrumb discipline as the sequential buffers); a failed run leaves
 /// them dirty and [`SessionState::scrub`] restores the invariant.
@@ -269,7 +269,7 @@ impl<O> Drop for WideOutcome<'_, O> {
 }
 
 /// A graph-keyed wide-batch engine instance. Structurally a
-/// [`crate::Session`] (it owns the same [`SessionState`]), plus the lane
+/// [`crate::Session`] (it owns the same `SessionState`), plus the lane
 /// buffers; repeated [`WideSession::run`] calls reuse everything grown by
 /// earlier runs (enforced by `tests/zero_alloc.rs`).
 pub struct WideSession<'g> {
@@ -289,6 +289,14 @@ impl<'g> WideSession<'g> {
     #[inline]
     pub fn graph(&self) -> &'g Graph {
         self.graph
+    }
+
+    /// [`crate::Session::state_hash`] of the shared engine state. Wide
+    /// lane buffers are zero at rest (breadcrumb contract) and excluded
+    /// from the hash, so a wide session and a plain session that ran the
+    /// same phases hash identically.
+    pub fn state_hash(&self) -> u64 {
+        self.state.state_hash()
     }
 
     /// Rehost detached engine state on `graph` — the pool checkout path.
@@ -333,7 +341,7 @@ impl<'g> WideSession<'g> {
 }
 
 impl SessionState {
-    /// The wide round loop. Lives on [`SessionState`] so it can share the
+    /// The wide round loop. Lives on `SessionState` so it can share the
     /// sequential session's slabs, arenas, shard-plan cache, and fault
     /// scratch; [`WideSession::run`] is the public face.
     pub(crate) fn run_wide<'s, P, F>(

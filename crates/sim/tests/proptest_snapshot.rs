@@ -1,0 +1,517 @@
+//! The snapshot differential harness: interrupting a multi-phase
+//! composition at any phase boundary — snapshot, restore into a fresh
+//! session (standing in for a fresh process), continue — must be
+//! bit-identical to the uninterrupted run: outputs, stats, traces,
+//! per-edge congestion, and the per-phase state hashes, across
+//! checkpoint positions × shard counts × meter modes × fault plans.
+//!
+//! Alongside the oracle: state-hash invariance across serial/parallel ×
+//! shard counts (the hash folds only nonzero words, so execution
+//! strategy cannot leak into it), the churn-session snapshot arm (the
+//! frame carries the mutated topology and crash bookkeeping), the pool
+//! park/restore round trip, and the tamper suite (checksum, fingerprint,
+//! truncation, kind confusion — every corruption is a typed refusal).
+
+use congest_graph::{Graph, GraphBuilder};
+use congest_sim::rng::phase_seed;
+use congest_sim::{
+    ChurnSession, EngineConfig, FaultPlan, MeterMode, Mutation, NodeCtx, Protocol, RunStats,
+    Session, SessionPool, SnapshotError,
+};
+use proptest::prelude::*;
+
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mix = |mut z: u64| {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        };
+        let mut b = GraphBuilder::new(n);
+        let mut edges = std::collections::BTreeSet::new();
+        for v in 1..n as u32 {
+            let u = (mix(seed ^ v as u64) % v as u64) as u32;
+            edges.insert((u, v));
+        }
+        for i in 0..2 * n as u64 {
+            let u = (mix(seed ^ (i << 20)) % n as u64) as u32;
+            let v = (mix(seed ^ (i << 21) ^ 7) % n as u64) as u32;
+            if u != v {
+                edges.insert((u.min(v), u.max(v)));
+            }
+        }
+        for (u, v) in edges {
+            b.push_edge(u, v);
+        }
+        b.build().unwrap()
+    })
+}
+
+/// Random mix of `send_all`, per-port `send`, and silence (the engine
+/// oracle workload, as in `proptest_session.rs`).
+struct Chatter {
+    rounds: u64,
+    salt: u64,
+    heard: u64,
+}
+
+impl Protocol for Chatter {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        self.heard = ctx.inbox().fold(self.heard, |a, (p, m)| {
+            a.wrapping_mul(17).wrapping_add(m ^ p as u64)
+        });
+        if ctx.round < self.rounds {
+            use rand::Rng;
+            let a = ctx.rng().gen_range(0..8u32);
+            let m: u64 = ctx.rng().gen();
+            if a == 0 {
+                ctx.send_all(m ^ self.salt);
+            } else if a < 5 {
+                for p in 0..ctx.degree().min(64) as u32 {
+                    if m >> p & 1 == 1 {
+                        ctx.send(p, m.wrapping_add(self.salt ^ p as u64));
+                    }
+                }
+            }
+        }
+        ctx.set_done(ctx.round >= self.rounds);
+    }
+    fn finish(self) -> u64 {
+        self.heard
+    }
+}
+
+/// Wide `(u32, u64)` phase in the `u128` slab, so the composition grows
+/// the high-water marks a snapshot must carry across.
+struct WideChatter {
+    rounds: u64,
+    heard: u64,
+}
+
+impl Protocol for WideChatter {
+    type Msg = (u32, u64);
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, (u32, u64)>) {
+        self.heard = ctx.inbox().fold(self.heard, |a, (_, (id, p))| {
+            a.wrapping_mul(31).wrapping_add(id as u64 ^ p)
+        });
+        if ctx.round < self.rounds {
+            ctx.send_all((ctx.node, self.heard | 1));
+        } else {
+            ctx.set_done(true);
+        }
+    }
+    fn finish(self) -> u64 {
+        self.heard
+    }
+}
+
+/// One phase's complete observable footprint plus the post-phase state
+/// hash.
+#[derive(Debug, PartialEq)]
+struct PhaseObs {
+    outputs: Vec<u64>,
+    stats: RunStats,
+    trace: Vec<u64>,
+    edge_congestion: Vec<u64>,
+    state_hash: u64,
+}
+
+const PHASES: u64 = 5;
+
+/// Run phase `k` (1-based) of the five-phase composition on `session`:
+/// dense chatter, a wide `u128` phase, sparse-forced chatter, a faulted
+/// phase, and default-threshold chatter — the same grid the session
+/// differential harness sweeps.
+fn run_phase(
+    session: &mut Session<'_>,
+    k: u64,
+    seed: u64,
+    shards: usize,
+    meter: MeterMode,
+    fault_budget: usize,
+    fseed: u64,
+) -> PhaseObs {
+    let engine = EngineConfig::serial()
+        .seed(phase_seed(seed, k))
+        .shards(shards)
+        .meter(meter)
+        .trace();
+    let observe = |out: congest_sim::PhaseOutcome<'_, u64>| {
+        (
+            out.stats,
+            out.trace().unwrap().to_vec(),
+            out.edge_congestion().to_vec(),
+            out.take_outputs(),
+        )
+    };
+    let (stats, trace, edge_congestion, outputs) = match k {
+        1 => observe(
+            session
+                .run(
+                    |_, _| Chatter {
+                        rounds: 6,
+                        salt: 1,
+                        heard: 0,
+                    },
+                    engine,
+                )
+                .unwrap(),
+        ),
+        2 => {
+            let out = session
+                .run(
+                    |_, _| WideChatter {
+                        rounds: 5,
+                        heard: 1,
+                    },
+                    engine,
+                )
+                .unwrap();
+            (
+                out.stats,
+                out.trace().unwrap().to_vec(),
+                out.edge_congestion().to_vec(),
+                out.take_outputs(),
+            )
+        }
+        3 => observe(
+            session
+                .run(
+                    |_, _| Chatter {
+                        rounds: 6,
+                        salt: 3,
+                        heard: 0,
+                    },
+                    engine.sparse_threshold(usize::MAX),
+                )
+                .unwrap(),
+        ),
+        4 => observe(
+            session
+                .run(
+                    |_, _| Chatter {
+                        rounds: 7,
+                        salt: 4,
+                        heard: 0,
+                    },
+                    engine
+                        .sparse_threshold(0)
+                        .with_faults(FaultPlan::new(fault_budget, fseed)),
+                )
+                .unwrap(),
+        ),
+        _ => observe(
+            session
+                .run(
+                    |_, _| Chatter {
+                        rounds: 6,
+                        salt: 5,
+                        heard: 0,
+                    },
+                    engine,
+                )
+                .unwrap(),
+        ),
+    };
+    PhaseObs {
+        outputs,
+        stats,
+        trace,
+        edge_congestion,
+        state_hash: session.state_hash(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole oracle: snapshot at phase boundary `cut`, restore
+    /// into a fresh session, continue — every phase's outputs, stats,
+    /// trace, per-edge congestion, and state hash match the
+    /// uninterrupted run, and the restored hash equals the recorded one.
+    #[test]
+    fn snapshot_restore_continue_is_bit_identical(
+        g in arb_connected_graph(20),
+        seed in any::<u64>(),
+        cut in 0u64..=PHASES,
+        fault_budget in 0usize..3,
+        fseed in any::<u64>(),
+    ) {
+        for &shards in &[1usize, 5] {
+            for &meter in &[MeterMode::BitPlanes, MeterMode::ArcCounters] {
+                // Uninterrupted reference.
+                let mut reference = Session::new(&g);
+                let expected: Vec<PhaseObs> = (1..=PHASES)
+                    .map(|k| run_phase(&mut reference, k, seed, shards, meter, fault_budget, fseed))
+                    .collect();
+
+                // Interrupted arm: run to the cut, checkpoint, restore.
+                let mut first = Session::new(&g);
+                let mut got: Vec<PhaseObs> = (1..=cut)
+                    .map(|k| run_phase(&mut first, k, seed, shards, meter, fault_budget, fseed))
+                    .collect();
+                let bytes = first.snapshot();
+                drop(first);
+
+                let header = congest_sim::snapshot::peek(&bytes).unwrap();
+                prop_assert_eq!(header.fingerprint, g.fingerprint());
+                prop_assert!(header.clean);
+                prop_assert!(!header.has_churn);
+
+                let mut resumed = Session::restore(&g, &bytes).unwrap();
+                prop_assert_eq!(resumed.state_hash(), header.state_hash);
+                got.extend(
+                    (cut + 1..=PHASES).map(|k| {
+                        run_phase(&mut resumed, k, seed, shards, meter, fault_budget, fseed)
+                    }),
+                );
+                prop_assert_eq!(&got, &expected,
+                    "cut={} shards={} meter={:?}", cut, shards, meter);
+            }
+        }
+    }
+
+    /// The per-phase state-hash sequence is invariant across execution
+    /// strategy: serial/shards=1 vs parallel/shards=5 under a real
+    /// thread pool produce identical hashes at every boundary.
+    #[test]
+    fn state_hash_is_execution_invariant(
+        g in arb_connected_graph(18),
+        seed in any::<u64>(),
+    ) {
+        let hashes = |parallel: bool, shards: usize, threads: usize| -> Vec<u64> {
+            congest_par::with_threads(threads, || {
+                let mut s = Session::new(&g);
+                (1..=PHASES)
+                    .map(|k| {
+                        let mut cfg = EngineConfig::serial()
+                            .seed(phase_seed(seed, k))
+                            .shards(shards)
+                            .meter(MeterMode::BitPlanes);
+                        cfg.parallel = parallel;
+                        let out = s
+                            .run(
+                                |_, _| Chatter {
+                                    rounds: 5,
+                                    salt: k,
+                                    heard: 0,
+                                },
+                                cfg,
+                            )
+                            .unwrap();
+                        drop(out);
+                        s.state_hash()
+                    })
+                    .collect()
+            })
+        };
+        let serial = hashes(false, 1, 1);
+        for (shards, threads) in [(1, 2), (5, 4)] {
+            let par = hashes(true, shards, threads);
+            prop_assert_eq!(&par, &serial, "shards={} threads={}", shards, threads);
+        }
+    }
+
+    /// Churn arm: snapshot a `ChurnSession` mid-scenario (topology
+    /// mutated, a node crashed), restore, and drive both through the
+    /// same remaining mutations and phases — graphs, outputs, stats, and
+    /// hashes stay identical, and the crash bookkeeping survives (the
+    /// revive restores the same edges on both sides).
+    #[test]
+    fn churn_snapshot_restores_topology_and_bookkeeping(
+        g in arb_connected_graph(16),
+        seed in any::<u64>(),
+        victim in 0u32..8,
+    ) {
+        let victim = victim % g.n() as u32;
+        let mut original = ChurnSession::new(g.clone());
+        original.queue_mut().push(Mutation::Crash(victim));
+        let out = original
+            .run(
+                |_, _| Chatter { rounds: 5, salt: 1, heard: 0 },
+                EngineConfig::serial().seed(phase_seed(seed, 1)),
+            )
+            .unwrap();
+        drop(out);
+
+        let bytes = original.snapshot();
+        let header = congest_sim::snapshot::peek(&bytes).unwrap();
+        prop_assert!(header.has_graph && header.has_churn);
+        let mut restored = ChurnSession::restore(&bytes).unwrap();
+
+        prop_assert_eq!(restored.graph(), original.graph());
+        prop_assert_eq!(restored.crashed(), original.crashed());
+        prop_assert_eq!(restored.stats(), original.stats());
+        prop_assert_eq!(restored.state_hash(), original.state_hash());
+
+        // Continue both: revive the victim and run another phase.
+        for s in [&mut original, &mut restored] {
+            s.queue_mut().push(Mutation::Revive(victim));
+        }
+        let a = original
+            .run(
+                |_, _| Chatter { rounds: 5, salt: 2, heard: 0 },
+                EngineConfig::serial().seed(phase_seed(seed, 2)),
+            )
+            .unwrap()
+            .take_outputs();
+        let b = restored
+            .run(
+                |_, _| Chatter { rounds: 5, salt: 2, heard: 0 },
+                EngineConfig::serial().seed(phase_seed(seed, 2)),
+            )
+            .unwrap()
+            .take_outputs();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(original.graph(), restored.graph());
+        prop_assert_eq!(original.state_hash(), restored.state_hash());
+    }
+
+    /// Pool arm: park a pool's warm states as frames, restore them into
+    /// a second pool (a fresh process's pool), and the next checkout on
+    /// each side runs bit-identically from the same warm state.
+    #[test]
+    fn pool_park_restore_round_trips(
+        g in arb_connected_graph(16),
+        seed in any::<u64>(),
+    ) {
+        let mut pool_a = SessionPool::new();
+        let key = pool_a.register(g.clone());
+        // Warm one state with a first phase.
+        pool_a.with_session(key, |s| {
+            let out = s
+                .run(
+                    |_, _| Chatter { rounds: 5, salt: 1, heard: 0 },
+                    EngineConfig::serial().seed(phase_seed(seed, 1)),
+                )
+                .unwrap();
+            drop(out);
+        });
+        let mut frames = Vec::new();
+        let parked = pool_a.park_warm(key, &mut frames);
+        prop_assert_eq!(parked, 1);
+        prop_assert_eq!(frames.len(), 1);
+        prop_assert_eq!(pool_a.warm_count(key), 0);
+
+        // Restore into both pools (A lost its warm set by parking).
+        let mut pool_b = SessionPool::new();
+        let key_b = pool_b.register(g.clone());
+        for bytes in &frames {
+            prop_assert_eq!(pool_a.restore_warm(bytes).unwrap(), key);
+            prop_assert_eq!(pool_b.restore_warm(bytes).unwrap(), key_b);
+        }
+        prop_assert_eq!(pool_a.warm_count(key), 1);
+        prop_assert_eq!(pool_b.warm_count(key_b), 1);
+
+        let run2 = |pool: &mut SessionPool, key| {
+            pool.with_session(key, |s| {
+                let out = s
+                    .run(
+                        |_, _| Chatter { rounds: 5, salt: 2, heard: 0 },
+                        EngineConfig::serial().seed(phase_seed(seed, 2)),
+                    )
+                    .unwrap();
+                let outputs = out.take_outputs();
+                (outputs, s.state_hash())
+            })
+        };
+        let a = run2(&mut pool_a, key);
+        let b = run2(&mut pool_b, key_b);
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---- Tamper suite: every corruption is a typed refusal. ----
+
+/// `unwrap_err` without requiring `Debug` on the session types.
+fn refusal<T>(r: Result<T, SnapshotError>) -> SnapshotError {
+    match r {
+        Err(e) => e,
+        Ok(_) => panic!("expected a snapshot refusal"),
+    }
+}
+
+fn small_graph() -> Graph {
+    GraphBuilder::new(6)
+        .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+        .build()
+        .unwrap()
+}
+
+fn warm_frame(g: &Graph) -> Vec<u8> {
+    let mut s = Session::new(g);
+    let out = s
+        .run(
+            |_, _| Chatter {
+                rounds: 4,
+                salt: 7,
+                heard: 0,
+            },
+            EngineConfig::serial().seed(11),
+        )
+        .unwrap();
+    drop(out);
+    s.snapshot()
+}
+
+#[test]
+fn tampered_frames_are_refused() {
+    let g = small_graph();
+    let bytes = warm_frame(&g);
+
+    // Truncation at any interesting prefix.
+    for cut in [0, 7, 23, 60, bytes.len() - 1] {
+        assert!(Session::restore(&g, &bytes[..cut]).is_err(), "cut={cut}");
+    }
+
+    // Any flipped body byte fails the checksum.
+    for i in [24, 80, 130, bytes.len() - 1] {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x40;
+        assert_eq!(
+            refusal(Session::restore(&g, &bad)),
+            SnapshotError::Checksum,
+            "byte {i}"
+        );
+    }
+
+    // Bad magic is its own refusal.
+    let mut bad = bytes.clone();
+    bad[0] ^= 1;
+    assert_eq!(refusal(Session::restore(&g, &bad)), SnapshotError::BadMagic);
+
+    // A different graph refuses by fingerprint.
+    let other = congest_graph::generators::complete(6);
+    assert!(matches!(
+        refusal(Session::restore(&other, &bytes)),
+        SnapshotError::FingerprintMismatch { .. }
+    ));
+
+    // Kind confusion both ways.
+    assert_eq!(
+        refusal(ChurnSession::restore(&bytes)),
+        SnapshotError::WrongKind
+    );
+    let churn_bytes = ChurnSession::new(g.clone()).snapshot();
+    assert_eq!(
+        refusal(Session::restore(&g, &churn_bytes)),
+        SnapshotError::WrongKind
+    );
+    // But a churn frame restores into a churn session even cold.
+    assert!(ChurnSession::restore(&churn_bytes).is_ok());
+}
+
+#[test]
+fn pool_restore_requires_a_registered_graph() {
+    let g = small_graph();
+    let bytes = warm_frame(&g);
+    let mut pool = SessionPool::new();
+    pool.register(congest_graph::generators::complete(6));
+    assert_eq!(
+        pool.restore_warm(&bytes).unwrap_err(),
+        SnapshotError::UnknownGraph(g.fingerprint())
+    );
+}

@@ -746,4 +746,33 @@ fn round_loop_allocates_nothing_after_setup() {
         );
         assert_ne!(acc, warm.wrapping_add(1), "keep results observable");
     }
+
+    // --- Snapshot encode: checkpointing a warm session into a warm
+    // caller-provided buffer is part of the serving steady state
+    // (`SessionPool::park_warm` runs it per warm state), so it must
+    // allocate **exactly zero**: the payload walk is `extend_from_slice`
+    // into retained capacity and the state hash is pure arithmetic. The
+    // first encode sizes the buffer; every later encode is free.
+    {
+        let mut session = Session::new(&g);
+        let _ = session_cycle(&mut session, 12, &EngineConfig::serial());
+        let mut buf = Vec::new();
+        session.snapshot_into(&mut buf);
+        let first_len = buf.len();
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let mut acc = 0u64;
+        for _ in 0..3 {
+            session.snapshot_into(&mut buf);
+            acc ^= session.state_hash() ^ buf.len() as u64;
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "warm snapshot encode allocated {} times",
+            after - before
+        );
+        assert_eq!(buf.len(), first_len, "same boundary, same frame size");
+        assert_ne!(acc, 1, "keep results observable");
+    }
 }

@@ -7,6 +7,8 @@
 //! fastbcast apsp      <family> [--seed S]              (3,2)-approximate APSP quality report
 //! fastbcast cuts      <family> [--eps E] [--seed S]    sparsifier all-cuts report
 //! fastbcast serve     [--graphs G1+G2] [--jobs N] ...  multi-tenant session-pool server (job mix)
+//! fastbcast snapshot  <family> [--phases N] [--cut K]  run K phases, checkpoint the engine to a file
+//! fastbcast resume    <family> --in FILE [...]         restore the checkpoint, run the remaining phases
 //!
 //! <family> grammar:
 //!   harary:L,N | complete:N | torus:RxC | hypercube:D | clique-chain:C,S,B
@@ -36,8 +38,9 @@ use fast_broadcast::graph::{Graph, WeightedGraph};
 use fast_broadcast::packing::matroid::exact_tree_packing;
 use fast_broadcast::packing::random_partition::partition_packing_retrying;
 use fast_broadcast::sim::fault::FaultPlan;
-use fast_broadcast::sim::rng::mix64;
-use fast_broadcast::sim::{EngineConfig, Job, JobSpec, JobStatus, PoolServer};
+use fast_broadcast::sim::protocol::NodeCtx;
+use fast_broadcast::sim::rng::{mix64, phase_seed};
+use fast_broadcast::sim::{EngineConfig, Job, JobSpec, JobStatus, PoolServer, Protocol, Session};
 use fast_broadcast::sparsify::cuts::theorem7_all_cuts;
 use std::process::ExitCode;
 
@@ -69,6 +72,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "apsp" => cmd_apsp(&args[1..]),
         "cuts" => cmd_cuts(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "snapshot" => cmd_snapshot(&args[1..]),
+        "resume" => cmd_resume(&args[1..]),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -83,6 +88,8 @@ fastbcast — fast broadcast in highly connected networks (SPAA 2024 reproductio
   fastbcast cuts      <family> [--eps E] [--seed S]
   fastbcast serve     [--graphs F1+F2+..] [--jobs N] [--tenants T] [--queue Q]
                       [--mix flood,rumor,gossip] [--fault-edges F] [--seed S] [--serial]
+  fastbcast snapshot  <family> [--phases N] [--cut K] [--seed S] [--out FILE]
+  fastbcast resume    <family> --in FILE [--phases N] [--cut K] [--seed S] [--verify]
 
 families:
   harary:L,N         circulant with λ = L on N nodes
@@ -446,6 +453,141 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "  {t:<8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
             m.jobs, m.rounds, m.messages, m.dropped, m.max_edge_congestion, m.max_message_bits
         );
+    }
+    Ok(())
+}
+
+/// The checkpoint walkthrough's phase protocol: every node stirs its
+/// inbox into a splitmix accumulator and chatters a salted digest to all
+/// neighbors for a fixed number of rounds. Fully deterministic in
+/// (node, round, phase salt) — so an interrupted run and its resumed
+/// half are comparable bit-for-bit against an uninterrupted one.
+struct Pulse {
+    node: u64,
+    salt: u64,
+    acc: u64,
+    rounds: u64,
+}
+
+impl Protocol for Pulse {
+    type Msg = u64;
+    type Output = u64;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        for (_, m) in ctx.inbox() {
+            self.acc = mix64(self.acc ^ m);
+        }
+        if ctx.round < self.rounds {
+            ctx.send_all(mix64(self.salt ^ self.node ^ (ctx.round << 32) ^ self.acc));
+        }
+        ctx.set_done(ctx.round >= self.rounds);
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
+/// Run phases `[from, to)` of the deterministic pulse composition on
+/// `session`, printing each phase's post-phase state hash.
+fn run_pulse_phases(
+    session: &mut Session<'_>,
+    from: u64,
+    to: u64,
+    seed: u64,
+) -> Result<Vec<u64>, String> {
+    let mut last = Vec::new();
+    for k in from..to {
+        let salt = phase_seed(seed, k);
+        let rounds = 4 + k % 3;
+        let out = session
+            .run(
+                |v, _| Pulse {
+                    node: v as u64,
+                    salt,
+                    acc: mix64(salt ^ v as u64),
+                    rounds,
+                },
+                EngineConfig::serial().seed(salt),
+            )
+            .map_err(|e| e.to_string())?;
+        last = out.take_outputs();
+        println!(
+            "phase {k:>2}: {rounds} rounds, state hash {:016x}",
+            session.state_hash()
+        );
+    }
+    Ok(last)
+}
+
+/// Run the first `--cut` phases of a deterministic multi-phase
+/// composition, then checkpoint the engine into `--out` — the file
+/// `fastbcast resume` continues from, in this or any other process.
+fn cmd_snapshot(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("snapshot needs a <family>")?;
+    let g = parse_family(spec)?;
+    let phases: u64 = opt(args, "--phases", 6u64)?;
+    let cut: u64 = opt(args, "--cut", phases / 2)?;
+    let seed: u64 = opt(args, "--seed", 42u64)?;
+    let path: String = opt(args, "--out", "fastbcast.snap".to_string())?;
+    if cut > phases {
+        return Err(format!("--cut {cut} exceeds --phases {phases}"));
+    }
+    println!(
+        "family {spec}: n = {}, m = {}, fingerprint {:016x}",
+        g.n(),
+        g.m(),
+        g.fingerprint()
+    );
+    let mut session = Session::new(&g);
+    run_pulse_phases(&mut session, 0, cut, seed)?;
+    let bytes = session.snapshot();
+    std::fs::write(&path, &bytes).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!(
+        "checkpoint  : {path} ({} bytes) after phase {cut}/{phases}, state hash {:016x}",
+        bytes.len(),
+        session.state_hash()
+    );
+    println!("resume with : fastbcast resume {spec} --in {path} --phases {phases} --cut {cut} --seed {seed}");
+    Ok(())
+}
+
+/// Restore a `fastbcast snapshot` checkpoint and run the remaining
+/// phases. With `--verify`, also rerun the whole composition
+/// uninterrupted and check the outputs and final state hash agree —
+/// the CLI face of the snapshot→restore→continue bit-identity oracle.
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("resume needs a <family>")?;
+    let g = parse_family(spec)?;
+    let path: String = opt(args, "--in", String::new())?;
+    if path.is_empty() {
+        return Err("resume needs --in FILE".into());
+    }
+    let phases: u64 = opt(args, "--phases", 6u64)?;
+    let cut: u64 = opt(args, "--cut", phases / 2)?;
+    let seed: u64 = opt(args, "--seed", 42u64)?;
+    if cut > phases {
+        return Err(format!("--cut {cut} exceeds --phases {phases}"));
+    }
+    let bytes = std::fs::read(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let header = fast_broadcast::sim::snapshot::peek(&bytes).map_err(|e| e.to_string())?;
+    println!(
+        "checkpoint  : {path} ({} bytes), graph {:016x}, state hash {:016x}",
+        bytes.len(),
+        header.fingerprint,
+        header.state_hash
+    );
+    let mut session = Session::restore(&g, &bytes).map_err(|e| e.to_string())?;
+    println!("restored    : family {spec}, continuing at phase {cut}/{phases}");
+    let outputs = run_pulse_phases(&mut session, cut, phases, seed)?;
+    let final_hash = session.state_hash();
+    println!("final state hash {final_hash:016x}");
+
+    if flag(args, "--verify") {
+        let mut oracle = Session::new(&g);
+        let expected = run_pulse_phases(&mut oracle, 0, phases, seed)?;
+        if (cut < phases && expected != outputs) || oracle.state_hash() != final_hash {
+            return Err("verification FAILED: resumed run diverged from uninterrupted run".into());
+        }
+        println!("verified    : resumed run is bit-identical to an uninterrupted run");
     }
     Ok(())
 }
