@@ -592,6 +592,67 @@ impl Protocol for LaneRumor {
     }
 }
 
+/// [`LaneRumor`] with a staggered tail for the wide-tail bench: the
+/// rumor floods as usual, then the *source* lingers, pulsing port 0
+/// every round until its lane-local round reaches `linger`. Jobs get
+/// lingers of very different lengths, so a chunked wide run holds its
+/// full width hostage to each chunk's slowest lane — the regime lane
+/// compaction (narrowing the sweep) and mid-sweep refill (retired slots
+/// keep earning) exist for.
+#[derive(Clone)]
+struct TailRumor {
+    me: u32,
+    src: u32,
+    linger: u64,
+    heard: bool,
+    acc: u64,
+}
+
+impl TailRumor {
+    fn new(node: u32, salt: u64, n: usize, linger: u64) -> Self {
+        let h = congest_sim::rng::mix64(0x7A11 ^ salt);
+        TailRumor {
+            me: node,
+            src: (h % n as u64) as u32,
+            linger,
+            heard: false,
+            acc: h | 1,
+        }
+    }
+}
+
+impl Protocol for TailRumor {
+    type Msg = u64;
+    type Output = u64;
+    /// Sends and state changes happen only at round 0, on message
+    /// arrival, or at the lingering source — which stays not-done until
+    /// its pulses stop — so a done round with an empty inbox is a
+    /// semantic no-op.
+    const QUIESCENT: bool = true;
+    fn round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        let sum = ctx.inbox().map(|(_, m)| m).fold(0u64, u64::wrapping_add);
+        self.acc = self.acc.wrapping_add(sum);
+        if ctx.inbox_len() > 0 && !self.heard {
+            self.heard = true;
+            ctx.send_all(sum | 1);
+        }
+        if self.me == self.src {
+            if ctx.round == 0 && !self.heard {
+                self.heard = true;
+                ctx.send_all(self.acc | 1);
+            } else if ctx.round < self.linger {
+                ctx.send(0, self.acc.wrapping_add(ctx.round) | 1);
+            }
+            ctx.set_done(ctx.round >= self.linger);
+            return;
+        }
+        ctx.set_done(true);
+    }
+    fn finish(self) -> u64 {
+        self.acc
+    }
+}
+
 struct Measurement {
     workload: &'static str,
     graph: &'static str,
@@ -1619,6 +1680,176 @@ fn bench_wide_batch() -> (Vec<WideBatchRow>, f64) {
     (rows, at_32)
 }
 
+struct WideTailRow {
+    arm: &'static str,
+    wall_ns: u128,
+    jobs_per_sec: f64,
+}
+
+/// Staggered-termination job stream through the wide kernel: J
+/// lane-salted rumor floods whose sources linger for staggered spans,
+/// with each 32-job chunk anchored by one job that lingers ~64x the
+/// flood itself. Three arms, all single-core on one resident
+/// `WideSession`:
+///
+/// * `chunked_no_compact` — 32-lane `run()` per chunk, compaction off:
+///   the frozen pre-compaction kernel, paying the full-width sweep for
+///   every straggler round.
+/// * `chunked_compact` — the same chunks with lane compaction on: the
+///   sweep narrows as lanes retire, but each chunk still waits for its
+///   slowest lane.
+/// * `refill_steady` — one `run_refill` drain over the whole queue:
+///   compaction plus mid-sweep refill, so retired slots keep earning
+///   while stragglers linger.
+///
+/// Every job of every arm is cross-checked bit-identical (outputs +
+/// stats) against its isolated sequential `Session` run before any
+/// timing. The acceptance bar: continuous batching (the refill arm)
+/// ≥ 1.5x the non-compacting chunked kernel.
+fn bench_wide_tail() -> (Vec<WideTailRow>, f64, f64) {
+    use congest_sim::{LaneSpec, RunStats, Session, WideSession};
+
+    let (n, jobs, samples) = if smoke() {
+        (256usize, 96usize, 2usize)
+    } else {
+        (1024usize, 192usize, 5usize)
+    };
+    let w = 32usize;
+    let g = harary(6, n);
+    let job_seed = |j: usize| congest_sim::rng::mix64(0x7A11_C0DE ^ j as u64);
+    let specs: Vec<LaneSpec> = (0..jobs).map(|j| LaneSpec::new(job_seed(j))).collect();
+    let seq_cfg = |j: usize| EngineConfig::serial().seed(job_seed(j));
+
+    // Tail lengths are keyed to the measured flood so the mix keeps its
+    // shape across graph sizes: lane l of each chunk lingers l/8 floods
+    // (staggered termination), and lane 0 anchors the chunk at 64
+    // floods — the straggler the chunked arms must wait out chunk by
+    // chunk, while the refill arm overlaps all the anchors.
+    let flood_rounds = {
+        let mut sess = Session::new(&g);
+        let out = sess
+            .run(|v, _| TailRumor::new(v, 1, n, 0), seq_cfg(1))
+            .unwrap();
+        out.stats.rounds
+    };
+    let linger = move |j: usize| {
+        let lane = (j % w) as u64;
+        if lane == 0 {
+            64 * flood_rounds
+        } else {
+            lane * flood_rounds / 8
+        }
+    };
+    let mk = move |v: u32, j: usize| TailRumor::new(v, j as u64, n, linger(j));
+
+    // The isolated oracle, once per job: every arm below must reproduce
+    // these outputs and stats bit-for-bit.
+    let expected: Vec<(Vec<u64>, RunStats)> = (0..jobs)
+        .map(|j| {
+            let mut sess = Session::new(&g);
+            let out = sess.run(|v, _| mk(v, j), seq_cfg(j)).unwrap();
+            let stats = out.stats;
+            (out.take_outputs(), stats)
+        })
+        .collect();
+
+    let chunks: Vec<std::ops::Range<usize>> = (0..jobs)
+        .step_by(w)
+        .map(|lo| lo..(lo + w).min(jobs))
+        .collect();
+    let run_chunked = |wide: &mut WideSession<'_>, compact: bool, check: bool| -> u64 {
+        let cfg = EngineConfig::serial().compact(compact);
+        let mut acc = 0u64;
+        for chunk in &chunks {
+            let lo = chunk.start;
+            let out = wide
+                .run(&specs[chunk.clone()], |v, l, _| mk(v, lo + l), cfg.clone())
+                .unwrap();
+            for l in 0..chunk.len() {
+                if check {
+                    let (outputs, stats) = &expected[lo + l];
+                    assert_eq!(
+                        out.outputs(l),
+                        &outputs[..],
+                        "wide_tail job {} outputs diverged (compact: {compact})",
+                        lo + l
+                    );
+                    assert_eq!(
+                        &out.stats(l),
+                        stats,
+                        "wide_tail job {} stats diverged (compact: {compact})",
+                        lo + l
+                    );
+                }
+                acc ^= out.outputs(l)[0] ^ out.stats(l).rounds;
+            }
+        }
+        acc
+    };
+    let run_refill = |wide: &mut WideSession<'_>, scratch: &mut Vec<u64>, check: bool| -> u64 {
+        let mut acc = 0u64;
+        let admitted = wide.run_refill::<TailRumor, _, _, _>(
+            &specs[..w],
+            |v, j, _| mk(v, j),
+            EngineConfig::serial(),
+            |job| (job < jobs).then(|| specs[job].clone()),
+            |mut r| {
+                r.take_outputs_into(scratch);
+                if check {
+                    let (outputs, stats) = &expected[r.job];
+                    assert_eq!(
+                        &scratch[..],
+                        &outputs[..],
+                        "wide_tail refill job {} outputs diverged",
+                        r.job
+                    );
+                    assert_eq!(
+                        &r.stats, stats,
+                        "wide_tail refill job {} stats diverged",
+                        r.job
+                    );
+                }
+                acc ^= scratch[0] ^ r.stats.rounds ^ r.job as u64;
+            },
+        );
+        assert_eq!(admitted, jobs, "wide_tail refill queue must drain");
+        acc
+    };
+
+    // Cross-check all three arms bit-identical before timing anything.
+    let mut wide = WideSession::new(&g);
+    let mut scratch: Vec<u64> = Vec::new();
+    run_chunked(&mut wide, false, true);
+    run_chunked(&mut wide, true, true);
+    run_refill(&mut wide, &mut scratch, true);
+
+    let baseline_ns = best_of(samples, || run_chunked(&mut wide, false, false));
+    let compact_ns = best_of(samples, || run_chunked(&mut wide, true, false));
+    let refill_ns = best_of(samples, || run_refill(&mut wide, &mut scratch, false));
+
+    let rate = |ns: u128| jobs as f64 / (ns as f64 / 1e9);
+    let rows = vec![
+        WideTailRow {
+            arm: "chunked_no_compact",
+            wall_ns: baseline_ns,
+            jobs_per_sec: rate(baseline_ns),
+        },
+        WideTailRow {
+            arm: "chunked_compact",
+            wall_ns: compact_ns,
+            jobs_per_sec: rate(compact_ns),
+        },
+        WideTailRow {
+            arm: "refill_steady",
+            wall_ns: refill_ns,
+            jobs_per_sec: rate(refill_ns),
+        },
+    ];
+    let compact_speedup = baseline_ns as f64 / compact_ns as f64;
+    let refill_speedup = baseline_ns as f64 / refill_ns as f64;
+    (rows, compact_speedup, refill_speedup)
+}
+
 struct ServeRow {
     arm: &'static str,
     wall_ns: u128,
@@ -1754,12 +1985,15 @@ fn write_json(
     phase_reuse: &[PhaseReuseRow],
     churn_repair: &[ChurnRepairRow],
     wide_batch: &[WideBatchRow],
+    wide_tail: &[WideTailRow],
     serve: &[ServeRow],
     dense_geomean: f64,
     sparse_geomean: f64,
     phase_reuse_geomean: f64,
     churn_repair_geomean: f64,
     wide_batch_speedup_32: f64,
+    wide_tail_compact: f64,
+    wide_tail_refill: f64,
     serve_speedup: f64,
     path: &std::path::Path,
 ) {
@@ -1989,6 +2223,34 @@ fn write_json(
         "    \"speedup_vs_sequential_32_lanes\": {wide_batch_speedup_32:.3}"
     );
     let _ = writeln!(s, "  }},");
+    // --- Wide-tail section: continuous batching vs chunked full-width.
+    let _ = writeln!(
+        s,
+        "  \"wide_tail_note\": \"staggered-termination rumor mix on harary(6, n): sources linger pulsing one port for staggered spans, each 32-job chunk anchored by a straggler lingering ~64 floods; chunked_no_compact = 32-lane WideSession::run per chunk with lane compaction off, chunked_compact = same chunks with compaction on, refill_steady = one run_refill drain (compaction + mid-sweep refill from the job queue); single-core, whole-stream wall clock, best of N; every job of every arm cross-checked bit-identical (outputs + stats) against its isolated sequential Session run before timing; acceptance bar: refill_steady >= 1.5x chunked_no_compact\","
+    );
+    let _ = writeln!(s, "  \"wide_tail\": {{");
+    let _ = writeln!(s, "    \"arms\": [");
+    for (i, r) in wide_tail.iter().enumerate() {
+        let _ = writeln!(s, "      {{");
+        let _ = writeln!(s, "        \"arm\": \"{}\",", r.arm);
+        let _ = writeln!(s, "        \"wall_ns\": {},", r.wall_ns);
+        let _ = writeln!(s, "        \"jobs_per_sec\": {:.0}", r.jobs_per_sec);
+        let _ = writeln!(
+            s,
+            "      }}{}",
+            if i + 1 < wide_tail.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(
+        s,
+        "    \"speedup_compact_vs_no_compact\": {wide_tail_compact:.3},"
+    );
+    let _ = writeln!(
+        s,
+        "    \"speedup_refill_vs_no_compact\": {wide_tail_refill:.3}"
+    );
+    let _ = writeln!(s, "  }},");
     // --- Serving layer: PoolServer batching drain vs session-per-job.
     let _ = writeln!(
         s,
@@ -2011,6 +2273,38 @@ fn write_json(
     let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     std::fs::write(path, s).expect("write BENCH_sim.json");
+}
+
+/// Print the wide-tail section and emit its regression marker; returns
+/// the rows + speedups for the JSON export.
+fn run_wide_tail_section() -> (Vec<WideTailRow>, f64, f64) {
+    let (wide_tail, wide_tail_compact, wide_tail_refill) = bench_wide_tail();
+    println!("\n| wide-tail arm | wall clock | jobs/sec |");
+    println!("|---|---|---|");
+    for r in &wide_tail {
+        println!(
+            "| {} | {:.3} ms | {:.0} |",
+            r.arm,
+            r.wall_ns as f64 / 1e6,
+            r.jobs_per_sec
+        );
+    }
+    println!(
+        "wide-tail speedup vs the non-compacting chunked kernel: \
+         compaction {wide_tail_compact:.2}x, compaction+refill {wide_tail_refill:.2}x"
+    );
+    // Continuous batching's acceptance bar: on a staggered-termination
+    // mix, refilling retired slots from the queue (with the sweep
+    // compacted) must beat chunked full-width runs by a wide margin,
+    // smoke lane included.
+    if wide_tail_refill < 1.5 {
+        println!(
+            "REGRESSION-MARKER: wide-tail speedup {wide_tail_refill:.3} < 1.5 — continuous \
+             lane batching (compaction + refill) lost its advantage over the non-compacting \
+             chunked kernel"
+        );
+    }
+    (wide_tail, wide_tail_compact, wide_tail_refill)
 }
 
 /// Print the serve section and emit its regression marker; returns the
@@ -2040,11 +2334,18 @@ fn run_serve_section() -> (Vec<ServeRow>, f64) {
 }
 
 fn bench_engine(c: &mut Criterion) {
-    // `SIM_BENCH_SECTION=serve`: run only the serving-layer section (CI's
-    // serve smoke lane), keep its cross-checks and marker, skip the rest.
+    // `SIM_BENCH_SECTION=serve|wide_tail`: run only that section (CI's
+    // smoke lanes), keep its cross-checks and marker, skip the rest.
     if let Ok(section) = std::env::var("SIM_BENCH_SECTION") {
-        assert_eq!(section, "serve", "unknown SIM_BENCH_SECTION `{section}`");
-        let _ = run_serve_section();
+        match section.as_str() {
+            "serve" => {
+                let _ = run_serve_section();
+            }
+            "wide_tail" => {
+                let _ = run_wide_tail_section();
+            }
+            _ => panic!("unknown SIM_BENCH_SECTION `{section}`"),
+        }
         println!("section mode: skipping remaining sections and BENCH_sim.json rewrite");
         return;
     }
@@ -2174,6 +2475,8 @@ fn bench_engine(c: &mut Criterion) {
              vs the sequential arm"
         );
     }
+    // --- Wide tail: staggered-termination stream, chunked vs continuous.
+    let (wide_tail, wide_tail_compact, wide_tail_refill) = run_wide_tail_section();
     // --- Serving layer: pool-batched job stream vs session-per-job.
     let (serve, serve_speedup) = run_serve_section();
     if smoke() {
@@ -2250,12 +2553,15 @@ fn bench_engine(c: &mut Criterion) {
         &phase_reuse,
         &churn_repair,
         &wide_batch,
+        &wide_tail,
         &serve,
         dense_geomean,
         sparse_geomean,
         phase_reuse_geomean,
         churn_repair_geomean,
         wide_batch_speedup_32,
+        wide_tail_compact,
+        wide_tail_refill,
         serve_speedup,
         &root,
     );

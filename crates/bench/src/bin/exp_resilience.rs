@@ -41,7 +41,7 @@ fn main() {
                             &input,
                             params,
                             *r,
-                            faults.clone(),
+                            faults,
                             &BroadcastConfig::with_seed(
                                 (0xE13 ^ seed).wrapping_add(attempt * 0x9E37),
                             ),

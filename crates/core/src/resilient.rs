@@ -350,7 +350,7 @@ mod tests {
             &input,
             params,
             1,
-            Some(faults.clone()),
+            Some(faults),
             &BroadcastConfig::with_seed(0x52),
         )
         .unwrap();

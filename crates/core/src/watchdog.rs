@@ -284,7 +284,7 @@ pub fn resilient_broadcast_degrading_hosted(
                 input,
                 PartitionParams::explicit(lp),
                 replication,
-                faults.clone(),
+                faults,
                 &c,
             ) {
                 Ok(out) => {

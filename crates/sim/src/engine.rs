@@ -112,6 +112,13 @@ pub struct EngineConfig {
     /// Optional mobile edge adversary (paper §1.2 / \[FP23\] model; see
     /// [`crate::fault::FaultPlan`]).
     pub faults: Option<crate::fault::FaultPlan>,
+    /// Wide runs only: repack live lanes into the low bits when at most
+    /// half the sweep width is still running, so tail rounds index
+    /// narrower lane strides (see `congest_sim::wide`). Results are
+    /// identical either way — outputs, stats, and traces are always
+    /// reported under original lane ids — so this is purely a
+    /// performance policy; the differential tests pin both settings.
+    pub compact_lanes: bool,
 }
 
 impl Default for EngineConfig {
@@ -125,6 +132,7 @@ impl Default for EngineConfig {
             sparse_threshold: None,
             collect_trace: false,
             faults: None,
+            compact_lanes: true,
         }
     }
 }
@@ -179,6 +187,13 @@ impl EngineConfig {
 
     pub fn with_faults(mut self, plan: crate::fault::FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Enable or disable mid-run lane compaction (see
+    /// [`EngineConfig::compact_lanes`]; on by default).
+    pub fn compact(mut self, compact_lanes: bool) -> Self {
+        self.compact_lanes = compact_lanes;
         self
     }
 }

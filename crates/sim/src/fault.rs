@@ -74,7 +74,7 @@ impl EdgeMarks {
 }
 
 /// A per-round edge-blocking plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct FaultPlan {
     /// Number of edges blocked per round (both directions).
     pub edges_per_round: usize,
@@ -190,7 +190,7 @@ impl FaultPlan {
     pub fn with_lane_seed(&self, lane: usize) -> FaultPlan {
         FaultPlan {
             seed: lane_seed(self.seed, lane),
-            ..self.clone()
+            ..*self
         }
     }
 

@@ -76,10 +76,10 @@ pub use fault::{ChurnPlan, EdgeMarks, FaultPlan};
 pub use message::{MsgBits, MsgWord, PackedMsg};
 pub use phase::PhaseLog;
 pub use pool::{
-    run_job_isolated, GraphKey, Job, JobId, JobOutput, JobSpec, JobStatus, PoolError, PoolServer,
-    SessionPool, Tenant, TenantMeter,
+    run_job_isolated, EvictionPolicy, GraphKey, Job, JobId, JobOutput, JobSpec, JobStatus,
+    PoolError, PoolServer, SessionPool, Tenant, TenantMeter,
 };
 pub use protocol::{InboxIter, NodeCtx, Protocol};
 pub use session::{PhaseHost, PhaseOutcome, Session};
 pub use snapshot::{SnapshotError, SnapshotHeader, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
-pub use wide::{LaneSpec, WideOutcome, WideSession, MAX_LANES};
+pub use wide::{LaneRetire, LaneSpec, WideOutcome, WideSession, MAX_LANES};

@@ -28,9 +28,16 @@
 //! executes them on [`PoolServer::drain`]. Batching policy:
 //!
 //! * jobs group by **(graph key, protocol family)**;
-//! * a wide-worthy (quiescent) group runs as one [`WideSession`] lane
-//!   group, up to [`MAX_LANES`] jobs per sweep, each job keeping its own
-//!   seed and fault plan via [`LaneSpec`];
+//! * a wide-worthy (quiescent) group runs **continuously batched** by
+//!   default ([`PoolServer::set_refill`]): one
+//!   [`WideSession::run_refill`] sweep at most [`MAX_LANES`] wide, where
+//!   every lane that finishes frees a slot that is refilled from the
+//!   group's tail mid-sweep — so a group of hundreds of jobs keeps the
+//!   sweep full instead of draining batch by batch. Each job keeps its
+//!   own seed and fault plan via [`LaneSpec`], and rounds are
+//!   lane-local, so a refilled job is oblivious to when it was admitted.
+//!   With refill disabled the group is chunked into fixed
+//!   [`MAX_LANES`]-wide [`WideSession::run`] batches;
 //! * singletons and dense (non-quiescent) families fall back to a
 //!   sequential [`crate::Session`] — a dense lane would step every round
 //!   anyway, so it only dilutes the shared sweep.
@@ -48,14 +55,27 @@
 //! The job plane is a *closed* protocol menu ([`JobSpec`]): `Protocol` is
 //! generic over message and output types, so heterogeneous lanes in one
 //! sweep require a concrete family enum (type erasure cannot cross
-//! [`WideSession::run`]'s `P`). Fully heterogeneous lane groups — lanes
-//! joining and leaving between rounds — remain open (see ROADMAP).
+//! [`WideSession::run`]'s `P`). Refill is therefore *within-group* only
+//! — a freed slot is never handed to a different family or graph, which
+//! would need cross-`P` type erasure; such a job waits for its own
+//! group's sweep.
+//!
+//! ## Aging
+//!
+//! A long-lived server accumulates graph entries and warm states for
+//! traffic that may never return. [`EvictionPolicy`] bounds both — live
+//! graph count and total warm-state bytes — evicted LRU-first by a
+//! logical clock stamped per checkout. [`PoolServer::drain`] enforces
+//! the policy each time the queue empties; eviction counters sit next
+//! to hit/miss ([`SessionPool::graph_evictions`],
+//! [`SessionPool::warm_evictions`]), and `fastbcast serve` exposes the
+//! budgets as `--max-graphs` / `--max-warm-bytes` / `--warm-limit`.
 
 use crate::engine::{EngineConfig, EngineError, RunStats};
 use crate::fault::FaultPlan;
 use crate::protocol::{NodeCtx, Protocol};
 use crate::session::{Session, SessionState};
-use crate::wide::{LaneSpec, WideSession, MAX_LANES};
+use crate::wide::{LaneRetire, LaneSpec, WideSession, MAX_LANES};
 use congest_graph::{Graph, Node};
 use rand::Rng;
 use std::collections::{HashMap, VecDeque};
@@ -72,6 +92,43 @@ impl GraphKey {
     #[inline]
     pub fn fingerprint(&self) -> u64 {
         self.0
+    }
+}
+
+/// Bounds on a [`SessionPool`]'s retained footprint, enforced by
+/// [`SessionPool::enforce_eviction`] (a [`PoolServer`] enforces it at the
+/// end of every drain). Both budgets evict **least-recently-used first**,
+/// by a logical clock stamped at every checkout/registration — a
+/// long-lived server sheds the graphs and warm states its traffic no
+/// longer touches.
+///
+/// * `max_graphs` bounds live registered graphs. Evicting a graph drops
+///   its entry *and* its warm states; the key becomes unregistered
+///   (submissions for it get [`PoolError::UnknownGraph`]) until someone
+///   re-registers the graph — which yields the **same key**, since keys
+///   are content fingerprints.
+/// * `max_warm_bytes` bounds the summed [estimated footprint] of parked
+///   warm states across all entries. Only warm states are dropped for
+///   this budget (oldest entry first), never registrations — the next
+///   checkout of an affected graph is simply a cold build.
+///
+/// [estimated footprint]: SessionPool::warm_bytes
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionPolicy {
+    /// Most registered graphs kept live. `usize::MAX` = unbounded.
+    pub max_graphs: usize,
+    /// Most bytes of parked warm state kept, summed over all entries.
+    /// `usize::MAX` = unbounded.
+    pub max_warm_bytes: usize,
+}
+
+impl Default for EvictionPolicy {
+    /// Unbounded: nothing is ever evicted until a budget is set.
+    fn default() -> EvictionPolicy {
+        EvictionPolicy {
+            max_graphs: usize::MAX,
+            max_warm_bytes: usize::MAX,
+        }
     }
 }
 
@@ -117,18 +174,31 @@ impl GraphKey {
 /// ```
 #[derive(Default)]
 pub struct SessionPool {
-    entries: Vec<PoolEntry>,
-    /// fingerprint → index into `entries` (entries are never removed, so
-    /// indices are stable and the map never rehashes in steady state).
+    /// Slot-stable entry table: eviction tombstones a slot (`None`) and
+    /// parks its index on `free` for the next registration, so live
+    /// indices never move and the fingerprint map never rehashes in
+    /// steady state.
+    entries: Vec<Option<PoolEntry>>,
+    free: Vec<usize>,
+    /// fingerprint → index into `entries`.
     index: HashMap<u64, usize>,
     warm_limit: usize,
+    policy: EvictionPolicy,
+    /// Logical LRU clock: bumped on every checkout/registration, stamped
+    /// into the touched entry. No wall time — eviction order is a
+    /// deterministic function of the access sequence.
+    clock: u64,
     hits: u64,
     misses: u64,
+    graph_evictions: u64,
+    warm_evictions: u64,
 }
 
 struct PoolEntry {
     graph: Graph,
     warm: Vec<SessionState>,
+    /// Clock stamp of the last checkout/registration of this entry.
+    last_used: u64,
 }
 
 impl SessionPool {
@@ -141,40 +211,161 @@ impl SessionPool {
     /// states released beyond the limit are dropped.
     pub fn with_warm_limit(warm_limit: usize) -> SessionPool {
         SessionPool {
-            entries: Vec::new(),
-            index: HashMap::new(),
             warm_limit,
-            hits: 0,
-            misses: 0,
+            ..SessionPool::default()
         }
     }
 
     /// Register `graph`, returning its key. Registering an equal graph
     /// again (any tenant) returns the same key and keeps the existing
-    /// warm state. Panics on a fingerprint collision between *unequal*
-    /// graphs — with a 64-bit avalanche hash that is a program error,
-    /// not an operational condition.
+    /// warm state; re-registering an **evicted** graph also returns the
+    /// same key (keys are content fingerprints), just cold. Panics on a
+    /// fingerprint collision between *unequal* graphs — with a 64-bit
+    /// avalanche hash that is a program error, not an operational
+    /// condition.
     pub fn register(&mut self, graph: Graph) -> GraphKey {
         let fp = graph.fingerprint();
+        self.clock += 1;
         match self.index.get(&fp) {
             Some(&i) => {
+                let entry = self.entries[i].as_mut().expect("indexed entries are live");
                 assert!(
-                    self.entries[i].graph == graph,
+                    entry.graph == graph,
                     "graph fingerprint collision: unequal graphs hash to {fp:#x}"
                 );
+                entry.last_used = self.clock;
             }
             None => {
-                self.index.insert(fp, self.entries.len());
-                self.entries.push(PoolEntry {
+                let entry = PoolEntry {
                     graph,
                     warm: Vec::with_capacity(self.warm_limit),
-                });
+                    last_used: self.clock,
+                };
+                let i = match self.free.pop() {
+                    Some(i) => {
+                        self.entries[i] = Some(entry);
+                        i
+                    }
+                    None => {
+                        self.entries.push(Some(entry));
+                        self.entries.len() - 1
+                    }
+                };
+                self.index.insert(fp, i);
             }
         }
         GraphKey(fp)
     }
 
-    /// Whether `key` is registered.
+    /// Replace the eviction policy. Takes effect at the next
+    /// [`SessionPool::enforce_eviction`] — setting a tighter budget does
+    /// not evict anything by itself.
+    pub fn set_policy(&mut self, policy: EvictionPolicy) {
+        self.policy = policy;
+    }
+
+    /// The current eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Change the per-graph warm-state cap, immediately dropping parked
+    /// states beyond the new limit (counted as warm evictions).
+    pub fn set_warm_limit(&mut self, warm_limit: usize) {
+        self.warm_limit = warm_limit;
+        for entry in self.entries.iter_mut().flatten() {
+            if entry.warm.len() > warm_limit {
+                self.warm_evictions += (entry.warm.len() - warm_limit) as u64;
+                entry.warm.truncate(warm_limit);
+            }
+        }
+    }
+
+    /// Live (non-evicted) registered graphs.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no graph is currently registered.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Estimated heap footprint of the warm states parked for `key`, in
+    /// bytes — capacity-based (slabs, arenas, scratch vectors), so it
+    /// reflects what eviction would actually free.
+    ///
+    /// # Panics
+    /// If `key` was not registered (or was evicted) on this pool.
+    pub fn warm_bytes(&self, key: GraphKey) -> usize {
+        self.entry(self.entry_index(key))
+            .warm
+            .iter()
+            .map(SessionState::warm_bytes)
+            .sum()
+    }
+
+    /// Estimated heap footprint of all parked warm states, in bytes —
+    /// the quantity [`EvictionPolicy::max_warm_bytes`] budgets.
+    pub fn warm_bytes_total(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .flat_map(|e| e.warm.iter().map(SessionState::warm_bytes))
+            .sum()
+    }
+
+    /// Graph entries evicted so far (the LRU `max_graphs` budget).
+    pub fn graph_evictions(&self) -> u64 {
+        self.graph_evictions
+    }
+
+    /// Warm states dropped by eviction so far — by the `max_warm_bytes`
+    /// budget, by riding on an evicted graph entry, or by a
+    /// [`SessionPool::set_warm_limit`] tightening.
+    pub fn warm_evictions(&self) -> u64 {
+        self.warm_evictions
+    }
+
+    /// Apply the eviction policy now: drop least-recently-used graph
+    /// entries until at most `max_graphs` remain, then drop warm states
+    /// (oldest entry first, oldest-parked state first) until the warm
+    /// footprint fits `max_warm_bytes`. Under-budget pools pay one scan
+    /// and allocate nothing. [`PoolServer::drain`] calls this after the
+    /// queue empties, so a serving loop ages out cold graphs without any
+    /// explicit management.
+    pub fn enforce_eviction(&mut self) {
+        while self.index.len() > self.policy.max_graphs {
+            let (&fp, &i) = self
+                .index
+                .iter()
+                .min_by_key(|(_, &i)| self.entry(i).last_used)
+                .expect("len > max_graphs ≥ 0 entries");
+            self.index.remove(&fp);
+            let entry = self.entries[i].take().expect("indexed entries are live");
+            self.free.push(i);
+            self.graph_evictions += 1;
+            self.warm_evictions += entry.warm.len() as u64;
+        }
+        let mut total = self.warm_bytes_total();
+        while total > self.policy.max_warm_bytes {
+            let Some(i) = self
+                .index
+                .values()
+                .copied()
+                .filter(|&i| !self.entry(i).warm.is_empty())
+                .min_by_key(|&i| self.entry(i).last_used)
+            else {
+                break; // nothing warm left to shed
+            };
+            let entry = self.entries[i].as_mut().expect("indexed entries are live");
+            let state = entry.warm.remove(0); // oldest-parked first
+            total -= state.warm_bytes().min(total);
+            self.warm_evictions += 1;
+        }
+    }
+
+    /// Whether `key` is registered (and not evicted).
     pub fn contains(&self, key: GraphKey) -> bool {
         self.index.contains_key(&key.0)
     }
@@ -182,14 +373,15 @@ impl SessionPool {
     /// The registered graph behind `key`.
     ///
     /// # Panics
-    /// If `key` was not returned by [`SessionPool::register`] on this pool.
+    /// If `key` was not returned by [`SessionPool::register`] on this
+    /// pool, or its entry has been evicted.
     pub fn graph(&self, key: GraphKey) -> &Graph {
-        &self.entries[self.entry_index(key)].graph
+        &self.entry(self.entry_index(key)).graph
     }
 
     /// Warm states currently parked for `key`.
     pub fn warm_count(&self, key: GraphKey) -> usize {
-        self.entries[self.entry_index(key)].warm.len()
+        self.entry(self.entry_index(key)).warm.len()
     }
 
     /// Checkouts served from a warm state.
@@ -209,18 +401,18 @@ impl SessionPool {
             .expect("graph key not registered with this pool")
     }
 
-    /// Check out a sequential [`Session`] for `key`: pop a warm state (or
-    /// build one), run `f`, release the state back. The closure is
-    /// higher-ranked over the session lifetime, so results must be moved
-    /// out (e.g. [`crate::PhaseOutcome::take_outputs`]) — nothing can
-    /// keep borrowing the pooled buffers after release.
-    ///
-    /// # Panics
-    /// If `key` was not registered on this pool. A panic inside `f`
-    /// drops the checked-out state instead of re-pooling it.
-    pub fn with_session<R>(&mut self, key: GraphKey, f: impl FnOnce(&mut Session<'_>) -> R) -> R {
+    fn entry(&self, i: usize) -> &PoolEntry {
+        self.entries[i].as_ref().expect("indexed entries are live")
+    }
+
+    /// Checkout front half shared by the session/wide paths: stamp the
+    /// LRU clock, pop a warm state or build one.
+    fn checkout(&mut self, key: GraphKey) -> (usize, SessionState) {
         let i = self.entry_index(key);
-        let entry = &mut self.entries[i];
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.entries[i].as_mut().expect("indexed entries are live");
+        entry.last_used = clock;
         let state = match entry.warm.pop() {
             Some(s) => {
                 self.hits += 1;
@@ -231,6 +423,21 @@ impl SessionPool {
                 SessionState::new(&entry.graph)
             }
         };
+        (i, state)
+    }
+
+    /// Check out a sequential [`Session`] for `key`: pop a warm state (or
+    /// build one), run `f`, release the state back. The closure is
+    /// higher-ranked over the session lifetime, so results must be moved
+    /// out (e.g. [`crate::PhaseOutcome::take_outputs`]) — nothing can
+    /// keep borrowing the pooled buffers after release.
+    ///
+    /// # Panics
+    /// If `key` was not registered on this pool. A panic inside `f`
+    /// drops the checked-out state instead of re-pooling it.
+    pub fn with_session<R>(&mut self, key: GraphKey, f: impl FnOnce(&mut Session<'_>) -> R) -> R {
+        let (i, state) = self.checkout(key);
+        let entry = self.entries[i].as_mut().expect("indexed entries are live");
         let mut session = Session::from_state(&entry.graph, state);
         let r = f(&mut session);
         let state = session.into_state();
@@ -245,18 +452,8 @@ impl SessionPool {
     /// from the same warm list: a `SessionState` carries both kernels'
     /// buffers, so a state warmed by one serves the other.
     pub fn with_wide<R>(&mut self, key: GraphKey, f: impl FnOnce(&mut WideSession<'_>) -> R) -> R {
-        let i = self.entry_index(key);
-        let entry = &mut self.entries[i];
-        let state = match entry.warm.pop() {
-            Some(s) => {
-                self.hits += 1;
-                s
-            }
-            None => {
-                self.misses += 1;
-                SessionState::new(&entry.graph)
-            }
-        };
+        let (i, state) = self.checkout(key);
+        let entry = self.entries[i].as_mut().expect("indexed entries are live");
         let mut session = WideSession::from_state(&entry.graph, state);
         let r = f(&mut session);
         let state = session.into_state();
@@ -276,7 +473,7 @@ impl SessionPool {
     /// If `key` was not registered on this pool.
     pub fn park_warm(&mut self, key: GraphKey, out: &mut Vec<Vec<u8>>) -> usize {
         let i = self.entry_index(key);
-        let entry = &mut self.entries[i];
+        let entry = self.entries[i].as_mut().expect("indexed entries are live");
         let parked = entry.warm.len();
         for state in entry.warm.drain(..) {
             let session = Session::from_state(&entry.graph, state);
@@ -304,7 +501,10 @@ impl SessionPool {
             .index
             .get(&header.fingerprint)
             .ok_or(SnapshotError::UnknownGraph(header.fingerprint))?;
-        let entry = &mut self.entries[i];
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.entries[i].as_mut().expect("indexed entries are live");
+        entry.last_used = clock;
         let session = Session::restore(&entry.graph, bytes)?;
         let state = session.into_state();
         if entry.warm.len() < self.warm_limit {
@@ -418,6 +618,10 @@ pub struct JobOutput {
     /// Whether this job rode a wide lane group (false = sequential
     /// fallback). Purely informational — results are identical.
     pub batched: bool,
+    /// Whether this job was admitted into a slot freed mid-sweep by a
+    /// retiring lane (continuous batching), rather than starting with
+    /// the sweep. Implies `batched`; purely informational.
+    pub refilled: bool,
 }
 
 /// Aggregate congestion/bit meters for one tenant, summed over its jobs.
@@ -435,6 +639,9 @@ pub struct TenantMeter {
     pub max_edge_congestion: u64,
     /// Largest message any of the tenant's jobs put on a wire, in bits.
     pub max_message_bits: usize,
+    /// Of `jobs`, how many were admitted into a mid-sweep slot freed by
+    /// a retiring lane (see [`JobOutput::refilled`]).
+    pub refilled_jobs: u64,
 }
 
 impl TenantMeter {
@@ -480,16 +687,22 @@ pub struct PoolServer {
     queue: VecDeque<(JobId, Job)>,
     capacity: usize,
     config: EngineConfig,
+    /// Steady-state continuous batching: run each wide-worthy group as
+    /// one [`WideSession::run_refill`] sweep (any size), refilling freed
+    /// slots mid-sweep, instead of chunked [`WideSession::run`] batches.
+    refill: bool,
     next_id: u64,
     meters: HashMap<Tenant, TenantMeter>,
     batched_jobs: u64,
     solo_jobs: u64,
+    refilled_jobs: u64,
 }
 
 impl PoolServer {
     /// A server whose runs share `config` (each job's `seed`/`faults`
     /// supersede the config's) and whose queue holds at most
-    /// `queue_capacity` pending jobs.
+    /// `queue_capacity` pending jobs. Continuous batching
+    /// ([`PoolServer::set_refill`]) is on by default.
     pub fn new(config: EngineConfig, queue_capacity: usize) -> PoolServer {
         assert!(queue_capacity > 0, "queue capacity must be positive");
         PoolServer {
@@ -497,10 +710,12 @@ impl PoolServer {
             queue: VecDeque::with_capacity(queue_capacity),
             capacity: queue_capacity,
             config,
+            refill: true,
             next_id: 0,
             meters: HashMap::new(),
             batched_jobs: 0,
             solo_jobs: 0,
+            refilled_jobs: 0,
         }
     }
 
@@ -510,9 +725,34 @@ impl PoolServer {
         self.pool.register(graph)
     }
 
-    /// The underlying pool (hit/miss counters, warm counts).
+    /// The underlying pool (hit/miss/eviction counters, warm counts).
     pub fn pool(&self) -> &SessionPool {
         &self.pool
+    }
+
+    /// Mutable access to the underlying pool — the knob panel for
+    /// [`SessionPool::set_warm_limit`] and [`SessionPool::set_policy`].
+    pub fn pool_mut(&mut self) -> &mut SessionPool {
+        &mut self.pool
+    }
+
+    /// Toggle continuous batching. On (the default), each wide-worthy
+    /// group drains as **one** [`WideSession::run_refill`] sweep — lanes
+    /// that finish free slots that are refilled from the group
+    /// mid-sweep, and a lane that blows the round budget retires alone
+    /// (per-lane failure) instead of failing its whole batch. Off, the
+    /// group is chunked into fixed [`MAX_LANES`]-wide [`WideSession::run`]
+    /// batches with the whole-batch-fail + solo-retry fallback. Results
+    /// are bit-identical either way (both are pinned to the isolated
+    /// oracle); the difference is throughput under staggered
+    /// termination and how failures are executed.
+    pub fn set_refill(&mut self, refill: bool) {
+        self.refill = refill;
+    }
+
+    /// Whether continuous batching is enabled.
+    pub fn refill_enabled(&self) -> bool {
+        self.refill
     }
 
     /// Jobs waiting in the queue.
@@ -533,6 +773,12 @@ impl PoolServer {
     /// Jobs that ran on the sequential fallback so far.
     pub fn solo_jobs(&self) -> u64 {
         self.solo_jobs
+    }
+
+    /// Jobs admitted into mid-sweep freed slots so far (a subset of
+    /// [`PoolServer::batched_jobs`]).
+    pub fn refilled_jobs(&self) -> u64 {
+        self.refilled_jobs
     }
 
     /// Admit `job` if the queue has room; [`PoolError::Backpressure`]
@@ -581,9 +827,11 @@ impl PoolServer {
     }
 
     /// Run everything queued, appending one [`JobOutput`] per job to
-    /// `out` in submission (id) order. Grouping, chunking, and execution
-    /// order are deterministic functions of the queue contents, and
-    /// every output is bit-identical to the job's isolated run.
+    /// `out` in submission (id) order, then enforce the pool's eviction
+    /// policy ([`SessionPool::enforce_eviction`]) while the queue is
+    /// empty. Grouping, chunking, and execution order are deterministic
+    /// functions of the queue contents, and every output is
+    /// bit-identical to the job's isolated run.
     pub fn drain(&mut self, out: &mut Vec<JobOutput>) {
         let start = out.len();
         let mut jobs: Vec<(JobId, Job)> = self.queue.drain(..).collect();
@@ -603,7 +851,16 @@ impl PoolServer {
                 j += 1;
             }
             let group = &jobs[i..j];
-            if group[0].1.protocol.wide_worthy() {
+            if !group[0].1.protocol.wide_worthy() || group.len() == 1 {
+                for job in group {
+                    self.run_solo(job, out);
+                }
+            } else if self.refill {
+                // Continuous batching: the whole group — even past
+                // MAX_LANES — is one sweep whose freed slots refill from
+                // the group's tail.
+                self.run_refill_group(group, out);
+            } else {
                 for chunk in group.chunks(MAX_LANES) {
                     if chunk.len() == 1 {
                         self.run_solo(&chunk[0], out);
@@ -611,20 +868,17 @@ impl PoolServer {
                         self.run_wide_chunk(chunk, out);
                     }
                 }
-            } else {
-                for job in group {
-                    self.run_solo(job, out);
-                }
             }
             i = j;
         }
         out[start..].sort_by_key(|o| o.id);
+        self.pool.enforce_eviction();
     }
 
     fn run_solo(&mut self, (id, job): &(JobId, Job), out: &mut Vec<JobOutput>) {
         let cfg = EngineConfig {
             seed: job.seed,
-            faults: job.faults.clone(),
+            faults: job.faults,
             ..self.config.clone()
         };
         let spec = job.protocol.clone();
@@ -632,7 +886,7 @@ impl PoolServer {
             .pool
             .with_session(job.graph, |s| run_spec_on_session(s, &spec, cfg));
         self.solo_jobs += 1;
-        self.record(*id, job, res, false, out);
+        self.record(*id, job, res, false, false, out);
     }
 
     fn run_wide_chunk(&mut self, chunk: &[(JobId, Job)], out: &mut Vec<JobOutput>) {
@@ -640,7 +894,7 @@ impl PoolServer {
             .iter()
             .map(|(_, j)| LaneSpec {
                 seed: j.seed,
-                faults: j.faults.clone(),
+                faults: j.faults,
             })
             .collect();
         let specs: Vec<JobSpec> = chunk.iter().map(|(_, j)| j.protocol.clone()).collect();
@@ -652,7 +906,7 @@ impl PoolServer {
             Ok(results) => {
                 for ((id, job), r) in chunk.iter().zip(results) {
                     self.batched_jobs += 1;
-                    self.record(*id, job, Ok(r), true, out);
+                    self.record(*id, job, Ok(r), true, false, out);
                 }
             }
             Err(_) => {
@@ -667,12 +921,91 @@ impl PoolServer {
         }
     }
 
+    /// Run one wide-worthy group as a single continuously batched sweep:
+    /// the first `min(len, MAX_LANES)` jobs start as lanes, every later
+    /// job is admitted into the first slot a retiring lane frees. A lane
+    /// exceeding the round budget retires alone as
+    /// [`JobStatus::RoundLimit`] — exactly the failure its isolated run
+    /// reports — so no solo fallback pass is needed.
+    fn run_refill_group(&mut self, group: &[(JobId, Job)], out: &mut Vec<JobOutput>) {
+        let lane_spec = |j: &Job| LaneSpec {
+            seed: j.seed,
+            faults: j.faults,
+        };
+        let init_w = group.len().min(MAX_LANES);
+        let init: Vec<LaneSpec> = group[..init_w].iter().map(|(_, j)| lane_spec(j)).collect();
+        let refill = |job: usize| (job < group.len()).then(|| lane_spec(&group[job].1));
+        let cfg = self.config.clone();
+        // Staged per-job results, filled by the sink under admission
+        // index (= group index, since refill admits in group order).
+        let mut results: Vec<Option<(JobStatus, Vec<u64>, RunStats)>> = vec![None; group.len()];
+        let sink = |mut r: LaneRetire<'_, u64>| {
+            let (status, outputs) = match r.limit {
+                Some(limit) => (JobStatus::RoundLimit { limit }, Vec::new()),
+                None => {
+                    let mut outputs = Vec::new();
+                    r.take_outputs_into(&mut outputs);
+                    (JobStatus::Done, outputs)
+                }
+            };
+            results[r.job] = Some((status, outputs, r.stats));
+        };
+        let admitted = match group[0].1.protocol.family() {
+            Family::FloodMax => self.pool.with_wide(group[0].1.graph, |w| {
+                w.run_refill::<FloodMax, _, _, _>(
+                    &init,
+                    |v, _, _| FloodMax { best: v as u64 },
+                    cfg,
+                    refill,
+                    sink,
+                )
+            }),
+            Family::Rumor => {
+                let sources: Vec<Node> = group
+                    .iter()
+                    .map(|(_, j)| match j.protocol {
+                        JobSpec::Rumor { source } => source,
+                        _ => unreachable!("mixed families in one lane group"),
+                    })
+                    .collect();
+                self.pool.with_wide(group[0].1.graph, |w| {
+                    w.run_refill::<Rumor, _, _, _>(
+                        &init,
+                        |v, job, _| Rumor {
+                            is_source: v == sources[job],
+                            heard: u64::MAX,
+                        },
+                        cfg,
+                        refill,
+                        sink,
+                    )
+                })
+            }
+            Family::Gossip => unreachable!("dense families never batch wide"),
+        };
+        debug_assert_eq!(admitted, group.len(), "refill drains the whole group");
+        for (i, ((id, job), res)) in group.iter().zip(results).enumerate() {
+            let (status, outputs, stats) = res.expect("every admitted job retires");
+            let res = match status {
+                JobStatus::Done => Ok((outputs, stats)),
+                JobStatus::RoundLimit { limit } => Err(EngineError::RoundLimitExceeded { limit }),
+            };
+            self.batched_jobs += 1;
+            let refilled = i >= init_w;
+            if refilled {
+                self.refilled_jobs += 1;
+            }
+            self.record(*id, job, res, true, refilled, out);
+        }
+    }
+
     fn record(
         &mut self,
         id: JobId,
         job: &Job,
         res: Result<(Vec<u64>, RunStats), EngineError>,
         batched: bool,
+        refilled: bool,
         out: &mut Vec<JobOutput>,
     ) {
         let (outputs, stats, status) = match res {
@@ -683,7 +1016,11 @@ impl PoolServer {
                 JobStatus::RoundLimit { limit },
             ),
         };
-        self.meters.entry(job.tenant).or_default().absorb(&stats);
+        let meter = self.meters.entry(job.tenant).or_default();
+        meter.absorb(&stats);
+        if refilled {
+            meter.refilled_jobs += 1;
+        }
         out.push(JobOutput {
             id,
             tenant: job.tenant,
@@ -691,6 +1028,7 @@ impl PoolServer {
             outputs,
             stats,
             batched,
+            refilled,
         });
     }
 }
@@ -994,7 +1332,7 @@ mod tests {
         for (o, job) in out.iter().zip(&jobs) {
             let g = if job.graph == k1 { &g1 } else { &g2 };
             let (outputs, stats) =
-                run_job_isolated(g, &job.protocol, job.seed, job.faults.clone(), &cfg).unwrap();
+                run_job_isolated(g, &job.protocol, job.seed, job.faults, &cfg).unwrap();
             assert_eq!(o.status, JobStatus::Done);
             assert_eq!(o.outputs, outputs, "job {:?} outputs", o.id);
             assert_eq!(o.stats, stats, "job {:?} stats", o.id);
@@ -1068,12 +1406,14 @@ mod tests {
 
     #[test]
     fn wide_group_failure_falls_back_to_solo() {
-        // FloodMax on a long cycle needs ~n/2 rounds; a 3-round budget
-        // fails the wide group, and the per-job fallback then fails each
-        // job exactly as its isolated run would.
+        // The legacy chunked path (refill off): FloodMax on a long cycle
+        // needs ~n/2 rounds; a 3-round budget fails the wide group, and
+        // the per-job fallback then fails each job exactly as its
+        // isolated run would.
         let mut cfg = EngineConfig::serial();
         cfg.max_rounds = 3;
         let mut server = PoolServer::new(cfg, 8);
+        server.set_refill(false);
         let k = server.register_graph(cycle(32));
         for s in 0..3 {
             server
@@ -1089,6 +1429,200 @@ mod tests {
         }
         assert_eq!(server.batched_jobs(), 0);
         assert_eq!(server.solo_jobs(), 3);
+    }
+
+    #[test]
+    fn refill_drain_fails_round_limit_lanes_alone() {
+        // Same blown-budget group under continuous batching (the
+        // default): every lane retires as its own RoundLimit — same
+        // statuses as the fallback path, but no solo re-runs.
+        let mut cfg = EngineConfig::serial();
+        cfg.max_rounds = 3;
+        let mut server = PoolServer::new(cfg, 8);
+        let k = server.register_graph(cycle(32));
+        for s in 0..3 {
+            server
+                .try_submit(mk_job(k, JobSpec::FloodMax, s, 0))
+                .unwrap();
+        }
+        let mut out = Vec::new();
+        server.drain(&mut out);
+        assert_eq!(out.len(), 3);
+        for o in &out {
+            assert_eq!(o.status, JobStatus::RoundLimit { limit: 3 });
+            assert!(o.batched && !o.refilled);
+            assert!(o.outputs.is_empty());
+        }
+        assert_eq!(server.batched_jobs(), 3);
+        assert_eq!(server.solo_jobs(), 0);
+    }
+
+    #[test]
+    fn refill_group_past_max_lanes_matches_isolated() {
+        // A group wider than the sweep: MAX_LANES jobs start as lanes,
+        // the rest are admitted into freed slots mid-sweep — and every
+        // job, refilled or not, is still bit-identical to its isolated
+        // run. Sources and seeds vary per job so refilled lanes genuinely
+        // differ from the lanes whose slots they inherit.
+        let cfg = EngineConfig::serial();
+        let mut server = PoolServer::new(cfg.clone(), 256);
+        let g = harary(4, 24);
+        let k = server.register_graph(g.clone());
+        let total = MAX_LANES + 9;
+        let mut jobs = Vec::new();
+        for i in 0..total as u64 {
+            let mut job = mk_job(
+                k,
+                JobSpec::Rumor {
+                    source: (i * 7 % g.n() as u64) as Node,
+                },
+                0x5EED ^ i,
+                (i % 3) as Tenant,
+            );
+            if i % 4 == 1 {
+                job.faults = Some(FaultPlan::new(1, 0xFA ^ i));
+            }
+            server.try_submit(job.clone()).unwrap();
+            jobs.push(job);
+        }
+        let mut out = Vec::new();
+        server.drain(&mut out);
+        assert_eq!(out.len(), total);
+        let mut refilled = 0;
+        for (o, job) in out.iter().zip(&jobs) {
+            let (outputs, stats) =
+                run_job_isolated(&g, &job.protocol, job.seed, job.faults, &cfg).unwrap();
+            assert_eq!(o.status, JobStatus::Done);
+            assert_eq!(o.outputs, outputs, "job {:?} outputs", o.id);
+            assert_eq!(o.stats, stats, "job {:?} stats", o.id);
+            assert!(o.batched);
+            refilled += o.refilled as usize;
+        }
+        assert_eq!(refilled, total - MAX_LANES);
+        assert_eq!(server.refilled_jobs(), refilled as u64);
+        let metered: u64 = server.meters().iter().map(|(_, m)| m.refilled_jobs).sum();
+        assert_eq!(metered, refilled as u64);
+    }
+
+    #[test]
+    fn eviction_drops_lru_graphs_and_same_key_reregisters() {
+        let mut pool = SessionPool::new();
+        let ga = harary(4, 16);
+        let ka = pool.register(ga.clone());
+        let kb = pool.register(harary(4, 18));
+        let kc = pool.register(cycle(12));
+        assert_eq!(pool.len(), 3);
+        // Touch a and c so b is the LRU entry.
+        pool.with_session(ka, |_| ());
+        pool.with_session(kc, |_| ());
+        pool.set_policy(EvictionPolicy {
+            max_graphs: 2,
+            max_warm_bytes: usize::MAX,
+        });
+        pool.enforce_eviction();
+        assert_eq!(pool.len(), 2);
+        assert!(pool.contains(ka) && pool.contains(kc) && !pool.contains(kb));
+        assert_eq!(pool.graph_evictions(), 1);
+        // Evict again: now a is least recently used.
+        pool.set_policy(EvictionPolicy {
+            max_graphs: 1,
+            max_warm_bytes: usize::MAX,
+        });
+        pool.enforce_eviction();
+        assert!(!pool.contains(ka) && pool.contains(kc));
+        assert_eq!(pool.graph_evictions(), 2);
+        // Re-registering an evicted graph yields the same key (content
+        // fingerprint), reusing the tombstoned slot, and starts cold.
+        let ka2 = pool.register(ga);
+        assert_eq!(ka2, ka);
+        assert_eq!(pool.warm_count(ka2), 0);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn eviction_sheds_warm_bytes_but_keeps_registrations() {
+        let mut pool = SessionPool::new();
+        let ka = pool.register(harary(4, 16));
+        let kb = pool.register(cycle(12));
+        for k in [ka, kb] {
+            pool.with_session(k, |s| {
+                s.run(|v, _| FloodMax { best: v as u64 }, EngineConfig::serial())
+                    .unwrap()
+                    .stats
+            });
+        }
+        assert!(pool.warm_bytes(ka) > 0 && pool.warm_bytes(kb) > 0);
+        let total = pool.warm_bytes_total();
+        assert_eq!(total, pool.warm_bytes(ka) + pool.warm_bytes(kb));
+        // Budget below one state's footprint: both warm states go, the
+        // registrations stay, and later checkouts are just cold.
+        pool.set_policy(EvictionPolicy {
+            max_graphs: usize::MAX,
+            max_warm_bytes: pool.warm_bytes(kb).saturating_sub(1),
+        });
+        pool.enforce_eviction();
+        assert_eq!(pool.warm_bytes_total(), 0);
+        assert_eq!(pool.warm_evictions(), 2);
+        assert_eq!(pool.graph_evictions(), 0);
+        assert!(pool.contains(ka) && pool.contains(kb));
+        let misses = pool.misses();
+        pool.with_session(ka, |_| ());
+        assert_eq!(pool.misses(), misses + 1, "evicted warm state = cold build");
+    }
+
+    #[test]
+    fn set_warm_limit_truncates_and_counts() {
+        let mut pool = SessionPool::new();
+        let k = pool.register(cycle(8));
+        // Park two warm states via nested-free sequential checkouts: the
+        // easiest way is park/restore — instead just run twice with limit
+        // 4 then tighten to 1.
+        pool.with_session(k, |_| ());
+        let mut frames = Vec::new();
+        pool.park_warm(k, &mut frames);
+        pool.restore_warm(&frames[0]).unwrap();
+        pool.restore_warm(&frames[0]).unwrap();
+        assert_eq!(pool.warm_count(k), 2);
+        pool.set_warm_limit(1);
+        assert_eq!(pool.warm_count(k), 1);
+        assert_eq!(pool.warm_evictions(), 1);
+    }
+
+    #[test]
+    fn server_drain_enforces_the_pool_policy() {
+        let mut server = PoolServer::new(EngineConfig::serial(), 16);
+        let ga = harary(4, 16);
+        let ka = server.register_graph(ga.clone());
+        let kb = server.register_graph(cycle(10));
+        server.pool_mut().set_policy(EvictionPolicy {
+            max_graphs: 1,
+            max_warm_bytes: usize::MAX,
+        });
+        let mut out = Vec::new();
+        server
+            .try_submit(mk_job(ka, JobSpec::FloodMax, 1, 0))
+            .unwrap();
+        server
+            .try_submit(mk_job(kb, JobSpec::FloodMax, 2, 0))
+            .unwrap();
+        server.drain(&mut out);
+        assert_eq!(out.len(), 2);
+        // Drain ran both jobs, then aged the pool down to one graph.
+        assert_eq!(server.pool().len(), 1);
+        assert_eq!(server.pool().graph_evictions(), 1);
+        // A submission for the evicted key is refused until re-register
+        // — which returns the same key.
+        let evicted = if server.pool().contains(ka) { kb } else { ka };
+        assert_eq!(
+            server.try_submit(mk_job(evicted, JobSpec::FloodMax, 3, 0)),
+            Err(PoolError::UnknownGraph(evicted))
+        );
+        if evicted == ka {
+            assert_eq!(server.register_graph(ga), ka);
+            server
+                .try_submit(mk_job(ka, JobSpec::FloodMax, 3, 0))
+                .unwrap();
+        }
     }
 
     #[test]

@@ -499,6 +499,28 @@ impl SessionState {
         ]
     }
 
+    /// Estimated resident heap footprint of this state's retained
+    /// buffers, in bytes — what dropping the state would actually free,
+    /// and the quantity [`crate::pool::EvictionPolicy::max_warm_bytes`]
+    /// budgets. Counts the slabs and arenas exactly (byte capacities)
+    /// plus the capacity of every long-lived scratch vector; the few
+    /// remaining per-shard bookkeeping vectors are noise next to the
+    /// arc-sized buffers and are not chased.
+    pub(crate) fn warm_bytes(&self) -> usize {
+        self.capacities().iter().sum::<u64>() as usize
+            + self.in_occ.capacity() * 8
+            + self.out_mask.capacity()
+            + self.arc_traffic.capacity() * 4
+            + self.planes.capacity() * 8
+            + self.bcast_stage.capacity()
+            + self.bcast_occ.capacity() * 8
+            + self.node_planes.capacity() * 8
+            + self.node_traffic.capacity() * 4
+            + self.per_edge.capacity() * 8
+            + self.trace_buf.capacity() * 8
+            + self.wide.warm_bytes()
+    }
+
     /// Replay recorded high-water marks so the restored session's first
     /// phases allocate nothing the original's wouldn't have.
     pub(crate) fn grow_capacities(&mut self, caps: [u64; 6]) {

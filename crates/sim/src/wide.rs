@@ -58,6 +58,33 @@
 //! the wide kernel pays the word passes once and skips idle lanes, which
 //! is why the `wide_batch` bench arm requires W=32 ≥ 4× the sequential
 //! arm on the sparse circulant.
+//!
+//! ## Continuous batching: compaction and refill
+//!
+//! Broadcast completion times concentrate with a long per-instance tail
+//! (Fountoulakis–Huber–Panagiotou), so under staggered termination the
+//! last live lanes of a sweep would otherwise keep paying full-width
+//! slab strides, and a drain-to-empty batcher would keep whole sweeps
+//! alive for one straggler each. Two mechanisms close that gap
+//! (DESIGN.md §9):
+//!
+//! * **Lane compaction** (on by default, [`EngineConfig::compact_lanes`]):
+//!   whenever at most half the current width is still live, live lanes
+//!   are repacked into the low slot bits — slab blocks, lane words,
+//!   per-slot RNG/fault state, and meter columns move from stride `W` to
+//!   stride `W′` in place — so tail rounds index narrower strides. A
+//!   slot→job remap keeps every result reported under its original
+//!   admission id; results are bit-identical with compaction on or off.
+//! * **Lane refill** ([`WideSession::run_refill`]): a retiring lane frees
+//!   its slot for the next job from a caller-supplied source, mid-sweep,
+//!   with per-job seeds/faults from its [`LaneSpec`] and lane-*local*
+//!   rounds (a job admitted at global round `r` sees `ctx.round = 0`
+//!   there, and its round budget, trace, and stats count from its own
+//!   admission). Each retired job is handed to a sink as a
+//!   [`LaneRetire`] — still bit-identical to the job's isolated
+//!   sequential run. Width never grows past the initial admission, and a
+//!   job is only ever admitted into a pristine slot; nothing is migrated
+//!   *between* sweeps.
 
 use crate::engine::{EngineConfig, EngineError, MeterMode, RunStats};
 use crate::fault::FaultPlan;
@@ -135,10 +162,18 @@ pub(crate) struct WideBuffers {
     lane_planes: Vec<u64>,
     /// Flush target: per-(arc, lane) delivery totals, `a * W + l`.
     lane_traffic: Vec<u32>,
-    /// Per-lane per-edge congestion, lane-major: `l * m + e`.
+    /// Per-job per-edge congestion. Batch runs fill it as a job-major
+    /// `job * m + e` matrix (one row per lane, written at that lane's
+    /// retirement); streaming runs reuse the first `m` words as the
+    /// retirement scratch row, re-zeroed after every sink call.
     per_edge: Vec<u64>,
-    /// Per-lane round traces (reused across runs; inner capacity sticks).
+    /// Per-*slot* round traces (reused across runs; inner capacity
+    /// sticks). Compaction permutes these alongside the slots.
     trace_bufs: Vec<Vec<u64>>,
+    /// Per-*job* traces for batch runs: a retiring slot's trace is
+    /// swapped in here under its original lane id, so
+    /// [`WideOutcome::trace`] is compaction-oblivious.
+    job_traces: Vec<Vec<u64>>,
     /// Per-shard per-lane delivered counts for the round reduction,
     /// stride [`MAX_LANES`].
     shard_delivered: Vec<u64>,
@@ -147,6 +182,31 @@ pub(crate) struct WideBuffers {
 }
 
 impl WideBuffers {
+    /// Capacity-based heap footprint of the lane buffers, in bytes —
+    /// the wide kernel's share of [`SessionState::warm_bytes`].
+    pub(crate) fn warm_bytes(&self) -> usize {
+        (self.in_lane.capacity()
+            + self.out_lane.capacity()
+            + self.undone.capacity()
+            + self.scratch_occ.capacity()
+            + self.lane_planes.capacity()
+            + self.per_edge.capacity()
+            + self.shard_delivered.capacity()
+            + self.shard_undone.capacity())
+            * 8
+            + self.lane_traffic.capacity() * 4
+            + self.scratch_in.byte_capacity()
+            + self.scratch_out.byte_capacity()
+            + self
+                .trace_bufs
+                .iter()
+                .chain(self.job_traces.iter())
+                .map(|t| t.capacity() * 8)
+                .sum::<usize>()
+            + (self.trace_bufs.capacity() + self.job_traces.capacity())
+                * std::mem::size_of::<Vec<u64>>()
+    }
+
     /// Full scrub after a failed run (round-limit error or a panic inside
     /// a node program) — completed runs re-zero everything on the way out.
     pub(crate) fn scrub(&mut self) {
@@ -157,6 +217,9 @@ impl WideBuffers {
         self.lane_planes.fill(0);
         self.lane_traffic.fill(0);
         for t in &mut self.trace_bufs {
+            t.clear();
+        }
+        for t in &mut self.job_traces {
             t.clear();
         }
         // `scratch_in`/`scratch_out` words and `per_edge` need no scrub:
@@ -268,6 +331,67 @@ impl<O> Drop for WideOutcome<'_, O> {
     }
 }
 
+/// One retired job of a streaming wide run, handed to the sink of
+/// [`WideSession::run_refill`] the moment its lane deactivates. Every
+/// borrowed field points into session scratch that is recycled for the
+/// next retirement, so the sink must consume what it needs before
+/// returning.
+pub struct LaneRetire<'a, O> {
+    /// Admission index of this job within the run — the same index the
+    /// factory and refill closures saw (initial lanes are jobs
+    /// `0..init.len()` in order).
+    pub job: usize,
+    /// Stats bit-identical to the job's isolated sequential run.
+    /// [`RunStats::default`] when `limit` is set — the isolated run
+    /// errors out without reporting stats.
+    pub stats: RunStats,
+    /// `Some(limit)` when this lane exceeded its per-lane round budget:
+    /// the streaming equivalent of the isolated run's
+    /// [`EngineError::RoundLimitExceeded`]. Only the offending lane
+    /// fails — it retires with no outputs, trace, or congestion, exactly
+    /// as the isolated error reports none, and the sweep carries on.
+    pub limit: Option<u64>,
+    /// Per-round delivered-message trace when the run collects traces.
+    pub trace: Option<&'a [u64]>,
+    /// Per-edge congestion, indexed by edge id (empty when `limit`).
+    pub edge_congestion: &'a [u64],
+    outputs: *mut O,
+    n: usize,
+    taken: &'a mut bool,
+}
+
+/// Borrowed retirement callback threaded through the streaming core
+/// (`None` in batch mode, the caller's sink in refill mode).
+pub(crate) type RetireSink<'a, O> = dyn FnMut(LaneRetire<'_, O>) + 'a;
+
+impl<O> LaneRetire<'_, O> {
+    /// The job's per-node outputs (empty when `limit` is set).
+    #[inline]
+    pub fn outputs(&self) -> &[O] {
+        assert!(!*self.taken, "job {} outputs taken", self.job);
+        // Sound: the retiring lane's cells were finished into this row
+        // and not yet moved out (checked above).
+        unsafe { std::slice::from_raw_parts(self.outputs, self.n) }
+    }
+
+    /// Move the outputs into `dst` (cleared first), allocating only if
+    /// `dst`'s retained capacity is too small — the steady-state serving
+    /// path stays allocation-free after warmup. If the sink never takes
+    /// the outputs, the engine drops them when the callback returns.
+    pub fn take_outputs_into(&mut self, dst: &mut Vec<O>) {
+        assert!(!*self.taken, "job {} outputs taken", self.job);
+        dst.clear();
+        dst.reserve(self.n);
+        // Sound: the row is moved out at most once (`taken`), into
+        // reserved capacity.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.outputs, dst.as_mut_ptr(), self.n);
+            dst.set_len(self.n);
+        }
+        *self.taken = true;
+    }
+}
+
 /// A graph-keyed wide-batch engine instance. Structurally a
 /// [`crate::Session`] (it owns the same `SessionState`), plus the lane
 /// buffers; repeated [`WideSession::run`] calls reuse everything grown by
@@ -338,12 +462,66 @@ impl<'g> WideSession<'g> {
     {
         self.state.run_wide(self.graph, lanes, factory, config)
     }
+
+    /// Continuously batched wide run: starts `init.len()` lanes, then
+    /// keeps the sweep full by admitting one job from `refill` into every
+    /// slot a retiring lane frees, mid-sweep — the serving analog of
+    /// continuous batching. Returns the total number of jobs admitted.
+    ///
+    /// * `refill(job)` supplies the [`LaneSpec`] for admission index
+    ///   `job`, or `None` when the source is dry (it is polled again
+    ///   after later retirements, so a drained-then-empty source must
+    ///   keep answering `None`). The factory is called with the same
+    ///   `job` index right after, while the spec's slot is still
+    ///   pristine.
+    /// * `sink` receives every retired job as a [`LaneRetire`] —
+    ///   bit-identical per job to an isolated sequential
+    ///   [`crate::Session::run`] with that job's seed and faults.
+    /// * Rounds are lane-local: each job's `ctx.round`, fault schedule,
+    ///   trace, stats, and `max_rounds` budget count from its own
+    ///   admission. A job that blows the budget retires alone with
+    ///   `limit: Some(..)` instead of failing the sweep, which is why
+    ///   this returns a count, not a `Result`.
+    ///
+    /// Concurrency never exceeds `init.len()`; when the source runs dry
+    /// the sweep narrows via lane compaction (if enabled) and drains.
+    pub fn run_refill<P, F, R, S>(
+        &mut self,
+        init: &[LaneSpec],
+        mut factory: F,
+        config: EngineConfig,
+        mut refill: R,
+        mut sink: S,
+    ) -> usize
+    where
+        P: Protocol,
+        F: FnMut(Node, usize, &Graph) -> P,
+        R: FnMut(usize) -> Option<LaneSpec>,
+        S: FnMut(LaneRetire<'_, P::Output>),
+    {
+        let mut stats = [RunStats::default(); MAX_LANES];
+        let (_, jobs) = self
+            .state
+            .run_stream_core::<P>(
+                self.graph,
+                init,
+                &mut |v, job, g| factory(v, job, g),
+                &config,
+                Some(&mut |job| refill(job)),
+                Some(&mut |r| sink(r)),
+                &mut stats,
+            )
+            .expect("streaming runs retire round-limit lanes instead of failing");
+        jobs
+    }
 }
 
 impl SessionState {
-    /// The wide round loop. Lives on `SessionState` so it can share the
-    /// sequential session's slabs, arenas, shard-plan cache, and fault
-    /// scratch; [`WideSession::run`] is the public face.
+    /// Batch-mode wrapper over [`SessionState::run_stream_core`]:
+    /// `lanes.len()` jobs admitted up front, no refill, fail-fast on the
+    /// round limit, results harvested job-major into the session arenas
+    /// for the [`WideOutcome`] borrow. [`WideSession::run`] is the public
+    /// face.
     pub(crate) fn run_wide<'s, P, F>(
         &'s mut self,
         graph: &Graph,
@@ -356,9 +534,69 @@ impl SessionState {
         F: FnMut(Node, usize, &Graph) -> P,
     {
         let w = lanes.len();
+        let mut stats = [RunStats::default(); MAX_LANES];
+        let (out_mat, _) = self.run_stream_core::<P>(
+            graph,
+            lanes,
+            &mut |v, l, g| factory(v, l, g),
+            &config,
+            None,
+            None,
+            &mut stats,
+        )?;
+        let n = graph.n();
+        let m = graph.m();
+        let traces: Option<&'s [Vec<u64>]> =
+            config.collect_trace.then_some(&self.wide.job_traces[..w]);
+        Ok(WideOutcome {
+            outputs: out_mat,
+            n,
+            lanes: w,
+            m,
+            taken: 0,
+            stats,
+            traces,
+            per_edge: &self.wide.per_edge[..w * m],
+            _borrow: std::marker::PhantomData,
+        })
+    }
+
+    /// The wide round loop, shared by batch ([`WideSession::run`]) and
+    /// streaming ([`WideSession::run_refill`]) modes. Lives on
+    /// `SessionState` so it can share the sequential session's slabs,
+    /// arenas, shard-plan cache, and fault scratch.
+    ///
+    /// Mode is selected by `sink`: `None` is batch mode — jobs are the
+    /// initial lanes, results are harvested job-major into the output
+    /// arena / `stats_out` / `job_traces` / the `per_edge` matrix, and a
+    /// blown round limit fails the whole run. `Some(sink)` is streaming
+    /// mode — every retired job goes to the sink, the round budget is
+    /// lane-local, and `refill` (if any) tops freed slots up mid-sweep.
+    ///
+    /// Lane ids the caller sees are **admission indices** ("jobs");
+    /// internally lanes live in **slots** whose stride `w_cur` narrows
+    /// when compaction repacks live lanes into the low bits. All per-slot
+    /// state — cells, lane words, meter columns, traces, fault plans,
+    /// join rounds — is permuted together, so the slot→job remap is the
+    /// only place the two namespaces meet.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_stream_core<P>(
+        &mut self,
+        graph: &Graph,
+        init: &[LaneSpec],
+        factory: &mut dyn FnMut(Node, usize, &Graph) -> P,
+        config: &EngineConfig,
+        mut refill: Option<&mut dyn FnMut(usize) -> Option<LaneSpec>>,
+        mut sink: Option<&mut RetireSink<'_, P::Output>>,
+        stats_out: &mut [RunStats; MAX_LANES],
+    ) -> Result<(*mut P::Output, usize), EngineError>
+    where
+        P: Protocol,
+    {
+        let w0 = init.len();
         assert!(
-            (1..=MAX_LANES).contains(&w),
-            "a wide run takes 1..={MAX_LANES} lanes, got {w}"
+            (1..=MAX_LANES).contains(&w0),
+            "a wide run takes 1..={MAX_LANES} lanes, got {w0}"
         );
         debug_assert!(
             P::Msg::WIDTH <= <<P::Msg as PackedMsg>::Word as MsgWord>::BITS,
@@ -368,6 +606,7 @@ impl SessionState {
             self.scrub();
         }
         self.clean = false;
+        let batch = sink.is_none();
 
         let n = graph.n();
         let arcs = graph.num_arcs();
@@ -388,7 +627,7 @@ impl SessionState {
         if self.plan.as_ref().map(|(k, _)| *k) != Some(s_req) {
             self.plan = Some((s_req, graph.shard_plan(s_req)));
         }
-        let max_budget = lanes
+        let max_budget = init
             .iter()
             .filter_map(|l| l.faults.as_ref())
             .map(|fp| fp.edges_per_round)
@@ -420,6 +659,7 @@ impl SessionState {
             lane_traffic,
             per_edge,
             trace_bufs,
+            job_traces,
             shard_delivered,
             shard_undone,
         } = wide;
@@ -436,7 +676,7 @@ impl SessionState {
         if undone.len() < n {
             undone.resize(n, 0);
         }
-        lane_traffic.resize(arcs * w, 0);
+        lane_traffic.resize(arcs * w0, 0);
         if use_planes && lane_planes.len() < arcs * slab::PLANES {
             lane_planes.resize(arcs * slab::PLANES, 0);
         }
@@ -445,57 +685,194 @@ impl SessionState {
         }
         shard_delivered.resize(s_count * MAX_LANES, 0);
         shard_undone.resize(s_count, 0);
-        while trace_bufs.len() < w {
+        while trace_bufs.len() < w0 {
             trace_bufs.push(Vec::new());
         }
-        for t in trace_bufs.iter_mut().take(w) {
+        for t in trace_bufs.iter_mut().take(w0) {
             t.clear();
         }
+        if batch {
+            // Job-major harvest matrices, filled row by row as lanes
+            // retire (a job's id never moves, however slots compact).
+            while job_traces.len() < w0 {
+                job_traces.push(Vec::new());
+            }
+            for t in job_traces.iter_mut().take(w0) {
+                t.clear();
+            }
+            per_edge.resize(w0 * m, 0);
+            per_edge[..w0 * m].fill(0);
+        } else {
+            // Streaming: the first m words are the per-retirement scratch
+            // row, re-zeroed after every sink call.
+            if per_edge.len() < m {
+                per_edge.resize(m, 0);
+            }
+            per_edge[..m].fill(0);
+        }
 
-        // --- Instance-major message slabs: lane l's word for arc a at
-        // `a * w + l` (byte-capacity keyed, shared with sequential runs).
-        let mut in_words: &mut [<P::Msg as PackedMsg>::Word] = slab_a.view(arcs * w);
-        let mut out_words: &mut [<P::Msg as PackedMsg>::Word] = slab_b.view(arcs * w);
+        // --- Instance-major message slabs: the lane in slot l has its
+        // word for arc a at `a * w_cur + l` (byte-capacity keyed, shared
+        // with sequential runs). Views are sized for the initial width;
+        // compaction only ever narrows the stride used to index them.
+        let mut in_words: &mut [<P::Msg as PackedMsg>::Word] = slab_a.view(arcs * w0);
+        let mut out_words: &mut [<P::Msg as PackedMsg>::Word] = slab_b.view(arcs * w0);
         let sw_in: &mut [<P::Msg as PackedMsg>::Word] = scratch_in.view(s_count * max_deg);
         let sw_out: &mut [<P::Msg as PackedMsg>::Word] = scratch_out.view(s_count * max_deg);
 
-        // --- Node cells, node-major blocks of w lanes.
-        let cells_ptr: *mut WideCell<P> = cell_arena.alloc(n * w);
-        for v in 0..n {
-            for (l, spec) in lanes.iter().enumerate() {
-                // Sound: slot is in-bounds; a panic in `factory` leaks
-                // only the written prefix (dirty flag covers the scrub).
-                unsafe {
-                    cells_ptr.add(v * w + l).write(WideCell {
-                        state: factory(v as Node, l, graph),
-                        rng: node_rng(spec.seed, v as Node),
-                        done: false,
-                        max_bits: 0,
-                    });
-                }
-            }
-        }
-        // Sound: all n*w cells initialized above.
-        let cells: &mut [WideCell<P>] = unsafe { std::slice::from_raw_parts_mut(cells_ptr, n * w) };
-        let drop_cells = |ptr: *mut WideCell<P>| {
-            for i in 0..n * w {
-                unsafe { std::ptr::drop_in_place(ptr.add(i)) };
-            }
+        // --- Node cells, node-major blocks of w_cur slots, plus the
+        // batch output matrix (streaming retirements reuse the output
+        // arena as a one-row scratch instead).
+        let cells_ptr: *mut WideCell<P> = cell_arena.alloc(n * w0);
+        let out_mat: *mut P::Output = if batch {
+            out_arena.alloc(n * w0)
+        } else {
+            std::ptr::NonNull::dangling().as_ptr()
         };
 
-        let lanes_mask: u64 = if w == 64 { !0 } else { (1u64 << w) - 1 };
-        let mut active = lanes_mask;
-        undone[..n].fill(lanes_mask);
-
-        let mut stats = [RunStats::default(); MAX_LANES];
+        // --- Per-slot lane state. Slots are positions in the lane words;
+        // jobs are admission indices. Compaction permutes slots, never
+        // jobs. All fixed-size Copy arrays — no allocation per admission.
+        let full_mask = |w: usize| -> u64 {
+            if w == 64 {
+                !0
+            } else {
+                (1u64 << w) - 1
+            }
+        };
+        let mut w_cur = w0;
+        let mut active: u64 = 0;
+        let mut slot_faults: [Option<FaultPlan>; MAX_LANES] = [None; MAX_LANES];
+        let mut join_round = [0u64; MAX_LANES];
+        let mut slot_job = [0usize; MAX_LANES];
+        let mut slot_stats = [RunStats::default(); MAX_LANES];
+        let mut jobs_admitted: usize = 0;
+        // Batch mode: jobs whose finished outputs sit in `out_mat`
+        // (needed to drop them if a later round-limit fails the run).
+        let mut retired_jobs: u64 = 0;
         let mut round: u64 = 0;
         let mut rounds_since_flush: u64 = 0;
+
+        // Admit one job into a pristine slot: cells written through the
+        // factory, per-node RNGs from the spec's seed, undone bits set,
+        // join round stamped so the lane's rounds count from here. A
+        // panic in `factory` leaks only the written prefix (the dirty
+        // flag covers the scrub).
+        macro_rules! admit {
+            ($slot:expr, $spec:expr) => {{
+                let slot: usize = $slot;
+                let spec: &LaneSpec = $spec;
+                let job = jobs_admitted;
+                for v in 0..n {
+                    // Sound: the slot column is in-bounds and vacant.
+                    unsafe {
+                        cells_ptr.add(v * w_cur + slot).write(WideCell {
+                            state: factory(v as Node, job, graph),
+                            rng: node_rng(spec.seed, v as Node),
+                            done: false,
+                            max_bits: 0,
+                        });
+                    }
+                }
+                for u in undone[..n].iter_mut() {
+                    *u |= 1u64 << slot;
+                }
+                if let Some(fp) = &spec.faults {
+                    blocked.reserve(fp.edges_per_round);
+                }
+                slot_faults[slot] = spec.faults;
+                join_round[slot] = round;
+                slot_job[slot] = job;
+                slot_stats[slot] = RunStats::default();
+                active |= 1u64 << slot;
+                jobs_admitted += 1;
+            }};
+        }
+        for spec in init {
+            admit!(jobs_admitted, spec);
+        }
+
         loop {
-            if round >= config.max_rounds {
-                drop_cells(cells_ptr);
+            // --- Per-lane round budget, counted from each lane's own
+            // admission. Batch mode fails the whole run (all lanes joined
+            // at round 0, so this is the sequential check verbatim);
+            // streaming mode retires only the offending lanes.
+            let mut blown = 0u64;
+            {
+                let mut b = active;
+                while b != 0 {
+                    let l = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    if round - join_round[l] >= config.max_rounds {
+                        blown |= 1u64 << l;
+                    }
+                }
+            }
+            if blown != 0 && batch {
+                let mut b = active;
+                while b != 0 {
+                    let l = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    for v in 0..n {
+                        // Sound: live slots hold initialized cells.
+                        unsafe { std::ptr::drop_in_place(cells_ptr.add(v * w_cur + l)) };
+                    }
+                }
+                let mut r = retired_jobs;
+                while r != 0 {
+                    let j = r.trailing_zeros() as usize;
+                    r &= r - 1;
+                    for i in 0..n {
+                        // Sound: retired rows were fully written.
+                        unsafe { std::ptr::drop_in_place(out_mat.add(j * n + i)) };
+                    }
+                }
                 return Err(EngineError::RoundLimitExceeded {
                     limit: config.max_rounds,
                 });
+            }
+            if blown != 0 {
+                // Streaming: scrub each blown lane out of the sweep —
+                // inbox bits, meter column, undone bits, cells — and
+                // report it failed, exactly as its isolated run would
+                // have errored. Planes hold mixed-lane counts, so flush
+                // (count-preserving) before discarding this column.
+                if use_planes && rounds_since_flush > 0 {
+                    for a in 0..arcs {
+                        slab::planes_flush(
+                            &mut lane_planes[a * slab::PLANES..(a + 1) * slab::PLANES],
+                            &mut lane_traffic[a * w_cur..(a + 1) * w_cur],
+                        );
+                    }
+                    rounds_since_flush = 0;
+                }
+                let mut b = blown;
+                while b != 0 {
+                    let l = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    for a in 0..arcs {
+                        in_lane[a] &= !(1u64 << l);
+                        lane_traffic[a * w_cur + l] = 0;
+                    }
+                    for (v, u) in undone[..n].iter_mut().enumerate() {
+                        *u &= !(1u64 << l);
+                        // Sound: the blown slot's cells are initialized.
+                        unsafe { std::ptr::drop_in_place(cells_ptr.add(v * w_cur + l)) };
+                    }
+                    trace_bufs[l].clear();
+                    active &= !(1u64 << l);
+                    let mut taken = false;
+                    (sink.as_mut().expect("streaming mode"))(LaneRetire {
+                        job: slot_job[l],
+                        stats: RunStats::default(),
+                        limit: Some(config.max_rounds),
+                        trace: None,
+                        edge_congestion: &[],
+                        outputs: std::ptr::NonNull::dangling().as_ptr(),
+                        n: 0,
+                        taken: &mut taken,
+                    });
+                }
             }
             // --- Step phase: each shard steps the active lanes of its own
             // nodes. One OR pass over the node's in-arc lane words serves
@@ -504,7 +881,12 @@ impl SessionState {
             // in-arc lane words are consumed and zeroed here, so after the
             // swap the staging side starts clean without any extra pass.
             {
-                let racy_cells = RacyCells::new(&mut *cells);
+                // Sound: live slots (tracked by `active` at stride
+                // `w_cur`) hold initialized cells; vacant columns are
+                // never read or written through this view.
+                let cells: &mut [WideCell<P>] =
+                    unsafe { std::slice::from_raw_parts_mut(cells_ptr, n * w_cur) };
+                let racy_cells = RacyCells::new(cells);
                 let racy_out_words = RacyCells::new(&mut *out_words);
                 let racy_out_lane = RacyCells::new(&mut out_lane[..arcs]);
                 let racy_in_lane = RacyCells::new(&mut in_lane[..arcs]);
@@ -548,7 +930,7 @@ impl SessionState {
                         // promises their round() is a no-op); stepped
                         // lanes rewrite their bit below.
                         let mut new_undone = undone_v & !step_lanes;
-                        let cells_v = unsafe { racy_cells.slice_mut(v * w, (v + 1) * w) };
+                        let cells_v = unsafe { racy_cells.slice_mut(v * w_cur, (v + 1) * w_cur) };
                         let mut b = step_lanes;
                         while b != 0 {
                             let l = b.trailing_zeros() as usize;
@@ -561,14 +943,16 @@ impl SessionState {
                             for p in 0..deg {
                                 if unsafe { racy_in_lane.read(lo + p) } >> l & 1 == 1 {
                                     gocc[p >> 6] |= 1u64 << (p & 63);
-                                    gw[p] = in_words[(lo + p) * w + l];
+                                    gw[p] = in_words[(lo + p) * w_cur + l];
                                 }
                             }
                             let cell = &mut cells_v[l];
                             {
                                 let mut ctx = NodeCtx {
                                     node: v as Node,
-                                    round,
+                                    // Refilled lanes count rounds from
+                                    // their own admission.
+                                    round: round - join_round[l],
                                     inbox: InSlot {
                                         words: &gw[..deg],
                                         occ: &gocc[..dw],
@@ -604,7 +988,7 @@ impl SessionState {
                                     unsafe {
                                         let cur = racy_out_lane.read(dest);
                                         racy_out_lane.write(dest, cur | 1u64 << l);
-                                        racy_out_words.write(dest * w + l, ow[p]);
+                                        racy_out_words.write(dest * w_cur + l, ow[p]);
                                     }
                                 }
                             }
@@ -629,18 +1013,25 @@ impl SessionState {
                 }
             }
             // --- Adversary phase: each faulted lane's plan clears its own
-            // bit of the blocked arcs' staging lane words.
+            // bit of the blocked arcs' staging lane words, scheduled by
+            // the lane's *local* round so a refilled lane sees the same
+            // adversary an isolated run of its spec would.
             let mut fl = active;
             while fl != 0 {
                 let l = fl.trailing_zeros() as usize;
                 fl &= fl - 1;
-                let Some(fault_plan) = &lanes[l].faults else {
+                let Some(fault_plan) = &slot_faults[l] else {
                     continue;
                 };
                 if fault_plan.edges_per_round == 0 {
                     continue;
                 }
-                fault_plan.blocked_edges_into_marked(round, m, blocked, fault_marks);
+                fault_plan.blocked_edges_into_marked(
+                    round - join_round[l],
+                    m,
+                    blocked,
+                    fault_marks,
+                );
                 for &e in blocked.iter() {
                     let (u, v) = graph.endpoints(e);
                     for (from, to) in [(u, v), (v, u)] {
@@ -650,7 +1041,7 @@ impl SessionState {
                         let dest = graph.arc_offset(to) + port as usize;
                         if out_lane[dest] >> l & 1 == 1 {
                             out_lane[dest] &= !(1u64 << l);
-                            stats[l].dropped_messages += 1;
+                            slot_stats[l].dropped_messages += 1;
                         }
                     }
                 }
@@ -665,7 +1056,7 @@ impl SessionState {
             {
                 let racy_in_lane = RacyCells::new(&mut in_lane[..arcs]);
                 let racy_planes = RacyCells::new(&mut lane_planes[..]);
-                let racy_traffic = RacyCells::new(&mut lane_traffic[..arcs * w]);
+                let racy_traffic = RacyCells::new(&mut lane_traffic[..arcs * w_cur]);
                 let racy_sd = RacyCells::new(&mut shard_delivered[..s_count * MAX_LANES]);
                 let meter_mode = config.meter;
                 let deliver_shard = |s: usize| {
@@ -691,8 +1082,9 @@ impl SessionState {
                                     }
                                 }
                                 MeterMode::ArcCounters => {
-                                    let traffic_a =
-                                        unsafe { racy_traffic.slice_mut(a * w, (a + 1) * w) };
+                                    let traffic_a = unsafe {
+                                        racy_traffic.slice_mut(a * w_cur, (a + 1) * w_cur)
+                                    };
                                     let mut b = bits;
                                     while b != 0 {
                                         let l = b.trailing_zeros() as usize;
@@ -709,7 +1101,8 @@ impl SessionState {
                             let planes_a = unsafe {
                                 racy_planes.slice_mut(a * slab::PLANES, (a + 1) * slab::PLANES)
                             };
-                            let traffic_a = unsafe { racy_traffic.slice_mut(a * w, (a + 1) * w) };
+                            let traffic_a =
+                                unsafe { racy_traffic.slice_mut(a * w_cur, (a + 1) * w_cur) };
                             slab::planes_flush(planes_a, traffic_a);
                         }
                     }
@@ -724,7 +1117,11 @@ impl SessionState {
             }
             rounds_since_flush = if flush_now { 0 } else { rounds_since_flush + 1 };
             // --- Per-lane reduction and termination, mirroring the
-            // sequential loop's bookkeeping lane by lane.
+            // sequential loop's bookkeeping lane by lane. A lane that
+            // deactivates retires on the spot: its meter column is
+            // drained, its cells are finished into outputs, and the
+            // result is harvested under its job id — freeing the slot
+            // for refill or compaction.
             let mut undone_any = 0u64;
             for &sh in shard_undone[..s_count].iter() {
                 undone_any |= sh;
@@ -738,86 +1135,217 @@ impl SessionState {
                 for s in 0..s_count {
                     delivered += shard_delivered[s * MAX_LANES + l];
                 }
-                stats[l].total_messages += delivered;
+                slot_stats[l].total_messages += delivered;
                 if config.collect_trace {
                     trace_bufs[l].push(delivered);
                 }
                 if delivered > 0 {
-                    stats[l].rounds = round;
+                    slot_stats[l].rounds = round - join_round[l];
                 }
-                if delivered == 0 && undone_any >> l & 1 == 0 {
-                    stats[l].iterations = round;
-                    active &= !(1u64 << l);
-                    trace_bufs[l].truncate(stats[l].rounds as usize);
+                if delivered > 0 || undone_any >> l & 1 == 1 {
+                    continue;
+                }
+                // --- Retire slot l under job id slot_job[l].
+                slot_stats[l].iterations = round - join_round[l];
+                active &= !(1u64 << l);
+                trace_bufs[l].truncate(slot_stats[l].rounds as usize);
+                // Final plane flush first (count-preserving, so flushing
+                // early for one lane never perturbs the others' totals).
+                if use_planes && rounds_since_flush > 0 {
+                    for a in 0..arcs {
+                        slab::planes_flush(
+                            &mut lane_planes[a * slab::PLANES..(a + 1) * slab::PLANES],
+                            &mut lane_traffic[a * w_cur..(a + 1) * w_cur],
+                        );
+                    }
+                    rounds_since_flush = 0;
+                }
+                let job = slot_job[l];
+                // Drain the slot's traffic column into its per-edge row
+                // (back to zero — the breadcrumb exit contract).
+                {
+                    let edge_row: &mut [u64] = if batch {
+                        &mut per_edge[job * m..(job + 1) * m]
+                    } else {
+                        &mut per_edge[..m]
+                    };
+                    for v in 0..n as Node {
+                        let lo = graph.arc_offset(v);
+                        for (i, &e) in graph.incident_edges(v).iter().enumerate() {
+                            let t = std::mem::take(&mut lane_traffic[(lo + i) * w_cur + l]) as u64;
+                            if t != 0 {
+                                edge_row[e as usize] += t;
+                            }
+                        }
+                    }
+                    slot_stats[l].max_edge_congestion = edge_row.iter().copied().max().unwrap_or(0);
+                }
+                slot_stats[l].max_message_bits = (0..n)
+                    // Sound: the live slot's cells are initialized.
+                    .map(|v| unsafe { (*cells_ptr.add(v * w_cur + l)).max_bits })
+                    .max()
+                    .unwrap_or(0);
+                // Consume the slot's cells into per-node outputs: the
+                // job's row of the batch matrix, or the streaming scratch
+                // row. A panic in `finish` leaks the tail (dirty flag).
+                let row: *mut P::Output = if batch {
+                    // Sound: job < w0, so the row is inside the matrix.
+                    unsafe { out_mat.add(job * n) }
+                } else {
+                    out_arena.alloc::<P::Output>(n)
+                };
+                for v in 0..n {
+                    // Sound: each cell is moved out exactly once.
+                    unsafe {
+                        let cell = cells_ptr.add(v * w_cur + l).read();
+                        row.add(v).write(cell.state.finish());
+                    }
+                }
+                if batch {
+                    retired_jobs |= 1u64 << job;
+                    stats_out[job] = slot_stats[l];
+                    if config.collect_trace {
+                        std::mem::swap(&mut trace_bufs[l], &mut job_traces[job]);
+                    }
+                    trace_bufs[l].clear();
+                } else {
+                    let mut taken = false;
+                    (sink.as_mut().expect("streaming mode"))(LaneRetire {
+                        job,
+                        stats: slot_stats[l],
+                        limit: None,
+                        trace: if config.collect_trace {
+                            Some(&trace_bufs[l][..])
+                        } else {
+                            None
+                        },
+                        edge_congestion: &per_edge[..m],
+                        outputs: row,
+                        n,
+                        taken: &mut taken,
+                    });
+                    if !taken {
+                        for i in 0..n {
+                            // Sound: written above, not moved out.
+                            unsafe { std::ptr::drop_in_place(row.add(i)) };
+                        }
+                    }
+                    per_edge[..m].fill(0);
+                    trace_bufs[l].clear();
+                }
+            }
+            // --- Refill: every freed slot admits the next job from the
+            // source, mid-sweep — continuous batching. New lanes join at
+            // the current global round with pristine slot state.
+            if let Some(rf) = refill.as_mut() {
+                let mut free = !active & full_mask(w_cur);
+                while free != 0 {
+                    let Some(spec) = rf(jobs_admitted) else { break };
+                    let slot = free.trailing_zeros() as usize;
+                    free &= free - 1;
+                    admit!(slot, &spec);
                 }
             }
             if active == 0 {
                 break;
             }
-        }
-
-        // --- Post-run folds, per lane: max message bits, the final plane
-        // flush, and the per-edge congestion fold (draining the lane
-        // traffic counters back to zero — the breadcrumb exit contract).
-        for (l, st) in stats.iter_mut().enumerate().take(w) {
-            st.max_message_bits = (0..n).map(|v| cells[v * w + l].max_bits).max().unwrap_or(0);
-        }
-        if use_planes && rounds_since_flush > 0 {
-            for a in 0..arcs {
-                slab::planes_flush(
-                    &mut lane_planes[a * slab::PLANES..(a + 1) * slab::PLANES],
-                    &mut lane_traffic[a * w..(a + 1) * w],
+            // --- Compaction: once at most half the width is live (and
+            // the refill source could not top it up), repack live lanes
+            // into the low slots so tail rounds index narrower strides.
+            // In-place stride narrowing is safe because destinations
+            // (a·w′ + j) are visited in strictly increasing order and
+            // every source index is ≥ its destination.
+            let live = active.count_ones() as usize;
+            if config.compact_lanes && live <= w_cur / 2 {
+                let w_new = live;
+                let live_mask = active;
+                // Pending plane counts flush at the old stride first;
+                // after this the planes are all-zero, so only the flat
+                // traffic columns move.
+                if use_planes && rounds_since_flush > 0 {
+                    for a in 0..arcs {
+                        slab::planes_flush(
+                            &mut lane_planes[a * slab::PLANES..(a + 1) * slab::PLANES],
+                            &mut lane_traffic[a * w_cur..(a + 1) * w_cur],
+                        );
+                    }
+                    rounds_since_flush = 0;
+                }
+                debug_assert!(
+                    out_lane[..arcs].iter().all(|&x| x == 0),
+                    "staging side must be clean at a compaction point"
                 );
-            }
-        }
-        per_edge.resize(w * m, 0);
-        per_edge[..w * m].fill(0);
-        for v in 0..n as Node {
-            let lo = graph.arc_offset(v);
-            for (i, &e) in graph.incident_edges(v).iter().enumerate() {
-                let a = lo + i;
-                for (l, t) in lane_traffic[a * w..(a + 1) * w].iter_mut().enumerate() {
-                    let t = std::mem::take(t) as u64;
-                    if t != 0 {
-                        per_edge[l * m + e as usize] += t;
+                for a in 0..arcs {
+                    let bits = in_lane[a];
+                    if bits != 0 {
+                        let mut mj = live_mask;
+                        let mut j = 0usize;
+                        while mj != 0 {
+                            let lj = mj.trailing_zeros() as usize;
+                            mj &= mj - 1;
+                            if bits >> lj & 1 == 1 {
+                                in_words[a * w_new + j] = in_words[a * w_cur + lj];
+                            }
+                            j += 1;
+                        }
+                        in_lane[a] = slab::pext(bits, live_mask);
+                    }
+                    // Traffic counters travel unconditionally — counts
+                    // are not occupancy-gated.
+                    let mut mj = live_mask;
+                    let mut j = 0usize;
+                    while mj != 0 {
+                        let lj = mj.trailing_zeros() as usize;
+                        mj &= mj - 1;
+                        lane_traffic[a * w_new + j] = lane_traffic[a * w_cur + lj];
+                        j += 1;
                     }
                 }
-            }
-        }
-        for (l, st) in stats.iter_mut().enumerate().take(w) {
-            st.max_edge_congestion = per_edge[l * m..(l + 1) * m]
-                .iter()
-                .copied()
-                .max()
-                .unwrap_or(0);
-        }
-
-        // --- Consume the cells into lane-major arena outputs.
-        let out_ptr: *mut P::Output = out_arena.alloc(n * w);
-        for v in 0..n {
-            for l in 0..w {
-                // Sound: each cell is moved out exactly once; a panic in
-                // `finish` leaks the tail, which the dirty flag covers.
-                unsafe {
-                    let cell = cells_ptr.add(v * w + l).read();
-                    out_ptr.add(l * n + v).write(cell.state.finish());
+                // The narrowed matrix rewrote [0, arcs·w′); everything
+                // between the new and old used extents is stale copies.
+                lane_traffic[arcs * w_new..arcs * w_cur].fill(0);
+                for (v, ud) in undone.iter_mut().enumerate().take(n) {
+                    let mut mj = live_mask;
+                    let mut j = 0usize;
+                    while mj != 0 {
+                        let lj = mj.trailing_zeros() as usize;
+                        mj &= mj - 1;
+                        // Sound: live columns are initialized; each cell
+                        // moves to its (≤) new index exactly once.
+                        unsafe {
+                            let cell = cells_ptr.add(v * w_cur + lj).read();
+                            cells_ptr.add(v * w_new + j).write(cell);
+                        }
+                        j += 1;
+                    }
+                    *ud = slab::pext(*ud, live_mask);
                 }
+                // Slot metadata follows the same permutation. Ascending
+                // swaps are safe: every later source slot index is larger
+                // than any position already written.
+                {
+                    let mut mj = live_mask;
+                    let mut j = 0usize;
+                    while mj != 0 {
+                        let lj = mj.trailing_zeros() as usize;
+                        mj &= mj - 1;
+                        if lj != j {
+                            slot_faults.swap(j, lj);
+                            join_round.swap(j, lj);
+                            slot_job.swap(j, lj);
+                            slot_stats.swap(j, lj);
+                            trace_bufs.swap(j, lj);
+                        }
+                        j += 1;
+                    }
+                }
+                active = full_mask(w_new);
+                w_cur = w_new;
             }
         }
 
         *clean = true;
-        let traces: Option<&'s [Vec<u64>]> = config.collect_trace.then_some(&trace_bufs[..w]);
-        Ok(WideOutcome {
-            outputs: out_ptr,
-            n,
-            lanes: w,
-            m,
-            taken: 0,
-            stats,
-            traces,
-            per_edge: &per_edge[..w * m],
-            _borrow: std::marker::PhantomData,
-        })
+        Ok((out_mat, jobs_admitted))
     }
 }
 
@@ -895,7 +1423,7 @@ mod tests {
         for (l, spec) in lanes.iter().enumerate() {
             let seq_cfg = EngineConfig {
                 seed: spec.seed,
-                faults: spec.faults.clone(),
+                faults: spec.faults,
                 ..config.clone()
             };
             let mut sess = Session::new(g);

@@ -553,7 +553,7 @@ proptest! {
         let frozen = run_pr1(
             &g,
             |_, _| mk(),
-            EngineConfig::with_seed(seed).trace().with_faults(plan.clone()),
+            EngineConfig::with_seed(seed).trace().with_faults(plan),
         )
         .unwrap();
         for &thr in &THRESHOLDS {
@@ -564,7 +564,7 @@ proptest! {
                         .shards(shards)
                         .meter(meter)
                         .trace()
-                        .with_faults(plan.clone());
+                        .with_faults(plan);
                     cfg.sparse_threshold = thr;
                     let live = run_protocol(&g, |_, _| mk(), cfg).unwrap();
                     prop_assert_eq!(&live.outputs, &frozen.outputs,

@@ -181,7 +181,7 @@ fn sparse_faulted_rounds_scatter_and_meter_blocked_arcs() {
         let frozen = run_pr1(
             &g,
             |v, _| mk(v),
-            EngineConfig::with_seed(9).trace().with_faults(plan.clone()),
+            EngineConfig::with_seed(9).trace().with_faults(plan),
         )
         .unwrap();
         assert!(
@@ -189,7 +189,7 @@ fn sparse_faulted_rounds_scatter_and_meter_blocked_arcs() {
             "the adversary must catch some staged broadcast arcs"
         );
         for thr in [Some(0), Some(usize::MAX), None] {
-            let mut cfg = EngineConfig::with_seed(9).trace().with_faults(plan.clone());
+            let mut cfg = EngineConfig::with_seed(9).trace().with_faults(plan);
             cfg.sparse_threshold = thr;
             let live = run_protocol(&g, |v, _| mk(v), cfg).unwrap();
             assert_eq!(live.outputs, frozen.outputs, "thr {thr:?}");

@@ -370,6 +370,78 @@ proptest! {
         prop_assert_eq!(original.state_hash(), restored.state_hash());
     }
 
+    /// Compaction-straddling arm: a staggered wide run whose sweep
+    /// repacks mid-run must leave the engine state indistinguishable
+    /// from the same run without compaction — the state hash after the
+    /// wide phase, the parked snapshot frame taken *between* the
+    /// compacted run and the next phase, and the restored session's
+    /// next-phase outputs and hash must all be identical across
+    /// `compact(true)` and `compact(false)` (wide lane buffers are zero
+    /// at rest and excluded from the hash, so a mid-run repack may not
+    /// leak one bit into what a snapshot carries).
+    #[test]
+    fn snapshot_straddling_a_compaction_is_compaction_invariant(
+        g in arb_connected_graph(18),
+        seed in any::<u64>(),
+        w in 5usize..9,
+    ) {
+        let lanes = congest_sim::LaneSpec::batch(seed, w);
+        // Staggered durations: lanes retire one by one, so live drops
+        // through the `live <= w/2` threshold and the sweep compacts.
+        let mk = |_: u32, l: usize, _: &Graph| Chatter {
+            rounds: 1 + (l as u64 * 5) % 9,
+            salt: l as u64 + 1,
+            heard: 0,
+        };
+        let arm = |compact: bool| {
+            let mut pool = SessionPool::new();
+            let key = pool.register(g.clone());
+            // Phase 1 (plain session): warm the engine state.
+            pool.with_session(key, |s| {
+                let out = s
+                    .run(
+                        |_, _| Chatter { rounds: 5, salt: 1, heard: 0 },
+                        EngineConfig::serial().seed(phase_seed(seed, 1)),
+                    )
+                    .unwrap();
+                drop(out);
+            });
+            // Phase 2 (wide, staggered): compaction per arm.
+            let hash_mid = pool.with_wide(key, |ws| {
+                let out = ws
+                    .run(
+                        &lanes,
+                        mk,
+                        EngineConfig::serial().trace().compact(compact),
+                    )
+                    .unwrap();
+                drop(out);
+                ws.state_hash()
+            });
+            // Snapshot straddling the compaction: park the warm state,
+            // restore it into a fresh pool, run phase 3 from there.
+            let mut frames = Vec::new();
+            prop_assert_eq!(pool.park_warm(key, &mut frames), 1);
+            let mut pool2 = SessionPool::new();
+            let key2 = pool2.register(g.clone());
+            prop_assert_eq!(pool2.restore_warm(&frames[0]).unwrap(), key2);
+            let fin = pool2.with_session(key2, |s| {
+                let out = s
+                    .run(
+                        |_, _| Chatter { rounds: 6, salt: 3, heard: 0 },
+                        EngineConfig::serial().seed(phase_seed(seed, 3)),
+                    )
+                    .unwrap();
+                let outputs = out.take_outputs();
+                (outputs, s.state_hash())
+            });
+            (hash_mid, frames, fin)
+        };
+        let on = arm(true);
+        let off = arm(false);
+        prop_assert_eq!(&on, &off, "compaction leaked into hash/snapshot/continuation");
+    }
+
     /// Pool arm: park a pool's warm states as frames, restore them into
     /// a second pool (a fresh process's pool), and the next checkout on
     /// each side runs bit-identically from the same warm state.

@@ -182,7 +182,7 @@ where
         .map(|(l, spec)| {
             let cfg = EngineConfig {
                 seed: spec.seed,
-                faults: spec.faults.clone(),
+                faults: spec.faults,
                 ..config.clone()
             };
             let mut session = Session::new(g);
@@ -306,6 +306,178 @@ proptest! {
                 )
             });
             prop_assert_eq!(&wide, &reference, "threads={}", threads);
+        }
+    }
+
+    /// Lane compaction at adversarial points: per-lane durations drawn
+    /// by proptest stagger retirements so the live count repeatedly
+    /// crosses the `live <= w/2` threshold and the sweep repacks
+    /// mid-run. Compaction on, compaction off, and the sequential
+    /// oracle must all agree bit-for-bit — outputs, stats, traces, and
+    /// per-edge congestion.
+    #[test]
+    fn staggered_compaction_matches_compact_off_and_sequential(
+        g in arb_connected_graph(20),
+        seed in any::<u64>(),
+        w in 4usize..13,
+        durs in collection::vec(1u64..12, 12..13),
+        fault_budget in 0usize..3,
+        fseed in any::<u64>(),
+    ) {
+        let lanes = mixed_lanes(seed, w, fault_budget, fseed);
+        let mk = |_: u32, l: usize, _: &Graph| Chatter {
+            rounds: durs[l % durs.len()],
+            salt: l as u64 + 1,
+            heard: 0,
+        };
+        let config = EngineConfig::serial().shards(2).trace();
+        let on = wide_obs(&g, &lanes, mk, config.clone());
+        let off = wide_obs(&g, &lanes, mk, config.clone().compact(false));
+        let seq = seq_obs(&g, &lanes, mk, config);
+        prop_assert_eq!(&on, &off, "compaction changed results");
+        prop_assert_eq!(&on, &seq, "wide (compacting) diverged from sequential");
+    }
+
+    /// A lane blowing the round budget *after* the sweep has compacted
+    /// down to it must fail exactly as its isolated run: all other
+    /// lanes retire early (forcing compaction), the survivor chatters
+    /// forever, and the batch errors with the same
+    /// [`EngineError::RoundLimitExceeded`] the lone sequential run
+    /// reports — with or without compaction. The session must come back
+    /// clean afterwards (post-compaction dirty scrub).
+    #[test]
+    fn round_limit_in_compacted_tail_fails_like_isolated(
+        g in arb_connected_graph(14),
+        seed in any::<u64>(),
+        w in 5usize..9,
+    ) {
+        let lanes = LaneSpec::batch(seed, w);
+        // Lanes 0..w-1 finish by round 2; the last lane never sets done,
+        // so by the time the budget trips the sweep has long compacted
+        // to a single live slot.
+        let durs: Vec<u64> = (0..w).map(|l| if l + 1 == w { u64::MAX } else { 2 }).collect();
+        let mk = |_: u32, l: usize, _: &Graph| Chatter {
+            rounds: durs[l],
+            salt: l as u64 + 1,
+            heard: 0,
+        };
+        let config = EngineConfig::serial().shards(2).max_rounds(12);
+        let mut solo = Session::new(&g);
+        let isolated = match solo.run(
+            |v, gr| mk(v, w - 1, gr),
+            EngineConfig {
+                seed: lanes[w - 1].seed,
+                faults: lanes[w - 1].faults,
+                ..config.clone()
+            },
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("the forever lane must blow the budget alone"),
+        };
+        prop_assert_eq!(&isolated, &congest_sim::EngineError::RoundLimitExceeded { limit: 12 });
+        let mut session = WideSession::new(&g);
+        for compact in [true, false] {
+            let err = match session.run(&lanes, mk, config.clone().compact(compact)) {
+                Err(e) => e,
+                Ok(_) => panic!("compacted tail must blow the budget"),
+            };
+            prop_assert_eq!(&err, &isolated, "compact={}", compact);
+        }
+        // The failed, compacted session scrubs back to a clean slate.
+        let mk2 = |_: u32, l: usize, _: &Graph| Chatter { rounds: 4, salt: l as u64, heard: 0 };
+        let cfg2 = EngineConfig::serial().shards(2).trace();
+        let after: Vec<LaneObs> = {
+            let mut out = session
+                .run(&lanes, mk2, cfg2.clone())
+                .expect("post-failure run terminates");
+            (0..lanes.len())
+                .map(|l| LaneObs {
+                    stats: out.stats(l),
+                    trace: out.trace(l).map(<[u64]>::to_vec),
+                    edge_congestion: out.edge_congestion(l).to_vec(),
+                    outputs: out.take_lane_outputs(l),
+                })
+                .collect()
+        };
+        let fresh = wide_obs(&g, &lanes, mk2, cfg2);
+        prop_assert_eq!(&after, &fresh);
+    }
+
+    /// Continuous refill: a queue of jobs streamed through
+    /// [`WideSession::run_refill`] — admissions happening whenever a
+    /// retiring lane frees a slot, at proptest-chosen durations — must
+    /// match per-job isolated sequential runs bit-for-bit. Jobs whose
+    /// isolated run errors with [`EngineError::RoundLimitExceeded`]
+    /// must instead retire alone with `limit: Some(..)`, empty outputs,
+    /// and default stats, without disturbing any other job.
+    #[test]
+    fn refill_stream_matches_isolated(
+        g in arb_connected_graph(16),
+        seed in any::<u64>(),
+        w in 1usize..6,
+        jobs in 4usize..14,
+        durs in collection::vec(1u64..11, 14..15),
+        fault_budget in 0usize..2,
+        fseed in any::<u64>(),
+    ) {
+        let specs: Vec<LaneSpec> = mixed_lanes(seed, jobs, fault_budget, fseed);
+        let mk = |_: u32, j: usize, _: &Graph| Chatter {
+            rounds: durs[j % durs.len()],
+            salt: j as u64 + 1,
+            heard: 0,
+        };
+        // max_rounds 8 with durations up to 10: some jobs blow the
+        // per-lane budget, most do not; the oracle decides which.
+        let config = EngineConfig::serial().shards(2).max_rounds(8).trace();
+        let init_w = w.min(jobs);
+        let mut results: Vec<Option<LaneObs>> = (0..jobs).map(|_| None).collect();
+        let mut limits: Vec<Option<u64>> = vec![None; jobs];
+        let mut session = WideSession::new(&g);
+        let admitted = session.run_refill::<Chatter, _, _, _>(
+            &specs[..init_w],
+            mk,
+            config.clone(),
+            |job| (job < jobs).then(|| specs[job].clone()),
+            |mut r: congest_sim::LaneRetire<'_, u64>| {
+                let mut outputs = Vec::new();
+                r.take_outputs_into(&mut outputs);
+                limits[r.job] = r.limit;
+                results[r.job] = Some(LaneObs {
+                    outputs,
+                    stats: r.stats,
+                    trace: r.trace.map(<[u64]>::to_vec),
+                    edge_congestion: r.edge_congestion.to_vec(),
+                });
+            },
+        );
+        prop_assert_eq!(admitted, jobs);
+        for (j, spec) in specs.iter().enumerate() {
+            let got = results[j].take();
+            let got = match got {
+                Some(o) => o,
+                None => panic!("job {j} never retired"),
+            };
+            let cfg_j = EngineConfig { seed: spec.seed, faults: spec.faults, ..config.clone() };
+            let mut s = Session::new(&g);
+            let run = s.run(|v, gr| mk(v, j, gr), cfg_j);
+            match run {
+                Ok(out) => {
+                    prop_assert_eq!(limits[j], None, "job {} limited but isolated ran fine", j);
+                    let want = LaneObs {
+                        stats: out.stats,
+                        trace: out.trace().map(<[u64]>::to_vec),
+                        edge_congestion: out.edge_congestion().to_vec(),
+                        outputs: out.take_outputs(),
+                    };
+                    prop_assert_eq!(&got, &want, "job {} diverged from isolated", j);
+                }
+                Err(congest_sim::EngineError::RoundLimitExceeded { limit }) => {
+                    prop_assert_eq!(limits[j], Some(limit), "job {} limit mismatch", j);
+                    prop_assert!(got.outputs.is_empty(), "limited job {} kept outputs", j);
+                    prop_assert_eq!(&got.stats, &congest_sim::RunStats::default());
+                    prop_assert!(got.edge_congestion.is_empty());
+                }
+            }
         }
     }
 

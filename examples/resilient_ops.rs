@@ -42,7 +42,7 @@ fn main() {
                         &input,
                         params,
                         r,
-                        faults.clone(),
+                        faults,
                         &BroadcastConfig::with_seed(0x0BE5 + a * 0x9E37),
                     )
                     .ok()

@@ -106,14 +106,9 @@ fn main() {
     let graph_of = |job: &Job| if job.graph == mesh_key { &mesh } else { &grid };
     for (job, out) in jobs.iter().zip(&done) {
         assert_eq!(out.status, JobStatus::Done);
-        let (outputs, stats) = run_job_isolated(
-            graph_of(job),
-            &job.protocol,
-            job.seed,
-            job.faults.clone(),
-            &config,
-        )
-        .expect("isolated run terminates");
+        let (outputs, stats) =
+            run_job_isolated(graph_of(job), &job.protocol, job.seed, job.faults, &config)
+                .expect("isolated run terminates");
         assert_eq!(out.outputs, outputs);
         assert_eq!(out.stats, stats);
     }

@@ -74,8 +74,7 @@ fn main() {
     // Spot-verify: a wide lane is bit-identical to a sequential run
     // under the same seed and the same nemesis.
     for l in [0usize, 7, 23] {
-        let seq_cfg =
-            EngineConfig::with_seed(lanes[l].seed).with_faults(lanes[l].faults.clone().unwrap());
+        let seq_cfg = EngineConfig::with_seed(lanes[l].seed).with_faults(lanes[l].faults.unwrap());
         let mut sess = Session::new(&g);
         let seq = sess.run(|v, _| FloodMax::new(v), seq_cfg).unwrap();
         assert_eq!(out.stats(l), seq.stats, "lane {l} stats diverged");

@@ -40,7 +40,9 @@ use fast_broadcast::packing::random_partition::partition_packing_retrying;
 use fast_broadcast::sim::fault::FaultPlan;
 use fast_broadcast::sim::protocol::NodeCtx;
 use fast_broadcast::sim::rng::{mix64, phase_seed};
-use fast_broadcast::sim::{EngineConfig, Job, JobSpec, JobStatus, PoolServer, Protocol, Session};
+use fast_broadcast::sim::{
+    EngineConfig, EvictionPolicy, Job, JobSpec, JobStatus, PoolError, PoolServer, Protocol, Session,
+};
 use fast_broadcast::sparsify::cuts::theorem7_all_cuts;
 use std::process::ExitCode;
 
@@ -88,6 +90,7 @@ fastbcast — fast broadcast in highly connected networks (SPAA 2024 reproductio
   fastbcast cuts      <family> [--eps E] [--seed S]
   fastbcast serve     [--graphs F1+F2+..] [--jobs N] [--tenants T] [--queue Q]
                       [--mix flood,rumor,gossip] [--fault-edges F] [--seed S] [--serial]
+                      [--warm-limit W] [--max-graphs G] [--max-warm-bytes B]
   fastbcast snapshot  <family> [--phases N] [--cut K] [--seed S] [--out FILE]
   fastbcast resume    <family> --in FILE [--phases N] [--cut K] [--seed S] [--verify]
 
@@ -361,6 +364,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let seed: u64 = opt(args, "--seed", 42u64)?;
     let fault_edges: usize = opt(args, "--fault-edges", 0usize)?;
     let mix_spec: String = opt(args, "--mix", "flood,rumor,gossip".to_string())?;
+    let warm_limit: usize = opt(args, "--warm-limit", 4usize)?;
+    let max_graphs: usize = opt(args, "--max-graphs", usize::MAX)?;
+    let max_warm_bytes: usize = opt(args, "--max-warm-bytes", usize::MAX)?;
     if jobs == 0 {
         return Err("--jobs must be at least 1".into());
     }
@@ -369,6 +375,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if queue == 0 {
         return Err("--queue must be at least 1".into());
+    }
+    if max_graphs == 0 {
+        return Err("--max-graphs must be at least 1".into());
+    }
+    if max_warm_bytes == 0 {
+        return Err("--max-warm-bytes must be at least 1".into());
     }
     let graphs: Vec<Graph> = graphs_spec
         .split('+')
@@ -389,6 +401,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         EngineConfig::default()
     };
     let mut server = PoolServer::new(config, queue);
+    server.pool_mut().set_warm_limit(warm_limit);
+    server.pool_mut().set_policy(EvictionPolicy {
+        max_graphs,
+        max_warm_bytes,
+    });
     let keys: Vec<_> = graphs
         .iter()
         .map(|g| (server.register_graph(g.clone()), g.n()))
@@ -400,6 +417,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
 
     let mut out = Vec::with_capacity(jobs as usize);
+    let mut reregistered = 0u64;
     let t0 = std::time::Instant::now();
     for j in 0..jobs {
         let (key, n) = keys[j as usize % keys.len()];
@@ -420,8 +438,19 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             tenant: (j % tenants as u64) as u32,
         };
         // `submit` drains the backlog when the bounded queue fills — the
-        // in-process face of backpressure.
-        server.submit(job, &mut out).map_err(|e| e.to_string())?;
+        // in-process face of backpressure. An aggressive `--max-graphs`
+        // budget can age this job's graph out between drains; keys are
+        // content fingerprints, so re-registering restores the same key
+        // (cold) and the submission proceeds.
+        match server.submit(job.clone(), &mut out) {
+            Ok(_) => {}
+            Err(PoolError::UnknownGraph(_)) => {
+                reregistered += 1;
+                server.register_graph(graphs[j as usize % keys.len()].clone());
+                server.submit(job, &mut out).map_err(|e| e.to_string())?;
+            }
+            Err(e) => return Err(e.to_string()),
+        }
     }
     server.drain(&mut out);
     let secs = t0.elapsed().as_secs_f64();
@@ -436,22 +465,35 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         out.len() as f64 / secs.max(1e-9)
     );
     println!(
-        "batching    : {} wide-batched, {} sequential, {failed} round-limited",
+        "batching    : {} wide-batched ({} refilled mid-sweep), {} sequential, {failed} round-limited",
         server.batched_jobs(),
+        server.refilled_jobs(),
         server.solo_jobs()
     );
     println!(
-        "pool        : {} graph entr(y/ies), {} warm hits, {} cold builds",
-        keys.len(),
+        "pool        : {} graph entr(y/ies) live, {} warm hits, {} cold builds, ~{} KiB warm",
+        server.pool().len(),
         server.pool().hits(),
-        server.pool().misses()
+        server.pool().misses(),
+        server.pool().warm_bytes_total() / 1024
+    );
+    println!(
+        "eviction    : {} graphs aged out, {} warm states dropped, {reregistered} re-registrations",
+        server.pool().graph_evictions(),
+        server.pool().warm_evictions()
     );
     println!("\nper-tenant meters:");
-    println!("  tenant      jobs    rounds  messages   dropped  max-cong  max-bits");
+    println!("  tenant      jobs  refilled    rounds  messages   dropped  max-cong  max-bits");
     for (t, m) in server.meters() {
         println!(
-            "  {t:<8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
-            m.jobs, m.rounds, m.messages, m.dropped, m.max_edge_congestion, m.max_message_bits
+            "  {t:<8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            m.jobs,
+            m.refilled_jobs,
+            m.rounds,
+            m.messages,
+            m.dropped,
+            m.max_edge_congestion,
+            m.max_message_bits
         );
     }
     Ok(())

@@ -61,6 +61,27 @@ fn bad_invocations_fail_with_usage_on_stderr() {
         (&["serve", "--queue", "0"], "--queue must be at least 1"),
         (&["serve", "--graphs", "harary:4"], "2 parameter(s)"),
         (&["serve", "--mix", "flood,osmosis"], "unknown mix family"),
+        (
+            &["serve", "--warm-limit", "cosy"],
+            "bad value for --warm-limit",
+        ),
+        (&["serve", "--warm-limit"], "--warm-limit needs a value"),
+        (
+            &["serve", "--max-graphs", "-2"],
+            "bad value for --max-graphs",
+        ),
+        (
+            &["serve", "--max-graphs", "0"],
+            "--max-graphs must be at least 1",
+        ),
+        (
+            &["serve", "--max-warm-bytes", "4MiB"],
+            "bad value for --max-warm-bytes",
+        ),
+        (
+            &["serve", "--max-warm-bytes", "0"],
+            "--max-warm-bytes must be at least 1",
+        ),
     ];
     for (args, needle) in table {
         let out = fastbcast(args);
@@ -124,4 +145,41 @@ fn good_invocations_still_succeed() {
         stdout.contains("per-tenant meters"),
         "serve output: {stdout}"
     );
+    assert!(
+        stdout.contains("refilled mid-sweep"),
+        "serve output: {stdout}"
+    );
+
+    // An aggressive eviction budget: two graphs alternating under
+    // --max-graphs 1 forces graph aging + re-registration mid-stream,
+    // and the run still completes with eviction stats reported.
+    let serve = fastbcast(&[
+        "serve",
+        "--jobs",
+        "24",
+        "--graphs",
+        "harary:4,32+torus:4x8",
+        "--queue",
+        "4",
+        "--max-graphs",
+        "1",
+        "--max-warm-bytes",
+        "65536",
+        "--warm-limit",
+        "1",
+        "--serial",
+    ]);
+    let stdout = String::from_utf8_lossy(&serve.stdout);
+    assert!(
+        serve.status.success(),
+        "aggressive-eviction serve failed\nstderr: {}",
+        String::from_utf8_lossy(&serve.stderr)
+    );
+    let aged: u64 = stdout
+        .lines()
+        .find_map(|l| l.split_once(" graphs aged out").map(|(pre, _)| pre))
+        .and_then(|pre| pre.rsplit(' ').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no eviction stats in serve output: {stdout}"));
+    assert!(aged > 0, "aggressive budget must actually evict: {stdout}");
 }
